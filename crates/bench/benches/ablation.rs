@@ -1,0 +1,97 @@
+//! Criterion ablations: merged vs separate NoK scans, bounded vs naive
+//! nested loops, binary structural join vs holistic TwigStack.
+
+use blossom_core::decompose::Decomposition;
+use blossom_core::join::nested_loop::{bounded_nlj, naive_nlj};
+use blossom_core::join::structural::{stack_tree_join, StructRel};
+use blossom_core::join::twigstack::TwigMatcher;
+use blossom_core::merge::merged_scan;
+use blossom_core::NokMatcher;
+use blossom_flwor::BlossomTree;
+use blossom_xml::TagIndex;
+use blossom_xmlgen::{generate, Dataset};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn decompose(query: &str) -> Decomposition {
+    Decomposition::decompose(
+        &BlossomTree::from_path(&blossom_xpath::parse_path(query).unwrap()).unwrap(),
+    )
+}
+
+fn bench_merged_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merged_scan");
+    group.sample_size(10);
+    let doc = generate(Dataset::D3Catalog, 20_000, 42);
+    let d = decompose("//publisher[//street_address]//name_of_city");
+    group.bench_function("merged", |b| {
+        b.iter(|| merged_scan(&doc, &d.noks, d.shape.clone()));
+    });
+    group.bench_function("separate", |b| {
+        b.iter(|| {
+            d.noks
+                .iter()
+                .map(|nok| NokMatcher::new(&doc, nok, d.shape.clone(), None).scan().len())
+                .sum::<usize>()
+        });
+    });
+    group.finish();
+}
+
+fn bench_bnlj(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bnlj_vs_naive");
+    group.sample_size(10);
+    let doc = generate(Dataset::D1Recursive, 20_000, 42);
+    let index = TagIndex::build(&doc);
+    let d = decompose("//a/b1[//c3]");
+    let cut = &d.cut_edges[0];
+    let outer =
+        NokMatcher::new(&doc, &d.noks[cut.parent_nok], d.shape.clone(), Some(&index));
+    let inner =
+        NokMatcher::new(&doc, &d.noks[cut.child_nok], d.shape.clone(), Some(&index));
+    let left = outer.scan();
+    group.bench_function("bounded", |b| {
+        b.iter(|| bounded_nlj(&doc, left.clone(), &inner, &d.noks, cut).len());
+    });
+    group.bench_function("naive", |b| {
+        b.iter(|| naive_nlj(&doc, left.clone(), &inner, &d.noks, cut).len());
+    });
+    group.finish();
+}
+
+fn bench_binary_vs_holistic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binary_vs_holistic");
+    group.sample_size(10);
+    let doc = generate(Dataset::D4Treebank, 20_000, 42);
+    let index = TagIndex::build(&doc);
+    group.bench_function("binary_chain", |b| {
+        b.iter(|| {
+            let vps = index.stream_by_name(&doc, "VP");
+            let nps = index.stream_by_name(&doc, "NP");
+            let nns = index.stream_by_name(&doc, "NN");
+            let vp_np = stack_tree_join(&doc, vps, nps, StructRel::AncestorDescendant);
+            let np_nn = stack_tree_join(&doc, nps, nns, StructRel::AncestorDescendant);
+            vp_np.len() + np_nn.len()
+        });
+    });
+    group.bench_function("holistic_twigstack", |b| {
+        b.iter(|| {
+            let path = blossom_xpath::parse_path("//VP//NP//NN").unwrap();
+            let bt = BlossomTree::from_path(&path).unwrap();
+            let root = bt.pattern.node(blossom_xpath::PatternNodeId::ROOT).children[0];
+            let mut tm = TwigMatcher::new(
+                &doc,
+                &index,
+                &bt.pattern,
+                root,
+                blossom_xml::Axis::Descendant,
+            )
+            .unwrap();
+            tm.run();
+            tm.solution_nodes(bt.returning[0]).len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_merged_scan, bench_bnlj, bench_binary_vs_holistic);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! FLWOR evaluation microbenchmark: naive per-iteration re-evaluation vs
+//! the BlossomTree plan (the paper's Section 1 motivation).
+
+use blossom_core::{Engine, Strategy};
+use blossom_xmlgen::Gen;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const QUERY: &str = r#"<bib>{
+    for $book1 in doc("bib.xml")//book,
+        $book2 in doc("bib.xml")//book
+    let $aut1 := $book1//author
+    let $aut2 := $book2//author
+    where $book1 << $book2
+      and not($book1//title = $book2//title)
+      and deep-equal($aut1, $aut2)
+    return <book-pair>{ $book1//title }{ $book2//title }</book-pair>
+}</bib>"#;
+
+fn bib(books: usize) -> Engine {
+    let mut g = Gen::new(7);
+    g.open("bib");
+    for i in 0..books {
+        g.open("book");
+        g.open("meta");
+        let title = format!("title-{i}");
+        g.leaf("title", &title);
+        let author = format!("author-{}", i / 2);
+        g.leaf("author", &author);
+        for _ in 0..4 {
+            g.open("detail");
+            let v = g.phrase(2);
+            g.leaf("field", &v);
+            g.close();
+        }
+        g.close();
+        g.close();
+    }
+    g.close();
+    Engine::new(g.finish())
+}
+
+fn bench_flwor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flwor_bookpairs");
+    group.sample_size(10);
+    for books in [100usize, 300] {
+        let engine = bib(books);
+        group.bench_with_input(BenchmarkId::new("naive", books), &engine, |b, e| {
+            b.iter(|| e.eval_query_str(QUERY, Strategy::Navigational).unwrap().len());
+        });
+        group.bench_with_input(BenchmarkId::new("blossomtree", books), &engine, |b, e| {
+            b.iter(|| e.eval_query_str(QUERY, Strategy::BoundedNestedLoop).unwrap().len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flwor);
+criterion_main!(benches);

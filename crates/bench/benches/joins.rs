@@ -1,0 +1,46 @@
+//! Join-algorithm comparison (the Table 3 microbenchmark): the systems of
+//! the paper on representative chain and branching queries.
+
+use blossom_core::{Engine, Strategy};
+use blossom_xmlgen::{generate, Dataset};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_joins(c: &mut Criterion) {
+    let cases = [
+        (Dataset::D2Address, "//address[//name_of_state][//zip_code]//street_address"),
+        (Dataset::D3Catalog, "//publisher[//mailing_address]//street_address"),
+        (Dataset::D1Recursive, "//a//c2/b1/c2/b1//c3"),
+        (Dataset::D4Treebank, "//VP[VP]//VP/NP//NN"),
+    ];
+    for (ds, query) in cases {
+        let mut group = c.benchmark_group(format!("join_{}", ds.name()));
+        group.sample_size(10);
+        let engine = Engine::new(generate(ds, 40_000, 42));
+        let strategies: &[(&str, Strategy)] = if ds.recursive() {
+            &[
+                ("XH", Strategy::Navigational),
+                ("TS", Strategy::TwigStack),
+                ("NL", Strategy::BoundedNestedLoop),
+            ]
+        } else {
+            &[
+                ("XH", Strategy::Navigational),
+                ("TS", Strategy::TwigStack),
+                ("PL", Strategy::Pipelined),
+            ]
+        };
+        for (label, strategy) in strategies {
+            group.bench_with_input(
+                BenchmarkId::new(*label, query),
+                strategy,
+                |b, &strategy| {
+                    b.iter(|| engine.eval_path_str(query, strategy).unwrap().len());
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_joins);
+criterion_main!(benches);

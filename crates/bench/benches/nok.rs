@@ -1,0 +1,49 @@
+//! NoK pattern-matching throughput: scan cost vs document size, buffer
+//! (Figure 6) construction, and index-assisted vs sequential anchors.
+
+use blossom_core::decompose::Decomposition;
+use blossom_core::nlbuffer::NlBuffer;
+use blossom_core::NokMatcher;
+use blossom_flwor::BlossomTree;
+use blossom_xml::TagIndex;
+use blossom_xmlgen::{generate, Dataset};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn decompose(query: &str) -> Decomposition {
+    Decomposition::decompose(
+        &BlossomTree::from_path(&blossom_xpath::parse_path(query).unwrap()).unwrap(),
+    )
+}
+
+fn bench_scan_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nok_scan");
+    group.sample_size(10);
+    let d = decompose("//item/attributes[size_of_book]");
+    for nodes in [10_000usize, 40_000] {
+        let doc = generate(Dataset::D3Catalog, nodes, 42);
+        group.bench_with_input(BenchmarkId::new("sequential", nodes), &doc, |b, doc| {
+            let m = NokMatcher::new(doc, &d.noks[0], d.shape.clone(), None);
+            b.iter(|| m.scan().len());
+        });
+        let index = TagIndex::build(&doc);
+        group.bench_with_input(BenchmarkId::new("indexed", nodes), &doc, |b, doc| {
+            let m = NokMatcher::new(doc, &d.noks[0], d.shape.clone(), Some(&index));
+            b.iter(|| m.scan().len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_buffer_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nlbuffer");
+    group.sample_size(10);
+    let d = decompose("//b1[c2]");
+    let doc = generate(Dataset::D1Recursive, 40_000, 42);
+    group.bench_function("build_40k_recursive", |b| {
+        b.iter(|| NlBuffer::build(&doc, &d.noks[0]).anchor_count());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan_scaling, bench_buffer_build);
+criterion_main!(benches);

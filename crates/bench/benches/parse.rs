@@ -1,0 +1,41 @@
+//! Parse / label / index build throughput over the generated datasets.
+
+use blossom_xml::{Document, TagIndex};
+use blossom_xmlgen::{generate, Dataset};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parse");
+    group.sample_size(10);
+    for ds in [Dataset::D2Address, Dataset::D3Catalog, Dataset::D5Dblp] {
+        let xml = blossom_xml::writer::to_string(&generate(ds, 50_000, 42));
+        group.throughput(Throughput::Bytes(xml.len() as u64));
+        group.bench_with_input(BenchmarkId::new("document", ds.name()), &xml, |b, xml| {
+            b.iter(|| Document::parse_str(xml).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tag_index");
+    group.sample_size(10);
+    for ds in [Dataset::D1Recursive, Dataset::D4Treebank] {
+        let doc = generate(ds, 50_000, 42);
+        group.bench_with_input(BenchmarkId::new("build", ds.name()), &doc, |b, doc| {
+            b.iter(|| TagIndex::build(doc));
+        });
+    }
+    group.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("doc_stats");
+    group.sample_size(10);
+    let doc = generate(Dataset::D4Treebank, 50_000, 42);
+    group.bench_function("treebank_50k", |b| b.iter(|| doc.stats()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_index, bench_stats);
+criterion_main!(benches);

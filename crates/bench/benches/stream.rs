@@ -1,0 +1,42 @@
+//! Streaming (SAX) NoK evaluation vs the in-memory matcher: the stream
+//! setting the paper positions the NoK/pipelined approach for.
+
+use blossom_core::decompose::Decomposition;
+use blossom_core::stream::count_anchors_streaming;
+use blossom_core::NokMatcher;
+use blossom_flwor::BlossomTree;
+use blossom_xml::Document;
+use blossom_xmlgen::{generate, Dataset};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_streaming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streaming_nok");
+    group.sample_size(10);
+    let doc = generate(Dataset::D3Catalog, 40_000, 42);
+    let xml = blossom_xml::writer::to_string(&doc);
+    let d = Decomposition::decompose(
+        &BlossomTree::from_path(&blossom_xpath::parse_path("//item[publisher]/title").unwrap())
+            .unwrap(),
+    );
+    // Streaming: parse + match in one pass, O(depth) memory.
+    group.bench_function("sax_one_pass", |b| {
+        b.iter(|| count_anchors_streaming(&xml, &d.noks[0]).unwrap());
+    });
+    // Materialized: parse, then scan the arena.
+    group.bench_function("parse_then_scan", |b| {
+        b.iter(|| {
+            let doc = Document::parse_str(&xml).unwrap();
+            let m = NokMatcher::new(&doc, &d.noks[0], d.shape.clone(), None);
+            m.scan().len()
+        });
+    });
+    // Scan-only over a preloaded arena (the repeated-query case).
+    group.bench_function("scan_preloaded", |b| {
+        let m = NokMatcher::new(&doc, &d.noks[0], d.shape.clone(), None);
+        b.iter(|| m.scan().len());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming);
+criterion_main!(benches);

@@ -1,0 +1,223 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. **Merged single-scan NoKs vs separate scans** (the pipelined-NoK
+//!    motivation of Section 2.1/4.2): evaluating k NoKs over the same
+//!    document with one pass vs k passes, without tag indexes.
+//! 2. **Bounded vs naive nested-loop join** (Section 4.3): the `(p1,p2)`
+//!    range bounding.
+//! 3. **Binary structural join chain vs holistic TwigStack** on a chain
+//!    query (the classic intermediate-result blowup).
+//!
+//! ```text
+//! cargo run -p blossom-bench --release --bin ablation -- [--scale 0.02] [--seed 42]
+//! ```
+
+use blossom_bench::{markdown_table, Args};
+use blossom_core::decompose::Decomposition;
+use blossom_core::join::nested_loop::{bounded_nlj, naive_nlj};
+use blossom_core::join::structural::{stack_tree_join, StructRel};
+use blossom_core::join::twigstack::TwigMatcher;
+use blossom_core::merge::merged_scan;
+use blossom_core::NokMatcher;
+use blossom_flwor::BlossomTree;
+use blossom_xml::TagIndex;
+use blossom_xmlgen::{generate_scaled, Dataset};
+use std::time::Instant;
+
+/// Run `f` `reps` times, returning the last result and the mean time in
+/// milliseconds.
+fn timed<T>(reps: u32, mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut out = f();
+    let start = Instant::now();
+    for _ in 0..reps {
+        out = f();
+    }
+    (out, start.elapsed().as_secs_f64() * 1e3 / reps as f64)
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale: f64 = args.get("scale").unwrap_or(0.02);
+    let seed: u64 = args.get("seed").unwrap_or(42);
+
+    println!("# Ablation studies (scale {scale}, seed {seed})\n");
+
+    merged_vs_separate(scale, seed);
+    bnlj_vs_naive(scale, seed);
+    binary_vs_holistic(scale, seed);
+    pipelined_memory(scale, seed);
+}
+
+/// Ablation 4: the Section 4.2 memory trade-off — the pipelined join's
+/// peak candidate buffer on non-recursive vs recursive data.
+fn pipelined_memory(scale: f64, seed: u64) {
+    use blossom_core::join::pipelined::PipelinedJoin;
+    println!("## 4. Pipelined //-join peak buffer (Section 4.2 memory trade-off)\n");
+    let cases = [
+        (Dataset::D2Address, "//address[//zip_code]", "non-recursive"),
+        (Dataset::D1Recursive, "//b1[//c3]", "recursive"),
+    ];
+    let header: Vec<String> =
+        ["dataset", "query", "inner matches", "peak buffered", "fraction"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    let mut rows = Vec::new();
+    for (ds, query, label) in cases {
+        let doc = generate_scaled(ds, scale, seed);
+        let d = Decomposition::decompose(
+            &BlossomTree::from_path(&blossom_xpath::parse_path(query).unwrap()).unwrap(),
+        );
+        let cut = &d.cut_edges[0];
+        let outer = NokMatcher::new(&doc, &d.noks[cut.parent_nok], d.shape.clone(), None);
+        let inner = NokMatcher::new(&doc, &d.noks[cut.child_nok], d.shape.clone(), None);
+        let total_inner = inner.scan().len();
+        let mut left = outer.stream();
+        let mut right = inner.stream();
+        let mut join = PipelinedJoin::new(
+            &doc,
+            std::iter::from_fn(move || left.get_next()),
+            std::iter::from_fn(move || right.get_next()),
+            &d.noks,
+            cut,
+        );
+        while join.get_next().is_some() {}
+        let peak = join.peak_buffer();
+        rows.push(vec![
+            format!("{} ({label})", ds.name()),
+            format!("`{query}`"),
+            total_inner.to_string(),
+            peak.to_string(),
+            format!("{:.1}%", 100.0 * peak as f64 / total_inner.max(1) as f64),
+        ]);
+    }
+    println!("{}", markdown_table(&header, &rows));
+}
+
+/// Ablation 1: one combined scan vs one scan per NoK (no indexes).
+fn merged_vs_separate(scale: f64, seed: u64) {
+    println!("## 1. Merged single-scan NoKs vs separate scans (no tag index)\n");
+    let doc = generate_scaled(Dataset::D3Catalog, scale, seed);
+    let query = "//publisher[//street_address]//name_of_city";
+    let d = Decomposition::decompose(
+        &BlossomTree::from_path(&blossom_xpath::parse_path(query).unwrap()).unwrap(),
+    );
+    let (merged, t_merged) = timed(10, || merged_scan(&doc, &d.noks, d.shape.clone()));
+    let (separate, t_separate) = timed(10, || {
+        d.noks
+            .iter()
+            .map(|nok| NokMatcher::new(&doc, nok, d.shape.clone(), None).scan())
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(merged, separate, "both strategies agree");
+    let header: Vec<String> =
+        ["variant", "scans of input", "time (ms)"].iter().map(|s| s.to_string()).collect();
+    println!(
+        "{}",
+        markdown_table(
+            &header,
+            &[
+                vec!["merged (one pass)".into(), "1".into(), format!("{t_merged:.3}")],
+                vec![
+                    "separate (per NoK)".into(),
+                    d.noks.len().to_string(),
+                    format!("{t_separate:.3}"),
+                ],
+            ],
+        )
+    );
+}
+
+/// Ablation 2: BNLJ's (p1,p2) range bounding vs a full inner rescan.
+fn bnlj_vs_naive(scale: f64, seed: u64) {
+    println!("## 2. Bounded vs naive nested-loop join\n");
+    let doc = generate_scaled(Dataset::D1Recursive, scale, seed);
+    let query = "//a/b1[//c3]";
+    let d = Decomposition::decompose(
+        &BlossomTree::from_path(&blossom_xpath::parse_path(query).unwrap()).unwrap(),
+    );
+    let index = TagIndex::build(&doc);
+    let cut = &d.cut_edges[0];
+    let outer = NokMatcher::new(&doc, &d.noks[cut.parent_nok], d.shape.clone(), Some(&index));
+    let inner = NokMatcher::new(&doc, &d.noks[cut.child_nok], d.shape.clone(), Some(&index));
+    let left = outer.scan();
+    let (bounded, t_bounded) =
+        timed(10, || bounded_nlj(&doc, left.clone(), &inner, &d.noks, cut));
+    let (naive, t_naive) = timed(10, || naive_nlj(&doc, left.clone(), &inner, &d.noks, cut));
+    assert_eq!(bounded, naive);
+    let header: Vec<String> =
+        ["variant", "result count", "time (ms)"].iter().map(|s| s.to_string()).collect();
+    println!(
+        "{}",
+        markdown_table(
+            &header,
+            &[
+                vec!["bounded (BNLJ)".into(), bounded.len().to_string(), format!("{t_bounded:.3}")],
+                vec!["naive".into(), naive.len().to_string(), format!("{t_naive:.3}")],
+            ],
+        )
+    );
+}
+
+/// Ablation 3: chain of binary structural joins vs holistic TwigStack.
+fn binary_vs_holistic(scale: f64, seed: u64) {
+    println!("## 3. Binary structural-join chain vs holistic TwigStack\n");
+    let doc = generate_scaled(Dataset::D4Treebank, scale, seed);
+    let index = TagIndex::build(&doc);
+    // //VP//NP//NN as a chain.
+    let (binary_count, t_binary) = timed(10, || {
+        let vps = index.stream_by_name(&doc, "VP");
+        let nps = index.stream_by_name(&doc, "NP");
+        let nns = index.stream_by_name(&doc, "NN");
+        // VP//NP pairs, then (NP)//NN pairs, then merge on NP.
+        let vp_np = stack_tree_join(&doc, vps, nps, StructRel::AncestorDescendant);
+        let np_nn = stack_tree_join(&doc, nps, nns, StructRel::AncestorDescendant);
+        // Count full matches by joining the two pair lists on the NP.
+        let mut nn_by_np: std::collections::BTreeMap<u32, usize> =
+            std::collections::BTreeMap::new();
+        for (np, _) in &np_nn {
+            *nn_by_np.entry(np.0).or_insert(0) += 1;
+        }
+        vp_np
+            .iter()
+            .map(|(_, np)| nn_by_np.get(&np.0).copied().unwrap_or(0))
+            .sum::<usize>()
+    });
+    let (holistic, t_holistic) = timed(10, || {
+        let path = blossom_xpath::parse_path("//VP//NP//NN").unwrap();
+        let bt = BlossomTree::from_path(&path).unwrap();
+        let root = bt.pattern.node(blossom_xpath::PatternNodeId::ROOT).children[0];
+        let mut tm = TwigMatcher::new(
+            &doc,
+            &index,
+            &bt.pattern,
+            root,
+            blossom_xml::Axis::Descendant,
+        )
+        .unwrap();
+        tm.run();
+        tm.solution_nodes(bt.returning[0]).len()
+    });
+    let header: Vec<String> = ["variant", "intermediate size / distinct NNs", "time (ms)"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    println!(
+        "{}",
+        markdown_table(
+            &header,
+            &[
+                vec![
+                    "binary join chain (embeddings)".into(),
+                    binary_count.to_string(),
+                    format!("{t_binary:.3}"),
+                ],
+                vec![
+                    "holistic TwigStack (distinct)".into(),
+                    holistic.to_string(),
+                    format!("{t_holistic:.3}"),
+                ],
+            ],
+        )
+    );
+}

@@ -1,0 +1,122 @@
+//! The paper's core motivation, measured: evaluating a FLWOR with
+//! correlated path expressions *naively* (re-running every path per
+//! for-iteration — "this approach may be very inefficient", Section 1)
+//! versus the BlossomTree plan (match NoKs once, join projections).
+//!
+//! The workload is Example 1's book-pair query over bibliographies whose
+//! books carry a realistic amount of nested metadata: the naive evaluator
+//! re-navigates `$book//title` / `$book//author` inside the O(|books|²)
+//! where-clause evaluation, while the BlossomTree plan matched those
+//! paths once per book during NoK matching and joins the projections.
+//!
+//! ```text
+//! cargo run -p blossom-bench --release --bin flwor_bench -- [--runs 3]
+//! ```
+
+use blossom_bench::{markdown_table, Args};
+use blossom_core::{Engine, Strategy};
+use blossom_xmlgen::Gen;
+use std::time::Instant;
+
+const QUERY: &str = r#"<bib>{
+    for $book1 in doc("bib.xml")//book,
+        $book2 in doc("bib.xml")//book
+    let $aut1 := $book1//author
+    let $aut2 := $book2//author
+    where $book1 << $book2
+      and not($book1//title = $book2//title)
+      and deep-equal($aut1, $aut2)
+    return <book-pair>{ $book1//title }{ $book2//title }</book-pair>
+}</bib>"#;
+
+/// A bibliography where every book has unique title, an author shared
+/// with exactly one other book (so the output is linear in `books`), and
+/// ~40 nodes of nested metadata that per-iteration navigation must wade
+/// through.
+fn bib(books: usize, seed: u64) -> Engine {
+    let mut g = Gen::new(seed);
+    g.open("bib");
+    for i in 0..books {
+        g.open("book");
+        g.open("meta");
+        g.open("info");
+        let title = format!("title-{i}");
+        g.leaf("title", &title);
+        // Books 2k and 2k+1 share an author: one pair each.
+        let author = format!("author-{}", i / 2);
+        g.open("credits");
+        g.leaf("author", &author);
+        g.close();
+        g.close();
+        // Metadata filler the naive per-pair navigation has to scan.
+        for f in 0..6 {
+            g.open("publication_detail");
+            let v = g.number(1, 999_999);
+            g.leaf("field_a", &v);
+            let w = g.phrase(2);
+            g.leaf("field_b", &w);
+            if f % 2 == 0 {
+                let x = g.phrase(1);
+                g.leaf("field_c", &x);
+            }
+            g.close();
+        }
+        g.close();
+        g.close();
+    }
+    g.close();
+    Engine::new(g.finish())
+}
+
+fn timed(runs: u32, mut f: impl FnMut() -> usize) -> (usize, f64) {
+    let mut out = f();
+    let start = Instant::now();
+    for _ in 0..runs {
+        out = f();
+    }
+    (out, start.elapsed().as_secs_f64() * 1e3 / runs as f64)
+}
+
+fn main() {
+    let args = Args::parse();
+    let seed: u64 = args.get("seed").unwrap_or(42);
+    let runs: u32 = args.get("runs").unwrap_or(3);
+
+    println!("# FLWOR evaluation: naive per-iteration vs BlossomTree plan\n");
+    println!(
+        "workload: Example 1's book-pair query with `//`-deep correlated paths \
+         over books carrying ~40 nodes of metadata each\n"
+    );
+    let header: Vec<String> =
+        ["#books", "naive (ms)", "blossomtree (ms)", "speedup", "pairs"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    let mut rows = Vec::new();
+    for books in [50usize, 150, 400, 800] {
+        let engine = bib(books, seed);
+        let (pairs_naive, t_naive) = timed(runs, || {
+            let doc = engine.eval_query_str(QUERY, Strategy::Navigational).unwrap();
+            doc.elements().count()
+        });
+        let (pairs_bt, t_bt) = timed(runs, || {
+            let doc =
+                engine.eval_query_str(QUERY, Strategy::BoundedNestedLoop).unwrap();
+            doc.elements().count()
+        });
+        assert_eq!(pairs_naive, pairs_bt, "both evaluations agree");
+        rows.push(vec![
+            books.to_string(),
+            format!("{t_naive:.2}"),
+            format!("{t_bt:.2}"),
+            format!("{:.1}x", t_naive / t_bt.max(1e-9)),
+            format!("{}", books / 2),
+        ]);
+    }
+    println!("{}", markdown_table(&header, &rows));
+    println!(
+        "Both evaluators return identical results; the naive evaluator re-runs \
+         every correlated path per (book1, book2) iteration, the BlossomTree \
+         plan matches each NoK once and joins the projections."
+    );
+}

@@ -1,0 +1,64 @@
+//! Scaling sweep: running time of each system as the document grows —
+//! the series behind Table 3's analysis (which algorithm degrades how).
+//!
+//! ```text
+//! cargo run -p blossom-bench --release --bin scaling -- \
+//!     [--dataset d3] [--query "//publisher[//mailing_address]//street_address"] \
+//!     [--seed 42] [--runs 3] [--cutoff 30]
+//! ```
+
+use blossom_bench::{markdown_table, measure, queries, Args};
+use blossom_core::{Engine, Strategy};
+use blossom_xmlgen::{generate, Dataset};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let args = Args::parse();
+    let ds_name: String = args.get("dataset").unwrap_or_else(|| "d3".to_string());
+    let dataset = Dataset::all()
+        .into_iter()
+        .find(|d| d.name() == ds_name)
+        .unwrap_or(Dataset::D3Catalog);
+    let query: String = args
+        .get("query")
+        .unwrap_or_else(|| queries(dataset)[3].path.to_string());
+    let seed: u64 = args.get("seed").unwrap_or(42);
+    let runs: u32 = args.get("runs").unwrap_or(3);
+    let cutoff = Duration::from_secs_f64(args.get("cutoff").unwrap_or(30.0));
+
+    let sizes = [10_000usize, 30_000, 100_000, 300_000];
+    let systems: Vec<(&str, Strategy)> = if dataset.recursive() {
+        vec![
+            ("XH", Strategy::Navigational),
+            ("TS", Strategy::TwigStack),
+            ("NL", Strategy::BoundedNestedLoop),
+        ]
+    } else {
+        vec![
+            ("XH", Strategy::Navigational),
+            ("TS", Strategy::TwigStack),
+            ("PL", Strategy::Pipelined),
+        ]
+    };
+
+    println!(
+        "# Scaling sweep — {} on {} (seed {seed}, avg of {runs} runs)\n",
+        query,
+        dataset.name()
+    );
+    let mut header: Vec<String> = vec!["#nodes".into()];
+    header.extend(systems.iter().map(|(l, _)| l.to_string()));
+    let mut rows = Vec::new();
+    for &nodes in &sizes {
+        eprintln!("generating {} @ {nodes} nodes ...", dataset.name());
+        let engine = Arc::new(Engine::new(generate(dataset, nodes, seed)));
+        let mut row = vec![nodes.to_string()];
+        for (_, strategy) in &systems {
+            let m = measure(engine.clone(), &query, *strategy, runs, cutoff);
+            row.push(m.cell());
+        }
+        rows.push(row);
+    }
+    println!("{}", markdown_table(&header, &rows));
+}

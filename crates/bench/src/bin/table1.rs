@@ -1,0 +1,48 @@
+//! Regenerate Table 1: dataset statistics.
+//!
+//! ```text
+//! cargo run -p blossom-bench --release --bin table1 -- [--scale 0.1] [--seed 42]
+//! ```
+
+use blossom_bench::{markdown_table, Args};
+use blossom_xml::writer;
+use blossom_xmlgen::{generate_scaled, Dataset};
+
+fn main() {
+    let args = Args::parse();
+    let scale: f64 = args.get("scale").unwrap_or(0.1);
+    let seed: u64 = args.get("seed").unwrap_or(42);
+
+    println!("# Table 1 — dataset statistics (scale {scale}, seed {seed})\n");
+    let header: Vec<String> = [
+        "data set", "category", "recursive?", "size", "#nodes", "avg dep.", "max dep.",
+        "#tags", "tree size", "paper #nodes",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rows = Vec::new();
+    for ds in Dataset::all() {
+        let doc = generate_scaled(ds, scale, seed);
+        let stats = doc.stats();
+        let size_bytes = writer::to_string(&doc).len();
+        rows.push(vec![
+            ds.name().to_string(),
+            match ds {
+                Dataset::D1Recursive | Dataset::D2Address | Dataset::D3Catalog => {
+                    "Synthetic".to_string()
+                }
+                _ => "Real(simulated)".to_string(),
+            },
+            if stats.recursive { "Y".to_string() } else { "N".to_string() },
+            format!("{:.1} MB", size_bytes as f64 / 1e6),
+            format!("{}", stats.node_count),
+            format!("{:.0}", stats.avg_depth),
+            format!("{}", stats.max_depth),
+            format!("{}", stats.tag_count),
+            format!("{:.2} MB", stats.structure_bytes as f64 / 1e6),
+            format!("{}", ds.paper_nodes()),
+        ]);
+    }
+    println!("{}", markdown_table(&header, &rows));
+}

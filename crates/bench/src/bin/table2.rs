@@ -1,0 +1,44 @@
+//! Regenerate Table 2 / Appendix A: the query categories, with measured
+//! result sizes so the h/m/l selectivity labels can be checked against
+//! the generated data.
+//!
+//! ```text
+//! cargo run -p blossom-bench --release --bin table2 -- [--scale 0.02] [--seed 42]
+//! ```
+
+use blossom_bench::{markdown_table, queries, Args};
+use blossom_core::{Engine, Strategy};
+use blossom_xmlgen::{generate_scaled, Dataset};
+
+fn main() {
+    let args = Args::parse();
+    let scale: f64 = args.get("scale").unwrap_or(0.02);
+    let seed: u64 = args.get("seed").unwrap_or(42);
+
+    println!("# Table 2 — query categories (selectivity × topology), scale {scale}\n");
+    let header: Vec<String> =
+        ["data set", "query", "category", "path", "#results", "sel. (% of nodes)"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    let mut rows = Vec::new();
+    for ds in Dataset::all() {
+        let engine = Engine::new(generate_scaled(ds, scale, seed));
+        let total = engine.stats().node_count as f64;
+        for q in queries(ds) {
+            let n = engine
+                .eval_path_str(q.path, Strategy::Navigational)
+                .map(|r| r.len())
+                .unwrap_or(0);
+            rows.push(vec![
+                ds.name().to_string(),
+                q.id.to_string(),
+                q.category.to_string(),
+                format!("`{}`", q.path),
+                n.to_string(),
+                format!("{:.2}%", 100.0 * n as f64 / total),
+            ]);
+        }
+    }
+    println!("{}", markdown_table(&header, &rows));
+}

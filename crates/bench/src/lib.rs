@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+
+//! Benchmark harness for the BlossomTree reproduction.
+//!
+//! Binaries (`cargo run -p blossom-bench --release --bin <name>`):
+//!
+//! * `table1` — regenerates the dataset-statistics table.
+//! * `table2` — the query categories with measured selectivities.
+//! * `table3` — the running-time matrix (XH / TS / NL-or-PL × Q1–Q6 ×
+//!   d1–d5), with DNF cutoffs.
+//! * `ablation` — merged-scan vs separate scans, BNLJ vs naive NLJ,
+//!   binary structural joins vs holistic TwigStack.
+//!
+//! Criterion micro-benchmarks live in `benches/`.
+
+pub mod harness;
+pub mod queries;
+
+pub use harness::{markdown_table, measure, Args, Measurement};
+pub use queries::{queries, BenchQuery};

@@ -1,0 +1,133 @@
+//! The Table 2 / Appendix A query workload.
+//!
+//! Six query categories per dataset, each labelled with a selectivity
+//! class (h/m/l) × topology class (chain c / branching b). Tag names are
+//! ported to the generators' vocabularies (the paper's Appendix A names
+//! with spaces replaced by underscores).
+
+use blossom_xmlgen::Dataset;
+
+/// One benchmark query.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchQuery {
+    /// Q1..Q6.
+    pub id: &'static str,
+    /// Category string (hc, hb, mc, mb, lc, lb).
+    pub category: &'static str,
+    /// The path expression.
+    pub path: &'static str,
+}
+
+/// The six queries of a dataset (Table 2's categories instantiated with
+/// Appendix A's queries).
+pub fn queries(dataset: Dataset) -> [BenchQuery; 6] {
+    match dataset {
+        Dataset::D1Recursive => [
+            BenchQuery { id: "Q1", category: "hc", path: "//a//b4" },
+            BenchQuery { id: "Q2", category: "hb", path: "//a[//b2][//b1]//b3" },
+            BenchQuery { id: "Q3", category: "mc", path: "//a//c2/b1/c2/b1//c3" },
+            BenchQuery { id: "Q4", category: "mb", path: "//a//c2//b1/c2[//c2[b1]]/b1//c3" },
+            BenchQuery { id: "Q5", category: "lc", path: "//b1//c2//b1" },
+            BenchQuery { id: "Q6", category: "lb", path: "//b1//c2[//c3]//b1" },
+        ],
+        Dataset::D2Address => [
+            BenchQuery {
+                id: "Q1",
+                category: "hc",
+                path: "//addresses//street_address//name_of_state",
+            },
+            BenchQuery {
+                id: "Q2",
+                category: "hb",
+                path: "//addresses[//zip_code][//country_id]",
+            },
+            BenchQuery { id: "Q3", category: "mc", path: "//addresses//street_address" },
+            BenchQuery {
+                id: "Q4",
+                category: "mb",
+                path: "//address[//name_of_state][//zip_code]//street_address",
+            },
+            BenchQuery { id: "Q5", category: "lc", path: "//address[//street_address]" },
+            BenchQuery {
+                id: "Q6",
+                category: "lb",
+                path: "//address[//street_address][//zip_code][//name_of_city]",
+            },
+        ],
+        Dataset::D3Catalog => [
+            BenchQuery { id: "Q1", category: "hc", path: "//item/attributes//length" },
+            BenchQuery {
+                id: "Q2",
+                category: "hb",
+                path: "//item[//author/contact_information//street_address]/title",
+            },
+            BenchQuery {
+                id: "Q3",
+                category: "mc",
+                path: "//publisher//street_information//street_address",
+            },
+            BenchQuery {
+                id: "Q4",
+                category: "mb",
+                path: "//publisher[//mailing_address]//street_address",
+            },
+            BenchQuery {
+                id: "Q5",
+                category: "lc",
+                path: "//author//mailing_address//street_address",
+            },
+            BenchQuery {
+                id: "Q6",
+                category: "lb",
+                path: "//author[date_of_birth][//last_name]//street_address",
+            },
+        ],
+        Dataset::D4Treebank => [
+            BenchQuery { id: "Q1", category: "hc", path: "//VP//VP/NP//PP/PP" },
+            BenchQuery { id: "Q2", category: "hb", path: "//VP[VP]//VP[PP]/NP[PP]/NN" },
+            BenchQuery { id: "Q3", category: "mc", path: "//VP/VP/NP//NN" },
+            BenchQuery { id: "Q4", category: "mb", path: "//VP[VP]//VP/NP//NN" },
+            BenchQuery { id: "Q5", category: "lc", path: "//VP//VP/NP//PP/IN" },
+            BenchQuery { id: "Q6", category: "lb", path: "//VP[//NP][//VB]//JJ" },
+        ],
+        Dataset::D5Dblp => [
+            BenchQuery { id: "Q1", category: "hc", path: "//phdthesis//author" },
+            BenchQuery { id: "Q2", category: "hb", path: "//phdthesis[//author][//school]" },
+            BenchQuery { id: "Q3", category: "mc", path: "//www[//url]" },
+            BenchQuery {
+                id: "Q4",
+                category: "mb",
+                path: "//www[//editor][//title][//year]",
+            },
+            BenchQuery { id: "Q5", category: "lc", path: "//proceedings[//editor]" },
+            BenchQuery {
+                id: "Q6",
+                category: "lb",
+                path: "//proceedings[//editor][//year][//url]",
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_queries_parse() {
+        for ds in Dataset::all() {
+            for q in queries(ds) {
+                blossom_xpath::parse_path(q.path)
+                    .unwrap_or_else(|e| panic!("{} {}: {e}", ds.name(), q.id));
+            }
+        }
+    }
+
+    #[test]
+    fn categories_follow_table2() {
+        for ds in Dataset::all() {
+            let cats: Vec<&str> = queries(ds).iter().map(|q| q.category).collect();
+            assert_eq!(cats, vec!["hc", "hb", "mc", "mb", "lc", "lb"], "{}", ds.name());
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! Decomposing a BlossomTree into interconnected NoK pattern trees
+//! (Algorithm 1 of the paper).
+//!
+//! Tree edges labelled with *local* axes (`/`, `following-sibling`) stay
+//! inside a NoK pattern tree; edges labelled with *global* axes (`//`,
+//! `following`) are cut and become structural joins. Crossing edges
+//! (value / `<<` / `deep-equal` joins from the `where` clause) are carried
+//! over with their endpoints re-addressed to `(nok, shape)` positions.
+
+use crate::shape::{Shape, ShapeId};
+use blossom_flwor::{BlossomTree, CrossRel};
+use blossom_xml::Axis;
+use blossom_xpath::pattern::{EdgeMode, PatternNodeId, PatternTree};
+use std::sync::Arc;
+
+/// One NoK pattern tree carved out of the BlossomTree.
+#[derive(Debug, Clone)]
+pub struct NokTree {
+    /// The NoK pattern: a fresh [`PatternTree`] whose virtual root has a
+    /// single child (local id 1) — the target of the cut edge. All
+    /// internal edges are local axes.
+    pub pattern: PatternTree,
+    /// For each local node id, the originating BlossomTree node id
+    /// (`orig[0]` is the virtual root and maps to the BlossomTree root).
+    pub orig: Vec<PatternNodeId>,
+    /// For each local node id, the shape position when the node is
+    /// returning.
+    pub shape_of: Vec<Option<ShapeId>>,
+}
+
+impl NokTree {
+    /// The local node id for an original BlossomTree node, if present.
+    pub fn local_of(&self, orig: PatternNodeId) -> Option<PatternNodeId> {
+        self.orig
+            .iter()
+            .position(|&o| o == orig)
+            .map(|i| PatternNodeId(i as u16))
+    }
+
+    /// The NoK root (always local id 1).
+    pub fn root(&self) -> PatternNodeId {
+        PatternNodeId(1)
+    }
+}
+
+/// A structural join edge between two NoK trees, produced by cutting a
+/// global-axis tree edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CutEdge {
+    /// NoK holding the parent endpoint.
+    pub parent_nok: usize,
+    /// Local id of the parent endpoint inside `parent_nok`.
+    pub parent_node: PatternNodeId,
+    /// NoK whose root is the child endpoint.
+    pub child_nok: usize,
+    /// The cut axis (always global: `//` or `following`).
+    pub axis: Axis,
+    /// Matching mode of the cut edge (`l` ⇒ the join is left-outer).
+    pub mode: EdgeMode,
+}
+
+/// A crossing-edge join with endpoints re-addressed to NoK + shape ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrossJoin {
+    /// Left endpoint.
+    pub left: (usize, ShapeId),
+    /// Right endpoint.
+    pub right: (usize, ShapeId),
+    /// The relationship.
+    pub rel: CrossRel,
+}
+
+/// The full decomposition result.
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    /// The shared returning-tree shape.
+    pub shape: Arc<Shape>,
+    /// The NoK pattern trees, in discovery (pre-order) order. NoK 0's
+    /// ancestors: roots of the BlossomTree appear before their cut
+    /// children.
+    pub noks: Vec<NokTree>,
+    /// NoKs that hang directly off the BlossomTree super-root, with the
+    /// axis connecting them to the document root.
+    pub roots: Vec<(usize, Axis)>,
+    /// Structural joins from cut tree edges.
+    pub cut_edges: Vec<CutEdge>,
+    /// Predicate joins from crossing edges.
+    pub crossing: Vec<CrossJoin>,
+}
+
+impl Decomposition {
+    /// Decompose `bt`. This is Algorithm 1: a depth-first traversal that
+    /// extends the current NoK along local-axis edges and opens a new NoK
+    /// (plus a [`CutEdge`]) at every global-axis edge.
+    ///
+    /// Both endpoints of every cut edge are marked returning first (the
+    /// paper assigns Dewey IDs to join nodes before decomposition,
+    /// Section 3.3), so structural joins can project them.
+    pub fn decompose(bt: &BlossomTree) -> Decomposition {
+        let mut bt = bt.clone();
+        // Edges from the super-root are not joins (anchors are filtered by
+        // the entry axis instead), so only true cut edges get marked.
+        let cut_endpoint_pairs: Vec<(PatternNodeId, PatternNodeId)> = bt
+            .pattern
+            .ids()
+            .skip(1)
+            .filter(|&id| !bt.pattern.node(id).axis.is_local())
+            .filter_map(|id| match bt.pattern.node(id).parent {
+                Some(p) if p != PatternNodeId::ROOT => Some((p, id)),
+                _ => None,
+            })
+            .collect();
+        for (parent, child) in cut_endpoint_pairs {
+            bt.pattern.set_returning(parent, true);
+            bt.pattern.set_returning(child, true);
+        }
+        bt.reassign_deweys();
+        let bt = &bt;
+        let shape = Shape::from_blossom(bt);
+        let mut noks: Vec<NokTree> = Vec::new();
+        let mut roots = Vec::new();
+        let mut cut_edges = Vec::new();
+        // Pending NoK seeds: (orig node, Some((parent nok, parent local)) | None for roots).
+        // Use a queue so NoKs are numbered in discovery order.
+        struct Seed {
+            orig: PatternNodeId,
+            parent: Option<(usize, PatternNodeId)>,
+        }
+        let mut seeds: std::collections::VecDeque<Seed> = bt
+            .pattern
+            .node(PatternNodeId::ROOT)
+            .children
+            .iter()
+            .map(|&c| Seed { orig: c, parent: None })
+            .collect();
+
+        while let Some(seed) = seeds.pop_front() {
+            let nok_idx = noks.len();
+            let seed_node = bt.pattern.node(seed.orig);
+            match seed.parent {
+                None => roots.push((nok_idx, seed_node.axis)),
+                Some((parent_nok, parent_node)) => cut_edges.push(CutEdge {
+                    parent_nok,
+                    parent_node,
+                    child_nok: nok_idx,
+                    axis: seed_node.axis,
+                    mode: seed_node.mode,
+                }),
+            }
+            // Build the NoK by DFS along local edges.
+            let mut pattern = PatternTree::new();
+            let mut orig = vec![PatternNodeId::ROOT];
+            let mut shape_of: Vec<Option<ShapeId>> = vec![None];
+            // (orig node, local parent) — the root enters with the virtual
+            // root as parent and a Child placeholder axis (the real entry
+            // axis lives on the cut edge / roots list).
+            let mut stack = vec![(seed.orig, PatternNodeId::ROOT, Axis::Child)];
+            while let Some((o, local_parent, axis)) = stack.pop() {
+                let on = bt.pattern.node(o);
+                let local =
+                    pattern.add_node(local_parent, axis, on.mode, on.test.clone());
+                if let Some(v) = &on.value {
+                    pattern.set_value(local, v.clone());
+                }
+                if on.returning {
+                    pattern.set_returning(local, true);
+                }
+                for var in &on.vars {
+                    pattern.set_var(local, var);
+                }
+                orig.push(o);
+                shape_of.push(shape.by_pattern(o));
+                debug_assert_eq!(orig.len() - 1, local.index());
+                // Children: local axes stay, global axes seed new NoKs.
+                // Reverse to keep pattern order on the stack.
+                for &c in on.children.iter().rev() {
+                    let cn = bt.pattern.node(c);
+                    if cn.axis.is_local() {
+                        stack.push((c, local, cn.axis));
+                    } else {
+                        seeds.push_back(Seed { orig: c, parent: Some((nok_idx, local)) });
+                    }
+                }
+            }
+            noks.push(NokTree { pattern, orig, shape_of });
+        }
+
+        // Fix up cut edges seeded before their parent NoK existed: seeds
+        // reference (nok_idx, local) captured at push time, which is valid
+        // because parents are always created before their seeds are popped.
+
+        // Crossing edges: locate each endpoint's NoK.
+        let locate = |orig: PatternNodeId| -> (usize, ShapeId) {
+            for (i, nok) in noks.iter().enumerate() {
+                if let Some(local) = nok.local_of(orig) {
+                    let sid = nok.shape_of[local.index()]
+                        .expect("crossing endpoints are returning");
+                    return (i, sid);
+                }
+            }
+            unreachable!("crossing endpoint not found in any NoK")
+        };
+        let crossing = bt
+            .crossing
+            .iter()
+            .map(|c| CrossJoin { left: locate(c.left), right: locate(c.right), rel: c.rel })
+            .collect();
+
+        Decomposition { shape, noks, roots, cut_edges, crossing }
+    }
+
+    /// Are all cut edges `//`-joins with mandatory mode (the prerequisite
+    /// for a fully pipelined plan, Theorem 2)?
+    pub fn pipelinable(&self) -> bool {
+        self.cut_edges
+            .iter()
+            .all(|e| e.axis == Axis::Descendant && e.mode == EdgeMode::Mandatory)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blossom_flwor::{parse_query, BlossomTree, Expr};
+    use blossom_xpath::ast::NodeTest;
+    use blossom_xpath::parse_path;
+
+    fn decompose_path(path: &str) -> Decomposition {
+        let p = parse_path(path).unwrap();
+        Decomposition::decompose(&BlossomTree::from_path(&p).unwrap())
+    }
+
+    fn decompose_flwor(q: &str) -> Decomposition {
+        let q = parse_query(q).unwrap();
+        let f = match q {
+            Expr::Flwor(f) => *f,
+            other => panic!("unexpected {other:?}"),
+        };
+        Decomposition::decompose(&BlossomTree::from_flwor(&f).unwrap())
+    }
+
+    #[test]
+    fn single_nok_for_local_only_path() {
+        let d = decompose_path("/a/b[c]/d");
+        assert_eq!(d.noks.len(), 1);
+        assert!(d.cut_edges.is_empty());
+        assert_eq!(d.roots, vec![(0, Axis::Child)]);
+        assert!(d.noks[0].pattern.is_nok());
+        // a, b, c, d + virtual root.
+        assert_eq!(d.noks[0].pattern.len(), 5);
+    }
+
+    #[test]
+    fn paper_section21_example() {
+        // doc("bib.xml")/book[//author="Smith"]/title decomposes into
+        // book/title and author[.="Smith"] NoKs (Section 2.1).
+        let d = decompose_path(r#"/book[//author="Smith"]/title"#);
+        assert_eq!(d.noks.len(), 2);
+        assert_eq!(d.cut_edges.len(), 1);
+        let cut = &d.cut_edges[0];
+        assert_eq!(cut.axis, Axis::Descendant);
+        assert_eq!(cut.parent_nok, 0);
+        assert_eq!(cut.child_nok, 1);
+        // Parent endpoint is the book node.
+        let parent_local = d.noks[0].pattern.node(cut.parent_node);
+        assert_eq!(parent_local.test, NodeTest::Name("book".into()));
+        // Child NoK root is author with the value constraint.
+        let author = d.noks[1].pattern.node(d.noks[1].root());
+        assert_eq!(author.test, NodeTest::Name("author".into()));
+        assert!(author.value.is_some());
+        assert!(d.pipelinable());
+    }
+
+    #[test]
+    fn chain_of_descendants() {
+        let d = decompose_path("//a//b//c");
+        assert_eq!(d.noks.len(), 3);
+        assert_eq!(d.cut_edges.len(), 2);
+        assert_eq!(d.roots, vec![(0, Axis::Descendant)]);
+        // Discovery order: a, b, c.
+        let tags: Vec<_> = d
+            .noks
+            .iter()
+            .map(|n| format!("{}", n.pattern.node(n.root()).test))
+            .collect();
+        assert_eq!(tags, vec!["a", "b", "c"]);
+        assert!(d.pipelinable());
+    }
+
+    #[test]
+    fn branching_query_q4_style() {
+        // //a/b[//c][//d][//e] — NoK(a/b) + three descendant NoKs.
+        let d = decompose_path("//a/b[//c][//d][//e]");
+        assert_eq!(d.noks.len(), 4);
+        assert_eq!(d.cut_edges.len(), 3);
+        // All three cuts hang off the same parent node (b in NoK 0).
+        let parents: Vec<_> =
+            d.cut_edges.iter().map(|e| (e.parent_nok, e.parent_node)).collect();
+        assert!(parents.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(d.noks[0].pattern.len(), 3); // root + a + b
+    }
+
+    #[test]
+    fn example1_decomposition() {
+        let d = decompose_flwor(
+            r#"for $book1 in doc("bib.xml")//book, $book2 in doc("bib.xml")//book
+               let $aut1 := $book1/author let $aut2 := $book2/author
+               where $book1 << $book2
+                 and not($book1/title = $book2/title)
+                 and deep-equal($aut1, $aut2)
+               return <p>{ $book1/title }{ $book2/title }</p>"#,
+        );
+        // Two NoKs (book,(author,title)) with no structural cut edges —
+        // both are roots; three crossing joins.
+        assert_eq!(d.noks.len(), 2);
+        assert!(d.cut_edges.is_empty());
+        assert_eq!(d.roots.len(), 2);
+        assert_eq!(d.crossing.len(), 3);
+        for nok in &d.noks {
+            assert_eq!(nok.pattern.len(), 4); // root + book + author + title
+            assert!(nok.pattern.is_nok());
+        }
+        // Crossing endpoints live in different NoKs.
+        for c in &d.crossing {
+            assert_ne!(c.left.0, c.right.0);
+        }
+        // << is between the two book blossoms.
+        let before = d
+            .crossing
+            .iter()
+            .find(|c| c.rel == CrossRel::Before)
+            .unwrap();
+        let l_shape = d.shape.node(before.left.1);
+        assert_eq!(l_shape.vars, vec!["book1".to_string()]);
+    }
+
+    #[test]
+    fn optional_cut_edge_mode() {
+        // let $a := $b//x makes the cut edge optional.
+        let d = decompose_flwor("for $b in //book let $a := $b//x return $a");
+        assert_eq!(d.noks.len(), 2); // the book NoK (a root) and the x NoK
+        assert_eq!(d.roots.len(), 1);
+        assert_eq!(d.cut_edges.len(), 1);
+        assert_eq!(d.cut_edges[0].mode, EdgeMode::Optional);
+        assert!(!d.pipelinable());
+    }
+
+    #[test]
+    fn shape_mapping_is_consistent() {
+        let d = decompose_path("//a[//b]//c");
+        for nok in &d.noks {
+            for id in nok.pattern.ids().skip(1) {
+                let returning = nok.pattern.node(id).returning;
+                assert_eq!(nok.shape_of[id.index()].is_some(), returning);
+            }
+        }
+        // c is returning in the query; a and b were additionally marked as
+        // join endpoints of the two cut edges.
+        let total_shape_positions: usize = d
+            .noks
+            .iter()
+            .flat_map(|n| n.shape_of.iter())
+            .filter(|s| s.is_some())
+            .count();
+        assert_eq!(total_shape_positions, 3);
+    }
+
+    #[test]
+    fn local_of_roundtrip() {
+        let d = decompose_path("//a/b[c]//d");
+        for nok in &d.noks {
+            for (i, &o) in nok.orig.iter().enumerate().skip(1) {
+                assert_eq!(nok.local_of(o), Some(PatternNodeId(i as u16)));
+            }
+        }
+    }
+}

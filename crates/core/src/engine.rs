@@ -1,0 +1,1475 @@
+//! The query engine: end-to-end evaluation of path and FLWOR queries.
+//!
+//! `Engine` owns one loaded document (tree + region labels + tag index +
+//! statistics) and evaluates queries under a chosen [`Strategy`]:
+//!
+//! * **Navigational** — AST tree-walking ([`crate::navigational`]); also
+//!   the naive FLWOR evaluation that re-runs path expressions per
+//!   iteration (the "straightforward approach" of the paper's
+//!   introduction).
+//! * **TwigStack** — holistic twig join per component (path queries).
+//! * **Pipelined / nested-loop** — the BlossomTree pipeline: decompose
+//!   into NoKs, match NoKs, reassemble with structural joins, apply
+//!   crossing-edge joins, extract tuples, construct results.
+
+use crate::decompose::{CutEdge, Decomposition};
+use crate::env::{self, EnvError, Tuple};
+use crate::join::nested_loop::{bounded_nlj, naive_nlj};
+use crate::join::pipelined::{PipelinedJoin, StreamItem};
+use crate::join::twigstack::{TwigError, TwigMatcher};
+use crate::navigational;
+use crate::nestedlist::NestedList;
+use crate::nok::NokMatcher;
+use crate::ops::{self, CrossPred};
+use crate::plan::{self, Plan, Strategy};
+use crate::shape::ShapeId;
+use blossom_flwor::{BlossomError, BlossomTree, BoolExpr, Comparison, Expr, Flwor, ValueOperand};
+use blossom_xml::fxhash::FxHashSet;
+use blossom_xml::{Axis, DocStats, Document, NodeId, TagIndex};
+use blossom_xpath::ast::{PathExpr, PathStart};
+use blossom_xpath::SyntaxError;
+use std::fmt;
+
+/// Anything that can go wrong while evaluating a query.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Lexing/parsing failed.
+    Syntax(SyntaxError),
+    /// BlossomTree construction failed.
+    Blossom(BlossomError),
+    /// TwigStack cannot evaluate this pattern.
+    Twig(TwigError),
+    /// Tuple extraction / construction failed.
+    Env(EnvError),
+    /// Anything else outside the supported subset.
+    Unsupported(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Syntax(e) => write!(f, "syntax error: {e}"),
+            EngineError::Blossom(e) => write!(f, "blossom error: {e}"),
+            EngineError::Twig(e) => write!(f, "twigstack error: {e}"),
+            EngineError::Env(e) => write!(f, "environment error: {e}"),
+            EngineError::Unsupported(s) => write!(f, "unsupported: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<SyntaxError> for EngineError {
+    fn from(e: SyntaxError) -> Self {
+        EngineError::Syntax(e)
+    }
+}
+
+impl From<BlossomError> for EngineError {
+    fn from(e: BlossomError) -> Self {
+        EngineError::Blossom(e)
+    }
+}
+
+impl From<TwigError> for EngineError {
+    fn from(e: TwigError) -> Self {
+        EngineError::Twig(e)
+    }
+}
+
+impl From<EnvError> for EngineError {
+    fn from(e: EnvError) -> Self {
+        EngineError::Env(e)
+    }
+}
+
+/// A naive-evaluator variable environment: bindings in scope order.
+type NaiveEnv = Vec<(String, Vec<NodeId>)>;
+
+/// A compiled path query: its BlossomTree and decomposition, cached per
+/// query text so repeated evaluations skip parsing and planning.
+struct CachedPlan {
+    path: PathExpr,
+    bt: BlossomTree,
+    decomposition: Decomposition,
+}
+
+/// A loaded document plus its access paths.
+pub struct Engine {
+    doc: Document,
+    index: TagIndex,
+    stats: DocStats,
+    /// Plan cache for [`Engine::eval_path_str`].
+    plans: parking_lot::Mutex<blossom_xml::fxhash::FxHashMap<String, std::sync::Arc<CachedPlan>>>,
+}
+
+impl Engine {
+    /// Load `doc`: builds the tag index and statistics.
+    pub fn new(doc: Document) -> Engine {
+        let index = TagIndex::build(&doc);
+        let stats = doc.stats();
+        Engine { doc, index, stats, plans: parking_lot::Mutex::new(Default::default()) }
+    }
+
+    /// Parse and load XML text.
+    pub fn from_xml(xml: &str) -> Result<Engine, blossom_xml::ParseError> {
+        Ok(Engine::new(Document::parse_str(xml)?))
+    }
+
+    /// The underlying document.
+    pub fn doc(&self) -> &Document {
+        &self.doc
+    }
+
+    /// The tag index.
+    pub fn index(&self) -> &TagIndex {
+        &self.index
+    }
+
+    /// Document statistics.
+    pub fn stats(&self) -> &DocStats {
+        &self.stats
+    }
+
+    /// The plan `Auto` resolves to for a path query.
+    pub fn explain_path(&self, query: &str) -> Result<Plan, EngineError> {
+        let path = blossom_xpath::parse_path(query)?;
+        if path.has_positional() || path.has_disjunction() {
+            return Ok(plan::choose(
+                &path,
+                &Decomposition::decompose(&BlossomTree::from_path(&strip(&path))?),
+                &self.stats,
+            ));
+        }
+        let bt = BlossomTree::from_path(&path)?;
+        let d = Decomposition::decompose(&bt);
+        Ok(plan::choose(&path, &d, &self.stats))
+    }
+
+    /// Evaluate a path query whose result is a *value* sequence: the
+    /// string values of the matched nodes, or — when the final step is an
+    /// attribute test like `//book/@year` — the attribute values. (Node
+    /// queries return ids via [`Engine::eval_path_str`]; attributes are
+    /// not nodes in this store, so they surface here as strings.)
+    pub fn eval_path_values(
+        &self,
+        query: &str,
+        strategy: Strategy,
+    ) -> Result<Vec<String>, EngineError> {
+        let path = blossom_xpath::parse_path(query)?;
+        if let Some((last, prefix)) = path.steps.split_last() {
+            if let blossom_xpath::ast::NodeTest::Attribute(name) = &last.test {
+                if last.axis != Axis::Child {
+                    return Err(EngineError::Unsupported(
+                        "attribute steps use the child axis".into(),
+                    ));
+                }
+                if !last.predicates.is_empty() {
+                    return Err(EngineError::Unsupported(
+                        "predicates on attribute steps".into(),
+                    ));
+                }
+                let owner_path = PathExpr { start: path.start.clone(), steps: prefix.to_vec() };
+                let owners = self.eval_path(&owner_path, strategy)?;
+                return Ok(owners
+                    .iter()
+                    .filter_map(|&n| self.doc.attribute(n, name).map(str::to_string))
+                    .collect());
+            }
+        }
+        // Reject attribute tests in non-final positions (they would match
+        // nothing and silently return empty).
+        if path
+            .steps
+            .iter()
+            .any(|s| matches!(s.test, blossom_xpath::ast::NodeTest::Attribute(_)))
+        {
+            return Err(EngineError::Unsupported(
+                "attribute steps are only supported as the final step".into(),
+            ));
+        }
+        Ok(self
+            .eval_path(&path, strategy)?
+            .iter()
+            .map(|&n| self.doc.string_value(n))
+            .collect())
+    }
+
+    /// Explain a full query (FLWOR or path): the BlossomTree, its NoK
+    /// decomposition, the join edges and the chosen strategy — the
+    /// "multiple plans for the optimizer" view of the paper's Section 6.
+    pub fn explain_query(&self, query: &str) -> Result<String, EngineError> {
+        use std::fmt::Write;
+        let expr = blossom_flwor::parse_query(query)?;
+        let flwor = match &expr {
+            Expr::Flwor(f) => Some(f.as_ref().clone()),
+            Expr::Constructor(c) => c.children.iter().find_map(|e| match e {
+                Expr::Flwor(f) => Some(f.as_ref().clone()),
+                _ => None,
+            }),
+            _ => None,
+        };
+        let bt = match &flwor {
+            Some(f) => match BlossomTree::from_flwor(f) {
+                Ok(bt) => bt,
+                Err(BlossomError::Unsupported(what)) => {
+                    return Ok(format!(
+                        "plan: naive per-iteration evaluation
+reason: {what}
+"
+                    ))
+                }
+                Err(e) => return Err(e.into()),
+            },
+            None => match &expr {
+                Expr::Path(p) => {
+                    let plan = self.explain_path(&p.to_string())?;
+                    return Ok(format!("plan: {}
+reason: {}
+", plan.strategy, plan.reason));
+                }
+                _ => {
+                    return Err(EngineError::Unsupported(
+                        "explain for constructor-only queries".into(),
+                    ))
+                }
+            },
+        };
+        let d = Decomposition::decompose(&bt);
+        let mut out = String::new();
+        let _ = writeln!(out, "BlossomTree ({} vertices):", bt.pattern.len());
+        let _ = write!(out, "{}", bt.pattern);
+        if !bt.crossing.is_empty() {
+            let _ = writeln!(out, "crossing edges:");
+            for edge in &bt.crossing {
+                let l = bt.dewey_of(edge.left).map(|d| d.to_string());
+                let r = bt.dewey_of(edge.right).map(|d| d.to_string());
+                let _ = writeln!(
+                    out,
+                    "  {} {} {}",
+                    l.unwrap_or_else(|| "?".into()),
+                    edge.rel,
+                    r.unwrap_or_else(|| "?".into())
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "decomposition: {} NoK tree(s), {} structural cut edge(s), pipelinable: {}",
+            d.noks.len(),
+            d.cut_edges.len(),
+            d.pipelinable()
+        );
+        for cut in &d.cut_edges {
+            let _ = writeln!(
+                out,
+                "  cut: NoK{} --{}--> NoK{} ({:?})",
+                cut.parent_nok, cut.axis, cut.child_nok, cut.mode
+            );
+        }
+        let strategy = if !plan::query_tags_recursive(&d, &self.stats) && d.pipelinable() {
+            Strategy::Pipelined
+        } else {
+            Strategy::BoundedNestedLoop
+        };
+        let _ = writeln!(out, "strategy: {strategy}");
+        Ok(out)
+    }
+
+    /// Evaluate a path query; result nodes are distinct and in document
+    /// order. Parsed queries and their decompositions are cached per
+    /// query text, so repeated evaluations skip planning.
+    pub fn eval_path_str(
+        &self,
+        query: &str,
+        strategy: Strategy,
+    ) -> Result<Vec<NodeId>, EngineError> {
+        if let Some(plan) = self.plans.lock().get(query).cloned() {
+            return self.eval_path_planned(&plan.path, &plan.bt, &plan.decomposition, strategy);
+        }
+        let path = blossom_xpath::parse_path(query)?;
+        if path.has_positional() || path.has_disjunction() {
+            // Outside the pattern algebra: no plan to cache.
+            return self.eval_path(&path, strategy);
+        }
+        let bt = BlossomTree::from_path(&path)?;
+        let decomposition = Decomposition::decompose(&bt);
+        let plan = std::sync::Arc::new(CachedPlan { path, bt, decomposition });
+        self.plans.lock().insert(query.to_string(), plan.clone());
+        self.eval_path_planned(&plan.path, &plan.bt, &plan.decomposition, strategy)
+    }
+
+    /// Number of cached plans (diagnostics).
+    pub fn cached_plan_count(&self) -> usize {
+        self.plans.lock().len()
+    }
+
+    /// Evaluate with a prebuilt plan.
+    fn eval_path_planned(
+        &self,
+        path: &PathExpr,
+        bt: &BlossomTree,
+        d: &Decomposition,
+        strategy: Strategy,
+    ) -> Result<Vec<NodeId>, EngineError> {
+        let strategy = match strategy {
+            Strategy::Auto => plan::choose(path, d, &self.stats).strategy,
+            s => s,
+        };
+        match strategy {
+            Strategy::Navigational => Ok(navigational::eval_path(&self.doc, path, &[])),
+            Strategy::TwigStack => self.eval_path_twigstack(path),
+            Strategy::PathStack => self.eval_path_pathstack(path),
+            Strategy::Pipelined | Strategy::BoundedNestedLoop | Strategy::NaiveNestedLoop => {
+                let output = bt.returning[0];
+                let results = self.eval_decomposition(d, strategy)?;
+                let out_shape =
+                    d.shape.by_pattern(output).expect("query output is returning");
+                let mut nodes = ops::project_seq_shape(&results, out_shape);
+                nodes.sort_unstable();
+                nodes.dedup();
+                Ok(nodes)
+            }
+            Strategy::Auto => unreachable!("resolved above"),
+        }
+    }
+
+    /// Evaluate a parsed path query.
+    pub fn eval_path(
+        &self,
+        path: &PathExpr,
+        strategy: Strategy,
+    ) -> Result<Vec<NodeId>, EngineError> {
+        let strategy = match strategy {
+            Strategy::Auto => {
+                if path.has_positional() || path.has_disjunction() {
+                    Strategy::Navigational
+                } else {
+                    let bt = BlossomTree::from_path(path)?;
+                    let d = Decomposition::decompose(&bt);
+                    plan::choose(path, &d, &self.stats).strategy
+                }
+            }
+            s => s,
+        };
+        match strategy {
+            Strategy::Navigational => Ok(navigational::eval_path(&self.doc, path, &[])),
+            Strategy::TwigStack => self.eval_path_twigstack(path),
+            Strategy::PathStack => self.eval_path_pathstack(path),
+            Strategy::Pipelined | Strategy::BoundedNestedLoop | Strategy::NaiveNestedLoop => {
+                let bt = BlossomTree::from_path(path)?;
+                let output = bt.returning[0];
+                let d = Decomposition::decompose(&bt);
+                let results = self.eval_decomposition(&d, strategy)?;
+                let out_shape = d
+                    .shape
+                    .by_pattern(output)
+                    .expect("query output is returning");
+                let mut nodes = ops::project_seq_shape(&results, out_shape);
+                nodes.sort_unstable();
+                nodes.dedup();
+                Ok(nodes)
+            }
+            Strategy::Auto => unreachable!("resolved above"),
+        }
+    }
+
+    fn eval_path_pathstack(&self, path: &PathExpr) -> Result<Vec<NodeId>, EngineError> {
+        use crate::join::pathstack::PathStackMatcher;
+        let bt = BlossomTree::from_path(path)?;
+        let output = bt.returning[0];
+        let roots = &bt.pattern.node(blossom_xpath::PatternNodeId::ROOT).children;
+        if roots.len() != 1 {
+            return Err(EngineError::Unsupported(
+                "PathStack evaluates single-chain path queries".into(),
+            ));
+        }
+        let root = roots[0];
+        let root_axis = bt.pattern.node(root).axis;
+        let mut m = PathStackMatcher::new(&self.doc, &self.index, &bt.pattern, root, root_axis)?;
+        m.run();
+        Ok(m.solution_nodes(output))
+    }
+
+    fn eval_path_twigstack(&self, path: &PathExpr) -> Result<Vec<NodeId>, EngineError> {
+        let bt = BlossomTree::from_path(path)?;
+        let output = bt.returning[0];
+        let roots = &bt.pattern.node(blossom_xpath::PatternNodeId::ROOT).children;
+        if roots.len() != 1 {
+            return Err(EngineError::Unsupported(
+                "TwigStack evaluates single-component path queries".into(),
+            ));
+        }
+        let root = roots[0];
+        let root_axis = bt.pattern.node(root).axis;
+        let mut tm = TwigMatcher::new(&self.doc, &self.index, &bt.pattern, root, root_axis)?;
+        tm.run();
+        Ok(tm.solution_nodes(output))
+    }
+
+    /// Evaluate a full query (FLWOR / constructor / path) and return the
+    /// result document.
+    pub fn eval_query_str(
+        &self,
+        query: &str,
+        strategy: Strategy,
+    ) -> Result<Document, EngineError> {
+        let expr = blossom_flwor::parse_query(query)?;
+        let mut builder = Document::builder();
+        match &expr {
+            Expr::Constructor(_) | Expr::Flwor(_) => {
+                let needs_wrapper = matches!(expr, Expr::Flwor(_));
+                if needs_wrapper {
+                    builder.start_element("result");
+                }
+                self.construct_expr(&mut builder, &expr, strategy)?;
+                if needs_wrapper {
+                    builder.end_element();
+                }
+            }
+            Expr::Path(p) => {
+                builder.start_element("result");
+                for n in self.eval_path(p, strategy)? {
+                    env::copy_subtree(&mut builder, &self.doc, n);
+                }
+                builder.end_element();
+            }
+            other => {
+                return Err(EngineError::Unsupported(format!(
+                    "top-level expression {other:?}"
+                )))
+            }
+        }
+        Ok(builder.finish())
+    }
+
+    fn construct_expr(
+        &self,
+        builder: &mut blossom_xml::TreeBuilder,
+        expr: &Expr,
+        strategy: Strategy,
+    ) -> Result<(), EngineError> {
+        match expr {
+            Expr::Text(t) => {
+                builder.text(t);
+                Ok(())
+            }
+            Expr::Sequence(items) => {
+                for item in items {
+                    self.construct_expr(builder, item, strategy)?;
+                }
+                Ok(())
+            }
+            Expr::Constructor(c) => {
+                builder.start_element(&c.name);
+                for (k, v) in &c.attrs {
+                    builder.attribute(k, v);
+                }
+                for child in &c.children {
+                    self.construct_expr(builder, child, strategy)?;
+                }
+                builder.end_element();
+                Ok(())
+            }
+            Expr::Path(p) => {
+                for n in self.eval_path(p, strategy)? {
+                    env::copy_subtree(builder, &self.doc, n);
+                }
+                Ok(())
+            }
+            Expr::Flwor(f) => self.eval_flwor_into(builder, f, strategy),
+        }
+    }
+
+    /// Evaluate a FLWOR and append each tuple's constructed result.
+    fn eval_flwor_into(
+        &self,
+        builder: &mut blossom_xml::TreeBuilder,
+        flwor: &Flwor,
+        strategy: Strategy,
+    ) -> Result<(), EngineError> {
+        if strategy == Strategy::Navigational {
+            return self.naive_flwor(builder, flwor);
+        }
+        let bt = match BlossomTree::from_flwor(flwor) {
+            Ok(bt) => bt,
+            Err(BlossomError::Unsupported(_)) if strategy == Strategy::Auto => {
+                // Outside the BlossomTree subset: fall back to the naive
+                // evaluator.
+                return self.naive_flwor(builder, flwor);
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let d = Decomposition::decompose(&bt);
+        let strategy = match strategy {
+            Strategy::Auto => {
+                if !self.stats.recursive && d.pipelinable() {
+                    Strategy::Pipelined
+                } else {
+                    Strategy::BoundedNestedLoop
+                }
+            }
+            s => s,
+        };
+        // Tuple extraction is per for-variable; a for-variable nested under
+        // a let-bound (optional) position cannot be unnested from grouped
+        // NestedLists — evaluate such queries with the naive engine.
+        let mut for_positions: FxHashSet<ShapeId> = FxHashSet::default();
+        for b in &flwor.bindings {
+            if b.kind == blossom_flwor::BindingKind::For {
+                if let Some(id) = d.shape.by_var(&b.var) {
+                    for_positions.insert(id);
+                }
+            }
+        }
+        for &id in &for_positions {
+            let mut cur = d.shape.node(id).parent;
+            loop {
+                if cur == 0 {
+                    break;
+                }
+                let node = d.shape.node(cur);
+                if node.optional {
+                    return self.naive_flwor(builder, flwor);
+                }
+                cur = node.parent;
+            }
+        }
+        let results = self.eval_decomposition(&d, strategy)?;
+        let mut tuples: Vec<Tuple> = results
+            .iter()
+            .flat_map(|nl| env::enumerate_tuples(nl, &for_positions))
+            .collect();
+        if !bt.order_by.is_empty() {
+            let keys: Vec<(ShapeId, blossom_flwor::SortOrder)> = bt
+                .order_by
+                .iter()
+                .zip(&flwor.order_by)
+                .map(|(&node, (_, direction))| {
+                    (
+                        d.shape.by_pattern(node).expect("order-by node is returning"),
+                        *direction,
+                    )
+                })
+                .collect();
+            env::order_tuples(&self.doc, &mut tuples, &keys);
+        }
+        for tuple in &tuples {
+            env::construct(builder, &self.doc, &d.shape, tuple, &flwor.ret)?;
+        }
+        Ok(())
+    }
+
+    /// Evaluate all NoKs + joins of a decomposition, returning the final
+    /// sequence of NestedLists.
+    fn eval_decomposition(
+        &self,
+        d: &Decomposition,
+        strategy: Strategy,
+    ) -> Result<Vec<NestedList>, EngineError> {
+        let matchers: Vec<NokMatcher<'_>> = d
+            .noks
+            .iter()
+            .map(|nok| NokMatcher::new(&self.doc, nok, d.shape.clone(), Some(&self.index)))
+            .collect();
+
+        // Component id per NoK (roots start components; cut edges attach).
+        let mut comp_of: Vec<usize> = vec![usize::MAX; d.noks.len()];
+        for (ci, &(nok, _)) in d.roots.iter().enumerate() {
+            comp_of[nok] = ci;
+        }
+        // Cut edges are in discovery order: parents resolve first.
+        for cut in &d.cut_edges {
+            comp_of[cut.child_nok] = comp_of[cut.parent_nok];
+        }
+        debug_assert!(comp_of.iter().all(|&c| c != usize::MAX));
+
+        // Evaluate each component — in parallel when there are several
+        // (Example 1's two //book iterations scan concurrently).
+        let component_results: Vec<Result<Vec<NestedList>, EngineError>> =
+            if d.roots.len() > 1 {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = d
+                        .roots
+                        .iter()
+                        .enumerate()
+                        .map(|(ci, &(root_nok, root_axis))| {
+                            let cuts: Vec<&CutEdge> = d
+                                .cut_edges
+                                .iter()
+                                .filter(|c| comp_of[c.child_nok] == ci)
+                                .collect();
+                            let matchers = &matchers;
+                            scope.spawn(move || {
+                                self.eval_component(
+                                    d, matchers, root_nok, root_axis, &cuts, strategy,
+                                )
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("component worker panicked"))
+                        .collect()
+                })
+            } else {
+                d.roots
+                    .iter()
+                    .enumerate()
+                    .map(|(ci, &(root_nok, root_axis))| {
+                        let cuts: Vec<&CutEdge> = d
+                            .cut_edges
+                            .iter()
+                            .filter(|c| comp_of[c.child_nok] == ci)
+                            .collect();
+                        self.eval_component(d, &matchers, root_nok, root_axis, &cuts, strategy)
+                    })
+                    .collect()
+            };
+        let mut groups: Vec<(FxHashSet<usize>, Vec<NestedList>)> = Vec::new();
+        for (ci, results) in component_results.into_iter().enumerate() {
+            let mut set = FxHashSet::default();
+            set.insert(ci);
+            groups.push((set, results?));
+        }
+
+        // Crossing-edge predicates.
+        let mut pending: Vec<(usize, usize, CrossPred)> = d
+            .crossing
+            .iter()
+            .map(|c| {
+                (
+                    comp_of[c.left.0],
+                    comp_of[c.right.0],
+                    CrossPred { left: c.left.1, rel: c.rel, right: c.right.1 },
+                )
+            })
+            .collect();
+        while !pending.is_empty() {
+            let (lc, rc, _) = pending[0];
+            let li = groups.iter().position(|(s, _)| s.contains(&lc)).unwrap();
+            let ri = groups.iter().position(|(s, _)| s.contains(&rc)).unwrap();
+            if li == ri {
+                // Intra-group predicates: plain filters.
+                let preds: Vec<CrossPred> = drain_matching(&mut pending, |(l, r, _)| {
+                    let s = &groups[li].0;
+                    s.contains(l) && s.contains(r)
+                })
+                .into_iter()
+                .map(|(_, _, p)| p)
+                .collect();
+                for p in preds {
+                    groups[li].1 = ops::filter_cross(
+                        &self.doc,
+                        std::mem::take(&mut groups[li].1),
+                        &p,
+                    );
+                }
+            } else {
+                // Join the two groups on every predicate between them.
+                let preds: Vec<CrossPred> = drain_matching(&mut pending, |(l, r, _)| {
+                    let (sl, sr) = (&groups[li].0, &groups[ri].0);
+                    (sl.contains(l) && sr.contains(r)) || (sr.contains(l) && sl.contains(r))
+                })
+                .into_iter()
+                .map(|(_, _, p)| p)
+                .collect();
+                let (hi, lo) = if li > ri { (li, ri) } else { (ri, li) };
+                let (set_b, right) = groups.remove(hi);
+                let (set_a, left) = groups.remove(lo);
+                let joined = ops::theta_join(&self.doc, &left, &right, &preds);
+                let mut set = set_a;
+                set.extend(set_b);
+                groups.push((set, joined));
+            }
+        }
+
+        // Remaining disconnected groups: Cartesian product.
+        while groups.len() > 1 {
+            let (set_b, right) = groups.pop().unwrap();
+            let (set_a, left) = groups.pop().unwrap();
+            let joined = ops::theta_join(&self.doc, &left, &right, &[]);
+            let mut set = set_a;
+            set.extend(set_b);
+            groups.push((set, joined));
+        }
+        Ok(groups.pop().map(|(_, r)| r).unwrap_or_default())
+    }
+
+    /// Evaluate one component: root NoK anchors, then one structural join
+    /// per cut edge (in discovery order, so parents are always joined
+    /// before their children).
+    fn eval_component(
+        &self,
+        d: &Decomposition,
+        matchers: &[NokMatcher<'_>],
+        root_nok: usize,
+        root_axis: Axis,
+        cuts: &[&CutEdge],
+        strategy: Strategy,
+    ) -> Result<Vec<NestedList>, EngineError> {
+        let level_ok = |anchor: NodeId| -> bool {
+            root_axis != Axis::Child || self.doc.level(anchor) == 1
+        };
+        // Cost-based join ordering: selective children first, within the
+        // topological constraint.
+        let cuts = plan::order_cut_edges(d, root_nok, cuts, &self.index, &self.doc);
+        let cuts = &cuts[..];
+        // The pipelined join's discard rule assumes descendant containment;
+        // `following`-joins are not order-preserving (Section 4.3), so a
+        // component containing one is evaluated with nested loops instead.
+        let strategy = if strategy == Strategy::Pipelined
+            && cuts.iter().any(|c| c.axis != Axis::Descendant)
+        {
+            Strategy::NaiveNestedLoop
+        } else {
+            strategy
+        };
+        match strategy {
+            Strategy::Pipelined => {
+                let mut current: Box<dyn Iterator<Item = StreamItem> + '_> = {
+                    let mut stream = matchers[root_nok].stream();
+                    Box::new(
+                        std::iter::from_fn(move || stream.get_next())
+                            .filter(move |&(a, _)| level_ok(a)),
+                    )
+                };
+                for cut in cuts {
+                    let mut right = matchers[cut.child_nok].stream();
+                    current = Box::new(PipelinedJoin::new(
+                        &self.doc,
+                        current,
+                        std::iter::from_fn(move || right.get_next()),
+                        &d.noks,
+                        cut,
+                    ));
+                }
+                Ok(current.map(|(_, nl)| nl).collect())
+            }
+            Strategy::BoundedNestedLoop | Strategy::NaiveNestedLoop => {
+                let mut left: Vec<NestedList> = {
+                    let mut stream = matchers[root_nok].stream();
+                    std::iter::from_fn(move || stream.get_next())
+                        .filter(|&(a, _)| level_ok(a))
+                        .map(|(_, nl)| nl)
+                        .collect()
+                };
+                for cut in cuts {
+                    let inner = &matchers[cut.child_nok];
+                    left = if strategy == Strategy::BoundedNestedLoop
+                        && cut.axis == Axis::Descendant
+                    {
+                        bounded_nlj(&self.doc, left, inner, &d.noks, cut)
+                    } else {
+                        naive_nlj(&self.doc, left, inner, &d.noks, cut)
+                    };
+                }
+                Ok(left)
+            }
+            other => Err(EngineError::Unsupported(format!(
+                "strategy {other} cannot drive the NoK pipeline"
+            ))),
+        }
+    }
+
+    /// The naive FLWOR evaluation the paper's introduction warns about:
+    /// nested loops over the bindings, re-evaluating every path
+    /// navigationally per iteration. Serves as the oracle.
+    pub fn naive_flwor(
+        &self,
+        builder: &mut blossom_xml::TreeBuilder,
+        flwor: &Flwor,
+    ) -> Result<(), EngineError> {
+        for e in self.naive_envs(flwor, &[])? {
+            self.naive_construct(builder, &flwor.ret, &e)?;
+        }
+        Ok(())
+    }
+
+    /// Produce the tuple environments of a FLWOR over a base environment
+    /// (non-empty for correlated nested FLWORs), sorted by the order-by
+    /// key when present.
+    fn naive_envs(
+        &self,
+        flwor: &Flwor,
+        base: &[(String, Vec<NodeId>)],
+    ) -> Result<Vec<NaiveEnv>, EngineError> {
+        let mut env: NaiveEnv = base.to_vec();
+        let mut envs: Vec<NaiveEnv> = Vec::new();
+        self.naive_bind(&mut envs, flwor, 0, &mut env)?;
+        if !flwor.order_by.is_empty() {
+            let mut keyed: Vec<(Vec<String>, NaiveEnv)> = Vec::new();
+            for e in envs {
+                let mut keys = Vec::with_capacity(flwor.order_by.len());
+                for (ob, _) in &flwor.order_by {
+                    keys.push(
+                        self.resolve_path(ob, &e)?
+                            .first()
+                            .map(|&n| self.doc.string_value(n))
+                            .unwrap_or_default(),
+                    );
+                }
+                keyed.push((keys, e));
+            }
+            keyed.sort_by(|a, b| {
+                for (i, (_, direction)) in flwor.order_by.iter().enumerate() {
+                    let ord = a.0[i].cmp(&b.0[i]);
+                    let ord = if *direction == blossom_flwor::SortOrder::Descending {
+                        ord.reverse()
+                    } else {
+                        ord
+                    };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            envs = keyed.into_iter().map(|(_, e)| e).collect();
+        }
+        Ok(envs)
+    }
+
+    fn resolve_path(
+        &self,
+        path: &PathExpr,
+        env: &[(String, Vec<NodeId>)],
+    ) -> Result<Vec<NodeId>, EngineError> {
+        match &path.start {
+            PathStart::Variable(v) => {
+                let bound = env
+                    .iter()
+                    .rev()
+                    .find(|(name, _)| name == v)
+                    .map(|(_, nodes)| nodes.clone())
+                    .ok_or_else(|| EngineError::Env(EnvError::UnboundVariable(v.clone())))?;
+                if path.steps.is_empty() {
+                    Ok(bound)
+                } else {
+                    Ok(navigational::eval_from(&self.doc, &path.steps, &bound))
+                }
+            }
+            _ => Ok(navigational::eval_path(&self.doc, path, &[])),
+        }
+    }
+
+    fn naive_bind(
+        &self,
+        envs: &mut Vec<NaiveEnv>,
+        flwor: &Flwor,
+        binding_idx: usize,
+        env: &mut Vec<(String, Vec<NodeId>)>,
+    ) -> Result<(), EngineError> {
+        if binding_idx == flwor.bindings.len() {
+            if let Some(w) = &flwor.where_clause {
+                if !self.naive_where(w, env)? {
+                    return Ok(());
+                }
+            }
+            envs.push(env.clone());
+            return Ok(());
+        }
+        let binding = &flwor.bindings[binding_idx];
+        let nodes = self.resolve_path(&binding.path, env)?;
+        match binding.kind {
+            blossom_flwor::BindingKind::For => {
+                for n in nodes {
+                    env.push((binding.var.clone(), vec![n]));
+                    self.naive_bind(envs, flwor, binding_idx + 1, env)?;
+                    env.pop();
+                }
+                Ok(())
+            }
+            blossom_flwor::BindingKind::Let => {
+                env.push((binding.var.clone(), nodes));
+                self.naive_bind(envs, flwor, binding_idx + 1, env)?;
+                env.pop();
+                Ok(())
+            }
+        }
+    }
+
+    fn naive_where(
+        &self,
+        expr: &BoolExpr,
+        env: &[(String, Vec<NodeId>)],
+    ) -> Result<bool, EngineError> {
+        match expr {
+            BoolExpr::And(a, b) => Ok(self.naive_where(a, env)? && self.naive_where(b, env)?),
+            BoolExpr::Or(a, b) => Ok(self.naive_where(a, env)? || self.naive_where(b, env)?),
+            BoolExpr::Not(e) => Ok(!self.naive_where(e, env)?),
+            BoolExpr::Comparison(c) => match c {
+                Comparison::NodeOrder { left, before, right } => {
+                    let l = self.resolve_path(left, env)?;
+                    let r = self.resolve_path(right, env)?;
+                    match (l.first(), r.first()) {
+                        (Some(&ln), Some(&rn)) => {
+                            Ok(if *before {
+                                self.doc.before(ln, rn)
+                            } else {
+                                self.doc.before(rn, ln)
+                            })
+                        }
+                        _ => Ok(false),
+                    }
+                }
+                Comparison::Value { left, op, right } => {
+                    let l = self.resolve_path(left, env)?;
+                    match right {
+                        ValueOperand::Literal(lit) => Ok(l.iter().any(|&n| {
+                            crate::value::node_vs_literal(&self.doc, n, *op, lit)
+                        })),
+                        ValueOperand::Path(rp) => {
+                            let r = self.resolve_path(rp, env)?;
+                            Ok(crate::value::sequences_compare(&self.doc, &l, *op, &r))
+                        }
+                    }
+                }
+                Comparison::DeepEqual { left, right } => {
+                    let l = self.resolve_path(left, env)?;
+                    let r = self.resolve_path(right, env)?;
+                    Ok(crate::value::sequences_deep_equal(&self.doc, &l, &r))
+                }
+                Comparison::NodeIdentity { left, same, right } => {
+                    let l = self.resolve_path(left, env)?;
+                    let r = self.resolve_path(right, env)?;
+                    Ok(match (l.first(), r.first()) {
+                        (Some(&ln), Some(&rn)) => (ln == rn) == *same,
+                        _ => false,
+                    })
+                }
+                Comparison::Count { path, op, value } => {
+                    let n = self.resolve_path(path, env)?.len() as f64;
+                    Ok(op.eval(n.partial_cmp(value).unwrap_or(std::cmp::Ordering::Equal)))
+                }
+                Comparison::Exists { path, exists } => {
+                    let n = self.resolve_path(path, env)?.len();
+                    Ok((n > 0) == *exists)
+                }
+            },
+        }
+    }
+
+    fn naive_construct(
+        &self,
+        builder: &mut blossom_xml::TreeBuilder,
+        expr: &Expr,
+        env: &[(String, Vec<NodeId>)],
+    ) -> Result<(), EngineError> {
+        match expr {
+            Expr::Text(t) => {
+                builder.text(t);
+                Ok(())
+            }
+            Expr::Sequence(items) => {
+                for i in items {
+                    self.naive_construct(builder, i, env)?;
+                }
+                Ok(())
+            }
+            Expr::Constructor(c) => {
+                builder.start_element(&c.name);
+                for (k, v) in &c.attrs {
+                    builder.attribute(k, v);
+                }
+                for child in &c.children {
+                    self.naive_construct(builder, child, env)?;
+                }
+                builder.end_element();
+                Ok(())
+            }
+            Expr::Path(p) => {
+                for n in self.resolve_path(p, env)? {
+                    env::copy_subtree(builder, &self.doc, n);
+                }
+                Ok(())
+            }
+            // A nested FLWOR is a correlated subquery: it sees the outer
+            // environment (an extension beyond the paper's grammar, only
+            // supported by the naive evaluator).
+            Expr::Flwor(inner) => {
+                for e in self.naive_envs(inner, env)? {
+                    self.naive_construct(builder, &inner.ret, &e)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Remove and return the elements of `v` matching `pred`.
+fn drain_matching<T, F: Fn(&T) -> bool>(v: &mut Vec<T>, pred: F) -> Vec<T> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < v.len() {
+        if pred(&v[i]) {
+            out.push(v.remove(i));
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Strip predicates from a path (used only to produce a plan explanation
+/// for queries the pattern algebra rejects).
+fn strip(path: &PathExpr) -> PathExpr {
+    let mut p = path.clone();
+    for s in &mut p.steps {
+        s.predicates.clear();
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blossom_xml::writer;
+
+    const BIB: &str = r#"<bib>
+        <book><title>Maximum Security</title></book>
+        <book><title>The Art of Computer Programming</title>
+              <author><last>Knuth</last><first>Donald</first></author></book>
+        <book><title>Terrorist Hunter</title></book>
+        <book><title>TeX Book</title>
+              <author><last>Knuth</last><first>Donald</first></author></book>
+    </bib>"#;
+
+    const EXAMPLE1: &str = r#"<bib>{
+        for $book1 in doc("bib.xml")//book,
+            $book2 in doc("bib.xml")//book
+        let $aut1 := $book1/author
+        let $aut2 := $book2/author
+        where $book1 << $book2
+          and not($book1/title = $book2/title)
+          and deep-equal($aut1, $aut2)
+        return <book-pair>{ $book1/title }{ $book2/title }</book-pair>
+    }</bib>"#;
+
+    fn all_strategies() -> [Strategy; 4] {
+        [
+            Strategy::Navigational,
+            Strategy::Pipelined,
+            Strategy::BoundedNestedLoop,
+            Strategy::NaiveNestedLoop,
+        ]
+    }
+
+    #[test]
+    fn example1_reproduces_example2_output() {
+        let engine = Engine::from_xml(BIB).unwrap();
+        // Both the naive evaluator and the BlossomTree pipeline must
+        // produce the paper's Example 2 result (modulo the "Hunger" typo
+        // in the paper's expected output, which we take as "Hunter").
+        for strategy in [
+            Strategy::Navigational,
+            Strategy::Pipelined,
+            Strategy::BoundedNestedLoop,
+            Strategy::Auto,
+        ] {
+            let result = engine.eval_query_str(EXAMPLE1, strategy).unwrap();
+            let text = writer::to_string(&result);
+            assert_eq!(
+                text,
+                "<bib><book-pair><title>Maximum Security</title><title>Terrorist Hunter</title>\
+                 </book-pair><book-pair><title>The Art of Computer Programming</title>\
+                 <title>TeX Book</title></book-pair></bib>",
+                "strategy {strategy}"
+            );
+        }
+    }
+
+    #[test]
+    fn path_strategies_agree() {
+        let engine = Engine::from_xml(BIB).unwrap();
+        for q in [
+            "//book/title",
+            "//book[author]//last",
+            "//book[//last]/title",
+            "/bib/book/author",
+            "//author//first",
+        ] {
+            let expected = engine.eval_path_str(q, Strategy::Navigational).unwrap();
+            for s in [
+                Strategy::Pipelined,
+                Strategy::BoundedNestedLoop,
+                Strategy::NaiveNestedLoop,
+                Strategy::TwigStack,
+                Strategy::Auto,
+            ] {
+                let got = engine.eval_path_str(q, s).unwrap();
+                assert_eq!(got, expected, "query {q} strategy {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn path_strategies_agree_on_recursive_doc() {
+        let engine =
+            Engine::from_xml("<a><b/><a><b/><a><b/><c/></a></a><c/></a>").unwrap();
+        for q in ["//a//b", "//a[//c]//b", "//a/b", "//a[//b][//c]"] {
+            let expected = engine.eval_path_str(q, Strategy::Navigational).unwrap();
+            for s in [
+                Strategy::TwigStack,
+                Strategy::BoundedNestedLoop,
+                Strategy::NaiveNestedLoop,
+                Strategy::Auto,
+            ] {
+                let got = engine.eval_path_str(q, s).unwrap();
+                assert_eq!(got, expected, "query {q} strategy {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_plan_explanations() {
+        let flat = Engine::from_xml("<r><a><b/></a></r>").unwrap();
+        assert_eq!(flat.explain_path("//a//b").unwrap().strategy, Strategy::Pipelined);
+        let rec = Engine::from_xml("<a><a><b/></a></a>").unwrap();
+        assert_eq!(rec.explain_path("//a//b").unwrap().strategy, Strategy::TwigStack);
+        assert_eq!(
+            rec.explain_path("//a[1]").unwrap().strategy,
+            Strategy::Navigational
+        );
+    }
+
+    #[test]
+    fn flwor_with_order_by() {
+        let engine = Engine::from_xml(
+            "<bib><book><title>zeta</title></book><book><title>alpha</title></book></bib>",
+        )
+        .unwrap();
+        for s in all_strategies() {
+            let out = engine
+                .eval_query_str(
+                    "for $b in //book order by $b/title return <t>{$b/title}</t>",
+                    s,
+                )
+                .unwrap();
+            let text = writer::to_string(&out);
+            assert_eq!(
+                text,
+                "<result><t><title>alpha</title></t><t><title>zeta</title></t></result>",
+                "strategy {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn flwor_nested_for() {
+        let engine = Engine::from_xml(
+            "<bib><book><title>A</title><author>x</author><author>y</author></book>\
+             <book><title>B</title><author>z</author></book></bib>",
+        )
+        .unwrap();
+        for s in all_strategies() {
+            let out = engine
+                .eval_query_str(
+                    "for $b in //book for $a in $b/author return <p>{$a}</p>",
+                    s,
+                )
+                .unwrap();
+            let text = writer::to_string(&out);
+            assert_eq!(
+                text,
+                "<result><p><author>x</author></p><p><author>y</author></p>\
+                 <p><author>z</author></p></result>",
+                "strategy {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn flwor_where_literal() {
+        let engine = Engine::from_xml(
+            "<bib><book><title>A</title><price>10</price></book>\
+             <book><title>B</title><price>99</price></book></bib>",
+        )
+        .unwrap();
+        for s in all_strategies() {
+            let out = engine
+                .eval_query_str(
+                    "for $b in //book where $b/price < 50 return $b/title",
+                    s,
+                )
+                .unwrap();
+            assert_eq!(
+                writer::to_string(&out),
+                "<result><title>A</title></result>",
+                "strategy {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn bare_path_query_wraps_results() {
+        let engine = Engine::from_xml("<r><a>1</a><a>2</a></r>").unwrap();
+        let out = engine.eval_query_str("//a", Strategy::Auto).unwrap();
+        assert_eq!(writer::to_string(&out), "<result><a>1</a><a>2</a></result>");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let engine = Engine::from_xml("<r/>").unwrap();
+        assert!(engine.eval_path_str("//a[", Strategy::Auto).is_err());
+        assert!(engine
+            .eval_path_str("//a[2]", Strategy::TwigStack)
+            .is_err());
+        // An unbound variable only errors when an iteration reaches it.
+        let engine2 = Engine::from_xml("<r><x/></r>").unwrap();
+        assert!(engine2
+            .eval_query_str("for $a in //x return $zzz", Strategy::Navigational)
+            .is_err());
+        assert!(engine
+            .eval_query_str("for $a in //x return $zzz", Strategy::Navigational)
+            .is_ok());
+    }
+
+    #[test]
+    fn cartesian_product_of_unrelated_bindings() {
+        let engine = Engine::from_xml("<r><a>1</a><a>2</a><b>3</b></r>").unwrap();
+        for s in all_strategies() {
+            let out = engine
+                .eval_query_str(
+                    "for $x in //a, $y in //b return <p>{$x}{$y}</p>",
+                    s,
+                )
+                .unwrap();
+            assert_eq!(
+                writer::to_string(&out),
+                "<result><p><a>1</a><b>3</b></p><p><a>2</a><b>3</b></p></result>",
+                "strategy {s}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod nested_flwor_tests {
+    use super::*;
+    use blossom_xml::writer;
+
+    #[test]
+    fn correlated_nested_flwor() {
+        let engine = Engine::from_xml(
+            "<bib><book><title>A</title><author>x</author><author>y</author></book>\
+             <book><title>B</title><author>z</author></book></bib>",
+        )
+        .unwrap();
+        // Inner FLWOR iterates the outer book's authors.
+        let out = engine
+            .eval_query_str(
+                "for $b in //book return <entry>{$b/title}\
+                 { for $a in $b/author order by $a return <by>{$a}</by> }</entry>",
+                Strategy::Navigational,
+            )
+            .unwrap();
+        assert_eq!(
+            writer::to_string(&out),
+            "<result><entry><title>A</title><by><author>x</author></by>\
+             <by><author>y</author></by></entry>\
+             <entry><title>B</title><by><author>z</author></by></entry></result>"
+        );
+    }
+
+    #[test]
+    fn auto_falls_back_to_naive_for_nested_flwor() {
+        let engine =
+            Engine::from_xml("<r><a><b>1</b></a><a><b>2</b></a></r>").unwrap();
+        let out = engine
+            .eval_query_str(
+                "for $x in //a return <o>{ for $y in $x/b return <i>{$y}</i> }</o>",
+                Strategy::Auto,
+            )
+            .unwrap();
+        assert_eq!(
+            writer::to_string(&out),
+            "<result><o><i><b>1</b></i></o><o><i><b>2</b></i></o></result>"
+        );
+    }
+}
+
+#[cfg(test)]
+mod for_under_let_tests {
+    use super::*;
+    use blossom_xml::writer;
+
+    /// `for` over a let-bound sequence must iterate per item; the
+    /// BlossomTree pipeline detects the nesting and delegates to the
+    /// naive evaluator.
+    #[test]
+    fn for_under_let_matches_naive() {
+        let engine = Engine::from_xml(
+            "<r><a><b><c>1</c><c>2</c></b></a><a><b><c>3</c></b></a></r>",
+        )
+        .unwrap();
+        let query =
+            "for $x in //a let $y := $x/b for $z in $y/c return <i>{$z}</i>";
+        let naive = engine.eval_query_str(query, Strategy::Navigational).unwrap();
+        assert_eq!(
+            writer::to_string(&naive),
+            "<result><i><c>1</c></i><i><c>2</c></i><i><c>3</c></i></result>"
+        );
+        for strategy in [
+            Strategy::Pipelined,
+            Strategy::BoundedNestedLoop,
+            Strategy::Auto,
+        ] {
+            let got = engine.eval_query_str(query, strategy).unwrap();
+            assert_eq!(
+                writer::to_string(&got),
+                writer::to_string(&naive),
+                "strategy {strategy}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod plan_cache_tests {
+    use super::*;
+
+    #[test]
+    fn repeated_queries_hit_the_cache() {
+        let engine = Engine::from_xml("<r><a><b/></a><a/></r>").unwrap();
+        assert_eq!(engine.cached_plan_count(), 0);
+        let first = engine.eval_path_str("//a/b", Strategy::Auto).unwrap();
+        assert_eq!(engine.cached_plan_count(), 1);
+        let second = engine.eval_path_str("//a/b", Strategy::Auto).unwrap();
+        assert_eq!(engine.cached_plan_count(), 1);
+        assert_eq!(first, second);
+        // A different strategy reuses the same cached plan.
+        let third = engine.eval_path_str("//a/b", Strategy::Navigational).unwrap();
+        assert_eq!(first, third);
+        assert_eq!(engine.cached_plan_count(), 1);
+        // Queries outside the pattern algebra are not cached.
+        engine.eval_path_str("//a[1]", Strategy::Auto).unwrap();
+        assert_eq!(engine.cached_plan_count(), 1);
+    }
+}
+
+#[cfg(test)]
+mod sort_order_tests {
+    use super::*;
+    use blossom_xml::writer;
+
+    #[test]
+    fn descending_order_by() {
+        let engine = Engine::from_xml(
+            "<bib><book><t>m</t></book><book><t>a</t></book><book><t>z</t></book></bib>",
+        )
+        .unwrap();
+        let query = "for $b in //book order by $b/t descending return $b/t";
+        for strategy in [
+            Strategy::Navigational,
+            Strategy::Pipelined,
+            Strategy::BoundedNestedLoop,
+        ] {
+            let out = engine.eval_query_str(query, strategy).unwrap();
+            assert_eq!(
+                writer::to_string(&out),
+                "<result><t>z</t><t>m</t><t>a</t></result>",
+                "strategy {strategy}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod explain_tests {
+    use super::*;
+
+    #[test]
+    fn explain_flwor_reports_plan() {
+        let engine = Engine::from_xml(
+            "<bib><book><title>t</title><author>a</author></book></bib>",
+        )
+        .unwrap();
+        let report = engine
+            .explain_query(
+                r#"for $b1 in //book, $b2 in //book
+                   where $b1 << $b2 and deep-equal($b1/author, $b2/author)
+                   return <p>{$b1/title}</p>"#,
+            )
+            .unwrap();
+        assert!(report.contains("BlossomTree"), "{report}");
+        assert!(report.contains("crossing edges:"), "{report}");
+        assert!(report.contains("<<"), "{report}");
+        assert!(report.contains("2 NoK tree(s)"), "{report}");
+        assert!(report.contains("strategy:"), "{report}");
+    }
+
+    #[test]
+    fn explain_falls_back_for_unsupported_where() {
+        let engine = Engine::from_xml("<r><a><b/></a></r>").unwrap();
+        let report = engine
+            .explain_query("for $x in //a where count($x/b) > 0 return $x")
+            .unwrap();
+        assert!(report.contains("naive per-iteration"), "{report}");
+    }
+
+    #[test]
+    fn explain_path_query_via_explain_query() {
+        let engine = Engine::from_xml("<r><a><b/></a></r>").unwrap();
+        let report = engine.explain_query("//a//b").unwrap();
+        assert!(report.contains("pipelined"), "{report}");
+    }
+}
+
+#[cfg(test)]
+mod value_query_tests {
+    use super::*;
+
+    #[test]
+    fn attribute_and_string_values() {
+        let engine = Engine::from_xml(
+            r#"<bib><book year="1994"><title>TCP/IP</title></book>
+               <book year="2000"><title>Data</title></book>
+               <book><title>NoYear</title></book></bib>"#,
+        )
+        .unwrap();
+        let years = engine
+            .eval_path_values("//book/@year", Strategy::Auto)
+            .unwrap();
+        assert_eq!(years, vec!["1994", "2000"]);
+        let titles = engine
+            .eval_path_values("//book/title", Strategy::Auto)
+            .unwrap();
+        assert_eq!(titles, vec!["TCP/IP", "Data", "NoYear"]);
+        // Filtered owners.
+        let filtered = engine
+            .eval_path_values(r#"//book[title = "Data"]/@year"#, Strategy::Auto)
+            .unwrap();
+        assert_eq!(filtered, vec!["2000"]);
+        // Attribute mid-path is rejected, not silently empty.
+        assert!(engine
+            .eval_path_values("//@year/title", Strategy::Auto)
+            .is_err());
+    }
+}
+
+#[cfg(test)]
+mod multi_key_order_tests {
+    use super::*;
+    use blossom_xml::writer;
+
+    #[test]
+    fn two_keys_with_mixed_directions() {
+        let engine = Engine::from_xml(
+            "<r><i><g>2</g><n>b</n></i><i><g>1</g><n>z</n></i>\
+             <i><g>2</g><n>a</n></i><i><g>1</g><n>y</n></i></r>",
+        )
+        .unwrap();
+        let query = "for $i in //i order by $i/g descending, $i/n return <o>{$i/n}</o>";
+        let expected = "<result><o><n>a</n></o><o><n>b</n></o>\
+                        <o><n>y</n></o><o><n>z</n></o></result>";
+        for strategy in [
+            Strategy::Navigational,
+            Strategy::Pipelined,
+            Strategy::BoundedNestedLoop,
+        ] {
+            let out = engine.eval_query_str(query, strategy).unwrap();
+            assert_eq!(writer::to_string(&out), expected, "strategy {strategy}");
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Physical join operators (Sections 4.2–4.3).
+//!
+//! * [`pipelined`] — the merge-style `GetNext` //-join of Section 4.2:
+//!   streaming, no materialization, order-preserving on non-recursive
+//!   documents (Theorem 2).
+//! * [`nested_loop`] — the naive nested-loop join and the *bounded*
+//!   nested-loop join (BNLJ) of Section 4.3, which rescans the inner NoK
+//!   only inside the `(p1, p2)` subtree range of each outer match.
+//! * [`twigstack`] — the holistic twig join of Bruno et al. (the paper's
+//!   TS baseline), over tag-index streams with per-pattern-node stacks.
+//! * [`pathstack`] — PathStack, the chain-pattern holistic join that
+//!   TwigStack generalizes (an extra baseline for chain queries).
+//! * [`structural`] — the binary stack-tree structural join of
+//!   Al-Khalifa et al. on sorted region-labeled streams (used as a
+//!   building block and in the ablation benchmarks).
+
+pub mod nested_loop;
+pub mod pathstack;
+pub mod pipelined;
+pub mod structural;
+pub mod twigstack;

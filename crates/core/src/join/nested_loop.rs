@@ -1,0 +1,133 @@
+//! Nested-loop joins (Section 4.3).
+//!
+//! For joins that are not order-preserving — and as the fallback on
+//! recursive documents where the pipelined join's discard rule is unsafe
+//! — the paper prescribes nested-loop evaluation. Two flavours:
+//!
+//! * **Naive** ([`naive_nlj`]): materialize the inner NoK's matches once
+//!   and test every outer parent item against all of them.
+//! * **Bounded** ([`bounded_nlj`]): exploit the `//` relationship — a
+//!   match of the inner NoK can only be joined under an outer item `p` if
+//!   its anchor lies inside `p`'s subtree, i.e. in the id range
+//!   `(p, last_descendant(p)]`. The outer match piggybacks that `(p1,p2)`
+//!   range and the inner NoK rescans only within it.
+
+use crate::decompose::{CutEdge, NokTree};
+use crate::nestedlist::NestedList;
+use crate::nok::NokMatcher;
+use crate::ops::{attach_window, child_match_of, structural_join, ChildMatch};
+use crate::shape::ShapeId;
+use blossom_xml::{Document, NodeId};
+
+/// Resolve the shape positions of a cut edge's endpoints.
+pub fn cut_shapes(noks: &[NokTree], cut: &CutEdge) -> (ShapeId, ShapeId) {
+    let parent_shape = noks[cut.parent_nok].shape_of[cut.parent_node.index()]
+        .expect("cut parents are marked returning");
+    let child_root = noks[cut.child_nok].root();
+    let child_shape = noks[cut.child_nok].shape_of[child_root.index()]
+        .expect("cut children are marked returning");
+    (parent_shape, child_shape)
+}
+
+/// Naive nested-loop join: materializes the full inner scan.
+pub fn naive_nlj(
+    doc: &Document,
+    left: Vec<NestedList>,
+    inner: &NokMatcher<'_>,
+    noks: &[NokTree],
+    cut: &CutEdge,
+) -> Vec<NestedList> {
+    let (parent_shape, child_shape) = cut_shapes(noks, cut);
+    let inner_matches: Vec<ChildMatch> = inner
+        .scan()
+        .iter()
+        .filter_map(|nl| child_match_of(nl, child_shape))
+        .collect();
+    structural_join(left, parent_shape, child_shape, cut.mode, |p| {
+        attach_window(doc, &inner_matches, cut.axis, p)
+    })
+}
+
+/// Bounded nested-loop join (BNLJ): per outer item `p`, rescan the inner
+/// NoK only within `(p, last_descendant(p)]`.
+pub fn bounded_nlj(
+    doc: &Document,
+    left: Vec<NestedList>,
+    inner: &NokMatcher<'_>,
+    noks: &[NokTree],
+    cut: &CutEdge,
+) -> Vec<NestedList> {
+    let (parent_shape, child_shape) = cut_shapes(noks, cut);
+    debug_assert_eq!(
+        cut.axis,
+        blossom_xml::Axis::Descendant,
+        "range bounding only applies to //-joins"
+    );
+    structural_join(left, parent_shape, child_shape, cut.mode, |p: NodeId| {
+        // Everything the range scan finds is inside p's subtree, so the
+        // descendant check is implicit.
+        let hi = doc.last_descendant(p);
+        inner
+            .scan_range(NodeId(p.0 + 1), hi)
+            .iter()
+            .filter_map(|nl| child_match_of(nl, child_shape))
+            .map(|cm| cm.content)
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::Decomposition;
+    use blossom_flwor::BlossomTree;
+    use blossom_xml::Document;
+    use blossom_xpath::parse_path;
+
+    fn run(xml: &str, path: &str, bounded: bool) -> Vec<NestedList> {
+        let doc = Document::parse_str(xml).unwrap();
+        let d = Decomposition::decompose(
+            &BlossomTree::from_path(&parse_path(path).unwrap()).unwrap(),
+        );
+        assert_eq!(d.noks.len(), 2, "tests use single-cut queries");
+        let cut = &d.cut_edges[0];
+        let outer = NokMatcher::new(&doc, &d.noks[cut.parent_nok], d.shape.clone(), None);
+        let inner = NokMatcher::new(&doc, &d.noks[cut.child_nok], d.shape.clone(), None);
+        let left = outer.scan();
+        if bounded {
+            bounded_nlj(&doc, left, &inner, &d.noks, cut)
+        } else {
+            naive_nlj(&doc, left, &inner, &d.noks, cut)
+        }
+    }
+
+    const XML: &str = "<r><a><b><c/></b><b/><x><c/></x></a><a><b/></a><a><b><c/></b></a></r>";
+
+    #[test]
+    fn naive_and_bounded_agree() {
+        for path in ["//a[//c]/b", "//a/b[//c]"] {
+            let doc = Document::parse_str(XML).unwrap();
+            let naive = run(XML, path, false);
+            let bounded = run(XML, path, true);
+            assert_eq!(naive.len(), bounded.len(), "query {path}");
+            for (n, b) in naive.iter().zip(&bounded) {
+                assert_eq!(n, b, "query {path}");
+            }
+            let _ = doc;
+        }
+    }
+
+    #[test]
+    fn bnlj_restricts_to_subtree() {
+        // //a/b[//c]: b's first a has c under b1 only (the x/c is not
+        // under any b); third a's b has c.
+        let joined = run(XML, "//a/b[//c]", true);
+        assert_eq!(joined.len(), 2);
+    }
+
+    #[test]
+    fn outer_without_inner_dropped() {
+        let joined = run("<r><a><b/></a></r>", "//a/b[//c]", true);
+        assert!(joined.is_empty());
+    }
+}

@@ -1,0 +1,152 @@
+//! Binary stack-tree structural join (Al-Khalifa et al., ICDE 2002).
+//!
+//! Joins two document-ordered node lists on an ancestor-descendant (or
+//! parent-child) relationship in one merge pass, using a stack of nested
+//! ancestors. Output pairs are sorted by the descendant's document order.
+
+use blossom_xml::{Document, NodeId};
+
+/// The structural relationship to join on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StructRel {
+    /// Ancestor/descendant.
+    AncestorDescendant,
+    /// Parent/child.
+    ParentChild,
+}
+
+/// Stack-tree-desc: all `(ancestor, descendant)` pairs with
+/// `a ∈ ancestors`, `d ∈ descendants` satisfying `rel`. Both inputs must
+/// be in document order.
+pub fn stack_tree_join(
+    doc: &Document,
+    ancestors: &[NodeId],
+    descendants: &[NodeId],
+    rel: StructRel,
+) -> Vec<(NodeId, NodeId)> {
+    debug_assert!(ancestors.windows(2).all(|w| w[0] < w[1]));
+    debug_assert!(descendants.windows(2).all(|w| w[0] < w[1]));
+    let mut out = Vec::new();
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut ai = 0usize;
+    let mut di = 0usize;
+    while di < descendants.len() {
+        let d = descendants[di];
+        // Push ancestors that start before d.
+        while ai < ancestors.len() && ancestors[ai].0 < d.0 {
+            let a = ancestors[ai];
+            // Pop ancestors whose region ended before a starts.
+            while let Some(&top) = stack.last() {
+                if doc.last_descendant(top).0 < a.0 {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            stack.push(a);
+            ai += 1;
+        }
+        // Pop ancestors whose region ended before d.
+        while let Some(&top) = stack.last() {
+            if doc.last_descendant(top).0 < d.0 {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        for &a in stack.iter() {
+            debug_assert!(doc.is_ancestor(a, d));
+            match rel {
+                StructRel::AncestorDescendant => out.push((a, d)),
+                StructRel::ParentChild => {
+                    if doc.is_parent(a, d) {
+                        out.push((a, d));
+                    }
+                }
+            }
+        }
+        di += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blossom_xml::{Document, TagIndex};
+
+    fn setup(xml: &str) -> (Document, TagIndex) {
+        let doc = Document::parse_str(xml).unwrap();
+        let idx = TagIndex::build(&doc);
+        (doc, idx)
+    }
+
+    fn brute(
+        doc: &Document,
+        ancs: &[NodeId],
+        descs: &[NodeId],
+        rel: StructRel,
+    ) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::new();
+        for &d in descs {
+            for &a in ancs {
+                let ok = match rel {
+                    StructRel::AncestorDescendant => doc.is_ancestor(a, d),
+                    StructRel::ParentChild => doc.is_parent(a, d),
+                };
+                if ok {
+                    out.push((a, d));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn simple_ancestor_descendant() {
+        let (doc, idx) = setup("<r><a><b/><a><b/></a></a><b/></r>");
+        let ancs = idx.stream_by_name(&doc, "a");
+        let descs = idx.stream_by_name(&doc, "b");
+        let got = stack_tree_join(&doc, ancs, descs, StructRel::AncestorDescendant);
+        // b1 under a1; b2 under a1 and a2; b3 under none.
+        assert_eq!(got.len(), 3);
+        let expected = brute(&doc, ancs, descs, StructRel::AncestorDescendant);
+        let mut got_sorted = got.clone();
+        got_sorted.sort();
+        let mut exp_sorted = expected;
+        exp_sorted.sort();
+        assert_eq!(got_sorted, exp_sorted);
+    }
+
+    #[test]
+    fn parent_child_variant() {
+        let (doc, idx) = setup("<r><a><x><b/></x><b/></a></r>");
+        let ancs = idx.stream_by_name(&doc, "a");
+        let descs = idx.stream_by_name(&doc, "b");
+        let ad = stack_tree_join(&doc, ancs, descs, StructRel::AncestorDescendant);
+        let pc = stack_tree_join(&doc, ancs, descs, StructRel::ParentChild);
+        assert_eq!(ad.len(), 2);
+        assert_eq!(pc.len(), 1);
+    }
+
+    #[test]
+    fn output_sorted_by_descendant() {
+        let (doc, idx) = setup(
+            "<r><a><a><b/><b/></a><b/></a><a><b/></a></r>",
+        );
+        let ancs = idx.stream_by_name(&doc, "a");
+        let descs = idx.stream_by_name(&doc, "b");
+        let got = stack_tree_join(&doc, ancs, descs, StructRel::AncestorDescendant);
+        assert!(got.windows(2).all(|w| w[0].1 <= w[1].1));
+        let expected = brute(&doc, ancs, descs, StructRel::AncestorDescendant);
+        assert_eq!(got.len(), expected.len());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (doc, idx) = setup("<r><a/></r>");
+        let ancs = idx.stream_by_name(&doc, "a");
+        assert!(stack_tree_join(&doc, ancs, &[], StructRel::AncestorDescendant).is_empty());
+        assert!(stack_tree_join(&doc, &[], ancs, StructRel::AncestorDescendant).is_empty());
+    }
+}

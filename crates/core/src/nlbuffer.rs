@@ -1,0 +1,392 @@
+//! The concrete NestedList data structure of Figure 6 and the
+//! order-preserving scan that fills it (Theorem 1).
+//!
+//! Each pattern node of a NoK tree owns a *sibling list* of entries in
+//! insertion order; each entry carries per-pattern-child pointers into the
+//! child lists (the paper's child-pointer arrays, generalized to index
+//! vectors so that matches interleaved by document recursion stay
+//! separated) plus a parent pointer.
+//!
+//! The buffer is built by a *single pre-order traversal* of the document:
+//! a node is appended to its pattern node's list the moment it is first
+//! discovered, which is what makes projection order-preserving
+//! (Theorem 1) — the property the pipelined joins of Section 4.2 rely on.
+//! Subtree-match feasibility is precomputed bottom-up so the pre-order
+//! pass never has to roll back (the paper's Algorithm 2 removes partial
+//! matches instead; the result is the same).
+
+use crate::decompose::NokTree;
+use blossom_xml::fxhash::FxHashMap;
+use blossom_xml::{Document, NodeId, NodeKind};
+use blossom_xpath::ast::NodeTest;
+use blossom_xpath::pattern::{EdgeMode, PatternNode, PatternNodeId};
+
+/// One entry of a sibling list.
+#[derive(Debug, Clone)]
+pub struct BufEntry {
+    /// The matched document node.
+    pub node: NodeId,
+    /// `(pattern node, entry index)` of the parent match; `None` for
+    /// anchor (NoK-root) entries.
+    pub parent: Option<(PatternNodeId, u32)>,
+    /// Per pattern child: indices into that child's sibling list.
+    pub children: Vec<Vec<u32>>,
+}
+
+/// The Figure 6 structure: per-pattern-node sibling lists.
+#[derive(Debug, Clone)]
+pub struct NlBuffer<'a> {
+    nok: &'a NokTree,
+    /// Indexed by local pattern node id.
+    lists: Vec<Vec<BufEntry>>,
+}
+
+impl<'a> NlBuffer<'a> {
+    /// Build the buffer with one pre-order document traversal.
+    pub fn build(doc: &Document, nok: &'a NokTree) -> NlBuffer<'a> {
+        let mut feasible = Feasibility::new(doc, nok);
+        let mut buffer = NlBuffer {
+            nok,
+            lists: vec![Vec::new(); nok.pattern.len()],
+        };
+        // Active contexts along the current root-to-node document path:
+        // (pattern node, entry index) pairs whose doc node is an ancestor.
+        let mut active: Vec<Vec<(PatternNodeId, u32)>> = vec![Vec::new()];
+        // Stack of (doc node end, #contexts pushed) to pop on exit.
+        let root = NodeId::DOCUMENT;
+        let mut stack: Vec<(u32, usize)> = Vec::new();
+        for x in doc.descendants(root) {
+            // Pop finished document ancestors.
+            while let Some(&(end, _)) = stack.last() {
+                if x.0 > end {
+                    stack.pop();
+                    active.pop();
+                } else {
+                    break;
+                }
+            }
+            let mut new_contexts: Vec<(PatternNodeId, u32)> = Vec::new();
+            // 1. Anchor attempt: the NoK root can match anywhere.
+            let nok_root = nok.root();
+            if feasible.ok(nok_root, x) {
+                let idx = buffer.push(nok_root, x, None);
+                new_contexts.push((nok_root, idx));
+            }
+            // 2. Child matches under the innermost active contexts.
+            let parent_contexts: &[(PatternNodeId, u32)] =
+                active.last().map(|v| v.as_slice()).unwrap_or(&[]);
+            let parent_contexts = parent_contexts.to_vec();
+            for (p, e) in parent_contexts {
+                let pn = nok.pattern.node(p);
+                for (ci, &c) in pn.children.iter().enumerate() {
+                    let cn = nok.pattern.node(c);
+                    if cn.axis != blossom_xml::Axis::Child {
+                        continue; // sibling axes handled by NokMatcher only
+                    }
+                    if feasible.ok(c, x) {
+                        let idx = buffer.push(c, x, Some((p, e)));
+                        buffer.lists[p.index()][e as usize].children[ci].push(idx);
+                        new_contexts.push((c, idx));
+                    }
+                }
+            }
+            stack.push((doc.last_descendant(x).0, new_contexts.len()));
+            active.push(new_contexts);
+        }
+        buffer
+    }
+
+    fn push(
+        &mut self,
+        pattern: PatternNodeId,
+        node: NodeId,
+        parent: Option<(PatternNodeId, u32)>,
+    ) -> u32 {
+        let arity = self.nok.pattern.node(pattern).children.len();
+        let list = &mut self.lists[pattern.index()];
+        let idx = list.len() as u32;
+        list.push(BufEntry { node, parent, children: vec![Vec::new(); arity] });
+        idx
+    }
+
+    /// Projection on a pattern node: the sibling list's document nodes, in
+    /// insertion order. By Theorem 1 this is document order.
+    pub fn project(&self, pattern: PatternNodeId) -> Vec<NodeId> {
+        self.lists[pattern.index()].iter().map(|e| e.node).collect()
+    }
+
+    /// The sibling list of a pattern node.
+    pub fn list(&self, pattern: PatternNodeId) -> &[BufEntry] {
+        &self.lists[pattern.index()]
+    }
+
+    /// Unnest: follow the child pointers of one entry for one pattern
+    /// child, returning the child entries (the paper's "unnesting"
+    /// operation on the concrete structure).
+    pub fn unnest(&self, pattern: PatternNodeId, entry: u32, child_pos: usize) -> Vec<&BufEntry> {
+        let child_pattern = self.nok.pattern.node(pattern).children[child_pos];
+        self.lists[pattern.index()][entry as usize].children[child_pos]
+            .iter()
+            .map(|&i| &self.lists[child_pattern.index()][i as usize])
+            .collect()
+    }
+
+    /// Retrieve the `i`-th (0-based) child entry by position index — the
+    /// "retrieving child by position index" operation of Section 4.1.
+    pub fn child_by_position(
+        &self,
+        pattern: PatternNodeId,
+        entry: u32,
+        child_pos: usize,
+        i: usize,
+    ) -> Option<&BufEntry> {
+        let child_pattern = self.nok.pattern.node(pattern).children[child_pos];
+        let indices = &self.lists[pattern.index()][entry as usize].children[child_pos];
+        indices.get(i).map(|&idx| &self.lists[child_pattern.index()][idx as usize])
+    }
+
+    /// Number of anchor entries (matches of the NoK root).
+    pub fn anchor_count(&self) -> usize {
+        self.lists[self.nok.root().index()].len()
+    }
+}
+
+/// Bottom-up feasibility: `ok(p, x)` ⇔ the pattern subtree rooted at `p`
+/// matches the document subtree anchored at `x`. Memoized per (p, x).
+struct Feasibility<'a> {
+    doc: &'a Document,
+    nok: &'a NokTree,
+    memo: FxHashMap<(u16, u32), bool>,
+}
+
+impl<'a> Feasibility<'a> {
+    fn new(doc: &'a Document, nok: &'a NokTree) -> Self {
+        Feasibility { doc, nok, memo: FxHashMap::default() }
+    }
+
+    fn node_test(&self, pn: &PatternNode, x: NodeId) -> bool {
+        let ok_kind = match &pn.test {
+            NodeTest::Name(name) => matches!(self.doc.kind(x), NodeKind::Element(sym)
+                if self.doc.symbols().name(sym) == name.as_ref()),
+            NodeTest::Wildcard => self.doc.is_element(x),
+            NodeTest::Text => matches!(self.doc.kind(x), NodeKind::Text),
+            NodeTest::Attribute(_) => false,
+        };
+        if !ok_kind {
+            return false;
+        }
+        match &pn.value {
+            Some(test) => crate::value::node_satisfies(self.doc, x, test),
+            None => true,
+        }
+    }
+
+    fn ok(&mut self, p: PatternNodeId, x: NodeId) -> bool {
+        if let Some(&cached) = self.memo.get(&(p.0, x.0)) {
+            return cached;
+        }
+        let pn = self.nok.pattern.node(p);
+        let mut result = self.node_test(pn, x);
+        if result {
+            for &c in &pn.children.clone() {
+                let cn = self.nok.pattern.node(c);
+                if cn.mode != EdgeMode::Mandatory {
+                    continue;
+                }
+                let satisfied = match cn.axis {
+                    blossom_xml::Axis::Child => {
+                        self.doc.children(x).any(|u| self.ok(c, u))
+                    }
+                    blossom_xml::Axis::FollowingSibling => {
+                        let mut sib = self.doc.next_sibling(x);
+                        let mut found = false;
+                        while let Some(u) = sib {
+                            if self.ok(c, u) {
+                                found = true;
+                                break;
+                            }
+                            sib = self.doc.next_sibling(u);
+                        }
+                        found
+                    }
+                    blossom_xml::Axis::PrecedingSibling => match self.doc.parent(x) {
+                        Some(p) => {
+                            let mut found = false;
+                            for u in self.doc.children(p) {
+                                if u == x {
+                                    break;
+                                }
+                                if self.ok(c, u) {
+                                    found = true;
+                                    break;
+                                }
+                            }
+                            found
+                        }
+                        None => false,
+                    },
+                    blossom_xml::Axis::SelfAxis => self.ok(c, x),
+                    _ => false,
+                };
+                if matches!(cn.test, NodeTest::Attribute(_)) {
+                    // Attribute constraints are checked against x directly.
+                    let attr_ok = match &cn.test {
+                        NodeTest::Attribute(name) => {
+                            match self.doc.attribute(x, name) {
+                                Some(v) => match &cn.value {
+                                    Some(t) => crate::value::node_vs_literal_str(
+                                        v, t.op, &t.literal,
+                                    ),
+                                    None => true,
+                                },
+                                None => false,
+                            }
+                        }
+                        _ => unreachable!(),
+                    };
+                    if !attr_ok {
+                        result = false;
+                        break;
+                    }
+                    continue;
+                }
+                if !satisfied {
+                    result = false;
+                    break;
+                }
+            }
+        }
+        self.memo.insert((p.0, x.0), result);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::Decomposition;
+    use blossom_flwor::BlossomTree;
+    use blossom_xpath::parse_path;
+
+    fn setup(xml: &str, path: &str) -> (Document, Decomposition) {
+        let doc = Document::parse_str(xml).unwrap();
+        let p = parse_path(path).unwrap();
+        let d = Decomposition::decompose(&BlossomTree::from_path(&p).unwrap());
+        (doc, d)
+    }
+
+    #[test]
+    fn figure3_structure() {
+        // Pattern a(b(d), c) with optional d and c edges (as in Example 3
+        // where b1 has no d-child yet the match is valid).
+        let doc = Document::parse_str(
+            "<a><b/><b><d/><d/></b><b><d/></b><c/><c/></a>",
+        )
+        .unwrap();
+        let p = parse_path("//a[b[d]][c]").unwrap();
+        let mut bt = BlossomTree::from_path(&p).unwrap();
+        for id in bt.pattern.ids().skip(1) {
+            bt.pattern.set_returning(id, true);
+            if bt.pattern.node(id).test != blossom_xpath::ast::NodeTest::Name("a".into()) {
+                bt.pattern.node_mut(id).mode = EdgeMode::Optional;
+            }
+        }
+        let d = Decomposition::decompose(&bt);
+        let nok = &d.noks[0];
+        let buf = NlBuffer::build(&doc, nok);
+        assert_eq!(buf.anchor_count(), 1);
+        // Projections in document order: 3 b's, 3 d's, 2 c's.
+        let b_local = nok
+            .pattern
+            .ids()
+            .find(|&i| nok.pattern.node(i).test == blossom_xpath::ast::NodeTest::Name("b".into()))
+            .unwrap();
+        let d_local = nok
+            .pattern
+            .ids()
+            .find(|&i| nok.pattern.node(i).test == blossom_xpath::ast::NodeTest::Name("d".into()))
+            .unwrap();
+        let c_local = nok
+            .pattern
+            .ids()
+            .find(|&i| nok.pattern.node(i).test == blossom_xpath::ast::NodeTest::Name("c".into()))
+            .unwrap();
+        assert_eq!(buf.project(b_local).len(), 3);
+        assert_eq!(buf.project(d_local).len(), 3);
+        assert_eq!(buf.project(c_local).len(), 2);
+        // Child pointers: b1 has no d, b2 has two, b3 has one — exactly
+        // Figure 3(c)'s edges.
+        let a_local = nok.root();
+        let a_entry = 0u32;
+        let b_entries = buf.unnest(a_local, a_entry, 0);
+        assert_eq!(b_entries.len(), 3);
+        let b_child_counts: Vec<usize> = buf.list(a_local)[0].children[0]
+            .iter()
+            .map(|&bi| buf.list(b_local)[bi as usize].children[0].len())
+            .collect();
+        assert_eq!(b_child_counts, vec![0, 2, 1]);
+        // child_by_position.
+        let b2 = buf.child_by_position(a_local, 0, 0, 1).unwrap();
+        assert_eq!(buf.list(b_local)[1].node, b2.node);
+    }
+
+    #[test]
+    fn projection_is_document_order_on_recursive_doc() {
+        // Recursive document: nested a's; matches interleave.
+        let (doc, d) = setup("<a><b/><a><b/></a><b/></a>", "//a/b");
+        let buf = NlBuffer::build(&doc, &d.noks[0]);
+        let nok = &d.noks[0];
+        let b_local = nok
+            .pattern
+            .ids()
+            .find(|&i| nok.pattern.node(i).test == blossom_xpath::ast::NodeTest::Name("b".into()))
+            .unwrap();
+        let projected = buf.project(b_local);
+        assert_eq!(projected.len(), 3);
+        assert!(
+            projected.windows(2).all(|w| w[0] < w[1]),
+            "Theorem 1: projection is in document order even on recursive \
+             documents: {projected:?}"
+        );
+        // Anchors also in document order.
+        let anchors = buf.project(nok.root());
+        assert_eq!(anchors.len(), 2);
+        assert!(anchors.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn infeasible_anchors_excluded() {
+        let (doc, d) = setup("<r><a><b/></a><a/></r>", "//a/b");
+        let buf = NlBuffer::build(&doc, &d.noks[0]);
+        assert_eq!(buf.anchor_count(), 1, "a without b never enters the buffer");
+    }
+
+    #[test]
+    fn buffer_agrees_with_matcher() {
+        use crate::nok::NokMatcher;
+        let (doc, d) = setup(
+            "<r><a><b/><c/></a><a><b/></a><q><a><b/><c/><c/></a></q></r>",
+            "//a[c]/b",
+        );
+        let nok = &d.noks[0];
+        let buf = NlBuffer::build(&doc, nok);
+        let matcher = NokMatcher::new(&doc, nok, d.shape.clone(), None);
+        let scan = matcher.scan();
+        assert_eq!(buf.anchor_count(), scan.len());
+        // The b-projection of the buffer equals the concatenated
+        // projections of the per-anchor NestedLists (both doc-ordered on
+        // this non-recursive document).
+        let b_local = nok
+            .pattern
+            .ids()
+            .find(|&i| {
+                nok.pattern.node(i).test == blossom_xpath::ast::NodeTest::Name("b".into())
+            })
+            .unwrap();
+        let via_scan: Vec<NodeId> = scan
+            .iter()
+            .flat_map(|nl| nl.project(&"1.1".parse().unwrap()))
+            .collect();
+        assert_eq!(buf.project(b_local), via_scan);
+    }
+}

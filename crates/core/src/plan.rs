@@ -1,0 +1,305 @@
+//! Physical strategy selection.
+//!
+//! The paper leaves the full cost-based optimizer to future work but
+//! names the decision inputs (Section 5): whether the document is
+//! recursive, whether tag-name indexes exist, and whether the plan's
+//! joins are order-preserving. [`choose`] encodes exactly those rules:
+//!
+//! * constructs outside the pattern algebra → navigational;
+//! * non-recursive documents with only mandatory `//` cuts → pipelined
+//!   (order-preserving by Theorem 2, no materialization);
+//! * recursive documents → TwigStack when every pattern node has a tag
+//!   stream, otherwise bounded nested loop.
+
+use crate::decompose::{CutEdge, Decomposition};
+use blossom_xml::{DocStats, Document, TagIndex};
+use blossom_xpath::ast::NodeTest;
+use blossom_xpath::ast::PathExpr;
+use blossom_xpath::pattern::EdgeMode;
+use std::fmt;
+
+/// The physical evaluation strategies (the systems of Table 3, plus the
+/// naive nested loop shown there as NL).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Let the planner decide.
+    Auto,
+    /// Tree-walking evaluation of the AST (the XH stand-in).
+    Navigational,
+    /// Holistic twig join over tag-index streams (TS).
+    TwigStack,
+    /// Holistic chain join (PathStack); chain queries only.
+    PathStack,
+    /// Merged-scan NoKs + pipelined //-joins (PL).
+    Pipelined,
+    /// NoKs + bounded nested-loop joins (the paper's NL/BNLJ).
+    BoundedNestedLoop,
+    /// NoKs + naive nested-loop joins (materialized inner).
+    NaiveNestedLoop,
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Strategy::Auto => "auto",
+            Strategy::Navigational => "navigational",
+            Strategy::TwigStack => "twigstack",
+            Strategy::PathStack => "pathstack",
+            Strategy::Pipelined => "pipelined",
+            Strategy::BoundedNestedLoop => "bounded-nested-loop",
+            Strategy::NaiveNestedLoop => "naive-nested-loop",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A resolved plan: the chosen strategy and the reason, for `EXPLAIN`
+/// output.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The strategy the engine will run.
+    pub strategy: Strategy,
+    /// Human-readable justification.
+    pub reason: String,
+}
+
+/// Can every pattern node of the decomposition feed a TwigStack stream
+/// (name tests only, mandatory edges)?
+pub fn twigstack_compatible(d: &Decomposition) -> bool {
+    d.noks.iter().all(|nok| {
+        nok.pattern.ids().skip(1).all(|id| {
+            let n = nok.pattern.node(id);
+            matches!(n.test, NodeTest::Attribute(_))
+                || (matches!(n.test, NodeTest::Name(_)) && n.mode == EdgeMode::Mandatory)
+        })
+    }) && d
+        .cut_edges
+        .iter()
+        .all(|e| e.mode == EdgeMode::Mandatory)
+}
+
+/// Estimated cardinality of a NoK's anchors: the tag-index stream length
+/// of its root test (the simplest statistic of the cost model the paper
+/// defers to future work).
+pub fn estimated_anchors(
+    d: &Decomposition,
+    nok: usize,
+    index: &TagIndex,
+    doc: &Document,
+) -> usize {
+    let root = d.noks[nok].root();
+    match &d.noks[nok].pattern.node(root).test {
+        NodeTest::Name(name) => match doc.sym(name) {
+            Some(sym) => index.count(sym),
+            None => 0,
+        },
+        // No statistics for wildcard/text roots: assume expensive.
+        _ => usize::MAX / 2,
+    }
+}
+
+/// Order a component's cut edges for execution: the topological
+/// constraint (a join can only run once its parent endpoint's NoK has
+/// been joined in) with a greedy cheapest-child-first tiebreak from the
+/// tag-index cardinalities. Joining selective children first shrinks the
+/// intermediate NestedLists for every later join.
+pub fn order_cut_edges<'a>(
+    d: &Decomposition,
+    root_nok: usize,
+    cuts: &[&'a CutEdge],
+    index: &TagIndex,
+    doc: &Document,
+) -> Vec<&'a CutEdge> {
+    let mut resolved = vec![false; d.noks.len()];
+    resolved[root_nok] = true;
+    let mut remaining: Vec<&CutEdge> = cuts.to_vec();
+    let mut ordered = Vec::with_capacity(cuts.len());
+    while !remaining.is_empty() {
+        let best = remaining
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| resolved[c.parent_nok])
+            .min_by_key(|(_, c)| estimated_anchors(d, c.child_nok, index, doc))
+            .map(|(i, _)| i)
+            .expect("cut-edge graph is a forest rooted at the component root");
+        let cut = remaining.remove(best);
+        resolved[cut.child_nok] = true;
+        ordered.push(cut);
+    }
+    ordered
+}
+
+/// Do any of the decomposition's NoK roots carry a tag that nests in the
+/// document? Only those make the pipelined join's buffering grow (nested
+/// outer anchors); a recursive document whose *query tags* do not nest is
+/// still safe territory for PL.
+pub fn query_tags_recursive(d: &Decomposition, stats: &DocStats) -> bool {
+    d.noks.iter().any(|nok| {
+        let root = nok.root();
+        match &nok.pattern.node(root).test {
+            NodeTest::Name(name) => stats.recursive_tags.contains_key(name.as_ref()),
+            // No per-tag statistics for wildcard/text roots: be
+            // conservative.
+            _ => stats.recursive,
+        }
+    })
+}
+
+/// Resolve `Auto` for a path query.
+pub fn choose(path: &PathExpr, d: &Decomposition, stats: &DocStats) -> Plan {
+    if path.has_positional() || path.has_disjunction() {
+        return Plan {
+            strategy: Strategy::Navigational,
+            reason: "positional or or/not predicates are outside the pattern algebra".into(),
+        };
+    }
+    if d.pipelinable() && !query_tags_recursive(d, stats) {
+        return Plan {
+            strategy: Strategy::Pipelined,
+            reason: format!(
+                "no queried anchor tag nests in the document and all {} cut edges are \
+                 mandatory //-joins (order-preserving, Theorem 2)",
+                d.cut_edges.len()
+            ),
+        };
+    }
+    if twigstack_compatible(d) {
+        Plan {
+            strategy: Strategy::TwigStack,
+            reason: format!(
+                "document is recursive (max same-tag nesting {}); holistic twig join \
+                 bounds memory by document depth",
+                stats.max_recursion
+            ),
+        }
+    } else {
+        Plan {
+            strategy: Strategy::BoundedNestedLoop,
+            reason: "recursive document and pattern not expressible as tag streams".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::Decomposition;
+    use blossom_flwor::BlossomTree;
+    use blossom_xml::Document;
+    use blossom_xpath::parse_path;
+
+    fn plan_for(xml: &str, query: &str) -> Plan {
+        let doc = Document::parse_str(xml).unwrap();
+        let path = parse_path(query).unwrap();
+        // Decompose a predicate-stripped copy: positional/boolean
+        // predicates cannot enter a BlossomTree, but `choose` rejects
+        // those before looking at the decomposition anyway.
+        let mut stripped = path.clone();
+        for s in &mut stripped.steps {
+            s.predicates.clear();
+        }
+        let d = Decomposition::decompose(&BlossomTree::from_path(&stripped).unwrap());
+        choose(&path, &d, &doc.stats())
+    }
+
+    #[test]
+    fn navigational_for_positional_and_disjunction() {
+        assert_eq!(
+            plan_for("<r><a/></r>", "//a[2]").strategy,
+            Strategy::Navigational
+        );
+        assert_eq!(
+            plan_for("<r><a/></r>", "//a[b or c]").strategy,
+            Strategy::Navigational
+        );
+    }
+
+    #[test]
+    fn pipelined_on_nonrecursive() {
+        assert_eq!(
+            plan_for("<r><a><b/></a></r>", "//a//b").strategy,
+            Strategy::Pipelined
+        );
+    }
+
+    #[test]
+    fn twigstack_on_recursive() {
+        assert_eq!(
+            plan_for("<a><a><b/></a></a>", "//a//b").strategy,
+            Strategy::TwigStack
+        );
+    }
+
+    #[test]
+    fn bnlj_on_recursive_with_wildcards() {
+        assert_eq!(
+            plan_for("<a><a><b/></a></a>", "//a//*").strategy,
+            Strategy::BoundedNestedLoop
+        );
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(Strategy::Pipelined.to_string(), "pipelined");
+        assert_eq!(Strategy::TwigStack.to_string(), "twigstack");
+    }
+}
+
+#[cfg(test)]
+mod cost_tests {
+    use super::*;
+    use crate::decompose::Decomposition;
+    use blossom_flwor::BlossomTree;
+    use blossom_xml::Document;
+    use blossom_xpath::parse_path;
+
+    #[test]
+    fn cut_edges_ordered_by_selectivity() {
+        // `common` appears many times, `rare` once; the rare join must be
+        // scheduled first.
+        let doc = Document::parse_str(
+            "<r><a><common/><common/><common/><rare/><common/></a></r>",
+        )
+        .unwrap();
+        let index = TagIndex::build(&doc);
+        let d = Decomposition::decompose(
+            &BlossomTree::from_path(&parse_path("//a[//common][//rare]").unwrap()).unwrap(),
+        );
+        let cuts: Vec<&CutEdge> = d.cut_edges.iter().collect();
+        let ordered = order_cut_edges(&d, 0, &cuts, &index, &doc);
+        let first_tag = d.noks[ordered[0].child_nok]
+            .pattern
+            .node(d.noks[ordered[0].child_nok].root())
+            .test
+            .to_string();
+        assert_eq!(first_tag, "rare");
+    }
+
+    #[test]
+    fn ordering_respects_topology() {
+        // //a[//b[//c]] — the b join must precede the c join even though c
+        // is rarer.
+        let doc = Document::parse_str("<r><a><b/><b/><b><c/></b></a></r>").unwrap();
+        let index = TagIndex::build(&doc);
+        let d = Decomposition::decompose(
+            &BlossomTree::from_path(&parse_path("//a[//b[//c]]").unwrap()).unwrap(),
+        );
+        assert_eq!(d.cut_edges.len(), 2);
+        let cuts: Vec<&CutEdge> = d.cut_edges.iter().collect();
+        let ordered = order_cut_edges(&d, 0, &cuts, &index, &doc);
+        // b's cut (parent in NoK 0) must come before c's (parent in b's NoK).
+        assert_eq!(ordered[0].parent_nok, 0);
+        assert_eq!(ordered[1].parent_nok, ordered[0].child_nok);
+    }
+
+    #[test]
+    fn estimated_anchors_uses_index() {
+        let doc = Document::parse_str("<r><x/><x/><y/></r>").unwrap();
+        let index = TagIndex::build(&doc);
+        let d = Decomposition::decompose(
+            &BlossomTree::from_path(&parse_path("//x[//y]").unwrap()).unwrap(),
+        );
+        assert_eq!(estimated_anchors(&d, 0, &index, &doc), 2);
+        assert_eq!(estimated_anchors(&d, 1, &index, &doc), 1);
+    }
+}

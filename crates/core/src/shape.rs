@@ -1,0 +1,210 @@
+//! The returning tree ("shape") of a BlossomTree.
+//!
+//! Section 4.1: before decomposition, the returning nodes are extracted
+//! into a *returning tree* — two returning nodes are connected iff they
+//! are closest ancestor-descendant among returning nodes — and each gets
+//! a Dewey ID. Every [`crate::nestedlist::NestedList`] flowing through
+//! the algebra conforms to this shape; operators address positions in it
+//! by Dewey ID.
+
+use blossom_flwor::BlossomTree;
+use blossom_xml::Dewey;
+use blossom_xpath::pattern::{EdgeMode, PatternNodeId};
+use std::sync::Arc;
+
+/// Index of a node within a [`Shape`]. 0 is the artificial root.
+pub type ShapeId = usize;
+
+/// One node of the returning tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShapeNode {
+    /// Dewey ID (the artificial root is `1`).
+    pub dewey: Dewey,
+    /// The BlossomTree pattern node this position corresponds to
+    /// (`None` for the artificial root).
+    pub pattern: Option<PatternNodeId>,
+    /// Parent shape node (self-reference 0 for the root).
+    pub parent: ShapeId,
+    /// Children in Dewey order.
+    pub children: Vec<ShapeId>,
+    /// True when the chain of pattern edges from the returning parent to
+    /// this node contains an `l`-annotated (optional) edge: an empty match
+    /// here does not invalidate the parent.
+    pub optional: bool,
+    /// Variables bound at this position.
+    pub vars: Vec<String>,
+}
+
+/// The returning tree, shared (via `Arc`) by every NestedList of a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Shape {
+    nodes: Vec<ShapeNode>,
+}
+
+impl Shape {
+    /// Build the shape from a BlossomTree (whose `returning`/`deweys` are
+    /// already assigned in pre-order).
+    pub fn from_blossom(bt: &BlossomTree) -> Arc<Shape> {
+        let mut nodes = vec![ShapeNode {
+            dewey: Dewey::root(),
+            pattern: None,
+            parent: 0,
+            children: Vec::new(),
+            optional: false,
+            vars: Vec::new(),
+        }];
+        // bt.returning is in pattern pre-order, so a node's returning
+        // parent is always created before it; find it by Dewey parentage.
+        for (idx, &pnode) in bt.returning.iter().enumerate() {
+            let dewey = bt.deweys[idx].clone();
+            let parent_dewey = dewey.parent().expect("returning node below the root");
+            let parent: ShapeId = nodes
+                .iter()
+                .position(|n| n.dewey == parent_dewey)
+                .expect("parent dewey exists");
+            // Optional iff any pattern edge between this node and its
+            // returning ancestor (exclusive) is `l`-annotated.
+            let stop = nodes[parent].pattern;
+            let mut optional = false;
+            let mut cur = Some(pnode);
+            while let Some(c) = cur {
+                if Some(c) == stop {
+                    break;
+                }
+                let n = bt.pattern.node(c);
+                if n.mode == EdgeMode::Optional {
+                    optional = true;
+                }
+                cur = n.parent;
+                if cur == Some(PatternNodeId::ROOT) && stop.is_none() {
+                    break;
+                }
+            }
+            let id = nodes.len();
+            nodes.push(ShapeNode {
+                dewey,
+                pattern: Some(pnode),
+                parent,
+                children: Vec::new(),
+                optional,
+                vars: bt.pattern.node(pnode).vars.clone(),
+            });
+            nodes[parent].children.push(id);
+        }
+        Arc::new(Shape { nodes })
+    }
+
+    /// Access a node.
+    pub fn node(&self, id: ShapeId) -> &ShapeNode {
+        &self.nodes[id]
+    }
+
+    /// Number of nodes including the artificial root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Always false.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Find the shape node with `dewey`.
+    pub fn by_dewey(&self, dewey: &Dewey) -> Option<ShapeId> {
+        self.nodes.iter().position(|n| &n.dewey == dewey)
+    }
+
+    /// Find the shape node for a BlossomTree pattern node.
+    pub fn by_pattern(&self, pattern: PatternNodeId) -> Option<ShapeId> {
+        self.nodes.iter().position(|n| n.pattern == Some(pattern))
+    }
+
+    /// Find the shape node bound to a variable.
+    pub fn by_var(&self, var: &str) -> Option<ShapeId> {
+        self.nodes.iter().position(|n| n.vars.iter().any(|v| v == var))
+    }
+
+    /// The child-position path from the root to `id` (each element is the
+    /// 0-based index into `children` at that level).
+    pub fn path_to(&self, id: ShapeId) -> Vec<usize> {
+        let mut rev = Vec::new();
+        let mut cur = id;
+        while cur != 0 {
+            let parent = self.nodes[cur].parent;
+            let pos = self.nodes[parent]
+                .children
+                .iter()
+                .position(|&c| c == cur)
+                .expect("child registered with parent");
+            rev.push(pos);
+            cur = parent;
+        }
+        rev.reverse();
+        rev
+    }
+
+    /// All shape ids in pre-order (root first).
+    pub fn ids(&self) -> impl Iterator<Item = ShapeId> {
+        0..self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blossom_flwor::{parse_query, Expr};
+
+    fn shape_of(query: &str) -> Arc<Shape> {
+        let q = parse_query(query).unwrap();
+        let f = match q {
+            Expr::Flwor(f) => *f,
+            other => panic!("expected flwor, got {other:?}"),
+        };
+        Shape::from_blossom(&BlossomTree::from_flwor(&f).unwrap())
+    }
+
+    #[test]
+    fn example1_shape() {
+        let shape = shape_of(
+            r#"for $book1 in doc("bib.xml")//book, $book2 in doc("bib.xml")//book
+               let $aut1 := $book1/author let $aut2 := $book2/author
+               where $book1 << $book2
+                 and not($book1/title = $book2/title)
+                 and deep-equal($aut1, $aut2)
+               return <p>{ $book1/title }{ $book2/title }</p>"#,
+        );
+        // root + 2 books + 2 authors + 2 titles.
+        assert_eq!(shape.len(), 7);
+        let b1 = shape.by_var("book1").unwrap();
+        let b2 = shape.by_var("book2").unwrap();
+        assert_eq!(shape.node(b1).dewey.to_string(), "1.1");
+        assert_eq!(shape.node(b2).dewey.to_string(), "1.2");
+        assert_eq!(shape.node(b1).children.len(), 2);
+        let a1 = shape.by_var("aut1").unwrap();
+        assert!(shape.node(a1).optional, "let-bound author is optional");
+        assert_eq!(shape.node(a1).parent, b1);
+        // Titles grafted by the where clause are optional operands (the
+        // negated comparison must see empty sequences).
+        let t1 = shape
+            .node(b1)
+            .children
+            .iter()
+            .copied()
+            .find(|&c| c != a1)
+            .unwrap();
+        assert!(shape.node(t1).optional);
+        // path_to navigates correctly.
+        assert_eq!(shape.path_to(b1), vec![0]);
+        assert_eq!(shape.path_to(a1), vec![0, 0]);
+        assert_eq!(shape.path_to(0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn by_dewey_lookup() {
+        let shape = shape_of("for $a in //x let $b := $a/y return <r>{$b}</r>");
+        let d: Dewey = "1.1.1".parse().unwrap();
+        let id = shape.by_dewey(&d).unwrap();
+        assert_eq!(shape.node(id).vars, vec!["b".to_string()]);
+        assert!(shape.by_dewey(&"9.9".parse().unwrap()).is_none());
+    }
+}

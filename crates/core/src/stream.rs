@@ -1,0 +1,294 @@
+//! Streaming NoK evaluation over SAX events.
+//!
+//! The paper positions the pipelined approach for "the stream context and
+//! the case where no tag-name indexes are available" (Section 5). This
+//! module evaluates a NoK pattern tree directly over [`Reader`] events —
+//! no document tree is materialized, and memory is bounded by
+//! `document depth × pattern size` (the streaming-XPath setting of
+//! Barton et al. and Josifovski et al., references \[4\] and \[12\]).
+//!
+//! The stream evaluator confirms matches bottom-up: an element is a
+//! *candidate* for a pattern node when its start tag passes the node test,
+//! and is *confirmed* at its end tag once every mandatory pattern child
+//! was confirmed among its children (value tests see the buffered subtree
+//! text). Confirmed NoK-root candidates are counted as anchors.
+
+use crate::decompose::NokTree;
+use crate::value::node_vs_literal_str;
+use blossom_xml::parser::{Event, ParseError, Reader};
+use blossom_xpath::ast::NodeTest;
+use blossom_xpath::pattern::{EdgeMode, PatternNodeId};
+use std::borrow::Cow;
+
+/// One candidate binding of an open element to a pattern node.
+struct Candidate {
+    pattern: PatternNodeId,
+    /// Confirmed-children counters, parallel to the pattern node's children.
+    confirmed: Vec<u32>,
+    /// Buffered subtree text — only kept when the node has a value test.
+    text: Option<String>,
+    /// Does this candidate count as an anchor when confirmed?
+    is_anchor: bool,
+}
+
+/// Per-open-element state.
+struct Frame {
+    candidates: Vec<Candidate>,
+    /// Does any enclosing candidate buffer subtree text?
+    wants_text: bool,
+}
+
+/// Count the anchors of `nok` in a streamed document: the number of
+/// elements at which the whole NoK pattern matches. Equals
+/// `NokMatcher::scan(..).len()` on the materialized document.
+pub fn count_anchors_streaming(xml: &str, nok: &NokTree) -> Result<usize, ParseError> {
+    debug_assert!(
+        nok.pattern
+            .ids()
+            .skip(1)
+            .all(|id| matches!(
+                nok.pattern.node(id).axis,
+                blossom_xml::Axis::Child | blossom_xml::Axis::SelfAxis
+            ) || matches!(nok.pattern.node(id).test, NodeTest::Attribute(_))),
+        "streaming evaluation supports child-axis NoK trees only"
+    );
+    let mut reader = Reader::new(xml);
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut anchors = 0usize;
+
+    while let Some(event) = reader.next_event()? {
+        match event {
+            Event::StartElement { name, attributes, self_closing } => {
+                let frame = open_element(nok, name, &attributes, &stack);
+                if self_closing {
+                    anchors += close_element(nok, frame, &mut stack);
+                } else {
+                    stack.push(frame);
+                }
+            }
+            Event::EndElement { .. } => {
+                let frame = stack.pop().expect("reader guarantees balance");
+                anchors += close_element(nok, frame, &mut stack);
+            }
+            Event::Text(t) => {
+                buffer_text(&mut stack, &t);
+            }
+            Event::Comment(_) | Event::ProcessingInstruction { .. } | Event::Doctype(_) => {}
+        }
+    }
+    Ok(anchors)
+}
+
+/// Start-tag handling: create candidates for the pattern nodes this
+/// element could match.
+fn open_element(
+    nok: &NokTree,
+    name: &str,
+    attributes: &[(&str, Cow<'_, str>)],
+    stack: &[Frame],
+) -> Frame {
+    let mut candidates = Vec::new();
+    let parent_wants_text = stack.last().map(|f| f.wants_text).unwrap_or(false);
+
+    // Which pattern nodes can this element bind? The NoK root (an anchor
+    // can start anywhere) plus any Child-axis pattern child of a pattern
+    // node the *parent* element is a candidate for.
+    let mut targets: Vec<(PatternNodeId, bool)> = vec![(nok.root(), true)];
+    if let Some(parent_frame) = stack.last() {
+        for cand in &parent_frame.candidates {
+            let pn = nok.pattern.node(cand.pattern);
+            for &c in &pn.children {
+                let cn = nok.pattern.node(c);
+                if cn.axis == blossom_xml::Axis::Child
+                    && !matches!(cn.test, NodeTest::Attribute(_))
+                {
+                    targets.push((c, false));
+                }
+            }
+        }
+    }
+
+    'target: for (p, is_anchor) in targets {
+        let pn = nok.pattern.node(p);
+        let tag_ok = match &pn.test {
+            NodeTest::Name(n) => n.as_ref() == name,
+            NodeTest::Wildcard => true,
+            NodeTest::Text | NodeTest::Attribute(_) => false,
+        };
+        if !tag_ok {
+            continue;
+        }
+        // Attribute constraints are decidable at the start tag.
+        for &c in &pn.children {
+            let cn = nok.pattern.node(c);
+            if let NodeTest::Attribute(attr) = &cn.test {
+                let value = attributes.iter().find(|(k, _)| k == &attr.as_ref());
+                let ok = match (value, &cn.value) {
+                    (Some((_, v)), Some(t)) => node_vs_literal_str(v, t.op, &t.literal),
+                    (Some(_), None) => true,
+                    (None, _) => false,
+                };
+                if !ok && cn.mode == EdgeMode::Mandatory {
+                    continue 'target;
+                }
+            }
+        }
+        candidates.push(Candidate {
+            pattern: p,
+            confirmed: vec![0; pn.children.len()],
+            text: pn.value.as_ref().map(|_| String::new()),
+            is_anchor,
+        });
+    }
+
+    let wants_text =
+        parent_wants_text || candidates.iter().any(|c| c.text.is_some());
+    Frame { candidates, wants_text }
+}
+
+/// Append a text run to every open candidate that buffers subtree text.
+fn buffer_text(stack: &mut [Frame], text: &str) {
+    for frame in stack.iter_mut() {
+        if !frame.wants_text {
+            continue;
+        }
+        for cand in &mut frame.candidates {
+            if let Some(buf) = &mut cand.text {
+                buf.push_str(text);
+            }
+        }
+    }
+}
+
+/// End-tag handling: confirm candidates whose mandatory constraints were
+/// all met, propagating to the parent frame. Returns the number of
+/// confirmed anchors.
+fn close_element(nok: &NokTree, frame: Frame, stack: &mut [Frame]) -> usize {
+    let mut anchors = 0usize;
+    for cand in frame.candidates {
+        let pn = nok.pattern.node(cand.pattern);
+        // Value test against the buffered subtree text.
+        if let (Some(test), Some(text)) = (&pn.value, &cand.text) {
+            if !node_vs_literal_str(text, test.op, &test.literal) {
+                continue;
+            }
+        }
+        // Every mandatory element child confirmed?
+        let mut ok = true;
+        for (i, &c) in pn.children.iter().enumerate() {
+            let cn = nok.pattern.node(c);
+            if matches!(cn.test, NodeTest::Attribute(_)) {
+                continue; // checked at the start tag
+            }
+            if cn.mode == EdgeMode::Mandatory && cand.confirmed[i] == 0 {
+                ok = false;
+                break;
+            }
+        }
+        if !ok {
+            continue;
+        }
+        if cand.is_anchor {
+            anchors += 1;
+        }
+        // Notify the parent frame's candidates that their child pattern
+        // node `cand.pattern` was confirmed.
+        if let Some(parent) = stack.last_mut() {
+            for pc in &mut parent.candidates {
+                let ppn = nok.pattern.node(pc.pattern);
+                for (i, &c) in ppn.children.iter().enumerate() {
+                    if c == cand.pattern {
+                        pc.confirmed[i] += 1;
+                    }
+                }
+            }
+        }
+    }
+    anchors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::Decomposition;
+    use crate::nok::NokMatcher;
+    use blossom_flwor::BlossomTree;
+    use blossom_xml::Document;
+    use blossom_xpath::parse_path;
+
+    fn check(xml: &str, query: &str) {
+        let doc = Document::parse_str(xml).unwrap();
+        let d = Decomposition::decompose(
+            &BlossomTree::from_path(&parse_path(query).unwrap()).unwrap(),
+        );
+        assert_eq!(d.noks.len(), 1, "streaming tests use NoK-only queries");
+        let expected = NokMatcher::new(&doc, &d.noks[0], d.shape.clone(), None)
+            .scan()
+            .len();
+        let got = count_anchors_streaming(xml, &d.noks[0]).unwrap();
+        assert_eq!(got, expected, "query {query} on {xml}");
+    }
+
+    #[test]
+    fn simple_patterns() {
+        let xml = "<r><a><b/><c/></a><a><b/></a><a><c/></a><x><a><b/><c/></a></x></r>";
+        check(xml, "//a[b]");
+        check(xml, "//a[b][c]");
+        check(xml, "//a/b");
+        check(xml, "//r");
+    }
+
+    #[test]
+    fn recursive_documents() {
+        let xml = "<a><b/><a><b/><a/></a></a>";
+        check(xml, "//a[b]");
+        check(xml, "//a");
+        check(xml, "//a[b]/a");
+    }
+
+    #[test]
+    fn value_tests_on_subtree_text() {
+        let xml = "<r><a><b>keep</b></a><a><b>drop</b></a><a><b>ke</b><b>ep</b></a></r>";
+        check(xml, r#"//a[b = "keep"]"#);
+        check(xml, r#"//a[b = "drop"]"#);
+        // Value test on the anchor's own subtree text.
+        check("<r><a>hit</a><a>miss</a></r>", r#"//a[. = "hit"]"#);
+    }
+
+    #[test]
+    fn attribute_constraints() {
+        let xml = r#"<r><a k="1"><b/></a><a k="2"><b/></a><a><b/></a></r>"#;
+        check(xml, r#"//a[@k = "2"]/b"#);
+        check(xml, "//a[@k]/b");
+    }
+
+    #[test]
+    fn wildcard_and_chains() {
+        let xml = "<r><a><b><c/></b></a><a><x><c/></x></a></r>";
+        check(xml, "//a/*");
+        check(xml, "//a/b/c");
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        let d = Decomposition::decompose(
+            &BlossomTree::from_path(&parse_path("//a[b]").unwrap()).unwrap(),
+        );
+        assert!(count_anchors_streaming("<a><b></a>", &d.noks[0]).is_err());
+    }
+
+    #[test]
+    fn agrees_on_generated_datasets() {
+        use blossom_xmlgen::{generate, Dataset};
+        let cases = [
+            (Dataset::D2Address, "//address[zip_code][country_id]"),
+            (Dataset::D3Catalog, "//item[publisher]/title"),
+            (Dataset::D1Recursive, "//b1[c2]"),
+        ];
+        for (ds, query) in cases {
+            let doc = generate(ds, 8_000, 5);
+            let xml = blossom_xml::writer::to_string(&doc);
+            check(&xml, query);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Value-comparison semantics.
+//!
+//! XQuery general comparisons over sequences are *existential*: `a = b`
+//! holds when some item of `a` compares equal to some item of `b`. String
+//! values are trimmed before comparison (the paper's data-centric
+//! documents pad values with whitespace), and when the literal (or both
+//! operands) parse as numbers the comparison is numeric.
+
+use blossom_xml::{Document, NodeId};
+use blossom_xpath::ast::{CmpOp, Literal};
+use blossom_xpath::pattern::ValueTest;
+use std::cmp::Ordering;
+
+/// Compare two atomic string values, numerically when both parse.
+pub fn compare_atomic(left: &str, right: &str) -> Ordering {
+    let (l, r) = (left.trim(), right.trim());
+    match (l.parse::<f64>(), r.parse::<f64>()) {
+        (Ok(a), Ok(b)) => a.partial_cmp(&b).unwrap_or(Ordering::Equal),
+        _ => l.cmp(r),
+    }
+}
+
+/// Does `node`'s string value satisfy `op literal`?
+pub fn node_vs_literal(doc: &Document, node: NodeId, op: CmpOp, literal: &Literal) -> bool {
+    let value = doc.string_value(node);
+    let value = value.trim();
+    match literal {
+        Literal::Str(s) => op.eval(compare_atomic(value, s)),
+        Literal::Num(n) => match value.parse::<f64>() {
+            Ok(v) => op.eval(v.partial_cmp(n).unwrap_or(Ordering::Equal)),
+            Err(_) => false,
+        },
+    }
+}
+
+/// Does `node` satisfy a pattern [`ValueTest`]?
+pub fn node_satisfies(doc: &Document, node: NodeId, test: &ValueTest) -> bool {
+    node_vs_literal(doc, node, test.op, &test.literal)
+}
+
+/// Does a raw string value (e.g. an attribute value) satisfy `op literal`?
+pub fn node_vs_literal_str(value: &str, op: CmpOp, literal: &Literal) -> bool {
+    let value = value.trim();
+    match literal {
+        Literal::Str(s) => op.eval(compare_atomic(value, s)),
+        Literal::Num(n) => match value.parse::<f64>() {
+            Ok(v) => op.eval(v.partial_cmp(n).unwrap_or(Ordering::Equal)),
+            Err(_) => false,
+        },
+    }
+}
+
+/// Existential general comparison between two node sequences.
+pub fn sequences_compare(doc: &Document, left: &[NodeId], op: CmpOp, right: &[NodeId]) -> bool {
+    left.iter().any(|&l| {
+        let lv = doc.string_value(l);
+        right.iter().any(|&r| {
+            let rv = doc.string_value(r);
+            op.eval(compare_atomic(&lv, &rv))
+        })
+    })
+}
+
+/// `fn:deep-equal` over sequences: equal length and pairwise deep-equal
+/// (two empty sequences are deep-equal — this is what makes Example 2's
+/// author-less book pair match).
+pub fn sequences_deep_equal(doc: &Document, left: &[NodeId], right: &[NodeId]) -> bool {
+    left.len() == right.len()
+        && left.iter().zip(right).all(|(&l, &r)| doc.deep_equal(l, r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blossom_xml::Document;
+
+    fn doc() -> Document {
+        Document::parse_str(
+            "<r><a> 10 </a><a>9</a><b>ten</b><c><x>1</x><y>2</y></c><c><x>1</x><y>2</y></c></r>",
+        )
+        .unwrap()
+    }
+
+    fn kids(doc: &Document, tag: &str) -> Vec<NodeId> {
+        let r = doc.root_element().unwrap();
+        doc.children(r).filter(|&n| doc.tag_name(n) == Some(tag)).collect()
+    }
+
+    #[test]
+    fn numeric_vs_string_comparison() {
+        // "10" > "9" numerically, but "10" < "9" as strings.
+        assert_eq!(compare_atomic("10", "9"), Ordering::Greater);
+        assert_eq!(compare_atomic("ten", "nine"), Ordering::Greater);
+        assert_eq!(compare_atomic(" 10 ", "10"), Ordering::Equal);
+    }
+
+    #[test]
+    fn node_vs_literal_trims_and_coerces() {
+        let d = doc();
+        let a = kids(&d, "a");
+        assert!(node_vs_literal(&d, a[0], CmpOp::Eq, &Literal::Str("10".into())));
+        assert!(node_vs_literal(&d, a[0], CmpOp::Gt, &Literal::Num(9.0)));
+        assert!(node_vs_literal(&d, a[1], CmpOp::Lt, &Literal::Num(10.0)));
+        // Non-numeric value never satisfies a numeric literal.
+        let b = kids(&d, "b");
+        assert!(!node_vs_literal(&d, b[0], CmpOp::Eq, &Literal::Num(10.0)));
+        assert!(node_vs_literal(&d, b[0], CmpOp::Eq, &Literal::Str("ten".into())));
+    }
+
+    #[test]
+    fn existential_comparison() {
+        let d = doc();
+        let a = kids(&d, "a");
+        let b = kids(&d, "b");
+        // {10, 9} = {9}: existentially true via the 9.
+        assert!(sequences_compare(&d, &a, CmpOp::Eq, &a[1..]));
+        // {10, 9} = {ten}: false.
+        assert!(!sequences_compare(&d, &a, CmpOp::Eq, &b));
+        // Empty sequences never compare true.
+        assert!(!sequences_compare(&d, &[], CmpOp::Eq, &a));
+        assert!(!sequences_compare(&d, &a, CmpOp::Ne, &[]));
+    }
+
+    #[test]
+    fn deep_equal_sequences() {
+        let d = doc();
+        let c = kids(&d, "c");
+        assert!(sequences_deep_equal(&d, &[c[0]], &[c[1]]));
+        assert!(sequences_deep_equal(&d, &[], &[]), "two empty sequences are deep-equal");
+        assert!(!sequences_deep_equal(&d, &[c[0]], &[]));
+        let a = kids(&d, "a");
+        assert!(!sequences_deep_equal(&d, &[c[0]], &[a[0]]));
+        assert!(!sequences_deep_equal(&d, &c, &[c[0]]));
+    }
+}

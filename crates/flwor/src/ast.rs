@@ -1,0 +1,246 @@
+//! Abstract syntax for the FLWOR subset.
+//!
+//! The paper's grammar (Section 3.1):
+//!
+//! ```text
+//! FLWOR ::= ( 'for' var 'in' Path | 'let' var ':=' Path )+
+//!           ('where' Boolean)?
+//!           ('order by' Path)?
+//!           'return' Path
+//! ```
+//!
+//! We additionally allow element constructors in the `return` clause and
+//! around a whole FLWOR (`<bib>{ for ... }</bib>`) — required to run the
+//! paper's Example 1 end-to-end — and document this extension in
+//! DESIGN.md.
+
+use blossom_xpath::ast::{CmpOp, Literal, PathExpr};
+use std::fmt;
+
+/// A top-level expression: a FLWOR, a bare path, a constructor, or a
+/// sequence of expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A FLWOR expression.
+    Flwor(Box<Flwor>),
+    /// A path expression.
+    Path(PathExpr),
+    /// A direct element constructor.
+    Constructor(Constructor),
+    /// Literal text inside a constructor.
+    Text(String),
+    /// Adjacent items (constructor content).
+    Sequence(Vec<Expr>),
+}
+
+/// `<name attr="v">content</name>`; content mixes text and `{expr}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constructor {
+    /// Element name.
+    pub name: String,
+    /// Static attributes.
+    pub attrs: Vec<(String, String)>,
+    /// Content items in order.
+    pub children: Vec<Expr>,
+}
+
+/// Is a binding a `for` or a `let`?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BindingKind {
+    /// `for $v in path` — iterates; contributes mandatory (`f`) edges.
+    For,
+    /// `let $v := path` — binds the whole sequence; contributes optional
+    /// (`l`) edges.
+    Let,
+}
+
+/// One `for`/`let` binding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Binding {
+    /// `for` or `let`.
+    pub kind: BindingKind,
+    /// Variable name without the `$`.
+    pub var: String,
+    /// The bound path.
+    pub path: PathExpr,
+}
+
+/// The `where` clause boolean language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoolExpr {
+    /// Conjunction.
+    And(Box<BoolExpr>, Box<BoolExpr>),
+    /// Disjunction.
+    Or(Box<BoolExpr>, Box<BoolExpr>),
+    /// Negation.
+    Not(Box<BoolExpr>),
+    /// An atomic comparison.
+    Comparison(Comparison),
+}
+
+/// Atomic comparisons allowed in `where`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Comparison {
+    /// `$a << $b` (true) or `$a >> $b` (false for `before`).
+    NodeOrder {
+        /// Left operand.
+        left: PathExpr,
+        /// True for `<<`, false for `>>`.
+        before: bool,
+        /// Right operand.
+        right: PathExpr,
+    },
+    /// General value comparison, existential over sequences.
+    Value {
+        /// Left operand path.
+        left: PathExpr,
+        /// Operator.
+        op: CmpOp,
+        /// Right operand: path or literal.
+        right: ValueOperand,
+    },
+    /// `deep-equal($a, $b)` — pairwise structural equality of sequences.
+    DeepEqual {
+        /// Left operand.
+        left: PathExpr,
+        /// Right operand.
+        right: PathExpr,
+    },
+    /// `$a is $b` / `$a isnot $b` — node identity (the paper's
+    /// "isnot-join" of Section 4.3).
+    NodeIdentity {
+        /// Left operand.
+        left: PathExpr,
+        /// False for `isnot`.
+        same: bool,
+        /// Right operand.
+        right: PathExpr,
+    },
+    /// `count(path) op number` — cardinality test.
+    Count {
+        /// The counted path.
+        path: PathExpr,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right-hand cardinality.
+        value: f64,
+    },
+    /// `exists(path)` / `empty(path)`.
+    Exists {
+        /// The tested path.
+        path: PathExpr,
+        /// True for `exists`, false for `empty`.
+        exists: bool,
+    },
+}
+
+/// Right-hand side of a value comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValueOperand {
+    /// A path whose matches are compared existentially.
+    Path(PathExpr),
+    /// A literal.
+    Literal(Literal),
+}
+
+/// Sort direction of an `order by` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SortOrder {
+    /// `ascending` (the default).
+    #[default]
+    Ascending,
+    /// `descending`.
+    Descending,
+}
+
+/// A parsed FLWOR expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flwor {
+    /// `for`/`let` bindings in source order.
+    pub bindings: Vec<Binding>,
+    /// Optional `where` clause.
+    pub where_clause: Option<BoolExpr>,
+    /// `order by` keys in priority order with per-key direction
+    /// (empty = no ordering clause).
+    pub order_by: Vec<(PathExpr, SortOrder)>,
+    /// The `return` expression.
+    pub ret: Expr,
+}
+
+impl Flwor {
+    /// Names of all bound variables, in binding order.
+    pub fn variables(&self) -> Vec<&str> {
+        self.bindings.iter().map(|b| b.var.as_str()).collect()
+    }
+
+    /// Count every path expression in the FLWOR (bindings, where, order
+    /// by, return — including paths nested in predicates and
+    /// constructors). Example 1 of the paper contains 18.
+    pub fn path_count(&self) -> usize {
+        fn count_path(p: &PathExpr) -> usize {
+            use blossom_xpath::ast::Predicate;
+            fn count_pred(pred: &Predicate) -> usize {
+                match pred {
+                    Predicate::Exists(p) => count_path(p),
+                    Predicate::Value { path, .. } => {
+                        path.as_ref().map(count_path).unwrap_or(0)
+                    }
+                    Predicate::And(a, b) | Predicate::Or(a, b) => count_pred(a) + count_pred(b),
+                    Predicate::Not(p) => count_pred(p),
+                    Predicate::Position(_) => 0,
+                }
+            }
+            1 + p
+                .steps
+                .iter()
+                .flat_map(|s| s.predicates.iter())
+                .map(count_pred)
+                .sum::<usize>()
+        }
+        fn count_expr(e: &Expr) -> usize {
+            match e {
+                Expr::Flwor(f) => f.path_count(),
+                Expr::Path(p) => count_path(p),
+                Expr::Constructor(c) => c.children.iter().map(count_expr).sum(),
+                Expr::Text(_) => 0,
+                Expr::Sequence(es) => es.iter().map(count_expr).sum(),
+            }
+        }
+        fn count_bool(b: &BoolExpr) -> usize {
+            match b {
+                BoolExpr::And(x, y) | BoolExpr::Or(x, y) => count_bool(x) + count_bool(y),
+                BoolExpr::Not(x) => count_bool(x),
+                BoolExpr::Comparison(c) => match c {
+                    Comparison::NodeOrder { left, right, .. }
+                    | Comparison::DeepEqual { left, right }
+                    | Comparison::NodeIdentity { left, right, .. } => {
+                        count_path(left) + count_path(right)
+                    }
+                    Comparison::Count { path, .. } | Comparison::Exists { path, .. } => {
+                        count_path(path)
+                    }
+                    Comparison::Value { left, right, .. } => {
+                        count_path(left)
+                            + match right {
+                                ValueOperand::Path(p) => count_path(p),
+                                ValueOperand::Literal(_) => 0,
+                            }
+                    }
+                },
+            }
+        }
+        self.bindings.iter().map(|b| count_path(&b.path)).sum::<usize>()
+            + self.where_clause.as_ref().map(count_bool).unwrap_or(0)
+            + self.order_by.iter().map(|(p, _)| count_path(p)).sum::<usize>()
+            + count_expr(&self.ret)
+    }
+}
+
+impl fmt::Display for BindingKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BindingKind::For => f.write_str("for"),
+            BindingKind::Let => f.write_str("let"),
+        }
+    }
+}

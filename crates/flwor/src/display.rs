@@ -1,0 +1,197 @@
+//! Pretty-printing of FLWOR expressions.
+//!
+//! `Display` for [`Expr`] emits text the parser accepts back, so
+//! `parse(print(parse(q)))` is a fix-point — asserted by round-trip
+//! tests. Useful for plan explanation and query logging.
+
+use crate::ast::{Binding, BindingKind, BoolExpr, Comparison, Expr, Flwor, ValueOperand};
+use std::fmt;
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Path(p) => write!(f, "{p}"),
+            Expr::Flwor(flwor) => write!(f, "{flwor}"),
+            Expr::Text(t) => escape_text(t, f),
+            Expr::Sequence(items) => {
+                for item in items {
+                    write!(f, "{item}")?;
+                }
+                Ok(())
+            }
+            Expr::Constructor(c) => {
+                write!(f, "<{}", c.name)?;
+                for (k, v) in &c.attrs {
+                    write!(f, " {k}=\"")?;
+                    escape_attr(v, f)?;
+                    write!(f, "\"")?;
+                }
+                if c.children.is_empty() {
+                    return write!(f, "/>");
+                }
+                write!(f, ">")?;
+                for child in &c.children {
+                    match child {
+                        Expr::Text(t) => escape_text(t, f)?,
+                        Expr::Constructor(_) => write!(f, "{child}")?,
+                        spliced => write!(f, "{{ {spliced} }}")?,
+                    }
+                }
+                write!(f, "</{}>", c.name)
+            }
+        }
+    }
+}
+
+fn escape_text(t: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    for ch in t.chars() {
+        match ch {
+            '<' => f.write_str("&lt;")?,
+            '&' => f.write_str("&amp;")?,
+            '{' => f.write_str("&#123;")?,
+            '}' => f.write_str("&#125;")?,
+            c => fmt::Write::write_char(f, c)?,
+        }
+    }
+    Ok(())
+}
+
+fn escape_attr(t: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    for ch in t.chars() {
+        match ch {
+            '<' => f.write_str("&lt;")?,
+            '&' => f.write_str("&amp;")?,
+            '"' => f.write_str("&quot;")?,
+            c => fmt::Write::write_char(f, c)?,
+        }
+    }
+    Ok(())
+}
+
+impl fmt::Display for Binding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            BindingKind::For => write!(f, "for ${} in {}", self.var, self.path),
+            BindingKind::Let => write!(f, "let ${} := {}", self.var, self.path),
+        }
+    }
+}
+
+impl fmt::Display for Flwor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.bindings {
+            writeln!(f, "{b}")?;
+        }
+        if let Some(w) = &self.where_clause {
+            writeln!(f, "where {w}")?;
+        }
+        if !self.order_by.is_empty() {
+            f.write_str("order by ")?;
+            for (i, (ob, direction)) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{ob}")?;
+                if *direction == crate::ast::SortOrder::Descending {
+                    f.write_str(" descending")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        write!(f, "return {}", self.ret)
+    }
+}
+
+impl fmt::Display for BoolExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoolExpr::And(a, b) => write!(f, "({a} and {b})"),
+            BoolExpr::Or(a, b) => write!(f, "({a} or {b})"),
+            BoolExpr::Not(e) => write!(f, "not({e})"),
+            BoolExpr::Comparison(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Comparison::NodeOrder { left, before, right } => {
+                write!(f, "{left} {} {right}", if *before { "<<" } else { ">>" })
+            }
+            Comparison::Value { left, op, right } => match right {
+                ValueOperand::Path(p) => write!(f, "{left} {op} {p}"),
+                ValueOperand::Literal(l) => write!(f, "{left} {op} {l}"),
+            },
+            Comparison::DeepEqual { left, right } => {
+                write!(f, "deep-equal({left}, {right})")
+            }
+            Comparison::NodeIdentity { left, same, right } => {
+                write!(f, "{left} {} {right}", if *same { "is" } else { "isnot" })
+            }
+            Comparison::Count { path, op, value } => {
+                write!(f, "count({path}) {op} {value}")
+            }
+            Comparison::Exists { path, exists } => {
+                write!(f, "{}({path})", if *exists { "exists" } else { "empty" })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse::parse_query;
+
+    /// parse(print(parse(q))) == parse(q) for a representative corpus.
+    #[test]
+    fn display_roundtrips() {
+        let corpus = [
+            "for $b in //book return $b/title",
+            "for $b in doc(\"bib.xml\")//book let $a := $b/author return $a",
+            "for $a in //x, $b in //y where $a << $b return <p>{$a}{$b}</p>",
+            "for $b in //book where $b/price < 50 and not($b/x = $b/y) return $b",
+            "for $b in //book where deep-equal($b/a, $b/c) or $b/t = \"x\" return $b",
+            "for $b in //book order by $b/title return <t lang=\"en\">{$b/title}</t>",
+            "<bib>{ for $b in //book return <i>text {$b} more</i> }</bib>",
+            "//book[author][2]",
+            "<empty/>",
+            "for $v in //a[.//b]/c[following-sibling::d] return $v",
+        ];
+        for q in corpus {
+            let once = parse_query(q).unwrap_or_else(|e| panic!("{q}: {e}"));
+            let printed = once.to_string();
+            let twice = parse_query(&printed)
+                .unwrap_or_else(|e| panic!("reparse of {printed:?}: {e}"));
+            assert_eq!(once, twice, "printed as {printed:?}");
+        }
+    }
+
+    /// Text content with markup-significant characters survives.
+    #[test]
+    fn display_escapes_constructor_text() {
+        let q = "<a>1 &lt; 2 &amp; 3</a>";
+        let once = parse_query(q).unwrap();
+        let printed = once.to_string();
+        let twice = parse_query(&printed).unwrap();
+        assert_eq!(once, twice);
+    }
+
+    /// Example 1 prints and reparses.
+    #[test]
+    fn example1_roundtrip() {
+        let q = r#"<bib>{
+            for $book1 in doc("bib.xml")//book, $book2 in doc("bib.xml")//book
+            let $aut1 := $book1/author
+            let $aut2 := $book2/author
+            where $book1 << $book2
+              and not($book1/title = $book2/title)
+              and deep-equal($aut1, $aut2)
+            return <book-pair>{ $book1/title }{ $book2/title }</book-pair>
+        }</bib>"#;
+        let once = parse_query(q).unwrap();
+        let printed = once.to_string();
+        let twice = parse_query(&printed).unwrap();
+        assert_eq!(once, twice, "printed as {printed}");
+    }
+}

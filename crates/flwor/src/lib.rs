@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! FLWOR parsing and the BlossomTree formalism.
+//!
+//! This crate implements Section 3.1 of the paper:
+//!
+//! * an AST and parser for the restricted FLWOR grammar
+//!   (`(for|let)+ where? (order by)? return`), extended with direct
+//!   element constructors in the `return` clause so the paper's Example 1
+//!   runs end-to-end ([`ast`], [`parse`]),
+//! * the BlossomTree itself ([`blossom`]): an annotated digraph whose
+//!   tree edges carry `<axis, f|l>` annotations and whose crossing edges
+//!   carry structural (`<<`), value (`=`, `!=`, ...) or mixed
+//!   (`deep-equal`) relationships, with Dewey IDs assigned to its
+//!   returning nodes ahead of NoK decomposition.
+//!
+//! ```
+//! use blossom_flwor::{parse_query, BlossomTree, Expr};
+//!
+//! let q = parse_query(
+//!     "for $b in doc(\"bib.xml\")//book let $a := $b/author \
+//!      where $b/title = \"TAoCP\" return $a",
+//! ).unwrap();
+//! let flwor = match &q { Expr::Flwor(f) => f, _ => unreachable!() };
+//! let bt = BlossomTree::from_flwor(flwor).unwrap();
+//! assert_eq!(bt.documents, vec!["bib.xml".to_string()]);
+//! ```
+
+pub mod ast;
+pub mod blossom;
+pub mod display;
+pub mod parse;
+
+pub use ast::{
+    Binding, BindingKind, BoolExpr, Comparison, Constructor, Expr, Flwor, SortOrder,
+    ValueOperand,
+};
+pub use blossom::{BlossomError, BlossomTree, CrossRel, CrossingEdge};
+pub use parse::parse_query;

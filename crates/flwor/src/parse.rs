@@ -1,0 +1,811 @@
+//! Parser for the FLWOR subset (plus element constructors).
+//!
+//! Clause heads (`for`/`let`/`where`/`order by`) contain only path and
+//! boolean expressions, so they are lexed with the shared token lexer of
+//! `blossom-xpath`. The `return` clause may contain direct element
+//! constructors with arbitrary text content, which tokens cannot
+//! represent, so constructors are parsed at the character level and the
+//! expressions spliced inside `{ ... }` are parsed recursively.
+//!
+//! One documented limitation follows from keyword-directed clause
+//! splitting: the words `for let where order return` cannot be used as tag
+//! names at clause nesting depth 0 of a FLWOR head.
+
+use crate::ast::{
+    Binding, BindingKind, BoolExpr, Comparison, Constructor, Expr, Flwor, ValueOperand,
+};
+use blossom_xml::parser::decode_entities;
+use blossom_xpath::ast::Literal;
+use blossom_xpath::parser::parse_path_tokens;
+use blossom_xpath::tokens::{Cursor, SyntaxError, Tok};
+
+/// Parse a complete query: a FLWOR, a path, or a constructor wrapping
+/// either.
+pub fn parse_query(src: &str) -> Result<Expr, SyntaxError> {
+    let expr = parse_expr(src, 0)?;
+    Ok(expr)
+}
+
+/// Parse an expression occupying all of `src`; `base` is the byte offset
+/// of `src` within the original query text (for error reporting).
+fn parse_expr(src: &str, base: usize) -> Result<Expr, SyntaxError> {
+    let trimmed_start = src.len() - src.trim_start().len();
+    let body = src.trim();
+    let offset = base + trimmed_start;
+    if body.is_empty() {
+        return Err(SyntaxError { message: "empty expression".into(), offset });
+    }
+    if body.starts_with('<') && body[1..].starts_with(|c: char| c.is_alphabetic() || c == '_') {
+        let (ctor, consumed) = parse_constructor(body, offset)?;
+        let rest = body[consumed..].trim();
+        if !rest.is_empty() {
+            return Err(SyntaxError {
+                message: format!("unexpected content after constructor: {rest:?}"),
+                offset: offset + consumed,
+            });
+        }
+        return Ok(Expr::Constructor(ctor));
+    }
+    if starts_with_keyword(body, "for") || starts_with_keyword(body, "let") {
+        return parse_flwor(body, offset).map(|f| Expr::Flwor(Box::new(f)));
+    }
+    // A plain path expression.
+    let mut cursor = cursor_at(body, offset)?;
+    let path = parse_path_tokens(&mut cursor)?;
+    if !cursor.at_end() {
+        return Err(cursor.error("unexpected trailing tokens after path".into()));
+    }
+    Ok(Expr::Path(path))
+}
+
+fn cursor_at(body: &str, offset: usize) -> Result<Cursor, SyntaxError> {
+    Cursor::new(body).map_err(|e| SyntaxError {
+        message: e.message,
+        offset: offset + e.offset,
+    })
+}
+
+fn starts_with_keyword(s: &str, kw: &str) -> bool {
+    s.starts_with(kw)
+        && s[kw.len()..]
+            .chars()
+            .next()
+            .map(|c| !c.is_alphanumeric() && c != '_' && c != '-')
+            .unwrap_or(true)
+}
+
+/// The clause keywords that delimit a FLWOR at nesting depth 0.
+const CLAUSE_KEYWORDS: [&str; 5] = ["for", "let", "where", "order", "return"];
+
+/// `(keyword, keyword_offset_in_src)` for each top-level clause.
+fn split_clauses(src: &str) -> Vec<(&'static str, usize)> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut depth = 0i32;
+    let mut quote: Option<u8> = None;
+    let mut prev_is_name = false;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if let Some(q) = quote {
+            if b == q {
+                quote = None;
+            }
+            i += 1;
+            prev_is_name = false;
+            continue;
+        }
+        match b {
+            b'"' | b'\'' => {
+                quote = Some(b);
+                i += 1;
+                prev_is_name = false;
+            }
+            b'[' | b'(' | b'{' => {
+                depth += 1;
+                i += 1;
+                prev_is_name = false;
+            }
+            b']' | b')' | b'}' => {
+                depth -= 1;
+                i += 1;
+                prev_is_name = false;
+            }
+            _ if depth == 0 && !prev_is_name && b.is_ascii_alphabetic() => {
+                let mut matched = None;
+                for kw in CLAUSE_KEYWORDS {
+                    if src[i..].starts_with(kw) && starts_with_keyword(&src[i..], kw) {
+                        matched = Some(kw);
+                        break;
+                    }
+                }
+                if let Some(kw) = matched {
+                    out.push((kw, i));
+                    i += kw.len();
+                    if kw == "return" {
+                        // Everything after belongs to the return clause.
+                        break;
+                    }
+                } else {
+                    // Skip the whole name.
+                    while i < bytes.len() && is_name_char(bytes[i]) {
+                        i += 1;
+                    }
+                }
+                prev_is_name = true;
+            }
+            _ => {
+                prev_is_name = is_name_char(b) || b == b'$' || b == b'@';
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[inline]
+fn is_name_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-') || b >= 0x80
+}
+
+fn parse_flwor(src: &str, base: usize) -> Result<Flwor, SyntaxError> {
+    let clauses = split_clauses(src);
+    let mut bindings = Vec::new();
+    let mut where_clause = None;
+    let mut order_by = Vec::new();
+    let mut ret = None;
+    let mut seen_non_binding = false;
+
+    for (idx, &(kw, kw_off)) in clauses.iter().enumerate() {
+        let body_start = kw_off + kw.len();
+        let body_end = clauses.get(idx + 1).map(|&(_, o)| o).unwrap_or(src.len());
+        let body = &src[body_start..body_end];
+        let body_offset = base + body_start;
+        match kw {
+            "for" | "let" => {
+                if seen_non_binding {
+                    return Err(SyntaxError {
+                        message: format!("'{kw}' clause after where/order by/return"),
+                        offset: base + kw_off,
+                    });
+                }
+                let kind = if kw == "for" { BindingKind::For } else { BindingKind::Let };
+                parse_bindings(body, body_offset, kind, &mut bindings)?;
+            }
+            "where" => {
+                seen_non_binding = true;
+                if where_clause.is_some() {
+                    return Err(SyntaxError {
+                        message: "duplicate where clause".into(),
+                        offset: base + kw_off,
+                    });
+                }
+                let mut cursor = cursor_at(body, body_offset)?;
+                let expr = parse_bool_or(&mut cursor)?;
+                if !cursor.at_end() {
+                    return Err(cursor.error("unexpected tokens after where clause".into()));
+                }
+                where_clause = Some(expr);
+            }
+            "order" => {
+                seen_non_binding = true;
+                let mut cursor = cursor_at(body, body_offset)?;
+                if !cursor.eat_keyword("by") {
+                    return Err(cursor.error("expected 'by' after 'order'".into()));
+                }
+                loop {
+                    let path = parse_path_tokens(&mut cursor)?;
+                    let direction = if cursor.eat_keyword("descending") {
+                        crate::ast::SortOrder::Descending
+                    } else {
+                        cursor.eat_keyword("ascending");
+                        crate::ast::SortOrder::Ascending
+                    };
+                    order_by.push((path, direction));
+                    if !cursor.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                if !cursor.at_end() {
+                    return Err(cursor.error("unexpected tokens after order by".into()));
+                }
+            }
+            "return" => {
+                seen_non_binding = true;
+                ret = Some(parse_expr(body, body_offset)?);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    if bindings.is_empty() {
+        return Err(SyntaxError {
+            message: "FLWOR needs at least one for/let binding".into(),
+            offset: base,
+        });
+    }
+    let ret = ret.ok_or(SyntaxError {
+        message: "FLWOR is missing its return clause".into(),
+        offset: base + src.len(),
+    })?;
+    Ok(Flwor { bindings, where_clause, order_by, ret })
+}
+
+fn parse_bindings(
+    body: &str,
+    offset: usize,
+    kind: BindingKind,
+    out: &mut Vec<Binding>,
+) -> Result<(), SyntaxError> {
+    let mut cursor = cursor_at(body, offset)?;
+    loop {
+        cursor.expect(&Tok::Dollar)?;
+        let var = cursor.expect_name()?;
+        match kind {
+            BindingKind::For => {
+                if !cursor.eat_keyword("in") {
+                    return Err(cursor.error("expected 'in' in for binding".into()));
+                }
+            }
+            BindingKind::Let => cursor.expect(&Tok::Assign)?,
+        }
+        let path = parse_path_tokens(&mut cursor)?;
+        out.push(Binding { kind, var, path });
+        if !cursor.eat(&Tok::Comma) {
+            break;
+        }
+    }
+    if !cursor.at_end() {
+        return Err(cursor.error("unexpected tokens after binding".into()));
+    }
+    Ok(())
+}
+
+fn parse_bool_or(cursor: &mut Cursor) -> Result<BoolExpr, SyntaxError> {
+    let mut left = parse_bool_and(cursor)?;
+    while cursor.eat_keyword("or") {
+        let right = parse_bool_and(cursor)?;
+        left = BoolExpr::Or(Box::new(left), Box::new(right));
+    }
+    Ok(left)
+}
+
+fn parse_bool_and(cursor: &mut Cursor) -> Result<BoolExpr, SyntaxError> {
+    let mut left = parse_bool_unary(cursor)?;
+    while cursor.eat_keyword("and") {
+        let right = parse_bool_unary(cursor)?;
+        left = BoolExpr::And(Box::new(left), Box::new(right));
+    }
+    Ok(left)
+}
+
+fn parse_bool_unary(cursor: &mut Cursor) -> Result<BoolExpr, SyntaxError> {
+    if cursor.at_keyword("not") && cursor.peek_at(1) == Some(&Tok::LParen) {
+        cursor.next();
+        cursor.next();
+        let inner = parse_bool_or(cursor)?;
+        cursor.expect(&Tok::RParen)?;
+        return Ok(BoolExpr::Not(Box::new(inner)));
+    }
+    if cursor.eat(&Tok::LParen) {
+        let inner = parse_bool_or(cursor)?;
+        cursor.expect(&Tok::RParen)?;
+        return Ok(inner);
+    }
+    if cursor.at_keyword("count") && cursor.peek_at(1) == Some(&Tok::LParen) {
+        cursor.next();
+        cursor.next();
+        let path = parse_path_tokens(cursor)?;
+        cursor.expect(&Tok::RParen)?;
+        let op = match cursor.next() {
+            Some(Tok::Eq) => blossom_xpath::CmpOp::Eq,
+            Some(Tok::Ne) => blossom_xpath::CmpOp::Ne,
+            Some(Tok::Lt) => blossom_xpath::CmpOp::Lt,
+            Some(Tok::Le) => blossom_xpath::CmpOp::Le,
+            Some(Tok::Gt) => blossom_xpath::CmpOp::Gt,
+            Some(Tok::Ge) => blossom_xpath::CmpOp::Ge,
+            _ => return Err(cursor.error("expected comparison after count(...)".into())),
+        };
+        let value = match cursor.next() {
+            Some(Tok::Num(n)) => n,
+            _ => return Err(cursor.error("expected number after count(...) comparison".into())),
+        };
+        return Ok(BoolExpr::Comparison(Comparison::Count { path, op, value }));
+    }
+    for (kw, exists) in [("exists", true), ("empty", false)] {
+        if cursor.at_keyword(kw) && cursor.peek_at(1) == Some(&Tok::LParen) {
+            cursor.next();
+            cursor.next();
+            let path = parse_path_tokens(cursor)?;
+            cursor.expect(&Tok::RParen)?;
+            return Ok(BoolExpr::Comparison(Comparison::Exists { path, exists }));
+        }
+    }
+    if cursor.at_keyword("deep-equal") && cursor.peek_at(1) == Some(&Tok::LParen) {
+        cursor.next();
+        cursor.next();
+        let left = parse_path_tokens(cursor)?;
+        cursor.expect(&Tok::Comma)?;
+        let right = parse_path_tokens(cursor)?;
+        cursor.expect(&Tok::RParen)?;
+        return Ok(BoolExpr::Comparison(Comparison::DeepEqual { left, right }));
+    }
+    // Path-led comparison.
+    let left = parse_path_tokens(cursor)?;
+    if cursor.eat_keyword("is") {
+        let right = parse_path_tokens(cursor)?;
+        return Ok(BoolExpr::Comparison(Comparison::NodeIdentity { left, same: true, right }));
+    }
+    if cursor.eat_keyword("isnot") {
+        let right = parse_path_tokens(cursor)?;
+        return Ok(BoolExpr::Comparison(Comparison::NodeIdentity {
+            left,
+            same: false,
+            right,
+        }));
+    }
+    let comparison = match cursor.peek() {
+        Some(Tok::Before) => {
+            cursor.next();
+            let right = parse_path_tokens(cursor)?;
+            Comparison::NodeOrder { left, before: true, right }
+        }
+        Some(Tok::After) => {
+            cursor.next();
+            let right = parse_path_tokens(cursor)?;
+            Comparison::NodeOrder { left, before: false, right }
+        }
+        Some(tok) => {
+            let op = match tok {
+                Tok::Eq => blossom_xpath::CmpOp::Eq,
+                Tok::Ne => blossom_xpath::CmpOp::Ne,
+                Tok::Lt => blossom_xpath::CmpOp::Lt,
+                Tok::Le => blossom_xpath::CmpOp::Le,
+                Tok::Gt => blossom_xpath::CmpOp::Gt,
+                Tok::Ge => blossom_xpath::CmpOp::Ge,
+                other => {
+                    return Err(
+                        cursor.error(format!("expected comparison operator, found '{other}'"))
+                    )
+                }
+            };
+            cursor.next();
+            let right = match cursor.peek() {
+                Some(Tok::Str(_)) => match cursor.next() {
+                    Some(Tok::Str(s)) => ValueOperand::Literal(Literal::Str(s)),
+                    _ => unreachable!(),
+                },
+                Some(Tok::Num(_)) => match cursor.next() {
+                    Some(Tok::Num(n)) => ValueOperand::Literal(Literal::Num(n)),
+                    _ => unreachable!(),
+                },
+                _ => ValueOperand::Path(parse_path_tokens(cursor)?),
+            };
+            Comparison::Value { left, op, right }
+        }
+        None => return Err(cursor.error("expected comparison operator".into())),
+    };
+    Ok(BoolExpr::Comparison(comparison))
+}
+
+/// Parse a direct element constructor starting at `src[0] == '<'`.
+/// Returns the constructor and the number of bytes consumed.
+fn parse_constructor(src: &str, base: usize) -> Result<(Constructor, usize), SyntaxError> {
+    let bytes = src.as_bytes();
+    debug_assert_eq!(bytes[0], b'<');
+    let mut i = 1usize;
+    let name_start = i;
+    while i < bytes.len() && is_name_char(bytes[i]) {
+        i += 1;
+    }
+    if i == name_start {
+        return Err(SyntaxError { message: "expected element name".into(), offset: base + i });
+    }
+    let name = src[name_start..i].to_string();
+
+    // Static attributes.
+    let mut attrs = Vec::new();
+    loop {
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        match bytes.get(i) {
+            Some(b'>') => {
+                i += 1;
+                break;
+            }
+            Some(b'/') if bytes.get(i + 1) == Some(&b'>') => {
+                return Ok((Constructor { name, attrs, children: Vec::new() }, i + 2));
+            }
+            Some(&b) if is_name_char(b) => {
+                let a_start = i;
+                while i < bytes.len() && is_name_char(bytes[i]) {
+                    i += 1;
+                }
+                let attr_name = src[a_start..i].to_string();
+                if bytes.get(i) != Some(&b'=') {
+                    return Err(SyntaxError {
+                        message: "expected '=' in attribute".into(),
+                        offset: base + i,
+                    });
+                }
+                i += 1;
+                let quote = match bytes.get(i) {
+                    Some(&q @ (b'"' | b'\'')) => q,
+                    _ => {
+                        return Err(SyntaxError {
+                            message: "expected quoted attribute value".into(),
+                            offset: base + i,
+                        })
+                    }
+                };
+                i += 1;
+                let v_start = i;
+                while i < bytes.len() && bytes[i] != quote {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(SyntaxError {
+                        message: "unterminated attribute value".into(),
+                        offset: base + v_start,
+                    });
+                }
+                attrs.push((attr_name, src[v_start..i].to_string()));
+                i += 1;
+            }
+            _ => {
+                return Err(SyntaxError {
+                    message: "malformed constructor tag".into(),
+                    offset: base + i,
+                })
+            }
+        }
+    }
+
+    // Content until the matching end tag.
+    let mut children = Vec::new();
+    loop {
+        if i >= bytes.len() {
+            return Err(SyntaxError {
+                message: format!("constructor <{name}> is never closed"),
+                offset: base + i,
+            });
+        }
+        if bytes[i] == b'<' {
+            if bytes.get(i + 1) == Some(&b'/') {
+                let e_start = i + 2;
+                let mut j = e_start;
+                while j < bytes.len() && is_name_char(bytes[j]) {
+                    j += 1;
+                }
+                let end_name = &src[e_start..j];
+                while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                    j += 1;
+                }
+                if bytes.get(j) != Some(&b'>') {
+                    return Err(SyntaxError {
+                        message: "malformed end tag".into(),
+                        offset: base + j,
+                    });
+                }
+                if end_name != name {
+                    return Err(SyntaxError {
+                        message: format!("mismatched end tag </{end_name}> for <{name}>"),
+                        offset: base + e_start,
+                    });
+                }
+                return Ok((Constructor { name, attrs, children }, j + 1));
+            }
+            // Nested constructor.
+            let (nested, consumed) = parse_constructor(&src[i..], base + i)?;
+            children.push(Expr::Constructor(nested));
+            i += consumed;
+        } else if bytes[i] == b'{' {
+            // Find the matching close brace (respecting nesting + quotes).
+            let open = i;
+            let mut depth = 1i32;
+            let mut quote: Option<u8> = None;
+            i += 1;
+            while i < bytes.len() && depth > 0 {
+                let b = bytes[i];
+                if let Some(q) = quote {
+                    if b == q {
+                        quote = None;
+                    }
+                } else {
+                    match b {
+                        b'"' | b'\'' => quote = Some(b),
+                        b'{' => depth += 1,
+                        b'}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                i += 1;
+            }
+            if depth > 0 {
+                return Err(SyntaxError {
+                    message: "unbalanced '{' in constructor".into(),
+                    offset: base + open,
+                });
+            }
+            let inner = &src[open + 1..i - 1];
+            children.push(parse_expr(inner, base + open + 1)?);
+        } else {
+            // Raw text run.
+            let t_start = i;
+            while i < bytes.len() && bytes[i] != b'<' && bytes[i] != b'{' {
+                i += 1;
+            }
+            let raw = &src[t_start..i];
+            if !raw.trim().is_empty() {
+                let decoded = decode_entities(raw).map_err(|off| SyntaxError {
+                    message: "invalid entity in constructor text".into(),
+                    offset: base + t_start + off,
+                })?;
+                children.push(Expr::Text(decoded.into_owned()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blossom_xpath::ast::{PathStart, PathExpr};
+    use blossom_xpath::CmpOp;
+
+    const EXAMPLE1: &str = r#"<bib>
+    {
+    for $book1 in doc("bib.xml")//book,
+        $book2 in doc("bib.xml")//book
+    let $aut1 := $book1/author
+    let $aut2 := $book2/author
+    where $book1 << $book2
+      and not($book1/title = $book2/title)
+      and deep-equal($aut1, $aut2)
+    return
+        <book-pair>
+            { $book1/title }
+            { $book2/title }
+        </book-pair>
+    }
+    </bib>"#;
+
+    fn flwor_of(expr: &Expr) -> &Flwor {
+        match expr {
+            Expr::Flwor(f) => f,
+            Expr::Constructor(c) => c
+                .children
+                .iter()
+                .find_map(|e| match e {
+                    Expr::Flwor(f) => Some(f.as_ref()),
+                    _ => None,
+                })
+                .expect("constructor contains a FLWOR"),
+            other => panic!("expected FLWOR, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn example1_parses() {
+        let q = parse_query(EXAMPLE1).unwrap();
+        let f = flwor_of(&q);
+        assert_eq!(f.variables(), vec!["book1", "book2", "aut1", "aut2"]);
+        assert_eq!(f.bindings[0].kind, BindingKind::For);
+        assert_eq!(f.bindings[2].kind, BindingKind::Let);
+        // where: And(And(<<, not(=)), deep-equal)
+        let w = f.where_clause.as_ref().unwrap();
+        match w {
+            BoolExpr::And(left, right) => {
+                assert!(matches!(
+                    **right,
+                    BoolExpr::Comparison(Comparison::DeepEqual { .. })
+                ));
+                match &**left {
+                    BoolExpr::And(a, b) => {
+                        assert!(matches!(
+                            **a,
+                            BoolExpr::Comparison(Comparison::NodeOrder { before: true, .. })
+                        ));
+                        assert!(matches!(**b, BoolExpr::Not(_)));
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // return: <book-pair> with two path splices.
+        match &f.ret {
+            Expr::Constructor(c) => {
+                assert_eq!(c.name, "book-pair");
+                assert_eq!(c.children.len(), 2);
+                assert!(matches!(&c.children[0], Expr::Path(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn example1_has_18_path_expressions() {
+        // The paper counts 18 path expressions in Example 1: 2 in for,
+        // 2 in let, 6 in where ($book1, $book2, $book1/title,
+        // $book2/title, $aut1, $aut2), 2 in return... plus each variable
+        // reference — our AST counts paths per occurrence.
+        let q = parse_query(EXAMPLE1).unwrap();
+        let f = flwor_of(&q);
+        // for(2) + let(2: $book1/author etc. — the RHS only) + where(6) + return(2)
+        // The paper's count of 18 additionally counts variable *references*
+        // inside let RHS and both operands of every comparison; our AST
+        // folds `$v/p` into one path. 12 paths is the folded count.
+        assert_eq!(f.path_count(), 12);
+    }
+
+    #[test]
+    fn simple_for_return_path() {
+        let q = parse_query("for $b in doc(\"bib.xml\")//book return $b/title").unwrap();
+        let f = flwor_of(&q);
+        assert_eq!(f.bindings.len(), 1);
+        assert!(f.where_clause.is_none());
+        match &f.ret {
+            Expr::Path(p) => {
+                assert_eq!(p.start, PathStart::Variable("b".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn where_with_literal() {
+        let q = parse_query(
+            r#"for $b in /bib/book where $b/author = "Knuth" return $b"#,
+        )
+        .unwrap();
+        let f = flwor_of(&q);
+        match f.where_clause.as_ref().unwrap() {
+            BoolExpr::Comparison(Comparison::Value {
+                op: CmpOp::Eq,
+                right: ValueOperand::Literal(Literal::Str(s)),
+                ..
+            }) => assert_eq!(s, "Knuth"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn order_by_clause() {
+        let q = parse_query("for $b in //book order by $b/title return $b").unwrap();
+        let f = flwor_of(&q);
+        let (ob, direction) = &f.order_by[0];
+        assert_eq!(ob.start, PathStart::Variable("b".into()));
+        assert_eq!(*direction, crate::ast::SortOrder::Ascending);
+        // Explicit directions parse too.
+        let q = parse_query("for $b in //book order by $b/t descending return $b").unwrap();
+        let f2 = flwor_of(&q);
+        assert_eq!(f2.order_by[0].1, crate::ast::SortOrder::Descending);
+        let q = parse_query("for $b in //book order by $b/t ascending return $b").unwrap();
+        let f3 = flwor_of(&q);
+        assert_eq!(f3.order_by[0].1, crate::ast::SortOrder::Ascending);
+        // Multiple keys.
+        let q = parse_query(
+            "for $b in //book order by $b/a descending, $b/t return $b",
+        )
+        .unwrap();
+        let f4 = flwor_of(&q);
+        assert_eq!(f4.order_by.len(), 2);
+        assert_eq!(f4.order_by[0].1, crate::ast::SortOrder::Descending);
+        assert_eq!(f4.order_by[1].1, crate::ast::SortOrder::Ascending);
+    }
+
+    #[test]
+    fn bare_path_query() {
+        let q = parse_query("//book/title").unwrap();
+        assert!(matches!(q, Expr::Path(_)));
+    }
+
+    #[test]
+    fn constructor_with_text_and_entities() {
+        let q = parse_query("<greeting lang=\"en\">hello &amp; goodbye</greeting>").unwrap();
+        match q {
+            Expr::Constructor(c) => {
+                assert_eq!(c.name, "greeting");
+                assert_eq!(c.attrs, vec![("lang".to_string(), "en".to_string())]);
+                assert_eq!(c.children, vec![Expr::Text("hello & goodbye".into())]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_constructors() {
+        let q = parse_query("<a><b>x</b><c/></a>").unwrap();
+        match q {
+            Expr::Constructor(c) => {
+                assert_eq!(c.children.len(), 2);
+                assert!(matches!(&c.children[0], Expr::Constructor(b) if b.name == "b"));
+                assert!(
+                    matches!(&c.children[1], Expr::Constructor(c2) if c2.children.is_empty())
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comma_separated_for_bindings() {
+        let q = parse_query("for $a in //x, $b in //y return $a").unwrap();
+        let f = flwor_of(&q);
+        assert_eq!(f.bindings.len(), 2);
+        assert!(f.bindings.iter().all(|b| b.kind == BindingKind::For));
+    }
+
+    #[test]
+    fn parenthesized_where() {
+        let q = parse_query(
+            "for $a in //x where ($a = \"1\" or $a = \"2\") and $a != \"3\" return $a",
+        )
+        .unwrap();
+        let f = flwor_of(&q);
+        assert!(matches!(f.where_clause.as_ref().unwrap(), BoolExpr::And(_, _)));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_query("").is_err());
+        assert!(parse_query("for $a return $a").is_err()); // missing 'in path'
+        assert!(parse_query("for $a in //x").is_err()); // missing return
+        assert!(parse_query("for $a in //x where return $a").is_err());
+        assert!(parse_query("<a>{</a>").is_err()); // unbalanced brace
+        assert!(parse_query("<a><b></a>").is_err()); // mismatched end tag
+        assert!(parse_query("<a>x").is_err()); // unclosed constructor
+        assert!(parse_query("let $a = //x return $a").is_err()); // '=' not ':='
+        assert!(parse_query("for $a in //x return $a extra").is_err());
+    }
+
+    #[test]
+    fn strings_containing_keywords_do_not_split_clauses() {
+        let q = parse_query(
+            r#"for $b in doc("return where.xml")//book return $b"#,
+        )
+        .unwrap();
+        let f = flwor_of(&q);
+        assert_eq!(f.bindings.len(), 1);
+        match &f.bindings[0].path.start {
+            PathStart::Root { doc: Some(uri) } => assert_eq!(uri, "return where.xml"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn keywords_inside_predicates_do_not_split_clauses() {
+        // 'where' as a tag name inside a bracketed predicate is fine.
+        let q = parse_query("for $a in //x[where] return $a").unwrap();
+        let f = flwor_of(&q);
+        assert!(f.where_clause.is_none());
+        assert_eq!(f.bindings.len(), 1);
+    }
+
+    #[test]
+    fn sequence_expr_helper() {
+        // Sequences only occur as constructor children; verify ordering.
+        let q = parse_query("<r>a{ //x }b</r>").unwrap();
+        match q {
+            Expr::Constructor(c) => {
+                assert_eq!(c.children.len(), 3);
+                assert!(matches!(&c.children[0], Expr::Text(t) if t == "a"));
+                assert!(matches!(&c.children[1], Expr::Path(_)));
+                assert!(matches!(&c.children[2], Expr::Text(t) if t == "b"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn let_with_comma_list() {
+        let q = parse_query("let $a := //x, $b := //y return $a").unwrap();
+        let f = flwor_of(&q);
+        assert_eq!(f.bindings.len(), 2);
+        assert!(f.bindings.iter().all(|b| b.kind == BindingKind::Let));
+    }
+
+    fn _assert_path_type(_: &PathExpr) {}
+}

@@ -1,0 +1,43 @@
+//! Robustness: the FLWOR parser and BlossomTree builder never panic on
+//! arbitrary input, and parse→print→parse is a fix-point on whatever the
+//! parser accepts.
+
+use blossom_flwor::{parse_query, BlossomTree, Expr};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// No panic on arbitrary printable input.
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,200}") {
+        let _ = parse_query(&input);
+    }
+
+    /// No panic on inputs biased toward query-ish fragments.
+    #[test]
+    fn parser_never_panics_on_query_soup(
+        parts in prop::collection::vec(
+            prop::sample::select(vec![
+                "for", "$x", "in", "//a", "let", ":=", "where", "<<", "return",
+                "<e>", "</e>", "{", "}", "(", ")", "[", "]", "deep-equal",
+                "\"s\"", "and", "or", "not", "=", "!=", ".", "/", "b", "is",
+                "count", "exists", "order", "by", "descending", "@k", "*",
+            ]),
+            0..24,
+        )
+    ) {
+        let input = parts.join(" ");
+        if let Ok(expr) = parse_query(&input) {
+            // Whatever parses must print and reparse to the same AST, and
+            // BlossomTree construction must not panic either.
+            let printed = expr.to_string();
+            let again = parse_query(&printed);
+            prop_assert!(again.is_ok(), "reparse of {:?} failed", printed);
+            prop_assert_eq!(again.unwrap(), expr);
+            if let Expr::Flwor(f) = parse_query(&input).unwrap() {
+                let _ = BlossomTree::from_flwor(&f);
+            }
+        }
+    }
+}

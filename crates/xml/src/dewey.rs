@@ -1,0 +1,147 @@
+//! Dewey identifiers.
+//!
+//! The paper addresses returning nodes of a pattern tree with Dewey IDs
+//! (e.g. `1.1.2`): the root is `1`, its i-th child appends `.i`. The same
+//! type doubles as a node label when callers need hierarchical ids for
+//! document nodes (see [`crate::Document`]-based helpers in `blossom-core`).
+//!
+//! Ordering is lexicographic on components, which coincides with document
+//! order when Dewey IDs label tree nodes.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A hierarchical dot-separated identifier: `1`, `1.2`, `1.2.1`, ...
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Dewey(Vec<u32>);
+
+impl Dewey {
+    /// The root id `1`.
+    pub fn root() -> Dewey {
+        Dewey(vec![1])
+    }
+
+    /// Build from components. Panics on an empty component list.
+    pub fn new(components: Vec<u32>) -> Dewey {
+        assert!(!components.is_empty(), "Dewey id needs at least one component");
+        Dewey(components)
+    }
+
+    /// Components of the id.
+    pub fn components(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Number of components (depth; root = 1).
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The `child_index`-th child (1-based), e.g. `1.2`.child(3) = `1.2.3`.
+    pub fn child(&self, child_index: u32) -> Dewey {
+        let mut v = Vec::with_capacity(self.0.len() + 1);
+        v.extend_from_slice(&self.0);
+        v.push(child_index);
+        Dewey(v)
+    }
+
+    /// Parent id, or `None` for a root.
+    pub fn parent(&self) -> Option<Dewey> {
+        if self.0.len() <= 1 {
+            None
+        } else {
+            Some(Dewey(self.0[..self.0.len() - 1].to_vec()))
+        }
+    }
+
+    /// Is `self` a proper ancestor of `other`?
+    pub fn is_ancestor_of(&self, other: &Dewey) -> bool {
+        other.0.len() > self.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+
+    /// Is `self` the parent of `other`?
+    pub fn is_parent_of(&self, other: &Dewey) -> bool {
+        other.0.len() == self.0.len() + 1 && other.0[..self.0.len()] == self.0[..]
+    }
+
+    /// Last component (1-based sibling position).
+    pub fn position(&self) -> u32 {
+        *self.0.last().unwrap()
+    }
+}
+
+impl fmt::Display for Dewey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error parsing a Dewey id from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeweyParseError(pub String);
+
+impl fmt::Display for DeweyParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid Dewey id: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for DeweyParseError {}
+
+impl FromStr for Dewey {
+    type Err = DeweyParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let components: Result<Vec<u32>, _> = s.split('.').map(|p| p.parse::<u32>()).collect();
+        match components {
+            Ok(v) if !v.is_empty() => Ok(Dewey(v)),
+            _ => Err(DeweyParseError(s.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let d: Dewey = "1.2.13".parse().unwrap();
+        assert_eq!(d.to_string(), "1.2.13");
+        assert_eq!(d.components(), &[1, 2, 13]);
+        assert!("".parse::<Dewey>().is_err());
+        assert!("1..2".parse::<Dewey>().is_err());
+        assert!("1.a".parse::<Dewey>().is_err());
+    }
+
+    #[test]
+    fn hierarchy() {
+        let root = Dewey::root();
+        let c2 = root.child(2);
+        let c21 = c2.child(1);
+        assert_eq!(c21.to_string(), "1.2.1");
+        assert_eq!(c21.parent(), Some(c2.clone()));
+        assert_eq!(root.parent(), None);
+        assert!(root.is_ancestor_of(&c21));
+        assert!(c2.is_parent_of(&c21));
+        assert!(!c2.is_parent_of(&root));
+        assert!(!c21.is_ancestor_of(&c21), "proper ancestry");
+        assert_eq!(c21.position(), 1);
+        assert_eq!(c2.depth(), 2);
+    }
+
+    #[test]
+    fn ordering_is_document_order() {
+        let ids: Vec<Dewey> =
+            ["1", "1.1", "1.1.1", "1.1.2", "1.2", "1.10"].iter().map(|s| s.parse().unwrap()).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(sorted, ids, "lexicographic component order, not string order");
+    }
+}

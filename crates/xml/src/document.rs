@@ -1,0 +1,672 @@
+//! Arena-allocated XML document tree.
+//!
+//! All nodes live in one `Vec`, indexed by [`NodeId`]. Ids are assigned in
+//! document (pre-) order during parsing, which gives the two properties the
+//! BlossomTree operators rely on:
+//!
+//! 1. **Document order is id order** — comparing two nodes' positions is a
+//!    `u32` compare (the `<<` operator of XQuery).
+//! 2. **Subtrees are contiguous** — the descendants of node `n` are exactly
+//!    the ids in `(n, n.last_descendant]`, so ancestor/descendant tests and
+//!    the bounded nested-loop join's `(p1, p2)` range scans are interval
+//!    checks.
+
+use crate::fxhash::FxHashMap;
+use crate::label::Region;
+use crate::parser::{Event, ParseError, Reader};
+use crate::stats::DocStats;
+use crate::symbol::{Sym, SymbolTable};
+use std::fmt;
+
+/// Index of a node in a [`Document`] arena. Node 0 is always the virtual
+/// document node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The virtual document node.
+    pub const DOCUMENT: NodeId = NodeId(0);
+
+    /// Index into arena arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What a node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// The virtual document node (id 0), parent of the root element.
+    Document,
+    /// An element with the given interned tag.
+    Element(Sym),
+    /// A text node.
+    Text,
+}
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct NodeData {
+    parent: u32,
+    first_child: u32,
+    next_sibling: u32,
+    /// Id of the last node in this subtree (self for leaves).
+    last_desc: u32,
+    /// Element tag, or `Sym::DOCUMENT` for the document node; unused for text.
+    sym: Sym,
+    level: u16,
+    kind: u8, // 0 = document, 1 = element, 2 = text
+    /// Index into `texts` for text nodes.
+    text_idx: u32,
+}
+
+/// Parsing policy knobs for [`Document::parse_str_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParseOptions {
+    /// Keep text nodes that consist only of whitespace (default: false;
+    /// data-centric documents treat inter-element whitespace as noise).
+    pub keep_whitespace_text: bool,
+}
+
+/// An immutable, arena-backed XML document.
+pub struct Document {
+    nodes: Vec<NodeData>,
+    texts: Vec<Box<str>>,
+    /// Sparse attribute storage: element id -> attributes in document order.
+    attrs: FxHashMap<u32, Vec<(Sym, Box<str>)>>,
+    symbols: SymbolTable,
+}
+
+impl fmt::Debug for Document {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Document")
+            .field("nodes", &self.nodes.len())
+            .field("tags", &(self.symbols.len().saturating_sub(1)))
+            .finish()
+    }
+}
+
+impl Document {
+    /// Parse `input` with default options.
+    pub fn parse_str(input: &str) -> Result<Document, ParseError> {
+        Self::parse_str_with(input, ParseOptions::default())
+    }
+
+    /// Parse `input` with explicit [`ParseOptions`].
+    pub fn parse_str_with(input: &str, options: ParseOptions) -> Result<Document, ParseError> {
+        let mut builder = TreeBuilder::new(options);
+        let mut reader = Reader::new(input);
+        while let Some(event) = reader.next_event()? {
+            builder.event(event);
+        }
+        Ok(builder.finish())
+    }
+
+    /// Build a document programmatically; see [`TreeBuilder`].
+    pub fn builder() -> TreeBuilder {
+        TreeBuilder::new(ParseOptions::default())
+    }
+
+    /// Total number of nodes, including the virtual document node.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Always false: a document has at least its virtual document node.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The symbol table of this document.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Look up the symbol for `tag`, if any element/attribute uses it.
+    pub fn sym(&self, tag: &str) -> Option<Sym> {
+        self.symbols.lookup(tag)
+    }
+
+    /// The root element (the single element child of the document node).
+    pub fn root_element(&self) -> Option<NodeId> {
+        self.children(NodeId::DOCUMENT)
+            .find(|&c| matches!(self.kind(c), NodeKind::Element(_)))
+    }
+
+    /// Node kind.
+    #[inline]
+    pub fn kind(&self, n: NodeId) -> NodeKind {
+        let d = &self.nodes[n.index()];
+        match d.kind {
+            0 => NodeKind::Document,
+            1 => NodeKind::Element(d.sym),
+            _ => NodeKind::Text,
+        }
+    }
+
+    /// Is `n` an element?
+    #[inline]
+    pub fn is_element(&self, n: NodeId) -> bool {
+        self.nodes[n.index()].kind == 1
+    }
+
+    /// The element tag symbol, if `n` is an element.
+    #[inline]
+    pub fn tag(&self, n: NodeId) -> Option<Sym> {
+        let d = &self.nodes[n.index()];
+        (d.kind == 1).then_some(d.sym)
+    }
+
+    /// The element tag name, if `n` is an element.
+    pub fn tag_name(&self, n: NodeId) -> Option<&str> {
+        self.tag(n).map(|s| self.symbols.name(s))
+    }
+
+    /// Parent node, if any.
+    #[inline]
+    pub fn parent(&self, n: NodeId) -> Option<NodeId> {
+        let p = self.nodes[n.index()].parent;
+        (p != NIL).then_some(NodeId(p))
+    }
+
+    /// First child, if any.
+    #[inline]
+    pub fn first_child(&self, n: NodeId) -> Option<NodeId> {
+        let c = self.nodes[n.index()].first_child;
+        (c != NIL).then_some(NodeId(c))
+    }
+
+    /// Next sibling, if any.
+    #[inline]
+    pub fn next_sibling(&self, n: NodeId) -> Option<NodeId> {
+        let s = self.nodes[n.index()].next_sibling;
+        (s != NIL).then_some(NodeId(s))
+    }
+
+    /// Depth: 0 for the document node, 1 for the root element.
+    #[inline]
+    pub fn level(&self, n: NodeId) -> u16 {
+        self.nodes[n.index()].level
+    }
+
+    /// The last node id in `n`'s subtree (`n` itself for leaves).
+    #[inline]
+    pub fn last_descendant(&self, n: NodeId) -> NodeId {
+        NodeId(self.nodes[n.index()].last_desc)
+    }
+
+    /// Region label of `n`: `(start, end, level)` with `start` the preorder
+    /// id and `end` the last descendant id.
+    #[inline]
+    pub fn region(&self, n: NodeId) -> Region {
+        let d = &self.nodes[n.index()];
+        Region { start: n.0, end: d.last_desc, level: d.level }
+    }
+
+    /// Is `a` a proper ancestor of `d`?
+    #[inline]
+    pub fn is_ancestor(&self, a: NodeId, d: NodeId) -> bool {
+        a.0 < d.0 && d.0 <= self.nodes[a.index()].last_desc
+    }
+
+    /// Is `p` the parent of `c`?
+    #[inline]
+    pub fn is_parent(&self, p: NodeId, c: NodeId) -> bool {
+        self.nodes[c.index()].parent == p.0
+    }
+
+    /// Strictly-before in document order (`<<` of XQuery).
+    #[inline]
+    pub fn before(&self, a: NodeId, b: NodeId) -> bool {
+        a.0 < b.0
+    }
+
+    /// Text content, if `n` is a text node.
+    pub fn text(&self, n: NodeId) -> Option<&str> {
+        let d = &self.nodes[n.index()];
+        (d.kind == 2).then(|| self.texts[d.text_idx as usize].as_ref())
+    }
+
+    /// The string value of `n`: concatenation of all text in its subtree.
+    pub fn string_value(&self, n: NodeId) -> String {
+        let mut out = String::new();
+        let last = self.nodes[n.index()].last_desc;
+        for id in n.0..=last {
+            let d = &self.nodes[id as usize];
+            if d.kind == 2 {
+                out.push_str(&self.texts[d.text_idx as usize]);
+            }
+        }
+        out
+    }
+
+    /// Attributes of an element, in document order.
+    pub fn attributes(&self, n: NodeId) -> &[(Sym, Box<str>)] {
+        self.attrs.get(&n.0).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Value of the attribute named `name` on `n`.
+    pub fn attribute(&self, n: NodeId, name: &str) -> Option<&str> {
+        let sym = self.symbols.lookup(name)?;
+        self.attrs
+            .get(&n.0)?
+            .iter()
+            .find(|(s, _)| *s == sym)
+            .map(|(_, v)| v.as_ref())
+    }
+
+    /// Children iterator.
+    pub fn children(&self, n: NodeId) -> Children<'_> {
+        Children { doc: self, next: self.first_child(n) }
+    }
+
+    /// Iterator over all nodes of the subtree rooted at `n`, excluding `n`,
+    /// in document order.
+    pub fn descendants(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let last = self.nodes[n.index()].last_desc;
+        (n.0 + 1..=last).map(NodeId)
+    }
+
+    /// Iterator over `n` and all its descendants in document order.
+    pub fn descendants_or_self(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let last = self.nodes[n.index()].last_desc;
+        (n.0..=last).map(NodeId)
+    }
+
+    /// Iterator over all element nodes in document order.
+    pub fn elements(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId).filter(|&n| self.is_element(n))
+    }
+
+    /// Ancestors of `n`, nearest first, ending at the document node.
+    pub fn ancestors(&self, n: NodeId) -> Ancestors<'_> {
+        Ancestors { doc: self, next: self.parent(n) }
+    }
+
+    /// Compute document statistics (see [`DocStats`]).
+    pub fn stats(&self) -> DocStats {
+        DocStats::compute(self)
+    }
+
+    /// Deep structural + textual equality of two subtrees (`fn:deep-equal`
+    /// restricted to the element/text data model: same tag, same attribute
+    /// set, pairwise deep-equal children).
+    pub fn deep_equal(&self, a: NodeId, b: NodeId) -> bool {
+        match (self.kind(a), self.kind(b)) {
+            (NodeKind::Text, NodeKind::Text) => self.text(a) == self.text(b),
+            (NodeKind::Element(sa), NodeKind::Element(sb)) => {
+                if sa != sb || self.attributes(a) != self.attributes(b) {
+                    return false;
+                }
+                let mut ca = self.children(a);
+                let mut cb = self.children(b);
+                loop {
+                    match (ca.next(), cb.next()) {
+                        (None, None) => return true,
+                        (Some(x), Some(y)) => {
+                            if !self.deep_equal(x, y) {
+                                return false;
+                            }
+                        }
+                        _ => return false,
+                    }
+                }
+            }
+            (NodeKind::Document, NodeKind::Document) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// Iterator over a node's children.
+pub struct Children<'d> {
+    doc: &'d Document,
+    next: Option<NodeId>,
+}
+
+impl Iterator for Children<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        self.next = self.doc.next_sibling(cur);
+        Some(cur)
+    }
+}
+
+/// Iterator over a node's ancestors, nearest first.
+pub struct Ancestors<'d> {
+    doc: &'d Document,
+    next: Option<NodeId>,
+}
+
+impl Iterator for Ancestors<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        self.next = self.doc.parent(cur);
+        Some(cur)
+    }
+}
+
+/// Incremental document constructor, fed by parser [`Event`]s or driven
+/// programmatically via [`TreeBuilder::start_element`] and friends.
+pub struct TreeBuilder {
+    nodes: Vec<NodeData>,
+    texts: Vec<Box<str>>,
+    attrs: FxHashMap<u32, Vec<(Sym, Box<str>)>>,
+    symbols: SymbolTable,
+    /// Stack of open element ids (document node at the bottom).
+    open: Vec<u32>,
+    /// Last child of each open element, for sibling linking.
+    last_child: Vec<u32>,
+    options: ParseOptions,
+}
+
+impl TreeBuilder {
+    /// New builder; a virtual document node is created immediately.
+    pub fn new(options: ParseOptions) -> Self {
+        let doc_node = NodeData {
+            parent: NIL,
+            first_child: NIL,
+            next_sibling: NIL,
+            last_desc: 0,
+            sym: Sym::DOCUMENT,
+            level: 0,
+            kind: 0,
+            text_idx: NIL,
+        };
+        TreeBuilder {
+            nodes: vec![doc_node],
+            texts: Vec::new(),
+            attrs: FxHashMap::default(),
+            symbols: SymbolTable::new(),
+            open: vec![0],
+            last_child: vec![NIL],
+            options,
+        }
+    }
+
+    fn push_node(&mut self, mut data: NodeData) -> u32 {
+        let id = self.nodes.len() as u32;
+        let parent = *self.open.last().expect("document node always open");
+        data.parent = parent;
+        data.level = self.nodes[parent as usize].level + 1;
+        data.last_desc = id;
+        let prev = *self.last_child.last().unwrap();
+        if prev == NIL {
+            self.nodes[parent as usize].first_child = id;
+        } else {
+            self.nodes[prev as usize].next_sibling = id;
+        }
+        *self.last_child.last_mut().unwrap() = id;
+        self.nodes.push(data);
+        id
+    }
+
+    /// Open an element.
+    pub fn start_element(&mut self, tag: &str) {
+        let sym = self.symbols.intern(tag);
+        let id = self.push_node(NodeData {
+            parent: NIL,
+            first_child: NIL,
+            next_sibling: NIL,
+            last_desc: 0,
+            sym,
+            level: 0,
+            kind: 1,
+            text_idx: NIL,
+        });
+        self.open.push(id);
+        self.last_child.push(NIL);
+    }
+
+    /// Add an attribute to the currently open element.
+    pub fn attribute(&mut self, name: &str, value: &str) {
+        let id = *self.open.last().unwrap();
+        debug_assert_ne!(id, 0, "attribute outside element");
+        let sym = self.symbols.intern(name);
+        self.attrs.entry(id).or_default().push((sym, value.into()));
+    }
+
+    /// Append a text node (coalesced with a preceding text sibling).
+    pub fn text(&mut self, content: &str) {
+        if !self.options.keep_whitespace_text && content.trim().is_empty() {
+            return;
+        }
+        // Coalesce with the previous sibling if it is also text.
+        let prev = *self.last_child.last().unwrap();
+        if prev != NIL && self.nodes[prev as usize].kind == 2 {
+            let idx = self.nodes[prev as usize].text_idx as usize;
+            let mut s = String::from(std::mem::take(&mut self.texts[idx]));
+            s.push_str(content);
+            self.texts[idx] = s.into_boxed_str();
+            return;
+        }
+        let text_idx = self.texts.len() as u32;
+        self.texts.push(content.into());
+        self.push_node(NodeData {
+            parent: NIL,
+            first_child: NIL,
+            next_sibling: NIL,
+            last_desc: 0,
+            sym: Sym::DOCUMENT,
+            level: 0,
+            kind: 2,
+            text_idx,
+        });
+    }
+
+    /// Close the current element.
+    pub fn end_element(&mut self) {
+        let id = self.open.pop().expect("unbalanced end_element");
+        self.last_child.pop();
+        debug_assert_ne!(id, 0, "cannot close the document node");
+        let last = (self.nodes.len() - 1) as u32;
+        self.nodes[id as usize].last_desc = last;
+    }
+
+    /// Feed one parser event.
+    pub fn event(&mut self, event: Event<'_>) {
+        match event {
+            Event::StartElement { name, attributes, self_closing } => {
+                self.start_element(name);
+                for (attr, value) in attributes {
+                    self.attribute(attr, &value);
+                }
+                if self_closing {
+                    self.end_element();
+                }
+            }
+            Event::EndElement { .. } => self.end_element(),
+            Event::Text(t) => self.text(&t),
+            Event::Comment(_) | Event::ProcessingInstruction { .. } | Event::Doctype(_) => {}
+        }
+    }
+
+    /// Finish and return the document. Panics if elements are still open
+    /// (the parser guarantees balance; programmatic callers must too).
+    pub fn finish(mut self) -> Document {
+        assert_eq!(self.open.len(), 1, "unbalanced builder: elements still open");
+        let last = (self.nodes.len() - 1) as u32;
+        self.nodes[0].last_desc = last;
+        Document {
+            nodes: self.nodes,
+            texts: self.texts,
+            attrs: self.attrs,
+            symbols: self.symbols,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BIB: &str = r#"<bib>
+        <book year="1994"><title>TCP/IP Illustrated</title><author>Stevens</author></book>
+        <book year="2000"><title>Data on the Web</title><author>Abiteboul</author><author>Buneman</author></book>
+    </bib>"#;
+
+    #[test]
+    fn parse_and_navigate() {
+        let doc = Document::parse_str(BIB).unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.tag_name(root), Some("bib"));
+        let books: Vec<_> = doc.children(root).collect();
+        assert_eq!(books.len(), 2);
+        assert_eq!(doc.attribute(books[0], "year"), Some("1994"));
+        assert_eq!(doc.attribute(books[1], "year"), Some("2000"));
+        let title = doc.first_child(books[0]).unwrap();
+        assert_eq!(doc.tag_name(title), Some("title"));
+        assert_eq!(doc.string_value(title), "TCP/IP Illustrated");
+    }
+
+    #[test]
+    fn preorder_ids_and_regions() {
+        let doc = Document::parse_str("<a><b><c/></b><d/></a>").unwrap();
+        let a = doc.root_element().unwrap();
+        let b = doc.first_child(a).unwrap();
+        let c = doc.first_child(b).unwrap();
+        let d = doc.next_sibling(b).unwrap();
+        assert!(a.0 < b.0 && b.0 < c.0 && c.0 < d.0);
+        assert!(doc.is_ancestor(a, c));
+        assert!(doc.is_ancestor(b, c));
+        assert!(!doc.is_ancestor(b, d));
+        assert!(!doc.is_ancestor(c, c), "ancestor is proper");
+        assert!(doc.is_parent(b, c));
+        assert!(!doc.is_parent(a, c));
+        assert!(doc.before(b, d));
+        let ra = doc.region(a);
+        assert_eq!((ra.start, ra.end), (a.0, d.0));
+    }
+
+    #[test]
+    fn levels() {
+        let doc = Document::parse_str("<a><b><c/></b></a>").unwrap();
+        let a = doc.root_element().unwrap();
+        let b = doc.first_child(a).unwrap();
+        let c = doc.first_child(b).unwrap();
+        assert_eq!(doc.level(NodeId::DOCUMENT), 0);
+        assert_eq!(doc.level(a), 1);
+        assert_eq!(doc.level(b), 2);
+        assert_eq!(doc.level(c), 3);
+    }
+
+    #[test]
+    fn descendants_are_contiguous() {
+        let doc = Document::parse_str("<a><b><c/><d/></b><e/></a>").unwrap();
+        let a = doc.root_element().unwrap();
+        let b = doc.first_child(a).unwrap();
+        let descs: Vec<_> = doc
+            .descendants(b)
+            .map(|n| doc.tag_name(n).unwrap().to_string())
+            .collect();
+        assert_eq!(descs, vec!["c", "d"]);
+        let all: Vec<_> = doc
+            .descendants_or_self(a)
+            .filter(|&n| doc.is_element(n))
+            .map(|n| doc.tag_name(n).unwrap().to_string())
+            .collect();
+        assert_eq!(all, vec!["a", "b", "c", "d", "e"]);
+    }
+
+    #[test]
+    fn whitespace_text_dropped_by_default() {
+        let doc = Document::parse_str("<a> <b>x</b> </a>").unwrap();
+        let a = doc.root_element().unwrap();
+        assert_eq!(doc.children(a).count(), 1);
+        let kept = Document::parse_str_with(
+            "<a> <b>x</b> </a>",
+            ParseOptions { keep_whitespace_text: true },
+        )
+        .unwrap();
+        let a = kept.root_element().unwrap();
+        assert_eq!(kept.children(a).count(), 3);
+    }
+
+    #[test]
+    fn adjacent_text_coalesces() {
+        // Entity splits the raw text into segments the reader reports
+        // separately only via CDATA; force it with CDATA.
+        let doc = Document::parse_str("<a>one<![CDATA[ two]]> three</a>").unwrap();
+        let a = doc.root_element().unwrap();
+        let kids: Vec<_> = doc.children(a).collect();
+        assert_eq!(kids.len(), 1);
+        assert_eq!(doc.text(kids[0]), Some("one two three"));
+    }
+
+    #[test]
+    fn string_value_concatenates() {
+        let doc = Document::parse_str("<a>x<b>y</b>z</a>").unwrap();
+        let a = doc.root_element().unwrap();
+        assert_eq!(doc.string_value(a), "xyz");
+    }
+
+    #[test]
+    fn ancestors_iterator() {
+        let doc = Document::parse_str("<a><b><c/></b></a>").unwrap();
+        let a = doc.root_element().unwrap();
+        let b = doc.first_child(a).unwrap();
+        let c = doc.first_child(b).unwrap();
+        let ancs: Vec<_> = doc.ancestors(c).collect();
+        assert_eq!(ancs, vec![b, a, NodeId::DOCUMENT]);
+    }
+
+    #[test]
+    fn deep_equal_paper_semantics() {
+        let doc = Document::parse_str(
+            "<r><author><last>Knuth</last><first>Donald</first></author>\
+             <author><last>Knuth</last><first>Donald</first></author>\
+             <author><first>Donald</first><last>Knuth</last></author></r>",
+        )
+        .unwrap();
+        let r = doc.root_element().unwrap();
+        let auts: Vec<_> = doc.children(r).collect();
+        assert!(doc.deep_equal(auts[0], auts[1]));
+        // Order matters for deep-equal.
+        assert!(!doc.deep_equal(auts[0], auts[2]));
+    }
+
+    #[test]
+    fn deep_equal_considers_attributes() {
+        let doc = Document::parse_str(r#"<r><x k="1"/><x k="1"/><x k="2"/><x/></r>"#).unwrap();
+        let r = doc.root_element().unwrap();
+        let xs: Vec<_> = doc.children(r).collect();
+        assert!(doc.deep_equal(xs[0], xs[1]));
+        assert!(!doc.deep_equal(xs[0], xs[2]));
+        assert!(!doc.deep_equal(xs[0], xs[3]));
+    }
+
+    #[test]
+    fn builder_programmatic() {
+        let mut b = Document::builder();
+        b.start_element("bib");
+        b.start_element("book");
+        b.attribute("year", "1968");
+        b.text("TAoCP");
+        b.end_element();
+        b.end_element();
+        let doc = b.finish();
+        let root = doc.root_element().unwrap();
+        let book = doc.first_child(root).unwrap();
+        assert_eq!(doc.attribute(book, "year"), Some("1968"));
+        assert_eq!(doc.string_value(book), "TAoCP");
+    }
+
+    #[test]
+    fn elements_iterator_in_document_order() {
+        let doc = Document::parse_str("<a><b/><c><d/></c></a>").unwrap();
+        let tags: Vec<_> = doc.elements().map(|n| doc.tag_name(n).unwrap()).collect();
+        assert_eq!(tags, vec!["a", "b", "c", "d"]);
+    }
+}

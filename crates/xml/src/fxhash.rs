@@ -1,0 +1,110 @@
+//! A minimal Fx-style hasher (the multiply-xor hash used by rustc).
+//!
+//! The standard library's SipHash is DoS-resistant but slow for the short
+//! string and integer keys this crate hashes constantly (tag names, node
+//! ids). Query processing never hashes attacker-chosen keys into
+//! long-lived tables, so the faster non-cryptographic hash is appropriate.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with the Fx hash function.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with the Fx hash function.
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Fx multiply-xor hasher. One `u64` of state; each word of input is
+/// rotated in, xored and multiplied by a fixed odd constant.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf) | (rem.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_strings_hash_differently() {
+        let mut map: FxHashMap<&str, u32> = FxHashMap::default();
+        map.insert("book", 1);
+        map.insert("author", 2);
+        map.insert("title", 3);
+        assert_eq!(map.get("book"), Some(&1));
+        assert_eq!(map.get("author"), Some(&2));
+        assert_eq!(map.get("title"), Some(&3));
+        assert_eq!(map.get("missing"), None);
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        let h = |s: &str| {
+            let mut hasher = FxHasher::default();
+            hasher.write(s.as_bytes());
+            hasher.finish()
+        };
+        assert_eq!(h("bib"), h("bib"));
+        assert_ne!(h("bib"), h("bic"));
+    }
+
+    #[test]
+    fn short_and_long_keys() {
+        let mut set: FxHashSet<String> = FxHashSet::default();
+        for i in 0..1000 {
+            set.insert(format!("tag-{i}"));
+        }
+        assert_eq!(set.len(), 1000);
+        assert!(set.contains("tag-999"));
+    }
+}

@@ -1,0 +1,103 @@
+//! Tag-name indexes.
+//!
+//! Holistic twig joins (TwigStack) consume, for each pattern-tree node, a
+//! stream of document elements with that tag, sorted by document order.
+//! [`TagIndex`] materializes those streams: a dense per-symbol array of
+//! node-id vectors. Because arena ids are preorder positions, each vector
+//! is sorted by construction.
+
+use crate::document::{Document, NodeId};
+use crate::symbol::Sym;
+
+/// Per-tag lists of element ids in document order.
+#[derive(Debug, Clone)]
+pub struct TagIndex {
+    /// Indexed by `Sym::index()`; empty vec for non-element symbols.
+    postings: Vec<Vec<NodeId>>,
+}
+
+impl TagIndex {
+    /// Build the index with one pass over the document.
+    pub fn build(doc: &Document) -> TagIndex {
+        let mut postings: Vec<Vec<NodeId>> = vec![Vec::new(); doc.symbols().len()];
+        for node in doc.elements() {
+            let sym = doc.tag(node).expect("elements() yields elements");
+            postings[sym.index()].push(node);
+        }
+        TagIndex { postings }
+    }
+
+    /// All elements with tag `sym`, in document order.
+    pub fn stream(&self, sym: Sym) -> &[NodeId] {
+        self.postings.get(sym.index()).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Convenience: stream by tag name.
+    pub fn stream_by_name<'a>(&'a self, doc: &Document, name: &str) -> &'a [NodeId] {
+        match doc.sym(name) {
+            Some(sym) => self.stream(sym),
+            None => &[],
+        }
+    }
+
+    /// Number of elements with tag `sym`.
+    pub fn count(&self, sym: Sym) -> usize {
+        self.stream(sym).len()
+    }
+
+    /// Elements with tag `sym` whose id lies in `(after, upto]` — the
+    /// range-limited lookup used by the bounded nested-loop join.
+    pub fn stream_in_range(&self, sym: Sym, after: NodeId, upto: NodeId) -> &[NodeId] {
+        let s = self.stream(sym);
+        let lo = s.partition_point(|&n| n.0 <= after.0);
+        let hi = s.partition_point(|&n| n.0 <= upto.0);
+        if hi <= lo {
+            return &[];
+        }
+        &s[lo..hi]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_doc_ordered() {
+        let doc =
+            Document::parse_str("<a><b/><c><b/><b/></c><b/></a>").unwrap();
+        let idx = TagIndex::build(&doc);
+        let bs = idx.stream_by_name(&doc, "b");
+        assert_eq!(bs.len(), 4);
+        assert!(bs.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(idx.stream_by_name(&doc, "a").len(), 1);
+        assert_eq!(idx.stream_by_name(&doc, "nope").len(), 0);
+    }
+
+    #[test]
+    fn counts() {
+        let doc = Document::parse_str("<a><b/><b/></a>").unwrap();
+        let idx = TagIndex::build(&doc);
+        let b = doc.sym("b").unwrap();
+        assert_eq!(idx.count(b), 2);
+        assert_eq!(idx.count(doc.sym("a").unwrap()), 1);
+    }
+
+    #[test]
+    fn range_limited_stream() {
+        let doc = Document::parse_str("<a><b/><c><b/><b/></c><b/></a>").unwrap();
+        let idx = TagIndex::build(&doc);
+        let a = doc.root_element().unwrap();
+        let c = doc
+            .children(a)
+            .find(|&n| doc.tag_name(n) == Some("c"))
+            .unwrap();
+        let b = doc.sym("b").unwrap();
+        // bs strictly inside c's subtree.
+        let inside = idx.stream_in_range(b, c, doc.last_descendant(c));
+        assert_eq!(inside.len(), 2);
+        assert!(inside.iter().all(|&n| doc.is_ancestor(c, n)));
+        // Empty range.
+        assert!(idx.stream_in_range(b, doc.last_descendant(c), c).is_empty());
+    }
+}

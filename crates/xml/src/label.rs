@@ -1,0 +1,119 @@
+//! Region labels for structural predicates.
+//!
+//! A region label is `(start, end, level)` where `start` is the node's
+//! preorder (document-order) position, `end` is the position of the last
+//! node in its subtree, and `level` is its depth. These are the classic
+//! interval encodings used by structural-join algorithms: containment and
+//! ordering reduce to integer comparisons, with `level` distinguishing the
+//! parent/child case from general ancestor/descendant.
+
+/// Interval + level label of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Region {
+    /// Preorder position (equals the node id in this store).
+    pub start: u32,
+    /// Preorder position of the last descendant (== `start` for leaves).
+    pub end: u32,
+    /// Depth; 0 = document node, 1 = root element.
+    pub level: u16,
+}
+
+impl Region {
+    /// Does `self` properly contain `other` (ancestor/descendant)?
+    #[inline]
+    pub fn contains(&self, other: &Region) -> bool {
+        self.start < other.start && other.end <= self.end
+    }
+
+    /// Is `self` the parent region of `other`?
+    #[inline]
+    pub fn is_parent_of(&self, other: &Region) -> bool {
+        self.contains(other) && self.level + 1 == other.level
+    }
+
+    /// Does `self` start strictly before `other` in document order
+    /// (XQuery's `<<` on distinct nodes)?
+    #[inline]
+    pub fn before(&self, other: &Region) -> bool {
+        self.start < other.start
+    }
+
+    /// Is `self` entirely before `other` (the `preceding` axis: before in
+    /// document order and not an ancestor)?
+    #[inline]
+    pub fn preceding(&self, other: &Region) -> bool {
+        self.end < other.start
+    }
+
+    /// Is `self` entirely after `other` (the `following` axis)?
+    #[inline]
+    pub fn following(&self, other: &Region) -> bool {
+        other.end < self.start
+    }
+
+    /// Are the two regions disjoint (neither contains the other)?
+    #[inline]
+    pub fn disjoint(&self, other: &Region) -> bool {
+        self.end < other.start || other.end < self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Document;
+
+    fn regions(xml: &str) -> (Document, Vec<Region>) {
+        let doc = Document::parse_str(xml).unwrap();
+        let rs = doc.elements().map(|n| doc.region(n)).collect();
+        (doc, rs)
+    }
+
+    #[test]
+    fn containment() {
+        // <a><b><c/></b><d/></a>
+        let (_, r) = regions("<a><b><c/></b><d/></a>");
+        let (a, b, c, d) = (r[0], r[1], r[2], r[3]);
+        assert!(a.contains(&b) && a.contains(&c) && a.contains(&d));
+        assert!(b.contains(&c));
+        assert!(!c.contains(&b));
+        assert!(!b.contains(&d));
+        assert!(!a.contains(&a), "containment is proper");
+    }
+
+    #[test]
+    fn parenthood_requires_level() {
+        let (_, r) = regions("<a><b><c/></b></a>");
+        let (a, b, c) = (r[0], r[1], r[2]);
+        assert!(a.is_parent_of(&b));
+        assert!(b.is_parent_of(&c));
+        assert!(!a.is_parent_of(&c));
+    }
+
+    #[test]
+    fn ordering_axes() {
+        let (_, r) = regions("<a><b><c/></b><d/></a>");
+        let (a, b, c, d) = (r[0], r[1], r[2], r[3]);
+        assert!(b.before(&d) && c.before(&d) && a.before(&b));
+        // `preceding` excludes ancestors.
+        assert!(b.preceding(&d));
+        assert!(!a.preceding(&d));
+        assert!(d.following(&b) && d.following(&c));
+        assert!(!d.following(&a));
+        assert!(b.disjoint(&d));
+        assert!(!a.disjoint(&b));
+    }
+
+    #[test]
+    fn nesting_invariant_holds_for_all_pairs() {
+        let (_, r) = regions("<a><b><c/><d><e/></d></b><f/><g><h/></g></a>");
+        for x in &r {
+            for y in &r {
+                // Regions never partially overlap.
+                let properly_nested =
+                    x.contains(y) || y.contains(x) || x.disjoint(y) || x == y;
+                assert!(properly_nested, "{x:?} vs {y:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! XML substrate for the BlossomTree query engine.
+//!
+//! This crate provides everything the BlossomTree paper assumes of its
+//! storage layer:
+//!
+//! * a from-scratch streaming XML parser ([`parser::Reader`]),
+//! * an arena-allocated document tree ([`Document`]) whose node ids are
+//!   assigned in document (pre-) order, so that every subtree occupies a
+//!   contiguous id range and structural predicates reduce to integer
+//!   comparisons,
+//! * region labels and Dewey identifiers ([`label`], [`dewey`]),
+//! * tag-name indexes in document order ([`index::TagIndex`]), as required
+//!   by holistic twig joins,
+//! * document statistics ([`stats::DocStats`]) — depth, tag counts and
+//!   recursion degree — which the optimizer uses to choose join operators,
+//! * a serializer ([`writer`]) for round-tripping and result construction.
+//!
+//! # Quick example
+//!
+//! ```
+//! use blossom_xml::Document;
+//!
+//! let doc = Document::parse_str("<bib><book><title>TAoCP</title></book></bib>").unwrap();
+//! let root = doc.root_element().unwrap();
+//! assert_eq!(doc.tag_name(root), Some("bib"));
+//! assert_eq!(doc.stats().element_count, 3);
+//! ```
+
+pub mod dewey;
+pub mod document;
+pub mod fxhash;
+pub mod index;
+pub mod label;
+pub mod navigate;
+pub mod parser;
+pub mod stats;
+pub mod succinct;
+pub mod symbol;
+pub mod writer;
+
+pub use dewey::Dewey;
+pub use document::{Document, NodeId, NodeKind, ParseOptions, TreeBuilder};
+pub use index::TagIndex;
+pub use label::Region;
+pub use navigate::Axis;
+pub use parser::{Event, ParseError, Reader};
+pub use stats::DocStats;
+pub use symbol::{Sym, SymbolTable};

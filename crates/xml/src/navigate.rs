@@ -1,0 +1,227 @@
+//! Axis navigation helpers.
+//!
+//! The NoK pattern-matching operator of the paper navigates with exactly
+//! two primitives — `First-Child` and `Following-Sibling` (Algorithm 2) —
+//! while the decomposition step cuts on the *global* axes (`//`,
+//! `following`, ...). This module packages both the local primitives and
+//! the global axes as iterators over [`Document`] nodes.
+
+use crate::document::{Document, NodeId};
+use crate::symbol::Sym;
+
+/// The axes the query subset uses. Local axes stay inside a NoK pattern
+/// tree; global axes become cut (join) edges during decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// `/` — children.
+    Child,
+    /// `//` — descendants (global).
+    Descendant,
+    /// `following-sibling::` — right siblings (local).
+    FollowingSibling,
+    /// `preceding-sibling::` — left siblings (local).
+    PrecedingSibling,
+    /// `following::` — everything after the subtree (global).
+    Following,
+    /// `preceding::` — everything strictly before the node, ancestors
+    /// excluded (global).
+    Preceding,
+    /// `self::` — identity; appears when `.` is used in predicates.
+    SelfAxis,
+}
+
+impl Axis {
+    /// Local axes may stay inside a NoK pattern tree; global axes must be
+    /// cut into structural joins (Section 2.1 of the paper).
+    pub fn is_local(self) -> bool {
+        matches!(
+            self,
+            Axis::Child | Axis::FollowingSibling | Axis::PrecedingSibling | Axis::SelfAxis
+        )
+    }
+}
+
+impl std::fmt::Display for Axis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Axis::Child => "/",
+            Axis::Descendant => "//",
+            Axis::FollowingSibling => "following-sibling",
+            Axis::PrecedingSibling => "preceding-sibling",
+            Axis::Following => "following",
+            Axis::Preceding => "preceding",
+            Axis::SelfAxis => "self",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Does `(context, candidate)` satisfy `axis`?
+pub fn axis_matches(doc: &Document, axis: Axis, context: NodeId, candidate: NodeId) -> bool {
+    match axis {
+        Axis::Child => doc.is_parent(context, candidate),
+        Axis::Descendant => doc.is_ancestor(context, candidate),
+        Axis::FollowingSibling => {
+            doc.parent(context) == doc.parent(candidate) && context.0 < candidate.0
+        }
+        Axis::PrecedingSibling => {
+            doc.parent(context) == doc.parent(candidate) && candidate.0 < context.0
+        }
+        Axis::Following => doc.last_descendant(context).0 < candidate.0,
+        Axis::Preceding => {
+            candidate.0 < context.0 && doc.last_descendant(candidate).0 < context.0
+        }
+        Axis::SelfAxis => context == candidate,
+    }
+}
+
+/// All nodes reachable from `context` along `axis`, in document order.
+pub fn axis_nodes<'d>(
+    doc: &'d Document,
+    axis: Axis,
+    context: NodeId,
+) -> Box<dyn Iterator<Item = NodeId> + 'd> {
+    match axis {
+        Axis::Child => Box::new(doc.children(context)),
+        Axis::Descendant => Box::new(doc.descendants(context)),
+        Axis::FollowingSibling => {
+            let mut next = doc.next_sibling(context);
+            Box::new(std::iter::from_fn(move || {
+                let cur = next?;
+                next = doc.next_sibling(cur);
+                Some(cur)
+            }))
+        }
+        Axis::PrecedingSibling => match doc.parent(context) {
+            Some(p) => Box::new(doc.children(p).take_while(move |&c| c != context)),
+            None => Box::new(std::iter::empty()),
+        },
+        Axis::Following => {
+            let first = doc.last_descendant(context).0 + 1;
+            Box::new((first..doc.len() as u32).map(NodeId))
+        }
+        Axis::Preceding => Box::new(
+            (1..context.0)
+                .map(NodeId)
+                .filter(move |&n| doc.last_descendant(n).0 < context.0),
+        ),
+        Axis::SelfAxis => Box::new(std::iter::once(context)),
+    }
+}
+
+/// Element children of `context` with tag `sym`.
+pub fn element_children<'d>(
+    doc: &'d Document,
+    context: NodeId,
+    sym: Sym,
+) -> impl Iterator<Item = NodeId> + 'd {
+    doc.children(context).filter(move |&c| doc.tag(c) == Some(sym))
+}
+
+/// Element descendants of `context` with tag `sym`.
+pub fn element_descendants<'d>(
+    doc: &'d Document,
+    context: NodeId,
+    sym: Sym,
+) -> impl Iterator<Item = NodeId> + 'd {
+    doc.descendants(context).filter(move |&c| doc.tag(c) == Some(sym))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Document;
+
+    fn doc() -> Document {
+        Document::parse_str("<a><b><c/><d/></b><e/><b/></a>").unwrap()
+    }
+
+    fn by_tag(doc: &Document, tag: &str) -> Vec<NodeId> {
+        doc.elements().filter(|&n| doc.tag_name(n) == Some(tag)).collect()
+    }
+
+    #[test]
+    fn axis_locality() {
+        assert!(Axis::Child.is_local());
+        assert!(Axis::FollowingSibling.is_local());
+        assert!(Axis::SelfAxis.is_local());
+        assert!(!Axis::Descendant.is_local());
+        assert!(!Axis::Following.is_local());
+    }
+
+    #[test]
+    fn child_axis() {
+        let d = doc();
+        let a = d.root_element().unwrap();
+        let kids: Vec<_> = axis_nodes(&d, Axis::Child, a)
+            .map(|n| d.tag_name(n).unwrap())
+            .collect();
+        assert_eq!(kids, vec!["b", "e", "b"]);
+    }
+
+    #[test]
+    fn descendant_axis() {
+        let d = doc();
+        let a = d.root_element().unwrap();
+        assert_eq!(axis_nodes(&d, Axis::Descendant, a).count(), 5);
+        let b = by_tag(&d, "b")[0];
+        let descs: Vec<_> = axis_nodes(&d, Axis::Descendant, b)
+            .map(|n| d.tag_name(n).unwrap())
+            .collect();
+        assert_eq!(descs, vec!["c", "d"]);
+    }
+
+    #[test]
+    fn following_sibling_axis() {
+        let d = doc();
+        let b0 = by_tag(&d, "b")[0];
+        let sibs: Vec<_> = axis_nodes(&d, Axis::FollowingSibling, b0)
+            .map(|n| d.tag_name(n).unwrap())
+            .collect();
+        assert_eq!(sibs, vec!["e", "b"]);
+    }
+
+    #[test]
+    fn following_axis_excludes_descendants() {
+        let d = doc();
+        let b0 = by_tag(&d, "b")[0];
+        let following: Vec<_> = axis_nodes(&d, Axis::Following, b0)
+            .filter(|&n| d.is_element(n))
+            .map(|n| d.tag_name(n).unwrap())
+            .collect();
+        assert_eq!(following, vec!["e", "b"]);
+        let c = by_tag(&d, "c")[0];
+        assert!(axis_matches(&d, Axis::Following, c, by_tag(&d, "d")[0]));
+        assert!(!axis_matches(&d, Axis::Following, b0, c));
+    }
+
+    #[test]
+    fn matches_agree_with_iterators() {
+        let d = doc();
+        let all: Vec<NodeId> = d.elements().collect();
+        for &ctx in &all {
+            for axis in [Axis::Child, Axis::Descendant, Axis::FollowingSibling, Axis::Following] {
+                let via_iter: Vec<NodeId> =
+                    axis_nodes(&d, axis, ctx).filter(|&n| d.is_element(n)).collect();
+                let via_pred: Vec<NodeId> = all
+                    .iter()
+                    .copied()
+                    .filter(|&n| axis_matches(&d, axis, ctx, n))
+                    .collect();
+                assert_eq!(via_iter, via_pred, "axis {axis:?} ctx {ctx:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn typed_helpers() {
+        let d = doc();
+        let a = d.root_element().unwrap();
+        let b = d.sym("b").unwrap();
+        assert_eq!(element_children(&d, a, b).count(), 2);
+        assert_eq!(element_descendants(&d, a, b).count(), 2);
+        let c = d.sym("c").unwrap();
+        assert_eq!(element_children(&d, a, c).count(), 0);
+        assert_eq!(element_descendants(&d, a, c).count(), 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! Document statistics.
+//!
+//! These are the columns of the paper's Table 1 (size, number of nodes,
+//! average and maximum depth, number of distinct tags, structure-tree
+//! size) plus the *recursion* measurements the optimizer needs to choose
+//! between pipelined and nested-loop joins (Sections 4.2–4.3): whether any
+//! element occurs as a descendant of a same-tagged element, and the
+//! maximum such nesting degree.
+
+use crate::document::{Document, NodeKind};
+use crate::fxhash::FxHashMap;
+use crate::symbol::Sym;
+
+/// Summary statistics of one document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DocStats {
+    /// Maximum same-tag nesting per tag name, for tags that nest at all
+    /// (value ≥ 2). The optimizer uses this to decide whether a *query's*
+    /// tags are recursive, which is finer than the whole-document flag.
+    pub recursive_tags: FxHashMap<String, u16>,
+    /// All tree nodes (elements + text), excluding the virtual document node.
+    pub node_count: usize,
+    /// Element nodes only.
+    pub element_count: usize,
+    /// Text nodes only.
+    pub text_count: usize,
+    /// Average element depth (root element = 1).
+    pub avg_depth: f64,
+    /// Maximum element depth.
+    pub max_depth: u16,
+    /// Number of distinct element tags.
+    pub tag_count: usize,
+    /// Is any element a descendant of a same-tagged element?
+    pub recursive: bool,
+    /// Maximum same-tag nesting (1 = non-recursive).
+    pub max_recursion: u16,
+    /// Total bytes of text content.
+    pub text_bytes: usize,
+    /// Approximate size in bytes of the structural part of the tree
+    /// (the paper's `|tree|` column): 4 bytes per element, the size of the
+    /// succinct structure encoding of \[22\].
+    pub structure_bytes: usize,
+}
+
+impl DocStats {
+    /// Compute statistics in one document-order pass.
+    pub fn compute(doc: &Document) -> DocStats {
+        let mut element_count = 0usize;
+        let mut text_count = 0usize;
+        let mut depth_sum = 0u64;
+        let mut max_depth = 0u16;
+        let mut text_bytes = 0usize;
+        let mut tags: FxHashMap<Sym, ()> = FxHashMap::default();
+        // Same-tag nesting: walk with an explicit stack of (node_end, sym)
+        // and per-sym active counts.
+        let mut active: FxHashMap<Sym, u16> = FxHashMap::default();
+        let mut stack: Vec<(u32, Sym)> = Vec::new();
+        let mut max_recursion = 0u16;
+        let mut per_tag: FxHashMap<Sym, u16> = FxHashMap::default();
+
+        for n in doc.descendants(crate::document::NodeId::DOCUMENT) {
+            match doc.kind(n) {
+                NodeKind::Element(sym) => {
+                    element_count += 1;
+                    let level = doc.level(n);
+                    depth_sum += level as u64;
+                    max_depth = max_depth.max(level);
+                    tags.insert(sym, ());
+                    // Pop finished ancestors.
+                    while let Some(&(end, s)) = stack.last() {
+                        if n.0 > end {
+                            stack.pop();
+                            *active.get_mut(&s).unwrap() -= 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    let count = active.entry(sym).or_insert(0);
+                    *count += 1;
+                    max_recursion = max_recursion.max(*count);
+                    let tag_max = per_tag.entry(sym).or_insert(0);
+                    *tag_max = (*tag_max).max(*count);
+                    stack.push((doc.last_descendant(n).0, sym));
+                }
+                NodeKind::Text => {
+                    text_count += 1;
+                    text_bytes += doc.text(n).map(str::len).unwrap_or(0);
+                }
+                NodeKind::Document => {}
+            }
+        }
+
+        let recursive_tags: FxHashMap<String, u16> = per_tag
+            .into_iter()
+            .filter(|&(_, depth)| depth > 1)
+            .map(|(sym, depth)| (doc.symbols().name(sym).to_string(), depth))
+            .collect();
+        DocStats {
+            recursive_tags,
+            node_count: element_count + text_count,
+            element_count,
+            text_count,
+            avg_depth: if element_count == 0 {
+                0.0
+            } else {
+                depth_sum as f64 / element_count as f64
+            },
+            max_depth,
+            tag_count: tags.len(),
+            recursive: max_recursion > 1,
+            max_recursion,
+            text_bytes,
+            structure_bytes: element_count * 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_document() {
+        let doc = Document::parse_str("<a><b>x</b><b>y</b><c/></a>").unwrap();
+        let s = doc.stats();
+        assert_eq!(s.element_count, 4);
+        assert_eq!(s.text_count, 2);
+        assert_eq!(s.node_count, 6);
+        assert_eq!(s.max_depth, 2);
+        assert_eq!(s.tag_count, 3);
+        assert!(!s.recursive);
+        assert_eq!(s.max_recursion, 1);
+        assert_eq!(s.text_bytes, 2);
+    }
+
+    #[test]
+    fn recursive_document() {
+        let doc = Document::parse_str("<a><a><b/><a/></a><b/></a>").unwrap();
+        let s = doc.stats();
+        assert!(s.recursive);
+        assert_eq!(s.max_recursion, 3); // a > a > a
+        assert_eq!(s.max_depth, 3);
+        assert_eq!(s.recursive_tags.get("a"), Some(&3));
+        assert_eq!(s.recursive_tags.get("b"), None);
+    }
+
+    #[test]
+    fn per_tag_recursion_is_tag_scoped() {
+        // a nests, x does not — even though x appears inside nested a's.
+        let doc = Document::parse_str("<r><a><x/><a><x/></a></a></r>").unwrap();
+        let s = doc.stats();
+        assert!(s.recursive);
+        assert!(s.recursive_tags.contains_key("a"));
+        assert!(!s.recursive_tags.contains_key("x"));
+        assert!(!s.recursive_tags.contains_key("r"));
+    }
+
+    #[test]
+    fn sibling_same_tags_are_not_recursion() {
+        let doc = Document::parse_str("<r><a/><a/><a/></r>").unwrap();
+        let s = doc.stats();
+        assert!(!s.recursive);
+        assert_eq!(s.max_recursion, 1);
+    }
+
+    #[test]
+    fn recursion_across_gap() {
+        // a // (b) // a is still recursion of a.
+        let doc = Document::parse_str("<a><b><a/></b></a>").unwrap();
+        assert!(doc.stats().recursive);
+        assert_eq!(doc.stats().max_recursion, 2);
+    }
+
+    #[test]
+    fn avg_depth() {
+        let doc = Document::parse_str("<a><b/><b/></a>").unwrap();
+        let s = doc.stats();
+        // depths: 1, 2, 2.
+        assert!((s.avg_depth - 5.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,389 @@
+//! A succinct physical storage scheme for XML documents.
+//!
+//! The paper's NoK operator builds on the storage layer of Zhang,
+//! Kacholia & Özsu (ICDE 2004, reference \[22\]): the tree *skeleton* is
+//! stored as a balanced-parentheses stream separated from the tag names
+//! and the text content, so a sequential scan of the structure touches a
+//! fraction of the raw document bytes.
+//!
+//! This module implements that scheme: [`encode`] serializes a
+//! [`Document`] into four sections —
+//!
+//! 1. the symbol table (tag/attribute names),
+//! 2. a 2-bit-per-event skeleton stream (`open`, `close`, `text`),
+//! 3. the per-element tag ids (varint, in open order),
+//! 4. the content blobs (text runs and sparse attribute lists),
+//!
+//! and [`decode`] reconstructs an equivalent `Document`. Round-tripping
+//! is exact for the element/text/attribute data model.
+
+use crate::document::{Document, NodeId, NodeKind, ParseOptions, TreeBuilder};
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"BLM1";
+
+/// Skeleton event codes (2 bits each).
+const EV_OPEN: u8 = 0b00;
+const EV_CLOSE: u8 = 0b01;
+const EV_TEXT: u8 = 0b10;
+const EV_END: u8 = 0b11;
+
+/// Decoding error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "succinct decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Section sizes of an encoded document, for storage accounting (the
+/// `|tree|` column of Table 1 measures exactly the skeleton + tags part).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionSizes {
+    /// Symbol table bytes.
+    pub symbols: usize,
+    /// Skeleton stream bytes (2 bits per structural event).
+    pub skeleton: usize,
+    /// Tag-id array bytes.
+    pub tags: usize,
+    /// Text + attribute content bytes.
+    pub content: usize,
+}
+
+impl SectionSizes {
+    /// The structural part (skeleton + tags): what a structure-only scan
+    /// reads.
+    pub fn structure(&self) -> usize {
+        self.skeleton + self.tags
+    }
+
+    /// Total payload bytes (excluding the four varint section-length
+    /// prefixes, 1–5 bytes each).
+    pub fn total(&self) -> usize {
+        MAGIC.len() + self.symbols + self.skeleton + self.tags + self.content
+    }
+}
+
+fn push_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes
+            .get(*pos)
+            .ok_or_else(|| DecodeError("truncated varint".into()))?;
+        *pos += 1;
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(DecodeError("varint overflow".into()));
+        }
+    }
+}
+
+fn push_bytes(out: &mut Vec<u8>, data: &[u8]) {
+    push_varint(out, data.len() as u64);
+    out.extend_from_slice(data);
+}
+
+fn read_block<'a>(bytes: &'a [u8], pos: &mut usize) -> Result<&'a [u8], DecodeError> {
+    let len = read_varint(bytes, pos)? as usize;
+    let end = pos
+        .checked_add(len)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| DecodeError("truncated block".into()))?;
+    let block = &bytes[*pos..end];
+    *pos = end;
+    Ok(block)
+}
+
+fn read_str<'a>(bytes: &'a [u8], pos: &mut usize) -> Result<&'a str, DecodeError> {
+    std::str::from_utf8(read_block(bytes, pos)?)
+        .map_err(|_| DecodeError("invalid UTF-8".into()))
+}
+
+/// A 2-bit event writer.
+#[derive(Default)]
+struct BitWriter {
+    bytes: Vec<u8>,
+    used: u8,
+}
+
+impl BitWriter {
+    fn push(&mut self, event: u8) {
+        if self.used == 0 {
+            self.bytes.push(0);
+        }
+        let last = self.bytes.last_mut().unwrap();
+        *last |= event << (self.used * 2);
+        self.used = (self.used + 1) % 4;
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        // Pad the final byte with END events so decoding terminates.
+        while self.used != 0 {
+            self.push(EV_END);
+        }
+        self.bytes
+    }
+}
+
+struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl BitReader<'_> {
+    fn next(&mut self) -> u8 {
+        let byte_idx = self.pos / 4;
+        let within = self.pos % 4;
+        self.pos += 1;
+        match self.bytes.get(byte_idx) {
+            Some(b) => (b >> (within * 2)) & 0b11,
+            None => EV_END,
+        }
+    }
+}
+
+/// Serialize a document into the succinct format.
+pub fn encode(doc: &Document) -> Vec<u8> {
+    let mut skeleton = BitWriter::default();
+    let mut tags: Vec<u8> = Vec::new();
+    let mut content: Vec<u8> = Vec::new();
+
+    // Walk the tree in document order, emitting open/close/text events.
+    fn walk(
+        doc: &Document,
+        node: NodeId,
+        skeleton: &mut BitWriter,
+        tags: &mut Vec<u8>,
+        content: &mut Vec<u8>,
+    ) {
+        match doc.kind(node) {
+            NodeKind::Document => {
+                for c in doc.children(node) {
+                    walk(doc, c, skeleton, tags, content);
+                }
+            }
+            NodeKind::Text => {
+                skeleton.push(EV_TEXT);
+                push_bytes(content, doc.text(node).unwrap_or("").as_bytes());
+            }
+            NodeKind::Element(sym) => {
+                skeleton.push(EV_OPEN);
+                push_varint(tags, sym.0 as u64);
+                // Attributes ride in the content section, prefixed by a
+                // count (usually 0).
+                let attrs = doc.attributes(node);
+                push_varint(content, attrs.len() as u64);
+                for (name, value) in attrs {
+                    push_varint(content, name.0 as u64);
+                    push_bytes(content, value.as_bytes());
+                }
+                for c in doc.children(node) {
+                    walk(doc, c, skeleton, tags, content);
+                }
+                skeleton.push(EV_CLOSE);
+            }
+        }
+    }
+    walk(doc, NodeId::DOCUMENT, &mut skeleton, &mut tags, &mut content);
+    skeleton.push(EV_END);
+    let skeleton = skeleton.finish();
+
+    // Symbol table.
+    let mut symbols: Vec<u8> = Vec::new();
+    push_varint(&mut symbols, doc.symbols().len() as u64);
+    for i in 1..doc.symbols().len() {
+        push_bytes(&mut symbols, doc.symbols().name(crate::Sym(i as u32)).as_bytes());
+    }
+
+    let mut out = Vec::with_capacity(
+        MAGIC.len() + symbols.len() + skeleton.len() + tags.len() + content.len() + 32,
+    );
+    out.extend_from_slice(MAGIC);
+    push_bytes(&mut out, &symbols);
+    push_bytes(&mut out, &skeleton);
+    push_bytes(&mut out, &tags);
+    push_bytes(&mut out, &content);
+    out
+}
+
+/// Section sizes of an encoded buffer (without decoding it fully).
+pub fn section_sizes(bytes: &[u8]) -> Result<SectionSizes, DecodeError> {
+    if bytes.len() < 4 || &bytes[..4] != MAGIC {
+        return Err(DecodeError("bad magic".into()));
+    }
+    let mut pos = 4usize;
+    let symbols = read_block(bytes, &mut pos)?.len();
+    let skeleton = read_block(bytes, &mut pos)?.len();
+    let tags = read_block(bytes, &mut pos)?.len();
+    let content = read_block(bytes, &mut pos)?.len();
+    Ok(SectionSizes { symbols, skeleton, tags, content })
+}
+
+/// Reconstruct a document from the succinct format.
+pub fn decode(bytes: &[u8]) -> Result<Document, DecodeError> {
+    if bytes.len() < 4 || &bytes[..4] != MAGIC {
+        return Err(DecodeError("bad magic".into()));
+    }
+    let mut pos = 4usize;
+    let symbols_sec = read_block(bytes, &mut pos)?;
+    let skeleton_sec = read_block(bytes, &mut pos)?;
+    let tags_sec = read_block(bytes, &mut pos)?;
+    let content_sec = read_block(bytes, &mut pos)?;
+
+    // Symbol table: index 0 is the document symbol, implicit.
+    let mut spos = 0usize;
+    let count = read_varint(symbols_sec, &mut spos)? as usize;
+    let mut names: Vec<String> = Vec::with_capacity(count.saturating_sub(1));
+    for _ in 1..count {
+        names.push(read_str(symbols_sec, &mut spos)?.to_string());
+    }
+    let name_of = |sym: u64| -> Result<&str, DecodeError> {
+        names
+            .get((sym as usize).wrapping_sub(1))
+            .map(String::as_str)
+            .ok_or_else(|| DecodeError(format!("unknown symbol {sym}")))
+    };
+
+    let mut builder = TreeBuilder::new(ParseOptions { keep_whitespace_text: true });
+    let mut reader = BitReader { bytes: skeleton_sec, pos: 0 };
+    let mut tpos = 0usize;
+    let mut cpos = 0usize;
+    let mut depth = 0usize;
+    loop {
+        match reader.next() {
+            EV_OPEN => {
+                let sym = read_varint(tags_sec, &mut tpos)?;
+                builder.start_element(name_of(sym)?);
+                let n_attrs = read_varint(content_sec, &mut cpos)?;
+                for _ in 0..n_attrs {
+                    let attr_sym = read_varint(content_sec, &mut cpos)?;
+                    let name = name_of(attr_sym)?.to_string();
+                    let value = read_str(content_sec, &mut cpos)?.to_string();
+                    builder.attribute(&name, &value);
+                }
+                depth += 1;
+            }
+            EV_CLOSE => {
+                if depth == 0 {
+                    return Err(DecodeError("unbalanced close event".into()));
+                }
+                builder.end_element();
+                depth -= 1;
+            }
+            EV_TEXT => {
+                let text = read_str(content_sec, &mut cpos)?.to_string();
+                builder.text(&text);
+            }
+            EV_END => {
+                if depth != 0 {
+                    return Err(DecodeError("truncated skeleton".into()));
+                }
+                return Ok(builder.finish());
+            }
+            _ => unreachable!("2-bit codes"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer;
+
+    fn roundtrip(xml: &str) {
+        let doc = Document::parse_str(xml).unwrap();
+        let bytes = encode(&doc);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(writer::to_string(&doc), writer::to_string(&back), "for {xml}");
+    }
+
+    #[test]
+    fn roundtrips() {
+        roundtrip("<a/>");
+        roundtrip("<a>text</a>");
+        roundtrip(r#"<bib><book year="1994"><title>a &amp; b</title></book><x/></bib>"#);
+        roundtrip("<a>x<b>y</b>z<c><d/></c></a>");
+    }
+
+    #[test]
+    fn structure_is_separated_from_content() {
+        let doc = Document::parse_str(
+            "<r><a>some fairly long text content here</a><a>more of the same stuff</a></r>",
+        )
+        .unwrap();
+        let bytes = encode(&doc);
+        let sizes = section_sizes(&bytes).unwrap();
+        // Three elements = 7 structural events (incl. END) = 2 bytes;
+        // structure is tiny compared to the text blob.
+        assert!(sizes.structure() < sizes.content, "{sizes:?}");
+        assert!(sizes.skeleton <= 3, "{sizes:?}");
+        // total() excludes the four section-length prefixes.
+        assert!(sizes.total() <= bytes.len() && bytes.len() <= sizes.total() + 20);
+    }
+
+    #[test]
+    fn skeleton_is_quarter_byte_per_event() {
+        // 1000 empty elements: 2001 events (opens+closes+END) ≈ 501 bytes.
+        let mut xml = String::from("<r>");
+        for _ in 0..999 {
+            xml.push_str("<e/>");
+        }
+        xml.push_str("</r>");
+        let doc = Document::parse_str(&xml).unwrap();
+        let sizes = section_sizes(&encode(&doc)).unwrap();
+        assert!((500..=502).contains(&sizes.skeleton), "{}", sizes.skeleton);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode(b"").is_err());
+        assert!(decode(b"WRNG123").is_err());
+        let doc = Document::parse_str("<a><b/></a>").unwrap();
+        let mut bytes = encode(&doc);
+        bytes.truncate(bytes.len() - 1);
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn preserves_node_statistics() {
+        let doc = Document::parse_str(
+            "<bib><book><title>T</title><author>A</author></book><book/></bib>",
+        )
+        .unwrap();
+        let back = decode(&encode(&doc)).unwrap();
+        assert_eq!(doc.stats(), back.stats());
+    }
+
+    #[test]
+    fn whitespace_text_preserved_exactly() {
+        // The succinct format must not re-apply whitespace policies.
+        let doc = Document::parse_str_with(
+            "<a> <b/> </a>",
+            ParseOptions { keep_whitespace_text: true },
+        )
+        .unwrap();
+        let back = decode(&encode(&doc)).unwrap();
+        assert_eq!(writer::to_string(&doc), writer::to_string(&back));
+    }
+}

@@ -1,0 +1,140 @@
+//! Interned tag and attribute names.
+//!
+//! Every element and attribute name in a [`crate::Document`] is interned
+//! into a [`SymbolTable`] so that name comparisons during pattern matching
+//! are single `u32` compares and the tag-name index can be a dense array.
+
+use crate::fxhash::FxHashMap;
+use std::fmt;
+
+/// An interned name. `Sym(0)` is reserved for the wildcard/document symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(pub u32);
+
+impl Sym {
+    /// The reserved symbol used for the virtual document node.
+    pub const DOCUMENT: Sym = Sym(0);
+
+    /// Index into dense per-symbol arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Bidirectional map between names and [`Sym`]s.
+///
+/// Interning is append-only; symbols are never removed, so a `Sym` handed
+/// out once stays valid for the lifetime of the table.
+#[derive(Debug, Clone)]
+pub struct SymbolTable {
+    names: Vec<Box<str>>,
+    by_name: FxHashMap<Box<str>, Sym>,
+}
+
+impl Default for SymbolTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SymbolTable {
+    /// Create a table with the document symbol pre-interned.
+    pub fn new() -> Self {
+        let mut table = SymbolTable {
+            names: Vec::new(),
+            by_name: FxHashMap::default(),
+        };
+        let doc = table.intern("#document");
+        debug_assert_eq!(doc, Sym::DOCUMENT);
+        table
+    }
+
+    /// Intern `name`, returning its symbol (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&sym) = self.by_name.get(name) {
+            return sym;
+        }
+        let sym = Sym(self.names.len() as u32);
+        let boxed: Box<str> = name.into();
+        self.names.push(boxed.clone());
+        self.by_name.insert(boxed, sym);
+        sym
+    }
+
+    /// Look up an already-interned name without interning it.
+    pub fn lookup(&self, name: &str) -> Option<Sym> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name for `sym`. Panics if `sym` did not come from this table.
+    pub fn name(&self, sym: Sym) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of interned symbols (including the document symbol).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when only the document symbol is present.
+    pub fn is_empty(&self) -> bool {
+        self.names.len() <= 1
+    }
+
+    /// Iterate over `(Sym, name)` pairs, excluding the document symbol.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, n)| (Sym(i as u32), n.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("book");
+        let b = t.intern("book");
+        assert_eq!(a, b);
+        assert_eq!(t.name(a), "book");
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_symbols() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("book");
+        let b = t.intern("author");
+        assert_ne!(a, b);
+        assert_eq!(t.lookup("author"), Some(b));
+        assert_eq!(t.lookup("nope"), None);
+    }
+
+    #[test]
+    fn document_symbol_is_reserved() {
+        let t = SymbolTable::new();
+        assert_eq!(t.lookup("#document"), Some(Sym::DOCUMENT));
+        assert_eq!(t.len(), 1);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn iter_skips_document_symbol() {
+        let mut t = SymbolTable::new();
+        t.intern("a");
+        t.intern("b");
+        let names: Vec<&str> = t.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,175 @@
+//! XML serialization.
+//!
+//! Serializes a [`Document`] subtree back to markup, escaping text and
+//! attribute values. Used for round-trip testing and for constructing the
+//! textual result of FLWOR queries.
+
+use crate::document::{Document, NodeId, NodeKind};
+use std::fmt::Write;
+
+/// Escape `text` for use as character data.
+pub fn escape_text(text: &str, out: &mut String) {
+    for c in text.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Escape `value` for use inside a double-quoted attribute.
+pub fn escape_attr(value: &str, out: &mut String) {
+    for c in value.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Serialize the subtree rooted at `node` (compact; no added whitespace).
+pub fn write_node(doc: &Document, node: NodeId, out: &mut String) {
+    match doc.kind(node) {
+        NodeKind::Document => {
+            for c in doc.children(node) {
+                write_node(doc, c, out);
+            }
+        }
+        NodeKind::Text => {
+            escape_text(doc.text(node).unwrap_or(""), out);
+        }
+        NodeKind::Element(sym) => {
+            let name = doc.symbols().name(sym);
+            out.push('<');
+            out.push_str(name);
+            for (attr, value) in doc.attributes(node) {
+                let _ = write!(out, " {}=\"", doc.symbols().name(*attr));
+                escape_attr(value, out);
+                out.push('"');
+            }
+            if doc.first_child(node).is_none() {
+                out.push_str("/>");
+            } else {
+                out.push('>');
+                for c in doc.children(node) {
+                    write_node(doc, c, out);
+                }
+                out.push_str("</");
+                out.push_str(name);
+                out.push('>');
+            }
+        }
+    }
+}
+
+/// Serialize the whole document (compact).
+pub fn to_string(doc: &Document) -> String {
+    let mut out = String::new();
+    write_node(doc, NodeId::DOCUMENT, &mut out);
+    out
+}
+
+/// Serialize with two-space indentation, one element per line. Text nodes
+/// are emitted inline when they are an element's only child.
+pub fn to_string_pretty(doc: &Document) -> String {
+    let mut out = String::new();
+    if let Some(root) = doc.root_element() {
+        write_pretty(doc, root, 0, &mut out);
+    }
+    out
+}
+
+fn write_pretty(doc: &Document, node: NodeId, indent: usize, out: &mut String) {
+    match doc.kind(node) {
+        NodeKind::Document => unreachable!("pretty printer starts at the root element"),
+        NodeKind::Text => {
+            for _ in 0..indent {
+                out.push_str("  ");
+            }
+            escape_text(doc.text(node).unwrap_or(""), out);
+            out.push('\n');
+        }
+        NodeKind::Element(sym) => {
+            let name = doc.symbols().name(sym);
+            for _ in 0..indent {
+                out.push_str("  ");
+            }
+            out.push('<');
+            out.push_str(name);
+            for (attr, value) in doc.attributes(node) {
+                let _ = write!(out, " {}=\"", doc.symbols().name(*attr));
+                escape_attr(value, out);
+                out.push('"');
+            }
+            let mut kids = doc.children(node);
+            match (kids.next(), kids.next()) {
+                (None, _) => out.push_str("/>\n"),
+                (Some(only), None) if doc.kind(only) == NodeKind::Text => {
+                    out.push('>');
+                    escape_text(doc.text(only).unwrap_or(""), out);
+                    out.push_str("</");
+                    out.push_str(name);
+                    out.push_str(">\n");
+                }
+                _ => {
+                    out.push_str(">\n");
+                    for c in doc.children(node) {
+                        write_pretty(doc, c, indent + 1, out);
+                    }
+                    for _ in 0..indent {
+                        out.push_str("  ");
+                    }
+                    out.push_str("</");
+                    out.push_str(name);
+                    out.push_str(">\n");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Document;
+
+    #[test]
+    fn roundtrip_compact() {
+        let src = r#"<bib><book year="1994"><title>a &amp; b</title></book><empty/></bib>"#;
+        let doc = Document::parse_str(src).unwrap();
+        assert_eq!(to_string(&doc), src);
+    }
+
+    #[test]
+    fn escaping() {
+        let mut s = String::new();
+        escape_text("a<b>&c", &mut s);
+        assert_eq!(s, "a&lt;b&gt;&amp;c");
+        let mut s = String::new();
+        escape_attr("say \"hi\" & <go>", &mut s);
+        assert_eq!(s, "say &quot;hi&quot; &amp; &lt;go>");
+    }
+
+    #[test]
+    fn reparse_equals_original() {
+        let src = r#"<a x="1&quot;2"><b>t1</b>mid<c><d/></c></a>"#;
+        let doc = Document::parse_str(src).unwrap();
+        let serialized = to_string(&doc);
+        let doc2 = Document::parse_str(&serialized).unwrap();
+        assert_eq!(to_string(&doc2), serialized);
+        let (r1, r2) = (doc.root_element().unwrap(), doc2.root_element().unwrap());
+        assert_eq!(doc.stats(), doc2.stats());
+        assert_eq!(doc.string_value(r1), doc2.string_value(r2));
+    }
+
+    #[test]
+    fn pretty_printing() {
+        let doc = Document::parse_str("<a><b>x</b><c><d/></c></a>").unwrap();
+        let pretty = to_string_pretty(&doc);
+        assert_eq!(pretty, "<a>\n  <b>x</b>\n  <c>\n    <d/>\n  </c>\n</a>\n");
+    }
+}

@@ -1,0 +1,784 @@
+//! The five evaluation datasets of Table 1, as seeded generators.
+//!
+//! The paper used two synthetic corpora (a recursive-DTD document and two
+//! XBench documents) and two real corpora (Treebank and dblp). The real
+//! corpora are not redistributable, so each generator reproduces the
+//! *shape* the experiments depend on — recursiveness, depth profile and
+//! tag-vocabulary size (Table 1's columns) plus the tag chains the
+//! Appendix A queries probe — at a configurable node-count scale.
+
+use crate::gen::Gen;
+use blossom_xml::Document;
+
+/// The five datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dataset {
+    /// d1 — synthetic, recursive DTD (8 tags, deep).
+    D1Recursive,
+    /// d2 — XBench "address"-like: shallow, non-recursive, 7 tags.
+    D2Address,
+    /// d3 — XBench "catalog"-like: deeper, non-recursive, ~51 tags.
+    D3Catalog,
+    /// d4 — Treebank-like: highly recursive, very deep, ~250 tags.
+    D4Treebank,
+    /// d5 — dblp-like: shallow bibliography, ~35 tags.
+    D5Dblp,
+}
+
+impl Dataset {
+    /// All five, in Table 1 order.
+    pub fn all() -> [Dataset; 5] {
+        [
+            Dataset::D1Recursive,
+            Dataset::D2Address,
+            Dataset::D3Catalog,
+            Dataset::D4Treebank,
+            Dataset::D5Dblp,
+        ]
+    }
+
+    /// Table 1 name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::D1Recursive => "d1",
+            Dataset::D2Address => "d2",
+            Dataset::D3Catalog => "d3",
+            Dataset::D4Treebank => "d4",
+            Dataset::D5Dblp => "d5",
+        }
+    }
+
+    /// Is the dataset recursive (Table 1 category)?
+    pub fn recursive(self) -> bool {
+        matches!(self, Dataset::D1Recursive | Dataset::D4Treebank)
+    }
+
+    /// Node count reported by the paper's Table 1.
+    pub fn paper_nodes(self) -> usize {
+        match self {
+            Dataset::D1Recursive => 1_212_548,
+            Dataset::D2Address => 403_201,
+            Dataset::D3Catalog => 620_604,
+            Dataset::D4Treebank => 2_437_666,
+            Dataset::D5Dblp => 3_332_130,
+        }
+    }
+
+    /// Default generated size: 1/10 of the paper's, so the full Table 3
+    /// sweep runs in CI time. Scale up with [`generate_scaled`].
+    pub fn default_nodes(self) -> usize {
+        self.paper_nodes() / 10
+    }
+}
+
+/// Generate `dataset` with roughly `target_nodes` nodes.
+pub fn generate(dataset: Dataset, target_nodes: usize, seed: u64) -> Document {
+    match dataset {
+        Dataset::D1Recursive => d1(target_nodes, seed),
+        Dataset::D2Address => d2(target_nodes, seed),
+        Dataset::D3Catalog => d3(target_nodes, seed),
+        Dataset::D4Treebank => d4(target_nodes, seed),
+        Dataset::D5Dblp => d5(target_nodes, seed),
+    }
+}
+
+/// Generate at `scale` × the paper's node count.
+pub fn generate_scaled(dataset: Dataset, scale: f64, seed: u64) -> Document {
+    let target = (dataset.paper_nodes() as f64 * scale) as usize;
+    generate(dataset, target.max(100), seed)
+}
+
+/// d1 — recursive DTD with 8 tags (a, b1–b4, c1–c3). Nested `a`s and
+/// `c2/b1/c2/b1` chains feed the Appendix A d1 queries.
+fn d1(target: usize, seed: u64) -> Document {
+    let mut g = Gen::new(seed);
+    g.open("a");
+    while g.nodes() < target {
+        a_body(&mut g, 1);
+    }
+    g.close();
+    g.finish()
+}
+
+fn a_body(g: &mut Gen, depth: u16) {
+    // Children of an <a>: nested a (recursion), b's and c's.
+    if depth < 4 && g.chance(0.3) {
+        g.open("a");
+        let reps = g.int(1, 3);
+        for _ in 0..reps {
+            a_body(g, depth + 1);
+        }
+        g.close();
+    }
+    let chains = g.int(1, 2);
+    for _ in 0..chains {
+        if g.chance(0.7) {
+            b1_chain(g, depth + 1);
+        }
+    }
+    if g.chance(0.3) {
+        let t = g.phrase(1);
+        g.leaf("b2", &t);
+    }
+    if g.chance(0.3) {
+        let t = g.phrase(1);
+        g.leaf("b3", &t);
+    }
+    if g.chance(0.15) {
+        let t = g.phrase(1);
+        g.leaf("b4", &t);
+    }
+    if g.chance(0.4) {
+        g.open("c1");
+        if g.chance(0.5) {
+            let t = g.phrase(1);
+            g.leaf("b2", &t);
+        }
+        if g.chance(0.5) {
+            let t = g.phrase(1);
+            g.leaf("b3", &t);
+        }
+        g.close();
+    }
+}
+
+/// b1 → c2 → b1 → c2 ... chains (the d1 queries' backbone), depth-capped
+/// so max depth stays ≈ 8.
+fn b1_chain(g: &mut Gen, depth: u16) {
+    g.open("b1");
+    if depth < 7 && g.chance(0.8) {
+        g.open("c2");
+        // A c2 can spawn more than one b1 branch, so the deep-branching
+        // Q4 pattern (c2[//c2[b1]]/b1) occurs.
+        let branches = g.int(1, 2);
+        for _ in 0..branches {
+            if depth + 1 < 8 && g.chance(0.7) {
+                b1_chain(g, depth + 2);
+            }
+        }
+        if g.chance(0.4) {
+            let t = g.phrase(1);
+            g.leaf("c3", &t);
+        }
+        g.close();
+    } else if depth < 8 && g.chance(0.5) {
+        let t = g.phrase(1);
+        g.leaf("c3", &t);
+    }
+    g.close();
+}
+
+/// d2 — address list: addresses → address* → fields; ~7 tags, shallow,
+/// non-recursive. Field presence probabilities create the h/m/l
+/// selectivity spread of the d2 queries.
+fn d2(target: usize, seed: u64) -> Document {
+    let mut g = Gen::new(seed);
+    g.open("addresses");
+    while g.nodes() < target {
+        g.open("address");
+        g.open("street_address");
+        let t = g.phrase(2);
+        g.text(&t);
+        // A nested state inside the street block is rare: Q1's
+        // high-selectivity chain.
+        if g.chance(0.05) {
+            let s = g.phrase(1);
+            g.leaf("name_of_state", &s);
+        }
+        g.close();
+        if g.chance(0.8) {
+            let c = g.phrase(1);
+            g.leaf("name_of_city", &c);
+        }
+        if g.chance(0.45) {
+            let s = g.phrase(1);
+            g.leaf("name_of_state", &s);
+        }
+        if g.chance(0.7) {
+            let z = g.number(10000, 99999);
+            g.leaf("zip_code", &z);
+        }
+        if g.chance(0.25) {
+            let c = g.number(1, 200);
+            g.leaf("country_id", &c);
+        }
+        g.close();
+    }
+    g.close();
+    g.finish()
+}
+
+/// d3 — catalog: catalog → item* with publisher/author subtrees; ~51
+/// tags, max depth ≈ 8, non-recursive.
+fn d3(target: usize, seed: u64) -> Document {
+    const SUBJECTS: &[&str] =
+        &["databases", "systems", "networks", "theory", "graphics", "languages"];
+    let mut g = Gen::new(seed);
+    g.open("catalog");
+    let mut serial = 0u32;
+    while g.nodes() < target {
+        serial += 1;
+        g.open("item");
+        g.attr("id", &format!("I{serial}"));
+        let t = g.phrase(3);
+        g.leaf("title", &t);
+        g.open("attributes");
+        g.open("size_of_book");
+        let l = g.number(100, 900);
+        g.leaf("length", &l);
+        let w = g.number(50, 400);
+        g.leaf("width", &w);
+        if g.chance(0.5) {
+            let h = g.number(10, 60);
+            g.leaf("height", &h);
+        }
+        g.close();
+        if g.chance(0.6) {
+            let w = g.number(100, 2000);
+            g.leaf("weight", &w);
+        }
+        g.close();
+        // Publisher with a deeply nested mailing address (depth 8 leaves).
+        if g.chance(0.5) {
+            g.open("publisher");
+            let n = g.phrase(2);
+            g.leaf("publisher_name", &n);
+            if g.chance(0.7) {
+                g.open("contact_information");
+                g.open("mailing_address");
+                g.open("street_information");
+                let s = g.phrase(2);
+                g.leaf("street_address", &s);
+                if g.chance(0.4) {
+                    let s2 = g.phrase(1);
+                    g.leaf("suite_number", &s2);
+                }
+                g.close();
+                let c = g.phrase(1);
+                g.leaf("name_of_city", &c);
+                if g.chance(0.6) {
+                    let st = g.phrase(1);
+                    g.leaf("name_of_state", &st);
+                }
+                let z = g.number(10000, 99999);
+                g.leaf("zip_code", &z);
+                g.close();
+                if g.chance(0.3) {
+                    let p = g.number(1000000, 9999999);
+                    g.leaf("phone_number", &p);
+                }
+                g.close();
+            }
+            g.close();
+        }
+        // Authors.
+        g.open("authors");
+        let n_authors = g.int(1, 3);
+        for _ in 0..n_authors {
+            g.open("author");
+            let f = g.phrase(1);
+            g.leaf("first_name", &f);
+            let l = g.phrase(1);
+            g.leaf("last_name", &l);
+            if g.chance(0.4) {
+                let d = g.number(1940, 1990);
+                g.leaf("date_of_birth", &d);
+            }
+            if g.chance(0.35) {
+                g.open("contact_information");
+                g.open("mailing_address");
+                let s = g.phrase(2);
+                g.leaf("street_address", &s);
+                let c = g.phrase(1);
+                g.leaf("name_of_city", &c);
+                g.close();
+                if g.chance(0.5) {
+                    let e = g.phrase(1);
+                    g.leaf("email_address", &e);
+                }
+                g.close();
+            }
+            g.close();
+        }
+        g.close();
+        // Assorted catalog fields to widen the tag vocabulary.
+        let yr = g.number(1970, 2004);
+        g.leaf("date_of_release", &yr);
+        let subj = (*g.pick(SUBJECTS)).to_string();
+        g.leaf("subject", &subj);
+        if g.chance(0.5) {
+            g.open("pricing");
+            let p = g.number(10, 300);
+            g.leaf("suggested_retail_price", &p);
+            if g.chance(0.5) {
+                let c = g.number(5, 150);
+                g.leaf("cost", &c);
+            }
+            g.close();
+        }
+        if g.chance(0.4) {
+            g.open("publication_details");
+            let i = g.number(1000000, 9999999);
+            g.leaf("isbn", &i);
+            let e = g.number(1, 9);
+            g.leaf("edition", &e);
+            if g.chance(0.5) {
+                let p = g.number(100, 1200);
+                g.leaf("number_of_pages", &p);
+            }
+            g.close();
+        }
+        if g.chance(0.3) {
+            g.open("media");
+            let f = g.phrase(1);
+            g.leaf("format", &f);
+            if g.chance(0.5) {
+                let d = g.phrase(1);
+                g.leaf("digital_rights", &d);
+            }
+            g.close();
+        }
+        if g.chance(0.25) {
+            g.open("reviews");
+            let r = g.int(1, 2);
+            for _ in 0..r {
+                g.open("review");
+                let rating = g.number(1, 5);
+                g.leaf("rating", &rating);
+                let c = g.phrase(4);
+                g.leaf("comment", &c);
+                g.close();
+            }
+            g.close();
+        }
+        if g.chance(0.2) {
+            g.open("related_items");
+            let ri = g.number(1, 5000);
+            g.leaf("related_item_id", &ri);
+            g.close();
+        }
+        if g.chance(0.3) {
+            let a = g.phrase(6);
+            g.leaf("abstract", &a);
+        }
+        if g.chance(0.3) {
+            let s = g.phrase(1);
+            g.leaf("series", &s);
+        }
+        if g.chance(0.2) {
+            let t = g.phrase(1);
+            g.leaf("translator", &t);
+        }
+        if g.chance(0.2) {
+            let il = g.phrase(1);
+            g.leaf("illustrator", &il);
+        }
+        if g.chance(0.2) {
+            let lang = g.phrase(1);
+            g.leaf("language", &lang);
+        }
+        if g.chance(0.15) {
+            let bind = g.phrase(1);
+            g.leaf("binding", &bind);
+        }
+        if g.chance(0.15) {
+            let aw = g.phrase(2);
+            g.leaf("award", &aw);
+        }
+        g.close();
+    }
+    g.close();
+    g.finish()
+}
+
+/// d4 — Treebank-like parse trees: highly recursive, max depth ≈ 36,
+/// ~250 tags (core syntactic categories plus a long tail of rare tags).
+fn d4(target: usize, seed: u64) -> Document {
+    let rare: Vec<String> = (0..240).map(|i| format!("T{i:03}")).collect();
+    let mut g = Gen::new(seed);
+    g.open("FILE");
+    while g.nodes() < target {
+        g.open("S");
+        sentence(&mut g, 2, &rare);
+        g.close();
+    }
+    g.close();
+    g.finish()
+}
+
+fn sentence(g: &mut Gen, depth: u16, rare: &[String]) {
+    // NP VP core with recursive expansions.
+    np(g, depth, rare);
+    vp(g, depth, rare);
+    if g.chance(0.1) {
+        let tag = g.pick(rare).clone();
+        let w = g.phrase(1);
+        g.leaf(&tag, &w);
+    }
+}
+
+fn vp(g: &mut Gen, depth: u16, rare: &[String]) {
+    g.open("VP");
+    let w = g.phrase(1);
+    g.leaf("VB", &w);
+    if depth < 34 && g.chance(0.42) {
+        vp(g, depth + 1, rare); // nested VP — deep recursion
+    }
+    if depth < 34 && g.chance(0.6) {
+        np(g, depth + 1, rare);
+    }
+    if depth < 34 && g.chance(0.35) {
+        pp(g, depth + 1, rare);
+    }
+    if g.chance(0.15) {
+        let w = g.phrase(1);
+        g.leaf("JJ", &w);
+    }
+    if g.chance(0.05) {
+        let tag = g.pick(rare).clone();
+        let w = g.phrase(1);
+        g.leaf(&tag, &w);
+    }
+    g.close();
+}
+
+fn np(g: &mut Gen, depth: u16, rare: &[String]) {
+    g.open("NP");
+    if g.chance(0.4) {
+        let w = g.phrase(1);
+        g.leaf("DT", &w);
+    }
+    if g.chance(0.3) {
+        let w = g.phrase(1);
+        g.leaf("JJ", &w);
+    }
+    let w = g.phrase(1);
+    g.leaf("NN", &w);
+    if depth < 34 && g.chance(0.25) {
+        np(g, depth + 1, rare);
+    }
+    if depth < 34 && g.chance(0.3) {
+        pp(g, depth + 1, rare);
+    }
+    g.close();
+}
+
+fn pp(g: &mut Gen, depth: u16, rare: &[String]) {
+    g.open("PP");
+    let w = g.phrase(1);
+    g.leaf("IN", &w);
+    if depth < 34 && g.chance(0.25) {
+        pp(g, depth + 1, rare); // PP/PP chains for Q1
+    }
+    if depth < 34 && g.chance(0.5) {
+        np(g, depth + 1, rare);
+    }
+    g.close();
+}
+
+/// d5 — dblp-like bibliography: flat records, ~35 tags, non-recursive.
+fn d5(target: usize, seed: u64) -> Document {
+    let mut g = Gen::new(seed);
+    g.open("dblp");
+    while g.nodes() < target {
+        let kind = g.int(0, 99);
+        match kind {
+            // Record mix approximating dblp: mostly articles and
+            // inproceedings, few theses/www/proceedings.
+            0..=39 => record(&mut g, "article", &["journal", "volume", "number"]),
+            40..=74 => record(&mut g, "inproceedings", &["booktitle", "crossref"]),
+            75..=82 => record(&mut g, "book", &["publisher", "isbn"]),
+            83..=88 => record(&mut g, "incollection", &["booktitle", "chapter"]),
+            89..=92 => proceedings(&mut g),
+            93..=95 => thesis(&mut g, "phdthesis"),
+            96..=97 => thesis(&mut g, "mastersthesis"),
+            _ => www(&mut g),
+        }
+    }
+    g.close();
+    g.finish()
+}
+
+fn common_fields(g: &mut Gen) {
+    let n_auth = g.int(1, 3);
+    for _ in 0..n_auth {
+        let a = g.phrase(2);
+        g.leaf("author", &a);
+    }
+    let t = g.phrase(4);
+    g.leaf("title", &t);
+    let y = g.number(1960, 2004);
+    g.leaf("year", &y);
+}
+
+fn record(g: &mut Gen, tag: &str, extras: &[&str]) {
+    g.open(tag);
+    let key = format!("k{}", g.int(0, 9_999_999));
+    g.attr("key", &key);
+    common_fields(g);
+    if g.chance(0.8) {
+        let p = format!("{}-{}", g.int(1, 400), g.int(401, 800));
+        g.leaf("pages", &p);
+    }
+    for e in extras {
+        if g.chance(0.7) {
+            let v = g.phrase(1);
+            g.leaf(e, &v);
+        }
+    }
+    if g.chance(0.5) {
+        let u = format!("http://example.org/{}", g.int(0, 99999));
+        g.leaf("url", &u);
+    }
+    if g.chance(0.4) {
+        let e = format!("db/{}.html", g.int(0, 9999));
+        g.leaf("ee", &e);
+    }
+    if g.chance(0.1) {
+        let c = g.phrase(1);
+        g.leaf("cite", &c);
+    }
+    if g.chance(0.1) {
+        let n = g.phrase(3);
+        g.leaf("note", &n);
+    }
+    if g.chance(0.05) {
+        let m = g.phrase(1);
+        g.leaf("month", &m);
+    }
+    if g.chance(0.05) {
+        let c = g.phrase(1);
+        g.leaf("cdrom", &c);
+    }
+    g.close();
+}
+
+fn proceedings(g: &mut Gen) {
+    g.open("proceedings");
+    let key = format!("p{}", g.int(0, 999_999));
+    g.attr("key", &key);
+    if g.chance(0.85) {
+        let e = g.phrase(2);
+        g.leaf("editor", &e);
+        if g.chance(0.4) {
+            let e2 = g.phrase(2);
+            g.leaf("editor", &e2);
+        }
+    }
+    let t = g.phrase(4);
+    g.leaf("title", &t);
+    let y = g.number(1970, 2004);
+    g.leaf("year", &y);
+    if g.chance(0.6) {
+        let u = format!("http://example.org/proc/{}", g.int(0, 9999));
+        g.leaf("url", &u);
+    }
+    if g.chance(0.6) {
+        let p = g.phrase(1);
+        g.leaf("publisher", &p);
+    }
+    if g.chance(0.5) {
+        let s = g.phrase(2);
+        g.leaf("series", &s);
+    }
+    if g.chance(0.4) {
+        let v = g.number(1, 4000);
+        g.leaf("volume", &v);
+    }
+    if g.chance(0.3) {
+        let i = g.number(1_000_000, 9_999_999);
+        g.leaf("isbn", &i);
+    }
+    g.close();
+}
+
+fn thesis(g: &mut Gen, tag: &str) {
+    g.open(tag);
+    let key = format!("t{}", g.int(0, 999_999));
+    g.attr("key", &key);
+    let a = g.phrase(2);
+    g.leaf("author", &a);
+    let t = g.phrase(5);
+    g.leaf("title", &t);
+    let y = g.number(1970, 2004);
+    g.leaf("year", &y);
+    if g.chance(0.9) {
+        let s = g.phrase(2);
+        g.leaf("school", &s);
+    }
+    if g.chance(0.3) {
+        let u = format!("http://example.org/thesis/{}", g.int(0, 9999));
+        g.leaf("url", &u);
+    }
+    if g.chance(0.2) {
+        let m = g.phrase(1);
+        g.leaf("month", &m);
+    }
+    g.close();
+}
+
+fn www(g: &mut Gen) {
+    g.open("www");
+    let key = format!("w{}", g.int(0, 999_999));
+    g.attr("key", &key);
+    if g.chance(0.7) {
+        let a = g.phrase(2);
+        g.leaf("author", &a);
+    }
+    let t = g.phrase(3);
+    g.leaf("title", &t);
+    if g.chance(0.8) {
+        let u = format!("http://example.org/www/{}", g.int(0, 99999));
+        g.leaf("url", &u);
+    }
+    if g.chance(0.3) {
+        let e = g.phrase(2);
+        g.leaf("editor", &e);
+    }
+    if g.chance(0.3) {
+        let y = g.number(1990, 2004);
+        g.leaf("year", &y);
+    }
+    if g.chance(0.2) {
+        let n = g.phrase(2);
+        g.leaf("note", &n);
+    }
+    g.close();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(ds: Dataset) -> blossom_xml::DocStats {
+        generate(ds, 20_000, 42).stats()
+    }
+
+    #[test]
+    fn sizes_hit_target() {
+        for ds in Dataset::all() {
+            let s = stats(ds);
+            assert!(
+                s.node_count >= 20_000 && s.node_count < 30_000,
+                "{}: {} nodes",
+                ds.name(),
+                s.node_count
+            );
+        }
+    }
+
+    #[test]
+    fn recursion_flags_match_table1() {
+        for ds in Dataset::all() {
+            let s = stats(ds);
+            assert_eq!(
+                s.recursive,
+                ds.recursive(),
+                "{} recursive flag",
+                ds.name()
+            );
+        }
+    }
+
+    #[test]
+    fn d1_shape() {
+        let s = stats(Dataset::D1Recursive);
+        assert_eq!(s.tag_count, 8, "d1 has 8 tags");
+        assert!(s.max_depth >= 6 && s.max_depth <= 12, "max depth {}", s.max_depth);
+    }
+
+    #[test]
+    fn d2_shape() {
+        let s = stats(Dataset::D2Address);
+        assert_eq!(s.tag_count, 7, "d2 has 7 tags: {}", s.tag_count);
+        assert!(s.max_depth <= 4);
+        assert!(s.avg_depth < 4.0);
+    }
+
+    #[test]
+    fn d3_shape() {
+        let s = stats(Dataset::D3Catalog);
+        assert!(
+            (40..=60).contains(&s.tag_count),
+            "d3 tag count {} should be ≈51",
+            s.tag_count
+        );
+        assert!(s.max_depth >= 7 && s.max_depth <= 9, "max depth {}", s.max_depth);
+    }
+
+    #[test]
+    fn d4_shape() {
+        let s = stats(Dataset::D4Treebank);
+        assert!(s.max_depth >= 20, "treebank-like must be deep: {}", s.max_depth);
+        assert!(s.max_recursion >= 5, "deep same-tag nesting: {}", s.max_recursion);
+        // The 240 rare tags are injected with low probability, so the
+        // observed vocabulary grows with document size; at the 20k-node
+        // test scale a large fraction is enough (it converges to ~250 at
+        // Table 1 scale).
+        assert!(s.tag_count >= 60, "long tag tail: {}", s.tag_count);
+    }
+
+    #[test]
+    fn d5_shape() {
+        let s = stats(Dataset::D5Dblp);
+        assert!(
+            (25..=40).contains(&s.tag_count),
+            "d5 tag count {} should be ≈35",
+            s.tag_count
+        );
+        assert!(s.max_depth <= 6);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = blossom_xml::writer::to_string(&generate(Dataset::D5Dblp, 5_000, 1));
+        let b = blossom_xml::writer::to_string(&generate(Dataset::D5Dblp, 5_000, 1));
+        let c = blossom_xml::writer::to_string(&generate(Dataset::D5Dblp, 5_000, 2));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn appendix_queries_have_matches() {
+        use blossom_core::{Engine, Strategy};
+        // Spot-check that the appendix queries find something on each
+        // generated dataset (selectivity > 0).
+        let cases: &[(Dataset, &[&str])] = &[
+            (Dataset::D1Recursive, &["//a//b4", "//a//c2/b1/c2/b1//c3", "//b1//c2//b1"]),
+            (
+                Dataset::D2Address,
+                &[
+                    "//addresses//street_address//name_of_state",
+                    "//address[//name_of_state][//zip_code]//street_address",
+                ],
+            ),
+            (
+                Dataset::D3Catalog,
+                &[
+                    "//item/attributes//length",
+                    "//publisher[//mailing_address]//street_address",
+                    "//author[date_of_birth][//last_name]//street_address",
+                ],
+            ),
+            (
+                Dataset::D4Treebank,
+                &["//VP//VP/NP//PP/PP", "//VP[VP]//VP/NP//NN", "//VP[//NP][//VB]//JJ"],
+            ),
+            (
+                Dataset::D5Dblp,
+                &[
+                    "//phdthesis//author",
+                    "//www[//url]",
+                    "//proceedings[//editor][//year][//url]",
+                ],
+            ),
+        ];
+        for (ds, queries) in cases {
+            let engine = Engine::new(generate(*ds, 30_000, 7));
+            for q in *queries {
+                let n = engine.eval_path_str(q, Strategy::Navigational).unwrap();
+                assert!(!n.is_empty(), "{} query {q} matched nothing", ds.name());
+            }
+        }
+    }
+}

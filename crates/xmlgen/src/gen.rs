@@ -1,0 +1,152 @@
+//! Shared generator infrastructure: a seeded random tree builder that
+//! tracks node counts so generators can hit a target size.
+
+use blossom_xml::{Document, TreeBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Wraps a [`TreeBuilder`] with an RNG and node accounting.
+pub struct Gen {
+    builder: TreeBuilder,
+    rng: SmallRng,
+    nodes: usize,
+    depth: u16,
+    max_depth_seen: u16,
+}
+
+const WORDS: &[&str] = &[
+    "maximum", "security", "computer", "programming", "terrorist", "hunter", "knuth", "donald",
+    "data", "web", "xml", "query", "pattern", "tree", "blossom", "join", "stack", "stream",
+    "index", "node", "anchor", "region", "label", "structural", "holistic", "twig", "match",
+];
+
+impl Gen {
+    /// New generator with a fixed seed (generation is deterministic).
+    pub fn new(seed: u64) -> Gen {
+        Gen {
+            builder: Document::builder(),
+            rng: SmallRng::seed_from_u64(seed),
+            nodes: 0,
+            depth: 0,
+            max_depth_seen: 0,
+        }
+    }
+
+    /// Nodes (elements + text) emitted so far.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Current element depth.
+    pub fn depth(&self) -> u16 {
+        self.depth
+    }
+
+    /// Deepest element emitted.
+    pub fn max_depth_seen(&self) -> u16 {
+        self.max_depth_seen
+    }
+
+    /// Open an element.
+    pub fn open(&mut self, tag: &str) {
+        self.builder.start_element(tag);
+        self.nodes += 1;
+        self.depth += 1;
+        self.max_depth_seen = self.max_depth_seen.max(self.depth);
+    }
+
+    /// Close the current element.
+    pub fn close(&mut self) {
+        self.builder.end_element();
+        self.depth -= 1;
+    }
+
+    /// Emit a leaf element containing `text`.
+    pub fn leaf(&mut self, tag: &str, text: &str) {
+        self.open(tag);
+        self.text(text);
+        self.close();
+    }
+
+    /// Emit a text node.
+    pub fn text(&mut self, text: &str) {
+        self.builder.text(text);
+        self.nodes += 1;
+    }
+
+    /// Add an attribute to the open element.
+    pub fn attr(&mut self, name: &str, value: &str) {
+        self.builder.attribute(name, value);
+    }
+
+    /// Bernoulli draw.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Uniform integer in `[lo, hi]`.
+    pub fn int(&mut self, lo: u32, hi: u32) -> u32 {
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Pick an element uniformly.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.rng.gen_range(0..items.len())]
+    }
+
+    /// A short pseudo-random phrase.
+    pub fn phrase(&mut self, words: usize) -> String {
+        let mut out = String::new();
+        for i in 0..words {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(WORDS[self.rng.gen_range(0..WORDS.len())]);
+        }
+        out
+    }
+
+    /// A pseudo-random number rendered as text.
+    pub fn number(&mut self, lo: u32, hi: u32) -> String {
+        self.int(lo, hi).to_string()
+    }
+
+    /// Finish and return the document.
+    pub fn finish(self) -> Document {
+        self.builder.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let build = |seed| {
+            let mut g = Gen::new(seed);
+            g.open("r");
+            for _ in 0..10 {
+                let n = g.int(0, 9).to_string();
+                g.leaf("x", &n);
+            }
+            g.close();
+            blossom_xml::writer::to_string(&g.finish())
+        };
+        assert_eq!(build(7), build(7));
+        assert_ne!(build(7), build(8));
+    }
+
+    #[test]
+    fn node_accounting() {
+        let mut g = Gen::new(0);
+        g.open("r");
+        g.leaf("a", "x");
+        g.close();
+        // r, a, text.
+        assert_eq!(g.nodes(), 3);
+        assert_eq!(g.max_depth_seen(), 2);
+        let doc = g.finish();
+        assert_eq!(doc.stats().node_count, 3);
+    }
+}

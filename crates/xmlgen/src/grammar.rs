@@ -1,0 +1,300 @@
+//! Grammar-driven document generation.
+//!
+//! The paper's synthetic dataset d1 is "generated from a recursive DTD".
+//! This module provides that capability generically: a tiny probabilistic
+//! DTD-like language describes per-tag productions, and [`Grammar::generate`]
+//! samples documents from it. The built-in d1–d5 generators cover the
+//! paper's corpora; `Grammar` lets downstream users define their own.
+//!
+//! # Rule language
+//!
+//! One rule per line: `tag -> item item ...` where each item is
+//!
+//! * `child` — always emit one `child` element,
+//! * `child?0.4` — emit with probability 0.4,
+//! * `child*3` — emit 0..=3 repetitions (uniform),
+//! * `#text` — emit a short random text run,
+//! * `#text?0.5` — text with probability 0.5.
+//!
+//! The first rule's tag is the document root. Recursion is depth-capped
+//! by [`Grammar::max_depth`]; a tag without a rule is a leaf.
+//!
+//! ```
+//! use blossom_xmlgen::grammar::Grammar;
+//!
+//! let g = Grammar::parse(
+//!     "bib -> book*4\n\
+//!      book -> title author?0.8 author?0.3\n\
+//!      title -> #text\n\
+//!      author -> #text",
+//! ).unwrap();
+//! let doc = g.generate(500, 42);
+//! assert_eq!(doc.root_element().map(|r| doc.tag_name(r)).flatten(), Some("bib"));
+//! ```
+
+use crate::gen::Gen;
+use blossom_xml::fxhash::FxHashMap;
+use blossom_xml::Document;
+use std::fmt;
+
+/// One item on a production's right-hand side.
+#[derive(Debug, Clone, PartialEq)]
+enum Item {
+    /// Child element with emission probability (1.0 = always).
+    Child { tag: String, probability: f64 },
+    /// Child element repeated 0..=max times.
+    Repeat { tag: String, max: u32 },
+    /// A text run with emission probability.
+    Text { probability: f64 },
+}
+
+/// A parsed grammar: per-tag productions.
+#[derive(Debug, Clone)]
+pub struct Grammar {
+    root: String,
+    rules: FxHashMap<String, Vec<Item>>,
+    max_depth: u16,
+}
+
+/// Grammar parse error with the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrammarError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for GrammarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "grammar error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for GrammarError {}
+
+impl Grammar {
+    /// Parse the rule language (see module docs). Default depth cap: 32.
+    pub fn parse(spec: &str) -> Result<Grammar, GrammarError> {
+        let mut rules = FxHashMap::default();
+        let mut root = None;
+        for (idx, raw) in spec.lines().enumerate() {
+            let line = raw.trim();
+            // Blank lines and `//` comments are skipped (`#` is taken by
+            // the `#text` item).
+            if line.is_empty() || line.starts_with("//") {
+                continue;
+            }
+            let (lhs, rhs) = line.split_once("->").ok_or(GrammarError {
+                line: idx + 1,
+                message: "expected 'tag -> items'".into(),
+            })?;
+            let tag = lhs.trim().to_string();
+            if tag.is_empty() {
+                return Err(GrammarError { line: idx + 1, message: "empty tag".into() });
+            }
+            let mut items = Vec::new();
+            for token in rhs.split_whitespace() {
+                items.push(parse_item(token).map_err(|message| GrammarError {
+                    line: idx + 1,
+                    message,
+                })?);
+            }
+            if root.is_none() {
+                root = Some(tag.clone());
+            }
+            if rules.insert(tag.clone(), items).is_some() {
+                return Err(GrammarError {
+                    line: idx + 1,
+                    message: format!("duplicate rule for {tag:?}"),
+                });
+            }
+        }
+        match root {
+            Some(root) => Ok(Grammar { root, rules, max_depth: 32 }),
+            None => Err(GrammarError { line: 0, message: "no rules".into() }),
+        }
+    }
+
+    /// Cap element nesting (recursion guard). Root is depth 1.
+    pub fn max_depth(mut self, depth: u16) -> Grammar {
+        self.max_depth = depth.max(1);
+        self
+    }
+
+    /// The root tag.
+    pub fn root(&self) -> &str {
+        &self.root
+    }
+
+    /// Sample a document with at least `target_nodes` nodes (the root
+    /// production is repeated until the target is reached).
+    pub fn generate(&self, target_nodes: usize, seed: u64) -> Document {
+        let mut g = Gen::new(seed);
+        g.open(&self.root);
+        loop {
+            if let Some(items) = self.rules.get(&self.root) {
+                for item in items {
+                    self.emit(&mut g, item, 2);
+                }
+            }
+            if g.nodes() >= target_nodes {
+                break;
+            }
+        }
+        g.close();
+        g.finish()
+    }
+
+    fn emit(&self, g: &mut Gen, item: &Item, depth: u16) {
+        match item {
+            Item::Text { probability } => {
+                if g.chance(*probability) {
+                    let t = g.phrase(2);
+                    g.text(&t);
+                }
+            }
+            Item::Child { tag, probability } => {
+                if g.chance(*probability) {
+                    self.emit_element(g, tag, depth);
+                }
+            }
+            Item::Repeat { tag, max } => {
+                let reps = g.int(0, *max);
+                for _ in 0..reps {
+                    self.emit_element(g, tag, depth);
+                }
+            }
+        }
+    }
+
+    fn emit_element(&self, g: &mut Gen, tag: &str, depth: u16) {
+        if depth > self.max_depth {
+            return;
+        }
+        g.open(tag);
+        if let Some(items) = self.rules.get(tag) {
+            for item in items {
+                self.emit(g, item, depth + 1);
+            }
+        } else {
+            // Leaf: short text content.
+            let t = g.phrase(1);
+            g.text(&t);
+        }
+        g.close();
+    }
+}
+
+fn parse_item(token: &str) -> Result<Item, String> {
+    let (name, suffix) = match token.find(['?', '*']) {
+        Some(i) => (&token[..i], Some((token.as_bytes()[i], &token[i + 1..]))),
+        None => (token, None),
+    };
+    if name.is_empty() {
+        return Err(format!("bad item {token:?}"));
+    }
+    let is_text = name == "#text";
+    match suffix {
+        None => Ok(if is_text {
+            Item::Text { probability: 1.0 }
+        } else {
+            Item::Child { tag: name.to_string(), probability: 1.0 }
+        }),
+        Some((b'?', p)) => {
+            let probability: f64 =
+                p.parse().map_err(|_| format!("bad probability in {token:?}"))?;
+            if !(0.0..=1.0).contains(&probability) {
+                return Err(format!("probability out of range in {token:?}"));
+            }
+            Ok(if is_text {
+                Item::Text { probability }
+            } else {
+                Item::Child { tag: name.to_string(), probability }
+            })
+        }
+        Some((b'*', m)) => {
+            if is_text {
+                return Err("#text cannot repeat".into());
+            }
+            let max: u32 = m.parse().map_err(|_| format!("bad repeat in {token:?}"))?;
+            Ok(Item::Repeat { tag: name.to_string(), max })
+        }
+        _ => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_generate() {
+        let g = Grammar::parse(
+            "bib -> book*3\n\
+             book -> title author?0.5\n\
+             title -> #text",
+        )
+        .unwrap();
+        let doc = g.generate(300, 1);
+        let stats = doc.stats();
+        assert!(stats.node_count >= 300);
+        assert!(stats.tag_count <= 4);
+        assert_eq!(g.root(), "bib");
+    }
+
+    #[test]
+    fn recursive_grammar_respects_depth_cap() {
+        let g = Grammar::parse("a -> a?0.95 b?0.5").unwrap().max_depth(6);
+        let doc = g.generate(2_000, 3);
+        let stats = doc.stats();
+        assert!(stats.recursive);
+        assert!(stats.max_depth <= 6, "depth {}", stats.max_depth);
+    }
+
+    #[test]
+    fn leaves_get_text() {
+        let g = Grammar::parse("r -> leaf*2").unwrap();
+        let doc = g.generate(50, 9);
+        let has_text = doc.stats().text_count > 0;
+        assert!(has_text);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = Grammar::parse("r -> x*5 y?0.5").unwrap();
+        let a = blossom_xml::writer::to_string(&g.generate(500, 7));
+        let b = blossom_xml::writer::to_string(&g.generate(500, 7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(Grammar::parse("").is_err());
+        assert!(Grammar::parse("a b c").is_err());
+        assert!(Grammar::parse("a -> b?2.0").is_err());
+        assert!(Grammar::parse("a -> #text*3").is_err());
+        assert!(Grammar::parse("a -> b\na -> c").is_err());
+        assert!(Grammar::parse(" -> b").is_err());
+    }
+
+    #[test]
+    fn queries_work_on_grammar_output() {
+        use blossom_core::{Engine, Strategy};
+        let g = Grammar::parse(
+            "bib -> book*4\n\
+             book -> title author?0.7 price?0.5\n\
+             title -> #text\n\
+             author -> #text\n\
+             price -> #text",
+        )
+        .unwrap();
+        let engine = Engine::new(g.generate(2_000, 11));
+        let with_author = engine
+            .eval_path_str("//book[author]/title", Strategy::Auto)
+            .unwrap();
+        let all = engine.eval_path_str("//book/title", Strategy::Auto).unwrap();
+        assert!(with_author.len() <= all.len());
+        assert!(!all.is_empty());
+    }
+}

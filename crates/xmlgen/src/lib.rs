@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Seeded synthetic XML dataset generators.
+//!
+//! Reproduces the *shape* of the paper's five evaluation corpora
+//! (Table 1): recursiveness, depth profile, tag-vocabulary size, and the
+//! tag chains probed by the Appendix A queries — at configurable scale.
+//!
+//! ```
+//! use blossom_xmlgen::{generate, Dataset};
+//!
+//! let doc = generate(Dataset::D2Address, 5_000, 42);
+//! let stats = doc.stats();
+//! assert!(!stats.recursive);
+//! assert_eq!(stats.tag_count, 7);
+//! ```
+
+pub mod datasets;
+pub mod gen;
+pub mod grammar;
+pub mod querygen;
+
+pub use datasets::{generate, generate_scaled, Dataset};
+pub use gen::Gen;
+pub use grammar::Grammar;
+pub use querygen::{random_query, QueryGenConfig};

@@ -1,0 +1,93 @@
+//! Random twig-query generation over a document's actual vocabulary.
+//!
+//! For fuzzing and benchmarking, queries must have a chance to match:
+//! this generator samples tag names from the document's own symbol table
+//! and builds random chain/branching path expressions in the Table 2
+//! style (`//a[//b]/c[//d]//e`). Selectivity is whatever it is — the
+//! point is coverage of the operators, not a calibrated workload.
+
+use blossom_xml::Document;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`random_query`].
+#[derive(Debug, Clone, Copy)]
+pub struct QueryGenConfig {
+    /// Maximum spine length (number of steps on the main path).
+    pub max_spine: usize,
+    /// Maximum predicates per step.
+    pub max_predicates: usize,
+    /// Probability that a step uses `//` rather than `/`.
+    pub descendant_probability: f64,
+}
+
+impl Default for QueryGenConfig {
+    fn default() -> Self {
+        QueryGenConfig { max_spine: 4, max_predicates: 2, descendant_probability: 0.6 }
+    }
+}
+
+/// Generate a random path query whose tag names all occur in `doc`.
+/// Deterministic in `seed`.
+pub fn random_query(doc: &Document, config: QueryGenConfig, seed: u64) -> String {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let tags: Vec<&str> = doc.symbols().iter().map(|(_, name)| name).collect();
+    debug_assert!(!tags.is_empty(), "document has at least a root tag");
+    let pick = |rng: &mut SmallRng| tags[rng.gen_range(0..tags.len())].to_string();
+
+    let spine = rng.gen_range(1..=config.max_spine.max(1));
+    let mut out = String::new();
+    for _ in 0..spine {
+        if rng.gen_bool(config.descendant_probability) {
+            out.push_str("//");
+        } else if out.is_empty() {
+            // A relative first step would be context-dependent; root it.
+            out.push_str("//");
+        } else {
+            out.push('/');
+        }
+        let tag = pick(&mut rng);
+        out.push_str(&tag);
+        let n_preds = rng.gen_range(0..=config.max_predicates);
+        for _ in 0..n_preds {
+            out.push('[');
+            if rng.gen_bool(0.5) {
+                out.push_str("//");
+            }
+            let ptag = pick(&mut rng);
+            out.push_str(&ptag);
+            out.push(']');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, Dataset};
+
+    #[test]
+    fn generated_queries_parse_and_use_document_tags() {
+        let doc = generate(Dataset::D3Catalog, 3_000, 5);
+        for seed in 0..50 {
+            let q = random_query(&doc, QueryGenConfig::default(), seed);
+            let parsed = blossom_xpath::parse_path(&q)
+                .unwrap_or_else(|e| panic!("{q}: {e}"));
+            // Every name test resolves in the document's symbol table.
+            for step in &parsed.steps {
+                if let blossom_xpath::NodeTest::Name(n) = &step.test {
+                    assert!(doc.sym(n).is_some(), "unknown tag {n} in {q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let doc = generate(Dataset::D5Dblp, 2_000, 1);
+        let a = random_query(&doc, QueryGenConfig::default(), 7);
+        let b = random_query(&doc, QueryGenConfig::default(), 7);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,306 @@
+//! Abstract syntax for the path-expression subset.
+//!
+//! The subset matches what the paper's queries use: `/` and `//` axes,
+//! name and wildcard tests, `text()`, attribute tests, and predicates
+//! combining relative paths, positional filters and value comparisons with
+//! `and`/`or`/`not`.
+
+use blossom_xml::Axis;
+use std::fmt;
+
+/// Where a path starts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathStart {
+    /// Absolute: from the document root. `doc` carries the argument of a
+    /// `doc("...")` call when present.
+    Root {
+        /// Document URI from `doc(...)`, if written.
+        doc: Option<String>,
+    },
+    /// `$var/...` — from a variable binding.
+    Variable(String),
+    /// Relative to the evaluation context (inside predicates).
+    Context,
+}
+
+/// A node test in a step.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NodeTest {
+    /// A tag name.
+    Name(Box<str>),
+    /// `*` — any element.
+    Wildcard,
+    /// `text()` — text nodes.
+    Text,
+    /// `@name` — an attribute.
+    Attribute(Box<str>),
+}
+
+impl fmt::Display for NodeTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeTest::Name(n) => f.write_str(n),
+            NodeTest::Wildcard => f.write_str("*"),
+            NodeTest::Text => f.write_str("text()"),
+            NodeTest::Attribute(n) => write!(f, "@{n}"),
+        }
+    }
+}
+
+/// Comparison operators in value predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply to an ordering result.
+    pub fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+
+    /// The operator with operands swapped (`a op b` == `b op.flip() a`).
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A literal in a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// String literal; compared against trimmed string values.
+    Str(String),
+    /// Numeric literal; string values are coerced to numbers when possible.
+    Num(f64),
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Str(s) => write!(f, "{s:?}"),
+            Literal::Num(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// A predicate inside `[...]`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Existence of a relative path: `[a//b]`.
+    Exists(PathExpr),
+    /// Positional: `[3]`.
+    Position(u32),
+    /// Value comparison `lhs op literal`; `lhs = None` means `.` (the
+    /// context node's own string value).
+    Value {
+        /// Relative path to the compared node, or `None` for `.`.
+        path: Option<PathExpr>,
+        /// The comparison operator.
+        op: CmpOp,
+        /// The literal right-hand side.
+        literal: Literal,
+    },
+    /// `p1 and p2`.
+    And(Box<Predicate>, Box<Predicate>),
+    /// `p1 or p2`.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// `not(p)`.
+    Not(Box<Predicate>),
+}
+
+/// One step of a path: the axis from the previous step, a node test and
+/// its predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// Axis connecting this step to the previous one (or to the start).
+    pub axis: Axis,
+    /// The node test.
+    pub test: NodeTest,
+    /// Predicates, in source order.
+    pub predicates: Vec<Predicate>,
+}
+
+/// A parsed path expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathExpr {
+    /// Starting context.
+    pub start: PathStart,
+    /// The steps; may be empty for a bare `$var` or `.`.
+    pub steps: Vec<Step>,
+}
+
+impl PathExpr {
+    /// A bare variable reference `$v`.
+    pub fn variable(name: &str) -> PathExpr {
+        PathExpr { start: PathStart::Variable(name.to_string()), steps: Vec::new() }
+    }
+
+    /// Does this path (or any nested predicate path) use a positional
+    /// predicate? Those are outside what pattern trees can express.
+    pub fn has_positional(&self) -> bool {
+        fn pred_has(p: &Predicate) -> bool {
+            match p {
+                Predicate::Position(_) => true,
+                Predicate::Exists(path) => path.has_positional(),
+                Predicate::Value { path, .. } => {
+                    path.as_ref().map(PathExpr::has_positional).unwrap_or(false)
+                }
+                Predicate::And(a, b) | Predicate::Or(a, b) => pred_has(a) || pred_has(b),
+                Predicate::Not(p) => pred_has(p),
+            }
+        }
+        self.steps.iter().any(|s| s.predicates.iter().any(pred_has))
+    }
+
+    /// Does this path use `or`/`not` in predicates? Those cannot be
+    /// compiled into a conjunctive pattern tree.
+    pub fn has_disjunction(&self) -> bool {
+        fn pred_has(p: &Predicate) -> bool {
+            match p {
+                Predicate::Or(_, _) | Predicate::Not(_) => true,
+                Predicate::Exists(path) => path.has_disjunction(),
+                Predicate::Value { path, .. } => {
+                    path.as_ref().map(PathExpr::has_disjunction).unwrap_or(false)
+                }
+                Predicate::And(a, b) => pred_has(a) || pred_has(b),
+                Predicate::Position(_) => false,
+            }
+        }
+        self.steps.iter().any(|s| s.predicates.iter().any(pred_has))
+    }
+}
+
+impl fmt::Display for PathExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.start {
+            PathStart::Root { doc: Some(uri) } => write!(f, "doc({uri:?})")?,
+            PathStart::Root { doc: None } => {}
+            PathStart::Variable(v) => write!(f, "${v}")?,
+            PathStart::Context => {
+                if self.steps.is_empty() {
+                    f.write_str(".")?;
+                }
+            }
+        }
+        for (i, step) in self.steps.iter().enumerate() {
+            let relative_first = i == 0 && matches!(self.start, PathStart::Context);
+            match step.axis {
+                Axis::Child => {
+                    if !relative_first {
+                        f.write_str("/")?;
+                    }
+                }
+                Axis::Descendant => f.write_str("//")?,
+                Axis::FollowingSibling => f.write_str("/following-sibling::")?,
+                Axis::PrecedingSibling => f.write_str("/preceding-sibling::")?,
+                Axis::Following => f.write_str("/following::")?,
+                Axis::Preceding => f.write_str("/preceding::")?,
+                Axis::SelfAxis => f.write_str("/self::")?,
+            }
+            write!(f, "{}", step.test)?;
+            for p in &step.predicates {
+                write!(f, "[{}]", DisplayPred(p))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+struct DisplayPred<'a>(&'a Predicate);
+
+/// Like [`DisplayPred`] but parenthesizes `or` so reparsing keeps the
+/// operator precedence (`and` binds tighter than `or`).
+struct DisplayGuarded<'a>(&'a Predicate);
+
+impl fmt::Display for DisplayGuarded<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Predicate::Or(_, _) => write!(f, "({})", DisplayPred(self.0)),
+            other => write!(f, "{}", DisplayPred(other)),
+        }
+    }
+}
+
+impl fmt::Display for DisplayPred<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Predicate::Exists(p) => write!(f, "{p}"),
+            Predicate::Position(n) => write!(f, "{n}"),
+            Predicate::Value { path: None, op, literal } => write!(f, ". {op} {literal}"),
+            Predicate::Value { path: Some(p), op, literal } => {
+                write!(f, "{p} {op} {literal}")
+            }
+            Predicate::And(a, b) => {
+                write!(f, "{} and {}", DisplayGuarded(a), DisplayGuarded(b))
+            }
+            Predicate::Or(a, b) => write!(f, "{} or {}", DisplayPred(a), DisplayPred(b)),
+            Predicate::Not(p) => write!(f, "not({})", DisplayPred(p)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_op_eval() {
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Eq.eval(Equal));
+        assert!(!CmpOp::Eq.eval(Less));
+        assert!(CmpOp::Ne.eval(Greater));
+        assert!(CmpOp::Lt.eval(Less));
+        assert!(CmpOp::Le.eval(Equal));
+        assert!(CmpOp::Gt.eval(Greater));
+        assert!(CmpOp::Ge.eval(Equal));
+    }
+
+    #[test]
+    fn cmp_op_flip() {
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert_eq!(op.flip().flip(), op);
+        }
+        assert_eq!(CmpOp::Lt.flip(), CmpOp::Gt);
+        assert_eq!(CmpOp::Le.flip(), CmpOp::Ge);
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! Path-expression parsing and pattern trees for BlossomTree.
+//!
+//! This crate covers the paper's query-language substrate:
+//!
+//! * a lexer shared with the FLWOR parser ([`tokens`]),
+//! * an AST and recursive-descent parser for the XPath subset the paper's
+//!   queries use ([`ast`], [`parser`]),
+//! * pattern (twig) trees with returning nodes, value constraints and
+//!   `f`/`l` edge modes ([`pattern`]), the common representation consumed
+//!   by the NoK matcher, structural joins and the BlossomTree builder.
+//!
+//! ```
+//! use blossom_xpath::{parse_path, PatternTree};
+//!
+//! let path = parse_path("//book[//author = \"Knuth\"]/title").unwrap();
+//! let twig = PatternTree::compile(&path).unwrap();
+//! assert_eq!(twig.returning_nodes().len(), 1);
+//! ```
+
+pub mod ast;
+pub mod parser;
+pub mod pattern;
+pub mod tokens;
+
+pub use ast::{CmpOp, Literal, NodeTest, PathExpr, PathStart, Predicate, Step};
+pub use parser::{parse_path, parse_path_tokens};
+pub use pattern::{
+    CompileError, EdgeMode, PatternNode, PatternNodeId, PatternTree, ValueTest,
+};
+pub use tokens::{Cursor, SyntaxError, Tok};

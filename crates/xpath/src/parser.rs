@@ -1,0 +1,527 @@
+//! Recursive-descent parser for the path-expression subset.
+//!
+//! Grammar (with `//` meaning descendant-or-self shorthand as usual):
+//!
+//! ```text
+//! Path      ::= 'doc' '(' Str ')' AbsSteps
+//!             | '$' Name AbsSteps?
+//!             | AbsSteps            (* absolute, no doc() *)
+//!             | '.' AbsSteps?       (* context-relative *)
+//!             | RelSteps            (* context-relative *)
+//! AbsSteps  ::= ('/' | '//') Step (('/' | '//') Step)*
+//! RelSteps  ::= Step (('/' | '//') Step)*
+//! Step      ::= NodeTest Predicate*
+//! NodeTest  ::= Name | '*' | 'text' '(' ')' | '@' Name
+//! Predicate ::= '[' OrExpr ']'
+//! OrExpr    ::= AndExpr ('or' AndExpr)*
+//! AndExpr   ::= Unary ('and' Unary)*
+//! Unary     ::= 'not' '(' OrExpr ')'
+//!             | Number                       (* positional *)
+//!             | ('.' | Path) (CmpOp Literal)?(* value test / existence *)
+//! ```
+//!
+//! A leading `//` inside a predicate is interpreted *relative to the
+//! context node* (i.e. `.//`), matching how the paper's appendix queries
+//! (`//a[//b]`) are meant.
+
+use crate::ast::{CmpOp, Literal, NodeTest, PathExpr, PathStart, Predicate, Step};
+use crate::tokens::{Cursor, SyntaxError, Tok};
+use blossom_xml::Axis;
+
+/// Parse a complete path expression; all input must be consumed.
+pub fn parse_path(input: &str) -> Result<PathExpr, SyntaxError> {
+    let mut cursor = Cursor::new(input)?;
+    let path = parse_path_tokens(&mut cursor)?;
+    if !cursor.at_end() {
+        return Err(cursor.error(format!(
+            "unexpected trailing '{}'",
+            cursor.peek().unwrap()
+        )));
+    }
+    Ok(path)
+}
+
+/// Parse a path expression from a token cursor, stopping at the first
+/// token that cannot continue the path. Used by the FLWOR parser.
+pub fn parse_path_tokens(cursor: &mut Cursor) -> Result<PathExpr, SyntaxError> {
+    // Start.
+    let start = if cursor.at_keyword("doc") && cursor.peek_at(1) == Some(&Tok::LParen) {
+        cursor.next(); // doc
+        cursor.next(); // (
+        let uri = match cursor.next() {
+            Some(Tok::Str(s)) => s,
+            _ => return Err(cursor.error("expected string in doc(...)".into())),
+        };
+        cursor.expect(&Tok::RParen)?;
+        PathStart::Root { doc: Some(uri) }
+    } else if cursor.eat(&Tok::Dollar) {
+        let name = cursor.expect_name()?;
+        PathStart::Variable(name)
+    } else if cursor.eat(&Tok::Dot) {
+        PathStart::Context
+    } else if matches!(cursor.peek(), Some(Tok::Slash | Tok::DSlash)) {
+        PathStart::Root { doc: None }
+    } else {
+        // Relative path beginning directly with a step.
+        let mut steps = Vec::new();
+        steps.push(parse_step(cursor, Axis::Child)?);
+        parse_more_steps(cursor, &mut steps)?;
+        return Ok(PathExpr { start: PathStart::Context, steps });
+    };
+
+    let mut steps = Vec::new();
+    parse_more_steps(cursor, &mut steps)?;
+    if matches!(start, PathStart::Root { .. }) && steps.is_empty() {
+        return Err(cursor.error("expected '/' or '//' after path start".into()));
+    }
+    Ok(PathExpr { start, steps })
+}
+
+fn parse_more_steps(cursor: &mut Cursor, steps: &mut Vec<Step>) -> Result<(), SyntaxError> {
+    loop {
+        let axis = if cursor.eat(&Tok::DSlash) {
+            Axis::Descendant
+        } else if cursor.eat(&Tok::Slash) {
+            Axis::Child
+        } else {
+            return Ok(());
+        };
+        steps.push(parse_step(cursor, axis)?);
+    }
+}
+
+fn parse_step(cursor: &mut Cursor, axis: Axis) -> Result<Step, SyntaxError> {
+    // Explicit axis: `/following-sibling::b`, `/self::b`, ... — the
+    // explicit name replaces the Child axis implied by the `/` separator.
+    let axis = if matches!(cursor.peek(), Some(Tok::Name(_)))
+        && cursor.peek_at(1) == Some(&Tok::DColon)
+    {
+        if axis == Axis::Descendant {
+            return Err(cursor.error("'//' cannot be combined with an explicit axis".into()));
+        }
+        let name = cursor.expect_name()?;
+        cursor.expect(&Tok::DColon)?;
+        match name.as_str() {
+            "child" => Axis::Child,
+            "descendant" => Axis::Descendant,
+            "following-sibling" => Axis::FollowingSibling,
+            "preceding-sibling" => Axis::PrecedingSibling,
+            "following" => Axis::Following,
+            "preceding" => Axis::Preceding,
+            "self" => Axis::SelfAxis,
+            other => return Err(cursor.error(format!("unsupported axis '{other}'"))),
+        }
+    } else {
+        axis
+    };
+    let test = match cursor.peek() {
+        Some(Tok::Star) => {
+            cursor.next();
+            NodeTest::Wildcard
+        }
+        Some(Tok::At) => {
+            cursor.next();
+            NodeTest::Attribute(cursor.expect_name()?.into())
+        }
+        Some(Tok::Name(n)) if n == "text" && cursor.peek_at(1) == Some(&Tok::LParen) => {
+            cursor.next();
+            cursor.next();
+            cursor.expect(&Tok::RParen)?;
+            NodeTest::Text
+        }
+        Some(Tok::Name(_)) => NodeTest::Name(cursor.expect_name()?.into()),
+        _ => return Err(cursor.error("expected a node test".into())),
+    };
+    let mut predicates = Vec::new();
+    while cursor.eat(&Tok::LBracket) {
+        let pred = parse_or_expr(cursor)?;
+        cursor.expect(&Tok::RBracket)?;
+        predicates.push(pred);
+    }
+    Ok(Step { axis, test, predicates })
+}
+
+fn parse_or_expr(cursor: &mut Cursor) -> Result<Predicate, SyntaxError> {
+    let mut left = parse_and_expr(cursor)?;
+    while cursor.at_keyword("or") {
+        cursor.next();
+        let right = parse_and_expr(cursor)?;
+        left = Predicate::Or(Box::new(left), Box::new(right));
+    }
+    Ok(left)
+}
+
+fn parse_and_expr(cursor: &mut Cursor) -> Result<Predicate, SyntaxError> {
+    let mut left = parse_unary(cursor)?;
+    while cursor.at_keyword("and") {
+        cursor.next();
+        let right = parse_unary(cursor)?;
+        left = Predicate::And(Box::new(left), Box::new(right));
+    }
+    Ok(left)
+}
+
+fn parse_unary(cursor: &mut Cursor) -> Result<Predicate, SyntaxError> {
+    // Parenthesized boolean sub-expression.
+    if cursor.peek() == Some(&Tok::LParen) {
+        cursor.next();
+        let inner = parse_or_expr(cursor)?;
+        cursor.expect(&Tok::RParen)?;
+        return Ok(inner);
+    }
+    // not(...)
+    if cursor.at_keyword("not") && cursor.peek_at(1) == Some(&Tok::LParen) {
+        cursor.next();
+        cursor.next();
+        let inner = parse_or_expr(cursor)?;
+        cursor.expect(&Tok::RParen)?;
+        return Ok(Predicate::Not(Box::new(inner)));
+    }
+    // Positional predicate.
+    if let Some(Tok::Num(n)) = cursor.peek() {
+        let value = *n;
+        if value.fract() != 0.0 || value < 1.0 {
+            return Err(cursor.error(format!("invalid position {value}")));
+        }
+        cursor.next();
+        return Ok(Predicate::Position(value as u32));
+    }
+    // '.' followed by a comparison, or a `.//x`-style relative path.
+    if cursor.eat(&Tok::Dot) {
+        if let Some(op) = peek_cmp_op(cursor) {
+            cursor.next();
+            let literal = parse_literal(cursor)?;
+            return Ok(Predicate::Value { path: None, op, literal });
+        }
+        if matches!(cursor.peek(), Some(Tok::Slash | Tok::DSlash)) {
+            let path = parse_predicate_path(cursor)?;
+            if let Some(op) = peek_cmp_op(cursor) {
+                cursor.next();
+                let literal = parse_literal(cursor)?;
+                return Ok(Predicate::Value { path: Some(path), op, literal });
+            }
+            return Ok(Predicate::Exists(path));
+        }
+        return Err(cursor.error("expected comparison or path after '.'".into()));
+    }
+    // A relative path (leading '//' means .// here), optionally compared.
+    let path = parse_predicate_path(cursor)?;
+    if let Some(op) = peek_cmp_op(cursor) {
+        cursor.next();
+        let literal = parse_literal(cursor)?;
+        return Ok(Predicate::Value { path: Some(path), op, literal });
+    }
+    Ok(Predicate::Exists(path))
+}
+
+/// Inside predicates, paths are context-relative even when written with a
+/// leading `/` or `//`.
+fn parse_predicate_path(cursor: &mut Cursor) -> Result<PathExpr, SyntaxError> {
+    let first_axis = if cursor.eat(&Tok::DSlash) {
+        Axis::Descendant
+    } else {
+        // A leading single '/' is consumed but keeps the Child axis.
+        cursor.eat(&Tok::Slash);
+        Axis::Child
+    };
+    let mut steps = vec![parse_step(cursor, first_axis)?];
+    parse_more_steps(cursor, &mut steps)?;
+    Ok(PathExpr { start: PathStart::Context, steps })
+}
+
+fn peek_cmp_op(cursor: &Cursor) -> Option<CmpOp> {
+    match cursor.peek() {
+        Some(Tok::Eq) => Some(CmpOp::Eq),
+        Some(Tok::Ne) => Some(CmpOp::Ne),
+        Some(Tok::Lt) => Some(CmpOp::Lt),
+        Some(Tok::Le) => Some(CmpOp::Le),
+        Some(Tok::Gt) => Some(CmpOp::Gt),
+        Some(Tok::Ge) => Some(CmpOp::Ge),
+        _ => None,
+    }
+}
+
+fn parse_literal(cursor: &mut Cursor) -> Result<Literal, SyntaxError> {
+    match cursor.next() {
+        Some(Tok::Str(s)) => Ok(Literal::Str(s)),
+        Some(Tok::Num(n)) => Ok(Literal::Num(n)),
+        other => Err(cursor.error(format!(
+            "expected literal, found {}",
+            other.map(|t| format!("'{t}'")).unwrap_or_else(|| "end of input".into())
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_absolute_path() {
+        let p = parse_path("/a/b//c").unwrap();
+        assert_eq!(p.start, PathStart::Root { doc: None });
+        assert_eq!(p.steps.len(), 3);
+        assert_eq!(p.steps[0].axis, Axis::Child);
+        assert_eq!(p.steps[2].axis, Axis::Descendant);
+        assert_eq!(p.steps[2].test, NodeTest::Name("c".into()));
+    }
+
+    #[test]
+    fn doc_call() {
+        let p = parse_path(r#"doc("bib.xml")//book"#).unwrap();
+        assert_eq!(p.start, PathStart::Root { doc: Some("bib.xml".into()) });
+        assert_eq!(p.steps.len(), 1);
+        assert_eq!(p.steps[0].axis, Axis::Descendant);
+    }
+
+    #[test]
+    fn variable_path() {
+        let p = parse_path("$book1/author").unwrap();
+        assert_eq!(p.start, PathStart::Variable("book1".into()));
+        assert_eq!(p.steps.len(), 1);
+        let bare = parse_path("$aut1").unwrap();
+        assert_eq!(bare, PathExpr::variable("aut1"));
+    }
+
+    #[test]
+    fn relative_path() {
+        let p = parse_path("author/last").unwrap();
+        assert_eq!(p.start, PathStart::Context);
+        assert_eq!(p.steps.len(), 2);
+    }
+
+    #[test]
+    fn predicates_existence_and_value() {
+        let p = parse_path(r#"/book[//author="Smith"]/title"#).unwrap();
+        assert_eq!(p.steps.len(), 2);
+        let pred = &p.steps[0].predicates[0];
+        match pred {
+            Predicate::Value { path: Some(path), op, literal } => {
+                assert_eq!(path.steps[0].axis, Axis::Descendant);
+                assert_eq!(*op, CmpOp::Eq);
+                assert_eq!(*literal, Literal::Str("Smith".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dot_value_predicate() {
+        let p = parse_path(r#"//author[. = "Knuth"]"#).unwrap();
+        match &p.steps[0].predicates[0] {
+            Predicate::Value { path: None, op: CmpOp::Eq, literal } => {
+                assert_eq!(*literal, Literal::Str("Knuth".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn positional_predicate() {
+        let p = parse_path("//book[2]").unwrap();
+        assert_eq!(p.steps[0].predicates[0], Predicate::Position(2));
+        assert!(p.has_positional());
+        assert!(parse_path("//book[0]").is_err());
+        assert!(parse_path("//book[1.5]").is_err());
+    }
+
+    #[test]
+    fn multiple_branching_predicates() {
+        // Appendix A style: //a[//b2][//b1]//b3
+        let p = parse_path("//a[//b2][//b1]//b3").unwrap();
+        assert_eq!(p.steps[0].predicates.len(), 2);
+        assert_eq!(p.steps.len(), 2);
+        assert!(!p.has_positional());
+        assert!(!p.has_disjunction());
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let p = parse_path(r#"//book[author and not(title = "X")]"#).unwrap();
+        match &p.steps[0].predicates[0] {
+            Predicate::And(a, b) => {
+                assert!(matches!(**a, Predicate::Exists(_)));
+                assert!(matches!(**b, Predicate::Not(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(p.has_disjunction());
+        let p2 = parse_path("//book[a or b]").unwrap();
+        assert!(p2.has_disjunction());
+    }
+
+    #[test]
+    fn numeric_comparison() {
+        let p = parse_path("//book[price < 10]").unwrap();
+        match &p.steps[0].predicates[0] {
+            Predicate::Value { op: CmpOp::Lt, literal: Literal::Num(n), .. } => {
+                assert_eq!(*n, 10.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wildcard_text_attribute() {
+        let p = parse_path("/a/*/text()").unwrap();
+        assert_eq!(p.steps[1].test, NodeTest::Wildcard);
+        assert_eq!(p.steps[2].test, NodeTest::Text);
+        let p = parse_path("/a/@id").unwrap();
+        assert_eq!(p.steps[1].test, NodeTest::Attribute("id".into()));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for src in [
+            "/a/b//c",
+            "//a[//b2][//b1]//b3",
+            "$book1/author",
+            "//book[2]",
+            r#"//author[. = "Knuth"]"#,
+        ] {
+            let p = parse_path(src).unwrap();
+            let printed = p.to_string();
+            let p2 = parse_path(&printed).unwrap();
+            assert_eq!(p, p2, "roundtrip failed for {src}: printed as {printed}");
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_path("").is_err());
+        assert!(parse_path("/").is_err());
+        assert!(parse_path("//").is_err());
+        assert!(parse_path("/a[").is_err());
+        assert!(parse_path("/a]").is_err());
+        assert!(parse_path("/a/b trailing").is_err());
+        assert!(parse_path("doc(nope)//a").is_err());
+        assert!(parse_path("/a[.]").is_err());
+    }
+
+    #[test]
+    fn appendix_queries_parse() {
+        // Every query from the paper's Appendix A (tags renamed with
+        // underscores where the paper used spaces).
+        let queries = [
+            "//a//b4",
+            "//a[//b2][//b1]//b3",
+            "//a//c2/b1/c2/b1//c3",
+            "//a//c2//b1/c2[//c2[b1]]/b1//c3",
+            "//b1//c2//b1",
+            "//b1//c2[//c3]//b1",
+            "//addresses//street_address//name_of_state",
+            "//addresses[//zip_code][//country_id]",
+            "//address[//name_of_state][//zip_code]//street_address",
+            "//address[//street_address][//zip_code][//name_of_city]",
+            "//item/attributes//length",
+            "//item/title[//author/contact_information//street_address]",
+            "//publisher[//mailing_address]//street_address",
+            "//author[date_of_birth][//last_name]//street_address",
+            "//VP//VP/NP//PP/PP",
+            "//VP[VP]//VP[PP]/NP[PP]/NN",
+            "//VP[VP]//VP/NP//NN",
+            "//VP//VP/NP//PP/IN",
+            "//VP[//NP][//VB]//JJ",
+            "//phdthesis//author",
+            "//phdthesis[//author][//school]",
+            "//www[//url]",
+            "//www[//editor][//title][//year]",
+            "//proceedings[//editor]",
+            "//proceedings[//editor][//year][//url]",
+        ];
+        for q in queries {
+            parse_path(q).unwrap_or_else(|e| panic!("failed to parse {q}: {e}"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod axis_tests {
+    use super::*;
+
+    #[test]
+    fn explicit_axes_parse() {
+        let p = parse_path("/a/following-sibling::b").unwrap();
+        assert_eq!(p.steps[1].axis, Axis::FollowingSibling);
+        let p = parse_path("/a/following::b").unwrap();
+        assert_eq!(p.steps[1].axis, Axis::Following);
+        let p = parse_path("/a/self::a").unwrap();
+        assert_eq!(p.steps[1].axis, Axis::SelfAxis);
+        let p = parse_path("/a/descendant::b").unwrap();
+        assert_eq!(p.steps[1].axis, Axis::Descendant);
+        let p = parse_path("/a/child::b").unwrap();
+        assert_eq!(p.steps[1].axis, Axis::Child);
+    }
+
+    #[test]
+    fn explicit_axes_in_predicates() {
+        let p = parse_path("//a[following-sibling::b]").unwrap();
+        match &p.steps[0].predicates[0] {
+            Predicate::Exists(path) => {
+                assert_eq!(path.steps[0].axis, Axis::FollowingSibling);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn axis_display_roundtrip() {
+        for src in ["/a/following-sibling::b[c]", "//a[following-sibling::b]"] {
+            let p = parse_path(src).unwrap();
+            let printed = p.to_string();
+            assert_eq!(parse_path(&printed).unwrap(), p, "printed: {printed}");
+        }
+    }
+
+    #[test]
+    fn axis_errors() {
+        assert!(parse_path("/a//following-sibling::b").is_err());
+        assert!(parse_path("/a/ancestor::b").is_err());
+        assert!(parse_path("/a/following-sibling:b").is_err());
+    }
+}
+
+#[cfg(test)]
+mod paren_tests {
+    use super::*;
+
+    #[test]
+    fn parenthesized_predicates() {
+        let grouped = parse_path("//x[(a or b) and c]").unwrap();
+        match &grouped.steps[0].predicates[0] {
+            Predicate::And(l, r) => {
+                assert!(matches!(**l, Predicate::Or(_, _)));
+                assert!(matches!(**r, Predicate::Exists(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Without parens, `and` binds tighter.
+        let flat = parse_path("//x[a or b and c]").unwrap();
+        assert!(matches!(
+            &flat.steps[0].predicates[0],
+            Predicate::Or(_, _)
+        ));
+        assert_ne!(grouped, flat);
+    }
+
+    #[test]
+    fn precedence_survives_display() {
+        for src in [
+            "//x[(a or b) and c]",
+            "//x[a or b and c]",
+            "//x[not(a or b) and c]",
+            "//x[(a or b) and (c or d)]",
+        ] {
+            let once = parse_path(src).unwrap();
+            let printed = once.to_string();
+            let twice = parse_path(&printed).unwrap();
+            assert_eq!(once, twice, "{src} printed as {printed}");
+        }
+    }
+
+    #[test]
+    fn unbalanced_parens_error() {
+        assert!(parse_path("//x[(a or b]").is_err());
+        assert!(parse_path("//x[a)]").is_err());
+    }
+}

@@ -1,0 +1,490 @@
+//! Pattern (twig) trees.
+//!
+//! A [`PatternTree`] is the tree-pattern-matching form of a path
+//! expression (Section 2.1 of the paper): nodes carry tag-name and value
+//! constraints, edges carry an axis and a matching mode (`f` mandatory /
+//! `l` optional — the mode only becomes `l` for `let`-contributed edges in
+//! BlossomTrees). The same structure represents NoK pattern trees, which
+//! are simply pattern trees whose edges are all *local* axes.
+//!
+//! Compilation rejects constructs a conjunctive twig cannot express
+//! (positional predicates, `or`, `not`); the navigational evaluator in
+//! `blossom-core` handles those directly from the AST instead.
+
+use crate::ast::{CmpOp, Literal, NodeTest, PathExpr, PathStart, Predicate, Step};
+use blossom_xml::Axis;
+use std::fmt;
+
+/// Index of a node within a [`PatternTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PatternNodeId(pub u16);
+
+impl PatternNodeId {
+    /// The virtual root (matches the document node / evaluation context).
+    pub const ROOT: PatternNodeId = PatternNodeId(0);
+
+    /// Index into the tree's node array.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Matching mode of the edge from a node's parent (Definition 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeMode {
+    /// `f` — contributed by a `for` clause or a predicate: the child must
+    /// match for the parent's match to be valid.
+    Mandatory,
+    /// `l` — contributed by a `let` clause: the child may match an empty
+    /// sequence.
+    Optional,
+}
+
+/// A value constraint attached to a pattern node: `value-of(node) op lit`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueTest {
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Literal to compare against.
+    pub literal: Literal,
+}
+
+/// One node of a pattern tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternNode {
+    /// Parent node; `None` only for the root.
+    pub parent: Option<PatternNodeId>,
+    /// Axis on the edge from the parent (`Child` for the root, unused).
+    pub axis: Axis,
+    /// Matching mode of the edge from the parent.
+    pub mode: EdgeMode,
+    /// Tag-name constraint.
+    pub test: NodeTest,
+    /// Optional value constraint.
+    pub value: Option<ValueTest>,
+    /// Is this node's match part of the output (a returning node)?
+    pub returning: bool,
+    /// Variables bound to this node (a node with any is a *blossom*;
+    /// several names can alias one node via `let $b := $a`).
+    pub vars: Vec<String>,
+    /// Children in insertion order.
+    pub children: Vec<PatternNodeId>,
+}
+
+/// A pattern tree. Node 0 is a virtual root matching the document node
+/// (or, for relative patterns, the evaluation context node).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternTree {
+    nodes: Vec<PatternNode>,
+}
+
+/// Why a path expression could not be compiled to a pattern tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// Positional predicates select by sibling rank, which a twig cannot.
+    Positional,
+    /// `or` / `not` make the constraint non-conjunctive.
+    NotConjunctive,
+    /// `$var`-rooted paths only make sense inside a FLWOR/BlossomTree.
+    VariableStart(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Positional => {
+                f.write_str("positional predicates are not expressible as a pattern tree")
+            }
+            CompileError::NotConjunctive => {
+                f.write_str("or/not predicates are not expressible as a pattern tree")
+            }
+            CompileError::VariableStart(v) => {
+                write!(f, "path starts at variable ${v}; compile it via a BlossomTree")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl PatternTree {
+    /// A tree with just the virtual root.
+    pub fn new() -> PatternTree {
+        PatternTree {
+            nodes: vec![PatternNode {
+                parent: None,
+                axis: Axis::Child,
+                mode: EdgeMode::Mandatory,
+                test: NodeTest::Wildcard,
+                value: None,
+                returning: false,
+                vars: Vec::new(),
+                children: Vec::new(),
+            }],
+        }
+    }
+
+    /// Compile a path expression rooted at the document (or context).
+    ///
+    /// The last step of the main spine becomes the (single) returning node.
+    pub fn compile(path: &PathExpr) -> Result<PatternTree, CompileError> {
+        if let PathStart::Variable(v) = &path.start {
+            return Err(CompileError::VariableStart(v.clone()));
+        }
+        let mut tree = PatternTree::new();
+        let last = tree.add_path(PatternNodeId::ROOT, &path.steps, EdgeMode::Mandatory)?;
+        if let Some(last) = last {
+            tree.nodes[last.index()].returning = true;
+        }
+        Ok(tree)
+    }
+
+    /// Append `steps` as a chain under `base`; predicates become branches.
+    /// Returns the id of the last spine node (or `None` if `steps` is empty).
+    pub fn add_path(
+        &mut self,
+        base: PatternNodeId,
+        steps: &[Step],
+        mode: EdgeMode,
+    ) -> Result<Option<PatternNodeId>, CompileError> {
+        let mut current = base;
+        let mut added_any = false;
+        for step in steps {
+            // Only the first added edge carries the (possibly optional) mode;
+            // deeper edges of the same path are mandatory relative to it.
+            let edge_mode = if added_any { EdgeMode::Mandatory } else { mode };
+            current = self.add_node(current, step.axis, edge_mode, step.test.clone());
+            added_any = true;
+            for pred in &step.predicates {
+                self.add_predicate(current, pred)?;
+            }
+        }
+        Ok(added_any.then_some(current))
+    }
+
+    fn add_predicate(
+        &mut self,
+        node: PatternNodeId,
+        pred: &Predicate,
+    ) -> Result<(), CompileError> {
+        match pred {
+            Predicate::Exists(path) => {
+                self.add_path(node, &path.steps, EdgeMode::Mandatory)?;
+                Ok(())
+            }
+            Predicate::Value { path: None, op, literal } => {
+                self.set_value(node, ValueTest { op: *op, literal: literal.clone() });
+                Ok(())
+            }
+            Predicate::Value { path: Some(path), op, literal } => {
+                let leaf = self.add_path(node, &path.steps, EdgeMode::Mandatory)?;
+                if let Some(leaf) = leaf {
+                    self.set_value(leaf, ValueTest { op: *op, literal: literal.clone() });
+                }
+                Ok(())
+            }
+            Predicate::And(a, b) => {
+                self.add_predicate(node, a)?;
+                self.add_predicate(node, b)
+            }
+            Predicate::Position(_) => Err(CompileError::Positional),
+            Predicate::Or(_, _) | Predicate::Not(_) => Err(CompileError::NotConjunctive),
+        }
+    }
+
+    /// Add a child node and return its id.
+    pub fn add_node(
+        &mut self,
+        parent: PatternNodeId,
+        axis: Axis,
+        mode: EdgeMode,
+        test: NodeTest,
+    ) -> PatternNodeId {
+        let id = PatternNodeId(self.nodes.len() as u16);
+        self.nodes.push(PatternNode {
+            parent: Some(parent),
+            axis,
+            mode,
+            test,
+            value: None,
+            returning: false,
+            vars: Vec::new(),
+            children: Vec::new(),
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Attach a value constraint to `node` (conjoined if one exists: only a
+    /// single constraint is kept — callers conjoin by adding extra branch
+    /// nodes, which is what `add_predicate` does for path-valued tests).
+    pub fn set_value(&mut self, node: PatternNodeId, value: ValueTest) {
+        self.nodes[node.index()].value = Some(value);
+    }
+
+    /// Mark `node` as returning.
+    pub fn set_returning(&mut self, node: PatternNodeId, returning: bool) {
+        self.nodes[node.index()].returning = returning;
+    }
+
+    /// Bind a variable name to `node` (making it a blossom). A node can
+    /// carry several aliases.
+    pub fn set_var(&mut self, node: PatternNodeId, var: &str) {
+        let vars = &mut self.nodes[node.index()].vars;
+        if !vars.iter().any(|v| v == var) {
+            vars.push(var.to_string());
+        }
+        self.nodes[node.index()].returning = true;
+    }
+
+    /// Access a node.
+    pub fn node(&self, id: PatternNodeId) -> &PatternNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable access to a node.
+    pub fn node_mut(&mut self, id: PatternNodeId) -> &mut PatternNode {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Number of nodes, including the virtual root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Always false (the root exists).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterate node ids in creation (pre-order-compatible) order.
+    pub fn ids(&self) -> impl Iterator<Item = PatternNodeId> {
+        (0..self.nodes.len() as u16).map(PatternNodeId)
+    }
+
+    /// Ids of all returning nodes.
+    pub fn returning_nodes(&self) -> Vec<PatternNodeId> {
+        self.ids().filter(|&id| self.node(id).returning).collect()
+    }
+
+    /// Id of the node bound to `var`, if any.
+    pub fn var_node(&self, var: &str) -> Option<PatternNodeId> {
+        self.ids().find(|&id| self.node(id).vars.iter().any(|v| v == var))
+    }
+
+    /// Is this a NoK pattern tree (all edges local)?
+    pub fn is_nok(&self) -> bool {
+        self.ids()
+            .skip(1)
+            .all(|id| self.node(id).axis.is_local())
+    }
+
+    /// Depth-first (pre-order) traversal from the root.
+    pub fn preorder(&self) -> Vec<PatternNodeId> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![PatternNodeId::ROOT];
+        while let Some(id) = stack.pop() {
+            out.push(id);
+            for &c in self.node(id).children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+}
+
+impl Default for PatternTree {
+    fn default() -> Self {
+        PatternTree::new()
+    }
+}
+
+impl fmt::Display for PatternTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn rec(
+            tree: &PatternTree,
+            id: PatternNodeId,
+            depth: usize,
+            f: &mut fmt::Formatter<'_>,
+        ) -> fmt::Result {
+            let n = tree.node(id);
+            for _ in 0..depth {
+                f.write_str("  ")?;
+            }
+            if id == PatternNodeId::ROOT {
+                writeln!(f, "(root)")?;
+            } else {
+                let axis = match n.axis {
+                    Axis::Child => "/",
+                    Axis::Descendant => "//",
+                    Axis::FollowingSibling => "~",
+                    Axis::PrecedingSibling => "~<",
+                    Axis::Following => ">>",
+                    Axis::Preceding => "<<",
+                    Axis::SelfAxis => ".",
+                };
+                let mode = if n.mode == EdgeMode::Optional { " (l)" } else { "" };
+                let ret = if n.returning { " *" } else { "" };
+                let var = n
+                    .vars
+                    .iter()
+                    .map(|v| format!(" ${v}"))
+                    .collect::<String>();
+                let value = n
+                    .value
+                    .as_ref()
+                    .map(|v| format!(" [. {} {}]", v.op, v.literal))
+                    .unwrap_or_default();
+                writeln!(f, "{axis}{}{value}{mode}{ret}{var}", n.test)?;
+            }
+            for &c in &n.children {
+                rec(tree, c, depth + 1, f)?;
+            }
+            Ok(())
+        }
+        rec(self, PatternNodeId::ROOT, 0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_path;
+
+    #[test]
+    fn compile_chain() {
+        let tree = PatternTree::compile(&parse_path("/a/b//c").unwrap()).unwrap();
+        // root + 3 steps.
+        assert_eq!(tree.len(), 4);
+        let ret = tree.returning_nodes();
+        assert_eq!(ret.len(), 1);
+        let leaf = tree.node(ret[0]);
+        assert_eq!(leaf.test, NodeTest::Name("c".into()));
+        assert_eq!(leaf.axis, Axis::Descendant);
+        assert!(!tree.is_nok()); // has a // edge
+    }
+
+    #[test]
+    fn compile_branches_from_predicates() {
+        let tree =
+            PatternTree::compile(&parse_path("//a[//b2][//b1]//b3").unwrap()).unwrap();
+        // root, a, b2, b1, b3.
+        assert_eq!(tree.len(), 5);
+        let a = tree.node(PatternNodeId(1));
+        assert_eq!(a.children.len(), 3);
+        // Only b3 is returning.
+        assert_eq!(tree.returning_nodes().len(), 1);
+        assert_eq!(
+            tree.node(tree.returning_nodes()[0]).test,
+            NodeTest::Name("b3".into())
+        );
+    }
+
+    #[test]
+    fn compile_value_tests() {
+        let tree = PatternTree::compile(
+            &parse_path(r#"/book[//author="Smith"]/title"#).unwrap(),
+        )
+        .unwrap();
+        // root, book, author, title.
+        assert_eq!(tree.len(), 4);
+        let author = tree
+            .ids()
+            .find(|&id| tree.node(id).test == NodeTest::Name("author".into()))
+            .unwrap();
+        let v = tree.node(author).value.as_ref().unwrap();
+        assert_eq!(v.op, CmpOp::Eq);
+        assert_eq!(v.literal, Literal::Str("Smith".into()));
+        assert!(!tree.node(author).returning);
+    }
+
+    #[test]
+    fn compile_dot_value() {
+        let tree =
+            PatternTree::compile(&parse_path(r#"//author[.="Knuth"]"#).unwrap()).unwrap();
+        assert_eq!(tree.len(), 2);
+        let a = tree.node(PatternNodeId(1));
+        assert!(a.value.is_some());
+        assert!(a.returning);
+    }
+
+    #[test]
+    fn compile_and_conjoins() {
+        let tree =
+            PatternTree::compile(&parse_path("//a[b and c]").unwrap()).unwrap();
+        assert_eq!(tree.len(), 4);
+        assert_eq!(tree.node(PatternNodeId(1)).children.len(), 2);
+    }
+
+    #[test]
+    fn compile_rejections() {
+        assert_eq!(
+            PatternTree::compile(&parse_path("//a[2]").unwrap()),
+            Err(CompileError::Positional)
+        );
+        assert_eq!(
+            PatternTree::compile(&parse_path("//a[b or c]").unwrap()),
+            Err(CompileError::NotConjunctive)
+        );
+        assert_eq!(
+            PatternTree::compile(&parse_path("//a[not(b)]").unwrap()),
+            Err(CompileError::NotConjunctive)
+        );
+        assert!(matches!(
+            PatternTree::compile(&parse_path("$v/a").unwrap()),
+            Err(CompileError::VariableStart(_))
+        ));
+    }
+
+    #[test]
+    fn nok_detection() {
+        let nok = PatternTree::compile(&parse_path("/a/b[c]/d").unwrap()).unwrap();
+        assert!(nok.is_nok());
+        let not_nok = PatternTree::compile(&parse_path("/a//b").unwrap()).unwrap();
+        assert!(!not_nok.is_nok());
+    }
+
+    #[test]
+    fn preorder_visits_all() {
+        let tree =
+            PatternTree::compile(&parse_path("//a[b][c]//d[e]").unwrap()).unwrap();
+        let order = tree.preorder();
+        assert_eq!(order.len(), tree.len());
+        assert_eq!(order[0], PatternNodeId::ROOT);
+        // Parent precedes child.
+        for &id in &order {
+            if let Some(p) = tree.node(id).parent {
+                let pi = order.iter().position(|&x| x == p).unwrap();
+                let ci = order.iter().position(|&x| x == id).unwrap();
+                assert!(pi < ci);
+            }
+        }
+    }
+
+    #[test]
+    fn var_binding() {
+        let mut tree = PatternTree::new();
+        let book = tree.add_node(
+            PatternNodeId::ROOT,
+            Axis::Descendant,
+            EdgeMode::Mandatory,
+            NodeTest::Name("book".into()),
+        );
+        tree.set_var(book, "b");
+        assert_eq!(tree.var_node("b"), Some(book));
+        assert_eq!(tree.var_node("x"), None);
+        assert!(tree.node(book).returning);
+    }
+
+    #[test]
+    fn display_contains_structure() {
+        let tree = PatternTree::compile(
+            &parse_path(r#"//a[.="v"]/b"#).unwrap(),
+        )
+        .unwrap();
+        let s = tree.to_string();
+        assert!(s.contains("//a"));
+        assert!(s.contains("/b"));
+        assert!(s.contains("*"), "returning marker present: {s}");
+    }
+}

@@ -1,0 +1,537 @@
+//! Shared lexer for path expressions and FLWOR expressions.
+//!
+//! One token vocabulary serves both `blossom-xpath` and `blossom-flwor`:
+//! the FLWOR grammar of the paper embeds path expressions everywhere, so
+//! its parser drives this lexer and hands sub-sequences to the path
+//! parser. Keywords (`for`, `let`, `and`, `not`, ...) are lexed as
+//! [`Tok::Name`] and interpreted contextually by the parsers.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Names and keywords: `book`, `for`, `deep-equal`, `name_of_state`.
+    Name(String),
+    /// Quoted string literal (quotes stripped).
+    Str(String),
+    /// Numeric literal.
+    Num(f64),
+    /// `/`
+    Slash,
+    /// `//`
+    DSlash,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `$`
+    Dollar,
+    /// `.`
+    Dot,
+    /// `@`
+    At,
+    /// `*`
+    Star,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<<` — node "before" comparison.
+    Before,
+    /// `>>` — node "after" comparison.
+    After,
+    /// `:=`
+    Assign,
+    /// `::`
+    DColon,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Name(n) => write!(f, "{n}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Num(n) => write!(f, "{n}"),
+            Tok::Slash => f.write_str("/"),
+            Tok::DSlash => f.write_str("//"),
+            Tok::LBracket => f.write_str("["),
+            Tok::RBracket => f.write_str("]"),
+            Tok::LParen => f.write_str("("),
+            Tok::RParen => f.write_str(")"),
+            Tok::LBrace => f.write_str("{"),
+            Tok::RBrace => f.write_str("}"),
+            Tok::Dollar => f.write_str("$"),
+            Tok::Dot => f.write_str("."),
+            Tok::At => f.write_str("@"),
+            Tok::Star => f.write_str("*"),
+            Tok::Comma => f.write_str(","),
+            Tok::Eq => f.write_str("="),
+            Tok::Ne => f.write_str("!="),
+            Tok::Lt => f.write_str("<"),
+            Tok::Le => f.write_str("<="),
+            Tok::Gt => f.write_str(">"),
+            Tok::Ge => f.write_str(">="),
+            Tok::Before => f.write_str("<<"),
+            Tok::After => f.write_str(">>"),
+            Tok::Assign => f.write_str(":="),
+            Tok::DColon => f.write_str("::"),
+        }
+    }
+}
+
+/// A lexing/parsing error with byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntaxError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the source text.
+    pub offset: usize,
+}
+
+impl fmt::Display for SyntaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for SyntaxError {}
+
+/// Lex all of `input` into `(token, offset)` pairs.
+///
+/// `<` followed by a letter is *not* lexed here — callers that accept
+/// element constructors (the FLWOR `return` clause) must detect that case
+/// at the character level before invoking the lexer; in pure path
+/// expressions `<` is always a comparison.
+pub fn lex(input: &str) -> Result<Vec<(Tok, usize)>, SyntaxError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let start = i;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+                continue;
+            }
+            b'/' => {
+                if bytes.get(i + 1) == Some(&b'/') {
+                    out.push((Tok::DSlash, start));
+                    i += 2;
+                } else {
+                    out.push((Tok::Slash, start));
+                    i += 1;
+                }
+            }
+            b'[' => {
+                out.push((Tok::LBracket, start));
+                i += 1;
+            }
+            b']' => {
+                out.push((Tok::RBracket, start));
+                i += 1;
+            }
+            b'(' => {
+                // XQuery comment `(: ... :)`, possibly nested.
+                if bytes.get(i + 1) == Some(&b':') {
+                    let mut depth = 1;
+                    i += 2;
+                    while i + 1 < bytes.len() && depth > 0 {
+                        if bytes[i] == b'(' && bytes[i + 1] == b':' {
+                            depth += 1;
+                            i += 2;
+                        } else if bytes[i] == b':' && bytes[i + 1] == b')' {
+                            depth -= 1;
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    if depth > 0 {
+                        return Err(SyntaxError {
+                            message: "unterminated comment".into(),
+                            offset: start,
+                        });
+                    }
+                } else {
+                    out.push((Tok::LParen, start));
+                    i += 1;
+                }
+            }
+            b')' => {
+                out.push((Tok::RParen, start));
+                i += 1;
+            }
+            b'{' => {
+                out.push((Tok::LBrace, start));
+                i += 1;
+            }
+            b'}' => {
+                out.push((Tok::RBrace, start));
+                i += 1;
+            }
+            b'$' => {
+                out.push((Tok::Dollar, start));
+                i += 1;
+            }
+            b'@' => {
+                out.push((Tok::At, start));
+                i += 1;
+            }
+            b'*' => {
+                out.push((Tok::Star, start));
+                i += 1;
+            }
+            b',' => {
+                out.push((Tok::Comma, start));
+                i += 1;
+            }
+            b'=' => {
+                out.push((Tok::Eq, start));
+                i += 1;
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((Tok::Ne, start));
+                    i += 2;
+                } else {
+                    return Err(SyntaxError { message: "unexpected '!'".into(), offset: start });
+                }
+            }
+            b'<' => match bytes.get(i + 1) {
+                Some(&b'<') => {
+                    out.push((Tok::Before, start));
+                    i += 2;
+                }
+                Some(&b'=') => {
+                    out.push((Tok::Le, start));
+                    i += 2;
+                }
+                _ => {
+                    out.push((Tok::Lt, start));
+                    i += 1;
+                }
+            },
+            b'>' => match bytes.get(i + 1) {
+                Some(&b'>') => {
+                    out.push((Tok::After, start));
+                    i += 2;
+                }
+                Some(&b'=') => {
+                    out.push((Tok::Ge, start));
+                    i += 2;
+                }
+                _ => {
+                    out.push((Tok::Gt, start));
+                    i += 1;
+                }
+            },
+            b':' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    out.push((Tok::Assign, start));
+                    i += 2;
+                }
+                Some(&b':') => {
+                    out.push((Tok::DColon, start));
+                    i += 2;
+                }
+                _ => {
+                    return Err(SyntaxError {
+                        message: "unexpected ':'".into(),
+                        offset: start,
+                    });
+                }
+            },
+            b'"' | b'\'' => {
+                let quote = b;
+                i += 1;
+                let s_start = i;
+                while i < bytes.len() && bytes[i] != quote {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(SyntaxError {
+                        message: "unterminated string literal".into(),
+                        offset: start,
+                    });
+                }
+                out.push((Tok::Str(input[s_start..i].to_string()), start));
+                i += 1;
+            }
+            b'0'..=b'9' => {
+                let n_start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
+                    // Don't swallow a trailing '.' that isn't followed by a digit.
+                    if bytes[i] == b'.'
+                        && !bytes.get(i + 1).map(u8::is_ascii_digit).unwrap_or(false)
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                let text = &input[n_start..i];
+                let value: f64 = text.parse().map_err(|_| SyntaxError {
+                    message: format!("bad number {text:?}"),
+                    offset: n_start,
+                })?;
+                out.push((Tok::Num(value), n_start));
+            }
+            _ if is_name_start(b) => {
+                let n_start = i;
+                while i < bytes.len() && is_name_char(bytes[i]) {
+                    i += 1;
+                }
+                out.push((Tok::Name(input[n_start..i].to_string()), n_start));
+            }
+            b'.' => {
+                out.push((Tok::Dot, start));
+                i += 1;
+            }
+            _ => {
+                return Err(SyntaxError {
+                    message: format!("unexpected character {:?}", input[i..].chars().next().unwrap()),
+                    offset: start,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[inline]
+fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+#[inline]
+fn is_name_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-') || b >= 0x80
+}
+
+/// A peekable cursor over lexed tokens, shared by the path and FLWOR
+/// parsers.
+#[derive(Debug, Clone)]
+pub struct Cursor {
+    tokens: Vec<(Tok, usize)>,
+    pos: usize,
+    /// Offset just past the end of the source, for EOF errors.
+    end_offset: usize,
+}
+
+impl Cursor {
+    /// Lex `input` and wrap the tokens.
+    pub fn new(input: &str) -> Result<Cursor, SyntaxError> {
+        Ok(Cursor { tokens: lex(input)?, pos: 0, end_offset: input.len() })
+    }
+
+    /// Wrap pre-lexed tokens.
+    pub fn from_tokens(tokens: Vec<(Tok, usize)>, end_offset: usize) -> Cursor {
+        Cursor { tokens, pos: 0, end_offset }
+    }
+
+    /// Peek at the current token.
+    pub fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    /// Peek `k` tokens ahead (0 = current).
+    pub fn peek_at(&self, k: usize) -> Option<&Tok> {
+        self.tokens.get(self.pos + k).map(|(t, _)| t)
+    }
+
+    /// Offset of the current token (or end of input).
+    pub fn offset(&self) -> usize {
+        self.tokens.get(self.pos).map(|(_, o)| *o).unwrap_or(self.end_offset)
+    }
+
+    /// Consume and return the current token.
+    #[allow(clippy::should_implement_trait)] // deliberate parser-cursor idiom
+    pub fn next(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consume the current token if it equals `tok`.
+    pub fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume the current token if it is the keyword `kw`.
+    pub fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Name(n)) if n == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Is the current token the keyword `kw`?
+    pub fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Name(n)) if n == kw)
+    }
+
+    /// Require `tok` or fail.
+    pub fn expect(&mut self, tok: &Tok) -> Result<(), SyntaxError> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(self.error(format!(
+                "expected '{tok}', found {}",
+                self.peek().map(|t| format!("'{t}'")).unwrap_or_else(|| "end of input".into())
+            )))
+        }
+    }
+
+    /// Require a name token and return it.
+    pub fn expect_name(&mut self) -> Result<String, SyntaxError> {
+        match self.peek() {
+            Some(Tok::Name(_)) => match self.next() {
+                Some(Tok::Name(n)) => Ok(n),
+                _ => unreachable!(),
+            },
+            _ => Err(self.error("expected a name".to_string())),
+        }
+    }
+
+    /// True when all tokens are consumed.
+    pub fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Build an error at the current offset.
+    pub fn error(&self, message: String) -> SyntaxError {
+        SyntaxError { message, offset: self.offset() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Tok> {
+        lex(s).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn path_tokens() {
+        assert_eq!(
+            toks("//a/b[c='x']"),
+            vec![
+                Tok::DSlash,
+                Tok::Name("a".into()),
+                Tok::Slash,
+                Tok::Name("b".into()),
+                Tok::LBracket,
+                Tok::Name("c".into()),
+                Tok::Eq,
+                Tok::Str("x".into()),
+                Tok::RBracket,
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("= != < <= > >= << >> :="),
+            vec![
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::Before,
+                Tok::After,
+                Tok::Assign
+            ]
+        );
+    }
+
+    #[test]
+    fn names_with_hyphens_and_underscores() {
+        assert_eq!(
+            toks("deep-equal name_of_state"),
+            vec![Tok::Name("deep-equal".into()), Tok::Name("name_of_state".into())]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("3"), vec![Tok::Num(3.0)]);
+        assert_eq!(toks("3.5"), vec![Tok::Num(3.5)]);
+        // A '.' not followed by a digit is a separate Dot token.
+        assert_eq!(toks("3.foo"), vec![Tok::Num(3.0), Tok::Dot, Tok::Name("foo".into())]);
+    }
+
+    #[test]
+    fn strings_both_quotes() {
+        assert_eq!(toks(r#""dq" 'sq'"#), vec![Tok::Str("dq".into()), Tok::Str("sq".into())]);
+        assert!(lex("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(toks("a (: skip (: nested :) :) b"), vec![
+            Tok::Name("a".into()),
+            Tok::Name("b".into())
+        ]);
+        assert!(lex("(: open").is_err());
+    }
+
+    #[test]
+    fn flwor_snippet() {
+        let ts = toks("for $b in doc(\"bib.xml\")//book let $a := $b/author");
+        assert_eq!(ts[0], Tok::Name("for".into()));
+        assert_eq!(ts[1], Tok::Dollar);
+        assert!(ts.contains(&Tok::Assign));
+        assert!(ts.contains(&Tok::DSlash));
+    }
+
+    #[test]
+    fn bad_characters() {
+        assert!(lex("a ! b").is_err());
+        assert!(lex("a : b").is_err());
+        assert!(lex("a ; b").is_err());
+    }
+
+    #[test]
+    fn cursor_basics() {
+        let mut c = Cursor::new("/a/b").unwrap();
+        assert!(c.eat(&Tok::Slash));
+        assert_eq!(c.expect_name().unwrap(), "a");
+        assert!(!c.at_keyword("b")); // next is '/'
+        c.expect(&Tok::Slash).unwrap();
+        assert_eq!(c.expect_name().unwrap(), "b");
+        assert!(c.at_end());
+        assert!(c.expect(&Tok::Slash).is_err());
+    }
+}

@@ -1,0 +1,126 @@
+//! Generative round-trip tests: random path ASTs survive
+//! display → parse, and the parser never panics on junk.
+
+use blossom_xml::Axis;
+use blossom_xpath::ast::{CmpOp, Literal, NodeTest, PathExpr, PathStart, Predicate, Step};
+use blossom_xpath::parse_path;
+use proptest::prelude::*;
+
+fn node_test() -> impl Strategy<Value = NodeTest> {
+    prop_oneof![
+        prop::sample::select(vec!["a", "b", "book", "title", "name_of_state"])
+            .prop_map(|n| NodeTest::Name(n.into())),
+        Just(NodeTest::Wildcard),
+        Just(NodeTest::Text),
+    ]
+}
+
+fn literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        "[a-z ]{0,8}".prop_map(Literal::Str),
+        (0u32..1000).prop_map(|n| Literal::Num(n as f64)),
+    ]
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop::sample::select(vec![CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge])
+}
+
+fn axis() -> impl Strategy<Value = Axis> {
+    prop::sample::select(vec![
+        Axis::Child,
+        Axis::Descendant,
+        Axis::FollowingSibling,
+        Axis::PrecedingSibling,
+        Axis::Following,
+        Axis::Preceding,
+    ])
+}
+
+fn predicate(depth: u32) -> BoxedStrategy<Predicate> {
+    let leaf = prop_oneof![
+        (1u32..5).prop_map(Predicate::Position),
+        (cmp_op(), literal()).prop_map(|(op, literal)| Predicate::Value {
+            path: None,
+            op,
+            literal
+        }),
+        (simple_rel_path(), cmp_op(), literal()).prop_map(|(path, op, literal)| {
+            Predicate::Value { path: Some(path), op, literal }
+        }),
+        simple_rel_path().prop_map(Predicate::Exists),
+    ];
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        prop_oneof![
+            4 => leaf,
+            1 => (predicate(depth - 1), predicate(depth - 1))
+                .prop_map(|(a, b)| Predicate::And(Box::new(a), Box::new(b))),
+            1 => (predicate(depth - 1), predicate(depth - 1))
+                .prop_map(|(a, b)| Predicate::Or(Box::new(a), Box::new(b))),
+            1 => predicate(depth - 1).prop_map(|p| Predicate::Not(Box::new(p))),
+        ]
+        .boxed()
+    }
+}
+
+/// Relative paths used inside predicates (name tests only: wildcards and
+/// text() are fine but keep shrink output readable).
+fn simple_rel_path() -> impl Strategy<Value = PathExpr> {
+    prop::collection::vec(
+        (axis(), prop::sample::select(vec!["x", "y", "z"])),
+        1..3,
+    )
+    .prop_map(|steps| PathExpr {
+        start: PathStart::Context,
+        steps: steps
+            .into_iter()
+            .map(|(axis, name)| Step {
+                axis,
+                test: NodeTest::Name(name.into()),
+                predicates: vec![],
+            })
+            .collect(),
+    })
+}
+
+fn path() -> impl Strategy<Value = PathExpr> {
+    (
+        prop_oneof![
+            Just(PathStart::Root { doc: None }),
+            Just(PathStart::Root { doc: Some("bib.xml".into()) }),
+            prop::sample::select(vec!["v", "book1"])
+                .prop_map(|v| PathStart::Variable(v.into())),
+        ],
+        prop::collection::vec((axis(), node_test(), prop::collection::vec(predicate(1), 0..2)), 1..4),
+    )
+        .prop_map(|(start, steps)| PathExpr {
+            start,
+            steps: steps
+                .into_iter()
+                .map(|(axis, test, predicates)| Step { axis, test, predicates })
+                .collect(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any generated AST prints to text the parser maps back to the same
+    /// AST — except `//` steps, which print as `//name` and reparse to
+    /// the same Descendant step (identity holds).
+    #[test]
+    fn ast_display_parse_roundtrip(p in path()) {
+        let printed = p.to_string();
+        let reparsed = parse_path(&printed)
+            .unwrap_or_else(|e| panic!("failed to reparse {printed:?}: {e}"));
+        prop_assert_eq!(reparsed, p, "printed as {}", printed);
+    }
+
+    /// The path parser never panics on arbitrary printable input.
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,120}") {
+        let _ = parse_path(&input);
+    }
+}

@@ -1,0 +1,58 @@
+//! Show how the planner (Section 5's operator-choice rules) picks a
+//! physical strategy depending on document shape and query features.
+//!
+//! ```text
+//! cargo run --example plan_explain
+//! ```
+
+use blossomtree::core::decompose::Decomposition;
+use blossomtree::core::Engine;
+use blossomtree::flwor::BlossomTree;
+use blossomtree::xpath::parse_path;
+
+fn main() {
+    let documents = [
+        ("non-recursive", "<bib><book><title>t</title><author>a</author></book></bib>"),
+        ("recursive", "<part><part><part><name>bolt</name></part></part></part>"),
+    ];
+    let queries = [
+        "//book//title",
+        "//part//part//name",
+        "//book[//author][//title]",
+        "//book[2]",
+        "//book[author or editor]",
+        "//part//*",
+    ];
+    for (label, xml) in documents {
+        let engine = Engine::from_xml(xml).expect("well-formed");
+        println!("=== {label} document ===");
+        println!(
+            "stats: recursive={}, max same-tag nesting={}\n",
+            engine.stats().recursive,
+            engine.stats().max_recursion
+        );
+        for query in queries {
+            match engine.explain_path(query) {
+                Ok(plan) => {
+                    println!("{query}\n  -> {}: {}", plan.strategy, plan.reason);
+                }
+                Err(e) => println!("{query}\n  -> error: {e}"),
+            }
+            // Show the decomposition for pattern-algebra queries.
+            if let Ok(path) = parse_path(query) {
+                if !path.has_positional() && !path.has_disjunction() {
+                    if let Ok(bt) = BlossomTree::from_path(&path) {
+                        let d = Decomposition::decompose(&bt);
+                        println!(
+                            "     {} NoK(s), {} cut edge(s), pipelinable: {}",
+                            d.noks.len(),
+                            d.cut_edges.len(),
+                            d.pipelinable()
+                        );
+                    }
+                }
+            }
+            println!();
+        }
+    }
+}

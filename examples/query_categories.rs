@@ -1,0 +1,103 @@
+//! Run the paper's six query categories (Table 2) over a generated
+//! dataset with every applicable join strategy and report timings — a
+//! miniature, single-dataset version of the Table 3 harness.
+//!
+//! ```text
+//! cargo run --release --example query_categories -- [d1|d2|d3|d4|d5]
+//! ```
+
+use blossomtree::core::{Engine, Strategy};
+use blossomtree::xmlgen::{generate, Dataset};
+use std::time::Instant;
+
+/// Table 2 queries for the chosen dataset (duplicated from the bench
+/// crate's catalogue to keep the example self-contained).
+fn queries(ds: Dataset) -> Vec<(&'static str, &'static str)> {
+    match ds {
+        Dataset::D1Recursive => vec![
+            ("hc", "//a//b4"),
+            ("hb", "//a[//b2][//b1]//b3"),
+            ("mc", "//a//c2/b1/c2/b1//c3"),
+            ("mb", "//a//c2//b1/c2[//c2[b1]]/b1//c3"),
+            ("lc", "//b1//c2//b1"),
+            ("lb", "//b1//c2[//c3]//b1"),
+        ],
+        Dataset::D2Address => vec![
+            ("hc", "//addresses//street_address//name_of_state"),
+            ("hb", "//addresses[//zip_code][//country_id]"),
+            ("mc", "//addresses//street_address"),
+            ("mb", "//address[//name_of_state][//zip_code]//street_address"),
+            ("lc", "//address[//street_address]"),
+            ("lb", "//address[//street_address][//zip_code][//name_of_city]"),
+        ],
+        Dataset::D3Catalog => vec![
+            ("hc", "//item/attributes//length"),
+            ("hb", "//item[//author/contact_information//street_address]/title"),
+            ("mc", "//publisher//street_information//street_address"),
+            ("mb", "//publisher[//mailing_address]//street_address"),
+            ("lc", "//author//mailing_address//street_address"),
+            ("lb", "//author[date_of_birth][//last_name]//street_address"),
+        ],
+        Dataset::D4Treebank => vec![
+            ("hc", "//VP//VP/NP//PP/PP"),
+            ("hb", "//VP[VP]//VP[PP]/NP[PP]/NN"),
+            ("mc", "//VP/VP/NP//NN"),
+            ("mb", "//VP[VP]//VP/NP//NN"),
+            ("lc", "//VP//VP/NP//PP/IN"),
+            ("lb", "//VP[//NP][//VB]//JJ"),
+        ],
+        Dataset::D5Dblp => vec![
+            ("hc", "//phdthesis//author"),
+            ("hb", "//phdthesis[//author][//school]"),
+            ("mc", "//www[//url]"),
+            ("mb", "//www[//editor][//title][//year]"),
+            ("lc", "//proceedings[//editor]"),
+            ("lb", "//proceedings[//editor][//year][//url]"),
+        ],
+    }
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "d3".to_string());
+    let dataset = Dataset::all()
+        .into_iter()
+        .find(|d| d.name() == arg)
+        .unwrap_or(Dataset::D3Catalog);
+
+    println!("generating {} (~60k nodes)...", dataset.name());
+    let engine = Engine::new(generate(dataset, 60_000, 42));
+    let strategies: Vec<(&str, Strategy)> = if dataset.recursive() {
+        vec![
+            ("XH", Strategy::Navigational),
+            ("TS", Strategy::TwigStack),
+            ("NL", Strategy::BoundedNestedLoop),
+        ]
+    } else {
+        vec![
+            ("XH", Strategy::Navigational),
+            ("TS", Strategy::TwigStack),
+            ("PL", Strategy::Pipelined),
+        ]
+    };
+
+    println!("{:<4} {:<55} {:>8} {:>10}", "cat", "query", "results", "time");
+    for (category, query) in queries(dataset) {
+        let baseline = engine
+            .eval_path_str(query, Strategy::Navigational)
+            .expect("query evaluates");
+        for (label, strategy) in &strategies {
+            let start = Instant::now();
+            let result = engine.eval_path_str(query, *strategy).expect("query evaluates");
+            let elapsed = start.elapsed();
+            assert_eq!(result, baseline, "strategies must agree");
+            println!(
+                "{:<4} {:<55} {:>8} {:>9.2?} [{label}]",
+                category,
+                query,
+                result.len(),
+                elapsed
+            );
+        }
+    }
+    println!("\nall strategies returned identical answers.");
+}

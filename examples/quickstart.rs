@@ -1,0 +1,64 @@
+//! Quickstart: load a document, evaluate path queries, inspect the plan.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use blossomtree::core::{Engine, Strategy};
+use blossomtree::xml::writer;
+
+const BIB: &str = r#"<bib>
+    <book year="1994">
+        <title>TCP/IP Illustrated</title>
+        <author><last>Stevens</last><first>W.</first></author>
+        <price>65.95</price>
+    </book>
+    <book year="2000">
+        <title>Data on the Web</title>
+        <author><last>Abiteboul</last><first>Serge</first></author>
+        <author><last>Buneman</last><first>Peter</first></author>
+        <price>39.95</price>
+    </book>
+    <book year="1999">
+        <title>Economics of Technology</title>
+        <editor><last>Gerbarg</last><first>Darcy</first></editor>
+        <price>129.95</price>
+    </book>
+</bib>"#;
+
+fn main() {
+    let engine = Engine::from_xml(BIB).expect("well-formed XML");
+    let stats = engine.stats();
+    println!(
+        "loaded document: {} nodes, {} tags, max depth {}, recursive: {}\n",
+        stats.node_count, stats.tag_count, stats.max_depth, stats.recursive
+    );
+
+    let queries = [
+        "//book/title",
+        "//book[author]/title",
+        "//book[price < 100][author]//last",
+        "//book[2]/title",
+        "//book[author or editor]/title",
+    ];
+    for query in queries {
+        let plan = engine.explain_path(query).expect("valid query");
+        let nodes = engine.eval_path_str(query, Strategy::Auto).expect("evaluates");
+        println!("query: {query}");
+        println!("  plan: {} ({})", plan.strategy, plan.reason);
+        for n in &nodes {
+            let mut out = String::new();
+            writer::write_node(engine.doc(), *n, &mut out);
+            println!("  -> {out}");
+        }
+        println!();
+    }
+
+    // A FLWOR query through the same engine.
+    let flwor = r#"for $b in //book
+                   where $b/price < 100
+                   order by $b/title
+                   return <cheap>{ $b/title }</cheap>"#;
+    let result = engine.eval_query_str(flwor, Strategy::Auto).expect("evaluates");
+    println!("FLWOR result:\n{}", writer::to_string_pretty(&result));
+}

@@ -1,0 +1,255 @@
+//! `blossom` — a command-line front end for the BlossomTree engine.
+//!
+//! ```text
+//! blossom query   <doc.xml|doc.blsm> '<query>' [--strategy auto|navigational|twigstack|pipelined|bnlj|nlj] [--pretty]
+//! blossom explain <doc.xml|doc.blsm> '<query>'
+//! blossom stats   <doc.xml|doc.blsm>
+//! blossom encode  <doc.xml> <out.blsm>     # succinct storage format
+//! blossom gen     <d1|d2|d3|d4|d5> <out.xml> [--nodes N] [--seed S]
+//! ```
+
+use blossomtree::core::{Engine, Strategy};
+use blossomtree::xml::{succinct, writer, Document};
+use blossomtree::xmlgen::{generate, Dataset};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  blossom query   <doc.xml|doc.blsm> '<query>' [--strategy S] [--pretty]
+  blossom explain <doc.xml|doc.blsm> '<query>'
+  blossom stats   <doc.xml|doc.blsm>
+  blossom encode  <doc.xml> <out.blsm>
+  blossom gen     <d1|d2|d3|d4|d5> <out.xml> [--nodes N] [--seed S]
+
+strategies: auto (default), navigational, twigstack, pathstack, pipelined, bnlj, nlj";
+
+/// Execute a CLI invocation; returns the text to print.
+fn run(args: &[String]) -> Result<String, String> {
+    let command = args.first().map(String::as_str).unwrap_or("");
+    match command {
+        "query" => {
+            let file = arg(args, 1)?;
+            let query = arg(args, 2)?;
+            let strategy = parse_strategy(flag_value(args, "--strategy").unwrap_or("auto"))?;
+            let pretty = args.iter().any(|a| a == "--pretty");
+            let engine = Engine::new(load_document(file)?);
+            let result = engine
+                .eval_query_str(query, strategy)
+                .map_err(|e| e.to_string())?;
+            Ok(if pretty {
+                writer::to_string_pretty(&result)
+            } else {
+                writer::to_string(&result)
+            })
+        }
+        "explain" => {
+            let file = arg(args, 1)?;
+            let query = arg(args, 2)?;
+            let engine = Engine::new(load_document(file)?);
+            // Path queries get the planner's one-liner; FLWOR queries get
+            // the full BlossomTree + decomposition report.
+            if let Ok(plan) = engine.explain_path(query) {
+                return Ok(format!("strategy: {}\nreason:   {}", plan.strategy, plan.reason));
+            }
+            engine.explain_query(query).map_err(|e| e.to_string())
+        }
+        "stats" => {
+            let file = arg(args, 1)?;
+            let doc = load_document(file)?;
+            let s = doc.stats();
+            Ok(format!(
+                "nodes:         {}\nelements:      {}\ntext nodes:    {}\n\
+                 distinct tags: {}\navg depth:     {:.2}\nmax depth:     {}\n\
+                 recursive:     {} (max same-tag nesting {})\ntext bytes:    {}",
+                s.node_count,
+                s.element_count,
+                s.text_count,
+                s.tag_count,
+                s.avg_depth,
+                s.max_depth,
+                s.recursive,
+                s.max_recursion,
+                s.text_bytes,
+            ))
+        }
+        "encode" => {
+            let input = arg(args, 1)?;
+            let output = arg(args, 2)?;
+            let doc = load_document(input)?;
+            let bytes = succinct::encode(&doc);
+            let sizes = succinct::section_sizes(&bytes).map_err(|e| e.to_string())?;
+            std::fs::write(output, &bytes).map_err(|e| format!("writing {output}: {e}"))?;
+            Ok(format!(
+                "wrote {} bytes (skeleton {} + tags {} + symbols {} + content {})",
+                bytes.len(),
+                sizes.skeleton,
+                sizes.tags,
+                sizes.symbols,
+                sizes.content
+            ))
+        }
+        "gen" => {
+            let which = arg(args, 1)?;
+            let output = arg(args, 2)?;
+            let dataset = Dataset::all()
+                .into_iter()
+                .find(|d| d.name() == which)
+                .ok_or_else(|| format!("unknown dataset {which:?} (d1..d5)"))?;
+            let nodes: usize = flag_value(args, "--nodes")
+                .map(|v| v.parse().map_err(|_| format!("bad --nodes {v:?}")))
+                .transpose()?
+                .unwrap_or(50_000);
+            let seed: u64 = flag_value(args, "--seed")
+                .map(|v| v.parse().map_err(|_| format!("bad --seed {v:?}")))
+                .transpose()?
+                .unwrap_or(42);
+            let doc = generate(dataset, nodes, seed);
+            std::fs::write(output, writer::to_string(&doc))
+                .map_err(|e| format!("writing {output}: {e}"))?;
+            Ok(format!("generated {} with {} nodes into {output}", which, doc.stats().node_count))
+        }
+        "--help" | "-h" | "help" | "" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+fn arg(args: &[String], idx: usize) -> Result<&str, String> {
+    args.get(idx)
+        .map(String::as_str)
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| format!("missing argument #{idx}\n{USAGE}"))
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_strategy(name: &str) -> Result<Strategy, String> {
+    Ok(match name {
+        "auto" => Strategy::Auto,
+        "navigational" | "xh" => Strategy::Navigational,
+        "twigstack" | "ts" => Strategy::TwigStack,
+        "pathstack" | "ps" => Strategy::PathStack,
+        "pipelined" | "pl" => Strategy::Pipelined,
+        "bnlj" | "nl" => Strategy::BoundedNestedLoop,
+        "nlj" => Strategy::NaiveNestedLoop,
+        other => return Err(format!("unknown strategy {other:?}")),
+    })
+}
+
+/// Load either XML text or the succinct binary format (by sniffing).
+fn load_document(path: &str) -> Result<Document, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    if bytes.starts_with(b"BLM1") {
+        return succinct::decode(&bytes).map_err(|e| e.to_string());
+    }
+    let text = String::from_utf8(bytes).map_err(|_| format!("{path}: not UTF-8"))?;
+    Document::parse_str(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("blossom-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_errors() {
+        assert!(run(&s(&[])).unwrap().contains("usage"));
+        assert!(run(&s(&["help"])).unwrap().contains("usage"));
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&s(&["query"])).is_err());
+    }
+
+    #[test]
+    fn end_to_end_workflow() {
+        // gen -> stats -> query -> explain -> encode -> query the binary.
+        let xml = tmp("d2.xml");
+        let out = run(&s(&["gen", "d2", &xml, "--nodes", "2000", "--seed", "7"])).unwrap();
+        assert!(out.contains("generated d2"));
+
+        let stats = run(&s(&["stats", &xml])).unwrap();
+        assert!(stats.contains("distinct tags: 7"), "{stats}");
+
+        let hits =
+            run(&s(&["query", &xml, "//address[//zip_code]", "--strategy", "ts"])).unwrap();
+        assert!(hits.contains("<address>"));
+
+        let plan = run(&s(&["explain", &xml, "//address//zip_code"])).unwrap();
+        assert!(plan.contains("pipelined"), "{plan}");
+
+        let blsm = tmp("d2.blsm");
+        let enc = run(&s(&["encode", &xml, &blsm])).unwrap();
+        assert!(enc.contains("skeleton"));
+
+        // Querying the succinct binary gives the same answer as the XML.
+        let from_xml = run(&s(&["query", &xml, "//address[//zip_code]"])).unwrap();
+        let from_bin = run(&s(&["query", &blsm, "//address[//zip_code]"])).unwrap();
+        assert_eq!(from_xml, from_bin);
+    }
+
+    #[test]
+    fn flwor_through_cli() {
+        let xml = tmp("bib.xml");
+        std::fs::write(
+            &xml,
+            "<bib><book><title>B</title></book><book><title>A</title></book></bib>",
+        )
+        .unwrap();
+        let out = run(&s(&[
+            "query",
+            &xml,
+            "for $b in //book order by $b/title return <t>{$b/title}</t>",
+        ]))
+        .unwrap();
+        assert_eq!(
+            out,
+            "<result><t><title>A</title></t><t><title>B</title></t></result>"
+        );
+    }
+
+    #[test]
+    fn explain_flwor_via_cli() {
+        let xml = tmp("explain.xml");
+        std::fs::write(&xml, "<bib><book><t>x</t></book></bib>").unwrap();
+        let out = run(&s(&[
+            "explain",
+            &xml,
+            "for $a in //book, $b in //book where $a << $b return <p/>",
+        ]))
+        .unwrap();
+        assert!(out.contains("BlossomTree"), "{out}");
+        assert!(out.contains("strategy:"), "{out}");
+    }
+
+    #[test]
+    fn strategy_parsing() {
+        assert!(parse_strategy("auto").is_ok());
+        assert!(parse_strategy("ts").is_ok());
+        assert!(parse_strategy("warp-drive").is_err());
+    }
+}

@@ -1,0 +1,306 @@
+//! Property tests: every physical strategy returns exactly the
+//! navigational oracle's answer, on random documents and on the five
+//! generated datasets; the BlossomTree FLWOR pipeline agrees with the
+//! naive per-iteration evaluation.
+
+use blossomtree::core::{Engine, Strategy as Eval};
+use blossomtree::xml::writer;
+use blossomtree::xmlgen::{generate, Dataset};
+use proptest::prelude::*;
+
+/// Random small documents over a fixed tag alphabet (so queries have a
+/// chance to match).
+fn xml_tree() -> impl Strategy<Value = String> {
+    #[derive(Debug, Clone)]
+    enum T {
+        E(usize, Vec<T>),
+        Text(u8),
+    }
+    const TAGS: [&str; 5] = ["a", "b", "c", "d", "e"];
+    let leaf = prop_oneof![
+        (0..TAGS.len()).prop_map(|t| T::E(t, vec![])),
+        (0u8..4).prop_map(T::Text),
+    ];
+    let tree = leaf.prop_recursive(5, 48, 4, |inner| {
+        (0..TAGS.len(), prop::collection::vec(inner, 0..4))
+            .prop_map(|(t, children)| T::E(t, children))
+    });
+    tree.prop_map(|t| {
+        fn render(t: &T, out: &mut String) {
+            match t {
+                T::Text(v) => out.push_str(&format!("v{v}")),
+                T::E(tag, children) => {
+                    out.push('<');
+                    out.push_str(TAGS[*tag]);
+                    out.push('>');
+                    for c in children {
+                        render(c, out);
+                    }
+                    out.push_str("</");
+                    out.push_str(TAGS[*tag]);
+                    out.push('>');
+                }
+            }
+        }
+        let mut s = String::from("<r>");
+        render(&t, &mut s);
+        s.push_str("</r>");
+        s
+    })
+}
+
+const CHAIN_QUERIES: [&str; 4] = ["//a//b", "//a/b", "//a//b//c", "//r/a"];
+
+const PATH_QUERIES: [&str; 10] = [
+    "//a//b",
+    "//a/b",
+    "//a[//b]//c",
+    "//a[b][c]",
+    "//r/a",
+    "//a//b//c",
+    "//a[//d]/b[//c]",
+    "//b[//a]",
+    "//a[.//b]/c",
+    "//e",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All join strategies agree with the navigational oracle on random
+    /// documents.
+    #[test]
+    fn path_strategies_agree_on_random_docs(
+        xml in xml_tree(),
+        query_idx in 0..PATH_QUERIES.len(),
+    ) {
+        let engine = Engine::from_xml(&xml).unwrap();
+        let query = PATH_QUERIES[query_idx];
+        let expected = engine.eval_path_str(query, Eval::Navigational).unwrap();
+        for strategy in [
+            Eval::TwigStack,
+            // Our pipelined join discards conservatively (only candidates
+            // before the current outer's *start*), which keeps it correct
+            // even on recursive documents — at the memory cost the paper
+            // warns about, which is why the planner still avoids it there.
+            Eval::Pipelined,
+            Eval::BoundedNestedLoop,
+            Eval::NaiveNestedLoop,
+            Eval::Auto,
+        ] {
+            let got = engine.eval_path_str(query, strategy).unwrap();
+            prop_assert_eq!(&got, &expected, "query {} strategy {}", query, strategy);
+        }
+    }
+
+    /// FLWOR: the BlossomTree pipeline agrees with the naive evaluator.
+    #[test]
+    fn flwor_pipeline_agrees_with_naive(xml in xml_tree(), seed in 0u8..4) {
+        let engine = Engine::from_xml(&xml).unwrap();
+        let query = match seed {
+            0 => "for $x in //a return <i>{$x/b}</i>",
+            1 => "for $x in //a let $y := $x/b where $x/c = \"v1\" return <i>{$y}</i>",
+            2 => "for $x in //a, $y in //b where $x << $y return <i>{$x}{$y}</i>",
+            _ => "for $x in //a let $y := $x/b \
+                  where deep-equal($y, $y) order by $x return <i>{$y}</i>",
+        };
+        let naive = engine.eval_query_str(query, Eval::Navigational).unwrap();
+        for strategy in [Eval::BoundedNestedLoop, Eval::NaiveNestedLoop] {
+            let got = engine.eval_query_str(query, strategy).unwrap();
+            prop_assert_eq!(
+                writer::to_string(&got),
+                writer::to_string(&naive),
+                "query {} strategy {}", query, strategy
+            );
+        }
+        if !engine.stats().recursive {
+            let got = engine.eval_query_str(query, Eval::Pipelined).unwrap();
+            prop_assert_eq!(
+                writer::to_string(&got),
+                writer::to_string(&naive),
+                "query {} strategy pipelined", query
+            );
+        }
+    }
+}
+
+/// The Table 2 workload returns identical answers under every applicable
+/// strategy on all five generated datasets.
+#[test]
+fn table2_workload_equivalence_on_datasets() {
+    let workload: [(Dataset, [&str; 3]); 5] = [
+        (Dataset::D1Recursive, ["//a//b4", "//a[//b2][//b1]//b3", "//b1//c2//b1"]),
+        (
+            Dataset::D2Address,
+            [
+                "//addresses//street_address//name_of_state",
+                "//address[//name_of_state][//zip_code]//street_address",
+                "//address[//street_address][//zip_code][//name_of_city]",
+            ],
+        ),
+        (
+            Dataset::D3Catalog,
+            [
+                "//item/attributes//length",
+                "//publisher[//mailing_address]//street_address",
+                "//author[date_of_birth][//last_name]//street_address",
+            ],
+        ),
+        (
+            Dataset::D4Treebank,
+            ["//VP//VP/NP//PP/PP", "//VP[VP]//VP/NP//NN", "//VP[//NP][//VB]//JJ"],
+        ),
+        (
+            Dataset::D5Dblp,
+            ["//phdthesis//author", "//www[//editor][//title][//year]", "//proceedings[//editor]"],
+        ),
+    ];
+    for (ds, queries) in workload {
+        let engine = Engine::new(generate(ds, 15_000, 99));
+        for query in queries {
+            let expected = engine.eval_path_str(query, Eval::Navigational).unwrap();
+            let mut strategies = vec![
+                Eval::TwigStack,
+                Eval::BoundedNestedLoop,
+                Eval::Auto,
+            ];
+            if !ds.recursive() {
+                strategies.push(Eval::Pipelined);
+            }
+            for strategy in strategies {
+                let got = engine.eval_path_str(query, strategy).unwrap();
+                assert_eq!(got, expected, "{} {} {}", ds.name(), query, strategy);
+            }
+        }
+    }
+}
+
+/// PathStack agrees with the oracle on chain queries.
+#[test]
+fn pathstack_equivalence() {
+    let docs = [
+        "<r><a><b><c/></b></a><a><c/></a><b/></r>",
+        "<a><b/><a><b/><a><b/><c/></a></a></a>",
+    ];
+    for xml in docs {
+        let engine = Engine::from_xml(xml).unwrap();
+        for query in CHAIN_QUERIES {
+            let expected = engine.eval_path_str(query, Eval::Navigational).unwrap();
+            let got = engine.eval_path_str(query, Eval::PathStack).unwrap();
+            assert_eq!(got, expected, "{query} on {xml}");
+        }
+    }
+}
+
+/// Sibling and explicit axes agree across strategies (NoK trees include
+/// following-sibling per the NoK definition).
+#[test]
+fn sibling_axis_equivalence() {
+    let engine = Engine::from_xml(
+        "<r><a/><b><c/></b><a/><c/><b/><a><b/><c/><b/></a></r>",
+    )
+    .unwrap();
+    for query in [
+        "//a/following-sibling::b",
+        "//a/following-sibling::c",
+        "//b[following-sibling::c]",
+        "//a/following::c",
+        "/r/a/self::a",
+    ] {
+        let expected = engine.eval_path_str(query, Eval::Navigational).unwrap();
+        for strategy in [Eval::BoundedNestedLoop, Eval::NaiveNestedLoop, Eval::Pipelined] {
+            let got = engine.eval_path_str(query, strategy).unwrap();
+            assert_eq!(got, expected, "{query} {strategy}");
+        }
+    }
+}
+
+/// The paper's remaining join types: `preceding`-axis joins and the
+/// `is`/`isnot` node-identity joins of Section 4.3 agree with the oracle.
+#[test]
+fn preceding_and_identity_joins() {
+    let engine = Engine::from_xml(
+        "<r><a><b/></a><c/><a/><c><a><b/></a></c><b/></r>",
+    )
+    .unwrap();
+    for query in ["//c/preceding::a", "//a[preceding::c]", "//b/preceding::a"] {
+        let expected = engine.eval_path_str(query, Eval::Navigational).unwrap();
+        for strategy in [Eval::NaiveNestedLoop, Eval::BoundedNestedLoop, Eval::Pipelined] {
+            let got = engine.eval_path_str(query, strategy).unwrap();
+            assert_eq!(got, expected, "{query} {strategy}");
+        }
+    }
+    // isnot: all pairs of distinct a's sharing a text value.
+    let engine = Engine::from_xml(
+        "<r><x><v>1</v></x><x><v>1</v></x><x><v>2</v></x></r>",
+    )
+    .unwrap();
+    let query = "for $p in //x, $q in //x \
+                 where $p/v = $q/v and $p isnot $q return <m>{$p/v}</m>";
+    let naive = engine.eval_query_str(query, Eval::Navigational).unwrap();
+    let bt = engine.eval_query_str(query, Eval::BoundedNestedLoop).unwrap();
+    assert_eq!(
+        writer::to_string(&naive),
+        "<result><m><v>1</v></m><m><v>1</v></m></result>"
+    );
+    assert_eq!(writer::to_string(&bt), writer::to_string(&naive));
+    // is: only self-pairs.
+    let query_is = "for $p in //x, $q in //x where $p is $q return <m/>";
+    let n = engine.eval_query_str(query_is, Eval::Navigational).unwrap();
+    let b = engine.eval_query_str(query_is, Eval::BoundedNestedLoop).unwrap();
+    assert_eq!(writer::to_string(&n), "<result><m/><m/><m/></result>");
+    assert_eq!(writer::to_string(&b), writer::to_string(&n));
+    // not(isnot) == is.
+    let query_notisnot =
+        "for $p in //x, $q in //x where not($p isnot $q) return <m/>";
+    let nn = engine.eval_query_str(query_notisnot, Eval::BoundedNestedLoop).unwrap();
+    assert_eq!(writer::to_string(&nn), "<result><m/><m/><m/></result>");
+}
+
+/// preceding-sibling (a *local* axis that stays inside NoK trees) agrees
+/// across strategies.
+#[test]
+fn preceding_sibling_equivalence() {
+    let engine = Engine::from_xml(
+        "<r><b/><a/><c/><a/><x><a/><b/></x><b/><a/></r>",
+    )
+    .unwrap();
+    for query in [
+        "//a/preceding-sibling::b",
+        "//a[preceding-sibling::b]",
+        "//b[preceding-sibling::a]",
+    ] {
+        let expected = engine.eval_path_str(query, Eval::Navigational).unwrap();
+        for strategy in [Eval::Pipelined, Eval::BoundedNestedLoop, Eval::NaiveNestedLoop] {
+            let got = engine.eval_path_str(query, strategy).unwrap();
+            assert_eq!(got, expected, "{query} {strategy}");
+        }
+    }
+}
+
+/// Aggregate-style where clauses (count/exists/empty) evaluate via the
+/// naive engine; Auto transparently falls back.
+#[test]
+fn count_exists_where_clauses() {
+    let engine = Engine::from_xml(
+        "<bib><book><a/><a/></book><book><a/></book><book/></bib>",
+    )
+    .unwrap();
+    let cases = [
+        ("for $b in //book where count($b/a) > 1 return <m/>", 1),
+        ("for $b in //book where count($b/a) = 0 return <m/>", 1),
+        ("for $b in //book where exists($b/a) return <m/>", 2),
+        ("for $b in //book where empty($b/a) return <m/>", 1),
+        ("for $b in //book where count($b/a) >= 1 and exists($b/a) return <m/>", 2),
+    ];
+    for (query, expected) in cases {
+        for strategy in [Eval::Navigational, Eval::Auto] {
+            let out = engine.eval_query_str(query, strategy).unwrap();
+            assert_eq!(
+                out.elements().count() - 1,
+                expected,
+                "{query} {strategy}"
+            );
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! End-to-end correctness over the full Table 3 workload: every
+//! (dataset, query) cell of the paper's evaluation returns identical
+//! answers under every applicable strategy, at test scale.
+
+use blossom_bench::queries;
+use blossomtree::core::{Engine, Strategy};
+use blossomtree::xmlgen::{generate, Dataset};
+
+#[test]
+fn all_thirty_cells_agree_across_strategies() {
+    for ds in Dataset::all() {
+        let engine = Engine::new(generate(ds, 12_000, 2024));
+        for q in queries(ds) {
+            let expected = engine
+                .eval_path_str(q.path, Strategy::Navigational)
+                .unwrap_or_else(|e| panic!("{} {}: {e}", ds.name(), q.id));
+            let mut strategies = vec![
+                Strategy::TwigStack,
+                Strategy::BoundedNestedLoop,
+                Strategy::NaiveNestedLoop,
+                Strategy::Pipelined,
+                Strategy::Auto,
+            ];
+            // PathStack applies to the chain-topology queries only.
+            if q.category.ends_with('c') {
+                strategies.push(Strategy::PathStack);
+            }
+            for strategy in strategies {
+                let got = engine
+                    .eval_path_str(q.path, strategy)
+                    .unwrap_or_else(|e| panic!("{} {} {strategy}: {e}", ds.name(), q.id));
+                assert_eq!(
+                    got,
+                    expected,
+                    "{} {} ({}) strategy {strategy}",
+                    ds.name(),
+                    q.id,
+                    q.path
+                );
+            }
+        }
+    }
+}
+
+/// Fuzz: randomly generated queries over each dataset's own vocabulary
+/// agree across every strategy.
+#[test]
+fn random_queries_agree_across_strategies() {
+    use blossomtree::xmlgen::{random_query, QueryGenConfig};
+    for ds in Dataset::all() {
+        let doc = generate(ds, 6_000, 11);
+        let engine = Engine::new(doc);
+        for seed in 0..40u64 {
+            let query = random_query(engine.doc(), QueryGenConfig::default(), seed);
+            let expected = engine
+                .eval_path_str(&query, Strategy::Navigational)
+                .unwrap_or_else(|e| panic!("{} {query}: {e}", ds.name()));
+            for strategy in [
+                Strategy::TwigStack,
+                Strategy::Pipelined,
+                Strategy::BoundedNestedLoop,
+                Strategy::Auto,
+            ] {
+                let got = engine
+                    .eval_path_str(&query, strategy)
+                    .unwrap_or_else(|e| panic!("{} {query} {strategy}: {e}", ds.name()));
+                assert_eq!(got, expected, "{} {query} {strategy}", ds.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests for the paper's two theorems and the NestedList
+//! algebra laws, over randomly generated documents.
+
+use blossomtree::core::decompose::Decomposition;
+use blossomtree::core::join::pipelined::PipelinedJoin;
+use blossomtree::core::nlbuffer::NlBuffer;
+use blossomtree::core::nok::NokMatcher;
+use blossomtree::core::ops;
+use blossomtree::flwor::BlossomTree;
+use blossomtree::xml::{Document, NodeId};
+use blossomtree::xpath::parse_path;
+use proptest::prelude::*;
+
+/// Random documents over tags a/b/c/d (recursion allowed).
+fn xml_tree(max_depth: u32) -> impl Strategy<Value = String> {
+    #[derive(Debug, Clone)]
+    struct T(usize, Vec<T>);
+    const TAGS: [&str; 4] = ["a", "b", "c", "d"];
+    let leaf = (0..TAGS.len()).prop_map(|t| T(t, vec![]));
+    let tree = leaf.prop_recursive(max_depth, 60, 4, |inner| {
+        (0..TAGS.len(), prop::collection::vec(inner, 0..4)).prop_map(|(t, c)| T(t, c))
+    });
+    tree.prop_map(|t| {
+        fn render(t: &T, out: &mut String) {
+            out.push('<');
+            out.push_str(TAGS[t.0]);
+            out.push('>');
+            for c in &t.1 {
+                render(c, out);
+            }
+            out.push_str("</");
+            out.push_str(TAGS[t.0]);
+            out.push('>');
+        }
+        let mut s = String::from("<r>");
+        render(&t, &mut s);
+        s.push_str("</r>");
+        s
+    })
+}
+
+const NOK_QUERIES: [&str; 4] = ["//a/b", "//a[b]/c", "//b[c][d]", "//a/b[c]/d"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Theorem 1: projecting any pattern node of the Figure 6 buffer
+    /// yields document order — including on recursive documents where
+    /// matches interleave.
+    #[test]
+    fn theorem1_projection_order_preserving(
+        xml in xml_tree(6),
+        query_idx in 0..NOK_QUERIES.len(),
+    ) {
+        let doc = Document::parse_str(&xml).unwrap();
+        let d = Decomposition::decompose(
+            &BlossomTree::from_path(&parse_path(NOK_QUERIES[query_idx]).unwrap()).unwrap(),
+        );
+        prop_assert_eq!(d.noks.len(), 1, "NoK-only queries");
+        let buf = NlBuffer::build(&doc, &d.noks[0]);
+        for id in d.noks[0].pattern.ids() {
+            let projected = buf.project(id);
+            prop_assert!(
+                projected.windows(2).all(|w| w[0] <= w[1]),
+                "projection of {:?} not in document order: {:?}",
+                id,
+                projected
+            );
+        }
+    }
+
+    /// Theorem 2: on non-recursive documents the pipelined //-join's
+    /// output stream is ordered by outer anchor.
+    #[test]
+    fn theorem2_pipelined_join_order_preserving(xml in xml_tree(4)) {
+        let doc = Document::parse_str(&xml).unwrap();
+        prop_assume!(!doc.stats().recursive);
+        let d = Decomposition::decompose(
+            &BlossomTree::from_path(&parse_path("//a[//b]").unwrap()).unwrap(),
+        );
+        let cut = &d.cut_edges[0];
+        let outer = NokMatcher::new(&doc, &d.noks[cut.parent_nok], d.shape.clone(), None);
+        let inner = NokMatcher::new(&doc, &d.noks[cut.child_nok], d.shape.clone(), None);
+        let mut left = outer.stream();
+        let mut right = inner.stream();
+        let join = PipelinedJoin::new(
+            &doc,
+            std::iter::from_fn(move || left.get_next()),
+            std::iter::from_fn(move || right.get_next()),
+            &d.noks,
+            cut,
+        );
+        let anchors: Vec<NodeId> = join.map(|(anchor, _)| anchor).collect();
+        prop_assert!(
+            anchors.windows(2).all(|w| w[0] < w[1]),
+            "pipelined join output not ordered: {:?}",
+            anchors
+        );
+    }
+
+    /// Algebra laws: σ(true) is the identity; σ(false) empties; π after
+    /// σ(p) returns exactly the items p kept.
+    #[test]
+    fn selection_laws(xml in xml_tree(5)) {
+        let doc = Document::parse_str(&xml).unwrap();
+        let d = Decomposition::decompose(
+            &BlossomTree::from_path(&parse_path("//a/b").unwrap()).unwrap(),
+        );
+        let m = NokMatcher::new(&doc, &d.noks[0], d.shape.clone(), None);
+        let seq = m.scan();
+        let dewey: blossomtree::xml::Dewey = "1.1".parse().unwrap();
+        let all = ops::project_seq(&seq, &dewey);
+
+        // σ(true) = identity.
+        let kept = ops::select_seq(&seq, &dewey, |_, _| true);
+        prop_assert_eq!(&kept, &seq);
+
+        // σ(false) removes every match.
+        let none = ops::select_seq(&seq, &dewey, |_, _| false);
+        prop_assert!(none.iter().all(|nl| nl.project(&dewey).is_empty()));
+
+        // σ(even positions): projection afterwards is exactly those items.
+        let evens = ops::select_seq(&seq, &dewey, |pos, _| pos % 2 == 0);
+        let expected: Vec<NodeId> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (i + 1) % 2 == 0)
+            .map(|(_, &n)| n)
+            .collect();
+        let got = ops::project_seq(&evens, &dewey);
+        // Some matches may be dropped entirely when their only b was
+        // removed and b is mandatory; the survivors must be a subset in
+        // order.
+        prop_assert!(
+            got.iter().all(|n| expected.contains(n)),
+            "σ kept unexpected items: {:?} vs {:?}",
+            got,
+            expected
+        );
+    }
+}
