@@ -1,0 +1,71 @@
+//! Micro-benchmarks (the criterion suite, ported to the in-tree
+//! repeat-and-min harness): parsing, NoK scans, the join strategies, and
+//! FLWOR evaluation on a mid-sized generated document. Writes
+//! `BENCH_micro.json`.
+//!
+//! ```text
+//! cargo run --release -p blossom-bench --bin micro -- \
+//!     [--nodes N] [--runs N] [--out FILE]
+//! ```
+
+use blossom_bench::timing::{self, Json};
+use blossom_bench::{queries, Args};
+use blossom_core::{Engine, Strategy};
+use blossom_xml::{writer, Document};
+use blossom_xmlgen::{generate, Dataset};
+
+fn main() {
+    let args = Args::parse();
+    let nodes: usize = args.get("nodes").unwrap_or(100_000);
+    let runs: u32 = args.get("runs").unwrap_or(5);
+    let out: String = args.get("out").unwrap_or_else(|| "BENCH_micro.json".to_string());
+
+    let dataset = Dataset::D1Recursive;
+    let doc = generate(dataset, nodes, 42);
+    let xml = writer::to_string(&doc);
+    let engine = Engine::new(doc);
+    let mut samples = Vec::new();
+
+    // Parse + serialize round trips.
+    samples.push(timing::time("parse", 1, runs, || {
+        Document::parse_str(&xml).unwrap().stats().node_count
+    }));
+    samples.push(timing::time("serialize", 1, runs, || {
+        writer::to_string(engine.doc()).len()
+    }));
+
+    // The Table 3 queries of the dataset under each applicable strategy.
+    for q in queries(dataset) {
+        for (tag, strategy) in [
+            ("xh", Strategy::Navigational),
+            ("ts", Strategy::TwigStack),
+            ("pl", Strategy::Pipelined),
+            ("bnlj", Strategy::BoundedNestedLoop),
+        ] {
+            if engine.eval_path_str(q.path, strategy).is_err() {
+                continue; // strategy not applicable (e.g. PL on recursion)
+            }
+            samples.push(timing::time(&format!("{}-{tag}", q.id), 1, runs, || {
+                engine.eval_path_str(q.path, strategy).unwrap().len()
+            }));
+        }
+    }
+
+    // A FLWOR with a correlated inner path and ordering.
+    let flwor = "for $a in //a let $b := $a/b1 order by $a/c1 return <o>{$b}</o>";
+    if engine.eval_query_str(flwor, Strategy::Auto).is_ok() {
+        samples.push(timing::time("flwor", 1, runs, || {
+            engine.eval_query_str(flwor, Strategy::Auto).unwrap().len()
+        }));
+    }
+
+    let report = Json::obj([
+        ("bench", Json::str("micro")),
+        ("dataset", Json::str(dataset.name())),
+        ("nodes", Json::Num(engine.doc().stats().node_count as f64)),
+        ("runs", Json::Num(f64::from(runs))),
+        ("samples", Json::arr(samples.iter().map(timing::Sample::json))),
+    ]);
+    timing::write_report(&out, &report).expect("write report");
+    println!("wrote {out}");
+}

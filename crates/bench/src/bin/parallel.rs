@@ -1,0 +1,102 @@
+//! Parallel NoK-scan benchmark: sequential vs partitioned `par_scan`.
+//!
+//! Generates a large xmlgen document (default big enough that the
+//! serialized XML exceeds 50 MB), decomposes each Table 3 query of the
+//! chosen dataset, and times the NoK scan phase — every NoK of the
+//! query, scanned over the whole document — sequentially and with the
+//! partitioned parallel scanner. Both must produce identical match
+//! sequences; the report (speedups per query) is written to
+//! `BENCH_parallel.json`.
+//!
+//! ```text
+//! cargo run --release -p blossom-bench --bin parallel -- \
+//!     [--dataset d1..d5] [--nodes N] [--threads N] [--runs N] [--out FILE]
+//! ```
+
+use blossom_bench::timing::{self, Json};
+use blossom_bench::{queries, Args};
+use blossom_core::{exec, Decomposition, Executor, NokMatcher};
+use blossom_flwor::BlossomTree;
+use blossom_xml::{writer, TagIndex};
+use blossom_xmlgen::{generate, Dataset};
+use blossom_xpath::parse_path;
+
+fn main() {
+    let args = Args::parse();
+    let dataset_name: String = args.get("dataset").unwrap_or_else(|| "d1".to_string());
+    let dataset = Dataset::all()
+        .into_iter()
+        .find(|d| d.name() == dataset_name)
+        .unwrap_or_else(|| panic!("unknown dataset {dataset_name:?} (d1..d5)"));
+    let nodes: usize = args.get("nodes").unwrap_or(3_000_000);
+    let threads: usize = args.get("threads").unwrap_or_else(exec::available_parallelism);
+    let runs: u32 = args.get("runs").unwrap_or(3);
+    let out: String = args.get("out").unwrap_or_else(|| "BENCH_parallel.json".to_string());
+
+    eprintln!("generating {} with {nodes} nodes...", dataset.name());
+    let doc = generate(dataset, nodes, 42);
+    let xml_bytes = writer::to_string(&doc).len();
+    eprintln!(
+        "document: {} nodes, {:.1} MB serialized",
+        doc.stats().node_count,
+        xml_bytes as f64 / 1e6
+    );
+    let index = TagIndex::build(&doc);
+    let sequential = Executor::sequential();
+    let parallel = Executor::new(threads);
+
+    let mut rows = Vec::new();
+    for q in queries(dataset) {
+        let d = Decomposition::decompose(
+            &BlossomTree::from_path(&parse_path(q.path).expect("bench query parses"))
+                .expect("bench query converts"),
+        );
+        let matchers: Vec<NokMatcher<'_>> = d
+            .noks
+            .iter()
+            .map(|nok| NokMatcher::new(&doc, nok, d.shape.clone(), Some(&index)))
+            .collect();
+
+        // Correctness first: the partitioned scan must reproduce the
+        // sequential match sequence exactly, for every NoK.
+        let mut matches = 0usize;
+        for m in &matchers {
+            let seq = m.par_scan(&sequential);
+            let par = m.par_scan(&parallel);
+            assert_eq!(seq, par, "{} {}: parallel scan diverged", q.id, q.path);
+            matches += seq.len();
+        }
+
+        let scan_all = |e: &Executor| {
+            matchers.iter().map(|m| m.par_scan(e).len()).sum::<usize>()
+        };
+        let seq_t = timing::time(&format!("{}-seq", q.id), 1, runs, || scan_all(&sequential));
+        let par_t = timing::time(&format!("{}-par", q.id), 1, runs, || scan_all(&parallel));
+        let speedup = seq_t.min.as_secs_f64() / par_t.min.as_secs_f64().max(1e-12);
+        eprintln!(
+            "{} {:<40} seq {:>9.2?}  par {:>9.2?}  speedup {:.2}x  ({} matches)",
+            q.id, q.path, seq_t.min, par_t.min, speedup, matches
+        );
+        rows.push(Json::obj([
+            ("id", Json::str(q.id)),
+            ("path", Json::str(q.path)),
+            ("noks", Json::Num(d.noks.len() as f64)),
+            ("matches", Json::Num(matches as f64)),
+            ("seq_min_s", Json::Num(seq_t.min.as_secs_f64())),
+            ("par_min_s", Json::Num(par_t.min.as_secs_f64())),
+            ("speedup", Json::Num(speedup)),
+        ]));
+    }
+
+    let report = Json::obj([
+        ("bench", Json::str("parallel")),
+        ("dataset", Json::str(dataset.name())),
+        ("nodes", Json::Num(doc.stats().node_count as f64)),
+        ("xml_bytes", Json::Num(xml_bytes as f64)),
+        ("threads", Json::Num(threads as f64)),
+        ("runs", Json::Num(f64::from(runs))),
+        ("queries", Json::Arr(rows)),
+    ]);
+    timing::write_report(&out, &report).expect("write report");
+    println!("wrote {out}");
+}

@@ -10,11 +10,18 @@
 //!   d1–d5), with DNF cutoffs.
 //! * `ablation` — merged-scan vs separate scans, BNLJ vs naive NLJ,
 //!   binary structural joins vs holistic TwigStack.
+//! * `parallel` — sequential vs partitioned parallel NoK scans on a
+//!   large generated document; writes `BENCH_parallel.json`.
+//! * `micro` — parse/serialize/join/FLWOR micro-timings (the former
+//!   criterion suite on the in-tree harness); writes `BENCH_micro.json`.
 //!
-//! Criterion micro-benchmarks live in `benches/`.
+//! Everything is dependency-free: timing uses the repeat-and-min harness
+//! in [`timing`], and reports serialize through its minimal JSON writer.
 
 pub mod harness;
 pub mod queries;
+pub mod timing;
 
 pub use harness::{markdown_table, measure, Args, Measurement};
 pub use queries::{queries, BenchQuery};
+pub use timing::{time, Json, Sample};

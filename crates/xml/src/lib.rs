@@ -48,3 +48,13 @@ pub use navigate::Axis;
 pub use parser::{Event, ParseError, Reader};
 pub use stats::DocStats;
 pub use symbol::{Sym, SymbolTable};
+
+// The parallel execution layer shares `&Document` / `&TagIndex` across
+// scoped worker threads; fail the build immediately if either ever grows
+// a non-thread-safe field (`Rc`, `Cell`, raw pointers, …).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Document>();
+    assert_send_sync::<TagIndex>();
+    assert_send_sync::<SymbolTable>();
+};

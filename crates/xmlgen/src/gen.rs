@@ -1,14 +1,13 @@
 //! Shared generator infrastructure: a seeded random tree builder that
 //! tracks node counts so generators can hit a target size.
 
+use crate::rng::SplitMix;
 use blossom_xml::{Document, TreeBuilder};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Wraps a [`TreeBuilder`] with an RNG and node accounting.
 pub struct Gen {
     builder: TreeBuilder,
-    rng: SmallRng,
+    rng: SplitMix,
     nodes: usize,
     depth: u16,
     max_depth_seen: u16,
@@ -25,7 +24,7 @@ impl Gen {
     pub fn new(seed: u64) -> Gen {
         Gen {
             builder: Document::builder(),
-            rng: SmallRng::seed_from_u64(seed),
+            rng: SplitMix::new(seed),
             nodes: 0,
             depth: 0,
             max_depth_seen: 0,
@@ -81,17 +80,17 @@ impl Gen {
 
     /// Bernoulli draw.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.rng.gen_bool(p.clamp(0.0, 1.0))
+        self.rng.gen_bool(p)
     }
 
     /// Uniform integer in `[lo, hi]`.
     pub fn int(&mut self, lo: u32, hi: u32) -> u32 {
-        self.rng.gen_range(lo..=hi)
+        self.rng.gen_u32(lo, hi)
     }
 
     /// Pick an element uniformly.
     pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
-        &items[self.rng.gen_range(0..items.len())]
+        &items[self.rng.gen_index(items.len())]
     }
 
     /// A short pseudo-random phrase.
@@ -101,7 +100,7 @@ impl Gen {
             if i > 0 {
                 out.push(' ');
             }
-            out.push_str(WORDS[self.rng.gen_range(0..WORDS.len())]);
+            out.push_str(WORDS[self.rng.gen_index(WORDS.len())]);
         }
         out
     }

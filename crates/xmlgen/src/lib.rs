@@ -19,8 +19,10 @@ pub mod datasets;
 pub mod gen;
 pub mod grammar;
 pub mod querygen;
+pub mod rng;
 
 pub use datasets::{generate, generate_scaled, Dataset};
 pub use gen::Gen;
 pub use grammar::Grammar;
 pub use querygen::{random_query, QueryGenConfig};
+pub use rng::SplitMix;

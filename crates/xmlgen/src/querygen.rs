@@ -6,9 +6,8 @@
 //! style (`//a[//b]/c[//d]//e`). Selectivity is whatever it is — the
 //! point is coverage of the operators, not a calibrated workload.
 
+use crate::rng::SplitMix;
 use blossom_xml::Document;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Configuration for [`random_query`].
 #[derive(Debug, Clone, Copy)]
@@ -30,12 +29,12 @@ impl Default for QueryGenConfig {
 /// Generate a random path query whose tag names all occur in `doc`.
 /// Deterministic in `seed`.
 pub fn random_query(doc: &Document, config: QueryGenConfig, seed: u64) -> String {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix::new(seed);
     let tags: Vec<&str> = doc.symbols().iter().map(|(_, name)| name).collect();
     debug_assert!(!tags.is_empty(), "document has at least a root tag");
-    let pick = |rng: &mut SmallRng| tags[rng.gen_range(0..tags.len())].to_string();
+    let pick = |rng: &mut SplitMix| tags[rng.gen_index(tags.len())].to_string();
 
-    let spine = rng.gen_range(1..=config.max_spine.max(1));
+    let spine = rng.gen_usize(1, config.max_spine.max(1));
     let mut out = String::new();
     for _ in 0..spine {
         if rng.gen_bool(config.descendant_probability) {
@@ -48,7 +47,7 @@ pub fn random_query(doc: &Document, config: QueryGenConfig, seed: u64) -> String
         }
         let tag = pick(&mut rng);
         out.push_str(&tag);
-        let n_preds = rng.gen_range(0..=config.max_predicates);
+        let n_preds = rng.gen_usize(0, config.max_predicates);
         for _ in 0..n_preds {
             out.push('[');
             if rng.gen_bool(0.5) {

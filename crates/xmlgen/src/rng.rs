@@ -1,0 +1,114 @@
+//! A small deterministic PRNG (no external crates).
+//!
+//! The generators only need reproducible, well-mixed draws — not
+//! cryptographic quality — so a SplitMix64 stream is plenty. The seed is
+//! pre-mixed with the same Fx multiply-xor hash the rest of the codebase
+//! uses ([`blossom_xml::fxhash`]), so nearby seeds (0, 1, 2, …) land in
+//! unrelated parts of the stream.
+
+use std::hash::Hasher;
+
+/// SplitMix64: one `u64` of state, advanced by a Weyl increment and
+/// finalized with two xor-shift-multiply rounds (Steele et al.,
+/// "Fast Splittable Pseudorandom Number Generators", OOPSLA 2014).
+#[derive(Debug, Clone)]
+pub struct SplitMix {
+    state: u64,
+}
+
+impl SplitMix {
+    /// Create a generator; the seed is Fx-hashed first so small seeds
+    /// diverge immediately. Deterministic: same seed, same stream.
+    pub fn new(seed: u64) -> SplitMix {
+        let mut h = blossom_xml::fxhash::FxHasher::default();
+        h.write_u64(seed);
+        h.write_u64(0x9e37_79b9_7f4a_7c15);
+        SplitMix { state: h.finish() }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)` (53 mantissa bits).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Uniform index in `[0, n)`. Panics if `n == 0`.
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "gen_index over an empty range");
+        // Multiply-shift rejection-free mapping; the bias is < 2^-64 * n,
+        // irrelevant for synthetic data generation.
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    pub fn gen_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        debug_assert!(lo <= hi);
+        lo + self.gen_index((hi - lo) as usize + 1) as u32
+    }
+
+    /// Uniform `usize` in the inclusive range `[lo, hi]`.
+    pub fn gen_usize(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        lo + self.gen_index(hi - lo + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let mut a = SplitMix::new(7);
+        let mut b = SplitMix::new(7);
+        let mut c = SplitMix::new(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = SplitMix::new(42);
+        for _ in 0..1000 {
+            let v = rng.gen_u32(3, 9);
+            assert!((3..=9).contains(&v));
+            let i = rng.gen_index(5);
+            assert!(i < 5);
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = SplitMix::new(1);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn draws_cover_the_range() {
+        let mut rng = SplitMix::new(9);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_index(10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+}

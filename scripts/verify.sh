@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 verification: offline release build, the full test suite, and a
+# bench smoke run that exercises the parallel scan end to end and leaves
+# a BENCH_parallel.json report at the workspace root.
+#
+# Usage: scripts/verify.sh [--full]
+#   --full   run the benchmark at paper scale (>= 50 MB document)
+#            instead of the quick smoke size.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+NODES=300000
+if [[ "${1:-}" == "--full" ]]; then
+    NODES=7000000
+fi
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests =="
+cargo test -q
+
+echo "== workspace tests =="
+cargo test -q --workspace
+
+echo "== bench smoke (parallel scan, ${NODES} nodes) =="
+cargo run --release -q -p blossom-bench --bin parallel -- \
+    --dataset d1 --nodes "${NODES}" --threads 4 --runs 3 \
+    --out BENCH_parallel.json
+echo "verify: OK"

@@ -8,7 +8,7 @@
 //! blossom gen     <d1|d2|d3|d4|d5> <out.xml> [--nodes N] [--seed S]
 //! ```
 
-use blossomtree::core::{Engine, Strategy};
+use blossomtree::core::{exec, Engine, EngineOptions, Strategy};
 use blossomtree::xml::{succinct, writer, Document};
 use blossomtree::xmlgen::{generate, Dataset};
 use std::process::ExitCode;
@@ -28,13 +28,15 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  blossom query   <doc.xml|doc.blsm> '<query>' [--strategy S] [--pretty]
+  blossom query   <doc.xml|doc.blsm> '<query>' [--strategy S] [--threads N] [--pretty]
   blossom explain <doc.xml|doc.blsm> '<query>'
   blossom stats   <doc.xml|doc.blsm>
   blossom encode  <doc.xml> <out.blsm>
   blossom gen     <d1|d2|d3|d4|d5> <out.xml> [--nodes N] [--seed S]
 
-strategies: auto (default), navigational, twigstack, pathstack, pipelined, bnlj, nlj";
+strategies: auto (default), navigational, twigstack, pathstack, pipelined, bnlj, nlj
+--threads:  worker threads for NoK scans and FLWOR iteration
+            (default: available parallelism; 1 = sequential)";
 
 /// Execute a CLI invocation; returns the text to print.
 fn run(args: &[String]) -> Result<String, String> {
@@ -45,7 +47,11 @@ fn run(args: &[String]) -> Result<String, String> {
             let query = arg(args, 2)?;
             let strategy = parse_strategy(flag_value(args, "--strategy").unwrap_or("auto"))?;
             let pretty = args.iter().any(|a| a == "--pretty");
-            let engine = Engine::new(load_document(file)?);
+            let threads = parse_threads(args)?;
+            let engine = Engine::with_options(
+                load_document(file)?,
+                EngineOptions { threads, ..EngineOptions::default() },
+            );
             let result = engine
                 .eval_query_str(query, strategy)
                 .map_err(|e| e.to_string())?;
@@ -138,6 +144,16 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+fn parse_threads(args: &[String]) -> Result<usize, String> {
+    match flag_value(args, "--threads") {
+        None => Ok(exec::available_parallelism()),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!("bad --threads {v:?} (want an integer >= 1)")),
+        },
+    }
 }
 
 fn parse_strategy(name: &str) -> Result<Strategy, String> {
@@ -251,5 +267,29 @@ mod tests {
         assert!(parse_strategy("auto").is_ok());
         assert!(parse_strategy("ts").is_ok());
         assert!(parse_strategy("warp-drive").is_err());
+    }
+
+    #[test]
+    fn threads_flag() {
+        assert_eq!(parse_threads(&s(&["query", "--threads", "4"])).unwrap(), 4);
+        assert!(parse_threads(&s(&["query"])).unwrap() >= 1);
+        assert!(parse_threads(&s(&["query", "--threads", "0"])).is_err());
+        assert!(parse_threads(&s(&["query", "--threads", "many"])).is_err());
+    }
+
+    #[test]
+    fn query_results_identical_across_thread_counts() {
+        let xml = tmp("par.xml");
+        let mut text = String::from("<bib>");
+        for i in 0..50 {
+            text.push_str(&format!("<book><title>t{i}</title></book>"));
+        }
+        text.push_str("</bib>");
+        std::fs::write(&xml, &text).unwrap();
+        let seq = run(&s(&["query", &xml, "//book/title", "--threads", "1"])).unwrap();
+        for n in ["2", "4", "8"] {
+            let par = run(&s(&["query", &xml, "//book/title", "--threads", n])).unwrap();
+            assert_eq!(par, seq, "--threads {n}");
+        }
     }
 }

