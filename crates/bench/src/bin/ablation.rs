@@ -73,11 +73,11 @@ fn pipelined_memory(scale: f64, seed: u64) {
         let inner = NokMatcher::new(&doc, &d.noks[cut.child_nok], d.shape.clone(), None);
         let total_inner = inner.scan().len();
         let mut left = outer.stream();
-        let mut right = inner.stream();
+        let right = inner.stream();
         let mut join = PipelinedJoin::new(
             &doc,
             std::iter::from_fn(move || left.get_next()),
-            std::iter::from_fn(move || right.get_next()),
+            right,
             &d.noks,
             cut,
         );

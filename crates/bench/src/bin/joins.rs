@@ -1,0 +1,117 @@
+//! Skip-join benchmark: every structural operator measured with
+//! posting-list galloping on (`skip`) and off (`scan`) over the Table 3
+//! workload on a deep-recursive and a wide-flat generated document.
+//! Writes `BENCH_joins.json`.
+//!
+//! Each cell is verified before it is timed: the skip and scan variants
+//! must return identical results, so the report only ever compares equal
+//! work.
+//!
+//! ```text
+//! cargo run --release -p blossom-bench --bin joins -- \
+//!     [--nodes N] [--runs N] [--out FILE]
+//! ```
+
+use blossom_bench::timing::{self, Json};
+use blossom_bench::{queries, Args};
+use blossom_core::join::structural::{stack_tree_join_postings, StructRel};
+use blossom_core::{Engine, EngineOptions, Strategy};
+use blossom_xml::TagIndex;
+use blossom_xmlgen::{generate, Dataset};
+
+/// First and last tag names of a path — the ancestor/descendant pair the
+/// binary structural join is driven with.
+fn tag_pair(path: &str) -> Option<(&str, &str)> {
+    let mut tags = path
+        .split(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .filter(|s| !s.is_empty());
+    let first = tags.next()?;
+    Some((first, tags.last().unwrap_or(first)))
+}
+
+fn main() {
+    let args = Args::parse();
+    let nodes: usize = args.get("nodes").unwrap_or(200_000);
+    let runs: u32 = args.get("runs").unwrap_or(5);
+    let out: String = args.get("out").unwrap_or_else(|| "BENCH_joins.json".to_string());
+
+    let mut samples = Vec::new();
+    // Deep-recursive vs wide-flat: the two shapes where skipping behaves
+    // most differently (long joinless prefixes vs already-dense streams).
+    for ds in [Dataset::D1Recursive, Dataset::D2Address] {
+        let doc = generate(ds, nodes, 42);
+        let index = TagIndex::build(&doc);
+        let engines = [
+            ("skip", Engine::with_options(generate(ds, nodes, 42), EngineOptions::default())),
+            (
+                "scan",
+                Engine::with_options(
+                    generate(ds, nodes, 42),
+                    EngineOptions { skip_joins: false, ..EngineOptions::default() },
+                ),
+            ),
+        ];
+        for q in queries(ds) {
+            // Engine-level operators: the same query through both engines.
+            for (op, strategy) in [
+                ("twigstack", Strategy::TwigStack),
+                ("pathstack", Strategy::PathStack),
+                ("pipelined", Strategy::Pipelined),
+                ("bnlj", Strategy::BoundedNestedLoop),
+            ] {
+                let results: Vec<_> = engines
+                    .iter()
+                    .map(|(_, e)| e.eval_path_str(q.path, strategy))
+                    .collect();
+                let (Ok(with), Ok(without)) = (&results[0], &results[1]) else {
+                    continue; // strategy not applicable to this query
+                };
+                assert_eq!(with, without, "{op} {} {}", ds.name(), q.id);
+                let (s_skip, s_scan) = timing::time_pair(
+                    &format!("{}-{}-{op}-skip", ds.name(), q.id),
+                    &format!("{}-{}-{op}-scan", ds.name(), q.id),
+                    1,
+                    runs,
+                    || engines[0].1.eval_path_str(q.path, strategy).unwrap().len(),
+                    || engines[1].1.eval_path_str(q.path, strategy).unwrap().len(),
+                );
+                samples.push(s_skip);
+                samples.push(s_scan);
+            }
+            // The binary structural join, driven with the query's
+            // outermost/innermost tag pair.
+            let Some((a_name, b_name)) = tag_pair(q.path) else { continue };
+            let (Some(a), Some(b)) = (doc.sym(a_name), doc.sym(b_name)) else {
+                continue;
+            };
+            let (pa, pb) = (index.postings(a), index.postings(b));
+            let rel = StructRel::AncestorDescendant;
+            assert_eq!(
+                stack_tree_join_postings(&doc, pa, pb, rel, true),
+                stack_tree_join_postings(&doc, pa, pb, rel, false),
+                "structural {} {}",
+                ds.name(),
+                q.id
+            );
+            let (s_skip, s_scan) = timing::time_pair(
+                &format!("{}-{}-structural-skip", ds.name(), q.id),
+                &format!("{}-{}-structural-scan", ds.name(), q.id),
+                1,
+                runs,
+                || stack_tree_join_postings(&doc, pa, pb, rel, true).len(),
+                || stack_tree_join_postings(&doc, pa, pb, rel, false).len(),
+            );
+            samples.push(s_skip);
+            samples.push(s_scan);
+        }
+    }
+
+    let report = Json::obj([
+        ("bench", Json::str("joins")),
+        ("nodes", Json::Num(nodes as f64)),
+        ("runs", Json::Num(f64::from(runs))),
+        ("samples", Json::arr(samples.iter().map(timing::Sample::json))),
+    ]);
+    timing::write_report(&out, &report).expect("write report");
+    println!("wrote {out}");
+}

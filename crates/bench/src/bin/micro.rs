@@ -33,6 +33,31 @@ fn main() {
     samples.push(timing::time("serialize", 1, runs, || {
         writer::to_string(engine.doc()).len()
     }));
+    // Same serialization through one reused buffer (no per-run growth
+    // from zero capacity after the first iteration).
+    let mut buf = String::new();
+    samples.push(timing::time("serialize-reuse", 1, runs, || {
+        buf.clear();
+        writer::write_node(engine.doc(), blossom_xml::NodeId::DOCUMENT, &mut buf);
+        buf.len()
+    }));
+    // String values of every element: fresh String per node vs one
+    // reused buffer (`string_value` vs `string_value_into`).
+    samples.push(timing::time("string-values", 1, runs, || {
+        let doc = engine.doc();
+        doc.elements().map(|n| doc.string_value(n).len()).sum::<usize>()
+    }));
+    let mut sv = String::new();
+    samples.push(timing::time("string-values-reuse", 1, runs, || {
+        let doc = engine.doc();
+        let mut total = 0usize;
+        for n in doc.elements() {
+            sv.clear();
+            doc.string_value_into(n, &mut sv);
+            total += sv.len();
+        }
+        total
+    }));
 
     // The Table 3 queries of the dataset under each applicable strategy.
     for q in queries(dataset) {

@@ -14,6 +14,8 @@
 //!   large generated document; writes `BENCH_parallel.json`.
 //! * `micro` — parse/serialize/join/FLWOR micro-timings (the former
 //!   criterion suite on the in-tree harness); writes `BENCH_micro.json`.
+//! * `joins` — every structural operator with posting-list skipping on
+//!   vs off on the Table 3 workloads; writes `BENCH_joins.json`.
 //!
 //! Everything is dependency-free: timing uses the repeat-and-min harness
 //! in [`timing`], and reports serialize through its minimal JSON writer.

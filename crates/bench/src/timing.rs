@@ -52,6 +52,44 @@ pub fn time<R>(name: &str, warmup: u32, runs: u32, mut f: impl FnMut() -> R) -> 
     Sample { name: name.to_string(), runs, min, mean: total / runs }
 }
 
+/// Time two closures in interleaved rounds (`a, b, a, b, …`) so slow
+/// drift — frequency scaling, cache pressure from neighbours — biases
+/// neither side. Use for paired comparisons (e.g. a feature on vs off)
+/// where timing the two variants in separate blocks lets the block
+/// order masquerade as a speedup.
+pub fn time_pair<R>(
+    name_a: &str,
+    name_b: &str,
+    warmup: u32,
+    runs: u32,
+    mut a: impl FnMut() -> R,
+    mut b: impl FnMut() -> R,
+) -> (Sample, Sample) {
+    for _ in 0..warmup {
+        std::hint::black_box(a());
+        std::hint::black_box(b());
+    }
+    let runs = runs.max(1);
+    let mut acc = [(Duration::MAX, Duration::ZERO); 2];
+    for _ in 0..runs {
+        let fs: [&mut dyn FnMut() -> R; 2] = [&mut a, &mut b];
+        for (i, f) in fs.into_iter().enumerate() {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            let elapsed = start.elapsed();
+            acc[i].0 = acc[i].0.min(elapsed);
+            acc[i].1 += elapsed;
+        }
+    }
+    let sample = |name: &str, (min, total): (Duration, Duration)| Sample {
+        name: name.to_string(),
+        runs,
+        min,
+        mean: total / runs,
+    };
+    (sample(name_a, acc[0]), sample(name_b, acc[1]))
+}
+
 /// Minimal JSON value — just enough to emit bench reports without an
 /// external serializer.
 #[derive(Debug, Clone, PartialEq)]

@@ -106,11 +106,16 @@ pub struct EngineOptions {
     /// Upper bound on cached query plans; the least-recently-used plan
     /// is evicted when a new query would exceed it.
     pub plan_cache_capacity: usize,
+    /// Let the structural operators gallop past provably joinless input
+    /// (posting-list `skip_to` and NoK stream `skip_past`). `false` forces
+    /// the one-element-at-a-time scans; results are identical either way.
+    /// On by default — this knob exists for benchmarking the skips.
+    pub skip_joins: bool,
 }
 
 impl Default for EngineOptions {
     fn default() -> Self {
-        EngineOptions { threads: 1, plan_cache_capacity: 256 }
+        EngineOptions { threads: 1, plan_cache_capacity: 256, skip_joins: true }
     }
 }
 
@@ -203,6 +208,8 @@ pub struct Engine {
     exec: Executor,
     /// Bounded plan cache for [`Engine::eval_path_str`].
     plans: std::sync::Mutex<PlanCache>,
+    /// [`EngineOptions::skip_joins`], threaded to every operator.
+    skip_joins: bool,
 }
 
 impl Engine {
@@ -222,6 +229,7 @@ impl Engine {
             stats,
             exec: Executor::new(options.threads),
             plans: std::sync::Mutex::new(PlanCache::new(options.plan_cache_capacity)),
+            skip_joins: options.skip_joins,
         }
     }
 
@@ -515,7 +523,14 @@ reason: {}
         }
         let root = roots[0];
         let root_axis = bt.pattern.node(root).axis;
-        let mut m = PathStackMatcher::new(&self.doc, &self.index, &bt.pattern, root, root_axis)?;
+        let mut m = PathStackMatcher::with_skip(
+            &self.doc,
+            &self.index,
+            &bt.pattern,
+            root,
+            root_axis,
+            self.skip_joins,
+        )?;
         m.run();
         Ok(m.solution_nodes(output))
     }
@@ -531,7 +546,14 @@ reason: {}
         }
         let root = roots[0];
         let root_axis = bt.pattern.node(root).axis;
-        let mut tm = TwigMatcher::new(&self.doc, &self.index, &bt.pattern, root, root_axis)?;
+        let mut tm = TwigMatcher::with_skip(
+            &self.doc,
+            &self.index,
+            &bt.pattern,
+            root,
+            root_axis,
+            self.skip_joins,
+        )?;
         tm.run();
         Ok(tm.solution_nodes(output))
     }
@@ -737,7 +759,15 @@ reason: {}
         let matchers: Vec<NokMatcher<'_>> = d
             .noks
             .iter()
-            .map(|nok| NokMatcher::new(&self.doc, nok, d.shape.clone(), Some(&self.index)))
+            .map(|nok| {
+                NokMatcher::with_skip(
+                    &self.doc,
+                    nok,
+                    d.shape.clone(),
+                    Some(&self.index),
+                    self.skip_joins,
+                )
+            })
             .collect();
 
         // Component id per NoK (roots start components; cut edges attach).
@@ -902,13 +932,14 @@ reason: {}
                     )
                 };
                 for cut in cuts {
-                    let mut right = matchers[cut.child_nok].stream();
-                    current = Box::new(PipelinedJoin::new(
+                    let right = matchers[cut.child_nok].stream();
+                    current = Box::new(PipelinedJoin::with_skip(
                         &self.doc,
                         current,
-                        std::iter::from_fn(move || right.get_next()),
+                        right,
                         &d.noks,
                         cut,
+                        self.skip_joins,
                     ));
                 }
                 Ok(current.map(|(_, nl)| nl).collect())

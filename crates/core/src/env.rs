@@ -140,18 +140,35 @@ pub fn enumerate_tuples(
 
 /// Sort tuples by the string values of the `order by` keys, in priority
 /// order, honouring each key's direction.
+///
+/// Keys are decorated once per tuple — serialized through one reused
+/// buffer — rather than re-serialized (twice!) inside every comparison
+/// of the sort.
 pub fn order_tuples(
     doc: &Document,
     tuples: &mut [Tuple],
     keys: &[(ShapeId, blossom_flwor::SortOrder)],
 ) {
     use std::cmp::Ordering;
-    let key_of = |t: &Tuple, shape: ShapeId| -> String {
-        t.get(shape).first().map(|&n| doc.string_value(n)).unwrap_or_default()
-    };
-    tuples.sort_by(|a, b| {
-        for &(shape, direction) in keys {
-            let ord = key_of(a, shape).cmp(&key_of(b, shape));
+    if keys.is_empty() || tuples.len() <= 1 {
+        return;
+    }
+    let mut scratch = String::new();
+    let mut decorated: Vec<(Vec<Box<str>>, usize)> = Vec::with_capacity(tuples.len());
+    for (i, t) in tuples.iter().enumerate() {
+        let mut ks = Vec::with_capacity(keys.len());
+        for &(shape, _) in keys {
+            scratch.clear();
+            if let Some(&n) = t.get(shape).first() {
+                doc.string_value_into(n, &mut scratch);
+            }
+            ks.push(Box::<str>::from(scratch.as_str()));
+        }
+        decorated.push((ks, i));
+    }
+    decorated.sort_by(|a, b| {
+        for (k, &(_, direction)) in keys.iter().enumerate() {
+            let ord = a.0[k].cmp(&b.0[k]);
             let ord = if direction == blossom_flwor::SortOrder::Descending {
                 ord.reverse()
             } else {
@@ -163,6 +180,20 @@ pub fn order_tuples(
         }
         Ordering::Equal
     });
+    // Apply the permutation in place by following its cycles. The swap
+    // loop realises `dest[q[i]] = src[i]`, so feed it the inverse:
+    // `inv[original index] = sorted position`.
+    let mut inv = vec![0usize; tuples.len()];
+    for (pos, &(_, orig)) in decorated.iter().enumerate() {
+        inv[orig] = pos;
+    }
+    for i in 0..inv.len() {
+        while inv[i] != i {
+            let j = inv[i];
+            tuples.swap(i, j);
+            inv.swap(i, j);
+        }
+    }
 }
 
 /// Copy a source subtree into the result builder.

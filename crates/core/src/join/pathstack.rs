@@ -11,6 +11,7 @@
 
 use crate::value::node_satisfies;
 use blossom_xml::fxhash::FxHashSet;
+use blossom_xml::index::PostingList;
 use blossom_xml::{Axis, Document, NodeId, TagIndex};
 use blossom_xpath::ast::NodeTest;
 use blossom_xpath::pattern::{PatternNodeId, PatternTree};
@@ -23,7 +24,8 @@ struct Slot {
     orig: PatternNodeId,
     /// Axis from the previous chain node.
     axis: Axis,
-    stream: Vec<NodeId>,
+    /// Document-ordered candidate stream with inline region labels.
+    stream: PostingList,
     cursor: usize,
 }
 
@@ -41,18 +43,34 @@ pub struct PathStackMatcher<'d> {
     slots: Vec<Slot>,
     stacks: Vec<Vec<Entry>>,
     participants: Vec<FxHashSet<NodeId>>,
+    /// Gallop past unpushable stream prefixes instead of discarding one
+    /// element at a time.
+    skip: bool,
 }
 
 impl<'d> PathStackMatcher<'d> {
-    /// Build for the chain rooted at `component_root`. Fails with
-    /// [`TwigError`] on non-chain patterns or constructs without tag
-    /// streams.
+    /// Build with stream skipping enabled (see [`Self::with_skip`]).
     pub fn new(
         doc: &'d Document,
         index: &TagIndex,
         pattern: &PatternTree,
         component_root: PatternNodeId,
         root_axis: Axis,
+    ) -> Result<Self, TwigError> {
+        Self::with_skip(doc, index, pattern, component_root, root_axis, true)
+    }
+
+    /// Build for the chain rooted at `component_root`. Fails with
+    /// [`TwigError`] on non-chain patterns or constructs without tag
+    /// streams. `skip` selects galloped vs one-at-a-time discarding;
+    /// results are identical either way.
+    pub fn with_skip(
+        doc: &'d Document,
+        index: &TagIndex,
+        pattern: &PatternTree,
+        component_root: PatternNodeId,
+        root_axis: Axis,
+        skip: bool,
     ) -> Result<Self, TwigError> {
         let mut slots = Vec::new();
         let mut current = Some((component_root, root_axis));
@@ -79,7 +97,12 @@ impl<'d> PathStackMatcher<'d> {
                     None => true,
                 })
                 .collect();
-            slots.push(Slot { orig: node, axis, stream, cursor: 0 });
+            slots.push(Slot {
+                orig: node,
+                axis,
+                stream: PostingList::from_nodes(doc, stream),
+                cursor: 0,
+            });
             // Chains only: exactly zero or one child.
             current = match pn.children.as_slice() {
                 [] => None,
@@ -88,7 +111,12 @@ impl<'d> PathStackMatcher<'d> {
             };
         }
         if root_axis == Axis::Child {
-            slots[0].stream.retain(|&n| doc.level(n) == 1);
+            let root_stream = &slots[0].stream;
+            let depth1: Vec<NodeId> = (0..root_stream.len())
+                .filter(|&i| root_stream.level(i) == 1)
+                .map(|i| root_stream.start(i))
+                .collect();
+            slots[0].stream = PostingList::from_nodes(doc, depth1);
         }
         let n = slots.len();
         Ok(PathStackMatcher {
@@ -96,11 +124,13 @@ impl<'d> PathStackMatcher<'d> {
             slots,
             stacks: (0..n).map(|_| Vec::new()).collect(),
             participants: (0..n).map(|_| FxHashSet::default()).collect(),
+            skip,
         })
     }
 
     fn next_l(&self, q: usize) -> u32 {
-        self.slots[q].stream.get(self.slots[q].cursor).map(|n| n.0).unwrap_or(INF)
+        let s = &self.slots[q];
+        if s.cursor < s.stream.len() { s.stream.start(s.cursor).0 } else { INF }
     }
 
     fn clean_stack(&mut self, q: usize, l: u32) {
@@ -133,12 +163,14 @@ impl<'d> PathStackMatcher<'d> {
             // Push if the previous slot's stack can host this element.
             let can_push = q_min == 0 || !self.stacks[q_min - 1].is_empty();
             if can_push {
-                let node = self.slots[q_min].stream[self.slots[q_min].cursor];
+                let cursor = self.slots[q_min].cursor;
+                let node = self.slots[q_min].stream.start(cursor);
+                let end = self.slots[q_min].stream.end(cursor);
                 let parent_top =
                     if q_min == 0 { usize::MAX } else { self.stacks[q_min - 1].len() - 1 };
                 self.stacks[q_min].push(Entry {
                     node,
-                    end: self.doc.last_descendant(node).0,
+                    end,
                     parent_top,
                     marked: false,
                 });
@@ -147,8 +179,23 @@ impl<'d> PathStackMatcher<'d> {
                     self.mark(q_min, top);
                     self.stacks[q_min].pop();
                 }
+                self.slots[q_min].cursor += 1;
+            } else if self.skip {
+                // Slot q_min's elements can only be pushed once slot
+                // q_min-1's stack is non-empty, which requires processing
+                // its next head first. Everything in this stream strictly
+                // before that head is unpushable — gallop past the whole
+                // prefix instead of discarding one element per iteration.
+                let target = self.next_l(q_min - 1);
+                let s = &mut self.slots[q_min];
+                s.cursor = if target == INF {
+                    s.stream.len()
+                } else {
+                    s.stream.skip_to(s.cursor + 1, target)
+                };
+            } else {
+                self.slots[q_min].cursor += 1;
             }
-            self.slots[q_min].cursor += 1;
         }
     }
 

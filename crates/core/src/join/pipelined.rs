@@ -29,11 +29,46 @@ use std::collections::VecDeque;
 /// outermost NoK plus the (possibly already joined) NestedList.
 pub type StreamItem = (NodeId, NestedList);
 
+/// A `GetNext` stream the pipelined join can ask to *skip*: advance past
+/// every item with anchor `<= bound` without producing them. Implemented
+/// with a real gallop by [`crate::nok::NokStream`]; arbitrary iterators
+/// participate via [`IterStream`] with skipping as a no-op (they still
+/// get filtered by the join's discard rule, just one item at a time).
+pub trait SkipStream {
+    /// Produce the next item, or `None` when exhausted.
+    fn next_item(&mut self) -> Option<StreamItem>;
+
+    /// Skip every item with anchor `<= bound`. The default does nothing;
+    /// the join remains correct because its discard rule re-checks every
+    /// pulled item.
+    fn skip_past(&mut self, _bound: NodeId) {}
+}
+
+impl SkipStream for crate::nok::NokStream<'_> {
+    fn next_item(&mut self) -> Option<StreamItem> {
+        self.get_next()
+    }
+
+    fn skip_past(&mut self, bound: NodeId) {
+        crate::nok::NokStream::skip_past(self, bound);
+    }
+}
+
+/// Adapter giving any `StreamItem` iterator the [`SkipStream`] interface
+/// (with no-op skipping) — e.g. the output of an upstream pipelined join.
+pub struct IterStream<I>(pub I);
+
+impl<I: Iterator<Item = StreamItem>> SkipStream for IterStream<I> {
+    fn next_item(&mut self) -> Option<StreamItem> {
+        self.0.next()
+    }
+}
+
 /// The pipelined //-join iterator.
 pub struct PipelinedJoin<'d, L, R>
 where
     L: Iterator<Item = StreamItem>,
-    R: Iterator<Item = StreamItem>,
+    R: SkipStream,
 {
     doc: &'d Document,
     left: L,
@@ -50,21 +85,37 @@ where
     /// One-item lookahead on the right stream.
     right_peek: Option<StreamItem>,
     exhausted_right: bool,
+    /// Let the right stream gallop past discarded prefixes instead of
+    /// pulling and rejecting one item at a time.
+    skip: bool,
 }
 
 impl<'d, L, R> PipelinedJoin<'d, L, R>
 where
     L: Iterator<Item = StreamItem>,
-    R: Iterator<Item = StreamItem>,
+    R: SkipStream,
 {
-    /// Build the join for one cut edge. `noks` resolves the edge's shape
-    /// positions.
+    /// Build the join for one cut edge with stream skipping enabled.
+    /// `noks` resolves the edge's shape positions.
     pub fn new(
         doc: &'d Document,
         left: L,
         right: R,
         noks: &[NokTree],
         cut: &CutEdge,
+    ) -> Self {
+        Self::with_skip(doc, left, right, noks, cut, true)
+    }
+
+    /// [`PipelinedJoin::new`] with explicit control over right-stream
+    /// skipping. Results are identical either way.
+    pub fn with_skip(
+        doc: &'d Document,
+        left: L,
+        right: R,
+        noks: &[NokTree],
+        cut: &CutEdge,
+        skip: bool,
     ) -> Self {
         let (parent_shape, child_shape) = super::nested_loop::cut_shapes(noks, cut);
         debug_assert_eq!(cut.axis, blossom_xml::Axis::Descendant);
@@ -79,6 +130,7 @@ where
             peak_buffer: 0,
             right_peek: None,
             exhausted_right: false,
+            skip,
         }
     }
 
@@ -95,7 +147,7 @@ where
         if self.exhausted_right {
             return None;
         }
-        match self.right.next() {
+        match self.right.next_item() {
             Some(item) => Some(item),
             None => {
                 self.exhausted_right = true;
@@ -115,6 +167,12 @@ where
             } else {
                 break;
             }
+        }
+        // Everything the loop below would discard (anchor <= outer) can be
+        // skipped wholesale at the stream level — a NokStream gallops its
+        // candidate list without running a single pattern match.
+        if self.skip && self.right_peek.is_none() && !self.exhausted_right {
+            self.right.skip_past(outer);
         }
         while let Some((anchor, nl)) = self.pull_right() {
             if anchor.0 <= outer.0 {
@@ -162,7 +220,7 @@ where
 impl<L, R> Iterator for PipelinedJoin<'_, L, R>
 where
     L: Iterator<Item = StreamItem>,
-    R: Iterator<Item = StreamItem>,
+    R: SkipStream,
 {
     type Item = StreamItem;
 
@@ -192,11 +250,11 @@ mod tests {
         let outer = NokMatcher::new(doc, &d.noks[cut.parent_nok], d.shape.clone(), None);
         let inner = NokMatcher::new(doc, &d.noks[cut.child_nok], d.shape.clone(), None);
         let mut left = outer.stream();
-        let mut right = inner.stream();
+        let right = inner.stream();
         let join = PipelinedJoin::new(
             doc,
             std::iter::from_fn(move || left.get_next()),
-            std::iter::from_fn(move || right.get_next()),
+            right,
             &d.noks,
             cut,
         );
@@ -229,11 +287,11 @@ mod tests {
         let outer = NokMatcher::new(&doc, &d.noks[cut.parent_nok], d.shape.clone(), None);
         let inner = NokMatcher::new(&doc, &d.noks[cut.child_nok], d.shape.clone(), None);
         let mut left = outer.stream();
-        let mut right = inner.stream();
+        let right = inner.stream();
         let join = PipelinedJoin::new(
             &doc,
             std::iter::from_fn(move || left.get_next()),
-            std::iter::from_fn(move || right.get_next()),
+            right,
             &d.noks,
             cut,
         );
@@ -274,11 +332,11 @@ mod memory_tests {
         let outer = NokMatcher::new(doc, &d.noks[cut.parent_nok], d.shape.clone(), None);
         let inner = NokMatcher::new(doc, &d.noks[cut.child_nok], d.shape.clone(), None);
         let mut left = outer.stream();
-        let mut right = inner.stream();
+        let right = inner.stream();
         let mut join = PipelinedJoin::new(
             doc,
             std::iter::from_fn(move || left.get_next()),
-            std::iter::from_fn(move || right.get_next()),
+            right,
             &d.noks,
             cut,
         );

@@ -4,6 +4,7 @@
 //! parent-child) relationship in one merge pass, using a stack of nested
 //! ancestors. Output pairs are sorted by the descendant's document order.
 
+use blossom_xml::index::PostingList;
 use blossom_xml::{Document, NodeId};
 
 /// The structural relationship to join on.
@@ -55,6 +56,100 @@ pub fn stack_tree_join(
             }
         }
         for &a in stack.iter() {
+            debug_assert!(doc.is_ancestor(a, d));
+            match rel {
+                StructRel::AncestorDescendant => out.push((a, d)),
+                StructRel::ParentChild => {
+                    if doc.is_parent(a, d) {
+                        out.push((a, d));
+                    }
+                }
+            }
+        }
+        di += 1;
+    }
+    out
+}
+
+/// Stack-tree-desc over skip-enabled posting lists. Region `end`s come
+/// from the inline label columns (no arena access in the merge), and with
+/// `skip` on, both inputs gallop past their provably joinless prefixes —
+/// but only when the merge actually stalls, so the dense case pays
+/// nothing: an ancestor that closes before the current descendant while
+/// the stack is empty starts a dead prefix (skipped via the block
+/// max-end summary), and a descendant left without a stack entry
+/// precedes every remaining ancestor region (skipped via a start
+/// gallop). Output is identical to [`stack_tree_join`] pair for pair, in
+/// the same order.
+pub fn stack_tree_join_postings(
+    doc: &Document,
+    ancestors: &PostingList,
+    descendants: &PostingList,
+    rel: StructRel,
+    skip: bool,
+) -> Vec<(NodeId, NodeId)> {
+    let mut out = Vec::new();
+    // (node, region end) — ends ride along so pops never touch the arena.
+    let mut stack: Vec<(NodeId, u32)> = Vec::new();
+    let mut ai = 0usize;
+    let mut di = 0usize;
+    while di < descendants.len() {
+        let d = descendants.start(di);
+        // Push ancestors that start before d.
+        while ai < ancestors.len() && ancestors.start(ai).0 < d.0 {
+            let a = ancestors.start(ai);
+            let a_end = ancestors.end(ai);
+            if skip && a_end < d.0 && stack.is_empty() {
+                // Dead prefix: with nothing on the stack, ancestors whose
+                // subtree closes before d contain neither d nor anything
+                // after it. Leap to the first that is still open at d.
+                ai = ancestors.skip_to_end(ai + 1, d.0);
+                continue;
+            }
+            // Pop ancestors whose region ended before a starts.
+            while let Some(&(_, top_end)) = stack.last() {
+                if top_end < a.0 {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            stack.push((a, a_end));
+            ai += 1;
+        }
+        // Pop ancestors whose region ended before d.
+        while let Some(&(_, top_end)) = stack.last() {
+            if top_end < d.0 {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        if stack.is_empty() {
+            if skip {
+                // d has no containing ancestor, and every ancestor that
+                // starts before it has been consumed — descendants up to
+                // the next ancestor's start are equally joinless. Only
+                // gallop when the next descendant hasn't already cleared
+                // that bound (the common self-join case advances by one).
+                if ai >= ancestors.len() {
+                    break;
+                }
+                let bound = ancestors.start(ai).0;
+                di += 1;
+                // Strict `<`: a descendant starting exactly at `bound` is
+                // the next ancestor element itself (self-join streams) and
+                // the regular loop discards it in one compare — galloping
+                // there would pay probe cost to move a single step.
+                if di < descendants.len() && descendants.start(di).0 < bound {
+                    di = descendants.skip_to(di, bound);
+                }
+            } else {
+                di += 1;
+            }
+            continue;
+        }
+        for &(a, _) in stack.iter() {
             debug_assert!(doc.is_ancestor(a, d));
             match rel {
                 StructRel::AncestorDescendant => out.push((a, d)),
@@ -140,6 +235,28 @@ mod tests {
         assert!(got.windows(2).all(|w| w[0].1 <= w[1].1));
         let expected = brute(&doc, ancs, descs, StructRel::AncestorDescendant);
         assert_eq!(got.len(), expected.len());
+    }
+
+    #[test]
+    fn postings_variant_matches_baseline() {
+        let (doc, idx) = setup(
+            "<r><x/><x/><a><a><b/><x/><b/></a><b/></a><x/><a><b/></a><b/><x/></r>",
+        );
+        let a = doc.sym("a").unwrap();
+        let b = doc.sym("b").unwrap();
+        for rel in [StructRel::AncestorDescendant, StructRel::ParentChild] {
+            let base = stack_tree_join(&doc, idx.stream(a), idx.stream(b), rel);
+            for skip in [false, true] {
+                let got = stack_tree_join_postings(
+                    &doc,
+                    idx.postings(a),
+                    idx.postings(b),
+                    rel,
+                    skip,
+                );
+                assert_eq!(got, base, "rel {rel:?} skip {skip}");
+            }
+        }
     }
 
     #[test]

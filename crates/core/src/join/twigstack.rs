@@ -15,6 +15,7 @@
 
 use crate::value::node_satisfies;
 use blossom_xml::fxhash::FxHashSet;
+use blossom_xml::index::PostingList;
 use blossom_xml::{Axis, Document, NodeId, TagIndex};
 use blossom_xpath::ast::NodeTest;
 use blossom_xpath::pattern::{PatternNodeId, PatternTree};
@@ -56,8 +57,8 @@ struct Slot {
     children: Vec<usize>,
     /// Axis from the parent slot (Child or Descendant).
     axis: Axis,
-    /// Document-ordered candidate stream.
-    stream: Vec<NodeId>,
+    /// Document-ordered candidate stream with inline region labels.
+    stream: PostingList,
     cursor: usize,
 }
 
@@ -76,19 +77,36 @@ pub struct TwigMatcher<'d> {
     stacks: Vec<Vec<StackEntry>>,
     /// Per slot: nodes that appeared in some path solution.
     participants: Vec<FxHashSet<NodeId>>,
+    /// Gallop over stream segments instead of advancing one element at a
+    /// time (the XB-tree skip).
+    skip: bool,
 }
 
 impl<'d> TwigMatcher<'d> {
-    /// Build the matcher for the component of `pattern` rooted at
-    /// `component_root` (a child of the virtual root). `root_axis` is the
-    /// axis from the document root (`/` restricts the root stream to
-    /// depth-1 elements).
+    /// Build the matcher with stream skipping enabled (see
+    /// [`Self::with_skip`]).
     pub fn new(
         doc: &'d Document,
         index: &TagIndex,
         pattern: &PatternTree,
         component_root: PatternNodeId,
         root_axis: Axis,
+    ) -> Result<Self, TwigError> {
+        Self::with_skip(doc, index, pattern, component_root, root_axis, true)
+    }
+
+    /// Build the matcher for the component of `pattern` rooted at
+    /// `component_root` (a child of the virtual root). `root_axis` is the
+    /// axis from the document root (`/` restricts the root stream to
+    /// depth-1 elements). `skip` selects galloped vs one-at-a-time stream
+    /// advancement; results are identical either way.
+    pub fn with_skip(
+        doc: &'d Document,
+        index: &TagIndex,
+        pattern: &PatternTree,
+        component_root: PatternNodeId,
+        root_axis: Axis,
+        skip: bool,
     ) -> Result<Self, TwigError> {
         let mut slots: Vec<Slot> = Vec::new();
         // DFS flatten, skipping attribute children (they prefilter their
@@ -148,7 +166,7 @@ impl<'d> TwigMatcher<'d> {
                 parent,
                 children: Vec::new(),
                 axis,
-                stream,
+                stream: PostingList::from_nodes(doc, stream),
                 cursor: 0,
             });
             for &c in &pn.children {
@@ -162,9 +180,15 @@ impl<'d> TwigMatcher<'d> {
             Ok(idx)
         }
         flatten(doc, index, pattern, component_root, None, Axis::Descendant, &mut slots)?;
-        // Entry-axis restriction for absolute '/' roots.
+        // Entry-axis restriction for absolute '/' roots: filter on the
+        // inline level labels, no arena access needed.
         if root_axis == Axis::Child {
-            slots[0].stream.retain(|&n| doc.level(n) == 1);
+            let root_stream = &slots[0].stream;
+            let depth1: Vec<NodeId> = (0..root_stream.len())
+                .filter(|&i| root_stream.level(i) == 1)
+                .map(|i| root_stream.start(i))
+                .collect();
+            slots[0].stream = PostingList::from_nodes(doc, depth1);
         }
         let n = slots.len();
         Ok(TwigMatcher {
@@ -172,19 +196,18 @@ impl<'d> TwigMatcher<'d> {
             slots,
             stacks: (0..n).map(|_| Vec::new()).collect(),
             participants: (0..n).map(|_| FxHashSet::default()).collect(),
+            skip,
         })
     }
 
     fn next_l(&self, q: usize) -> u32 {
-        self.slots[q].stream.get(self.slots[q].cursor).map(|n| n.0).unwrap_or(INF)
+        let s = &self.slots[q];
+        if s.cursor < s.stream.len() { s.stream.start(s.cursor).0 } else { INF }
     }
 
     fn next_r(&self, q: usize) -> u32 {
-        self.slots[q]
-            .stream
-            .get(self.slots[q].cursor)
-            .map(|&n| self.doc.last_descendant(n).0)
-            .unwrap_or(INF)
+        let s = &self.slots[q];
+        if s.cursor < s.stream.len() { s.stream.end(s.cursor) } else { INF }
     }
 
     fn advance(&mut self, q: usize) {
@@ -219,9 +242,16 @@ impl<'d> TwigMatcher<'d> {
             n_max_l = n_max_l.max(self.next_l(qi));
         }
         // Skip q-elements that end before the farthest child head begins
-        // (they cannot contain all the children's heads).
-        while self.next_r(q) < n_max_l {
-            self.advance(q);
+        // (they cannot contain all the children's heads). With skipping
+        // on, this leaps over whole stream segments via the block max-end
+        // summary instead of testing every element.
+        if self.skip {
+            let s = &mut self.slots[q];
+            s.cursor = s.stream.skip_to_end(s.cursor, n_max_l);
+        } else {
+            while self.next_r(q) < n_max_l {
+                self.advance(q);
+            }
         }
         if self.next_l(q) < self.next_l(n_min) {
             q
@@ -281,14 +311,16 @@ impl<'d> TwigMatcher<'d> {
             };
             if parent_ok {
                 self.clean_stack(q, l);
-                let node = self.slots[q].stream[self.slots[q].cursor];
+                let cursor = self.slots[q].cursor;
+                let node = self.slots[q].stream.start(cursor);
+                let end = self.slots[q].stream.end(cursor);
                 let parent_top = match self.slots[q].parent {
                     None => usize::MAX,
                     Some(p) => self.stacks[p].len() - 1,
                 };
                 self.stacks[q].push(StackEntry {
                     node,
-                    end: self.doc.last_descendant(node).0,
+                    end,
                     parent_top,
                     marked: false,
                 });

@@ -21,16 +21,22 @@ use std::sync::Arc;
 /// disjoint anchor-id ranges (see `NokMatcher::par_scan`), so document
 /// order is restored by plain concatenation; the debug assertion
 /// certifies the partitioning invariant at every seam.
+#[inline]
 pub fn concat_partitions(
     partitions: Vec<Vec<(NodeId, NestedList)>>,
 ) -> Vec<(NodeId, NestedList)> {
+    // Debug-only seam check, allocation-free: within a partition anchors
+    // ascend by construction of the scan, so it suffices that each seam
+    // (last anchor of one partition, first of the next) also ascends.
     debug_assert!(
         partitions
             .iter()
-            .flat_map(|p| p.iter().map(|&(anchor, _)| anchor))
-            .collect::<Vec<_>>()
-            .windows(2)
-            .all(|w| w[0] < w[1]),
+            .all(|p| p.windows(2).all(|w| w[0].0 < w[1].0))
+            && partitions
+                .iter()
+                .filter(|p| !p.is_empty())
+                .zip(partitions.iter().filter(|p| !p.is_empty()).skip(1))
+                .all(|(a, b)| a.last().unwrap().0 < b.first().unwrap().0),
         "partitions must be disjoint and ascending"
     );
     let total = partitions.iter().map(Vec::len).sum();

@@ -48,6 +48,9 @@ pub struct NokMatcher<'a> {
     index: Option<&'a TagIndex>,
     /// Per pattern-node resolved kind tests, indexed by local node id.
     resolved: Vec<ResolvedTest>,
+    /// Gallop range probes over the tag index instead of scanning the
+    /// anchor stream one element at a time.
+    skip: bool,
 }
 
 /// A raw match of the NoK pattern (all pattern nodes, returning or not).
@@ -66,6 +69,18 @@ impl<'a> NokMatcher<'a> {
         shape: Arc<Shape>,
         index: Option<&'a TagIndex>,
     ) -> Self {
+        Self::with_skip(doc, nok, shape, index, true)
+    }
+
+    /// [`NokMatcher::new`] with explicit control over galloped vs linear
+    /// anchor-range probes. Results are identical either way.
+    pub fn with_skip(
+        doc: &'a Document,
+        nok: &'a NokTree,
+        shape: Arc<Shape>,
+        index: Option<&'a TagIndex>,
+        skip: bool,
+    ) -> Self {
         let resolved = nok
             .pattern
             .ids()
@@ -76,7 +91,7 @@ impl<'a> NokMatcher<'a> {
                 NodeTest::Attribute(_) => ResolvedTest::Attribute,
             })
             .collect();
-        NokMatcher { doc, nok, shape, index, resolved }
+        NokMatcher { doc, nok, shape, index, resolved, skip }
     }
 
     /// Does `x` satisfy the tag-name and value constraints of pattern node
@@ -232,9 +247,16 @@ impl<'a> NokMatcher<'a> {
         let root = self.nok.pattern.node(self.nok.root());
         if let (Some(index), NodeTest::Name(name)) = (self.index, &root.test) {
             if let Some(sym) = self.doc.sym(name) {
-                return index
-                    .stream_in_range(sym, NodeId(lo.0.wrapping_sub(1)), hi)
-                    .to_vec();
+                // The `(p1, p2)` range probe of the bounded NLJ: two
+                // gallops over the posting list, or the one-at-a-time
+                // reference scan with skipping off.
+                let after = NodeId(lo.0.wrapping_sub(1));
+                let range = if self.skip {
+                    index.stream_in_range(sym, after, hi)
+                } else {
+                    index.stream_in_range_linear(sym, after, hi)
+                };
+                return range.to_vec();
             }
             return Vec::new();
         }
@@ -342,6 +364,24 @@ impl NokStream<'_> {
             }
         }
         None
+    }
+
+    /// Gallop the cursor past every candidate anchor `<= bound` without
+    /// attempting to match them. Used by the pipelined //-join to discard
+    /// whole stream segments that precede the current outer region.
+    pub fn skip_past(&mut self, bound: NodeId) {
+        let c = &self.candidates;
+        let pos = self.pos;
+        if pos >= c.len() || c[pos] > bound {
+            return;
+        }
+        let mut step = 1usize;
+        while pos + step < c.len() && c[pos + step] <= bound {
+            step <<= 1;
+        }
+        let lo = pos + (step >> 1);
+        let hi = (pos + step + 1).min(c.len());
+        self.pos = lo + c[lo..hi].partition_point(|&x| x <= bound);
     }
 }
 

@@ -109,20 +109,27 @@ pub fn theta_join(
         /// Per pred: trimmed string values (value predicates only).
         values: Vec<Vec<String>>,
     }
-    let project_side = |nl: &NestedList, pick: fn(&CrossPred) -> ShapeId| -> Side {
+    // One serialization buffer reused across every projected value; only
+    // the trimmed copy that the cache actually keeps is allocated.
+    let mut scratch = String::new();
+    let mut project_side = |nl: &NestedList, pick: fn(&CrossPred) -> ShapeId| -> Side {
         let nodes: Vec<Vec<NodeId>> =
             preds.iter().map(|p| nl.project_shape(pick(p))).collect();
-        let values: Vec<Vec<String>> = preds
-            .iter()
-            .zip(&nodes)
-            .map(|(p, ns)| match p.rel {
-                CrossRel::Value(_) | CrossRel::NotValue(_) => ns
-                    .iter()
-                    .map(|&n| doc.string_value(n).trim().to_string())
-                    .collect(),
-                _ => Vec::new(),
-            })
-            .collect();
+        let mut values: Vec<Vec<String>> = Vec::with_capacity(preds.len());
+        for (p, ns) in preds.iter().zip(&nodes) {
+            match p.rel {
+                CrossRel::Value(_) | CrossRel::NotValue(_) => {
+                    let mut vs = Vec::with_capacity(ns.len());
+                    for &n in ns {
+                        scratch.clear();
+                        doc.string_value_into(n, &mut scratch);
+                        vs.push(scratch.trim().to_string());
+                    }
+                    values.push(vs);
+                }
+                _ => values.push(Vec::new()),
+            }
+        }
         Side { nodes, values }
     };
     let lsides: Vec<Side> = left.iter().map(|l| project_side(l, |p| p.left)).collect();

@@ -50,15 +50,24 @@ pub fn node_vs_literal_str(value: &str, op: CmpOp, literal: &Literal) -> bool {
     }
 }
 
-/// Existential general comparison between two node sequences.
+/// Existential general comparison between two node sequences. One pair
+/// of serialization buffers is reused across every `|left| x |right|`
+/// probe instead of allocating a fresh `String` per string value.
 pub fn sequences_compare(doc: &Document, left: &[NodeId], op: CmpOp, right: &[NodeId]) -> bool {
-    left.iter().any(|&l| {
-        let lv = doc.string_value(l);
-        right.iter().any(|&r| {
-            let rv = doc.string_value(r);
-            op.eval(compare_atomic(&lv, &rv))
-        })
-    })
+    let mut lv = String::new();
+    let mut rv = String::new();
+    for &l in left {
+        lv.clear();
+        doc.string_value_into(l, &mut lv);
+        for &r in right {
+            rv.clear();
+            doc.string_value_into(r, &mut rv);
+            if op.eval(compare_atomic(&lv, &rv)) {
+                return true;
+            }
+        }
+    }
+    false
 }
 
 /// `fn:deep-equal` over sequences: equal length and pairwise deep-equal

@@ -1,8 +1,8 @@
-//! Arena-allocated XML document tree.
+//! Arena-allocated XML document tree in a struct-of-arrays layout.
 //!
-//! All nodes live in one `Vec`, indexed by [`NodeId`]. Ids are assigned in
-//! document (pre-) order during parsing, which gives the two properties the
-//! BlossomTree operators rely on:
+//! All nodes live in parallel columns indexed by [`NodeId`]. Ids are
+//! assigned in document (pre-) order during parsing, which gives the two
+//! properties the BlossomTree operators rely on:
 //!
 //! 1. **Document order is id order** — comparing two nodes' positions is a
 //!    `u32` compare (the `<<` operator of XQuery).
@@ -10,6 +10,20 @@
 //!    the ids in `(n, n.last_descendant]`, so ancestor/descendant tests and
 //!    the bounded nested-loop join's `(p1, p2)` range scans are interval
 //!    checks.
+//!
+//! # Storage layout
+//!
+//! The arena is struct-of-arrays rather than a `Vec` of 40-byte node
+//! records: `parent` / `first_child` / `next_sibling` / `last_desc` are
+//! dense `Vec<u32>` columns, `level` is a `Vec<u16>`, and node kind plus
+//! its payload (tag symbol for elements, text index for text nodes) are
+//! packed into a single `Vec<u32>` with the kind in the low two bits.
+//! Hot loops — tag-stream scans, region containment tests, `string_value`,
+//! the partitioned `par_scan` — each touch only the one or two columns
+//! they need, so a scan over a million nodes streams 4 bytes per node
+//! instead of striding over full records and evicting cache lines it
+//! never reads. The region label of node `n` is `(n, last_desc[n],
+//! level[n])`: the `start` coordinate is the id itself and never stored.
 
 use crate::fxhash::FxHashMap;
 use crate::label::Region;
@@ -53,19 +67,20 @@ pub enum NodeKind {
 
 const NIL: u32 = u32::MAX;
 
-#[derive(Debug, Clone)]
-struct NodeData {
-    parent: u32,
-    first_child: u32,
-    next_sibling: u32,
-    /// Id of the last node in this subtree (self for leaves).
-    last_desc: u32,
-    /// Element tag, or `Sym::DOCUMENT` for the document node; unused for text.
-    sym: Sym,
-    level: u16,
-    kind: u8, // 0 = document, 1 = element, 2 = text
-    /// Index into `texts` for text nodes.
-    text_idx: u32,
+/// Kind tags stored in the low bits of the packed kind/payload column.
+const KIND_DOCUMENT: u32 = 0;
+const KIND_ELEMENT: u32 = 1;
+const KIND_TEXT: u32 = 2;
+const KIND_BITS: u32 = 2;
+const KIND_MASK: u32 = (1 << KIND_BITS) - 1;
+
+/// Pack a node kind and its payload (tag symbol or text index) into one
+/// `u32`. Payloads are capped at 30 bits — ample, since both symbols and
+/// text indexes are bounded by the `u32` node count.
+#[inline]
+fn pack(kind: u32, payload: u32) -> u32 {
+    debug_assert!(payload <= (u32::MAX >> KIND_BITS), "payload overflows packed column");
+    (payload << KIND_BITS) | kind
 }
 
 /// Parsing policy knobs for [`Document::parse_str_with`].
@@ -76,9 +91,20 @@ pub struct ParseOptions {
     pub keep_whitespace_text: bool,
 }
 
-/// An immutable, arena-backed XML document.
+/// An immutable, arena-backed XML document in struct-of-arrays layout.
 pub struct Document {
-    nodes: Vec<NodeData>,
+    /// Parent id per node (`NIL` for the document node).
+    parent: Vec<u32>,
+    /// First-child id per node (`NIL` for leaves).
+    first_child: Vec<u32>,
+    /// Next-sibling id per node (`NIL` for last children).
+    next_sibling: Vec<u32>,
+    /// Region `end` column: id of the last node in each subtree.
+    last_desc: Vec<u32>,
+    /// Region `level` column: depth, 0 for the document node.
+    level: Vec<u16>,
+    /// Packed kind (low 2 bits) + payload (tag symbol or text index).
+    kind_sym: Vec<u32>,
     texts: Vec<Box<str>>,
     /// Sparse attribute storage: element id -> attributes in document order.
     attrs: FxHashMap<u32, Vec<(Sym, Box<str>)>>,
@@ -88,7 +114,7 @@ pub struct Document {
 impl fmt::Debug for Document {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Document")
-            .field("nodes", &self.nodes.len())
+            .field("nodes", &self.kind_sym.len())
             .field("tags", &(self.symbols.len().saturating_sub(1)))
             .finish()
     }
@@ -117,7 +143,7 @@ impl Document {
 
     /// Total number of nodes, including the virtual document node.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.kind_sym.len()
     }
 
     /// Always false: a document has at least its virtual document node.
@@ -144,10 +170,10 @@ impl Document {
     /// Node kind.
     #[inline]
     pub fn kind(&self, n: NodeId) -> NodeKind {
-        let d = &self.nodes[n.index()];
-        match d.kind {
-            0 => NodeKind::Document,
-            1 => NodeKind::Element(d.sym),
+        let packed = self.kind_sym[n.index()];
+        match packed & KIND_MASK {
+            KIND_DOCUMENT => NodeKind::Document,
+            KIND_ELEMENT => NodeKind::Element(Sym(packed >> KIND_BITS)),
             _ => NodeKind::Text,
         }
     }
@@ -155,14 +181,14 @@ impl Document {
     /// Is `n` an element?
     #[inline]
     pub fn is_element(&self, n: NodeId) -> bool {
-        self.nodes[n.index()].kind == 1
+        self.kind_sym[n.index()] & KIND_MASK == KIND_ELEMENT
     }
 
     /// The element tag symbol, if `n` is an element.
     #[inline]
     pub fn tag(&self, n: NodeId) -> Option<Sym> {
-        let d = &self.nodes[n.index()];
-        (d.kind == 1).then_some(d.sym)
+        let packed = self.kind_sym[n.index()];
+        (packed & KIND_MASK == KIND_ELEMENT).then_some(Sym(packed >> KIND_BITS))
     }
 
     /// The element tag name, if `n` is an element.
@@ -173,54 +199,78 @@ impl Document {
     /// Parent node, if any.
     #[inline]
     pub fn parent(&self, n: NodeId) -> Option<NodeId> {
-        let p = self.nodes[n.index()].parent;
+        let p = self.parent[n.index()];
         (p != NIL).then_some(NodeId(p))
     }
 
     /// First child, if any.
     #[inline]
     pub fn first_child(&self, n: NodeId) -> Option<NodeId> {
-        let c = self.nodes[n.index()].first_child;
+        let c = self.first_child[n.index()];
         (c != NIL).then_some(NodeId(c))
     }
 
     /// Next sibling, if any.
     #[inline]
     pub fn next_sibling(&self, n: NodeId) -> Option<NodeId> {
-        let s = self.nodes[n.index()].next_sibling;
+        let s = self.next_sibling[n.index()];
         (s != NIL).then_some(NodeId(s))
     }
 
     /// Depth: 0 for the document node, 1 for the root element.
     #[inline]
     pub fn level(&self, n: NodeId) -> u16 {
-        self.nodes[n.index()].level
+        self.level[n.index()]
     }
 
     /// The last node id in `n`'s subtree (`n` itself for leaves).
     #[inline]
     pub fn last_descendant(&self, n: NodeId) -> NodeId {
-        NodeId(self.nodes[n.index()].last_desc)
+        NodeId(self.last_desc[n.index()])
     }
 
     /// Region label of `n`: `(start, end, level)` with `start` the preorder
     /// id and `end` the last descendant id.
     #[inline]
     pub fn region(&self, n: NodeId) -> Region {
-        let d = &self.nodes[n.index()];
-        Region { start: n.0, end: d.last_desc, level: d.level }
+        Region {
+            start: n.0,
+            end: self.last_desc[n.index()],
+            level: self.level[n.index()],
+        }
+    }
+
+    /// The region `end` column (`last_desc` per node). Flat view for
+    /// operators that bulk-load region labels, e.g. `TagIndex::build`.
+    #[inline]
+    pub fn last_desc_column(&self) -> &[u32] {
+        &self.last_desc
+    }
+
+    /// The region `level` column. Flat view for bulk label loads.
+    #[inline]
+    pub fn level_column(&self) -> &[u16] {
+        &self.level
+    }
+
+    /// The packed kind/payload column: low 2 bits are the node kind
+    /// (0 document, 1 element, 2 text), high 30 bits the tag symbol
+    /// (elements) or text index (text nodes). Flat view for tag scans.
+    #[inline]
+    pub fn kind_sym_column(&self) -> &[u32] {
+        &self.kind_sym
     }
 
     /// Is `a` a proper ancestor of `d`?
     #[inline]
     pub fn is_ancestor(&self, a: NodeId, d: NodeId) -> bool {
-        a.0 < d.0 && d.0 <= self.nodes[a.index()].last_desc
+        a.0 < d.0 && d.0 <= self.last_desc[a.index()]
     }
 
     /// Is `p` the parent of `c`?
     #[inline]
     pub fn is_parent(&self, p: NodeId, c: NodeId) -> bool {
-        self.nodes[c.index()].parent == p.0
+        self.parent[c.index()] == p.0
     }
 
     /// Strictly-before in document order (`<<` of XQuery).
@@ -231,21 +281,27 @@ impl Document {
 
     /// Text content, if `n` is a text node.
     pub fn text(&self, n: NodeId) -> Option<&str> {
-        let d = &self.nodes[n.index()];
-        (d.kind == 2).then(|| self.texts[d.text_idx as usize].as_ref())
+        let packed = self.kind_sym[n.index()];
+        (packed & KIND_MASK == KIND_TEXT)
+            .then(|| self.texts[(packed >> KIND_BITS) as usize].as_ref())
     }
 
     /// The string value of `n`: concatenation of all text in its subtree.
     pub fn string_value(&self, n: NodeId) -> String {
         let mut out = String::new();
-        let last = self.nodes[n.index()].last_desc;
-        for id in n.0..=last {
-            let d = &self.nodes[id as usize];
-            if d.kind == 2 {
-                out.push_str(&self.texts[d.text_idx as usize]);
+        self.string_value_into(n, &mut out);
+        out
+    }
+
+    /// Append the string value of `n` to `out` without clearing it, so
+    /// callers can reuse one buffer across many nodes.
+    pub fn string_value_into(&self, n: NodeId, out: &mut String) {
+        let last = self.last_desc[n.index()] as usize;
+        for &packed in &self.kind_sym[n.index()..=last] {
+            if packed & KIND_MASK == KIND_TEXT {
+                out.push_str(&self.texts[(packed >> KIND_BITS) as usize]);
             }
         }
-        out
     }
 
     /// Attributes of an element, in document order.
@@ -271,19 +327,23 @@ impl Document {
     /// Iterator over all nodes of the subtree rooted at `n`, excluding `n`,
     /// in document order.
     pub fn descendants(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        let last = self.nodes[n.index()].last_desc;
+        let last = self.last_desc[n.index()];
         (n.0 + 1..=last).map(NodeId)
     }
 
     /// Iterator over `n` and all its descendants in document order.
     pub fn descendants_or_self(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        let last = self.nodes[n.index()].last_desc;
+        let last = self.last_desc[n.index()];
         (n.0..=last).map(NodeId)
     }
 
     /// Iterator over all element nodes in document order.
     pub fn elements(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.nodes.len() as u32).map(NodeId).filter(|&n| self.is_element(n))
+        self.kind_sym
+            .iter()
+            .enumerate()
+            .filter(|(_, &packed)| packed & KIND_MASK == KIND_ELEMENT)
+            .map(|(i, _)| NodeId(i as u32))
     }
 
     /// Ancestors of `n`, nearest first, ending at the document node.
@@ -360,8 +420,16 @@ impl Iterator for Ancestors<'_> {
 
 /// Incremental document constructor, fed by parser [`Event`]s or driven
 /// programmatically via [`TreeBuilder::start_element`] and friends.
+///
+/// Builds the same struct-of-arrays columns as [`Document`]; `finish`
+/// hands them over without copying.
 pub struct TreeBuilder {
-    nodes: Vec<NodeData>,
+    parent: Vec<u32>,
+    first_child: Vec<u32>,
+    next_sibling: Vec<u32>,
+    last_desc: Vec<u32>,
+    level: Vec<u16>,
+    kind_sym: Vec<u32>,
     texts: Vec<Box<str>>,
     attrs: FxHashMap<u32, Vec<(Sym, Box<str>)>>,
     symbols: SymbolTable,
@@ -375,18 +443,13 @@ pub struct TreeBuilder {
 impl TreeBuilder {
     /// New builder; a virtual document node is created immediately.
     pub fn new(options: ParseOptions) -> Self {
-        let doc_node = NodeData {
-            parent: NIL,
-            first_child: NIL,
-            next_sibling: NIL,
-            last_desc: 0,
-            sym: Sym::DOCUMENT,
-            level: 0,
-            kind: 0,
-            text_idx: NIL,
-        };
         TreeBuilder {
-            nodes: vec![doc_node],
+            parent: vec![NIL],
+            first_child: vec![NIL],
+            next_sibling: vec![NIL],
+            last_desc: vec![0],
+            level: vec![0],
+            kind_sym: vec![pack(KIND_DOCUMENT, Sym::DOCUMENT.0)],
             texts: Vec::new(),
             attrs: FxHashMap::default(),
             symbols: SymbolTable::new(),
@@ -396,36 +459,39 @@ impl TreeBuilder {
         }
     }
 
-    fn push_node(&mut self, mut data: NodeData) -> u32 {
-        let id = self.nodes.len() as u32;
+    /// Number of nodes built so far (including the document node).
+    pub fn len(&self) -> usize {
+        self.kind_sym.len()
+    }
+
+    /// Never true: the document node always exists.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    fn push_node(&mut self, packed: u32) -> u32 {
+        let id = self.kind_sym.len() as u32;
         let parent = *self.open.last().expect("document node always open");
-        data.parent = parent;
-        data.level = self.nodes[parent as usize].level + 1;
-        data.last_desc = id;
+        self.parent.push(parent);
+        self.first_child.push(NIL);
+        self.next_sibling.push(NIL);
+        self.last_desc.push(id);
+        self.level.push(self.level[parent as usize] + 1);
+        self.kind_sym.push(packed);
         let prev = *self.last_child.last().unwrap();
         if prev == NIL {
-            self.nodes[parent as usize].first_child = id;
+            self.first_child[parent as usize] = id;
         } else {
-            self.nodes[prev as usize].next_sibling = id;
+            self.next_sibling[prev as usize] = id;
         }
         *self.last_child.last_mut().unwrap() = id;
-        self.nodes.push(data);
         id
     }
 
     /// Open an element.
     pub fn start_element(&mut self, tag: &str) {
         let sym = self.symbols.intern(tag);
-        let id = self.push_node(NodeData {
-            parent: NIL,
-            first_child: NIL,
-            next_sibling: NIL,
-            last_desc: 0,
-            sym,
-            level: 0,
-            kind: 1,
-            text_idx: NIL,
-        });
+        let id = self.push_node(pack(KIND_ELEMENT, sym.0));
         self.open.push(id);
         self.last_child.push(NIL);
     }
@@ -445,8 +511,8 @@ impl TreeBuilder {
         }
         // Coalesce with the previous sibling if it is also text.
         let prev = *self.last_child.last().unwrap();
-        if prev != NIL && self.nodes[prev as usize].kind == 2 {
-            let idx = self.nodes[prev as usize].text_idx as usize;
+        if prev != NIL && self.kind_sym[prev as usize] & KIND_MASK == KIND_TEXT {
+            let idx = (self.kind_sym[prev as usize] >> KIND_BITS) as usize;
             let mut s = String::from(std::mem::take(&mut self.texts[idx]));
             s.push_str(content);
             self.texts[idx] = s.into_boxed_str();
@@ -454,16 +520,7 @@ impl TreeBuilder {
         }
         let text_idx = self.texts.len() as u32;
         self.texts.push(content.into());
-        self.push_node(NodeData {
-            parent: NIL,
-            first_child: NIL,
-            next_sibling: NIL,
-            last_desc: 0,
-            sym: Sym::DOCUMENT,
-            level: 0,
-            kind: 2,
-            text_idx,
-        });
+        self.push_node(pack(KIND_TEXT, text_idx));
     }
 
     /// Close the current element.
@@ -471,8 +528,8 @@ impl TreeBuilder {
         let id = self.open.pop().expect("unbalanced end_element");
         self.last_child.pop();
         debug_assert_ne!(id, 0, "cannot close the document node");
-        let last = (self.nodes.len() - 1) as u32;
-        self.nodes[id as usize].last_desc = last;
+        let last = (self.kind_sym.len() - 1) as u32;
+        self.last_desc[id as usize] = last;
     }
 
     /// Feed one parser event.
@@ -497,10 +554,15 @@ impl TreeBuilder {
     /// (the parser guarantees balance; programmatic callers must too).
     pub fn finish(mut self) -> Document {
         assert_eq!(self.open.len(), 1, "unbalanced builder: elements still open");
-        let last = (self.nodes.len() - 1) as u32;
-        self.nodes[0].last_desc = last;
+        let last = (self.kind_sym.len() - 1) as u32;
+        self.last_desc[0] = last;
         Document {
-            nodes: self.nodes,
+            parent: self.parent,
+            first_child: self.first_child,
+            next_sibling: self.next_sibling,
+            last_desc: self.last_desc,
+            level: self.level,
+            kind_sym: self.kind_sym,
             texts: self.texts,
             attrs: self.attrs,
             symbols: self.symbols,
@@ -613,6 +675,19 @@ mod tests {
     }
 
     #[test]
+    fn string_value_into_reuses_buffer() {
+        let doc = Document::parse_str("<a>x<b>y</b>z</a>").unwrap();
+        let a = doc.root_element().unwrap();
+        let b = doc.children(a).find(|&c| doc.is_element(c)).unwrap();
+        let mut buf = String::with_capacity(16);
+        doc.string_value_into(a, &mut buf);
+        assert_eq!(buf, "xyz");
+        buf.clear();
+        doc.string_value_into(b, &mut buf);
+        assert_eq!(buf, "y");
+    }
+
+    #[test]
     fn ancestors_iterator() {
         let doc = Document::parse_str("<a><b><c/></b></a>").unwrap();
         let a = doc.root_element().unwrap();
@@ -668,5 +743,21 @@ mod tests {
         let doc = Document::parse_str("<a><b/><c><d/></c></a>").unwrap();
         let tags: Vec<_> = doc.elements().map(|n| doc.tag_name(n).unwrap()).collect();
         assert_eq!(tags, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn column_views_are_consistent() {
+        let doc = Document::parse_str("<a><b>t</b><c/></a>").unwrap();
+        let ends = doc.last_desc_column();
+        let levels = doc.level_column();
+        assert_eq!(ends.len(), doc.len());
+        assert_eq!(levels.len(), doc.len());
+        for id in 0..doc.len() as u32 {
+            let n = NodeId(id);
+            assert_eq!(doc.last_descendant(n).0, ends[n.index()]);
+            assert_eq!(doc.level(n), levels[n.index()]);
+            let r = doc.region(n);
+            assert_eq!((r.start, r.end, r.level), (id, ends[n.index()], levels[n.index()]));
+        }
     }
 }

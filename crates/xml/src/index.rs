@@ -1,58 +1,284 @@
-//! Tag-name indexes.
+//! Tag-name indexes with skip-enabled posting lists.
 //!
 //! Holistic twig joins (TwigStack) consume, for each pattern-tree node, a
 //! stream of document elements with that tag, sorted by document order.
-//! [`TagIndex`] materializes those streams: a dense per-symbol array of
-//! node-id vectors. Because arena ids are preorder positions, each vector
-//! is sorted by construction.
+//! [`TagIndex`] materializes those streams as [`PostingList`]s: per-symbol
+//! parallel arrays of node ids plus their inline region labels
+//! `(start, end, level)`. Because arena ids are preorder positions, each
+//! list is sorted by `start` by construction.
+//!
+//! Carrying the region labels inline matters twice over: operators read
+//! `end`/`level` from the contiguous posting arrays instead of chasing
+//! into the node arena per element, and the lists support *galloping*
+//! (exponential + binary search) [`PostingList::skip_to`] so a join can
+//! leap over whole irrelevant stream segments — the XB-tree skip trick —
+//! rather than advancing one element at a time. `end` values are not
+//! monotone under nesting, so end-bound skips ([`PostingList::skip_to_end`])
+//! ride a per-block max-end summary instead of a plain binary search.
 
 use crate::document::{Document, NodeId};
+use crate::label::Region;
 use crate::symbol::Sym;
 
-/// Per-tag lists of element ids in document order.
+/// Elements in a posting block share one max-`end` summary entry; a block
+/// whose summary is below the skip target is skipped without touching it.
+const BLOCK_SHIFT: usize = 6;
+const BLOCK_SIZE: usize = 1 << BLOCK_SHIFT;
+
+/// The empty posting list returned for symbols with no elements.
+static EMPTY: PostingList = PostingList {
+    starts: Vec::new(),
+    ends: Vec::new(),
+    levels: Vec::new(),
+    block_max_end: Vec::new(),
+};
+
+/// A document-ordered stream of elements with inline region labels and
+/// sub-linear skip primitives.
+#[derive(Debug, Clone)]
+pub struct PostingList {
+    /// Element ids (= region `start` coordinates), strictly increasing.
+    starts: Vec<NodeId>,
+    /// Region `end` (last descendant id) per element.
+    ends: Vec<u32>,
+    /// Region `level` per element.
+    levels: Vec<u16>,
+    /// Max of `ends` per [`BLOCK_SIZE`] chunk, for end-bound skips.
+    block_max_end: Vec<u32>,
+}
+
+impl PostingList {
+    /// Build a list from an id stream, reading labels from the document's
+    /// region columns. The ids must be strictly increasing.
+    pub fn from_nodes(doc: &Document, nodes: impl IntoIterator<Item = NodeId>) -> PostingList {
+        let end_col = doc.last_desc_column();
+        let level_col = doc.level_column();
+        let mut list = PostingList {
+            starts: Vec::new(),
+            ends: Vec::new(),
+            levels: Vec::new(),
+            block_max_end: Vec::new(),
+        };
+        for n in nodes {
+            debug_assert!(
+                list.starts.last().is_none_or(|&p| p < n),
+                "posting ids must be strictly increasing"
+            );
+            list.starts.push(n);
+            list.ends.push(end_col[n.index()]);
+            list.levels.push(level_col[n.index()]);
+        }
+        list.rebuild_blocks();
+        list
+    }
+
+    fn rebuild_blocks(&mut self) {
+        self.block_max_end = self
+            .ends
+            .chunks(BLOCK_SIZE)
+            .map(|chunk| chunk.iter().copied().max().unwrap_or(0))
+            .collect();
+    }
+
+    /// Number of postings.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// True when no element carries this tag.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.starts.is_empty()
+    }
+
+    /// The id stream, in document order.
+    #[inline]
+    pub fn starts(&self) -> &[NodeId] {
+        &self.starts
+    }
+
+    /// Element id at position `i`.
+    #[inline]
+    pub fn start(&self, i: usize) -> NodeId {
+        self.starts[i]
+    }
+
+    /// Region `end` at position `i`, read from the inline label column.
+    #[inline]
+    pub fn end(&self, i: usize) -> u32 {
+        self.ends[i]
+    }
+
+    /// Region `level` at position `i`.
+    #[inline]
+    pub fn level(&self, i: usize) -> u16 {
+        self.levels[i]
+    }
+
+    /// Full region label at position `i`.
+    #[inline]
+    pub fn region(&self, i: usize) -> Region {
+        Region { start: self.starts[i].0, end: self.ends[i], level: self.levels[i] }
+    }
+
+    /// Gallop from position `from` to the first posting whose id (region
+    /// `start`) is `>= target`. Exponential probe then binary search, so
+    /// the cost is logarithmic in the distance advanced; when the cursor
+    /// is already in place it is a single compare.
+    #[inline]
+    pub fn skip_to(&self, from: usize, target: u32) -> usize {
+        let s = &self.starts;
+        let n = s.len();
+        if from >= n || s[from].0 >= target {
+            return from;
+        }
+        // s[from] < target: double the probe distance until it lands at
+        // or beyond the boundary, then binary-search the last window.
+        let mut step = 1usize;
+        while from + step < n && s[from + step].0 < target {
+            step <<= 1;
+        }
+        let lo = from + (step >> 1);
+        let hi = (from + step + 1).min(n);
+        lo + s[lo..hi].partition_point(|&x| x.0 < target)
+    }
+
+    /// Gallop to the first posting whose id is **strictly greater** than
+    /// `bound`. Equivalent to `skip_to(from, bound + 1)` without the
+    /// overflow hazard at `u32::MAX`.
+    #[inline]
+    pub fn skip_past(&self, from: usize, bound: u32) -> usize {
+        if bound == u32::MAX {
+            return self.len();
+        }
+        self.skip_to(from, bound + 1)
+    }
+
+    /// Advance from position `from` to the first posting whose region
+    /// `end` is `>= target` — the TwigStack skip "past every element whose
+    /// subtree closes before `target`". `end` values are non-monotone
+    /// (ancestors close after the descendants nested inside them), so this
+    /// walks block max-end summaries and only scans inside the one block
+    /// that provably contains a hit.
+    #[inline]
+    pub fn skip_to_end(&self, from: usize, target: u32) -> usize {
+        let n = self.ends.len();
+        let mut i = from;
+        if i >= n || self.ends[i] >= target {
+            return i;
+        }
+        i += 1;
+        // Finish the block the cursor is in.
+        let mut block = i >> BLOCK_SHIFT;
+        let block_end = ((block + 1) << BLOCK_SHIFT).min(n);
+        while i < block_end {
+            if self.ends[i] >= target {
+                return i;
+            }
+            i += 1;
+        }
+        block += 1;
+        // Leap whole blocks whose max end is still below the target.
+        while block << BLOCK_SHIFT < n && self.block_max_end[block] < target {
+            block += 1;
+        }
+        i = block << BLOCK_SHIFT;
+        while i < n {
+            if self.ends[i] >= target {
+                return i;
+            }
+            i += 1;
+        }
+        n
+    }
+
+    /// The index range of postings with id in `(after, upto]` — two
+    /// gallops from the front.
+    #[inline]
+    pub fn range(&self, after: u32, upto: u32) -> std::ops::Range<usize> {
+        let lo = self.skip_past(0, after);
+        let hi = self.skip_past(lo, upto);
+        lo..hi
+    }
+}
+
+/// Per-tag posting lists in document order.
 #[derive(Debug, Clone)]
 pub struct TagIndex {
-    /// Indexed by `Sym::index()`; empty vec for non-element symbols.
-    postings: Vec<Vec<NodeId>>,
+    /// Indexed by `Sym::index()`; empty list for non-element symbols.
+    postings: Vec<PostingList>,
 }
 
 impl TagIndex {
-    /// Build the index with one pass over the document.
+    /// Build the index with one pass over the document's packed kind/tag
+    /// and region columns.
     pub fn build(doc: &Document) -> TagIndex {
-        let mut postings: Vec<Vec<NodeId>> = vec![Vec::new(); doc.symbols().len()];
-        for node in doc.elements() {
+        let mut postings: Vec<PostingList> = vec![EMPTY.clone(); doc.symbols().len()];
+        let end_col = doc.last_desc_column();
+        let level_col = doc.level_column();
+        for (i, node) in doc.elements().enumerate() {
+            let _ = i;
             let sym = doc.tag(node).expect("elements() yields elements");
-            postings[sym.index()].push(node);
+            let list = &mut postings[sym.index()];
+            list.starts.push(node);
+            list.ends.push(end_col[node.index()]);
+            list.levels.push(level_col[node.index()]);
+        }
+        for list in &mut postings {
+            list.rebuild_blocks();
         }
         TagIndex { postings }
     }
 
+    /// The posting list for `sym` (empty list if the tag never occurs).
+    pub fn postings(&self, sym: Sym) -> &PostingList {
+        self.postings.get(sym.index()).unwrap_or(&EMPTY)
+    }
+
+    /// Posting list by tag name.
+    pub fn postings_by_name<'a>(&'a self, doc: &Document, name: &str) -> &'a PostingList {
+        match doc.sym(name) {
+            Some(sym) => self.postings(sym),
+            None => &EMPTY,
+        }
+    }
+
     /// All elements with tag `sym`, in document order.
     pub fn stream(&self, sym: Sym) -> &[NodeId] {
-        self.postings.get(sym.index()).map(|v| v.as_slice()).unwrap_or(&[])
+        self.postings(sym).starts()
     }
 
     /// Convenience: stream by tag name.
     pub fn stream_by_name<'a>(&'a self, doc: &Document, name: &str) -> &'a [NodeId] {
-        match doc.sym(name) {
-            Some(sym) => self.stream(sym),
-            None => &[],
-        }
+        self.postings_by_name(doc, name).starts()
     }
 
     /// Number of elements with tag `sym`.
     pub fn count(&self, sym: Sym) -> usize {
-        self.stream(sym).len()
+        self.postings(sym).len()
     }
 
     /// Elements with tag `sym` whose id lies in `(after, upto]` — the
-    /// range-limited lookup used by the bounded nested-loop join.
+    /// range-limited lookup used by the bounded nested-loop join's
+    /// `(p1, p2)` probes. Two gallops over the posting list.
     pub fn stream_in_range(&self, sym: Sym, after: NodeId, upto: NodeId) -> &[NodeId] {
+        let list = self.postings(sym);
+        &list.starts()[list.range(after.0, upto.0)]
+    }
+
+    /// Reference implementation of [`Self::stream_in_range`] that advances
+    /// one element at a time. Kept as the skip-off baseline for the
+    /// equivalence tests and the `joins` benchmark.
+    pub fn stream_in_range_linear(&self, sym: Sym, after: NodeId, upto: NodeId) -> &[NodeId] {
         let s = self.stream(sym);
-        let lo = s.partition_point(|&n| n.0 <= after.0);
-        let hi = s.partition_point(|&n| n.0 <= upto.0);
-        if hi <= lo {
-            return &[];
+        let mut lo = 0;
+        while lo < s.len() && s[lo].0 <= after.0 {
+            lo += 1;
+        }
+        let mut hi = lo;
+        while hi < s.len() && s[hi].0 <= upto.0 {
+            hi += 1;
         }
         &s[lo..hi]
     }
@@ -108,6 +334,24 @@ mod tests {
     }
 
     #[test]
+    fn inline_labels_match_document_regions() {
+        let doc = Document::parse_str(
+            "<a><b><c/><b/></b><b>t</b><c><b/></c></a>",
+        )
+        .unwrap();
+        let idx = TagIndex::build(&doc);
+        for name in ["a", "b", "c"] {
+            let list = idx.postings_by_name(&doc, name);
+            for i in 0..list.len() {
+                let n = list.start(i);
+                assert_eq!(list.end(i), doc.last_descendant(n).0, "{name}[{i}]");
+                assert_eq!(list.level(i), doc.level(n), "{name}[{i}]");
+                assert_eq!(list.region(i), doc.region(n), "{name}[{i}]");
+            }
+        }
+    }
+
+    #[test]
     fn partitions_cover_the_stream_in_order() {
         let doc = Document::parse_str(
             "<a><b/><c><b/><b/></c><b/><b/><c><b/></c><b/></a>",
@@ -143,5 +387,49 @@ mod tests {
         assert!(inside.iter().all(|&n| doc.is_ancestor(c, n)));
         // Empty range.
         assert!(idx.stream_in_range(b, doc.last_descendant(c), c).is_empty());
+        // Galloped and linear range probes agree.
+        for after in 0..doc.len() as u32 {
+            for upto in 0..doc.len() as u32 {
+                assert_eq!(
+                    idx.stream_in_range(b, NodeId(after), NodeId(upto)),
+                    idx.stream_in_range_linear(b, NodeId(after), NodeId(upto)),
+                    "after={after} upto={upto}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skip_to_agrees_with_linear_scan() {
+        // A stream long enough to cross block boundaries: 200 <b/> leaves
+        // under alternating <b> wrappers gives non-trivial nesting.
+        let mut src = String::from("<r>");
+        for i in 0..100 {
+            if i % 3 == 0 {
+                src.push_str("<b><b/><c/></b>");
+            } else {
+                src.push_str("<b/><c/>");
+            }
+        }
+        src.push_str("</r>");
+        let doc = Document::parse_str(&src).unwrap();
+        let idx = TagIndex::build(&doc);
+        let list = idx.postings_by_name(&doc, "b");
+        assert!(list.len() > 2 * BLOCK_SIZE, "need multiple blocks");
+        let max_id = doc.len() as u32 + 2;
+        for from in [0, 1, list.len() / 2, list.len() - 1, list.len()] {
+            for target in (0..max_id).step_by(7) {
+                let linear_start = (from..list.len())
+                    .find(|&i| list.start(i).0 >= target)
+                    .unwrap_or(list.len());
+                assert_eq!(list.skip_to(from, target), linear_start, "start from={from} t={target}");
+                let linear_end = (from..list.len())
+                    .find(|&i| list.end(i) >= target)
+                    .unwrap_or(list.len());
+                assert_eq!(list.skip_to_end(from, target), linear_end, "end from={from} t={target}");
+            }
+        }
+        // skip_past at the id-space ceiling must not overflow.
+        assert_eq!(list.skip_past(0, u32::MAX), list.len());
     }
 }

@@ -27,4 +27,10 @@ echo "== bench smoke (parallel scan, ${NODES} nodes) =="
 cargo run --release -q -p blossom-bench --bin parallel -- \
     --dataset d1 --nodes "${NODES}" --threads 4 --runs 3 \
     --out BENCH_parallel.json
+
+echo "== bench smoke (skip-joins + micro) =="
+cargo run --release -q -p blossom-bench --bin joins -- \
+    --nodes 8000 --runs 1 --out BENCH_joins_smoke.json
+cargo run --release -q -p blossom-bench --bin micro -- \
+    --nodes 8000 --runs 1 --out BENCH_micro_smoke.json
 echo "verify: OK"

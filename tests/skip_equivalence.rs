@@ -1,0 +1,141 @@
+//! Skip-join equivalence: every structural operator must return exactly
+//! the same answer with posting-list galloping enabled and disabled, on
+//! the Table 3 query set over all five generated datasets. The skips are
+//! a pure access-path optimization — any divergence here is a bug in a
+//! skip-safety argument, not a tuning regression.
+
+use blossom_bench::queries;
+use blossomtree::core::join::structural::{stack_tree_join_postings, StructRel};
+use blossomtree::core::{Engine, EngineOptions, Strategy};
+use blossomtree::xml::TagIndex;
+use blossomtree::xmlgen::{generate, Dataset};
+
+const NODES: usize = 9_000;
+const SEED: u64 = 77;
+
+fn engines(ds: Dataset) -> (Engine, Engine) {
+    let with = Engine::with_options(generate(ds, NODES, SEED), EngineOptions::default());
+    let without = Engine::with_options(
+        generate(ds, NODES, SEED),
+        EngineOptions { skip_joins: false, ..EngineOptions::default() },
+    );
+    (with, without)
+}
+
+/// TwigStack, PathStack, the pipelined //-join and both nested-loop
+/// operators, driven through the engine with `skip_joins` toggled.
+#[test]
+fn engine_operators_agree_with_and_without_skipping() {
+    for ds in Dataset::all() {
+        let (skip, scan) = engines(ds);
+        for q in queries(ds) {
+            for strategy in [
+                Strategy::TwigStack,
+                Strategy::PathStack,
+                Strategy::Pipelined,
+                Strategy::BoundedNestedLoop,
+                Strategy::NaiveNestedLoop,
+            ] {
+                let with = skip.eval_path_str(q.path, strategy);
+                let without = scan.eval_path_str(q.path, strategy);
+                match (with, without) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a, b, "{} {} {strategy}", ds.name(), q.id)
+                    }
+                    (Err(_), Err(_)) => {} // inapplicable either way
+                    (a, b) => panic!(
+                        "{} {} {strategy}: applicability diverged ({a:?} vs {b:?})",
+                        ds.name(),
+                        q.id
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// The binary structural join, on every ordered tag pair a query
+/// mentions, against the slice-based baseline.
+#[test]
+fn structural_join_agrees_with_and_without_skipping() {
+    for ds in Dataset::all() {
+        let doc = generate(ds, NODES, SEED);
+        let index = TagIndex::build(&doc);
+        for q in queries(ds) {
+            let tags: Vec<&str> = q
+                .path
+                .split(|c: char| !(c.is_alphanumeric() || c == '_'))
+                .filter(|s| !s.is_empty())
+                .collect();
+            for pair in tags.windows(2) {
+                let (Some(a), Some(b)) = (doc.sym(pair[0]), doc.sym(pair[1])) else {
+                    continue;
+                };
+                let (pa, pb) = (index.postings(a), index.postings(b));
+                for rel in [StructRel::AncestorDescendant, StructRel::ParentChild] {
+                    let with = stack_tree_join_postings(&doc, pa, pb, rel, true);
+                    let without = stack_tree_join_postings(&doc, pa, pb, rel, false);
+                    assert_eq!(
+                        with,
+                        without,
+                        "{} {} {}//{} {rel:?}",
+                        ds.name(),
+                        q.id,
+                        pair[0],
+                        pair[1]
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic cross-check of the gallop primitives against linear
+/// scans, on the generated datasets' real posting lists (the unit tests
+/// in `blossom_xml` cover hand-built documents; this covers the shapes
+/// `xmlgen` actually produces, including multi-block recursive lists).
+#[test]
+fn gallops_agree_with_linear_scans_on_generated_documents() {
+    for ds in [Dataset::D1Recursive, Dataset::D2Address] {
+        let doc = generate(ds, 4_000, SEED);
+        let index = TagIndex::build(&doc);
+        let max_id = doc.len() as u32 + 1;
+        for sym in (0..doc.symbols().len() as u32).map(blossomtree::xml::Sym) {
+            let list = index.postings(sym);
+            if list.is_empty() {
+                continue;
+            }
+            let froms = [0, 1, list.len() / 2, list.len().saturating_sub(1), list.len()];
+            for from in froms {
+                for target in (0..max_id).step_by(83) {
+                    let by_start = (from..list.len())
+                        .find(|&i| list.start(i).0 >= target)
+                        .unwrap_or(list.len());
+                    assert_eq!(list.skip_to(from, target), by_start);
+                    let by_end = (from..list.len())
+                        .find(|&i| list.end(i) >= target)
+                        .unwrap_or(list.len());
+                    assert_eq!(list.skip_to_end(from, target), by_end);
+                }
+            }
+            // Range probes: galloped == linear for a lattice of bounds.
+            for after in (0..max_id).step_by(131) {
+                for upto in (0..max_id).step_by(197) {
+                    assert_eq!(
+                        index.stream_in_range(
+                            sym,
+                            blossomtree::xml::NodeId(after),
+                            blossomtree::xml::NodeId(upto)
+                        ),
+                        index.stream_in_range_linear(
+                            sym,
+                            blossomtree::xml::NodeId(after),
+                            blossomtree::xml::NodeId(upto)
+                        ),
+                        "after={after} upto={upto}"
+                    );
+                }
+            }
+        }
+    }
+}

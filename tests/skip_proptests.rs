@@ -1,0 +1,110 @@
+//! Property tests for the posting-list skip primitives: `skip_to`,
+//! `skip_to_end`, `skip_past` and the galloped range probes must agree
+//! with one-element-at-a-time linear scans on arbitrary generated
+//! documents, and every join operator must be skip-invariant on random
+//! chain/branch queries.
+
+
+// Gated: requires the external `proptest` crate. Build with
+// `--features proptest` after restoring the dev-dependency (network).
+#![cfg(feature = "proptest")]
+
+use blossomtree::core::{Engine, EngineOptions, Strategy};
+use blossomtree::xml::{NodeId, Sym, TagIndex};
+use blossomtree::xmlgen::{generate, Dataset};
+use proptest::prelude::*;
+
+fn dataset() -> impl Strategy<Value = Dataset> {
+    prop::sample::select(Dataset::all().to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// skip_to / skip_to_end / skip_past == the linear definitions, for
+    /// every tag of a randomly sized, randomly seeded document.
+    #[test]
+    fn gallops_match_linear((ds, nodes, seed, target) in (
+        dataset(),
+        500usize..6_000,
+        any::<u64>(),
+        any::<u32>(),
+    )) {
+        let doc = generate(ds, nodes, seed);
+        let index = TagIndex::build(&doc);
+        let target = target % (doc.len() as u32 + 2);
+        for sym in (0..doc.symbols().len() as u32).map(Sym) {
+            let list = index.postings(sym);
+            for from in [0, list.len() / 3, list.len()] {
+                let by_start = (from..list.len())
+                    .find(|&i| list.start(i).0 >= target)
+                    .unwrap_or(list.len());
+                prop_assert_eq!(list.skip_to(from, target), by_start);
+                let by_end = (from..list.len())
+                    .find(|&i| list.end(i) >= target)
+                    .unwrap_or(list.len());
+                prop_assert_eq!(list.skip_to_end(from, target), by_end);
+                let past = (from..list.len())
+                    .find(|&i| list.start(i).0 > target)
+                    .unwrap_or(list.len());
+                prop_assert_eq!(list.skip_past(from, target), past);
+            }
+        }
+    }
+
+    /// Galloped range probes == the linear reference, on random bounds.
+    #[test]
+    fn range_probes_match_linear((ds, nodes, seed, after, upto) in (
+        dataset(),
+        500usize..6_000,
+        any::<u64>(),
+        any::<u32>(),
+        any::<u32>(),
+    )) {
+        let doc = generate(ds, nodes, seed);
+        let index = TagIndex::build(&doc);
+        let cap = doc.len() as u32 + 2;
+        let (after, upto) = (after % cap, upto % cap);
+        for sym in (0..doc.symbols().len() as u32).map(Sym) {
+            prop_assert_eq!(
+                index.stream_in_range(sym, NodeId(after), NodeId(upto)),
+                index.stream_in_range_linear(sym, NodeId(after), NodeId(upto))
+            );
+        }
+    }
+
+    /// Every operator is skip-invariant on random documents and the
+    /// dataset's Table 3 queries.
+    #[test]
+    fn operators_skip_invariant((ds, nodes, seed) in (
+        dataset(),
+        500usize..4_000,
+        any::<u64>(),
+    )) {
+        let skip = Engine::with_options(
+            generate(ds, nodes, seed), EngineOptions::default());
+        let scan = Engine::with_options(
+            generate(ds, nodes, seed),
+            EngineOptions { skip_joins: false, ..EngineOptions::default() });
+        for q in blossom_bench::queries(ds) {
+            for strategy in [
+                Strategy::TwigStack,
+                Strategy::PathStack,
+                Strategy::Pipelined,
+                Strategy::BoundedNestedLoop,
+                Strategy::NaiveNestedLoop,
+            ] {
+                let a = skip.eval_path_str(q.path, strategy);
+                let b = scan.eval_path_str(q.path, strategy);
+                match (a, b) {
+                    (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+                    (Err(_), Err(_)) => {}
+                    (a, b) => {
+                        return Err(TestCaseError::fail(
+                            format!("applicability diverged: {a:?} vs {b:?}")));
+                    }
+                }
+            }
+        }
+    }
+}
