@@ -1,0 +1,145 @@
+//! Differential fuzz loop: generated documents × generated queries ×
+//! every engine configuration, checked byte-for-byte against the
+//! spec-direct oracle.
+//!
+//! ```text
+//! cargo run --release -p blossom-bench --bin diff -- --rounds 1000
+//! ```
+//!
+//! Flags:
+//!
+//! * `--rounds N`     cases to run (default 1000)
+//! * `--seed S`       base seed (default 0xB10550)
+//! * `--nodes N`      approximate document size (default 160)
+//! * `--out DIR`      fixture directory for minimized failures
+//!                    (default `tests/fixtures/diff`)
+//! * `--fail-fast`    stop at the first mismatch
+//! * `--no-shrink`    record failures unminimized (debugging the shrinker)
+//! * `--replay P`     replay a fixture file (or every `.txt` fixture in a
+//!                    directory) instead of fuzzing; prints each config's
+//!                    disagreement in full
+//!
+//! Every case derives deterministically from `(seed, round)`: the round
+//! cycles the five paper datasets (plus a random-grammar flavour) for
+//! the document and draws one full-coverage query. A failing round is
+//! reproducible by rerunning with the same `--seed`/`--nodes`.
+
+use blossom_bench::diff::{fixture_contents, parse_fixture, run_case, shrink};
+use blossom_bench::Args;
+use blossom_xmlgen::{generate, random_query_full, Dataset};
+use std::path::PathBuf;
+
+const DATASETS: [Dataset; 5] = [
+    Dataset::D1Recursive,
+    Dataset::D2Address,
+    Dataset::D3Catalog,
+    Dataset::D4Treebank,
+    Dataset::D5Dblp,
+];
+
+fn main() {
+    let args = Args::parse();
+    let rounds: u64 = args.get("rounds").unwrap_or(1000);
+    let seed: u64 = args.get("seed").unwrap_or(0xB10550);
+    let nodes: usize = args.get("nodes").unwrap_or(160);
+    let out_dir: PathBuf =
+        args.get::<String>("out").unwrap_or_else(|| "tests/fixtures/diff".into()).into();
+    let fail_fast = args.has("fail-fast");
+    let no_shrink = args.has("no-shrink");
+
+    if let Some(path) = args.get::<String>("replay") {
+        std::process::exit(replay(&PathBuf::from(path)));
+    }
+
+    let mut failures = 0u64;
+    let mut agreed = 0u64;
+    let mut skipped = 0u64;
+    for round in 0..rounds {
+        let dataset = DATASETS[(round % DATASETS.len() as u64) as usize];
+        let doc_seed = seed.wrapping_add(round).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let doc = generate(dataset, nodes, doc_seed);
+        let xml = blossom_xml::writer::to_string(&doc);
+        let query = random_query_full(&doc, doc_seed ^ 0xD1FF);
+
+        let result = run_case(&xml, &query);
+        agreed += result.agreed as u64;
+        skipped += result.skipped as u64;
+        if result.ok() {
+            if round % 100 == 99 {
+                println!("round {}/{rounds}: ok ({agreed} agreements, {skipped} skips)", round + 1);
+            }
+            continue;
+        }
+
+        failures += 1;
+        println!("round {round}: MISMATCH ({} configs)", result.mismatches.len());
+        for m in result.mismatches.iter().take(3) {
+            println!("  [{}]\n    engine: {}\n    oracle: {}", m.config, m.engine, m.oracle);
+        }
+        let (min_xml, min_query) =
+            if no_shrink { (xml.clone(), query.clone()) } else { shrink(&xml, &query) };
+        println!("  minimized query: {min_query}");
+        println!("  minimized xml:   {min_xml}");
+        let provenance = format!(
+            "bin/diff --seed {seed} --nodes {nodes}, round {round}, dataset {dataset:?}"
+        );
+        let name = format!("case_{seed:x}_{round}.txt");
+        if let Err(e) = std::fs::create_dir_all(&out_dir)
+            .and_then(|_| std::fs::write(out_dir.join(&name), fixture_contents(&min_query, &min_xml, &provenance)))
+        {
+            eprintln!("  could not write fixture {name}: {e}");
+        } else {
+            println!("  fixture written: {}", out_dir.join(&name).display());
+        }
+        if fail_fast {
+            break;
+        }
+    }
+
+    println!(
+        "diff: {rounds} rounds, {failures} failing case(s), {agreed} config agreements, {skipped} not-applicable skips"
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// Replay one fixture file, or every `.txt` fixture in a directory.
+fn replay(path: &PathBuf) -> i32 {
+    let files: Vec<PathBuf> = if path.is_dir() {
+        let mut v: Vec<PathBuf> = std::fs::read_dir(path)
+            .expect("read fixture dir")
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "txt"))
+            .collect();
+        v.sort();
+        v
+    } else {
+        vec![path.clone()]
+    };
+    let mut failing = 0;
+    for f in files {
+        let contents = std::fs::read_to_string(&f).expect("read fixture");
+        let Some((query, xml)) = parse_fixture(&contents) else {
+            eprintln!("{}: not a fixture", f.display());
+            failing += 1;
+            continue;
+        };
+        let r = run_case(&xml, &query);
+        if r.ok() {
+            println!("{}: ok ({} agreed, {} skipped)", f.display(), r.agreed, r.skipped);
+        } else {
+            failing += 1;
+            println!("{}: {} mismatching config(s)", f.display(), r.mismatches.len());
+            println!("  query: {query}\n  xml:   {xml}");
+            for m in &r.mismatches {
+                println!("  [{}]\n    engine: {}\n    oracle: {}", m.config, m.engine, m.oracle);
+            }
+        }
+    }
+    if failing > 0 {
+        1
+    } else {
+        0
+    }
+}

@@ -1,0 +1,483 @@
+//! Differential conformance testing: every engine configuration against
+//! the spec-direct oracle.
+//!
+//! A *case* is one `(document, query)` pair. [`run_case`] evaluates it
+//! under the full configuration matrix — navigational plus every join
+//! strategy, threads ∈ {1,4}, `skip_joins` on/off — and compares each
+//! serialized result byte-for-byte with [`blossom_oracle::Oracle`].
+//! Explicit join strategies may reject a query as outside their shape
+//! (that's a *skip*, not a failure), but `Auto` and `Navigational` must
+//! accept everything the oracle accepts, and every successful evaluation
+//! must match the oracle exactly.
+//!
+//! On mismatch, [`shrink`] greedily minimizes first the document
+//! (subtree deletion, then text truncation) and then the query (clause /
+//! step / predicate removal and simplification), re-checking the full
+//! matrix after each candidate edit, until a fixpoint. The result is
+//! written as a fixture under `tests/fixtures/diff/` by
+//! [`write_fixture`] and replayed forever after by
+//! `tests/differential_regressions.rs`.
+
+use blossom_core::{Engine, EngineOptions, Strategy};
+use blossom_oracle::output::{serialize, Frag};
+use blossom_oracle::Oracle;
+use blossom_xml::{writer, Document, NodeId};
+use blossom_xpath::ast::{PathExpr, Predicate};
+use std::fmt;
+
+/// One engine configuration under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Evaluation strategy.
+    pub strategy: Strategy,
+    /// Worker threads.
+    pub threads: usize,
+    /// Posting-list / stream skipping.
+    pub skip_joins: bool,
+}
+
+impl fmt::Display for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/t{}/{}",
+            self.strategy,
+            self.threads,
+            if self.skip_joins { "skip" } else { "noskip" }
+        )
+    }
+}
+
+/// The full configuration matrix. Navigational ignores both knobs, so it
+/// appears once; every join strategy is crossed with threads and
+/// skipping.
+pub fn config_matrix() -> Vec<Config> {
+    let mut out = vec![Config { strategy: Strategy::Navigational, threads: 1, skip_joins: true }];
+    for strategy in [
+        Strategy::TwigStack,
+        Strategy::PathStack,
+        Strategy::Pipelined,
+        Strategy::BoundedNestedLoop,
+        Strategy::NaiveNestedLoop,
+        Strategy::Auto,
+    ] {
+        for threads in [1usize, 4] {
+            for skip_joins in [true, false] {
+                out.push(Config { strategy, threads, skip_joins });
+            }
+        }
+    }
+    out
+}
+
+/// Strategies that must accept everything the oracle accepts.
+fn must_support(strategy: Strategy) -> bool {
+    matches!(strategy, Strategy::Navigational | Strategy::Auto)
+}
+
+/// One disagreement between a configuration and the oracle.
+#[derive(Debug, Clone)]
+pub struct Mismatch {
+    /// The configuration that disagreed.
+    pub config: Config,
+    /// What the engine produced (or its error, prefixed `error: `).
+    pub engine: String,
+    /// What the oracle produced (or its error, prefixed `error: `).
+    pub oracle: String,
+}
+
+/// The outcome of one case across the matrix.
+#[derive(Debug, Clone, Default)]
+pub struct CaseResult {
+    /// Configurations that evaluated and agreed with the oracle.
+    pub agreed: usize,
+    /// Configurations that rejected the query as out of shape.
+    pub skipped: usize,
+    /// Disagreements (empty means the case passes).
+    pub mismatches: Vec<Mismatch>,
+}
+
+impl CaseResult {
+    /// Did every applicable configuration agree?
+    pub fn ok(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// Evaluate one `(document, query)` case under the whole matrix.
+///
+/// The query is additionally evaluated *twice* per configuration so the
+/// second run exercises the plan cache against the first.
+pub fn run_case(xml: &str, query: &str) -> CaseResult {
+    let doc = match Document::parse_str(xml) {
+        Ok(d) => d,
+        Err(_) => return CaseResult::default(), // unparseable fixture: nothing to test
+    };
+    let oracle = Oracle::new(&doc);
+    let expected = oracle.eval_query_str(query);
+    let expected_str = match &expected {
+        Ok(s) => s.clone(),
+        Err(e) => format!("error: {e}"),
+    };
+
+    let mut result = CaseResult::default();
+    for config in config_matrix() {
+        let engine = Engine::with_options(
+            Document::parse_str(xml).expect("reparse"),
+            EngineOptions {
+                threads: config.threads,
+                skip_joins: config.skip_joins,
+                ..EngineOptions::default()
+            },
+        );
+        let first = engine.eval_query_str(query, config.strategy).map(|d| writer::to_string(&d));
+        let second = engine.eval_query_str(query, config.strategy).map(|d| writer::to_string(&d));
+        let got = match (&first, &second) {
+            (Ok(a), Ok(b)) if a != b => {
+                // The cached plan disagreed with the fresh one.
+                result.mismatches.push(Mismatch {
+                    config,
+                    engine: format!("first: {a} / cached: {b}"),
+                    oracle: expected_str.clone(),
+                });
+                continue;
+            }
+            _ => first,
+        };
+        match (&expected, got) {
+            (Ok(want), Ok(got)) => {
+                if *want == got {
+                    result.agreed += 1;
+                } else {
+                    result.mismatches.push(Mismatch {
+                        config,
+                        engine: got,
+                        oracle: want.clone(),
+                    });
+                }
+            }
+            (Err(_), Err(_)) => result.agreed += 1, // both reject: agreement
+            (Ok(want), Err(e)) => {
+                if must_support(config.strategy) {
+                    result.mismatches.push(Mismatch {
+                        config,
+                        engine: format!("error: {e}"),
+                        oracle: want.clone(),
+                    });
+                } else {
+                    result.skipped += 1;
+                }
+            }
+            (Err(oe), Ok(got)) => {
+                // The oracle rejected a query the engine accepts: the
+                // oracle's subset model is wrong. Always a finding.
+                result.mismatches.push(Mismatch {
+                    config,
+                    engine: got,
+                    oracle: format!("error: {oe}"),
+                });
+            }
+        }
+    }
+    result
+}
+
+// ---------------------------------------------------------------------
+// Shrinking
+// ---------------------------------------------------------------------
+
+/// Serialize `doc` minus the subtree under `skip`, or with `skip`'s text
+/// replaced (when `replace` is `Some`).
+fn doc_without(doc: &Document, skip: NodeId, replace: Option<&str>) -> String {
+    fn walk(
+        doc: &Document,
+        n: NodeId,
+        skip: NodeId,
+        replace: Option<&str>,
+        out: &mut Vec<Frag>,
+    ) {
+        if n == skip {
+            if let Some(t) = replace {
+                if !t.trim().is_empty() {
+                    out.push(Frag::Text(t.to_string()));
+                }
+            }
+            return;
+        }
+        if let Some(t) = doc.text(n) {
+            if !t.trim().is_empty() {
+                out.push(Frag::Text(t.to_string()));
+            }
+            return;
+        }
+        match doc.tag_name(n) {
+            Some(tag) => {
+                let attrs = doc
+                    .attributes(n)
+                    .iter()
+                    .map(|(sym, v)| (doc.symbols().name(*sym).to_string(), v.to_string()))
+                    .collect();
+                let mut children = Vec::new();
+                for c in doc.children(n) {
+                    walk(doc, c, skip, replace, &mut children);
+                }
+                out.push(Frag::Elem { name: tag.to_string(), attrs, children });
+            }
+            None => {
+                for c in doc.children(n) {
+                    walk(doc, c, skip, replace, out);
+                }
+            }
+        }
+    }
+    let mut frags = Vec::new();
+    walk(doc, NodeId::DOCUMENT, skip, replace, &mut frags);
+    serialize(&frags)
+}
+
+/// One greedy document-shrink pass: try deleting every deletable subtree
+/// and truncating every text node, keeping any edit that preserves the
+/// mismatch. Returns the smaller document and whether anything changed.
+fn shrink_doc_once(xml: &str, query: &str) -> Option<String> {
+    let doc = Document::parse_str(xml).ok()?;
+    let root = doc.root_element()?;
+    for i in 0..doc.len() as u32 {
+        let n = NodeId(i);
+        if n == NodeId::DOCUMENT || n == root {
+            continue;
+        }
+        let candidate = doc_without(&doc, n, None);
+        if Document::parse_str(&candidate).is_ok() && !run_case(&candidate, query).ok() {
+            return Some(candidate);
+        }
+    }
+    // Text truncation after structure is minimal.
+    for i in 0..doc.len() as u32 {
+        let n = NodeId(i);
+        if let Some(t) = doc.text(n) {
+            for cut in [t.len() / 2, 1] {
+                if cut == 0 || cut >= t.len() || !t.is_char_boundary(cut) {
+                    continue;
+                }
+                let shorter = &t[..cut];
+                if shorter.trim().is_empty() {
+                    continue;
+                }
+                let candidate = doc_without(&doc, n, Some(shorter));
+                if Document::parse_str(&candidate).is_ok() && !run_case(&candidate, query).ok() {
+                    return Some(candidate);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Structural query-shrink candidates, smallest-change first. Candidates
+/// that fail to parse or no longer mismatch are rejected by the caller.
+fn query_candidates(query: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    match blossom_flwor::parse_query(query) {
+        Ok(blossom_flwor::ast::Expr::Path(p)) => path_candidates(&p, &mut out),
+        Ok(blossom_flwor::ast::Expr::Flwor(f)) => flwor_candidates(&f, &mut out),
+        _ => {}
+    }
+    out
+}
+
+fn path_candidates(p: &PathExpr, out: &mut Vec<String>) {
+    // Drop one step.
+    if p.steps.len() > 1 {
+        for i in 0..p.steps.len() {
+            let mut q = p.clone();
+            q.steps.remove(i);
+            out.push(q.to_string());
+        }
+    }
+    // Drop or simplify one predicate.
+    for (i, step) in p.steps.iter().enumerate() {
+        for j in 0..step.predicates.len() {
+            let mut q = p.clone();
+            q.steps[i].predicates.remove(j);
+            out.push(q.to_string());
+            for simpler in predicate_simplifications(&step.predicates[j]) {
+                let mut q = p.clone();
+                q.steps[i].predicates[j] = simpler;
+                out.push(q.to_string());
+            }
+        }
+    }
+}
+
+fn predicate_simplifications(pred: &Predicate) -> Vec<Predicate> {
+    match pred {
+        Predicate::And(a, b) | Predicate::Or(a, b) => {
+            vec![(**a).clone(), (**b).clone()]
+        }
+        Predicate::Not(p) => vec![(**p).clone()],
+        Predicate::Value { path: Some(p), .. } => vec![Predicate::Exists(p.clone())],
+        _ => Vec::new(),
+    }
+}
+
+fn flwor_candidates(f: &blossom_flwor::Flwor, out: &mut Vec<String>) {
+    use blossom_flwor::ast::{BoolExpr, Expr};
+    // Drop the where clause, or keep only one side of a connective.
+    if let Some(w) = &f.where_clause {
+        let mut g = f.clone();
+        g.where_clause = None;
+        out.push(Expr::Flwor(Box::new(g)).to_string());
+        let sides: Vec<BoolExpr> = match w {
+            BoolExpr::And(a, b) | BoolExpr::Or(a, b) => vec![(**a).clone(), (**b).clone()],
+            BoolExpr::Not(inner) => vec![(**inner).clone()],
+            _ => Vec::new(),
+        };
+        for s in sides {
+            let mut g = f.clone();
+            g.where_clause = Some(s);
+            out.push(Expr::Flwor(Box::new(g)).to_string());
+        }
+    }
+    // Drop order-by keys.
+    if !f.order_by.is_empty() {
+        let mut g = f.clone();
+        g.order_by.clear();
+        out.push(Expr::Flwor(Box::new(g)).to_string());
+        if f.order_by.len() > 1 {
+            for i in 0..f.order_by.len() {
+                let mut g = f.clone();
+                g.order_by.remove(i);
+                out.push(Expr::Flwor(Box::new(g)).to_string());
+            }
+        }
+    }
+    // Drop one binding (unbound-variable candidates are rejected later).
+    if f.bindings.len() > 1 {
+        for i in 0..f.bindings.len() {
+            let mut g = f.clone();
+            g.bindings.remove(i);
+            out.push(Expr::Flwor(Box::new(g)).to_string());
+        }
+    }
+    // Simplify the return clause to each of its embedded expressions.
+    if let Expr::Constructor(c) = &f.ret {
+        for child in &c.children {
+            if matches!(child, Expr::Path(_) | Expr::Flwor(_)) {
+                let mut g = f.clone();
+                g.ret = child.clone();
+                out.push(Expr::Flwor(Box::new(g)).to_string());
+            }
+        }
+    }
+}
+
+/// Deterministically minimize a mismatching case. Alternates document
+/// and query passes until neither shrinks further; the result still
+/// mismatches under [`run_case`].
+pub fn shrink(xml: &str, query: &str) -> (String, String) {
+    let mut xml = xml.to_string();
+    let mut query = query.to_string();
+    debug_assert!(!run_case(&xml, &query).ok(), "shrink() requires a mismatching case");
+    loop {
+        let mut progressed = false;
+        while let Some(smaller) = shrink_doc_once(&xml, &query) {
+            xml = smaller;
+            progressed = true;
+        }
+        let mut q_progress = true;
+        while q_progress {
+            q_progress = false;
+            for candidate in query_candidates(&query) {
+                if candidate != query
+                    && blossom_flwor::parse_query(&candidate).is_ok()
+                    && !run_case(&xml, &candidate).ok()
+                {
+                    query = candidate;
+                    progressed = true;
+                    q_progress = true;
+                    break;
+                }
+            }
+        }
+        if !progressed {
+            return (xml, query);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fixtures
+// ---------------------------------------------------------------------
+
+/// Render a fixture file: comment header, then `query:` and `xml:`
+/// lines. Both payloads are single-line by construction.
+pub fn fixture_contents(query: &str, xml: &str, provenance: &str) -> String {
+    // FLWOR `Display` is multi-line; the fixture format is line-oriented.
+    // Newlines are plain whitespace to both parsers, so flattening the
+    // query preserves its meaning.
+    let query = query.split_whitespace().collect::<Vec<_>>().join(" ");
+    format!(
+        "# minimized differential regression ({provenance})\n\
+         # replay: every config in diff::config_matrix() must match the oracle\n\
+         query: {query}\n\
+         xml: {xml}\n"
+    )
+}
+
+/// Parse a fixture file produced by [`fixture_contents`]. Returns
+/// `(query, xml)`.
+pub fn parse_fixture(contents: &str) -> Option<(String, String)> {
+    let mut query = None;
+    let mut xml = None;
+    for line in contents.lines() {
+        if let Some(rest) = line.strip_prefix("query: ") {
+            query = Some(rest.to_string());
+        } else if let Some(rest) = line.strip_prefix("xml: ") {
+            xml = Some(rest.to_string());
+        }
+    }
+    Some((query?, xml?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_covers_strategies_threads_and_skipping() {
+        let m = config_matrix();
+        assert_eq!(m.len(), 1 + 6 * 2 * 2);
+        assert!(m.iter().any(|c| c.strategy == Strategy::Navigational));
+        assert!(m.iter().any(|c| c.threads == 4 && !c.skip_joins));
+    }
+
+    #[test]
+    fn simple_cases_agree() {
+        let xml = "<bib><book><title>A</title><price>10</price></book>\
+                   <book><title>B</title><price>90</price></book></bib>";
+        for q in [
+            "//book/title",
+            "//book[price < 50]",
+            "for $b in //book order by $b/price descending return $b/title",
+        ] {
+            let r = run_case(xml, q);
+            assert!(r.ok(), "{q}: {:?}", r.mismatches.first());
+            assert!(r.agreed > 0);
+        }
+    }
+
+    #[test]
+    fn fixture_round_trip() {
+        let c = fixture_contents("//a[b]", "<r><a><b/></a></r>", "seed 7");
+        let (q, x) = parse_fixture(&c).unwrap();
+        assert_eq!(q, "//a[b]");
+        assert_eq!(x, "<r><a><b/></a></r>");
+    }
+
+    #[test]
+    fn doc_without_removes_subtree() {
+        let doc = Document::parse_str("<r><a><b/></a><c/></r>").unwrap();
+        let a = doc.root_element().map(|r| doc.children(r).next().unwrap()).unwrap();
+        assert_eq!(doc_without(&doc, a, None), "<r><c/></r>");
+    }
+}

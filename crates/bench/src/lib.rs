@@ -16,10 +16,16 @@
 //!   criterion suite on the in-tree harness); writes `BENCH_micro.json`.
 //! * `joins` — every structural operator with posting-list skipping on
 //!   vs off on the Table 3 workloads; writes `BENCH_joins.json`.
+//! * `diff` — the differential harness: seeded random documents and
+//!   queries, every engine configuration checked against the
+//!   spec-direct oracle (`blossom-oracle`), mismatches auto-shrunk to
+//!   minimized fixtures; `--replay <dir>` re-runs a fixture corpus.
+//!   Logic lives in [`diff`].
 //!
 //! Everything is dependency-free: timing uses the repeat-and-min harness
 //! in [`timing`], and reports serialize through its minimal JSON writer.
 
+pub mod diff;
 pub mod harness;
 pub mod queries;
 pub mod timing;

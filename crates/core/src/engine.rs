@@ -449,25 +449,35 @@ reason: {}
         d: &Decomposition,
         strategy: Strategy,
     ) -> Result<Vec<NodeId>, EngineError> {
+        let auto = strategy == Strategy::Auto;
         let strategy = match strategy {
             Strategy::Auto => plan::choose(path, d, &self.stats).strategy,
             s => s,
         };
-        match strategy {
+        let result = match strategy {
             Strategy::Navigational => Ok(navigational::eval_path(&self.doc, path, &[])),
             Strategy::TwigStack => self.eval_path_twigstack(path),
             Strategy::PathStack => self.eval_path_pathstack(path),
             Strategy::Pipelined | Strategy::BoundedNestedLoop | Strategy::NaiveNestedLoop => {
                 let output = bt.returning[0];
-                let results = self.eval_decomposition(d, strategy)?;
-                let out_shape =
-                    d.shape.by_pattern(output).expect("query output is returning");
-                let mut nodes = ops::project_seq_shape(&results, out_shape);
-                nodes.sort_unstable();
-                nodes.dedup();
-                Ok(nodes)
+                self.eval_decomposition(d, strategy, None).map(|results| {
+                    let out_shape =
+                        d.shape.by_pattern(output).expect("query output is returning");
+                    let mut nodes = ops::project_seq_shape(&results, out_shape);
+                    nodes.sort_unstable();
+                    nodes.dedup();
+                    nodes
+                })
             }
             Strategy::Auto => unreachable!("resolved above"),
+        };
+        match result {
+            // The planner's feature checks are conservative approximations
+            // of each strategy's real support; if the chosen strategy still
+            // rejects the query, Auto must not surface that — navigational
+            // evaluation is total.
+            Err(_) if auto => Ok(navigational::eval_path(&self.doc, path, &[])),
+            r => r,
         }
     }
 
@@ -477,37 +487,51 @@ reason: {}
         path: &PathExpr,
         strategy: Strategy,
     ) -> Result<Vec<NodeId>, EngineError> {
+        let auto = strategy == Strategy::Auto;
         let strategy = match strategy {
             Strategy::Auto => {
                 if path.has_positional() || path.has_disjunction() {
                     Strategy::Navigational
                 } else {
-                    let bt = BlossomTree::from_path(path)?;
-                    let d = Decomposition::decompose(&bt);
-                    plan::choose(path, &d, &self.stats).strategy
+                    match BlossomTree::from_path(path) {
+                        Ok(bt) => {
+                            let d = Decomposition::decompose(&bt);
+                            plan::choose(path, &d, &self.stats).strategy
+                        }
+                        // Outside the pattern algebra: navigational covers
+                        // the full AST.
+                        Err(_) => Strategy::Navigational,
+                    }
                 }
             }
             s => s,
         };
-        match strategy {
+        let result = match strategy {
             Strategy::Navigational => Ok(navigational::eval_path(&self.doc, path, &[])),
             Strategy::TwigStack => self.eval_path_twigstack(path),
             Strategy::PathStack => self.eval_path_pathstack(path),
             Strategy::Pipelined | Strategy::BoundedNestedLoop | Strategy::NaiveNestedLoop => {
-                let bt = BlossomTree::from_path(path)?;
-                let output = bt.returning[0];
-                let d = Decomposition::decompose(&bt);
-                let results = self.eval_decomposition(&d, strategy)?;
-                let out_shape = d
-                    .shape
-                    .by_pattern(output)
-                    .expect("query output is returning");
-                let mut nodes = ops::project_seq_shape(&results, out_shape);
-                nodes.sort_unstable();
-                nodes.dedup();
-                Ok(nodes)
+                BlossomTree::from_path(path).map_err(EngineError::from).and_then(|bt| {
+                    let output = bt.returning[0];
+                    let d = Decomposition::decompose(&bt);
+                    let results = self.eval_decomposition(&d, strategy, None)?;
+                    let out_shape = d
+                        .shape
+                        .by_pattern(output)
+                        .expect("query output is returning");
+                    let mut nodes = ops::project_seq_shape(&results, out_shape);
+                    nodes.sort_unstable();
+                    nodes.dedup();
+                    Ok(nodes)
+                })
             }
             Strategy::Auto => unreachable!("resolved above"),
+        };
+        match result {
+            // Same contract as `eval_path_planned`: Auto never leaks a
+            // strategy's capability error.
+            Err(_) if auto => Ok(navigational::eval_path(&self.doc, path, &[])),
+            r => r,
         }
     }
 
@@ -523,6 +547,11 @@ reason: {}
         }
         let root = roots[0];
         let root_axis = bt.pattern.node(root).axis;
+        if !matches!(root_axis, Axis::Child | Axis::Descendant) {
+            // Nothing is beside, before, after, or (for an element test)
+            // equal to the document node: the anchor set is empty.
+            return Ok(Vec::new());
+        }
         let mut m = PathStackMatcher::with_skip(
             &self.doc,
             &self.index,
@@ -546,6 +575,11 @@ reason: {}
         }
         let root = roots[0];
         let root_axis = bt.pattern.node(root).axis;
+        if !matches!(root_axis, Axis::Child | Axis::Descendant) {
+            // Same reasoning as PathStack: such a first step can match
+            // nothing relative to the document node.
+            return Ok(Vec::new());
+        }
         let mut tm = TwigMatcher::with_skip(
             &self.doc,
             &self.index,
@@ -642,6 +676,15 @@ reason: {}
         if strategy == Strategy::Navigational {
             return self.naive_flwor(builder, flwor);
         }
+        // A `path op literal` where-atom becomes a mandatory value
+        // constraint in the pattern, filtering match-by-match. That equals
+        // the tuple semantics only when the operand iterates with a `for`
+        // binding; over a `let`-bound (or absolute) operand the atom is an
+        // existential filter on the whole sequence, and folding it would
+        // both narrow the bound sequence and stop filtering empty tuples.
+        if !where_literal_atoms_iterate(flwor) {
+            return self.naive_flwor(builder, flwor);
+        }
         let bt = match BlossomTree::from_flwor(flwor) {
             Ok(bt) => bt,
             Err(BlossomError::Unsupported(_)) if strategy == Strategy::Auto => {
@@ -686,7 +729,7 @@ reason: {}
                 cur = node.parent;
             }
         }
-        let results = self.eval_decomposition(&d, strategy)?;
+        let results = self.eval_decomposition(&d, strategy, Some(&for_positions))?;
         // Parallel for-clause iteration, step 1: the per-anchor
         // NestedLists are chunked across workers, each unnesting its
         // chunk into tuples independently; ordered collection keeps the
@@ -751,10 +794,17 @@ reason: {}
 
     /// Evaluate all NoKs + joins of a decomposition, returning the final
     /// sequence of NestedLists.
+    ///
+    /// `for_positions` (FLWOR callers only) names the shape positions
+    /// bound by `for` clauses; components containing none of them are
+    /// `let`-only and their matches collapse into a single grouped
+    /// NestedList before any join, so they bind a whole sequence per
+    /// tuple instead of multiplying the tuple count.
     fn eval_decomposition(
         &self,
         d: &Decomposition,
         strategy: Strategy,
+        for_positions: Option<&FxHashSet<ShapeId>>,
     ) -> Result<Vec<NestedList>, EngineError> {
         let matchers: Vec<NokMatcher<'_>> = d
             .noks
@@ -828,6 +878,33 @@ reason: {}
             let mut set = FxHashSet::default();
             set.insert(ci);
             groups.push((set, results?));
+        }
+
+        // Collapse `let`-only components: a `let` binds its entire match
+        // sequence once per tuple, so such a component must contribute a
+        // single (possibly empty) grouped NestedList. This also makes the
+        // crossing-edge joins below existential over the sequence, which
+        // is the `where` clause's comparison semantics.
+        if let Some(fp) = for_positions {
+            for (ci, (_, results)) in groups.iter_mut().enumerate() {
+                let has_for = d
+                    .noks
+                    .iter()
+                    .enumerate()
+                    .filter(|&(ni, _)| comp_of[ni] == ci)
+                    .flat_map(|(_, nok)| nok.shape_of.iter().flatten())
+                    .any(|sid| fp.contains(sid));
+                if !has_for {
+                    let mut merged = NestedList::empty(d.shape.clone());
+                    for nl in std::mem::take(results) {
+                        for (gi, group) in nl.root.groups.into_iter().enumerate() {
+                            merged.root.groups[gi]
+                                .extend(group.into_iter().filter(|n| !n.is_placeholder()));
+                        }
+                    }
+                    *results = vec![merged];
+                }
+            }
         }
 
         // Crossing-edge predicates.
@@ -905,6 +982,13 @@ reason: {}
         cuts: &[&CutEdge],
         strategy: Strategy,
     ) -> Result<Vec<NestedList>, EngineError> {
+        // The component root is matched relative to the document root, so
+        // only `/` (depth-1 elements) and `//` (every element) admit
+        // anchors: nothing is a sibling of, follows, precedes, or *is*
+        // (for an element test) the document node.
+        if !matches!(root_axis, Axis::Child | Axis::Descendant) {
+            return Ok(Vec::new());
+        }
         let level_ok = |anchor: NodeId| -> bool {
             root_axis != Axis::Child || self.doc.level(anchor) == 1
         };
@@ -1210,6 +1294,34 @@ fn drain_matching<T, F: Fn(&T) -> bool>(v: &mut Vec<T>, pred: F) -> Vec<T> {
         }
     }
     out
+}
+
+/// Does every `path op literal` atom of the where clause start at a
+/// `for`-bound variable? Only those operands iterate per tuple, making
+/// the BlossomTree's per-match value-constraint folding equivalent to
+/// the existential where semantics.
+fn where_literal_atoms_iterate(flwor: &Flwor) -> bool {
+    let for_vars: FxHashSet<&str> = flwor
+        .bindings
+        .iter()
+        .filter(|b| b.kind == blossom_flwor::BindingKind::For)
+        .map(|b| b.var.as_str())
+        .collect();
+    fn walk(e: &BoolExpr, for_vars: &FxHashSet<&str>) -> bool {
+        match e {
+            BoolExpr::And(a, b) | BoolExpr::Or(a, b) => {
+                walk(a, for_vars) && walk(b, for_vars)
+            }
+            BoolExpr::Not(inner) => walk(inner, for_vars),
+            BoolExpr::Comparison(Comparison::Value {
+                left,
+                right: ValueOperand::Literal(_),
+                ..
+            }) => matches!(&left.start, PathStart::Variable(v) if for_vars.contains(v.as_str())),
+            BoolExpr::Comparison(_) => true,
+        }
+    }
+    flwor.where_clause.as_ref().map_or(true, |w| walk(w, &for_vars))
 }
 
 /// Strip predicates from a path (used only to produce a plan explanation

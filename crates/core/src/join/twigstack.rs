@@ -130,10 +130,11 @@ impl<'d> TwigMatcher<'d> {
                 NodeTest::Text => return Err(TwigError::TextTest),
                 NodeTest::Attribute(_) => unreachable!("filtered by the caller"),
             };
-            if !axis.is_local() && axis != Axis::Descendant {
-                return Err(TwigError::SiblingAxis);
-            }
-            if axis == Axis::FollowingSibling || axis == Axis::SelfAxis {
+            // The stack encoding covers exactly the two vertical
+            // relationships; every other axis (both sibling directions,
+            // self, following, preceding) must be rejected, not silently
+            // evaluated as parent-child.
+            if !matches!(axis, Axis::Child | Axis::Descendant) {
                 return Err(TwigError::SiblingAxis);
             }
             // Stream: tag postings filtered by value tests and attribute

@@ -12,7 +12,7 @@
 //!   stream, otherwise bounded nested loop.
 
 use crate::decompose::{CutEdge, Decomposition};
-use blossom_xml::{DocStats, Document, TagIndex};
+use blossom_xml::{Axis, DocStats, Document, TagIndex};
 use blossom_xpath::ast::NodeTest;
 use blossom_xpath::ast::PathExpr;
 use blossom_xpath::pattern::EdgeMode;
@@ -64,18 +64,26 @@ pub struct Plan {
 }
 
 /// Can every pattern node of the decomposition feed a TwigStack stream
-/// (name tests only, mandatory edges)?
+/// (name tests only, mandatory edges, parent-child / ancestor-descendant
+/// relationships only)? Sibling, `self`, `following` and `preceding`
+/// edges have no stack encoding in the holistic join.
 pub fn twigstack_compatible(d: &Decomposition) -> bool {
     d.noks.iter().all(|nok| {
         nok.pattern.ids().skip(1).all(|id| {
             let n = nok.pattern.node(id);
-            matches!(n.test, NodeTest::Attribute(_))
-                || (matches!(n.test, NodeTest::Name(_)) && n.mode == EdgeMode::Mandatory)
+            // NoK roots carry a Child placeholder axis; the real entry
+            // axis is checked via `d.roots` / `d.cut_edges` below.
+            n.axis == Axis::Child
+                && (matches!(n.test, NodeTest::Attribute(_))
+                    || (matches!(n.test, NodeTest::Name(_)) && n.mode == EdgeMode::Mandatory))
         })
     }) && d
         .cut_edges
         .iter()
-        .all(|e| e.mode == EdgeMode::Mandatory)
+        .all(|e| e.axis == Axis::Descendant && e.mode == EdgeMode::Mandatory)
+        && d.roots
+            .iter()
+            .all(|&(_, a)| matches!(a, Axis::Child | Axis::Descendant))
 }
 
 /// Estimated cardinality of a NoK's anchors: the tag-index stream length

@@ -1,0 +1,175 @@
+//! Unit tests pinned to engine bugs found by the differential harness
+//! (see `tests/fixtures/diff/` at the workspace root for the original
+//! minimized cases and provenance). Each test names the invariant the
+//! fix established, so a failure here points at the regressed rule
+//! directly instead of via an oracle diff.
+
+use blossom_core::{Engine, Strategy};
+use blossom_xml::writer;
+
+const ALL: [Strategy; 7] = [
+    Strategy::Auto,
+    Strategy::Navigational,
+    Strategy::TwigStack,
+    Strategy::PathStack,
+    Strategy::Pipelined,
+    Strategy::BoundedNestedLoop,
+    Strategy::NaiveNestedLoop,
+];
+
+/// Nothing is before, after, beside, or equal to the document node, so a
+/// leading global or sibling axis selects nothing — in every strategy
+/// that accepts the query.
+#[test]
+fn leading_non_vertical_axes_are_empty() {
+    let engine = Engine::from_xml("<dblp><book/></dblp>").unwrap();
+    for query in [
+        "/preceding::dblp",
+        "/following::book",
+        "/preceding-sibling::dblp",
+        "/following-sibling::dblp",
+    ] {
+        for strategy in ALL {
+            if let Ok(nodes) = engine.eval_path_str(query, strategy) {
+                assert!(
+                    nodes.is_empty(),
+                    "{query} under {strategy} selected {} node(s), expected none",
+                    nodes.len()
+                );
+            }
+        }
+    }
+    // Sanity: a leading child/descendant axis still anchors normally.
+    assert_eq!(
+        engine
+            .eval_path_str("/dblp", Strategy::Navigational)
+            .unwrap()
+            .len(),
+        1
+    );
+}
+
+/// Auto is a complete strategy: when the planner's structural-join pick
+/// cannot handle the query shape it must fall back, never surface the
+/// specialist's capability error.
+#[test]
+fn auto_never_leaks_strategy_capability_errors() {
+    let engine = Engine::from_xml("<dblp><book/><number/></dblp>").unwrap();
+    for query in [
+        "//book/following::number",
+        "//number/preceding::book",
+        "//book/following-sibling::number",
+    ] {
+        let auto = engine.eval_path_str(query, Strategy::Auto).unwrap_or_else(|e| {
+            panic!("Auto must not fail on {query}: {e}");
+        });
+        let reference = engine
+            .eval_path_str(query, Strategy::Navigational)
+            .unwrap();
+        assert_eq!(auto, reference, "Auto diverged on {query}");
+    }
+}
+
+/// TwigStack only implements vertical (child/descendant) edges; every
+/// other axis must be rejected loudly, not evaluated as parent-child.
+#[test]
+fn twigstack_rejects_non_vertical_axes() {
+    let engine = Engine::from_xml("<a><a><b1/><c1/></a></a>").unwrap();
+    let result = engine.eval_path_str("//c1/preceding-sibling::b1", Strategy::TwigStack);
+    assert!(
+        result.is_err(),
+        "TwigStack accepted a preceding-sibling step and returned {:?}",
+        result.unwrap()
+    );
+    // The same query through Auto must still produce the right answer.
+    let auto = engine
+        .eval_path_str("//c1/preceding-sibling::b1", Strategy::Auto)
+        .unwrap();
+    assert_eq!(auto.len(), 1);
+}
+
+/// FLWOR output under `strategy`, or `None` when the strategy rejects the
+/// query as out of shape (allowed for specialists; Auto and Navigational
+/// must always answer, so those unwrap at the call sites).
+fn query_output(engine: &Engine, query: &str, strategy: Strategy) -> Option<String> {
+    match engine.eval_query_str(query, strategy) {
+        Ok(doc) => Some(writer::to_string(&doc)),
+        Err(_) => {
+            assert!(
+                !matches!(strategy, Strategy::Auto | Strategy::Navigational),
+                "{strategy} must support every query"
+            );
+            None
+        }
+    }
+}
+
+/// A `let` binds its whole sequence once per tuple: an uncorrelated let
+/// must neither multiply the tuple count nor filter tuples when empty.
+#[test]
+fn uncorrelated_let_binds_sequence_once_per_tuple() {
+    let engine = Engine::from_xml(
+        "<addresses><address><country_id/></address><address><country_id/></address></addresses>",
+    )
+    .unwrap();
+    let query = "for $v0 in //address let $v2 := //country_id return $v0";
+    let expected = query_output(&engine, query, Strategy::Navigational).unwrap();
+    assert_eq!(
+        expected.matches("<address>").count(),
+        2,
+        "reference evaluation must emit one result per for-tuple"
+    );
+    for strategy in ALL {
+        if let Some(got) = query_output(&engine, query, strategy) {
+            assert_eq!(
+                got, expected,
+                "{strategy} multiplied or dropped tuples through the let binding"
+            );
+        }
+    }
+
+    // An empty let sequence keeps the tuple alive.
+    let query = "for $v0 in //address let $v2 := //missing return $v0";
+    let expected = query_output(&engine, query, Strategy::Navigational).unwrap();
+    assert_eq!(expected.matches("<address>").count(), 2);
+    for strategy in ALL {
+        if let Some(got) = query_output(&engine, query, strategy) {
+            assert_eq!(got, expected);
+        }
+    }
+}
+
+/// A `path op literal` where-atom over a let variable is an existential
+/// test over the whole sequence; it must not be folded into the pattern
+/// as a per-match constraint (which would narrow the bound sequence) and
+/// must drop the tuple when no node satisfies it.
+#[test]
+fn where_atom_on_let_variable_is_existential() {
+    // No book at all: the single let tuple fails the where clause.
+    let engine = Engine::from_xml("<dblp/>").unwrap();
+    let query = "let $v1 := //book where $v1/crossref < 1980 return <out>{ $v1/crossref }</out>";
+    for strategy in ALL {
+        if let Some(out) = query_output(&engine, query, strategy) {
+            assert!(
+                !out.contains("<out>"),
+                "{strategy} emitted a tuple although the where clause fails: {out}"
+            );
+        }
+    }
+
+    // Mixed: the where clause passes, and $v1 still binds *every* book.
+    let engine = Engine::from_xml(
+        "<dblp><book><crossref>1970</crossref></book><book><crossref>1990</crossref></book></dblp>",
+    )
+    .unwrap();
+    let expected = query_output(&engine, query, Strategy::Navigational).unwrap();
+    assert!(expected.contains("1970") && expected.contains("1990"));
+    for strategy in ALL {
+        if let Some(got) = query_output(&engine, query, strategy) {
+            assert_eq!(
+                got, expected,
+                "{strategy} narrowed the let sequence to the where-satisfying matches"
+            );
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! Spec-direct FLWOR evaluation.
+//!
+//! Tuple semantics re-derived from the paper's Section 3.1 grammar (plus
+//! this repo's documented extensions — constructors in `return`,
+//! correlated nested FLWORs):
+//!
+//! * bindings nest left to right; `for` iterates its node sequence one
+//!   node per tuple, `let` binds the whole sequence once;
+//! * variable-rooted paths continue from the bound nodes; later bindings
+//!   shadow earlier ones of the same name;
+//! * `where` filters tuples with existential value comparisons, node
+//!   order/identity over first nodes, `deep-equal`, `count`,
+//!   `exists`/`empty`;
+//! * `order by` is a stable multi-key sort on the string value of each
+//!   key path's first node (empty string when the path is empty), with
+//!   per-key direction;
+//! * `return` constructs one fragment sequence per surviving tuple.
+
+use crate::order::DocOrder;
+use crate::output::{self, Frag};
+use crate::path::{compare_atomic, PathOracle};
+use crate::OracleError;
+use blossom_flwor::ast::{BoolExpr, Comparison, Expr, Flwor, ValueOperand};
+use blossom_flwor::{BindingKind, SortOrder};
+use blossom_xml::{Document, NodeId, NodeKind};
+use blossom_xpath::ast::{PathExpr, PathStart};
+
+/// One tuple environment: variable bindings in binding order.
+type Env = Vec<(String, Vec<NodeId>)>;
+
+/// FLWOR evaluator borrowing a document and its independent ordering.
+pub struct FlworOracle<'d> {
+    doc: &'d Document,
+    order: &'d DocOrder,
+    paths: PathOracle<'d>,
+}
+
+impl<'d> FlworOracle<'d> {
+    /// Construct over an existing [`DocOrder`].
+    pub fn new(doc: &'d Document, order: &'d DocOrder) -> FlworOracle<'d> {
+        FlworOracle { doc, order, paths: PathOracle::new(doc, order) }
+    }
+
+    /// Evaluate `flwor` under `base` bindings (non-empty for correlated
+    /// nested FLWORs) and append each tuple's constructed return.
+    pub fn eval_flwor_into(
+        &self,
+        out: &mut Vec<Frag>,
+        flwor: &Flwor,
+        base: &[(String, Vec<NodeId>)],
+    ) -> Result<(), OracleError> {
+        for env in self.envs(flwor, base)? {
+            self.construct_env(out, &flwor.ret, &env)?;
+        }
+        Ok(())
+    }
+
+    /// The ordered tuple environments of a FLWOR.
+    fn envs(&self, flwor: &Flwor, base: &[(String, Vec<NodeId>)]) -> Result<Vec<Env>, OracleError> {
+        let mut env: Env = base.to_vec();
+        let mut envs: Vec<Env> = Vec::new();
+        self.bind(&mut envs, flwor, 0, &mut env)?;
+        if !flwor.order_by.is_empty() {
+            let mut keyed: Vec<(Vec<String>, Env)> = Vec::with_capacity(envs.len());
+            for e in envs {
+                let mut keys = Vec::with_capacity(flwor.order_by.len());
+                for (ob, _) in &flwor.order_by {
+                    keys.push(
+                        self.resolve_path(ob, &e)?
+                            .first()
+                            .map(|&n| self.paths.string_value(n))
+                            .unwrap_or_default(),
+                    );
+                }
+                keyed.push((keys, e));
+            }
+            // Stable sort: equal-key tuples keep binding order.
+            keyed.sort_by(|a, b| {
+                for (i, (_, direction)) in flwor.order_by.iter().enumerate() {
+                    let ord = a.0[i].cmp(&b.0[i]);
+                    let ord =
+                        if *direction == SortOrder::Descending { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            return Ok(keyed.into_iter().map(|(_, e)| e).collect());
+        }
+        Ok(envs)
+    }
+
+    fn bind(
+        &self,
+        envs: &mut Vec<Env>,
+        flwor: &Flwor,
+        idx: usize,
+        env: &mut Env,
+    ) -> Result<(), OracleError> {
+        if idx == flwor.bindings.len() {
+            if let Some(w) = &flwor.where_clause {
+                if !self.eval_where(w, env)? {
+                    return Ok(());
+                }
+            }
+            envs.push(env.clone());
+            return Ok(());
+        }
+        let binding = &flwor.bindings[idx];
+        let nodes = self.resolve_path(&binding.path, env)?;
+        match binding.kind {
+            BindingKind::For => {
+                for n in nodes {
+                    env.push((binding.var.clone(), vec![n]));
+                    self.bind(envs, flwor, idx + 1, env)?;
+                    env.pop();
+                }
+            }
+            BindingKind::Let => {
+                env.push((binding.var.clone(), nodes));
+                self.bind(envs, flwor, idx + 1, env)?;
+                env.pop();
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolve a path under an environment: variable starts continue
+    /// from the bound nodes (innermost binding wins), everything else is
+    /// absolute.
+    fn resolve_path(&self, path: &PathExpr, env: &Env) -> Result<Vec<NodeId>, OracleError> {
+        match &path.start {
+            PathStart::Variable(v) => {
+                let bound = env
+                    .iter()
+                    .rev()
+                    .find(|(name, _)| name == v)
+                    .map(|(_, nodes)| nodes.clone())
+                    .ok_or_else(|| OracleError::UnboundVariable(v.clone()))?;
+                if path.steps.is_empty() {
+                    Ok(bound)
+                } else {
+                    Ok(self.paths.eval_steps(&path.steps, &bound))
+                }
+            }
+            _ => Ok(self.paths.eval_path(path, &[])),
+        }
+    }
+
+    fn eval_where(&self, expr: &BoolExpr, env: &Env) -> Result<bool, OracleError> {
+        match expr {
+            BoolExpr::And(a, b) => Ok(self.eval_where(a, env)? && self.eval_where(b, env)?),
+            BoolExpr::Or(a, b) => Ok(self.eval_where(a, env)? || self.eval_where(b, env)?),
+            BoolExpr::Not(e) => Ok(!self.eval_where(e, env)?),
+            BoolExpr::Comparison(c) => self.eval_comparison(c, env),
+        }
+    }
+
+    fn eval_comparison(&self, c: &Comparison, env: &Env) -> Result<bool, OracleError> {
+        match c {
+            Comparison::NodeOrder { left, before, right } => {
+                let l = self.resolve_path(left, env)?;
+                let r = self.resolve_path(right, env)?;
+                Ok(match (l.first(), r.first()) {
+                    (Some(&ln), Some(&rn)) => {
+                        if *before {
+                            self.order.before(ln, rn)
+                        } else {
+                            self.order.before(rn, ln)
+                        }
+                    }
+                    _ => false,
+                })
+            }
+            Comparison::Value { left, op, right } => {
+                let l = self.resolve_path(left, env)?;
+                match right {
+                    ValueOperand::Literal(lit) => Ok(l
+                        .iter()
+                        .any(|&n| self.paths.node_vs_literal(n, *op, lit))),
+                    ValueOperand::Path(rp) => {
+                        let r = self.resolve_path(rp, env)?;
+                        // Existential general comparison.
+                        Ok(l.iter().any(|&ln| {
+                            let lv = self.paths.string_value(ln);
+                            r.iter().any(|&rn| {
+                                op.eval(compare_atomic(&lv, &self.paths.string_value(rn)))
+                            })
+                        }))
+                    }
+                }
+            }
+            Comparison::DeepEqual { left, right } => {
+                let l = self.resolve_path(left, env)?;
+                let r = self.resolve_path(right, env)?;
+                Ok(l.len() == r.len()
+                    && l.iter().zip(&r).all(|(&a, &b)| self.deep_equal(a, b)))
+            }
+            Comparison::NodeIdentity { left, same, right } => {
+                let l = self.resolve_path(left, env)?;
+                let r = self.resolve_path(right, env)?;
+                Ok(match (l.first(), r.first()) {
+                    (Some(&ln), Some(&rn)) => (ln == rn) == *same,
+                    _ => false,
+                })
+            }
+            Comparison::Count { path, op, value } => {
+                let n = self.resolve_path(path, env)?.len() as f64;
+                Ok(op.eval(n.partial_cmp(value).unwrap_or(std::cmp::Ordering::Equal)))
+            }
+            Comparison::Exists { path, exists } => {
+                Ok((!self.resolve_path(path, env)?.is_empty()) == *exists)
+            }
+        }
+    }
+
+    /// `fn:deep-equal` on two nodes, re-derived: same kind; text nodes
+    /// compare content; elements compare tag, full attribute list, and
+    /// children pairwise.
+    fn deep_equal(&self, a: NodeId, b: NodeId) -> bool {
+        match (self.doc.kind(a), self.doc.kind(b)) {
+            (NodeKind::Text, NodeKind::Text) => self.doc.text(a) == self.doc.text(b),
+            (NodeKind::Element(sa), NodeKind::Element(sb)) => {
+                if sa != sb || self.doc.attributes(a) != self.doc.attributes(b) {
+                    return false;
+                }
+                let ca: Vec<NodeId> = self.doc.children(a).collect();
+                let cb: Vec<NodeId> = self.doc.children(b).collect();
+                ca.len() == cb.len()
+                    && ca.iter().zip(&cb).all(|(&x, &y)| self.deep_equal(x, y))
+            }
+            (NodeKind::Document, NodeKind::Document) => a == b,
+            _ => false,
+        }
+    }
+
+    /// Construct a return expression for one tuple.
+    pub fn construct_env(
+        &self,
+        out: &mut Vec<Frag>,
+        expr: &Expr,
+        env: &Env,
+    ) -> Result<(), OracleError> {
+        match expr {
+            Expr::Text(t) => {
+                output::push_text(out, t);
+                Ok(())
+            }
+            Expr::Sequence(items) => {
+                for i in items {
+                    self.construct_env(out, i, env)?;
+                }
+                Ok(())
+            }
+            Expr::Constructor(c) => {
+                let mut children = Vec::new();
+                for child in &c.children {
+                    self.construct_env(&mut children, child, env)?;
+                }
+                out.push(Frag::Elem {
+                    name: c.name.clone(),
+                    attrs: c.attrs.clone(),
+                    children,
+                });
+                Ok(())
+            }
+            Expr::Path(p) => {
+                for n in self.resolve_path(p, env)? {
+                    output::copy_subtree(self.doc, n, out);
+                }
+                Ok(())
+            }
+            // Correlated nested FLWOR: sees the outer environment.
+            Expr::Flwor(inner) => self.eval_flwor_into(out, inner, env),
+        }
+    }
+
+    /// Construct a top-level expression (no tuple environment yet).
+    pub fn construct(
+        &self,
+        out: &mut Vec<Frag>,
+        expr: &Expr,
+        env: &Env,
+    ) -> Result<(), OracleError> {
+        self.construct_env(out, expr, env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Oracle;
+
+    #[test]
+    fn let_binds_sequence_and_for_iterates() {
+        let doc = Document::parse_str(
+            "<bib><book><a>x</a><a>y</a></book><book><a>z</a></book></bib>",
+        )
+        .unwrap();
+        let o = Oracle::new(&doc);
+        let out = o
+            .eval_query_str("for $b in //book let $a := $b/a return <n>{$a}</n>")
+            .unwrap();
+        assert_eq!(out, "<result><n><a>x</a><a>y</a></n><n><a>z</a></n></result>");
+    }
+
+    #[test]
+    fn where_and_order_by() {
+        let doc = Document::parse_str(
+            "<r><p><v>2</v></p><p><v>1</v></p><p><v>3</v></p></r>",
+        )
+        .unwrap();
+        let o = Oracle::new(&doc);
+        let asc = o
+            .eval_query_str("for $p in //p where exists($p/v) order by $p/v return $p/v")
+            .unwrap();
+        assert_eq!(asc, "<result><v>1</v><v>2</v><v>3</v></result>");
+        let desc = o
+            .eval_query_str("for $p in //p order by $p/v descending return $p/v")
+            .unwrap();
+        assert_eq!(desc, "<result><v>3</v><v>2</v><v>1</v></result>");
+    }
+
+    #[test]
+    fn deep_equal_and_identity() {
+        let doc = Document::parse_str(
+            "<r><a><x>1</x></a><a><x>1</x></a><b><x>2</x></b></r>",
+        )
+        .unwrap();
+        let o = Oracle::new(&doc);
+        let out = o
+            .eval_query_str(
+                "for $a in //a for $b in //a where deep-equal($a/x, $b/x) and $a isnot $b return <m/>",
+            )
+            .unwrap();
+        assert_eq!(out, "<result><m/><m/></result>");
+    }
+}

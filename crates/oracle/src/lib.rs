@@ -1,0 +1,172 @@
+//! The spec-direct reference evaluator ("oracle") for differential
+//! testing.
+//!
+//! Everything the engine computes cleverly — region-label containment,
+//! structural joins, NoK pattern matching, skip-joins, plan caching,
+//! parallel scans — this crate recomputes naively, straight from the
+//! semantics written down in DESIGN.md:
+//!
+//! * **Document order** is derived by an explicit preorder walk over the
+//!   parent/child structure ([`order::DocOrder`]), *not* from node-id
+//!   arithmetic or region labels. If the arena's "preorder = id order"
+//!   invariant ever broke, differential runs would catch it.
+//! * **Axes** are implemented from their definitions (child, descendant,
+//!   siblings, following/preceding via rank comparison and ancestor
+//!   walks), never via `last_desc` shortcuts.
+//! * **Node-set semantics**: after every location step the intermediate
+//!   result is sorted by preorder rank and deduplicated.
+//! * **Value comparison**, **deep-equal**, and **FLWOR** tuple semantics
+//!   are re-derived in [`path`] and [`flwor`] without importing
+//!   `blossom-core`.
+//! * **Serialization** ([`output`]) rebuilds the writer's compact form
+//!   (including entity escaping and `<x/>` self-closing) byte for byte
+//!   on an independent fragment tree.
+//!
+//! The only shared code is the data substrate every evaluator must agree
+//! on: the parsed [`Document`] tree, the XPath/FLWOR ASTs and parsers.
+//! `blossom-core` is **not** a dependency — see `Cargo.toml`.
+
+#![deny(missing_docs)]
+
+pub mod flwor;
+pub mod order;
+pub mod output;
+pub mod path;
+
+use blossom_flwor::ast::Expr;
+use blossom_xml::Document;
+use order::DocOrder;
+use output::Frag;
+
+/// Errors the oracle can report. Differential drivers treat "engine and
+/// oracle both failed" as agreement, so exact kinds only matter for
+/// diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleError {
+    /// The query did not parse.
+    Syntax(String),
+    /// The query is outside the subset the oracle models.
+    Unsupported(String),
+    /// A variable was used before being bound.
+    UnboundVariable(String),
+}
+
+impl std::fmt::Display for OracleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OracleError::Syntax(e) => write!(f, "syntax error: {e}"),
+            OracleError::Unsupported(w) => write!(f, "unsupported: {w}"),
+            OracleError::UnboundVariable(v) => write!(f, "unbound variable ${v}"),
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+/// The reference evaluator over one document.
+pub struct Oracle<'d> {
+    doc: &'d Document,
+    order: DocOrder,
+}
+
+impl<'d> Oracle<'d> {
+    /// Build an oracle for `doc`, computing its independent preorder
+    /// ranking up front.
+    pub fn new(doc: &'d Document) -> Oracle<'d> {
+        Oracle { doc, order: DocOrder::new(doc) }
+    }
+
+    /// The underlying document.
+    pub fn doc(&self) -> &'d Document {
+        self.doc
+    }
+
+    /// The independent document-order ranking.
+    pub fn order(&self) -> &DocOrder {
+        &self.order
+    }
+
+    /// Evaluate a bare path query; result node-set in document order.
+    pub fn eval_path_str(&self, query: &str) -> Result<Vec<blossom_xml::NodeId>, OracleError> {
+        let parsed =
+            blossom_xpath::parse_path(query).map_err(|e| OracleError::Syntax(e.to_string()))?;
+        Ok(path::PathOracle::new(self.doc, &self.order).eval_path(&parsed, &[]))
+    }
+
+    /// Evaluate any supported query (path, FLWOR, constructor) and
+    /// serialize the result exactly like `Engine::eval_query_str` +
+    /// `writer::to_string` would: FLWOR and bare-path results are
+    /// wrapped in a `<result>` element, a top-level constructor is not.
+    pub fn eval_query_str(&self, query: &str) -> Result<String, OracleError> {
+        let expr =
+            blossom_flwor::parse_query(query).map_err(|e| OracleError::Syntax(e.to_string()))?;
+        let ev = flwor::FlworOracle::new(self.doc, &self.order);
+        let mut frags: Vec<Frag> = Vec::new();
+        match &expr {
+            Expr::Flwor(f) => {
+                let mut inner = Vec::new();
+                ev.eval_flwor_into(&mut inner, f, &[])?;
+                frags.push(Frag::elem("result", Vec::new(), inner));
+            }
+            Expr::Path(p) => {
+                let nodes = path::PathOracle::new(self.doc, &self.order).eval_path(p, &[]);
+                let mut inner = Vec::new();
+                for n in nodes {
+                    output::copy_subtree(self.doc, n, &mut inner);
+                }
+                frags.push(Frag::elem("result", Vec::new(), inner));
+            }
+            Expr::Constructor(_) => {
+                ev.construct(&mut frags, &expr, &Vec::new())?;
+            }
+            other => {
+                return Err(OracleError::Unsupported(format!("top-level expression {other:?}")))
+            }
+        }
+        Ok(output::serialize(&frags))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BIB: &str = r#"<bib>
+        <book year="1994"><title>TCP/IP</title><author>Stevens</author><price>65</price></book>
+        <book year="2000"><title>Data on the Web</title><author>Abiteboul</author><author>Buneman</author><price>39</price></book>
+        <book year="1999"><title>Economics</title><editor>Gerbarg</editor><price>129</price></book>
+    </bib>"#;
+
+    #[test]
+    fn path_queries_match_hand_counts() {
+        let doc = Document::parse_str(BIB).unwrap();
+        let o = Oracle::new(&doc);
+        assert_eq!(o.eval_path_str("/bib/book").unwrap().len(), 3);
+        assert_eq!(o.eval_path_str("//author").unwrap().len(), 3);
+        assert_eq!(o.eval_path_str("//book[author]").unwrap().len(), 2);
+        assert_eq!(o.eval_path_str("//book[price < 100]").unwrap().len(), 2);
+        assert_eq!(o.eval_path_str("//book[@year = \"2000\"]").unwrap().len(), 1);
+        assert_eq!(o.eval_path_str("//book[2]/title").unwrap().len(), 1);
+        assert_eq!(o.eval_path_str("//book[not(author)]").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn serialized_flwor_output() {
+        let doc = Document::parse_str(BIB).unwrap();
+        let o = Oracle::new(&doc);
+        let out = o
+            .eval_query_str("for $b in //book where $b/price < 100 order by $b/title return <t>{$b/title}</t>")
+            .unwrap();
+        assert_eq!(
+            out,
+            "<result><t><title>Data on the Web</title></t><t><title>TCP/IP</title></t></result>"
+        );
+    }
+
+    #[test]
+    fn bad_query_is_syntax_error() {
+        let doc = Document::parse_str("<r/>").unwrap();
+        let o = Oracle::new(&doc);
+        assert!(matches!(o.eval_path_str("//["), Err(OracleError::Syntax(_))));
+    }
+}

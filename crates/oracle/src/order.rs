@@ -1,0 +1,97 @@
+//! Independent document-order ranking.
+//!
+//! The engine's arena guarantees "node id = preorder position" and every
+//! structural operator leans on that. The oracle must not: it derives
+//! preorder ranks by explicitly walking the parent/child structure, so a
+//! broken arena invariant shows up as a differential mismatch instead of
+//! silently agreeing with the engine.
+
+use blossom_xml::{Document, NodeId};
+
+/// Preorder ranks for every node of one document, computed by traversal.
+pub struct DocOrder {
+    rank: Vec<u32>,
+}
+
+impl DocOrder {
+    /// Walk the tree from the document node (children only, no
+    /// `last_desc`/region shortcuts) and assign preorder ranks.
+    pub fn new(doc: &Document) -> DocOrder {
+        let mut rank = vec![u32::MAX; doc.len()];
+        let mut next = 0u32;
+        let mut stack = vec![NodeId::DOCUMENT];
+        while let Some(n) = stack.pop() {
+            rank[n.index()] = next;
+            next += 1;
+            let kids: Vec<NodeId> = doc.children(n).collect();
+            for &c in kids.iter().rev() {
+                stack.push(c);
+            }
+        }
+        debug_assert_eq!(next as usize, doc.len(), "every node reachable from the root");
+        DocOrder { rank }
+    }
+
+    /// The preorder rank of `n` (document node has rank 0).
+    pub fn rank(&self, n: NodeId) -> u32 {
+        self.rank[n.index()]
+    }
+
+    /// Is `a` strictly before `b` in document order?
+    pub fn before(&self, a: NodeId, b: NodeId) -> bool {
+        self.rank(a) < self.rank(b)
+    }
+
+    /// Sort a node set into document order and remove duplicates.
+    pub fn sort_dedup(&self, v: &mut Vec<NodeId>) {
+        v.sort_unstable_by_key(|&n| self.rank(n));
+        v.dedup();
+    }
+}
+
+/// Is `anc` a proper ancestor of `n`? Walks the parent chain — no region
+/// containment test.
+pub fn is_ancestor(doc: &Document, anc: NodeId, n: NodeId) -> bool {
+    let mut cur = doc.parent(n);
+    while let Some(p) = cur {
+        if p == anc {
+            return true;
+        }
+        cur = doc.parent(p);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_agrees_with_preorder() {
+        let doc = Document::parse_str("<a><b><c/></b><d/><e><f/><g/></e></a>").unwrap();
+        let order = DocOrder::new(&doc);
+        // Collect ranks along an independent recursive traversal.
+        fn walk(doc: &Document, n: NodeId, order: &DocOrder, expect: &mut u32) {
+            assert_eq!(order.rank(n), *expect);
+            *expect += 1;
+            for c in doc.children(n) {
+                walk(doc, c, order, expect);
+            }
+        }
+        let mut expect = 0;
+        walk(&doc, NodeId::DOCUMENT, &order, &mut expect);
+        assert_eq!(expect as usize, doc.len());
+    }
+
+    #[test]
+    fn ancestor_walks_parent_chain() {
+        let doc = Document::parse_str("<a><b><c/></b><d/></a>").unwrap();
+        let a = doc.root_element().unwrap();
+        let b = doc.children(a).next().unwrap();
+        let c = doc.children(b).next().unwrap();
+        assert!(is_ancestor(&doc, a, c));
+        assert!(is_ancestor(&doc, b, c));
+        assert!(!is_ancestor(&doc, c, b));
+        assert!(!is_ancestor(&doc, b, b), "ancestor is proper");
+    }
+}

@@ -1,0 +1,161 @@
+//! Independent result construction and serialization.
+//!
+//! The engine materializes results through `TreeBuilder` and serializes
+//! with `blossom_xml::writer`. The oracle rebuilds both behaviours on
+//! its own fragment tree so a writer bug cannot cancel itself out:
+//!
+//! * whitespace-only text is dropped at construction time (the
+//!   builder's default, used for every engine result);
+//! * text escapes `& < >`, attribute values escape `& < "`;
+//! * childless elements serialize self-closing (`<x/>`).
+
+use blossom_xml::{Document, NodeId};
+
+/// One node of the oracle's result tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frag {
+    /// An element with static attributes and ordered children.
+    Elem {
+        /// Tag name.
+        name: String,
+        /// Attributes in declaration order.
+        attrs: Vec<(String, String)>,
+        /// Ordered content.
+        children: Vec<Frag>,
+    },
+    /// A text node.
+    Text(String),
+}
+
+impl Frag {
+    /// Convenience constructor for an element fragment.
+    pub fn elem(name: &str, attrs: Vec<(String, String)>, children: Vec<Frag>) -> Frag {
+        Frag::Elem { name: name.to_string(), attrs, children }
+    }
+}
+
+/// Append a text fragment, dropping whitespace-only content exactly like
+/// the engine's result builder does.
+pub fn push_text(out: &mut Vec<Frag>, content: &str) {
+    if !content.trim().is_empty() {
+        out.push(Frag::Text(content.to_string()));
+    }
+}
+
+/// Deep-copy a document subtree into fragments (attribute order and text
+/// content preserved; the document node copies its children).
+pub fn copy_subtree(doc: &Document, n: NodeId, out: &mut Vec<Frag>) {
+    if let Some(t) = doc.text(n) {
+        push_text(out, t);
+        return;
+    }
+    match doc.tag_name(n) {
+        Some(tag) => {
+            let attrs = doc
+                .attributes(n)
+                .iter()
+                .map(|(sym, v)| (doc.symbols().name(*sym).to_string(), v.to_string()))
+                .collect();
+            let mut children = Vec::new();
+            for c in doc.children(n) {
+                copy_subtree(doc, c, &mut children);
+            }
+            out.push(Frag::Elem { name: tag.to_string(), attrs, children });
+        }
+        None => {
+            // The document node: copy its children in order.
+            for c in doc.children(n) {
+                copy_subtree(doc, c, out);
+            }
+        }
+    }
+}
+
+/// Serialize fragments in the writer's compact form.
+pub fn serialize(frags: &[Frag]) -> String {
+    let mut out = String::new();
+    for f in frags {
+        write_frag(f, &mut out);
+    }
+    out
+}
+
+fn write_frag(f: &Frag, out: &mut String) {
+    match f {
+        Frag::Text(t) => escape_text(t, out),
+        Frag::Elem { name, attrs, children } => {
+            out.push('<');
+            out.push_str(name);
+            for (k, v) in attrs {
+                out.push(' ');
+                out.push_str(k);
+                out.push_str("=\"");
+                escape_attr(v, out);
+                out.push('"');
+            }
+            if children.is_empty() {
+                out.push_str("/>");
+            } else {
+                out.push('>');
+                for c in children {
+                    write_frag(c, out);
+                }
+                out.push_str("</");
+                out.push_str(name);
+                out.push('>');
+            }
+        }
+    }
+}
+
+fn escape_text(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn escape_attr(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blossom_xml::writer;
+
+    #[test]
+    fn matches_writer_bytes_on_round_trip() {
+        let src = "<r a=\"x &amp; &quot;y&quot;\"><e/><t>a &lt; b &gt; c &amp; d</t>mixed<u><v/></u></r>";
+        let doc = Document::parse_str(src).unwrap();
+        let mut frags = Vec::new();
+        copy_subtree(&doc, NodeId::DOCUMENT, &mut frags);
+        assert_eq!(serialize(&frags), writer::to_string(&doc));
+    }
+
+    #[test]
+    fn whitespace_only_text_dropped() {
+        let mut out = Vec::new();
+        push_text(&mut out, "  \n\t ");
+        push_text(&mut out, " x ");
+        assert_eq!(out.len(), 1);
+        assert_eq!(serialize(&out), " x ");
+    }
+
+    #[test]
+    fn childless_element_self_closes() {
+        let f = Frag::elem("result", Vec::new(), Vec::new());
+        assert_eq!(serialize(&[f]), "<result/>");
+    }
+}

@@ -1,0 +1,293 @@
+//! Spec-direct XPath evaluation.
+//!
+//! One location step maps each context node to the axis candidates (in
+//! document order), filters them by the node test, then applies each
+//! predicate in sequence with 1-based positions taken from the list the
+//! previous predicate produced. The union over all context nodes is
+//! sorted by independent preorder rank and deduplicated.
+//!
+//! Subset conventions this repo fixes (documented in DESIGN.md and
+//! mirrored here from the spec text, not from `crates/core` source):
+//!
+//! * positions count forward in document order on every axis (including
+//!   the reverse axes);
+//! * attributes are not nodes in the store — an attribute test matches
+//!   nothing on a spine, and inside a predicate only the single-step
+//!   `@name` form tests/compares the attribute string;
+//! * predicate paths are always evaluated relative to the candidate
+//!   node, whatever their notated start;
+//! * value comparison trims both sides and compares numerically exactly
+//!   when both sides parse as numbers; a numeric literal never equals an
+//!   unparseable value.
+
+use crate::order::{is_ancestor, DocOrder};
+use blossom_xml::{Axis, Document, NodeId, NodeKind};
+use blossom_xpath::ast::{CmpOp, Literal, NodeTest, PathExpr, PathStart, Predicate, Step};
+use std::cmp::Ordering;
+
+/// Path evaluator borrowing a document and its independent ordering.
+pub struct PathOracle<'d> {
+    doc: &'d Document,
+    order: &'d DocOrder,
+}
+
+impl<'d> PathOracle<'d> {
+    /// Construct over an existing [`DocOrder`].
+    pub fn new(doc: &'d Document, order: &'d DocOrder) -> PathOracle<'d> {
+        PathOracle { doc, order }
+    }
+
+    /// Evaluate `path`. `context` seeds context-relative paths; absolute
+    /// paths start at the document node. Variable-rooted paths are the
+    /// FLWOR evaluator's job.
+    pub fn eval_path(&self, path: &PathExpr, context: &[NodeId]) -> Vec<NodeId> {
+        let start: Vec<NodeId> = match &path.start {
+            PathStart::Root { .. } => vec![NodeId::DOCUMENT],
+            PathStart::Context => context.to_vec(),
+            PathStart::Variable(v) => {
+                panic!("oracle eval_path cannot resolve ${v}; use eval_steps from the binding")
+            }
+        };
+        self.eval_steps(&path.steps, &start)
+    }
+
+    /// Evaluate a step list from explicit start nodes.
+    pub fn eval_steps(&self, steps: &[Step], start: &[NodeId]) -> Vec<NodeId> {
+        let mut current: Vec<NodeId> = start.to_vec();
+        for step in steps {
+            let mut next: Vec<NodeId> = Vec::new();
+            for &ctx in &current {
+                let candidates: Vec<NodeId> = self
+                    .axis_nodes(step.axis, ctx)
+                    .into_iter()
+                    .filter(|&n| self.test_matches(&step.test, n))
+                    .collect();
+                let mut filtered = candidates;
+                for pred in &step.predicates {
+                    filtered = filtered
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, &n)| self.eval_predicate(pred, n, i + 1))
+                        .map(|(_, &n)| n)
+                        .collect();
+                }
+                next.extend(filtered);
+            }
+            self.order.sort_dedup(&mut next);
+            current = next;
+        }
+        current
+    }
+
+    /// Axis candidates in document order, from first principles.
+    fn axis_nodes(&self, axis: Axis, ctx: NodeId) -> Vec<NodeId> {
+        let doc = self.doc;
+        match axis {
+            Axis::Child => doc.children(ctx).collect(),
+            Axis::Descendant => {
+                let mut out = Vec::new();
+                let mut stack: Vec<NodeId> = doc.children(ctx).collect();
+                stack.reverse();
+                while let Some(n) = stack.pop() {
+                    out.push(n);
+                    let kids: Vec<NodeId> = doc.children(n).collect();
+                    for &c in kids.iter().rev() {
+                        stack.push(c);
+                    }
+                }
+                out
+            }
+            Axis::FollowingSibling => {
+                let mut out = Vec::new();
+                let mut sib = doc.next_sibling(ctx);
+                while let Some(s) = sib {
+                    out.push(s);
+                    sib = doc.next_sibling(s);
+                }
+                out
+            }
+            Axis::PrecedingSibling => match doc.parent(ctx) {
+                Some(p) => doc.children(p).take_while(|&c| c != ctx).collect(),
+                None => Vec::new(),
+            },
+            Axis::Following => {
+                // Nodes after ctx in document order, minus ctx's own
+                // subtree. Ancestors rank before ctx, so the rank test
+                // already excludes them; enumeration order is fixed up
+                // by the caller's sort.
+                let ctx_rank = self.order.rank(ctx);
+                let mut out: Vec<NodeId> = (1..self.doc.len() as u32)
+                    .map(NodeId)
+                    .filter(|&n| {
+                        self.order.rank(n) > ctx_rank
+                            && n != ctx
+                            && !is_ancestor(doc, ctx, n)
+                    })
+                    .collect();
+                self.order.sort_dedup(&mut out);
+                out
+            }
+            Axis::Preceding => {
+                // Nodes before ctx in document order that are not its
+                // ancestors (and not the document node).
+                let ctx_rank = self.order.rank(ctx);
+                let mut out: Vec<NodeId> = (1..self.doc.len() as u32)
+                    .map(NodeId)
+                    .filter(|&n| {
+                        self.order.rank(n) < ctx_rank && !is_ancestor(doc, n, ctx)
+                    })
+                    .collect();
+                self.order.sort_dedup(&mut out);
+                out
+            }
+            Axis::SelfAxis => vec![ctx],
+        }
+    }
+
+    fn test_matches(&self, test: &NodeTest, n: NodeId) -> bool {
+        match test {
+            NodeTest::Name(name) => matches!(self.doc.kind(n), NodeKind::Element(sym)
+                if self.doc.symbols().name(sym) == name.as_ref()),
+            NodeTest::Wildcard => matches!(self.doc.kind(n), NodeKind::Element(_)),
+            NodeTest::Text => matches!(self.doc.kind(n), NodeKind::Text),
+            NodeTest::Attribute(_) => false,
+        }
+    }
+
+    fn eval_predicate(&self, pred: &Predicate, ctx: NodeId, position: usize) -> bool {
+        match pred {
+            Predicate::Position(p) => position == *p as usize,
+            Predicate::Exists(path) => !self.eval_pred_path(path, ctx).is_empty(),
+            Predicate::Value { path, op, literal } => match path {
+                None => self.node_vs_literal(ctx, *op, literal),
+                Some(p) => {
+                    if let Some(value) = self.single_attribute(p, ctx) {
+                        return match value {
+                            Some(v) => str_vs_literal(&v, *op, literal),
+                            None => false,
+                        };
+                    }
+                    self.eval_pred_path(p, ctx)
+                        .iter()
+                        .any(|&n| self.node_vs_literal(n, *op, literal))
+                }
+            },
+            Predicate::And(a, b) => {
+                self.eval_predicate(a, ctx, position) && self.eval_predicate(b, ctx, position)
+            }
+            Predicate::Or(a, b) => {
+                self.eval_predicate(a, ctx, position) || self.eval_predicate(b, ctx, position)
+            }
+            Predicate::Not(p) => !self.eval_predicate(p, ctx, position),
+        }
+    }
+
+    /// A predicate path evaluated relative to the candidate node. A bare
+    /// `@attr` step is an attribute-existence test.
+    fn eval_pred_path(&self, path: &PathExpr, ctx: NodeId) -> Vec<NodeId> {
+        if path.steps.len() == 1 {
+            if let NodeTest::Attribute(name) = &path.steps[0].test {
+                return if self.doc.attribute(ctx, name).is_some() {
+                    vec![ctx]
+                } else {
+                    Vec::new()
+                };
+            }
+        }
+        self.eval_steps(&path.steps, &[ctx])
+    }
+
+    fn single_attribute(&self, path: &PathExpr, ctx: NodeId) -> Option<Option<String>> {
+        if path.steps.len() == 1 {
+            if let NodeTest::Attribute(name) = &path.steps[0].test {
+                return Some(self.doc.attribute(ctx, name).map(str::to_string));
+            }
+        }
+        None
+    }
+
+    /// The string value of `n`: subtree text concatenated in document
+    /// order, collected by recursive walk.
+    pub fn string_value(&self, n: NodeId) -> String {
+        let mut out = String::new();
+        self.string_value_into(n, &mut out);
+        out
+    }
+
+    fn string_value_into(&self, n: NodeId, out: &mut String) {
+        if let Some(t) = self.doc.text(n) {
+            out.push_str(t);
+            return;
+        }
+        for c in self.doc.children(n) {
+            self.string_value_into(c, out);
+        }
+    }
+
+    /// Does `n`'s string value satisfy `op literal`?
+    pub fn node_vs_literal(&self, n: NodeId, op: CmpOp, literal: &Literal) -> bool {
+        str_vs_literal(&self.string_value(n), op, literal)
+    }
+}
+
+/// Compare two atomic string values: trim both; numeric exactly when
+/// both parse as numbers, lexicographic otherwise.
+pub fn compare_atomic(left: &str, right: &str) -> Ordering {
+    let (l, r) = (left.trim(), right.trim());
+    match (l.parse::<f64>(), r.parse::<f64>()) {
+        (Ok(a), Ok(b)) => a.partial_cmp(&b).unwrap_or(Ordering::Equal),
+        _ => l.cmp(r),
+    }
+}
+
+/// Does a raw string satisfy `op literal`? Numeric literals require the
+/// value to parse; otherwise the comparison is false.
+pub fn str_vs_literal(value: &str, op: CmpOp, literal: &Literal) -> bool {
+    let value = value.trim();
+    match literal {
+        Literal::Str(s) => op.eval(compare_atomic(value, s)),
+        Literal::Num(n) => match value.parse::<f64>() {
+            Ok(v) => op.eval(v.partial_cmp(n).unwrap_or(Ordering::Equal)),
+            Err(_) => false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::DocOrder;
+
+    fn eval(doc: &Document, q: &str) -> Vec<NodeId> {
+        let order = DocOrder::new(doc);
+        let p = blossom_xpath::parse_path(q).unwrap();
+        PathOracle::new(doc, &order).eval_path(&p, &[])
+    }
+
+    #[test]
+    fn sibling_and_global_axes() {
+        let doc = Document::parse_str("<r><a/><b/><a><c/></a><d/></r>").unwrap();
+        assert_eq!(eval(&doc, "//b/following-sibling::a").len(), 1);
+        assert_eq!(eval(&doc, "//b/preceding-sibling::a").len(), 1);
+        assert_eq!(eval(&doc, "//c/following::d").len(), 1);
+        assert_eq!(eval(&doc, "//c/preceding::b").len(), 1);
+        // Ancestors are on neither global axis.
+        assert_eq!(eval(&doc, "//c/preceding::a").len(), 1);
+        assert_eq!(eval(&doc, "//c/preceding::r").len(), 0);
+    }
+
+    #[test]
+    fn positional_is_per_context() {
+        let doc = Document::parse_str("<r><a><b>1</b><b>2</b></a><a><b>3</b></a></r>").unwrap();
+        assert_eq!(eval(&doc, "//a/b[1]").len(), 2);
+        assert_eq!(eval(&doc, "//a/b[2]").len(), 1);
+    }
+
+    #[test]
+    fn atomic_comparison_rules() {
+        assert_eq!(compare_atomic("10", "9"), Ordering::Greater);
+        assert_eq!(compare_atomic("ten", "nine"), Ordering::Greater);
+        assert_eq!(compare_atomic(" 10 ", "10"), Ordering::Equal);
+        assert!(!str_vs_literal("ten", CmpOp::Eq, &Literal::Num(10.0)));
+    }
+}

@@ -1,0 +1,165 @@
+//! Direct unit tests for substrate modules that previously had no
+//! dedicated coverage: Dewey identifiers, `DocStats` on degenerate
+//! documents, and the parser's entity decoding.
+
+use blossom_xml::dewey::Dewey;
+use blossom_xml::parser::{decode_entities, ParseErrorKind};
+use blossom_xml::{DocStats, Document};
+
+// ------------------------------------------------------------------
+// Dewey round-trips
+// ------------------------------------------------------------------
+
+#[test]
+fn dewey_display_parse_round_trip_exhaustive() {
+    // Every id in a small enumeration survives Display -> FromStr.
+    let mut ids = vec![Dewey::root()];
+    for a in 1..=3u32 {
+        ids.push(Dewey::root().child(a));
+        for b in 1..=3u32 {
+            ids.push(Dewey::root().child(a).child(b));
+            for c in [1u32, 7, 42, 1000] {
+                ids.push(Dewey::root().child(a).child(b).child(c));
+            }
+        }
+    }
+    for id in &ids {
+        let text = id.to_string();
+        let back: Dewey = text.parse().unwrap_or_else(|e| panic!("{text}: {e}"));
+        assert_eq!(&back, id, "round-trip of {text}");
+        assert_eq!(back.depth(), id.components().len());
+    }
+}
+
+#[test]
+fn dewey_parse_rejects_malformed() {
+    for bad in ["", ".", "1.", ".1", "1..2", "a", "1.a", "1.-2", "1. 2"] {
+        assert!(bad.parse::<Dewey>().is_err(), "{bad:?} must not parse");
+    }
+}
+
+#[test]
+fn dewey_hierarchy_round_trips_through_parent() {
+    let id: Dewey = "1.3.2.7".parse().unwrap();
+    // child() then parent() is the identity...
+    assert_eq!(id.child(4).parent(), Some(id.clone()));
+    // ...and walking parents reaches the root in depth-1 steps.
+    let mut cur = id.clone();
+    let mut steps = 0;
+    while let Some(p) = cur.parent() {
+        assert!(p.is_parent_of(&cur));
+        assert!(p.is_ancestor_of(&id));
+        cur = p;
+        steps += 1;
+    }
+    assert_eq!(steps, id.depth() - 1);
+    assert_eq!(cur, Dewey::root());
+}
+
+// ------------------------------------------------------------------
+// DocStats on edge documents
+// ------------------------------------------------------------------
+
+#[test]
+fn stats_empty_root() {
+    let doc = Document::parse_str("<r/>").unwrap();
+    let s = DocStats::compute(&doc);
+    assert_eq!(s.node_count, 1);
+    assert_eq!(s.element_count, 1);
+    assert_eq!(s.text_count, 0);
+    assert_eq!(s.tag_count, 1);
+    assert_eq!(s.max_depth, 1);
+    assert_eq!(s.avg_depth, 1.0);
+    assert!(!s.recursive);
+    assert_eq!(s.max_recursion, 1);
+    assert!(s.recursive_tags.is_empty());
+    assert_eq!(s.text_bytes, 0);
+}
+
+#[test]
+fn stats_single_text_node() {
+    let doc = Document::parse_str("<r>hello</r>").unwrap();
+    let s = DocStats::compute(&doc);
+    assert_eq!(s.node_count, 2);
+    assert_eq!(s.element_count, 1);
+    assert_eq!(s.text_count, 1);
+    assert_eq!(s.text_bytes, 5);
+}
+
+#[test]
+fn stats_max_depth_chain() {
+    // A same-tag chain of depth 40: maximally recursive.
+    const DEPTH: usize = 40;
+    let xml = format!("{}{}", "<a>".repeat(DEPTH), "</a>".repeat(DEPTH));
+    let doc = Document::parse_str(&xml).unwrap();
+    let s = DocStats::compute(&doc);
+    assert_eq!(s.element_count, DEPTH);
+    assert_eq!(s.max_depth, DEPTH as u16);
+    assert_eq!(s.avg_depth, (1..=DEPTH).sum::<usize>() as f64 / DEPTH as f64);
+    assert!(s.recursive);
+    assert_eq!(s.max_recursion, DEPTH as u16);
+    assert_eq!(s.recursive_tags.get("a"), Some(&(DEPTH as u16)));
+}
+
+#[test]
+fn stats_distinct_tag_chain_is_not_recursive() {
+    let doc = Document::parse_str("<a><b><c><d/></c></b></a>").unwrap();
+    let s = DocStats::compute(&doc);
+    assert_eq!(s.max_depth, 4);
+    assert!(!s.recursive);
+    assert_eq!(s.max_recursion, 1);
+    assert_eq!(s.tag_count, 4);
+}
+
+// ------------------------------------------------------------------
+// Entity decoding edge cases
+// ------------------------------------------------------------------
+
+#[test]
+fn numeric_character_references() {
+    assert_eq!(decode_entities("&#65;").unwrap(), "A");
+    assert_eq!(decode_entities("&#x41;").unwrap(), "A");
+    assert_eq!(decode_entities("&#X41;").unwrap(), "A");
+    assert_eq!(decode_entities("&#xe9;").unwrap(), "\u{e9}");
+    assert_eq!(decode_entities("&#128512;").unwrap(), "\u{1F600}");
+    assert_eq!(decode_entities("a&#65;b&#66;c").unwrap(), "aAbBc");
+    // A reference to a non-character code point fails with its offset.
+    assert_eq!(decode_entities("x&#xD800;"), Err(1));
+    assert_eq!(decode_entities("&#99999999;"), Err(0));
+}
+
+#[test]
+fn predefined_entities_and_plain_text() {
+    assert_eq!(decode_entities("&lt;&gt;&amp;&quot;&apos;").unwrap(), "<>&\"'");
+    // No ampersand: borrowed pass-through.
+    assert!(matches!(
+        decode_entities("plain").unwrap(),
+        std::borrow::Cow::Borrowed("plain")
+    ));
+}
+
+#[test]
+fn bare_and_unknown_ampersands_are_rejected() {
+    // Bare `&` (no semicolon in the rest of the input).
+    assert_eq!(decode_entities("a & b"), Err(2));
+    // `&` followed by a semicolon later but no valid entity name.
+    assert_eq!(decode_entities("a &nope; b"), Err(2));
+    assert_eq!(decode_entities("&;"), Err(0));
+    // Through the full parser both surface as InvalidEntity.
+    for bad in ["<r>a & b</r>", "<r>&nosuch;</r>", "<r a=\"x & y\"/>"] {
+        match Document::parse_str(bad) {
+            Err(e) => assert!(
+                matches!(e.kind, ParseErrorKind::InvalidEntity),
+                "{bad}: unexpected error {e:?}"
+            ),
+            Ok(_) => panic!("{bad}: parsed but must be rejected"),
+        }
+    }
+}
+
+#[test]
+fn entities_round_trip_through_parse_and_serialize() {
+    let src = "<r k=\"a&amp;b&quot;c\">x &lt; y &gt; z &amp; w</r>";
+    let doc = Document::parse_str(src).unwrap();
+    assert_eq!(blossom_xml::writer::to_string(&doc), src);
+}

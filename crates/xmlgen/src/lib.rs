@@ -24,5 +24,7 @@ pub mod rng;
 pub use datasets::{generate, generate_scaled, Dataset};
 pub use gen::Gen;
 pub use grammar::Grammar;
-pub use querygen::{random_query, QueryGenConfig};
+pub use querygen::{
+    random_flwor_query, random_path_query_full, random_query, random_query_full, QueryGenConfig,
+};
 pub use rng::SplitMix;

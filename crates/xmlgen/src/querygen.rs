@@ -61,6 +61,363 @@ pub fn random_query(doc: &Document, config: QueryGenConfig, seed: u64) -> String
     out
 }
 
+/// The sampled vocabulary full-coverage generation draws from.
+struct Vocab {
+    tags: Vec<String>,
+    attrs: Vec<String>,
+    attr_values: Vec<String>,
+    texts: Vec<String>,
+    numbers: Vec<String>,
+}
+
+/// A literal is only quotable if it survives a `"..."` token unchanged.
+fn quotable(s: &str) -> bool {
+    !s.is_empty()
+        && s.len() <= 16
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, ' ' | '.' | ',' | '-' | '_'))
+}
+
+fn sample_vocab(doc: &Document) -> Vocab {
+    use blossom_xml::{NodeId, NodeKind};
+    let mut v = Vocab {
+        tags: Vec::new(),
+        attrs: Vec::new(),
+        attr_values: Vec::new(),
+        texts: Vec::new(),
+        numbers: Vec::new(),
+    };
+    let mut seen_tags = std::collections::BTreeSet::new();
+    let mut seen_attrs = std::collections::BTreeSet::new();
+    for i in 0..doc.len() as u32 {
+        let n = NodeId(i);
+        match doc.kind(n) {
+            NodeKind::Element(sym) => {
+                let tag = doc.symbols().name(sym).to_string();
+                if seen_tags.insert(tag.clone()) {
+                    v.tags.push(tag);
+                }
+                for (a, val) in doc.attributes(n) {
+                    let name = doc.symbols().name(*a).to_string();
+                    if seen_attrs.insert(name.clone()) {
+                        v.attrs.push(name);
+                    }
+                    if v.attr_values.len() < 64 && quotable(val) {
+                        v.attr_values.push(val.to_string());
+                    }
+                }
+            }
+            NodeKind::Text => {
+                if let Some(t) = doc.text(n) {
+                    let t = t.trim();
+                    if t.parse::<f64>().is_ok() {
+                        if v.numbers.len() < 64 {
+                            v.numbers.push(t.to_string());
+                        }
+                    } else if v.texts.len() < 64 && quotable(t) {
+                        v.texts.push(t.to_string());
+                    }
+                }
+            }
+            NodeKind::Document => {}
+        }
+    }
+    v
+}
+
+impl Vocab {
+    fn tag(&self, rng: &mut SplitMix) -> &str {
+        &self.tags[rng.gen_index(self.tags.len())]
+    }
+
+    /// A random string literal, preferring values that occur in the
+    /// document so comparisons have a chance to hit.
+    fn str_lit(&self, rng: &mut SplitMix) -> String {
+        if !self.texts.is_empty() && rng.gen_bool(0.7) {
+            self.texts[rng.gen_index(self.texts.len())].clone()
+        } else if !self.attr_values.is_empty() && rng.gen_bool(0.5) {
+            self.attr_values[rng.gen_index(self.attr_values.len())].clone()
+        } else {
+            format!("w{}", rng.gen_u32(0, 9))
+        }
+    }
+
+    fn num_lit(&self, rng: &mut SplitMix) -> String {
+        if !self.numbers.is_empty() && rng.gen_bool(0.6) {
+            self.numbers[rng.gen_index(self.numbers.len())].clone()
+        } else {
+            rng.gen_u32(0, 2000).to_string()
+        }
+    }
+}
+
+/// One predicate, recursion-bounded by `depth`.
+fn gen_predicate(v: &Vocab, rng: &mut SplitMix, depth: usize) -> String {
+    let has_attrs = !v.attrs.is_empty();
+    loop {
+        match rng.gen_index(if depth == 0 { 10 } else { 7 }) {
+            // Existence of a relative path.
+            0 => return v.tag(rng).to_string(),
+            1 => return format!("//{}", v.tag(rng)),
+            2 => return format!("{}/{}", v.tag(rng), v.tag(rng)),
+            // Value comparisons.
+            3 => {
+                let op = *["=", "!=", "<", "<=", ">", ">="].get(rng.gen_index(6)).unwrap();
+                return if rng.gen_bool(0.5) {
+                    format!("{} {} \"{}\"", v.tag(rng), op, v.str_lit(rng))
+                } else {
+                    format!("{} {} {}", v.tag(rng), op, v.num_lit(rng))
+                };
+            }
+            4 => {
+                // Self-value test: `. = lit`.
+                let op = *["=", "!=", "<", ">"].get(rng.gen_index(4)).unwrap();
+                return if rng.gen_bool(0.5) {
+                    format!(". {} \"{}\"", op, v.str_lit(rng))
+                } else {
+                    format!(". {} {}", op, v.num_lit(rng))
+                };
+            }
+            // Attribute existence / comparison.
+            5 if has_attrs => {
+                let a = &v.attrs[rng.gen_index(v.attrs.len())];
+                return if rng.gen_bool(0.5) {
+                    format!("@{a}")
+                } else {
+                    format!("@{} = \"{}\"", a, v.str_lit(rng))
+                };
+            }
+            // Position.
+            6 => return rng.gen_u32(1, 3).to_string(),
+            // Boolean structure (only at depth 0 to bound size).
+            7 => return format!("not({})", gen_predicate(v, rng, depth + 1)),
+            8 => {
+                return format!(
+                    "{} and {}",
+                    gen_predicate(v, rng, depth + 1),
+                    gen_predicate(v, rng, depth + 1)
+                )
+            }
+            9 => {
+                return format!(
+                    "{} or {}",
+                    gen_predicate(v, rng, depth + 1),
+                    gen_predicate(v, rng, depth + 1)
+                )
+            }
+            _ => continue, // attr branch rolled without attrs: reroll
+        }
+    }
+}
+
+/// Generate a path query exercising the full accepted subset: all seven
+/// axes, wildcard and `text()` node tests, positional / value /
+/// attribute / boolean predicates. Deterministic in `seed`.
+pub fn random_path_query_full(doc: &Document, seed: u64) -> String {
+    let mut rng = SplitMix::new(seed);
+    let v = sample_vocab(doc);
+    let mut out = String::new();
+    let spine = rng.gen_usize(1, 4);
+    for i in 0..spine {
+        let last = i + 1 == spine;
+        // Separator / axis.
+        let explicit_axis = if i == 0 {
+            out.push_str(if rng.gen_bool(0.85) { "//" } else { "/" });
+            None
+        } else if rng.gen_bool(0.6) {
+            out.push_str("//");
+            None
+        } else {
+            out.push('/');
+            if rng.gen_bool(0.25) {
+                let axis = *[
+                    "following-sibling",
+                    "preceding-sibling",
+                    "following",
+                    "preceding",
+                    "self",
+                ]
+                .get(rng.gen_index(5))
+                .unwrap();
+                out.push_str(axis);
+                out.push_str("::");
+                Some(axis)
+            } else {
+                None
+            }
+        };
+        // Node test. `text()` only as the final step, and never after an
+        // explicit sibling/global axis (legal, but overwhelmingly empty).
+        if last && explicit_axis.is_none() && rng.gen_bool(0.1) {
+            out.push_str("text()");
+            continue;
+        }
+        if rng.gen_bool(0.08) {
+            out.push('*');
+        } else {
+            out.push_str(v.tag(&mut rng));
+        }
+        for _ in 0..rng.gen_usize(0, 2) {
+            if rng.gen_bool(0.55) {
+                break;
+            }
+            out.push('[');
+            out.push_str(&gen_predicate(&v, &mut rng, 0));
+            out.push(']');
+        }
+    }
+    out
+}
+
+/// A `$var/...` path for FLWOR clauses.
+fn var_path(v: &Vocab, rng: &mut SplitMix, vars: &[String]) -> String {
+    let var = &vars[rng.gen_index(vars.len())];
+    match rng.gen_index(4) {
+        0 => format!("${var}"),
+        1 => format!("${var}//{}", v.tag(rng)),
+        _ => format!("${var}/{}", v.tag(rng)),
+    }
+}
+
+fn gen_where_atom(v: &Vocab, rng: &mut SplitMix, vars: &[String]) -> String {
+    match rng.gen_index(8) {
+        0 => {
+            let op = *["=", "!=", "<", "<=", ">", ">="].get(rng.gen_index(6)).unwrap();
+            if rng.gen_bool(0.5) {
+                format!("{} {} \"{}\"", var_path(v, rng, vars), op, v.str_lit(rng))
+            } else {
+                format!("{} {} {}", var_path(v, rng, vars), op, v.num_lit(rng))
+            }
+        }
+        1 => format!("{} = {}", var_path(v, rng, vars), var_path(v, rng, vars)),
+        2 if vars.len() >= 2 => {
+            let a = &vars[rng.gen_index(vars.len())];
+            let b = &vars[rng.gen_index(vars.len())];
+            let op = if rng.gen_bool(0.5) { "<<" } else { ">>" };
+            format!("${a} {op} ${b}")
+        }
+        3 if vars.len() >= 2 => {
+            let a = &vars[rng.gen_index(vars.len())];
+            let b = &vars[rng.gen_index(vars.len())];
+            let op = if rng.gen_bool(0.5) { "is" } else { "isnot" };
+            format!("${a} {op} ${b}")
+        }
+        4 => format!(
+            "deep-equal({}, {})",
+            var_path(v, rng, vars),
+            var_path(v, rng, vars)
+        ),
+        5 => {
+            let op = *["=", "<", ">="].get(rng.gen_index(3)).unwrap();
+            format!("count({}) {} {}", var_path(v, rng, vars), op, rng.gen_u32(0, 3))
+        }
+        6 => format!("exists({})", var_path(v, rng, vars)),
+        7 => format!("empty({})", var_path(v, rng, vars)),
+        _ => format!("exists({})", var_path(v, rng, vars)),
+    }
+}
+
+/// Generate a FLWOR query over the document's vocabulary: 1–3 `for`/`let`
+/// bindings (later ones chained off earlier variables), an optional
+/// `where` drawing on every comparison form the grammar accepts, an
+/// optional multi-key `order by`, and a constructor or path `return`.
+/// Deterministic in `seed`.
+pub fn random_flwor_query(doc: &Document, seed: u64) -> String {
+    let mut rng = SplitMix::new(seed);
+    let v = sample_vocab(doc);
+    let mut vars: Vec<String> = Vec::new();
+    let mut out = String::new();
+
+    let n_bind = rng.gen_usize(1, 3);
+    for i in 0..n_bind {
+        let var = format!("v{i}");
+        if i == 0 {
+            let mut path = format!("//{}", v.tag(&mut rng));
+            if rng.gen_bool(0.3) {
+                path.push('[');
+                path.push_str(&gen_predicate(&v, &mut rng, 1));
+                path.push(']');
+            }
+            out.push_str(&format!("for ${var} in {path} "));
+        } else {
+            let kind = if rng.gen_bool(0.7) { "for" } else { "let" };
+            let eq = if kind == "let" { ":= " } else { "in " };
+            let path = match rng.gen_index(4) {
+                0 => format!("//{}", v.tag(&mut rng)),
+                1 => format!("${}//{}", vars[rng.gen_index(vars.len())], v.tag(&mut rng)),
+                _ => format!("${}/{}", vars[rng.gen_index(vars.len())], v.tag(&mut rng)),
+            };
+            out.push_str(&format!("{kind} ${var} {eq}{path} "));
+        }
+        vars.push(var);
+    }
+
+    if rng.gen_bool(0.55) {
+        out.push_str("where ");
+        let mut cond = gen_where_atom(&v, &mut rng, &vars);
+        if rng.gen_bool(0.35) {
+            let joiner = if rng.gen_bool(0.6) { "and" } else { "or" };
+            cond = format!("{cond} {joiner} {}", gen_where_atom(&v, &mut rng, &vars));
+        }
+        if rng.gen_bool(0.15) {
+            cond = format!("not({cond})");
+        }
+        out.push_str(&cond);
+        out.push(' ');
+    }
+
+    if rng.gen_bool(0.4) {
+        out.push_str("order by ");
+        out.push_str(&var_path(&v, &mut rng, &vars));
+        if rng.gen_bool(0.4) {
+            out.push_str(" descending");
+        }
+        if rng.gen_bool(0.3) {
+            out.push_str(", ");
+            out.push_str(&var_path(&v, &mut rng, &vars));
+        }
+        out.push(' ');
+    }
+
+    out.push_str("return ");
+    match rng.gen_index(4) {
+        0 => out.push_str(&var_path(&v, &mut rng, &vars)),
+        1 => out.push_str(&format!(
+            "<out>{{{}}}</out>",
+            var_path(&v, &mut rng, &vars)
+        )),
+        2 => out.push_str(&format!(
+            "<out k=\"{}\">{{{}}}<sep/>{{{}}}</out>",
+            rng.gen_u32(0, 9),
+            var_path(&v, &mut rng, &vars),
+            var_path(&v, &mut rng, &vars)
+        )),
+        _ => {
+            // Correlated nested FLWOR in the return clause.
+            let inner_tag = v.tag(&mut rng).to_string();
+            out.push_str(&format!(
+                "<out>{{for $w in ${}//{} return <i>{{$w}}</i>}}</out>",
+                vars[rng.gen_index(vars.len())],
+                inner_tag
+            ));
+        }
+    }
+    out
+}
+
+/// Generate either flavour — the differential driver's entry point.
+/// Roughly 55% paths, 45% FLWOR. Deterministic in `seed`.
+pub fn random_query_full(doc: &Document, seed: u64) -> String {
+    let mut rng = SplitMix::new(seed);
+    // Independent streams: derive sub-seeds so path/flwor shapes do not
+    // correlate with the flavour coin.
+    let sub = rng.next_u64();
+    if rng.gen_bool(0.55) {
+        random_path_query_full(doc, sub)
+    } else {
+        random_flwor_query(doc, sub)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,5 +445,35 @@ mod tests {
         let a = random_query(&doc, QueryGenConfig::default(), 7);
         let b = random_query(&doc, QueryGenConfig::default(), 7);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn full_path_queries_parse() {
+        for ds in [Dataset::D1Recursive, Dataset::D2Address, Dataset::D4Treebank] {
+            let doc = generate(ds, 2_000, 11);
+            for seed in 0..200 {
+                let q = random_path_query_full(&doc, seed);
+                blossom_xpath::parse_path(&q).unwrap_or_else(|e| panic!("{q}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn full_flwor_queries_parse() {
+        for ds in [Dataset::D2Address, Dataset::D3Catalog, Dataset::D5Dblp] {
+            let doc = generate(ds, 2_000, 13);
+            for seed in 0..200 {
+                let q = random_flwor_query(&doc, seed);
+                blossom_flwor::parse_query(&q).unwrap_or_else(|e| panic!("{q}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn full_generator_deterministic() {
+        let doc = generate(Dataset::D3Catalog, 2_000, 3);
+        for seed in 0..32 {
+            assert_eq!(random_query_full(&doc, seed), random_query_full(&doc, seed));
+        }
     }
 }

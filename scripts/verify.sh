@@ -23,6 +23,21 @@ cargo test -q
 echo "== workspace tests =="
 cargo test -q --workspace
 
+echo "== differential smoke (engine matrix vs oracle, fixed seeds) =="
+# A bounded slice of the differential harness: 150 seeded rounds across
+# the five paper datasets, every engine configuration checked against
+# the spec-direct oracle in crates/oracle. The full loop is the same
+# binary with a bigger budget, e.g.:
+#   cargo run --release -p blossom-bench --bin diff -- --rounds 1000
+DIFF_ROUNDS=150
+if [[ "${1:-}" == "--full" ]]; then
+    DIFF_ROUNDS=1000
+fi
+cargo run --release -q -p blossom-bench --bin diff -- \
+    --rounds "${DIFF_ROUNDS}" --nodes 160 --out target/diff-fixtures
+cargo run --release -q -p blossom-bench --bin diff -- \
+    --replay tests/fixtures/diff
+
 echo "== bench smoke (parallel scan, ${NODES} nodes) =="
 cargo run --release -q -p blossom-bench --bin parallel -- \
     --dataset d1 --nodes "${NODES}" --threads 4 --runs 3 \

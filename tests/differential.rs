@@ -1,0 +1,63 @@
+//! Bounded differential smoke test: a fixed-seed slice of the full
+//! harness (`crates/bench/src/bin/diff.rs`), small enough to run inside
+//! `cargo test` on every CI push.
+//!
+//! The round loop below is byte-for-byte the seed schedule of the
+//! binary, so any failure here reproduces with
+//! `cargo run --release -p blossom-bench --bin diff -- --seed <base> --rounds <n>`
+//! (which also shrinks the case to a minimal fixture). The full sweep —
+//! `--rounds 1000` or more — stays a manual / nightly job.
+
+use blossom_bench::diff::run_case;
+use blossom_xmlgen::{generate, random_query_full, Dataset};
+
+const DATASETS: [Dataset; 5] = [
+    Dataset::D1Recursive,
+    Dataset::D2Address,
+    Dataset::D3Catalog,
+    Dataset::D4Treebank,
+    Dataset::D5Dblp,
+];
+
+/// Run `rounds` rounds of the harness schedule starting from `base_seed`.
+fn sweep(base_seed: u64, nodes: usize, rounds: u64) {
+    let mut agreed = 0usize;
+    let mut failures = Vec::new();
+    for round in 0..rounds {
+        let dataset = DATASETS[(round % DATASETS.len() as u64) as usize];
+        let doc_seed = base_seed
+            .wrapping_add(round)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let doc = generate(dataset, nodes, doc_seed);
+        let xml = blossom_xml::writer::to_string(&doc);
+        let query = random_query_full(&doc, doc_seed ^ 0xD1FF);
+        let result = run_case(&xml, &query);
+        agreed += result.agreed;
+        for m in &result.mismatches {
+            failures.push(format!(
+                "seed {base_seed:#x} round {round} ({dataset:?}): {:?} disagreed\n  query: {query}\n  engine: {}\n  oracle: {}",
+                m.config, m.engine, m.oracle
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+    // Guard against the matrix silently skipping everything: across a
+    // sweep this size, plenty of configurations must actually evaluate.
+    assert!(
+        agreed >= rounds as usize,
+        "only {agreed} config agreements across {rounds} rounds — harness degenerated"
+    );
+}
+
+/// The default harness seed, small documents (debug builds are ~10x
+/// slower than the release binary, so the doc size is trimmed).
+#[test]
+fn smoke_default_seed() {
+    sweep(0xB10550, 64, 250);
+}
+
+/// A second, disjoint seed stream so the smoke isn't a single trajectory.
+#[test]
+fn smoke_alternate_seed() {
+    sweep(0xDEC0DE, 64, 250);
+}

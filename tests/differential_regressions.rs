@@ -1,0 +1,69 @@
+//! Replays every minimized fixture in `tests/fixtures/diff/` against the
+//! full engine configuration matrix and the reference oracle.
+//!
+//! Each fixture was produced by the differential harness
+//! (`cargo run --release -p blossom-bench --bin diff`) from a real engine
+//! bug, then shrunk to a minimal `(query, document)` pair. A fixture
+//! failing here means a fixed bug has regressed; see the `#` comment
+//! lines inside the file for the original symptom and provenance.
+
+use std::fs;
+use std::path::PathBuf;
+
+use blossom_bench::diff::{parse_fixture, run_case};
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("diff")
+}
+
+fn fixture_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = fs::read_dir(fixture_dir())
+        .expect("tests/fixtures/diff must exist")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "txt"))
+        .filter(|p| p.file_name().is_some_and(|n| n != "seeds.txt"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn fixture_corpus_is_nonempty() {
+    assert!(
+        !fixture_files().is_empty(),
+        "no regression fixtures found in {}",
+        fixture_dir().display()
+    );
+}
+
+#[test]
+fn all_fixtures_agree_with_oracle() {
+    let mut failures = Vec::new();
+    for path in fixture_files() {
+        let contents = fs::read_to_string(&path).expect("readable fixture");
+        let Some((query, xml)) = parse_fixture(&contents) else {
+            failures.push(format!("{}: malformed fixture", path.display()));
+            continue;
+        };
+        let result = run_case(&xml, &query);
+        assert!(
+            result.agreed > 0,
+            "{}: no configuration evaluated the case (query no longer parses?)",
+            path.display()
+        );
+        for m in &result.mismatches {
+            failures.push(format!(
+                "{}: {:?} disagreed with the oracle\n  engine: {}\n  oracle: {}",
+                path.display(),
+                m.config,
+                m.engine,
+                m.oracle
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
