@@ -24,9 +24,10 @@
 //! the document and draws one full-coverage query. A failing round is
 //! reproducible by rerunning with the same `--seed`/`--nodes`.
 
-use blossom_bench::diff::{fixture_contents, parse_fixture, run_case, shrink};
+use blossom_bench::diff::{fixture_contents, parse_fixture, run_case, CaseResult, shrink};
 use blossom_bench::Args;
 use blossom_xmlgen::{generate, random_query_full, Dataset};
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 const DATASETS: [Dataset; 5] = [
@@ -54,6 +55,7 @@ fn main() {
     let mut failures = 0u64;
     let mut agreed = 0u64;
     let mut skipped = 0u64;
+    let mut executed_tally: BTreeMap<String, u64> = BTreeMap::new();
     for round in 0..rounds {
         let dataset = DATASETS[(round % DATASETS.len() as u64) as usize];
         let doc_seed = seed.wrapping_add(round).wrapping_mul(0x9E37_79B9_7F4A_7C15);
@@ -64,6 +66,9 @@ fn main() {
         let result = run_case(&xml, &query);
         agreed += result.agreed as u64;
         skipped += result.skipped as u64;
+        for (_, strategy) in &result.executed {
+            *executed_tally.entry(strategy.to_string()).or_default() += 1;
+        }
         if result.ok() {
             if round % 100 == 99 {
                 println!("round {}/{rounds}: ok ({agreed} agreements, {skipped} skips)", round + 1);
@@ -99,9 +104,27 @@ fn main() {
     println!(
         "diff: {rounds} rounds, {failures} failing case(s), {agreed} config agreements, {skipped} not-applicable skips"
     );
+    println!("diff: strategies executed: {}", tally_line(&executed_tally));
     if failures > 0 {
         std::process::exit(1);
     }
+}
+
+/// `strategy×count` pairs, comma-separated, for the summary lines.
+fn tally_line(tally: &BTreeMap<String, u64>) -> String {
+    if tally.is_empty() {
+        return "none".to_string();
+    }
+    tally.iter().map(|(s, n)| format!("{s}\u{d7}{n}")).collect::<Vec<_>>().join(", ")
+}
+
+/// One case's executed strategies, tallied from its traces.
+fn case_tally(r: &CaseResult) -> String {
+    let mut tally = BTreeMap::new();
+    for (_, s) in &r.executed {
+        *tally.entry(s.to_string()).or_default() += 1;
+    }
+    tally_line(&tally)
 }
 
 /// Replay one fixture file, or every `.txt` fixture in a directory.
@@ -121,13 +144,28 @@ fn replay(path: &PathBuf) -> i32 {
     for f in files {
         let contents = std::fs::read_to_string(&f).expect("read fixture");
         let Some((query, xml)) = parse_fixture(&contents) else {
-            eprintln!("{}: not a fixture", f.display());
-            failing += 1;
+            // Files with no fixture markers at all (e.g. seeds.txt, the
+            // corpus seed list) are metadata, not malformed fixtures.
+            let marker = contents
+                .lines()
+                .any(|l| l.starts_with("query: ") || l.starts_with("xml: "));
+            if marker {
+                eprintln!("{}: not a fixture", f.display());
+                failing += 1;
+            } else {
+                println!("{}: skipped (corpus metadata, not a fixture)", f.display());
+            }
             continue;
         };
         let r = run_case(&xml, &query);
         if r.ok() {
-            println!("{}: ok ({} agreed, {} skipped)", f.display(), r.agreed, r.skipped);
+            println!(
+                "{}: ok ({} agreed, {} skipped; executed: {})",
+                f.display(),
+                r.agreed,
+                r.skipped,
+                case_tally(&r)
+            );
         } else {
             failing += 1;
             println!("{}: {} mismatching config(s)", f.display(), r.mismatches.len());

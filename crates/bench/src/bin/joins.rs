@@ -5,7 +5,10 @@
 //!
 //! Each cell is verified before it is timed: the skip and scan variants
 //! must return identical results, so the report only ever compares equal
-//! work.
+//! work. Next to the timings, the report carries a `profiles` section
+//! with the engine's operator counters per cell (via the tracing API) —
+//! the skipped-element counts explain *why* a skip cell is faster, not
+//! just that it is.
 //!
 //! ```text
 //! cargo run --release -p blossom-bench --bin joins -- \
@@ -13,9 +16,11 @@
 //! ```
 
 use blossom_bench::timing::{self, Json};
-use blossom_bench::{queries, Args};
-use blossom_core::join::structural::{stack_tree_join_postings, StructRel};
-use blossom_core::{Engine, EngineOptions, Strategy};
+use blossom_bench::{queries, trace, Args};
+use blossom_core::join::structural::{
+    stack_tree_join_postings, stack_tree_join_postings_metered, StructRel,
+};
+use blossom_core::{Engine, EngineOptions, Meter, Strategy};
 use blossom_xml::TagIndex;
 use blossom_xmlgen::{generate, Dataset};
 
@@ -36,6 +41,7 @@ fn main() {
     let out: String = args.get("out").unwrap_or_else(|| "BENCH_joins.json".to_string());
 
     let mut samples = Vec::new();
+    let mut profiles = Vec::new();
     // Deep-recursive vs wide-flat: the two shapes where skipping behaves
     // most differently (long joinless prefixes vs already-dense streams).
     for ds in [Dataset::D1Recursive, Dataset::D2Address] {
@@ -49,6 +55,18 @@ fn main() {
                     generate(ds, nodes, 42),
                     EngineOptions { skip_joins: false, ..EngineOptions::default() },
                 ),
+            ),
+        ];
+        // Traced twins of the two engines, used once per cell (outside
+        // the timed region) to collect the operator counters.
+        let traced = [
+            Engine::with_options(
+                generate(ds, nodes, 42),
+                EngineOptions { trace: true, ..EngineOptions::default() },
+            ),
+            Engine::with_options(
+                generate(ds, nodes, 42),
+                EngineOptions { trace: true, skip_joins: false, ..EngineOptions::default() },
             ),
         ];
         for q in queries(ds) {
@@ -67,6 +85,14 @@ fn main() {
                     continue; // strategy not applicable to this query
                 };
                 assert_eq!(with, without, "{op} {} {}", ds.name(), q.id);
+                for (mode, engine) in [("skip", &traced[0]), ("scan", &traced[1])] {
+                    if let Ok((_, t)) = engine.eval_path_traced(q.path, strategy) {
+                        profiles.push(trace::profile_entry(
+                            &format!("{}-{}-{op}-{mode}", ds.name(), q.id),
+                            &t,
+                        ));
+                    }
+                }
                 let (s_skip, s_scan) = timing::time_pair(
                     &format!("{}-{}-{op}-skip", ds.name(), q.id),
                     &format!("{}-{}-{op}-scan", ds.name(), q.id),
@@ -93,6 +119,15 @@ fn main() {
                 ds.name(),
                 q.id
             );
+            for (mode, skip) in [("skip", true), ("scan", false)] {
+                let mut meter = Meter::new(true);
+                stack_tree_join_postings_metered(&doc, pa, pb, rel, skip, &mut meter);
+                profiles.push(Json::obj([
+                    ("name", Json::str(format!("{}-{}-structural-{mode}", ds.name(), q.id))),
+                    ("executed", Json::str("structural-join")),
+                    ("counters", trace::counters_json(&meter.counters())),
+                ]));
+            }
             let (s_skip, s_scan) = timing::time_pair(
                 &format!("{}-{}-structural-skip", ds.name(), q.id),
                 &format!("{}-{}-structural-scan", ds.name(), q.id),
@@ -111,6 +146,7 @@ fn main() {
         ("nodes", Json::Num(nodes as f64)),
         ("runs", Json::Num(f64::from(runs))),
         ("samples", Json::arr(samples.iter().map(timing::Sample::json))),
+        ("profiles", Json::arr(profiles)),
     ]);
     timing::write_report(&out, &report).expect("write report");
     println!("wrote {out}");

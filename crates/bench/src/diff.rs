@@ -10,6 +10,14 @@
 //! accept everything the oracle accepts, and every successful evaluation
 //! must match the oracle exactly.
 //!
+//! Each accepting configuration is additionally run once through a
+//! *traced* engine: the bytes must be identical to the untraced run
+//! (tracing is observational only), the trace must account for the
+//! strategy that actually executed — an executed strategy differing from
+//! the resolved plan without a recorded fallback event is a mismatch —
+//! and [`CaseResult::executed`] records what each configuration really
+//! ran.
+//!
 //! On mismatch, [`shrink`] greedily minimizes first the document
 //! (subtree deletion, then text truncation) and then the query (clause /
 //! step / predicate removal and simplification), re-checking the full
@@ -95,6 +103,9 @@ pub struct CaseResult {
     pub skipped: usize,
     /// Disagreements (empty means the case passes).
     pub mismatches: Vec<Mismatch>,
+    /// The strategy each accepting configuration *actually* executed,
+    /// from its trace (`Auto` never appears here: it always resolves).
+    pub executed: Vec<(Config, Strategy)>,
 }
 
 impl CaseResult {
@@ -132,6 +143,59 @@ pub fn run_case(xml: &str, query: &str) -> CaseResult {
         );
         let first = engine.eval_query_str(query, config.strategy).map(|d| writer::to_string(&d));
         let second = engine.eval_query_str(query, config.strategy).map(|d| writer::to_string(&d));
+        // Traced re-run: tracing must not change acceptance or bytes, and
+        // the trace must account for the strategy that actually ran.
+        let traced = Engine::with_options(
+            Document::parse_str(xml).expect("reparse"),
+            EngineOptions {
+                threads: config.threads,
+                skip_joins: config.skip_joins,
+                trace: true,
+                ..EngineOptions::default()
+            },
+        );
+        match (&first, traced.eval_query_traced(query, config.strategy)) {
+            (Ok(plain), Ok((doc, trace))) => {
+                let traced_str = writer::to_string(&doc);
+                if *plain != traced_str {
+                    result.mismatches.push(Mismatch {
+                        config,
+                        engine: format!("untraced: {plain} / traced: {traced_str}"),
+                        oracle: expected_str.clone(),
+                    });
+                    continue;
+                }
+                if trace.executed != trace.resolved && trace.fallbacks.is_empty() {
+                    result.mismatches.push(Mismatch {
+                        config,
+                        engine: format!(
+                            "trace: resolved {} but executed {} with no fallback event",
+                            trace.resolved, trace.executed
+                        ),
+                        oracle: expected_str.clone(),
+                    });
+                    continue;
+                }
+                result.executed.push((config, trace.executed));
+            }
+            (Ok(plain), Err(e)) => {
+                result.mismatches.push(Mismatch {
+                    config,
+                    engine: format!("untraced: {plain} / traced error: {e}"),
+                    oracle: expected_str.clone(),
+                });
+                continue;
+            }
+            (Err(_), Ok((doc, _))) => {
+                result.mismatches.push(Mismatch {
+                    config,
+                    engine: format!("untraced error / traced: {}", writer::to_string(&doc)),
+                    oracle: expected_str.clone(),
+                });
+                continue;
+            }
+            (Err(_), Err(_)) => {}
+        }
         let got = match (&first, &second) {
             (Ok(a), Ok(b)) if a != b => {
                 // The cached plan disagreed with the fresh one.
@@ -464,6 +528,22 @@ mod tests {
             assert!(r.ok(), "{q}: {:?}", r.mismatches.first());
             assert!(r.agreed > 0);
         }
+    }
+
+    #[test]
+    fn executed_strategies_are_recorded_and_explained() {
+        let r = run_case("<r><a><b/></a><a/></r>", "//a//b");
+        assert!(r.ok(), "{:?}", r.mismatches.first());
+        assert!(!r.executed.is_empty(), "accepting configs must record execution");
+        for (config, executed) in &r.executed {
+            assert_ne!(*executed, Strategy::Auto, "{config}: Auto must resolve");
+        }
+        let nav = r
+            .executed
+            .iter()
+            .find(|(c, _)| c.strategy == Strategy::Navigational)
+            .expect("the navigational config records its execution");
+        assert_eq!(nav.1, Strategy::Navigational);
     }
 
     #[test]

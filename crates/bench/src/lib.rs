@@ -29,7 +29,9 @@ pub mod diff;
 pub mod harness;
 pub mod queries;
 pub mod timing;
+pub mod trace;
 
 pub use harness::{markdown_table, measure, Args, Measurement};
 pub use queries::{queries, BenchQuery};
 pub use timing::{time, Json, Sample};
+pub use trace::{validate_profile_json, PROFILE_KEYS};

@@ -21,6 +21,7 @@ use crate::join::twigstack::{TwigError, TwigMatcher};
 use crate::navigational;
 use crate::nestedlist::NestedList;
 use crate::nok::NokMatcher;
+use crate::obs::{Meter, OpCounters, PhaseTimings, PlanDecision, QueryTrace, TraceSink};
 use crate::ops::{self, CrossPred};
 use crate::plan::{self, Plan, Strategy};
 use crate::shape::ShapeId;
@@ -30,6 +31,7 @@ use blossom_xml::{Axis, DocStats, Document, NodeId, TagIndex};
 use blossom_xpath::ast::{PathExpr, PathStart};
 use blossom_xpath::SyntaxError;
 use std::fmt;
+use std::time::Instant;
 
 /// Anything that can go wrong while evaluating a query.
 #[derive(Debug)]
@@ -111,11 +113,18 @@ pub struct EngineOptions {
     /// the one-element-at-a-time scans; results are identical either way.
     /// On by default — this knob exists for benchmarking the skips.
     pub skip_joins: bool,
+    /// Collect execution traces: per-operator work counters, strategy
+    /// decisions and fallback events, drained per query by
+    /// [`Engine::eval_path_traced`] / [`Engine::eval_query_traced`]. Off
+    /// by default; when off, every instrumentation point is an inlined
+    /// never-taken branch and nothing is recorded. Results are
+    /// byte-identical either way.
+    pub trace: bool,
 }
 
 impl Default for EngineOptions {
     fn default() -> Self {
-        EngineOptions { threads: 1, plan_cache_capacity: 256, skip_joins: true }
+        EngineOptions { threads: 1, plan_cache_capacity: 256, skip_joins: true, trace: false }
     }
 }
 
@@ -210,6 +219,11 @@ pub struct Engine {
     plans: std::sync::Mutex<PlanCache>,
     /// [`EngineOptions::skip_joins`], threaded to every operator.
     skip_joins: bool,
+    /// The trace collection point; operators record into it only when
+    /// `trace` is set (see [`Engine::sink`]).
+    obs: TraceSink,
+    /// [`EngineOptions::trace`].
+    trace: bool,
 }
 
 impl Engine {
@@ -230,6 +244,8 @@ impl Engine {
             exec: Executor::new(options.threads),
             plans: std::sync::Mutex::new(PlanCache::new(options.plan_cache_capacity)),
             skip_joins: options.skip_joins,
+            obs: TraceSink::new(),
+            trace: options.trace,
         }
     }
 
@@ -241,6 +257,37 @@ impl Engine {
     /// Worker-thread count this engine evaluates with.
     pub fn threads(&self) -> usize {
         self.exec.threads()
+    }
+
+    /// Is execution tracing ([`EngineOptions::trace`]) on?
+    pub fn trace_enabled(&self) -> bool {
+        self.trace
+    }
+
+    /// The trace sink, iff tracing is on. Every instrumentation point
+    /// goes through this gate, so an untraced engine records nothing.
+    #[inline]
+    fn sink(&self) -> Option<&TraceSink> {
+        if self.trace {
+            Some(&self.obs)
+        } else {
+            None
+        }
+    }
+
+    /// Navigational evaluation with counters recorded when tracing.
+    fn eval_nav(&self, path: &PathExpr) -> Vec<NodeId> {
+        match self.sink() {
+            Some(sink) => {
+                let mut m = Meter::new(true);
+                let out = navigational::eval_path_counted(&self.doc, path, &[], &mut m);
+                let mut c = m.counters();
+                c.output = out.len() as u64;
+                sink.record_op("navigational", c);
+                out
+            }
+            None => navigational::eval_path(&self.doc, path, &[]),
+        }
     }
 
     /// The executor driving data-parallel evaluation.
@@ -416,19 +463,141 @@ reason: {}
         query: &str,
         strategy: Strategy,
     ) -> Result<Vec<NodeId>, EngineError> {
-        if let Some(plan) = self.plans.lock().unwrap().get(query) {
-            return self.eval_path_planned(&plan.path, &plan.bt, &plan.decomposition, strategy);
+        self.eval_path_str_timed(query, strategy, &mut PhaseTimings::default())
+    }
+
+    /// [`Engine::eval_path_str`] with per-phase wall-clock timing filled
+    /// into `phases`. The result is identical; timing a phase costs two
+    /// monotonic-clock reads.
+    fn eval_path_str_timed(
+        &self,
+        query: &str,
+        strategy: Strategy,
+        phases: &mut PhaseTimings,
+    ) -> Result<Vec<NodeId>, EngineError> {
+        let t = Instant::now();
+        let cached = self.plans.lock().unwrap().get(query);
+        phases.cache_lookup = t.elapsed();
+        if let Some(plan) = cached {
+            return self.eval_path_planned(&plan.path, &plan.bt, &plan.decomposition, strategy, phases);
         }
+        let t = Instant::now();
         let path = blossom_xpath::parse_path(query)?;
+        phases.parse = t.elapsed();
+        self.eval_path_parsed_cached(&path, query, strategy, phases)
+    }
+
+    /// Plan `path`, cache the plan under `key`, and evaluate it. Shared
+    /// miss path of [`Engine::eval_path_str_timed`] (keyed by the raw
+    /// query text) and [`Engine::eval_path_expr_cached`] (keyed by the
+    /// path's canonical rendering).
+    fn eval_path_parsed_cached(
+        &self,
+        path: &PathExpr,
+        key: &str,
+        strategy: Strategy,
+        phases: &mut PhaseTimings,
+    ) -> Result<Vec<NodeId>, EngineError> {
         if path.has_positional() || path.has_disjunction() {
             // Outside the pattern algebra: no plan to cache.
-            return self.eval_path(&path, strategy);
+            let t = Instant::now();
+            let result = self.eval_path(path, strategy);
+            phases.matching = t.elapsed();
+            return result;
         }
-        let bt = BlossomTree::from_path(&path)?;
+        let t = Instant::now();
+        let bt = BlossomTree::from_path(path)?;
         let decomposition = Decomposition::decompose(&bt);
-        let plan = std::sync::Arc::new(CachedPlan { path, bt, decomposition });
-        self.plans.lock().unwrap().insert(query.to_string(), plan.clone());
-        self.eval_path_planned(&plan.path, &plan.bt, &plan.decomposition, strategy)
+        let plan = std::sync::Arc::new(CachedPlan { path: path.clone(), bt, decomposition });
+        self.plans.lock().unwrap().insert(key.to_string(), plan.clone());
+        phases.plan = t.elapsed();
+        self.eval_path_planned(&plan.path, &plan.bt, &plan.decomposition, strategy, phases)
+    }
+
+    /// Evaluate an already-parsed top-level path through the plan cache,
+    /// keyed by the path's canonical `Display` rendering (which the
+    /// parser round-trips). This is how `eval_query_str` paths share
+    /// plans across repeated evaluations.
+    fn eval_path_expr_cached(
+        &self,
+        path: &PathExpr,
+        strategy: Strategy,
+    ) -> Result<Vec<NodeId>, EngineError> {
+        let key = path.to_string();
+        let mut phases = PhaseTimings::default();
+        let cached = self.plans.lock().unwrap().get(&key);
+        if let Some(plan) = cached {
+            return self.eval_path_planned(
+                &plan.path,
+                &plan.bt,
+                &plan.decomposition,
+                strategy,
+                &mut phases,
+            );
+        }
+        self.eval_path_parsed_cached(path, &key, strategy, &mut phases)
+    }
+
+    /// Evaluate a path query and return its [`QueryTrace`] alongside the
+    /// result nodes. The result is byte-identical to
+    /// [`Engine::eval_path_str`]; operator counters are populated only
+    /// when the engine was built with [`EngineOptions::trace`].
+    pub fn eval_path_traced(
+        &self,
+        query: &str,
+        strategy: Strategy,
+    ) -> Result<(Vec<NodeId>, QueryTrace), EngineError> {
+        self.obs.reset();
+        let mut phases = PhaseTimings::default();
+        let nodes = self.eval_path_str_timed(query, strategy, &mut phases)?;
+        Ok((nodes, self.finish_trace(query, strategy, phases)))
+    }
+
+    /// Evaluate a full query (FLWOR / constructor / path) and return its
+    /// [`QueryTrace`] alongside the result document. The document is
+    /// byte-identical to [`Engine::eval_query_str`]; operator counters
+    /// are populated only when the engine was built with
+    /// [`EngineOptions::trace`].
+    pub fn eval_query_traced(
+        &self,
+        query: &str,
+        strategy: Strategy,
+    ) -> Result<(Document, QueryTrace), EngineError> {
+        self.obs.reset();
+        let mut phases = PhaseTimings::default();
+        let t = Instant::now();
+        let expr = blossom_flwor::parse_query(query)?;
+        phases.parse = t.elapsed();
+        let t = Instant::now();
+        let doc = self.eval_expr_to_doc(&expr, strategy)?;
+        phases.matching = t.elapsed();
+        Ok((doc, self.finish_trace(query, strategy, phases)))
+    }
+
+    /// Assemble the [`QueryTrace`] from whatever the sink collected.
+    fn finish_trace(&self, query: &str, requested: Strategy, phases: PhaseTimings) -> QueryTrace {
+        let (plan, executed, fallbacks, ops) = self.obs.take();
+        let plan = plan.unwrap_or_else(|| PlanDecision {
+            requested,
+            resolved: requested,
+            reason: String::new(),
+            twigstack_compatible: None,
+        });
+        QueryTrace {
+            query: query.to_string(),
+            requested,
+            resolved: plan.resolved,
+            executed: executed.unwrap_or(plan.resolved),
+            plan_reason: plan.reason,
+            twigstack_compatible: plan.twigstack_compatible,
+            fallbacks,
+            ops,
+            phases,
+            cache: self.cache_stats(),
+            threads: self.threads(),
+            skip_joins: self.skip_joins,
+            counters_enabled: self.trace,
+        }
     }
 
     /// Number of cached plans (diagnostics).
@@ -448,36 +617,73 @@ reason: {}
         bt: &BlossomTree,
         d: &Decomposition,
         strategy: Strategy,
+        phases: &mut PhaseTimings,
     ) -> Result<Vec<NodeId>, EngineError> {
-        let auto = strategy == Strategy::Auto;
-        let strategy = match strategy {
-            Strategy::Auto => plan::choose(path, d, &self.stats).strategy,
-            s => s,
+        let requested = strategy;
+        let auto = requested == Strategy::Auto;
+        let strategy = if auto {
+            let chosen = plan::choose(path, d, &self.stats);
+            if let Some(sink) = self.sink() {
+                sink.record_plan(PlanDecision {
+                    requested,
+                    resolved: chosen.strategy,
+                    reason: chosen.reason.clone(),
+                    twigstack_compatible: Some(chosen.twigstack_compatible),
+                });
+            }
+            chosen.strategy
+        } else {
+            if let Some(sink) = self.sink() {
+                sink.record_plan(PlanDecision {
+                    requested,
+                    resolved: requested,
+                    reason: "explicitly requested".into(),
+                    twigstack_compatible: Some(plan::twigstack_compatible(d)),
+                });
+            }
+            requested
         };
+        let t = Instant::now();
         let result = match strategy {
-            Strategy::Navigational => Ok(navigational::eval_path(&self.doc, path, &[])),
+            Strategy::Navigational => Ok(self.eval_nav(path)),
             Strategy::TwigStack => self.eval_path_twigstack(path),
             Strategy::PathStack => self.eval_path_pathstack(path),
             Strategy::Pipelined | Strategy::BoundedNestedLoop | Strategy::NaiveNestedLoop => {
                 let output = bt.returning[0];
                 self.eval_decomposition(d, strategy, None).map(|results| {
+                    let t = Instant::now();
                     let out_shape =
                         d.shape.by_pattern(output).expect("query output is returning");
                     let mut nodes = ops::project_seq_shape(&results, out_shape);
                     nodes.sort_unstable();
                     nodes.dedup();
+                    phases.merge = t.elapsed();
                     nodes
                 })
             }
             Strategy::Auto => unreachable!("resolved above"),
         };
+        phases.matching = t.elapsed() - phases.merge;
         match result {
             // The planner's feature checks are conservative approximations
             // of each strategy's real support; if the chosen strategy still
             // rejects the query, Auto must not surface that — navigational
             // evaluation is total.
-            Err(_) if auto => Ok(navigational::eval_path(&self.doc, path, &[])),
-            r => r,
+            Err(e) if auto => {
+                if let Some(sink) = self.sink() {
+                    sink.record_fallback(strategy, Strategy::Navigational, e.to_string());
+                    sink.record_executed(Strategy::Navigational);
+                }
+                Ok(self.eval_nav(path))
+            }
+            r => {
+                if r.is_ok() {
+                    if let Some(sink) = self.sink() {
+                        sink.record_executed(strategy);
+                    }
+                }
+                r
+            }
         }
     }
 
@@ -487,27 +693,69 @@ reason: {}
         path: &PathExpr,
         strategy: Strategy,
     ) -> Result<Vec<NodeId>, EngineError> {
-        let auto = strategy == Strategy::Auto;
+        let requested = strategy;
+        let auto = requested == Strategy::Auto;
         let strategy = match strategy {
             Strategy::Auto => {
                 if path.has_positional() || path.has_disjunction() {
+                    if let Some(sink) = self.sink() {
+                        sink.record_plan(PlanDecision {
+                            requested,
+                            resolved: Strategy::Navigational,
+                            reason: "positional predicates or disjunction are outside \
+                                     the pattern algebra"
+                                .into(),
+                            twigstack_compatible: None,
+                        });
+                    }
                     Strategy::Navigational
                 } else {
                     match BlossomTree::from_path(path) {
                         Ok(bt) => {
                             let d = Decomposition::decompose(&bt);
-                            plan::choose(path, &d, &self.stats).strategy
+                            let chosen = plan::choose(path, &d, &self.stats);
+                            if let Some(sink) = self.sink() {
+                                sink.record_plan(PlanDecision {
+                                    requested,
+                                    resolved: chosen.strategy,
+                                    reason: chosen.reason.clone(),
+                                    twigstack_compatible: Some(chosen.twigstack_compatible),
+                                });
+                            }
+                            chosen.strategy
                         }
                         // Outside the pattern algebra: navigational covers
                         // the full AST.
-                        Err(_) => Strategy::Navigational,
+                        Err(e) => {
+                            if let Some(sink) = self.sink() {
+                                sink.record_plan(PlanDecision {
+                                    requested,
+                                    resolved: Strategy::Navigational,
+                                    reason: format!("outside the pattern algebra: {e}"),
+                                    twigstack_compatible: None,
+                                });
+                            }
+                            Strategy::Navigational
+                        }
                     }
                 }
             }
-            s => s,
+            s => {
+                if let Some(sink) = self.sink() {
+                    sink.record_plan(PlanDecision {
+                        requested,
+                        resolved: s,
+                        reason: "explicitly requested".into(),
+                        twigstack_compatible: BlossomTree::from_path(path).ok().map(|bt| {
+                            plan::twigstack_compatible(&Decomposition::decompose(&bt))
+                        }),
+                    });
+                }
+                s
+            }
         };
         let result = match strategy {
-            Strategy::Navigational => Ok(navigational::eval_path(&self.doc, path, &[])),
+            Strategy::Navigational => Ok(self.eval_nav(path)),
             Strategy::TwigStack => self.eval_path_twigstack(path),
             Strategy::PathStack => self.eval_path_pathstack(path),
             Strategy::Pipelined | Strategy::BoundedNestedLoop | Strategy::NaiveNestedLoop => {
@@ -530,8 +778,21 @@ reason: {}
         match result {
             // Same contract as `eval_path_planned`: Auto never leaks a
             // strategy's capability error.
-            Err(_) if auto => Ok(navigational::eval_path(&self.doc, path, &[])),
-            r => r,
+            Err(e) if auto => {
+                if let Some(sink) = self.sink() {
+                    sink.record_fallback(strategy, Strategy::Navigational, e.to_string());
+                    sink.record_executed(Strategy::Navigational);
+                }
+                Ok(self.eval_nav(path))
+            }
+            r => {
+                if r.is_ok() {
+                    if let Some(sink) = self.sink() {
+                        sink.record_executed(strategy);
+                    }
+                }
+                r
+            }
         }
     }
 
@@ -560,8 +821,15 @@ reason: {}
             root_axis,
             self.skip_joins,
         )?;
+        m.enable_meter(self.trace);
         m.run();
-        Ok(m.solution_nodes(output))
+        let nodes = m.solution_nodes(output);
+        if let Some(sink) = self.sink() {
+            let mut c = m.counters();
+            c.output = nodes.len() as u64;
+            sink.record_op("pathstack", c);
+        }
+        Ok(nodes)
     }
 
     fn eval_path_twigstack(&self, path: &PathExpr) -> Result<Vec<NodeId>, EngineError> {
@@ -588,8 +856,15 @@ reason: {}
             root_axis,
             self.skip_joins,
         )?;
+        tm.enable_meter(self.trace);
         tm.run();
-        Ok(tm.solution_nodes(output))
+        let nodes = tm.solution_nodes(output);
+        if let Some(sink) = self.sink() {
+            let mut c = tm.counters();
+            c.output = nodes.len() as u64;
+            sink.record_op("twigstack", c);
+        }
+        Ok(nodes)
     }
 
     /// Evaluate a full query (FLWOR / constructor / path) and return the
@@ -600,6 +875,13 @@ reason: {}
         strategy: Strategy,
     ) -> Result<Document, EngineError> {
         let expr = blossom_flwor::parse_query(query)?;
+        self.eval_expr_to_doc(&expr, strategy)
+    }
+
+    /// Evaluate a parsed top-level expression into a result document
+    /// (shared tail of [`Engine::eval_query_str`] and
+    /// [`Engine::eval_query_traced`]).
+    fn eval_expr_to_doc(&self, expr: &Expr, strategy: Strategy) -> Result<Document, EngineError> {
         let mut builder = Document::builder();
         match &expr {
             Expr::Constructor(_) | Expr::Flwor(_) => {
@@ -614,7 +896,7 @@ reason: {}
             }
             Expr::Path(p) => {
                 builder.start_element("result");
-                for n in self.eval_path(p, strategy)? {
+                for n in self.eval_path_expr_cached(p, strategy)? {
                     env::copy_subtree(&mut builder, &self.doc, n);
                 }
                 builder.end_element();
@@ -674,6 +956,15 @@ reason: {}
         strategy: Strategy,
     ) -> Result<(), EngineError> {
         if strategy == Strategy::Navigational {
+            if let Some(sink) = self.sink() {
+                sink.record_plan(PlanDecision {
+                    requested: strategy,
+                    resolved: Strategy::Navigational,
+                    reason: "explicitly requested".into(),
+                    twigstack_compatible: None,
+                });
+                sink.record_executed(Strategy::Navigational);
+            }
             return self.naive_flwor(builder, flwor);
         }
         // A `path op literal` where-atom becomes a mandatory value
@@ -683,13 +974,30 @@ reason: {}
         // existential filter on the whole sequence, and folding it would
         // both narrow the bound sequence and stop filtering empty tuples.
         if !where_literal_atoms_iterate(flwor) {
+            if let Some(sink) = self.sink() {
+                sink.record_fallback(
+                    strategy,
+                    Strategy::Navigational,
+                    "where-clause atoms over let-bound or absolute operands need \
+                     per-tuple existential filtering",
+                );
+                sink.record_executed(Strategy::Navigational);
+            }
             return self.naive_flwor(builder, flwor);
         }
         let bt = match BlossomTree::from_flwor(flwor) {
             Ok(bt) => bt,
-            Err(BlossomError::Unsupported(_)) if strategy == Strategy::Auto => {
+            Err(BlossomError::Unsupported(what)) if strategy == Strategy::Auto => {
                 // Outside the BlossomTree subset: fall back to the naive
                 // evaluator.
+                if let Some(sink) = self.sink() {
+                    sink.record_fallback(
+                        strategy,
+                        Strategy::Navigational,
+                        format!("outside the BlossomTree subset: {what}"),
+                    );
+                    sink.record_executed(Strategy::Navigational);
+                }
                 return self.naive_flwor(builder, flwor);
             }
             Err(e) => return Err(e.into()),
@@ -697,13 +1005,38 @@ reason: {}
         let d = Decomposition::decompose(&bt);
         let strategy = match strategy {
             Strategy::Auto => {
-                if !self.stats.recursive && d.pipelinable() {
+                let resolved = if !self.stats.recursive && d.pipelinable() {
                     Strategy::Pipelined
                 } else {
                     Strategy::BoundedNestedLoop
+                };
+                if let Some(sink) = self.sink() {
+                    let reason = if resolved == Strategy::Pipelined {
+                        "non-recursive tags and a pipelinable decomposition"
+                    } else {
+                        "recursive tags or a non-pipelinable decomposition: \
+                         bounded nested loops"
+                    };
+                    sink.record_plan(PlanDecision {
+                        requested: Strategy::Auto,
+                        resolved,
+                        reason: reason.into(),
+                        twigstack_compatible: Some(plan::twigstack_compatible(&d)),
+                    });
                 }
+                resolved
             }
-            s => s,
+            s => {
+                if let Some(sink) = self.sink() {
+                    sink.record_plan(PlanDecision {
+                        requested: s,
+                        resolved: s,
+                        reason: "explicitly requested".into(),
+                        twigstack_compatible: Some(plan::twigstack_compatible(&d)),
+                    });
+                }
+                s
+            }
         };
         // Tuple extraction is per for-variable; a for-variable nested under
         // a let-bound (optional) position cannot be unnested from grouped
@@ -724,27 +1057,42 @@ reason: {}
                 }
                 let node = d.shape.node(cur);
                 if node.optional {
+                    if let Some(sink) = self.sink() {
+                        sink.record_fallback(
+                            strategy,
+                            Strategy::Navigational,
+                            "a for-variable nested under an optional (let-bound) \
+                             position cannot be unnested from grouped NestedLists",
+                        );
+                        sink.record_executed(Strategy::Navigational);
+                    }
                     return self.naive_flwor(builder, flwor);
                 }
                 cur = node.parent;
             }
+        }
+        if let Some(sink) = self.sink() {
+            sink.record_executed(strategy);
         }
         let results = self.eval_decomposition(&d, strategy, Some(&for_positions))?;
         // Parallel for-clause iteration, step 1: the per-anchor
         // NestedLists are chunked across workers, each unnesting its
         // chunk into tuples independently; ordered collection keeps the
         // tuple sequence identical to a sequential pass.
-        let mut tuples: Vec<Tuple> = self
-            .exec
-            .map_chunks(&results, |chunk| {
-                chunk
-                    .iter()
-                    .flat_map(|nl| env::enumerate_tuples(nl, &for_positions))
-                    .collect::<Vec<Tuple>>()
-            })
-            .into_iter()
-            .flatten()
-            .collect();
+        let per_worker: Vec<Vec<Tuple>> = self.exec.map_chunks(&results, |chunk| {
+            chunk
+                .iter()
+                .flat_map(|nl| env::enumerate_tuples(nl, &for_positions))
+                .collect::<Vec<Tuple>>()
+        });
+        if let Some(sink) = self.sink() {
+            // Per-worker tuple counts, merged here at concat time.
+            let mut c = OpCounters::default();
+            c.scanned = results.len() as u64;
+            c.output = per_worker.iter().map(|w| w.len() as u64).sum();
+            sink.record_op("flwor-tuples", c);
+        }
+        let mut tuples: Vec<Tuple> = per_worker.into_iter().flatten().collect();
         if !bt.order_by.is_empty() {
             let keys: Vec<(ShapeId, blossom_flwor::SortOrder)> = bt
                 .order_by
@@ -817,6 +1165,7 @@ reason: {}
                     Some(&self.index),
                     self.skip_joins,
                 )
+                .with_trace_sink(self.sink())
             })
             .collect();
 
@@ -1002,6 +1351,14 @@ reason: {}
         let strategy = if strategy == Strategy::Pipelined
             && cuts.iter().any(|c| c.axis != Axis::Descendant)
         {
+            if let Some(sink) = self.sink() {
+                sink.record_fallback(
+                    Strategy::Pipelined,
+                    Strategy::NaiveNestedLoop,
+                    "a non-descendant cut edge breaks the pipelined join's \
+                     order-preserving discard rule",
+                );
+            }
             Strategy::NaiveNestedLoop
         } else {
             strategy
@@ -1017,14 +1374,16 @@ reason: {}
                 };
                 for cut in cuts {
                     let right = matchers[cut.child_nok].stream();
-                    current = Box::new(PipelinedJoin::with_skip(
+                    let mut join = PipelinedJoin::with_skip(
                         &self.doc,
                         current,
                         right,
                         &d.noks,
                         cut,
                         self.skip_joins,
-                    ));
+                    );
+                    join.set_trace_sink(self.sink());
+                    current = Box::new(join);
                 }
                 Ok(current.map(|(_, nl)| nl).collect())
             }
@@ -1131,10 +1490,25 @@ reason: {}
                 if path.steps.is_empty() {
                     Ok(bound)
                 } else {
-                    Ok(navigational::eval_from(&self.doc, &path.steps, &bound))
+                    match self.sink() {
+                        Some(sink) => {
+                            let mut m = Meter::new(true);
+                            let out = navigational::eval_from_counted(
+                                &self.doc,
+                                &path.steps,
+                                &bound,
+                                &mut m,
+                            );
+                            let mut c = m.counters();
+                            c.output = out.len() as u64;
+                            sink.record_op("navigational", c);
+                            Ok(out)
+                        }
+                        None => Ok(navigational::eval_from(&self.doc, &path.steps, &bound)),
+                    }
                 }
             }
-            _ => Ok(navigational::eval_path(&self.doc, path, &[])),
+            _ => Ok(self.eval_nav(path)),
         }
     }
 

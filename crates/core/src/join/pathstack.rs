@@ -9,6 +9,7 @@
 //! complete embeddings, so no merge phase is needed (the reason PathStack
 //! is suboptimal on branching twigs, which is TwigStack's contribution).
 
+use crate::obs::{Meter, OpCounters};
 use crate::value::node_satisfies;
 use blossom_xml::fxhash::FxHashSet;
 use blossom_xml::index::PostingList;
@@ -46,6 +47,8 @@ pub struct PathStackMatcher<'d> {
     /// Gallop past unpushable stream prefixes instead of discarding one
     /// element at a time.
     skip: bool,
+    /// Work counters ([`crate::obs`]); off by default.
+    meter: Meter,
 }
 
 impl<'d> PathStackMatcher<'d> {
@@ -125,7 +128,21 @@ impl<'d> PathStackMatcher<'d> {
             stacks: (0..n).map(|_| Vec::new()).collect(),
             participants: (0..n).map(|_| FxHashSet::default()).collect(),
             skip,
+            meter: Meter::off(),
         })
+    }
+
+    /// Turn work counting on or off (see [`crate::obs`]). Counting is off
+    /// by default; enable before [`PathStackMatcher::run`].
+    pub fn enable_meter(&mut self, on: bool) {
+        self.meter = Meter::new(on);
+    }
+
+    /// Counters accumulated so far: elements advanced one at a time
+    /// (`scanned`), unpushable prefix elements galloped past (`skipped`),
+    /// stack pushes, and path-solution participants (`matches`).
+    pub fn counters(&self) -> OpCounters {
+        self.meter.counters()
     }
 
     fn next_l(&self, q: usize) -> u32 {
@@ -174,12 +191,14 @@ impl<'d> PathStackMatcher<'d> {
                     parent_top,
                     marked: false,
                 });
+                self.meter.pushes(1);
                 if q_min == self.slots.len() - 1 {
                     let top = self.stacks[q_min].len() - 1;
                     self.mark(q_min, top);
                     self.stacks[q_min].pop();
                 }
                 self.slots[q_min].cursor += 1;
+                self.meter.scanned(1);
             } else if self.skip {
                 // Slot q_min's elements can only be pushed once slot
                 // q_min-1's stack is non-empty, which requires processing
@@ -188,13 +207,17 @@ impl<'d> PathStackMatcher<'d> {
                 // prefix instead of discarding one element per iteration.
                 let target = self.next_l(q_min - 1);
                 let s = &mut self.slots[q_min];
+                let before = s.cursor;
                 s.cursor = if target == INF {
                     s.stream.len()
                 } else {
                     s.stream.skip_to(s.cursor + 1, target)
                 };
+                let leapt = (s.cursor - before) as u64;
+                self.meter.skipped(leapt);
             } else {
                 self.slots[q_min].cursor += 1;
+                self.meter.scanned(1);
             }
         }
     }
@@ -205,6 +228,7 @@ impl<'d> PathStackMatcher<'d> {
         }
         self.stacks[q][idx].marked = true;
         self.participants[q].insert(self.stacks[q][idx].node);
+        self.meter.matches(1);
         if q > 0 {
             let parent_top = self.stacks[q][idx].parent_top;
             if parent_top != usize::MAX {

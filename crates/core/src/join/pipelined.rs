@@ -19,6 +19,7 @@
 
 use crate::decompose::{CutEdge, NokTree};
 use crate::nestedlist::NestedList;
+use crate::obs::{Meter, TraceSink};
 use crate::ops::{attach_window, child_match_of, structural_join, ChildMatch};
 use crate::shape::ShapeId;
 use blossom_xml::{Document, NodeId};
@@ -38,10 +39,12 @@ pub trait SkipStream {
     /// Produce the next item, or `None` when exhausted.
     fn next_item(&mut self) -> Option<StreamItem>;
 
-    /// Skip every item with anchor `<= bound`. The default does nothing;
-    /// the join remains correct because its discard rule re-checks every
-    /// pulled item.
-    fn skip_past(&mut self, _bound: NodeId) {}
+    /// Skip every item with anchor `<= bound`, returning how many items
+    /// were galloped past. The default does nothing; the join remains
+    /// correct because its discard rule re-checks every pulled item.
+    fn skip_past(&mut self, _bound: NodeId) -> u64 {
+        0
+    }
 }
 
 impl SkipStream for crate::nok::NokStream<'_> {
@@ -49,8 +52,8 @@ impl SkipStream for crate::nok::NokStream<'_> {
         self.get_next()
     }
 
-    fn skip_past(&mut self, bound: NodeId) {
-        crate::nok::NokStream::skip_past(self, bound);
+    fn skip_past(&mut self, bound: NodeId) -> u64 {
+        crate::nok::NokStream::skip_past(self, bound)
     }
 }
 
@@ -88,6 +91,11 @@ where
     /// Let the right stream gallop past discarded prefixes instead of
     /// pulling and rejecting one item at a time.
     skip: bool,
+    /// Work counters ([`crate::obs`]); off by default.
+    meter: Meter,
+    /// Where the counters are flushed on drop (joins are consumed inside
+    /// boxed iterator chains, so there is no explicit finish call).
+    sink: Option<&'d TraceSink>,
 }
 
 impl<'d, L, R> PipelinedJoin<'d, L, R>
@@ -131,7 +139,18 @@ where
             right_peek: None,
             exhausted_right: false,
             skip,
+            meter: Meter::off(),
+            sink: None,
         }
+    }
+
+    /// Attach a trace sink: the join's counters (inner items pulled,
+    /// items galloped past, buffer pushes, emitted matches) are recorded
+    /// under `"pipelined-join"` when the join is dropped. `None` (the
+    /// default) keeps every counter a no-op.
+    pub fn set_trace_sink(&mut self, sink: Option<&'d TraceSink>) {
+        self.sink = sink;
+        self.meter = Meter::new(sink.is_some());
     }
 
     /// Largest number of inner matches buffered at once so far — the
@@ -148,7 +167,10 @@ where
             return None;
         }
         match self.right.next_item() {
-            Some(item) => Some(item),
+            Some(item) => {
+                self.meter.scanned(1);
+                Some(item)
+            }
             None => {
                 self.exhausted_right = true;
                 None
@@ -172,7 +194,8 @@ where
         // skipped wholesale at the stream level — a NokStream gallops its
         // candidate list without running a single pattern match.
         if self.skip && self.right_peek.is_none() && !self.exhausted_right {
-            self.right.skip_past(outer);
+            let leapt = self.right.skip_past(outer);
+            self.meter.skipped(leapt);
         }
         while let Some((anchor, nl)) = self.pull_right() {
             if anchor.0 <= outer.0 {
@@ -184,6 +207,7 @@ where
             }
             if let Some(cm) = child_match_of(&nl, self.child_shape) {
                 self.buffer.push_back(cm);
+                self.meter.pushes(1);
                 self.peak_buffer = self.peak_buffer.max(self.buffer.len());
             }
         }
@@ -210,6 +234,8 @@ where
                 |p| attach_window(doc, candidates, blossom_xml::Axis::Descendant, p),
             );
             if let Some(nl) = joined.into_iter().next() {
+                self.meter.matches(1);
+                self.meter.output(1);
                 return Some((outer_anchor, nl));
             }
             // Outer failed (mandatory child missing): try the next outer.
@@ -226,6 +252,18 @@ where
 
     fn next(&mut self) -> Option<Self::Item> {
         self.get_next()
+    }
+}
+
+impl<L, R> Drop for PipelinedJoin<'_, L, R>
+where
+    L: Iterator<Item = StreamItem>,
+    R: SkipStream,
+{
+    fn drop(&mut self) {
+        if let Some(sink) = self.sink {
+            sink.record_meter("pipelined-join", &self.meter);
+        }
     }
 }
 

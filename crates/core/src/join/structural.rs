@@ -4,6 +4,7 @@
 //! parent-child) relationship in one merge pass, using a stack of nested
 //! ancestors. Output pairs are sorted by the descendant's document order.
 
+use crate::obs::Meter;
 use blossom_xml::index::PostingList;
 use blossom_xml::{Document, NodeId};
 
@@ -88,6 +89,23 @@ pub fn stack_tree_join_postings(
     rel: StructRel,
     skip: bool,
 ) -> Vec<(NodeId, NodeId)> {
+    let mut meter = Meter::off();
+    stack_tree_join_postings_metered(doc, ancestors, descendants, rel, skip, &mut meter)
+}
+
+/// [`stack_tree_join_postings`] with work counting ([`crate::obs`]):
+/// elements advanced one at a time land in `scanned`, elements leapt
+/// over by the two gallop sites in `skipped`, stack pushes in `pushes`,
+/// and emitted pairs in `matches`/`output`. Pass [`Meter::off`] to make
+/// every bump a no-op.
+pub fn stack_tree_join_postings_metered(
+    doc: &Document,
+    ancestors: &PostingList,
+    descendants: &PostingList,
+    rel: StructRel,
+    skip: bool,
+    meter: &mut Meter,
+) -> Vec<(NodeId, NodeId)> {
     let mut out = Vec::new();
     // (node, region end) — ends ride along so pops never touch the arena.
     let mut stack: Vec<(NodeId, u32)> = Vec::new();
@@ -103,7 +121,9 @@ pub fn stack_tree_join_postings(
                 // Dead prefix: with nothing on the stack, ancestors whose
                 // subtree closes before d contain neither d nor anything
                 // after it. Leap to the first that is still open at d.
+                let before = ai;
                 ai = ancestors.skip_to_end(ai + 1, d.0);
+                meter.skipped((ai - before) as u64);
                 continue;
             }
             // Pop ancestors whose region ended before a starts.
@@ -115,7 +135,9 @@ pub fn stack_tree_join_postings(
                 }
             }
             stack.push((a, a_end));
+            meter.pushes(1);
             ai += 1;
+            meter.scanned(1);
         }
         // Pop ancestors whose region ended before d.
         while let Some(&(_, top_end)) = stack.last() {
@@ -137,15 +159,19 @@ pub fn stack_tree_join_postings(
                 }
                 let bound = ancestors.start(ai).0;
                 di += 1;
+                meter.scanned(1);
                 // Strict `<`: a descendant starting exactly at `bound` is
                 // the next ancestor element itself (self-join streams) and
                 // the regular loop discards it in one compare — galloping
                 // there would pay probe cost to move a single step.
                 if di < descendants.len() && descendants.start(di).0 < bound {
+                    let before = di;
                     di = descendants.skip_to(di, bound);
+                    meter.skipped((di - before) as u64);
                 }
             } else {
                 di += 1;
+                meter.scanned(1);
             }
             continue;
         }
@@ -161,7 +187,10 @@ pub fn stack_tree_join_postings(
             }
         }
         di += 1;
+        meter.scanned(1);
     }
+    meter.matches(out.len() as u64);
+    meter.output(out.len() as u64);
     out
 }
 

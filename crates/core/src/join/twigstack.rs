@@ -13,6 +13,7 @@
 //! upward to the root (`anchored`); the query answer is the set of
 //! participants of the output node that satisfy both.
 
+use crate::obs::{Meter, OpCounters};
 use crate::value::node_satisfies;
 use blossom_xml::fxhash::FxHashSet;
 use blossom_xml::index::PostingList;
@@ -80,6 +81,8 @@ pub struct TwigMatcher<'d> {
     /// Gallop over stream segments instead of advancing one element at a
     /// time (the XB-tree skip).
     skip: bool,
+    /// Work counters ([`crate::obs`]); off by default.
+    meter: Meter,
 }
 
 impl<'d> TwigMatcher<'d> {
@@ -198,7 +201,22 @@ impl<'d> TwigMatcher<'d> {
             stacks: (0..n).map(|_| Vec::new()).collect(),
             participants: (0..n).map(|_| FxHashSet::default()).collect(),
             skip,
+            meter: Meter::off(),
         })
+    }
+
+    /// Turn work counting on or off (see [`crate::obs`]). Counting is off
+    /// by default; enable before [`TwigMatcher::run`].
+    pub fn enable_meter(&mut self, on: bool) {
+        self.meter = Meter::new(on);
+    }
+
+    /// Counters accumulated so far: elements advanced one at a time
+    /// (`scanned`), stream segments galloped past by the skip-to-end leap
+    /// (`skipped`), stack pushes, and path-solution participants
+    /// (`matches`).
+    pub fn counters(&self) -> OpCounters {
+        self.meter.counters()
     }
 
     fn next_l(&self, q: usize) -> u32 {
@@ -213,6 +231,7 @@ impl<'d> TwigMatcher<'d> {
 
     fn advance(&mut self, q: usize) {
         self.slots[q].cursor += 1;
+        self.meter.scanned(1);
     }
 
     fn is_leaf(&self, q: usize) -> bool {
@@ -248,7 +267,10 @@ impl<'d> TwigMatcher<'d> {
         // summary instead of testing every element.
         if self.skip {
             let s = &mut self.slots[q];
+            let before = s.cursor;
             s.cursor = s.stream.skip_to_end(s.cursor, n_max_l);
+            let leapt = (s.cursor - before) as u64;
+            self.meter.skipped(leapt);
         } else {
             while self.next_r(q) < n_max_l {
                 self.advance(q);
@@ -284,6 +306,7 @@ impl<'d> TwigMatcher<'d> {
         self.stacks[q][idx].marked = true;
         let node = self.stacks[q][idx].node;
         self.participants[q].insert(node);
+        self.meter.matches(1);
         if let (Some(p), parent_top) = (self.slots[q].parent, self.stacks[q][idx].parent_top) {
             if parent_top != usize::MAX {
                 for i in 0..=parent_top {
@@ -325,6 +348,7 @@ impl<'d> TwigMatcher<'d> {
                     parent_top,
                     marked: false,
                 });
+                self.meter.pushes(1);
                 if self.is_leaf(q) {
                     self.mark_solutions(q);
                     self.stacks[q].pop();

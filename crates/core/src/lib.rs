@@ -15,7 +15,9 @@
 //! * the physical joins: pipelined //-join, (bounded) nested loops,
 //!   TwigStack, binary structural join — [`join`],
 //! * the navigational baseline / oracle — [`navigational`],
-//! * strategy selection and the end-to-end engine — [`plan`], [`engine`].
+//! * strategy selection and the end-to-end engine — [`plan`], [`engine`],
+//! * execution traces, operator counters and `EXPLAIN ANALYZE`-style
+//!   profiling — [`obs`].
 //!
 //! ```
 //! use blossom_core::{Engine, Strategy};
@@ -35,6 +37,7 @@ pub mod navigational;
 pub mod nestedlist;
 pub mod nlbuffer;
 pub mod nok;
+pub mod obs;
 pub mod ops;
 pub mod plan;
 pub mod shape;
@@ -46,5 +49,9 @@ pub use engine::{CacheStats, Engine, EngineError, EngineOptions};
 pub use exec::Executor;
 pub use nestedlist::{NestedList, NlNode};
 pub use nok::NokMatcher;
+pub use obs::{
+    FallbackEvent, Meter, OpCounters, OpTrace, PhaseTimings, PlanDecision, QueryTrace, TraceSink,
+    PROFILE_SCHEMA_VERSION,
+};
 pub use plan::{Plan, Strategy};
 pub use shape::{Shape, ShapeId, ShapeNode};

@@ -12,6 +12,7 @@
 use crate::decompose::NokTree;
 use crate::nestedlist::NestedList;
 use crate::nok::NokMatcher;
+use crate::obs::OpCounters;
 use crate::shape::Shape;
 use blossom_xml::{Document, NodeId};
 use std::sync::Arc;
@@ -45,6 +46,21 @@ pub fn concat_partitions(
         out.extend(partition);
     }
     out
+}
+
+/// [`concat_partitions`] for traced partitioned scans: per-worker
+/// [`OpCounters`] ride along with each partition and are summed into a
+/// single per-operator total at the concatenation point.
+pub fn concat_partitions_counted(
+    partitions: Vec<(Vec<(NodeId, NestedList)>, OpCounters)>,
+) -> (Vec<(NodeId, NestedList)>, OpCounters) {
+    let mut total = OpCounters::default();
+    let mut entries = Vec::with_capacity(partitions.len());
+    for (partition, counters) in partitions {
+        total.add(&counters);
+        entries.push(partition);
+    }
+    (concat_partitions(entries), total)
 }
 
 /// Match all `noks` with a single document-order pass; returns one match

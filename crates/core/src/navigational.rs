@@ -10,6 +10,7 @@
 //! 2. the correctness oracle that every join algorithm is property-tested
 //!    against.
 
+use crate::obs::Meter;
 use crate::value::node_vs_literal;
 use blossom_xml::{Document, NodeId, NodeKind};
 use blossom_xpath::ast::{Literal, NodeTest, PathExpr, PathStart, Predicate, Step};
@@ -20,6 +21,19 @@ use blossom_xml::Axis;
 /// Variable-rooted paths must be resolved by the caller (see
 /// [`eval_from`]). The result is in document order without duplicates.
 pub fn eval_path(doc: &Document, path: &PathExpr, context: &[NodeId]) -> Vec<NodeId> {
+    eval_path_counted(doc, path, context, &mut Meter::off())
+}
+
+/// [`eval_path`] with work counting ([`crate::obs`]): axis candidates
+/// examined land in `scanned`, candidates surviving the node test and
+/// predicates in `matches`. Pass [`Meter::off`] to make every bump a
+/// no-op.
+pub fn eval_path_counted(
+    doc: &Document,
+    path: &PathExpr,
+    context: &[NodeId],
+    meter: &mut Meter,
+) -> Vec<NodeId> {
     let start: Vec<NodeId> = match &path.start {
         PathStart::Root { .. } => vec![NodeId::DOCUMENT],
         PathStart::Context => context.to_vec(),
@@ -27,18 +41,30 @@ pub fn eval_path(doc: &Document, path: &PathExpr, context: &[NodeId]) -> Vec<Nod
             panic!("navigational eval_path cannot resolve ${v}; use eval_from")
         }
     };
-    eval_from(doc, &path.steps, &start)
+    eval_from_counted(doc, &path.steps, &start, meter)
 }
 
 /// Evaluate a step list from explicit start nodes.
 pub fn eval_from(doc: &Document, steps: &[Step], start: &[NodeId]) -> Vec<NodeId> {
+    eval_from_counted(doc, steps, start, &mut Meter::off())
+}
+
+/// [`eval_from`] with work counting (see [`eval_path_counted`]).
+pub fn eval_from_counted(
+    doc: &Document,
+    steps: &[Step],
+    start: &[NodeId],
+    meter: &mut Meter,
+) -> Vec<NodeId> {
     let mut current: Vec<NodeId> = start.to_vec();
     for step in steps {
         let mut next: Vec<NodeId> = Vec::new();
         for &ctx in &current {
             // Candidates along the axis, in document order, filtered by
             // the node test.
-            let candidates: Vec<NodeId> = axis_candidates(doc, step.axis, ctx)
+            let candidates_all = axis_candidates(doc, step.axis, ctx);
+            meter.scanned(candidates_all.len() as u64);
+            let candidates: Vec<NodeId> = candidates_all
                 .into_iter()
                 .filter(|&n| test_matches(doc, &step.test, n))
                 .collect();
@@ -53,6 +79,7 @@ pub fn eval_from(doc: &Document, steps: &[Step], start: &[NodeId]) -> Vec<NodeId
                     .map(|(_, &n)| n)
                     .collect();
             }
+            meter.matches(filtered.len() as u64);
             next.extend(filtered);
         }
         next.sort_unstable();

@@ -16,6 +16,7 @@ use crate::decompose::NokTree;
 use crate::exec::{self, Executor};
 use crate::merge;
 use crate::nestedlist::{NestedList, NlNode};
+use crate::obs::{Meter, OpCounters, TraceSink};
 use crate::shape::{Shape, ShapeId};
 use crate::value::node_satisfies;
 use blossom_xml::{Document, NodeId, NodeKind, Sym, TagIndex};
@@ -51,6 +52,9 @@ pub struct NokMatcher<'a> {
     /// Gallop range probes over the tag index instead of scanning the
     /// anchor stream one element at a time.
     skip: bool,
+    /// Trace collection point; when set, scans and streams record their
+    /// work counters ([`crate::obs`]).
+    sink: Option<&'a TraceSink>,
 }
 
 /// A raw match of the NoK pattern (all pattern nodes, returning or not).
@@ -91,7 +95,15 @@ impl<'a> NokMatcher<'a> {
                 NodeTest::Attribute(_) => ResolvedTest::Attribute,
             })
             .collect();
-        NokMatcher { doc, nok, shape, index, resolved, skip }
+        NokMatcher { doc, nok, shape, index, resolved, skip, sink: None }
+    }
+
+    /// Attach a trace sink: scans and streams record anchor counters
+    /// (`"nok-scan"` / `"nok-stream"`) into it. `None` (the default)
+    /// keeps every counter a no-op.
+    pub fn with_trace_sink(mut self, sink: Option<&'a TraceSink>) -> Self {
+        self.sink = sink;
+        self
     }
 
     /// Does `x` satisfy the tag-name and value constraints of pattern node
@@ -244,6 +256,15 @@ impl<'a> NokMatcher<'a> {
     /// root has a name test and an index is available; otherwise every
     /// node).
     fn anchor_candidates(&self, lo: NodeId, hi: NodeId) -> Vec<NodeId> {
+        self.anchor_candidates_counted(lo, hi).0
+    }
+
+    /// [`NokMatcher::anchor_candidates`] plus the number of posting-list
+    /// entries galloped past by the range probe (`0` with skipping off —
+    /// the linear probe examines entries one at a time — and `0` when no
+    /// sink is attached, to keep the untraced path free of the extra
+    /// posting-count lookup).
+    fn anchor_candidates_counted(&self, lo: NodeId, hi: NodeId) -> (Vec<NodeId>, u64) {
         let root = self.nok.pattern.node(self.nok.root());
         if let (Some(index), NodeTest::Name(name)) = (self.index, &root.test) {
             if let Some(sym) = self.doc.sym(name) {
@@ -256,11 +277,16 @@ impl<'a> NokMatcher<'a> {
                 } else {
                     index.stream_in_range_linear(sym, after, hi)
                 };
-                return range.to_vec();
+                let skipped = if self.skip && self.sink.is_some() {
+                    (index.count(sym) - range.len()) as u64
+                } else {
+                    0
+                };
+                return (range.to_vec(), skipped);
             }
-            return Vec::new();
+            return (Vec::new(), 0);
         }
-        (lo.0..=hi.0).map(NodeId).collect()
+        ((lo.0..=hi.0).map(NodeId).collect(), 0)
     }
 
     /// Sequential scan (Section 3.3): try every document node in document
@@ -279,13 +305,35 @@ impl<'a> NokMatcher<'a> {
     /// engine filters root anchors by level; partitioned scans keep the
     /// anchor to certify document order across partition seams).
     pub fn scan_range_entries(&self, lo: NodeId, hi: NodeId) -> Vec<(NodeId, NestedList)> {
-        if self.doc.len() <= 1 || lo > hi {
-            return Vec::new();
+        let (entries, counters) = self.scan_range_entries_counted(lo, hi);
+        if let Some(sink) = self.sink {
+            sink.record_op("nok-scan", counters);
         }
-        self.anchor_candidates(lo, hi)
+        entries
+    }
+
+    /// [`NokMatcher::scan_range_entries`] returning the work counters
+    /// instead of recording them: partitioned scans merge the per-worker
+    /// counters before a single record.
+    fn scan_range_entries_counted(
+        &self,
+        lo: NodeId,
+        hi: NodeId,
+    ) -> (Vec<(NodeId, NestedList)>, OpCounters) {
+        let mut counters = OpCounters::default();
+        if self.doc.len() <= 1 || lo > hi {
+            return (Vec::new(), counters);
+        }
+        let (candidates, skipped) = self.anchor_candidates_counted(lo, hi);
+        counters.scanned = candidates.len() as u64;
+        counters.skipped = skipped;
+        let entries: Vec<(NodeId, NestedList)> = candidates
             .into_iter()
             .filter_map(|x| self.match_at(x).map(|nl| (x, nl)))
-            .collect()
+            .collect();
+        counters.matches = entries.len() as u64;
+        counters.output = entries.len() as u64;
+        (entries, counters)
     }
 
     /// Partitioned scan: split the anchor stream into contiguous
@@ -310,8 +358,12 @@ impl<'a> NokMatcher<'a> {
         }
         let ranges = self.partition_ranges(exec);
         let per_partition =
-            exec.run(ranges.len(), |i| self.scan_range_entries(ranges[i].0, ranges[i].1));
-        merge::concat_partitions(per_partition)
+            exec.run(ranges.len(), |i| self.scan_range_entries_counted(ranges[i].0, ranges[i].1));
+        let (entries, counters) = merge::concat_partitions_counted(per_partition);
+        if let Some(sink) = self.sink {
+            sink.record_op("nok-scan", counters);
+        }
+        entries
     }
 
     /// Contiguous, disjoint, ascending anchor-id ranges for a partitioned
@@ -340,7 +392,7 @@ impl<'a> NokMatcher<'a> {
     pub fn stream(&'a self) -> NokStream<'a> {
         let candidates =
             self.anchor_candidates(NodeId(1), NodeId(self.doc.len() as u32 - 1));
-        NokStream { matcher: self, candidates, pos: 0 }
+        NokStream { matcher: self, candidates, pos: 0, meter: Meter::new(self.sink.is_some()) }
     }
 }
 
@@ -350,6 +402,7 @@ pub struct NokStream<'a> {
     matcher: &'a NokMatcher<'a>,
     candidates: Vec<NodeId>,
     pos: usize,
+    meter: Meter,
 }
 
 impl NokStream<'_> {
@@ -359,7 +412,10 @@ impl NokStream<'_> {
         while self.pos < self.candidates.len() {
             let anchor = self.candidates[self.pos];
             self.pos += 1;
+            self.meter.scanned(1);
             if let Some(nl) = self.matcher.match_at(anchor) {
+                self.meter.matches(1);
+                self.meter.output(1);
                 return Some((anchor, nl));
             }
         }
@@ -367,13 +423,14 @@ impl NokStream<'_> {
     }
 
     /// Gallop the cursor past every candidate anchor `<= bound` without
-    /// attempting to match them. Used by the pipelined //-join to discard
-    /// whole stream segments that precede the current outer region.
-    pub fn skip_past(&mut self, bound: NodeId) {
+    /// attempting to match them, returning how many candidates were
+    /// skipped. Used by the pipelined //-join to discard whole stream
+    /// segments that precede the current outer region.
+    pub fn skip_past(&mut self, bound: NodeId) -> u64 {
         let c = &self.candidates;
         let pos = self.pos;
         if pos >= c.len() || c[pos] > bound {
-            return;
+            return 0;
         }
         let mut step = 1usize;
         while pos + step < c.len() && c[pos + step] <= bound {
@@ -382,6 +439,20 @@ impl NokStream<'_> {
         let lo = pos + (step >> 1);
         let hi = (pos + step + 1).min(c.len());
         self.pos = lo + c[lo..hi].partition_point(|&x| x <= bound);
+        let skipped = (self.pos - pos) as u64;
+        self.meter.skipped(skipped);
+        skipped
+    }
+}
+
+impl Drop for NokStream<'_> {
+    /// Streams are consumed inside boxed iterator chains, so the counters
+    /// are flushed when the stream is dropped rather than at an explicit
+    /// finish call.
+    fn drop(&mut self) {
+        if let Some(sink) = self.matcher.sink {
+            sink.record_meter("nok-stream", &self.meter);
+        }
     }
 }
 

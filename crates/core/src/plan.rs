@@ -61,6 +61,11 @@ pub struct Plan {
     pub strategy: Strategy,
     /// Human-readable justification.
     pub reason: String,
+    /// The [`twigstack_compatible`] verdict for the decomposition the
+    /// plan was chosen over (recorded even when another strategy wins —
+    /// `EXPLAIN`/trace output shows what the holistic join *could* have
+    /// handled).
+    pub twigstack_compatible: bool,
 }
 
 /// Can every pattern node of the decomposition feed a TwigStack stream
@@ -155,10 +160,12 @@ pub fn query_tags_recursive(d: &Decomposition, stats: &DocStats) -> bool {
 
 /// Resolve `Auto` for a path query.
 pub fn choose(path: &PathExpr, d: &Decomposition, stats: &DocStats) -> Plan {
+    let ts_ok = twigstack_compatible(d);
     if path.has_positional() || path.has_disjunction() {
         return Plan {
             strategy: Strategy::Navigational,
             reason: "positional or or/not predicates are outside the pattern algebra".into(),
+            twigstack_compatible: ts_ok,
         };
     }
     if d.pipelinable() && !query_tags_recursive(d, stats) {
@@ -169,9 +176,10 @@ pub fn choose(path: &PathExpr, d: &Decomposition, stats: &DocStats) -> Plan {
                  mandatory //-joins (order-preserving, Theorem 2)",
                 d.cut_edges.len()
             ),
+            twigstack_compatible: ts_ok,
         };
     }
-    if twigstack_compatible(d) {
+    if ts_ok {
         Plan {
             strategy: Strategy::TwigStack,
             reason: format!(
@@ -179,11 +187,13 @@ pub fn choose(path: &PathExpr, d: &Decomposition, stats: &DocStats) -> Plan {
                  bounds memory by document depth",
                 stats.max_recursion
             ),
+            twigstack_compatible: true,
         }
     } else {
         Plan {
             strategy: Strategy::BoundedNestedLoop,
             reason: "recursive document and pattern not expressible as tag streams".into(),
+            twigstack_compatible: false,
         }
     }
 }
@@ -244,6 +254,17 @@ mod tests {
             plan_for("<a><a><b/></a></a>", "//a//*").strategy,
             Strategy::BoundedNestedLoop
         );
+    }
+
+    #[test]
+    fn plan_carries_twigstack_verdict() {
+        // TwigStack-capable pattern, even though the planner picks PL on a
+        // non-recursive document.
+        let p = plan_for("<r><a><b/></a></r>", "//a//b");
+        assert_eq!(p.strategy, Strategy::Pipelined);
+        assert!(p.twigstack_compatible);
+        // Wildcards have no tag stream.
+        assert!(!plan_for("<a><a><b/></a></a>", "//a//*").twigstack_compatible);
     }
 
     #[test]

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 verification: offline release build, the full test suite, and a
-# bench smoke run that exercises the parallel scan end to end and leaves
-# a BENCH_parallel.json report at the workspace root.
+# Tier-1 verification: offline release build, the full test suite, bench
+# smoke runs that exercise the parallel scan end to end (leaving a
+# BENCH_parallel.json report at the workspace root), and a profile smoke
+# that checks the --profile-json schema and that tracing never changes
+# query output bytes (leaving BENCH_profile_smoke.json).
 #
 # Usage: scripts/verify.sh [--full]
 #   --full   run the benchmark at paper scale (>= 50 MB document)
@@ -48,4 +50,25 @@ cargo run --release -q -p blossom-bench --bin joins -- \
     --nodes 8000 --runs 1 --out BENCH_joins_smoke.json
 cargo run --release -q -p blossom-bench --bin micro -- \
     --nodes 8000 --runs 1 --out BENCH_micro_smoke.json
+
+echo "== profile smoke (query tracing is observational + schema-stable) =="
+# Run the same query profiled and unprofiled: the profile must carry
+# every version-1 schema key, and profiling must not change a single
+# byte of the query result on stdout.
+PROFILE_DOC=target/profile-smoke.xml
+PROFILE_JSON=BENCH_profile_smoke.json
+PROFILE_QUERY='//item[publisher]/title'
+cargo run --release -q --bin blossom -- gen d3 "${PROFILE_DOC}" --nodes 20000
+cargo run --release -q --bin blossom -- query "${PROFILE_DOC}" "${PROFILE_QUERY}" \
+    > target/profile-smoke-plain.out
+cargo run --release -q --bin blossom -- query "${PROFILE_DOC}" "${PROFILE_QUERY}" \
+    --profile --profile-json "${PROFILE_JSON}" \
+    > target/profile-smoke-traced.out 2>/dev/null
+for key in blossom_profile query strategy fallbacks operators totals \
+           phases_us cache threads skip_joins counters_enabled; do
+    grep -q "\"${key}\"" "${PROFILE_JSON}" \
+        || { echo "profile JSON missing key: ${key}"; exit 1; }
+done
+cmp target/profile-smoke-plain.out target/profile-smoke-traced.out \
+    || { echo "profiling changed the query output bytes"; exit 1; }
 echo "verify: OK"

@@ -1,12 +1,18 @@
 //! `blossom` — a command-line front end for the BlossomTree engine.
 //!
 //! ```text
-//! blossom query   <doc.xml|doc.blsm> '<query>' [--strategy auto|navigational|twigstack|pipelined|bnlj|nlj] [--pretty]
+//! blossom query   <doc.xml|doc.blsm> '<query>' [--strategy auto|navigational|twigstack|pathstack|pipelined|bnlj|nlj]
+//!                 [--threads N] [--pretty] [--profile] [--profile-json FILE] [--repeat N]
 //! blossom explain <doc.xml|doc.blsm> '<query>'
 //! blossom stats   <doc.xml|doc.blsm>
 //! blossom encode  <doc.xml> <out.blsm>     # succinct storage format
 //! blossom gen     <d1|d2|d3|d4|d5> <out.xml> [--nodes N] [--seed S]
 //! ```
+//!
+//! `--profile` prints an `EXPLAIN ANALYZE`-style execution trace to
+//! stderr (stdout stays byte-identical to an unprofiled run);
+//! `--profile-json FILE` writes the same trace as JSON; `--repeat N`
+//! evaluates the query N times and reports plan-cache statistics.
 
 use blossomtree::core::{exec, Engine, EngineOptions, Strategy};
 use blossomtree::xml::{succinct, writer, Document};
@@ -29,14 +35,19 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   blossom query   <doc.xml|doc.blsm> '<query>' [--strategy S] [--threads N] [--pretty]
+                  [--profile] [--profile-json FILE] [--repeat N]
   blossom explain <doc.xml|doc.blsm> '<query>'
   blossom stats   <doc.xml|doc.blsm>
   blossom encode  <doc.xml> <out.blsm>
   blossom gen     <d1|d2|d3|d4|d5> <out.xml> [--nodes N] [--seed S]
 
 strategies: auto (default), navigational, twigstack, pathstack, pipelined, bnlj, nlj
---threads:  worker threads for NoK scans and FLWOR iteration
-            (default: available parallelism; 1 = sequential)";
+--threads:      worker threads for NoK scans and FLWOR iteration
+                (default: available parallelism; 1 = sequential)
+--profile:      print an EXPLAIN ANALYZE-style trace (strategy decisions,
+                operator counters, phase timings) to stderr
+--profile-json: write the trace as JSON to FILE
+--repeat:       evaluate the query N times and report plan-cache stats";
 
 /// Execute a CLI invocation; returns the text to print.
 fn run(args: &[String]) -> Result<String, String> {
@@ -48,13 +59,46 @@ fn run(args: &[String]) -> Result<String, String> {
             let strategy = parse_strategy(flag_value(args, "--strategy").unwrap_or("auto"))?;
             let pretty = args.iter().any(|a| a == "--pretty");
             let threads = parse_threads(args)?;
+            let profile = args.iter().any(|a| a == "--profile");
+            let profile_json = flag_value(args, "--profile-json");
+            let repeat = parse_repeat(args)?;
+            let tracing = profile || profile_json.is_some();
             let engine = Engine::with_options(
                 load_document(file)?,
-                EngineOptions { threads, ..EngineOptions::default() },
+                EngineOptions { threads, trace: tracing, ..EngineOptions::default() },
             );
-            let result = engine
-                .eval_query_str(query, strategy)
-                .map_err(|e| e.to_string())?;
+            // The query result always goes to stdout, byte-identical with
+            // and without profiling; the trace goes to stderr / a file.
+            let mut result = None;
+            let mut trace = None;
+            for _ in 0..repeat {
+                if tracing {
+                    let (doc, t) =
+                        engine.eval_query_traced(query, strategy).map_err(|e| e.to_string())?;
+                    result = Some(doc);
+                    trace = Some(t);
+                } else {
+                    result =
+                        Some(engine.eval_query_str(query, strategy).map_err(|e| e.to_string())?);
+                }
+            }
+            let result = result.expect("repeat >= 1");
+            if let Some(t) = &trace {
+                if profile {
+                    eprintln!("{}", t.render());
+                }
+                if let Some(path) = profile_json {
+                    std::fs::write(path, t.to_json())
+                        .map_err(|e| format!("writing {path}: {e}"))?;
+                }
+            }
+            if repeat > 1 {
+                let c = engine.cache_stats();
+                eprintln!(
+                    "plan cache after {repeat} runs: {} hits / {} misses ({}/{} entries)",
+                    c.hits, c.misses, c.len, c.capacity
+                );
+            }
             Ok(if pretty {
                 writer::to_string_pretty(&result)
             } else {
@@ -152,6 +196,16 @@ fn parse_threads(args: &[String]) -> Result<usize, String> {
         Some(v) => match v.parse::<usize>() {
             Ok(n) if n >= 1 => Ok(n),
             _ => Err(format!("bad --threads {v:?} (want an integer >= 1)")),
+        },
+    }
+}
+
+fn parse_repeat(args: &[String]) -> Result<usize, String> {
+    match flag_value(args, "--repeat") {
+        None => Ok(1),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!("bad --repeat {v:?} (want an integer >= 1)")),
         },
     }
 }
@@ -260,6 +314,80 @@ mod tests {
         .unwrap();
         assert!(out.contains("BlossomTree"), "{out}");
         assert!(out.contains("strategy:"), "{out}");
+    }
+
+    /// The module doc comment at the top of this file must mention every
+    /// flag USAGE advertises (regression: `--threads` was added to USAGE
+    /// but not to the doc comment).
+    #[test]
+    fn doc_comment_mentions_every_usage_flag() {
+        let source = include_str!("main.rs");
+        let doc_comment: String = source
+            .lines()
+            .take_while(|l| l.starts_with("//!") || l.is_empty())
+            .collect::<Vec<_>>()
+            .join("\n");
+        let flags: std::collections::BTreeSet<&str> = USAGE
+            .split(|c: char| c.is_whitespace() || c == '[' || c == ']' || c == ':')
+            .filter(|t| t.starts_with("--"))
+            .collect();
+        assert!(!flags.is_empty());
+        for flag in flags {
+            assert!(
+                doc_comment.contains(flag),
+                "USAGE flag {flag} missing from the module doc comment"
+            );
+        }
+    }
+
+    #[test]
+    fn profile_leaves_stdout_bytes_identical() {
+        let xml = tmp("profile.xml");
+        std::fs::write(&xml, "<r><a><b/></a><a><x><b/></x></a></r>").unwrap();
+        for strategy in ["auto", "navigational", "ts", "bnlj"] {
+            let plain = run(&s(&["query", &xml, "//a//b", "--strategy", strategy])).unwrap();
+            let profiled =
+                run(&s(&["query", &xml, "//a//b", "--strategy", strategy, "--profile"]))
+                    .unwrap();
+            assert_eq!(plain, profiled, "--strategy {strategy}");
+        }
+    }
+
+    #[test]
+    fn profile_json_has_schema_keys() {
+        let xml = tmp("pjson.xml");
+        std::fs::write(&xml, "<r><a><b/></a></r>").unwrap();
+        let out = tmp("pjson.json");
+        run(&s(&["query", &xml, "//a//b", "--profile-json", &out])).unwrap();
+        let json = std::fs::read_to_string(&out).unwrap();
+        for key in [
+            "\"blossom_profile\"",
+            "\"query\"",
+            "\"strategy\"",
+            "\"requested\"",
+            "\"resolved\"",
+            "\"executed\"",
+            "\"fallbacks\"",
+            "\"operators\"",
+            "\"totals\"",
+            "\"phases_us\"",
+            "\"cache\"",
+            "\"threads\"",
+            "\"skip_joins\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn repeat_flag() {
+        let xml = tmp("repeat.xml");
+        std::fs::write(&xml, "<r><a/></r>").unwrap();
+        let once = run(&s(&["query", &xml, "//a"])).unwrap();
+        let thrice = run(&s(&["query", &xml, "//a", "--repeat", "3"])).unwrap();
+        assert_eq!(once, thrice);
+        assert!(run(&s(&["query", &xml, "//a", "--repeat", "0"])).is_err());
+        assert!(run(&s(&["query", &xml, "//a", "--repeat", "soon"])).is_err());
     }
 
     #[test]
