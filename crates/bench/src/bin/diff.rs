@@ -15,6 +15,9 @@
 //!                    (default `tests/fixtures/diff`)
 //! * `--fail-fast`    stop at the first mismatch
 //! * `--no-shrink`    record failures unminimized (debugging the shrinker)
+//! * `--server`       also route every case through a live in-process
+//!                    `blossomd` (HTTP load + query, `Auto` strategy)
+//!                    and hold its responses to the same oracle
 //! * `--replay P`     replay a fixture file (or every `.txt` fixture in a
 //!                    directory) instead of fuzzing; prints each config's
 //!                    disagreement in full
@@ -24,7 +27,9 @@
 //! the document and draws one full-coverage query. A failing round is
 //! reproducible by rerunning with the same `--seed`/`--nodes`.
 
-use blossom_bench::diff::{fixture_contents, parse_fixture, run_case, CaseResult, shrink};
+use blossom_bench::diff::{
+    fixture_contents, parse_fixture, run_case_with, CaseResult, ServerTarget, shrink,
+};
 use blossom_bench::Args;
 use blossom_xmlgen::{generate, random_query_full, Dataset};
 use std::collections::BTreeMap;
@@ -47,9 +52,14 @@ fn main() {
         args.get::<String>("out").unwrap_or_else(|| "tests/fixtures/diff".into()).into();
     let fail_fast = args.has("fail-fast");
     let no_shrink = args.has("no-shrink");
+    let mut server = if args.has("server") {
+        Some(ServerTarget::spawn().expect("spawn in-process server"))
+    } else {
+        None
+    };
 
     if let Some(path) = args.get::<String>("replay") {
-        std::process::exit(replay(&PathBuf::from(path)));
+        std::process::exit(replay(&PathBuf::from(path), server.as_mut()));
     }
 
     let mut failures = 0u64;
@@ -63,7 +73,7 @@ fn main() {
         let xml = blossom_xml::writer::to_string(&doc);
         let query = random_query_full(&doc, doc_seed ^ 0xD1FF);
 
-        let result = run_case(&xml, &query);
+        let result = run_case_with(&xml, &query, server.as_mut());
         agreed += result.agreed as u64;
         skipped += result.skipped as u64;
         for (_, strategy) in &result.executed {
@@ -128,7 +138,7 @@ fn case_tally(r: &CaseResult) -> String {
 }
 
 /// Replay one fixture file, or every `.txt` fixture in a directory.
-fn replay(path: &PathBuf) -> i32 {
+fn replay(path: &PathBuf, mut server: Option<&mut ServerTarget>) -> i32 {
     let files: Vec<PathBuf> = if path.is_dir() {
         let mut v: Vec<PathBuf> = std::fs::read_dir(path)
             .expect("read fixture dir")
@@ -157,7 +167,7 @@ fn replay(path: &PathBuf) -> i32 {
             }
             continue;
         };
-        let r = run_case(&xml, &query);
+        let r = run_case_with(&xml, &query, server.as_deref_mut());
         if r.ok() {
             println!(
                 "{}: ok ({} agreed, {} skipped; executed: {})",

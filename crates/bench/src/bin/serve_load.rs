@@ -1,0 +1,227 @@
+//! Closed-loop load generator for `blossomd`: N keep-alive connections
+//! each sweep the Table-2/3 query matrix (six queries × five paper
+//! datasets), byte-comparing every response body against a direct
+//! in-process evaluation, and the run's throughput and exact
+//! p50/p95/p99 latencies land in `BENCH_server.json`.
+//!
+//! ```text
+//! cargo run --release -p blossom-bench --bin serve_load
+//! cargo run --release -p blossom-bench --bin serve_load -- --addr 127.0.0.1:7730
+//! ```
+//!
+//! Flags:
+//!
+//! * `--addr A`         drive an already-running server instead of
+//!                      spawning one in-process (documents are loaded
+//!                      over `POST /load` either way)
+//! * `--connections N`  concurrent client connections (default 4)
+//! * `--rounds N`       sweeps of the 30-query matrix per connection
+//!                      (default 2)
+//! * `--nodes N`        approximate nodes per dataset document
+//!                      (default 4000)
+//! * `--threads N`      per-query evaluation threads for the in-process
+//!                      server (default 1)
+//! * `--out FILE`       report path (default `BENCH_server.json`)
+//!
+//! Besides the matrix sweep, the run sends one deliberately malformed
+//! request (must get 4xx, and the server must keep serving) and one
+//! `?profile=1` request (must embed the plain body unchanged plus the
+//! `blossom_profile` trace). Any response mismatch fails the run.
+
+use blossom_bench::queries::queries;
+use blossom_bench::timing::{write_report, Json};
+use blossom_bench::Args;
+use blossom_core::{Engine, Strategy};
+use blossom_server::{Client, Server, ServerConfig};
+use blossom_xml::writer;
+use blossom_xmlgen::{generate, Dataset};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Case {
+    doc_name: String,
+    query: &'static str,
+    label: String,
+    /// What `GET /query` must return, byte for byte.
+    expected: String,
+}
+
+fn main() {
+    let args = Args::parse();
+    let connections: usize = args.get("connections").unwrap_or(4);
+    let rounds: usize = args.get("rounds").unwrap_or(2);
+    let nodes: usize = args.get("nodes").unwrap_or(4000);
+    let threads: usize = args.get("threads").unwrap_or(1);
+    let out: String = args.get("out").unwrap_or_else(|| "BENCH_server.json".into());
+    let external: Option<String> = args.get("addr");
+
+    // Spawn in-process unless pointed at a live server.
+    let (addr, handle) = match &external {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let server = Server::bind(ServerConfig {
+                query_threads: threads,
+                ..ServerConfig::default()
+            })
+            .expect("bind ephemeral port");
+            let handle = server.spawn();
+            (handle.addr().to_string(), Some(handle))
+        }
+    };
+
+    // Build the matrix: five paper datasets × six Table-2 queries, with
+    // the ground truth evaluated directly in-process.
+    let mut setup = Client::connect(&*addr).expect("connect for setup");
+    let mut cases: Vec<Case> = Vec::new();
+    for dataset in Dataset::all() {
+        let doc = generate(dataset, nodes, 42);
+        let xml = writer::to_string(&doc);
+        let loaded = setup.load(dataset.name(), xml.as_bytes()).expect("POST /load");
+        assert_eq!(loaded.status, 200, "loading {}: {}", dataset.name(), loaded.body_str());
+        let engine = Engine::new(doc);
+        for q in queries(dataset) {
+            let result = engine
+                .eval_query_str(q.path, Strategy::Auto)
+                .unwrap_or_else(|e| panic!("direct eval of {}: {e}", q.path));
+            cases.push(Case {
+                doc_name: dataset.name().to_string(),
+                query: q.path,
+                label: format!("{}/{}", dataset.name(), q.id),
+                expected: format!("{}\n", writer::to_string(&result)),
+            });
+        }
+    }
+    let cases = Arc::new(cases);
+    println!(
+        "serve_load: {} cases x {rounds} round(s) x {connections} connection(s) against {addr}",
+        cases.len()
+    );
+
+    // Robustness probes before the measured sweep: a malformed request
+    // 4xxes without taking the server down, and a profiled request
+    // embeds the plain body unchanged.
+    let mut raw = Client::connect(&*addr).expect("connect for malformed probe");
+    let garbage = raw.send_raw(b"NOT EVEN HTTP\r\n\r\n").expect("malformed response");
+    assert!(
+        (400..500).contains(&garbage.status),
+        "malformed request got {} not 4xx",
+        garbage.status
+    );
+    let first = &cases[0];
+    let profiled = setup
+        .query(&first.doc_name, first.query, &["profile=1"])
+        .expect("profile=1 request");
+    assert_eq!(profiled.status, 200, "{}", profiled.body_str());
+    let profile_body = profiled.body_str();
+    for key in ["\"blossom_profile\"", "\"result\"", "\"strategy\""] {
+        assert!(profile_body.contains(key), "profile missing {key}: {profile_body}");
+    }
+    assert!(
+        profile_body.contains(&blossom_server::json_str(&first.expected)),
+        "profile envelope changed the result bytes"
+    );
+
+    // The measured closed loop.
+    let started = Instant::now();
+    let worker_results: Vec<(Vec<u64>, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|c| {
+                let cases = cases.clone();
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect(&*addr).expect("connect worker");
+                    let mut latencies_us: Vec<u64> = Vec::new();
+                    let mut mismatches = 0usize;
+                    for round in 0..rounds {
+                        // Offset per connection so the server sees a mix
+                        // of documents at any instant.
+                        for i in 0..cases.len() {
+                            let case = &cases[(i + c * 7 + round) % cases.len()];
+                            let t = Instant::now();
+                            let response = client
+                                .query(&case.doc_name, case.query, &[])
+                                .expect("GET /query");
+                            latencies_us.push(t.elapsed().as_micros() as u64);
+                            if response.status != 200 || response.body_str() != case.expected {
+                                mismatches += 1;
+                                if mismatches == 1 {
+                                    eprintln!(
+                                        "MISMATCH [{}] status {}: got {} bytes, want {} bytes",
+                                        case.label,
+                                        response.status,
+                                        response.body.len(),
+                                        case.expected.len()
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    (latencies_us, mismatches)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    let wall = started.elapsed();
+
+    let mut latencies: Vec<u64> =
+        worker_results.iter().flat_map(|(l, _)| l.iter().copied()).collect();
+    let mismatches: usize = worker_results.iter().map(|(_, m)| m).sum();
+    latencies.sort_unstable();
+    let total = latencies.len();
+    let pct = |q: f64| -> u64 {
+        let rank = ((q / 100.0) * total as f64).ceil().max(1.0) as usize;
+        latencies[rank.min(total) - 1]
+    };
+    let throughput = total as f64 / wall.as_secs_f64();
+
+    // The server's own view of the run.
+    let stats_body = setup.get("/stats").map(|r| r.body_str()).unwrap_or_default();
+
+    println!(
+        "serve_load: {total} requests in {:.2}s = {throughput:.0} req/s; \
+         p50 {}us p95 {}us p99 {}us; {mismatches} mismatch(es)",
+        wall.as_secs_f64(),
+        pct(50.0),
+        pct(95.0),
+        pct(99.0)
+    );
+
+    let report = Json::obj([
+        ("bench", Json::str("server_load")),
+        ("addr", Json::str(&addr)),
+        ("in_process", Json::Bool(external.is_none())),
+        ("connections", Json::Num(connections as f64)),
+        ("rounds", Json::Num(rounds as f64)),
+        ("nodes_per_dataset", Json::Num(nodes as f64)),
+        ("query_matrix", Json::Num(cases.len() as f64)),
+        ("requests", Json::Num(total as f64)),
+        ("wall_s", Json::Num(wall.as_secs_f64())),
+        ("throughput_rps", Json::Num(throughput)),
+        (
+            "latency_us",
+            Json::obj([
+                ("p50", Json::Num(pct(50.0) as f64)),
+                ("p95", Json::Num(pct(95.0) as f64)),
+                ("p99", Json::Num(pct(99.0) as f64)),
+                ("min", Json::Num(latencies[0] as f64)),
+                ("max", Json::Num(latencies[total - 1] as f64)),
+            ]),
+        ),
+        ("response_mismatches", Json::Num(mismatches as f64)),
+        ("server_stats_raw", Json::str(stats_body.trim_end())),
+    ]);
+    write_report(&out, &report).expect("write report");
+    println!("serve_load: report written to {out}");
+
+    if let Some(handle) = handle {
+        let mut shut = Client::connect(&*addr).expect("connect for shutdown");
+        let response = shut.request("POST", "/shutdown", &[]).expect("POST /shutdown");
+        assert_eq!(response.status, 200);
+        handle.shutdown();
+    }
+    if mismatches > 0 {
+        eprintln!("serve_load: {mismatches} response mismatch(es)");
+        std::process::exit(1);
+    }
+}

@@ -86,8 +86,9 @@ fn must_support(strategy: Strategy) -> bool {
 /// One disagreement between a configuration and the oracle.
 #[derive(Debug, Clone)]
 pub struct Mismatch {
-    /// The configuration that disagreed.
-    pub config: Config,
+    /// The configuration that disagreed, formatted for display (an
+    /// engine [`Config`], or `server http` for the live-server row).
+    pub config: String,
     /// What the engine produced (or its error, prefixed `error: `).
     pub engine: String,
     /// What the oracle produced (or its error, prefixed `error: `).
@@ -115,11 +116,103 @@ impl CaseResult {
     }
 }
 
+/// A long-lived in-process `blossomd` instance the harness can route
+/// cases through: each case loads its document over `POST /load` (same
+/// catalog slot every time) and evaluates over `GET /query`, so the
+/// whole HTTP path — framing, percent-encoding, the shared plan cache
+/// across *different* documents — sits in the differential loop too.
+pub struct ServerTarget {
+    handle: Option<blossom_server::ServerHandle>,
+    client: blossom_server::Client,
+}
+
+impl ServerTarget {
+    /// Spawn a server on an ephemeral port and connect to it.
+    pub fn spawn() -> std::io::Result<ServerTarget> {
+        let handle =
+            blossom_server::Server::bind(blossom_server::ServerConfig::default())?.spawn();
+        let client = blossom_server::Client::connect(handle.addr())?;
+        Ok(ServerTarget { handle: Some(handle), client })
+    }
+
+    /// Load `xml` under a fixed catalog name and evaluate `query` over
+    /// HTTP. `Ok` carries the body minus the protocol's trailing
+    /// newline (the serialized result); `Err` carries the error body.
+    fn eval(&mut self, xml: &str, query: &str) -> Result<String, String> {
+        let io = |e: std::io::Error| format!("transport: {e}");
+        let loaded = self.client.load("diffcase", xml.as_bytes()).map_err(io)?;
+        if loaded.status != 200 {
+            return Err(format!("load {}: {}", loaded.status, loaded.body_str()));
+        }
+        let response = self.client.query("diffcase", query, &[]).map_err(io)?;
+        if response.status != 200 {
+            return Err(format!("{}: {}", response.status, response.body_str().trim_end()));
+        }
+        let mut body = response.body_str();
+        if body.ends_with('\n') {
+            body.pop();
+        }
+        Ok(body)
+    }
+}
+
+impl Drop for ServerTarget {
+    fn drop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            handle.shutdown();
+        }
+    }
+}
+
 /// Evaluate one `(document, query)` case under the whole matrix.
 ///
 /// The query is additionally evaluated *twice* per configuration so the
 /// second run exercises the plan cache against the first.
 pub fn run_case(xml: &str, query: &str) -> CaseResult {
+    run_case_with(xml, query, None)
+}
+
+/// [`run_case`], optionally extended with one more row: the same case
+/// routed through a live [`ServerTarget`]. The server runs `Auto`, so
+/// like `Auto` it must accept everything the oracle accepts and match
+/// it byte-for-byte.
+pub fn run_case_with(xml: &str, query: &str, server: Option<&mut ServerTarget>) -> CaseResult {
+    let mut result = run_case_matrix(xml, query);
+    let Some(server) = server else {
+        return result;
+    };
+    if Document::parse_str(xml).is_err() {
+        return result; // nothing loaded, nothing to compare
+    }
+    let expected = Oracle::new(&Document::parse_str(xml).expect("reparse")).eval_query_str(query);
+    match (&expected, server.eval(xml, query)) {
+        (Ok(want), Ok(got)) => {
+            if *want == got {
+                result.agreed += 1;
+            } else {
+                result.mismatches.push(Mismatch {
+                    config: "server http".to_string(),
+                    engine: got,
+                    oracle: want.clone(),
+                });
+            }
+        }
+        (Err(_), Err(_)) => result.agreed += 1,
+        (Ok(want), Err(e)) => result.mismatches.push(Mismatch {
+            config: "server http".to_string(),
+            engine: format!("error: {e}"),
+            oracle: want.clone(),
+        }),
+        (Err(oe), Ok(got)) => result.mismatches.push(Mismatch {
+            config: "server http".to_string(),
+            engine: got,
+            oracle: format!("error: {oe}"),
+        }),
+    }
+    result
+}
+
+fn run_case_matrix(xml: &str, query: &str) -> CaseResult {
     let doc = match Document::parse_str(xml) {
         Ok(d) => d,
         Err(_) => return CaseResult::default(), // unparseable fixture: nothing to test
@@ -159,7 +252,7 @@ pub fn run_case(xml: &str, query: &str) -> CaseResult {
                 let traced_str = writer::to_string(&doc);
                 if *plain != traced_str {
                     result.mismatches.push(Mismatch {
-                        config,
+                        config: config.to_string(),
                         engine: format!("untraced: {plain} / traced: {traced_str}"),
                         oracle: expected_str.clone(),
                     });
@@ -167,7 +260,7 @@ pub fn run_case(xml: &str, query: &str) -> CaseResult {
                 }
                 if trace.executed != trace.resolved && trace.fallbacks.is_empty() {
                     result.mismatches.push(Mismatch {
-                        config,
+                        config: config.to_string(),
                         engine: format!(
                             "trace: resolved {} but executed {} with no fallback event",
                             trace.resolved, trace.executed
@@ -180,7 +273,7 @@ pub fn run_case(xml: &str, query: &str) -> CaseResult {
             }
             (Ok(plain), Err(e)) => {
                 result.mismatches.push(Mismatch {
-                    config,
+                    config: config.to_string(),
                     engine: format!("untraced: {plain} / traced error: {e}"),
                     oracle: expected_str.clone(),
                 });
@@ -188,7 +281,7 @@ pub fn run_case(xml: &str, query: &str) -> CaseResult {
             }
             (Err(_), Ok((doc, _))) => {
                 result.mismatches.push(Mismatch {
-                    config,
+                    config: config.to_string(),
                     engine: format!("untraced error / traced: {}", writer::to_string(&doc)),
                     oracle: expected_str.clone(),
                 });
@@ -200,7 +293,7 @@ pub fn run_case(xml: &str, query: &str) -> CaseResult {
             (Ok(a), Ok(b)) if a != b => {
                 // The cached plan disagreed with the fresh one.
                 result.mismatches.push(Mismatch {
-                    config,
+                    config: config.to_string(),
                     engine: format!("first: {a} / cached: {b}"),
                     oracle: expected_str.clone(),
                 });
@@ -214,7 +307,7 @@ pub fn run_case(xml: &str, query: &str) -> CaseResult {
                     result.agreed += 1;
                 } else {
                     result.mismatches.push(Mismatch {
-                        config,
+                        config: config.to_string(),
                         engine: got,
                         oracle: want.clone(),
                     });
@@ -224,7 +317,7 @@ pub fn run_case(xml: &str, query: &str) -> CaseResult {
             (Ok(want), Err(e)) => {
                 if must_support(config.strategy) {
                     result.mismatches.push(Mismatch {
-                        config,
+                        config: config.to_string(),
                         engine: format!("error: {e}"),
                         oracle: want.clone(),
                     });
@@ -236,7 +329,7 @@ pub fn run_case(xml: &str, query: &str) -> CaseResult {
                 // The oracle rejected a query the engine accepts: the
                 // oracle's subset model is wrong. Always a finding.
                 result.mismatches.push(Mismatch {
-                    config,
+                    config: config.to_string(),
                     engine: got,
                     oracle: format!("error: {oe}"),
                 });

@@ -19,8 +19,14 @@
 //! * `diff` — the differential harness: seeded random documents and
 //!   queries, every engine configuration checked against the
 //!   spec-direct oracle (`blossom-oracle`), mismatches auto-shrunk to
-//!   minimized fixtures; `--replay <dir>` re-runs a fixture corpus.
+//!   minimized fixtures; `--replay <dir>` re-runs a fixture corpus;
+//!   `--server` adds a live-`blossomd` row to the matrix.
 //!   Logic lives in [`diff`].
+//! * `serve_load` — closed-loop load generator for `blossomd`:
+//!   concurrent connections sweep the Table-3 matrix over the five
+//!   generated datasets, byte-compare every response against direct
+//!   evaluation, and write throughput + p50/p95/p99 to
+//!   `BENCH_server.json`.
 //!
 //! Everything is dependency-free: timing uses the repeat-and-min harness
 //! in [`timing`], and reports serialize through its minimal JSON writer.

@@ -31,6 +31,7 @@ use blossom_xml::{Axis, DocStats, Document, NodeId, TagIndex};
 use blossom_xpath::ast::{PathExpr, PathStart};
 use blossom_xpath::SyntaxError;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Anything that can go wrong while evaluating a query.
@@ -44,6 +45,9 @@ pub enum EngineError {
     Twig(TwigError),
     /// Tuple extraction / construction failed.
     Env(EnvError),
+    /// The query ran past its wall-clock deadline
+    /// ([`EngineOptions::deadline`]) and was aborted cooperatively.
+    Deadline,
     /// Anything else outside the supported subset.
     Unsupported(String),
 }
@@ -55,6 +59,7 @@ impl fmt::Display for EngineError {
             EngineError::Blossom(e) => write!(f, "blossom error: {e}"),
             EngineError::Twig(e) => write!(f, "twigstack error: {e}"),
             EngineError::Env(e) => write!(f, "environment error: {e}"),
+            EngineError::Deadline => write!(f, "deadline exceeded: query aborted"),
             EngineError::Unsupported(s) => write!(f, "unsupported: {s}"),
         }
     }
@@ -91,6 +96,11 @@ type NaiveEnv = Vec<(String, Vec<NodeId>)>;
 
 /// A compiled path query: its BlossomTree and decomposition, cached per
 /// query text so repeated evaluations skip parsing and planning.
+///
+/// A plan depends only on the query text — never on the document — so one
+/// cache can safely serve engines over different documents (the strategy
+/// choice, which *does* read document statistics, happens at evaluation
+/// time against the evaluating engine's own stats).
 struct CachedPlan {
     path: PathExpr,
     bt: BlossomTree,
@@ -120,11 +130,25 @@ pub struct EngineOptions {
     /// never-taken branch and nothing is recorded. Results are
     /// byte-identical either way.
     pub trace: bool,
+    /// Cooperative wall-clock deadline. When set, the evaluation loops
+    /// check the monotonic clock at operator boundaries (per naive-FLWOR
+    /// binding iteration, per component / cut-edge join, per constructed
+    /// tuple) and abort with [`EngineError::Deadline`] once it has
+    /// passed. `None` (the default) never aborts. Deadline aborts are
+    /// *not* capability errors: `Auto` does not fall back to another
+    /// strategy on one — the request is over.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for EngineOptions {
     fn default() -> Self {
-        EngineOptions { threads: 1, plan_cache_capacity: 256, skip_joins: true, trace: false }
+        EngineOptions {
+            threads: 1,
+            plan_cache_capacity: 256,
+            skip_joins: true,
+            trace: false,
+            deadline: None,
+        }
     }
 }
 
@@ -146,7 +170,7 @@ pub struct CacheStats {
 /// the capacity is small and eviction rare — no external LRU crate, no
 /// intrusive list.
 struct PlanCache {
-    map: blossom_xml::fxhash::FxHashMap<String, (std::sync::Arc<CachedPlan>, u64)>,
+    map: blossom_xml::fxhash::FxHashMap<String, (Arc<CachedPlan>, u64)>,
     tick: u64,
     capacity: usize,
     hits: u64,
@@ -164,7 +188,7 @@ impl PlanCache {
         }
     }
 
-    fn get(&mut self, query: &str) -> Option<std::sync::Arc<CachedPlan>> {
+    fn get(&mut self, query: &str) -> Option<Arc<CachedPlan>> {
         self.tick += 1;
         match self.map.get_mut(query) {
             Some((plan, stamp)) => {
@@ -179,7 +203,7 @@ impl PlanCache {
         }
     }
 
-    fn insert(&mut self, query: String, plan: std::sync::Arc<CachedPlan>) {
+    fn insert(&mut self, query: String, plan: Arc<CachedPlan>) {
         // Capacity 0 disables caching entirely.
         if self.capacity == 0 {
             return;
@@ -208,15 +232,51 @@ impl PlanCache {
     }
 }
 
+/// A thread-safe, shareable plan cache: the [`PlanCache`] LRU behind a
+/// mutex, handed around as an `Arc`. One instance can back any number of
+/// engines — over the same document or different ones — so a process
+/// (e.g. the `blossomd` query server) plans each distinct query text
+/// once, no matter which request or worker thread evaluates it.
+pub struct SharedPlanCache {
+    inner: std::sync::Mutex<PlanCache>,
+}
+
+impl SharedPlanCache {
+    /// An empty cache holding at most `capacity` plans (`0` disables
+    /// caching).
+    pub fn new(capacity: usize) -> SharedPlanCache {
+        SharedPlanCache { inner: std::sync::Mutex::new(PlanCache::new(capacity)) }
+    }
+
+    /// Hit/miss counters, occupancy and capacity.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().unwrap().stats()
+    }
+
+    fn get(&self, query: &str) -> Option<Arc<CachedPlan>> {
+        self.inner.lock().unwrap().get(query)
+    }
+
+    fn insert(&self, query: String, plan: Arc<CachedPlan>) {
+        self.inner.lock().unwrap().insert(query, plan)
+    }
+}
+
 /// A loaded document plus its access paths.
+///
+/// The document, tag index and statistics are `Arc`-shared: engines built
+/// with [`Engine::with_shared`] are cheap per-request views over the same
+/// immutable loaded document, each with its own thread width, deadline and
+/// trace sink.
 pub struct Engine {
-    doc: Document,
-    index: TagIndex,
-    stats: DocStats,
+    doc: Arc<Document>,
+    index: Arc<TagIndex>,
+    stats: Arc<DocStats>,
     /// Worker pool configuration for data-parallel evaluation.
     exec: Executor,
-    /// Bounded plan cache for [`Engine::eval_path_str`].
-    plans: std::sync::Mutex<PlanCache>,
+    /// Bounded plan cache for [`Engine::eval_path_str`]; possibly shared
+    /// with other engines (see [`SharedPlanCache`]).
+    plans: Arc<SharedPlanCache>,
     /// [`EngineOptions::skip_joins`], threaded to every operator.
     skip_joins: bool,
     /// The trace collection point; operators record into it only when
@@ -224,6 +284,9 @@ pub struct Engine {
     obs: TraceSink,
     /// [`EngineOptions::trace`].
     trace: bool,
+    /// [`EngineOptions::deadline`], checked cooperatively by
+    /// [`Engine::check_deadline`].
+    deadline: Option<Instant>,
 }
 
 impl Engine {
@@ -235,23 +298,71 @@ impl Engine {
 
     /// Load `doc` with explicit [`EngineOptions`].
     pub fn with_options(doc: Document, options: EngineOptions) -> Engine {
-        let index = TagIndex::build(&doc);
-        let stats = doc.stats();
+        let index = Arc::new(TagIndex::build(&doc));
+        let stats = Arc::new(doc.stats());
+        Engine::with_shared(
+            Arc::new(doc),
+            index,
+            stats,
+            Arc::new(SharedPlanCache::new(options.plan_cache_capacity)),
+            options,
+        )
+    }
+
+    /// Build an engine over already-shared parts: an immutable document,
+    /// its prebuilt index and statistics, and a (possibly process-wide)
+    /// plan cache. This is the cheap per-request constructor — nothing is
+    /// parsed, indexed or copied — used by the concurrent query server to
+    /// give every request its own deadline and trace sink over one shared
+    /// catalog entry. `options.plan_cache_capacity` is ignored: the
+    /// capacity belongs to `plans`.
+    pub fn with_shared(
+        doc: Arc<Document>,
+        index: Arc<TagIndex>,
+        stats: Arc<DocStats>,
+        plans: Arc<SharedPlanCache>,
+        options: EngineOptions,
+    ) -> Engine {
         Engine {
             doc,
             index,
             stats,
             exec: Executor::new(options.threads),
-            plans: std::sync::Mutex::new(PlanCache::new(options.plan_cache_capacity)),
+            plans,
             skip_joins: options.skip_joins,
             obs: TraceSink::new(),
             trace: options.trace,
+            deadline: options.deadline,
         }
     }
 
     /// Parse and load XML text.
     pub fn from_xml(xml: &str) -> Result<Engine, blossom_xml::ParseError> {
         Ok(Engine::new(Document::parse_str(xml)?))
+    }
+
+    /// The shared parts of this engine — `(document, index, stats)` —
+    /// for building further engines over the same document with
+    /// [`Engine::with_shared`].
+    pub fn shared_parts(&self) -> (Arc<Document>, Arc<TagIndex>, Arc<DocStats>) {
+        (self.doc.clone(), self.index.clone(), self.stats.clone())
+    }
+
+    /// The plan cache backing this engine (shareable across engines).
+    pub fn plan_cache(&self) -> Arc<SharedPlanCache> {
+        self.plans.clone()
+    }
+
+    /// Abort with [`EngineError::Deadline`] iff the configured deadline
+    /// has passed. Called at operator boundaries — cheap enough for
+    /// per-iteration use (one monotonic clock read), a no-op branch when
+    /// no deadline is set.
+    #[inline]
+    fn check_deadline(&self) -> Result<(), EngineError> {
+        match self.deadline {
+            Some(d) if Instant::now() >= d => Err(EngineError::Deadline),
+            _ => Ok(()),
+        }
     }
 
     /// Worker-thread count this engine evaluates with.
@@ -476,7 +587,7 @@ reason: {}
         phases: &mut PhaseTimings,
     ) -> Result<Vec<NodeId>, EngineError> {
         let t = Instant::now();
-        let cached = self.plans.lock().unwrap().get(query);
+        let cached = self.plans.get(query);
         phases.cache_lookup = t.elapsed();
         if let Some(plan) = cached {
             return self.eval_path_planned(&plan.path, &plan.bt, &plan.decomposition, strategy, phases);
@@ -508,8 +619,8 @@ reason: {}
         let t = Instant::now();
         let bt = BlossomTree::from_path(path)?;
         let decomposition = Decomposition::decompose(&bt);
-        let plan = std::sync::Arc::new(CachedPlan { path: path.clone(), bt, decomposition });
-        self.plans.lock().unwrap().insert(key.to_string(), plan.clone());
+        let plan = Arc::new(CachedPlan { path: path.clone(), bt, decomposition });
+        self.plans.insert(key.to_string(), plan.clone());
         phases.plan = t.elapsed();
         self.eval_path_planned(&plan.path, &plan.bt, &plan.decomposition, strategy, phases)
     }
@@ -525,7 +636,7 @@ reason: {}
     ) -> Result<Vec<NodeId>, EngineError> {
         let key = path.to_string();
         let mut phases = PhaseTimings::default();
-        let cached = self.plans.lock().unwrap().get(&key);
+        let cached = self.plans.get(&key);
         if let Some(plan) = cached {
             return self.eval_path_planned(
                 &plan.path,
@@ -602,12 +713,12 @@ reason: {}
 
     /// Number of cached plans (diagnostics).
     pub fn cached_plan_count(&self) -> usize {
-        self.plans.lock().unwrap().stats().len
+        self.plans.stats().len
     }
 
     /// Plan-cache behavior: hit/miss counters, occupancy and capacity.
     pub fn cache_stats(&self) -> CacheStats {
-        self.plans.lock().unwrap().stats()
+        self.plans.stats()
     }
 
     /// Evaluate with a prebuilt plan.
@@ -619,6 +730,7 @@ reason: {}
         strategy: Strategy,
         phases: &mut PhaseTimings,
     ) -> Result<Vec<NodeId>, EngineError> {
+        self.check_deadline()?;
         let requested = strategy;
         let auto = requested == Strategy::Auto;
         let strategy = if auto {
@@ -668,8 +780,10 @@ reason: {}
             // The planner's feature checks are conservative approximations
             // of each strategy's real support; if the chosen strategy still
             // rejects the query, Auto must not surface that — navigational
-            // evaluation is total.
-            Err(e) if auto => {
+            // evaluation is total. A deadline abort is not a capability
+            // error: falling back would re-run the whole query after the
+            // deadline already passed, so it surfaces as-is.
+            Err(e) if auto && !matches!(e, EngineError::Deadline) => {
                 if let Some(sink) = self.sink() {
                     sink.record_fallback(strategy, Strategy::Navigational, e.to_string());
                     sink.record_executed(Strategy::Navigational);
@@ -777,8 +891,8 @@ reason: {}
         };
         match result {
             // Same contract as `eval_path_planned`: Auto never leaks a
-            // strategy's capability error.
-            Err(e) if auto => {
+            // strategy's capability error — but a deadline abort is final.
+            Err(e) if auto && !matches!(e, EngineError::Deadline) => {
                 if let Some(sink) = self.sink() {
                     sink.record_fallback(strategy, Strategy::Navigational, e.to_string());
                     sink.record_executed(Strategy::Navigational);
@@ -1075,6 +1189,7 @@ reason: {}
             sink.record_executed(strategy);
         }
         let results = self.eval_decomposition(&d, strategy, Some(&for_positions))?;
+        self.check_deadline()?;
         // Parallel for-clause iteration, step 1: the per-anchor
         // NestedLists are chunked across workers, each unnesting its
         // chunk into tuples independently; ordered collection keeps the
@@ -1119,6 +1234,7 @@ reason: {}
                     let mut fragment = Document::builder();
                     fragment.start_element("fragment");
                     for tuple in chunk {
+                        self.check_deadline()?;
                         env::construct(&mut fragment, &self.doc, &d.shape, tuple, &flwor.ret)?;
                     }
                     fragment.end_element();
@@ -1134,6 +1250,7 @@ reason: {}
             }
         } else {
             for tuple in &tuples {
+                self.check_deadline()?;
                 env::construct(builder, &self.doc, &d.shape, tuple, &flwor.ret)?;
             }
         }
@@ -1363,6 +1480,7 @@ reason: {}
         } else {
             strategy
         };
+        self.check_deadline()?;
         match strategy {
             Strategy::Pipelined => {
                 let mut current: Box<dyn Iterator<Item = StreamItem> + '_> = {
@@ -1399,6 +1517,7 @@ reason: {}
                     .map(|(_, nl)| nl)
                     .collect();
                 for cut in cuts {
+                    self.check_deadline()?;
                     let inner = &matchers[cut.child_nok];
                     left = if strategy == Strategy::BoundedNestedLoop
                         && cut.axis == Axis::Descendant
@@ -1519,6 +1638,10 @@ reason: {}
         binding_idx: usize,
         env: &mut Vec<(String, Vec<NodeId>)>,
     ) -> Result<(), EngineError> {
+        // The recursion enumerates the Cartesian product of the for
+        // bindings — the one place naive evaluation can blow up — so this
+        // is the naive engine's cooperative abort point.
+        self.check_deadline()?;
         if binding_idx == flwor.bindings.len() {
             if let Some(w) = &flwor.where_clause {
                 if !self.naive_where(w, env)? {
@@ -2079,6 +2202,108 @@ mod plan_cache_tests {
         engine.eval_path_str("//a", Strategy::Auto).unwrap();
         assert_eq!(engine.cached_plan_count(), 0);
         assert_eq!(engine.cache_stats().hits, 0);
+    }
+
+    #[test]
+    fn one_shared_cache_serves_engines_over_different_documents() {
+        // Plans are document-independent: two engines over different
+        // documents share one cache, and the second engine's identical
+        // query text is a hit, not a re-plan.
+        let a = Engine::from_xml("<r><a><b/></a></r>").unwrap();
+        a.eval_path_str("//a/b", Strategy::Auto).unwrap();
+        let cache = a.plan_cache();
+        assert_eq!(cache.stats().misses, 1);
+
+        let doc = Document::parse_str("<r><a><b/><b/></a><x/></r>").unwrap();
+        let index = Arc::new(TagIndex::build(&doc));
+        let stats = Arc::new(doc.stats());
+        let b = Engine::with_shared(
+            Arc::new(doc),
+            index,
+            stats,
+            cache.clone(),
+            EngineOptions::default(),
+        );
+        let nodes = b.eval_path_str("//a/b", Strategy::Auto).unwrap();
+        assert_eq!(nodes.len(), 2);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.len), (1, 1, 1));
+    }
+}
+
+#[cfg(test)]
+mod deadline_tests {
+    use super::*;
+    use std::time::Duration;
+
+    /// A document whose three-way `for` product is large enough that the
+    /// naive evaluator cannot finish before an already-expired deadline
+    /// gets checked.
+    fn cartesian_doc() -> String {
+        let mut xml = String::from("<r>");
+        for i in 0..60 {
+            xml.push_str(&format!("<a>{i}</a>"));
+        }
+        xml.push_str("</r>");
+        xml
+    }
+
+    fn expired_engine(xml: &str) -> Engine {
+        Engine::with_options(
+            Document::parse_str(xml).unwrap(),
+            EngineOptions {
+                deadline: Some(Instant::now() - Duration::from_millis(1)),
+                ..EngineOptions::default()
+            },
+        )
+    }
+
+    #[test]
+    fn expired_deadline_aborts_path_queries() {
+        let engine = expired_engine("<r><a><b/></a></r>");
+        let err = engine.eval_path_str("//a/b", Strategy::Auto).unwrap_err();
+        assert!(matches!(err, EngineError::Deadline), "got {err}");
+    }
+
+    #[test]
+    fn expired_deadline_aborts_the_naive_flwor_product() {
+        let engine = expired_engine(&cartesian_doc());
+        let err = engine
+            .eval_query_str(
+                "for $x in //a for $y in //a for $z in //a \
+                 return <t>{$x}</t>",
+                Strategy::Navigational,
+            )
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Deadline), "got {err}");
+    }
+
+    #[test]
+    fn auto_does_not_fall_back_on_a_deadline_abort() {
+        // A capability error under Auto falls back to navigational; a
+        // deadline abort must not — it would re-run the query after the
+        // budget is spent.
+        let engine = expired_engine("<r><a><b/></a></r>");
+        let err = engine.eval_path_str("//a[b]", Strategy::Auto).unwrap_err();
+        assert!(matches!(err, EngineError::Deadline), "got {err}");
+    }
+
+    #[test]
+    fn no_deadline_never_aborts() {
+        let engine = Engine::from_xml("<r><a><b/></a></r>").unwrap();
+        assert!(engine.eval_path_str("//a/b", Strategy::Auto).is_ok());
+    }
+
+    #[test]
+    fn future_deadline_lets_fast_queries_finish() {
+        let engine = Engine::with_options(
+            Document::parse_str("<r><a><b/></a></r>").unwrap(),
+            EngineOptions {
+                deadline: Some(Instant::now() + Duration::from_secs(60)),
+                ..EngineOptions::default()
+            },
+        );
+        assert_eq!(engine.eval_path_str("//a/b", Strategy::Auto).unwrap().len(), 1);
     }
 }
 

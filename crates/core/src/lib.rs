@@ -45,7 +45,7 @@ pub mod stream;
 pub mod value;
 
 pub use decompose::{CutEdge, Decomposition, NokTree};
-pub use engine::{CacheStats, Engine, EngineError, EngineOptions};
+pub use engine::{CacheStats, Engine, EngineError, EngineOptions, SharedPlanCache};
 pub use exec::Executor;
 pub use nestedlist::{NestedList, NlNode};
 pub use nok::NokMatcher;

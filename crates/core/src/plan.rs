@@ -53,6 +53,27 @@ impl fmt::Display for Strategy {
     }
 }
 
+impl std::str::FromStr for Strategy {
+    type Err = String;
+
+    /// Parse a strategy by its [`fmt::Display`] name or its short CLI
+    /// alias (`xh` for navigational after X-Hive, `ts`, `ps`, `pl`,
+    /// `bnlj`/`nl`, `nlj`). Shared by the CLI and the query server so
+    /// `--strategy` and `?strategy=` accept the same spellings.
+    fn from_str(name: &str) -> Result<Strategy, String> {
+        Ok(match name {
+            "auto" => Strategy::Auto,
+            "navigational" | "xh" => Strategy::Navigational,
+            "twigstack" | "ts" => Strategy::TwigStack,
+            "pathstack" | "ps" => Strategy::PathStack,
+            "pipelined" | "pl" => Strategy::Pipelined,
+            "bounded-nested-loop" | "bnlj" | "nl" => Strategy::BoundedNestedLoop,
+            "naive-nested-loop" | "nlj" => Strategy::NaiveNestedLoop,
+            other => return Err(format!("unknown strategy {other:?}")),
+        })
+    }
+}
+
 /// A resolved plan: the chosen strategy and the reason, for `EXPLAIN`
 /// output.
 #[derive(Debug, Clone)]

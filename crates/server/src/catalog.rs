@@ -1,0 +1,183 @@
+//! The document catalog: named, `Arc`-shared, immutable loaded
+//! documents (`Document` + `TagIndex` + `DocStats`) behind a bounded
+//! LRU.
+//!
+//! Loading is the expensive step the server amortizes — parse (or
+//! `.blsm`-decode), index, and gather statistics once, then serve any
+//! number of concurrent queries from the shared entry. Eviction only
+//! drops the catalog's reference: requests already holding an
+//! `Arc<DocEntry>` finish safely, and the memory is reclaimed when the
+//! last of them drops.
+
+use blossom_core::engine::{Engine, EngineOptions, SharedPlanCache};
+use blossom_xml::stats::DocStats;
+use blossom_xml::{load, Document, TagIndex};
+use std::sync::{Arc, Mutex};
+
+/// One loaded document with its access paths, shared across requests.
+pub struct DocEntry {
+    pub name: String,
+    pub doc: Arc<Document>,
+    pub index: Arc<TagIndex>,
+    pub stats: Arc<DocStats>,
+    /// Approximate heap footprint (document + index), for the LRU cap.
+    pub bytes: usize,
+}
+
+impl DocEntry {
+    /// Build the per-request engine view over this entry: shared
+    /// document, index, stats and plan cache; request-local thread
+    /// width, deadline, and trace sink.
+    pub fn engine(&self, plans: Arc<SharedPlanCache>, options: EngineOptions) -> Engine {
+        Engine::with_shared(
+            self.doc.clone(),
+            self.index.clone(),
+            self.stats.clone(),
+            plans,
+            options,
+        )
+    }
+}
+
+struct Inner {
+    /// Entries with their last-use stamp; small catalogs, linear scans.
+    entries: Vec<(Arc<DocEntry>, u64)>,
+    tick: u64,
+    evictions: u64,
+}
+
+/// A name → [`DocEntry`] map bounded by total approximate bytes.
+pub struct Catalog {
+    inner: Mutex<Inner>,
+    /// Byte budget across entries. At least one entry is always kept,
+    /// so a single document larger than the cap still loads.
+    cap_bytes: usize,
+}
+
+impl Catalog {
+    pub fn new(cap_bytes: usize) -> Catalog {
+        Catalog {
+            inner: Mutex::new(Inner { entries: Vec::new(), tick: 0, evictions: 0 }),
+            cap_bytes,
+        }
+    }
+
+    /// Parse/decode `bytes` (XML or `.blsm`, sniffed), index it, and
+    /// insert it under `name`, replacing any previous entry of that name
+    /// and evicting least-recently-used entries over the byte cap.
+    pub fn load_bytes(&self, name: &str, bytes: &[u8]) -> Result<Arc<DocEntry>, String> {
+        let doc = load::document_from_bytes(bytes, name)?;
+        let index = TagIndex::build(&doc);
+        let stats = doc.stats();
+        let entry = Arc::new(DocEntry {
+            name: name.to_string(),
+            bytes: doc.approx_heap_bytes() + index.approx_heap_bytes(),
+            doc: Arc::new(doc),
+            index: Arc::new(index),
+            stats: Arc::new(stats),
+        });
+
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.entries.retain(|(e, _)| e.name != name);
+        inner.entries.push((entry.clone(), tick));
+        // Evict coldest-first until under budget, but never the entry we
+        // just inserted.
+        while inner.entries.len() > 1
+            && inner.entries.iter().map(|(e, _)| e.bytes).sum::<usize>() > self.cap_bytes
+        {
+            let coldest = inner
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(_, (e, _))| e.name != name)
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(i, _)| i);
+            match coldest {
+                Some(i) => {
+                    inner.entries.remove(i);
+                    inner.evictions += 1;
+                }
+                None => break,
+            }
+        }
+        Ok(entry)
+    }
+
+    /// Look up `name`, marking it most-recently-used.
+    pub fn get(&self, name: &str) -> Option<Arc<DocEntry>> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.entries.iter_mut().find(|(e, _)| e.name == name).map(|(e, stamp)| {
+            *stamp = tick;
+            e.clone()
+        })
+    }
+
+    /// `(name, approx bytes)` per entry, most recently used last, plus
+    /// the lifetime eviction count.
+    pub fn snapshot(&self) -> (Vec<(String, usize)>, u64) {
+        let inner = self.inner.lock().unwrap();
+        let mut entries: Vec<_> = inner.entries.clone();
+        entries.sort_by_key(|(_, stamp)| *stamp);
+        (entries.into_iter().map(|(e, _)| (e.name.clone(), e.bytes)).collect(), inner.evictions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_then_get_shares_one_entry() {
+        let catalog = Catalog::new(usize::MAX);
+        let loaded = catalog.load_bytes("bib", b"<bib><book/></bib>").unwrap();
+        let got = catalog.get("bib").unwrap();
+        assert!(Arc::ptr_eq(&loaded, &got));
+        assert!(catalog.get("other").is_none());
+    }
+
+    #[test]
+    fn reload_replaces_the_entry() {
+        let catalog = Catalog::new(usize::MAX);
+        catalog.load_bytes("d", b"<r><a/></r>").unwrap();
+        catalog.load_bytes("d", b"<r><a/><a/></r>").unwrap();
+        let (entries, _) = catalog.snapshot();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(catalog.get("d").unwrap().doc.len(), 4);
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_byte_cap_and_recency() {
+        // Cap that fits roughly one entry: loading three evicts the
+        // coldest, and touching an entry protects it.
+        let catalog = Catalog::new(600);
+        catalog.load_bytes("a", b"<r><x>aaaaaaaaaa</x></r>").unwrap();
+        catalog.load_bytes("b", b"<r><x>bbbbbbbbbb</x></r>").unwrap();
+        catalog.get("a");
+        catalog.load_bytes("c", b"<r><x>cccccccccc</x></r>").unwrap();
+        let (entries, evictions) = catalog.snapshot();
+        let names: Vec<&str> = entries.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"c"), "{names:?}");
+        assert!(!names.contains(&"b"), "touched 'a' should outlive 'b': {names:?}");
+        assert!(evictions >= 1);
+    }
+
+    #[test]
+    fn an_oversized_document_still_loads() {
+        let catalog = Catalog::new(1);
+        catalog.load_bytes("big", b"<r><a/><b/><c/></r>").unwrap();
+        assert!(catalog.get("big").is_some());
+    }
+
+    #[test]
+    fn bad_bytes_do_not_poison_the_catalog() {
+        let catalog = Catalog::new(usize::MAX);
+        assert!(catalog.load_bytes("bad", b"<r><unclosed>").is_err());
+        assert!(catalog.get("bad").is_none());
+        catalog.load_bytes("good", b"<r/>").unwrap();
+        assert!(catalog.get("good").is_some());
+    }
+}

@@ -1,0 +1,124 @@
+//! A tiny blocking HTTP client for the load harness and the server's
+//! own tests: keep-alive request/response over one `TcpStream`, plus a
+//! raw-bytes escape hatch for sending deliberately malformed requests.
+
+use crate::http::percent_encode;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One response as the client sees it.
+#[derive(Debug)]
+pub struct Response {
+    pub status: u16,
+    pub body: Vec<u8>,
+    /// True when the server signalled `Connection: close`.
+    pub closed: bool,
+}
+
+impl Response {
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A keep-alive connection to a running server.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // Requests are tiny; Nagle + delayed ACK would add ~40ms stalls.
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client { writer, reader: BufReader::new(stream) })
+    }
+
+    /// `GET target` (target already percent-encoded where needed).
+    pub fn get(&mut self, target: &str) -> std::io::Result<Response> {
+        self.request("GET", target, &[])
+    }
+
+    /// `GET /query?doc=...&q=...` with proper encoding; `extra` appends
+    /// raw pre-encoded parameters like `"profile=1"`.
+    pub fn query(&mut self, doc: &str, q: &str, extra: &[&str]) -> std::io::Result<Response> {
+        let mut target = format!("/query?doc={}&q={}", percent_encode(doc), percent_encode(q));
+        for p in extra {
+            target.push('&');
+            target.push_str(p);
+        }
+        self.get(&target)
+    }
+
+    /// `POST /load?name=...` with the document bytes as the body.
+    pub fn load(&mut self, name: &str, body: &[u8]) -> std::io::Result<Response> {
+        self.request("POST", &format!("/load?name={}", percent_encode(name)), body)
+    }
+
+    pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+    ) -> std::io::Result<Response> {
+        // One write per request: split writes interact badly with Nagle.
+        let mut request = format!(
+            "{method} {target} HTTP/1.1\r\nHost: blossomd\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        request.extend_from_slice(body);
+        self.writer.write_all(&request)?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Send raw bytes (for malformed-request tests) and read whatever
+    /// response comes back.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<Response> {
+        self.writer.write_all(bytes)?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<Response> {
+        let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        let mut status_line = String::new();
+        if self.reader.read_line(&mut status_line)? == 0 {
+            return Err(bad("connection closed before a status line"));
+        }
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("malformed status line"))?;
+        let mut content_length = 0usize;
+        let mut closed = false;
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(bad("connection closed inside response headers"));
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                let (name, value) = (name.trim(), value.trim());
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length =
+                        value.parse().map_err(|_| bad("bad response Content-Length"))?;
+                } else if name.eq_ignore_ascii_case("connection")
+                    && value.eq_ignore_ascii_case("close")
+                {
+                    closed = true;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        Ok(Response { status, body, closed })
+    }
+}

@@ -1,0 +1,372 @@
+//! A minimal HTTP/1.1 subset — just enough protocol for the query
+//! server and its load harness, with no external dependencies.
+//!
+//! Supported: request lines `METHOD /target HTTP/1.1`, headers,
+//! `Content-Length`-framed bodies (no chunked encoding), keep-alive,
+//! percent-encoded query strings. Oversized request lines, too many
+//! headers, and oversized bodies are rejected early with 4xx before any
+//! work happens; see `DESIGN.md` §10 for the full grammar.
+
+use std::io::{BufRead, Read, Write};
+
+/// Longest accepted request/header line, in bytes.
+pub const MAX_LINE: usize = 8 * 1024;
+/// Most headers accepted per request.
+pub const MAX_HEADERS: usize = 64;
+
+/// A client error detected while reading a request; becomes a 4xx
+/// response. The connection is closed afterwards since framing may be
+/// lost.
+#[derive(Debug)]
+pub struct HttpError {
+    pub status: u16,
+    pub message: String,
+}
+
+impl HttpError {
+    pub fn new(status: u16, message: impl Into<String>) -> HttpError {
+        HttpError { status, message: message.into() }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    /// Path portion of the target, percent-decoded (`/query`).
+    pub path: String,
+    /// Decoded query parameters in order of appearance.
+    pub params: Vec<(String, String)>,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+    /// False when the client sent `Connection: close`.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// The last value of query parameter `name`, if present.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.params.iter().rev().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The value of header `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Outcome of waiting for the next request on a keep-alive connection.
+#[derive(Debug)]
+pub enum Next {
+    /// A complete request.
+    Request(Request),
+    /// Clean close: EOF before the first byte of a request line.
+    Closed,
+    /// A read timeout fired before any byte of the next request arrived
+    /// (idle keep-alive, when the socket has a read timeout). Safe to
+    /// retry — nothing was consumed — or to close during shutdown.
+    Idle,
+}
+
+enum Line {
+    Some(String),
+    Eof,
+    Idle,
+}
+
+/// Read one line terminated by `\n`, stripping a trailing `\r`, bounded
+/// by [`MAX_LINE`].
+fn read_line(reader: &mut impl BufRead) -> Result<Line, HttpError> {
+    let mut line = Vec::new();
+    let mut limited = reader.take(MAX_LINE as u64 + 1);
+    let n = match limited.read_until(b'\n', &mut line) {
+        Ok(n) => n,
+        // A timeout with nothing consumed leaves framing intact.
+        Err(e)
+            if line.is_empty()
+                && matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+        {
+            return Ok(Line::Idle);
+        }
+        Err(e) => return Err(HttpError::new(400, format!("reading request: {e}"))),
+    };
+    if n == 0 {
+        return Ok(Line::Eof);
+    }
+    if line.len() > MAX_LINE {
+        return Err(HttpError::new(431, format!("request line over {MAX_LINE} bytes")));
+    }
+    if line.last() == Some(&b'\n') {
+        line.pop();
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line)
+        .map(Line::Some)
+        .map_err(|_| HttpError::new(400, "request line not UTF-8"))
+}
+
+/// Read one request off the connection. `max_body` bounds the accepted
+/// `Content-Length`. Timeouts *inside* a request (after its first byte)
+/// are errors — framing is lost — but before it they are [`Next::Idle`].
+pub fn read_request(reader: &mut impl BufRead, max_body: usize) -> Result<Next, HttpError> {
+    let request_line = match read_line(reader)? {
+        Line::Some(line) => line,
+        Line::Eof => return Ok(Next::Closed),
+        Line::Idle => return Ok(Next::Idle),
+    };
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version)) =
+        (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::new(400, format!("malformed request line {request_line:?}")));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::new(400, format!("unsupported protocol {version:?}")));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = match read_line(reader)? {
+            Line::Some(line) => line,
+            Line::Eof => return Err(HttpError::new(400, "connection closed inside headers")),
+            Line::Idle => return Err(HttpError::new(400, "timed out inside headers")),
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() == MAX_HEADERS {
+            return Err(HttpError::new(431, format!("more than {MAX_HEADERS} headers")));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::new(400, format!("malformed header {line:?}")));
+        };
+        headers.push((name.trim().to_string(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::new(400, format!("bad Content-Length {v:?}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > max_body {
+        return Err(HttpError::new(
+            413,
+            format!("body of {content_length} bytes exceeds the {max_body}-byte limit"),
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| HttpError::new(400, format!("reading body: {e}")))?;
+
+    let keep_alive = !headers
+        .iter()
+        .any(|(k, v)| k.eq_ignore_ascii_case("connection") && v.eq_ignore_ascii_case("close"));
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let params = query.map(parse_query).unwrap_or_default();
+    Ok(Next::Request(Request {
+        method: method.to_string(),
+        path: percent_decode(path),
+        params,
+        headers,
+        body,
+        keep_alive,
+    }))
+}
+
+/// Decode `k=v&k2=v2` with percent-escapes and `+`-for-space.
+fn parse_query(query: &str) -> Vec<(String, String)> {
+    query
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect()
+}
+
+/// RFC 3986 percent-decoding; invalid escapes pass through literally.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => match (hex(bytes.get(i + 1)), hex(bytes.get(i + 2))) {
+                (Some(hi), Some(lo)) => {
+                    out.push(hi * 16 + lo);
+                    i += 3;
+                }
+                _ => {
+                    out.push(b'%');
+                    i += 1;
+                }
+            },
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn hex(b: Option<&u8>) -> Option<u8> {
+    (*b? as char).to_digit(16).map(|d| d as u8)
+}
+
+/// Percent-encode everything outside the RFC 3986 unreserved set, for
+/// clients building query strings.
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Standard reason phrases for the statuses the server emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write one response with `Content-Length` framing. `close` adds
+/// `Connection: close` so the client knows not to reuse the socket.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+) -> std::io::Result<()> {
+    // One write per response: split small writes stall behind Nagle's
+    // algorithm waiting on the peer's delayed ACK.
+    let mut response = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}\r\n",
+        status,
+        status_text(status),
+        content_type,
+        body.len(),
+        if close { "Connection: close\r\n" } else { "" },
+    )
+    .into_bytes();
+    response.extend_from_slice(body);
+    w.write_all(&response)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> Result<Option<Request>, HttpError> {
+        match read_request(&mut BufReader::new(raw), 1024)? {
+            Next::Request(r) => Ok(Some(r)),
+            Next::Closed => Ok(None),
+            Next::Idle => panic!("in-memory readers never time out"),
+        }
+    }
+
+    #[test]
+    fn get_with_params_round_trips() {
+        let r = parse(b"GET /query?doc=bib&q=%2F%2Fbook%5Btitle%5D&x=a+b HTTP/1.1\r\nHost: h\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/query");
+        assert_eq!(r.param("doc"), Some("bib"));
+        assert_eq!(r.param("q"), Some("//book[title]"));
+        assert_eq!(r.param("x"), Some("a b"));
+        assert!(r.keep_alive);
+    }
+
+    #[test]
+    fn post_reads_content_length_body() {
+        let r = parse(b"POST /load?name=d HTTP/1.1\r\nContent-Length: 5\r\n\r\n<r/>\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.body, b"<r/>\n");
+        assert_eq!(r.header("content-length"), Some("5"));
+    }
+
+    #[test]
+    fn eof_before_request_is_clean_close() {
+        assert!(parse(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_inputs_are_4xx() {
+        assert_eq!(parse(b"NONSENSE\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(parse(b"GET /x SMTP/3\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(parse(b"GET /x HTTP/1.1\r\nbroken header\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: 9999\r\n\r\n").unwrap_err().status,
+            413
+        );
+        assert_eq!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n").unwrap_err().status,
+            400
+        );
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_LINE));
+        assert_eq!(parse(long.as_bytes()).unwrap_err().status, 431);
+    }
+
+    #[test]
+    fn connection_close_disables_keep_alive() {
+        let r = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap().unwrap();
+        assert!(!r.keep_alive);
+    }
+
+    #[test]
+    fn percent_encode_round_trips() {
+        let original = "//book[title='a b']/@*";
+        assert_eq!(percent_decode(&percent_encode(original)), original);
+    }
+
+    #[test]
+    fn response_has_length_framing() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "text/plain", b"hi", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 2\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\nhi"), "{text}");
+    }
+}

@@ -1,0 +1,132 @@
+//! Server-wide counters for `/stats`: request/error tallies, a
+//! log-scaled latency histogram, and per-strategy execution counts fed
+//! from each request's query trace.
+//!
+//! Everything is lock-free atomics except the strategy tally (a small
+//! mutex-guarded map touched once per query). The histogram buckets are
+//! powers of two in microseconds — enough resolution for p50/p95/p99
+//! estimates server-side; the load harness computes exact percentiles
+//! from its own samples.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Number of log2 latency buckets: bucket `i` counts requests with
+/// `2^i <= µs < 2^(i+1)` (bucket 0 is `< 2µs`, the last is open-ended).
+pub const BUCKETS: usize = 32;
+
+#[derive(Default)]
+pub struct Metrics {
+    pub requests: AtomicU64,
+    /// 4xx responses (client errors: bad queries, unknown documents).
+    pub client_errors: AtomicU64,
+    /// 5xx responses other than deadline aborts.
+    pub server_errors: AtomicU64,
+    pub deadline_aborts: AtomicU64,
+    histogram: [AtomicU64; BUCKETS],
+    latency_us_total: AtomicU64,
+    strategies: Mutex<BTreeMap<String, u64>>,
+}
+
+impl Metrics {
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Record one successfully served query's latency.
+    pub fn record_latency(&self, elapsed: Duration) {
+        let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        let bucket = (64 - us.leading_zeros() as usize).saturating_sub(1).min(BUCKETS - 1);
+        self.histogram[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_us_total.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Record which strategy a query actually executed with.
+    pub fn record_strategy(&self, strategy: &str) {
+        *self.strategies.lock().unwrap().entry(strategy.to_string()).or_default() += 1;
+    }
+
+    /// Estimate the `q`-th percentile (0..=100) from the histogram, as
+    /// the upper bound of the bucket holding that rank. `None` until at
+    /// least one latency is recorded.
+    pub fn percentile_us(&self, q: f64) -> Option<u64> {
+        let counts: Vec<u64> =
+            self.histogram.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(1u64 << (i + 1).min(63));
+            }
+        }
+        None
+    }
+
+    /// Render the `/stats` fields this struct owns as JSON object
+    /// entries (no surrounding braces).
+    pub fn render_json_fields(&self) -> String {
+        let requests = self.requests.load(Ordering::Relaxed);
+        let latency_total = self.latency_us_total.load(Ordering::Relaxed);
+        let served: u64 = self.histogram.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        let strategies = self.strategies.lock().unwrap();
+        let strategy_fields = strategies
+            .iter()
+            .map(|(s, n)| format!("{}: {n}", crate::json_str(s)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "\"requests\": {requests}, \
+             \"client_errors\": {}, \
+             \"server_errors\": {}, \
+             \"deadline_aborts\": {}, \
+             \"latency_us\": {{\"mean\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}, \
+             \"strategies\": {{{strategy_fields}}}",
+            self.client_errors.load(Ordering::Relaxed),
+            self.server_errors.load(Ordering::Relaxed),
+            self.deadline_aborts.load(Ordering::Relaxed),
+            if served > 0 { latency_total / served } else { 0 },
+            self.percentile_us(50.0).unwrap_or(0),
+            self.percentile_us(95.0).unwrap_or(0),
+            self.percentile_us(99.0).unwrap_or(0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_track_the_histogram() {
+        let m = Metrics::new();
+        assert_eq!(m.percentile_us(50.0), None);
+        for _ in 0..99 {
+            m.record_latency(Duration::from_micros(100));
+        }
+        m.record_latency(Duration::from_millis(50));
+        // 100µs lands in the 64..128 bucket (upper bound 128); 50ms far
+        // above it. The p50 must not be dragged up by the one outlier.
+        assert_eq!(m.percentile_us(50.0), Some(128));
+        assert!(m.percentile_us(99.9).unwrap() > 10_000);
+    }
+
+    #[test]
+    fn stats_json_includes_strategy_tallies() {
+        let m = Metrics::new();
+        m.requests.fetch_add(3, Ordering::Relaxed);
+        m.record_strategy("pipelined");
+        m.record_strategy("pipelined");
+        m.record_strategy("navigational");
+        let json = m.render_json_fields();
+        assert!(json.contains("\"pipelined\": 2"), "{json}");
+        assert!(json.contains("\"navigational\": 1"), "{json}");
+        assert!(json.contains("\"requests\": 3"), "{json}");
+    }
+}

@@ -1,0 +1,371 @@
+//! `blossomd`: the concurrent query server. A `TcpListener` accept loop
+//! feeds a fixed worker pool (the same channel-backed work-queue shape
+//! as `core::exec`'s scan partitioning, but long-lived); workers speak
+//! the minimal HTTP subset in [`crate::http`] and evaluate queries
+//! against the shared [`crate::catalog::Catalog`] through cheap
+//! per-request [`Engine`] views that all share one process-wide plan
+//! cache.
+//!
+//! Robustness contract (DESIGN.md §10): malformed or oversized requests
+//! get a 4xx and never touch the engine; query parse/eval errors become
+//! 4xx/5xx responses instead of process exits; a per-request wall-clock
+//! deadline aborts runaway queries with 503; `POST /shutdown` flips an
+//! atomic flag, the accept loop stops, and every in-flight request
+//! drains before the process exits.
+
+use crate::catalog::Catalog;
+use crate::http::{read_request, write_response, Next, Request};
+use crate::json_str;
+use crate::metrics::Metrics;
+use blossom_core::engine::{EngineError, EngineOptions, SharedPlanCache};
+use blossom_core::plan::Strategy;
+use blossom_xml::writer;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Everything configurable about a server instance.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Connection-handling worker threads.
+    pub workers: usize,
+    /// `EngineOptions::threads` per query evaluation.
+    pub query_threads: usize,
+    /// Per-request evaluation budget; `None` never aborts.
+    pub deadline: Option<Duration>,
+    /// Catalog byte cap (approximate heap bytes across entries).
+    pub catalog_bytes: usize,
+    /// Largest accepted request body (`POST /load` documents).
+    pub max_body: usize,
+    /// Capacity of the process-wide shared plan cache.
+    pub plan_cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            query_threads: 1,
+            deadline: Some(Duration::from_secs(10)),
+            catalog_bytes: 512 * 1024 * 1024,
+            max_body: 256 * 1024 * 1024,
+            plan_cache_capacity: 1024,
+        }
+    }
+}
+
+/// State shared by the accept loop and every worker.
+struct Shared {
+    catalog: Catalog,
+    plans: Arc<SharedPlanCache>,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    config: ServerConfig,
+    started: Instant,
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+/// Control handle for a server started with [`Server::spawn`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Request shutdown and wait for every in-flight request to drain.
+    pub fn shutdown(self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let _ = self.thread.join();
+    }
+}
+
+impl Server {
+    /// Bind the listener (without accepting yet), so callers can learn
+    /// the ephemeral port before the first request.
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let shared = Arc::new(Shared {
+            catalog: Catalog::new(config.catalog_bytes),
+            plans: Arc::new(SharedPlanCache::new(config.plan_cache_capacity)),
+            metrics: Metrics::new(),
+            shutdown: AtomicBool::new(false),
+            config,
+            started: Instant::now(),
+        });
+        Ok(Server { listener, shared })
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener has an address")
+    }
+
+    /// Load a document into the catalog before serving (the CLI's
+    /// `--load name=path` flags).
+    pub fn preload(&self, name: &str, path: &str) -> Result<usize, String> {
+        let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+        Ok(self.shared.catalog.load_bytes(name, &bytes)?.doc.len())
+    }
+
+    /// Run the accept loop until shutdown, then drain: the listener goes
+    /// non-blocking so the loop can poll the shutdown flag, accepted
+    /// sockets are switched back to blocking before they reach a worker.
+    pub fn run(self) {
+        let Server { listener, shared } = self;
+        listener.set_nonblocking(true).expect("set_nonblocking");
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers: Vec<_> = (0..shared.config.workers.max(1))
+            .map(|_| {
+                let rx = rx.clone();
+                let shared = shared.clone();
+                std::thread::spawn(move || loop {
+                    // Holding the lock only for the dequeue keeps the
+                    // other workers accepting; `Err` means the sender is
+                    // gone and the queue is empty — drain complete.
+                    let next = rx.lock().unwrap().recv();
+                    match next {
+                        Ok(stream) => handle_connection(stream, &shared),
+                        Err(_) => break,
+                    }
+                })
+            })
+            .collect();
+
+        loop {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(false).is_ok() {
+                        let _ = tx.send(stream);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+        // Dropping the sender ends the workers' recv loops once the
+        // already-queued connections are served.
+        drop(tx);
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+
+    /// Run on a background thread; for tests and in-process harnesses.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr();
+        let shared = self.shared.clone();
+        let thread = std::thread::spawn(move || self.run());
+        ServerHandle { addr, shared, thread }
+    }
+}
+
+/// Serve one connection: a keep-alive loop of request → response. The
+/// read timeout bounds how long a worker sits on an idle connection
+/// before re-checking the shutdown flag — this is what lets the drain
+/// finish while clients hold keep-alive sockets open.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader, shared.config.max_body) {
+            Ok(Next::Request(request)) => {
+                let (status, content_type, body) = respond(&request, shared);
+                // During shutdown the drain finishes the current request
+                // but does not linger on an idle keep-alive socket.
+                let close =
+                    !request.keep_alive || shared.shutdown.load(Ordering::SeqCst);
+                if status >= 400 {
+                    track_error(shared, status);
+                }
+                if write_response(&mut writer, status, content_type, &body, close).is_err()
+                    || close
+                {
+                    return;
+                }
+            }
+            Ok(Next::Closed) => return,
+            Ok(Next::Idle) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(e) => {
+                // Framing is unreliable after a malformed request, so
+                // answer and close; the *server* keeps running.
+                track_error(shared, e.status);
+                let body = format!("error: {}\n", e.message);
+                let _ =
+                    write_response(&mut writer, e.status, "text/plain", body.as_bytes(), true);
+                return;
+            }
+        }
+    }
+}
+
+fn track_error(shared: &Shared, status: u16) {
+    if status >= 500 {
+        if status == 503 {
+            shared.metrics.deadline_aborts.fetch_add(1, Ordering::Relaxed);
+        } else {
+            shared.metrics.server_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    } else {
+        shared.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Route one request; returns `(status, content type, body)`.
+fn respond(request: &Request, shared: &Shared) -> (u16, &'static str, Vec<u8>) {
+    shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => (200, "text/plain", b"ok\n".to_vec()),
+        ("GET", "/query") => query(request, shared),
+        ("POST", "/load") => load(request, shared),
+        ("GET", "/stats") => (200, "application/json", stats(shared).into_bytes()),
+        ("POST", "/shutdown") => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            (200, "text/plain", b"draining\n".to_vec())
+        }
+        (_, "/healthz" | "/query" | "/load" | "/stats" | "/shutdown") => {
+            (405, "text/plain", format!("error: {} not allowed here\n", request.method).into_bytes())
+        }
+        (_, path) => (404, "text/plain", format!("error: no route {path}\n").into_bytes()),
+    }
+}
+
+/// `GET /query?doc=NAME&q=QUERY[&strategy=S][&threads=N][&profile=1]`.
+fn query(request: &Request, shared: &Shared) -> (u16, &'static str, Vec<u8>) {
+    let bad = |msg: String| (400, "text/plain", format!("error: {msg}\n").into_bytes());
+    let Some(doc_name) = request.param("doc") else {
+        return bad("missing ?doc=NAME".to_string());
+    };
+    let Some(q) = request.param("q") else {
+        return bad("missing ?q=QUERY".to_string());
+    };
+    let strategy = match request.param("strategy").unwrap_or("auto").parse::<Strategy>() {
+        Ok(s) => s,
+        Err(e) => return bad(e),
+    };
+    let threads = match request.param("threads").map(str::parse::<usize>) {
+        None => shared.config.query_threads,
+        Some(Ok(n)) if n >= 1 => n,
+        Some(_) => return bad("bad ?threads= (want an integer >= 1)".to_string()),
+    };
+    let profile = request.param("profile") == Some("1");
+    let Some(entry) = shared.catalog.get(doc_name) else {
+        return (
+            404,
+            "text/plain",
+            format!("error: no document {doc_name:?} in the catalog\n").into_bytes(),
+        );
+    };
+
+    // Tracing is always on so /stats sees the executed strategy; the
+    // trace is observational (PR 4's invariant: identical result bytes).
+    let engine = entry.engine(
+        shared.plans.clone(),
+        EngineOptions {
+            threads,
+            trace: true,
+            deadline: shared.config.deadline.map(|d| Instant::now() + d),
+            ..EngineOptions::default()
+        },
+    );
+    let start = Instant::now();
+    match engine.eval_query_traced(q, strategy) {
+        Ok((result, trace)) => {
+            shared.metrics.record_latency(start.elapsed());
+            shared.metrics.record_strategy(&trace.executed.to_string());
+            // The plain body is the serialized result plus a newline —
+            // byte-identical to `blossom query` stdout, so harnesses can
+            // `cmp` the two directly.
+            let mut text = writer::to_string(&result);
+            text.push('\n');
+            if profile {
+                let body = format!(
+                    "{{\"result\": {}, \"profile\": {}}}\n",
+                    json_str(&text),
+                    trace.to_json()
+                );
+                (200, "application/json", body.into_bytes())
+            } else {
+                (200, "text/plain", text.into_bytes())
+            }
+        }
+        Err(EngineError::Deadline) => (
+            503,
+            "text/plain",
+            format!("error: {}\n", EngineError::Deadline).into_bytes(),
+        ),
+        Err(e) => bad(e.to_string()),
+    }
+}
+
+/// `POST /load?name=NAME` with the document bytes (XML or `.blsm`) as
+/// the body.
+fn load(request: &Request, shared: &Shared) -> (u16, &'static str, Vec<u8>) {
+    let Some(name) = request.param("name") else {
+        return (400, "text/plain", b"error: missing ?name=NAME\n".to_vec());
+    };
+    match shared.catalog.load_bytes(name, &request.body) {
+        Ok(entry) => {
+            let body = format!(
+                "{{\"loaded\": {}, \"nodes\": {}, \"approx_bytes\": {}}}\n",
+                json_str(name),
+                entry.doc.len(),
+                entry.bytes
+            );
+            (200, "application/json", body.into_bytes())
+        }
+        Err(e) => (400, "text/plain", format!("error: {e}\n").into_bytes()),
+    }
+}
+
+/// `GET /stats`: request counters, latency percentiles, strategy and
+/// plan-cache tallies, catalog contents.
+fn stats(shared: &Shared) -> String {
+    let cache = shared.plans.stats();
+    let (entries, evictions) = shared.catalog.snapshot();
+    let catalog_fields = entries
+        .iter()
+        .map(|(name, bytes)| format!("{{\"name\": {}, \"approx_bytes\": {bytes}}}", json_str(name)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{{}, \
+         \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \"capacity\": {}}}, \
+         \"catalog\": {{\"documents\": [{catalog_fields}], \"evictions\": {evictions}}}, \
+         \"uptime_us\": {}}}\n",
+        shared.metrics.render_json_fields(),
+        cache.hits,
+        cache.misses,
+        cache.len,
+        cache.capacity,
+        shared.started.elapsed().as_micros(),
+    )
+}

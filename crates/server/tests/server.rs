@@ -1,0 +1,220 @@
+//! End-to-end tests over a real listening server: spawn on an ephemeral
+//! port, drive it with the crate's own client, and check the robustness
+//! contract — correct bytes under concurrency, 4xx on garbage without
+//! killing the process, deadline aborts as 503, graceful drain.
+
+use blossom_server::{Client, Server, ServerConfig};
+use blossom_xml::writer;
+use std::time::Duration;
+
+fn spawn_default() -> blossom_server::ServerHandle {
+    Server::bind(ServerConfig::default()).expect("bind ephemeral").spawn()
+}
+
+/// What `blossom query` would print for this document/query, plus the
+/// newline the server's body contract adds.
+fn direct_eval(xml: &str, query: &str) -> String {
+    let engine = blossom_core::Engine::from_xml(xml).unwrap();
+    let result = engine.eval_query_str(query, blossom_core::Strategy::Auto).unwrap();
+    format!("{}\n", writer::to_string(&result))
+}
+
+const BIB: &str = "<bib><book><title>B</title><author>x</author></book>\
+                   <book><title>A</title></book></bib>";
+
+#[test]
+fn load_then_query_matches_direct_evaluation() {
+    let handle = spawn_default();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let loaded = client.load("bib", BIB.as_bytes()).unwrap();
+    assert_eq!(loaded.status, 200, "{}", loaded.body_str());
+    assert!(loaded.body_str().contains("\"loaded\": \"bib\""));
+
+    for query in ["//book/title", "//book[author]", "for $b in //book order by $b/title return <t>{$b/title}</t>"] {
+        let response = client.query("bib", query, &[]).unwrap();
+        assert_eq!(response.status, 200, "{query}: {}", response.body_str());
+        assert_eq!(response.body_str(), direct_eval(BIB, query), "{query}");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn snapshot_bytes_load_like_xml() {
+    let handle = spawn_default();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let doc = blossom_xml::Document::parse_str(BIB).unwrap();
+    let snap = blossom_xml::succinct::encode(&doc);
+    assert_eq!(client.load("snap", &snap).unwrap().status, 200);
+    let response = client.query("snap", "//book/title", &[]).unwrap();
+    assert_eq!(response.body_str(), direct_eval(BIB, "//book/title"));
+    handle.shutdown();
+}
+
+#[test]
+fn client_errors_are_4xx_and_the_server_survives() {
+    let handle = spawn_default();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.load("bib", BIB.as_bytes()).unwrap();
+
+    // Unknown document, bad query text, bad strategy, missing params,
+    // unknown route, wrong method: all client errors.
+    assert_eq!(client.query("nope", "//a", &[]).unwrap().status, 404);
+    assert_eq!(client.query("bib", "//book[", &[]).unwrap().status, 400);
+    assert_eq!(client.query("bib", "//a", &["strategy=warp"]).unwrap().status, 400);
+    assert_eq!(client.get("/query?doc=bib").unwrap().status, 400);
+    assert_eq!(client.get("/no/such/route").unwrap().status, 404);
+    assert_eq!(client.request("POST", "/healthz", &[]).unwrap().status, 405);
+    // Unparsable document bytes.
+    assert_eq!(client.load("bad", b"<r><unclosed>").unwrap().status, 400);
+
+    // A malformed request line gets 400 and closes that connection...
+    let mut raw = Client::connect(handle.addr()).unwrap();
+    let garbage = raw.send_raw(b"COMPLETE NONSENSE\r\n\r\n").unwrap();
+    assert_eq!(garbage.status, 400);
+    assert!(garbage.closed);
+
+    // ...but the server keeps serving other connections.
+    let good = client.query("bib", "//book/title", &[]).unwrap();
+    assert_eq!(good.status, 200);
+    assert_eq!(good.body_str(), direct_eval(BIB, "//book/title"));
+    handle.shutdown();
+}
+
+#[test]
+fn profile_returns_trace_json_alongside_the_result() {
+    let handle = spawn_default();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.load("bib", BIB.as_bytes()).unwrap();
+    let response = client.query("bib", "//book/title", &["profile=1"]).unwrap();
+    assert_eq!(response.status, 200);
+    let body = response.body_str();
+    for key in ["\"result\"", "\"profile\"", "\"blossom_profile\"", "\"strategy\"", "\"operators\"", "\"cache\""] {
+        assert!(body.contains(key), "missing {key} in {body}");
+    }
+    // The embedded result is the same bytes the plain endpoint returns.
+    let plain = client.query("bib", "//book/title", &[]).unwrap();
+    assert!(
+        body.contains(&blossom_server::json_str(&plain.body_str())),
+        "profile envelope does not embed the plain body: {body}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn deadline_aborts_are_503() {
+    // A tiny budget and a three-way Cartesian product: the cooperative
+    // deadline must fire and surface as 503, not kill the worker.
+    let mut xml = String::from("<r>");
+    for i in 0..80 {
+        xml.push_str(&format!("<a>{i}</a>"));
+    }
+    xml.push_str("</r>");
+    let handle = Server::bind(ServerConfig {
+        deadline: Some(Duration::from_micros(1)),
+        ..ServerConfig::default()
+    })
+    .unwrap()
+    .spawn();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.load("wide", xml.as_bytes()).unwrap();
+    let response = client
+        .query("wide", "for $x in //a for $y in //a for $z in //a return <t>{$x}</t>", &[])
+        .unwrap();
+    assert_eq!(response.status, 503, "{}", response.body_str());
+    assert!(response.body_str().contains("deadline"), "{}", response.body_str());
+    // The worker that hit the deadline still serves the next request
+    // (healthz: the 1µs budget would 503 any real query here).
+    let health = client.get("/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body_str(), "ok\n");
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_clients_get_byte_identical_results() {
+    let handle = spawn_default();
+    let mut setup = Client::connect(handle.addr()).unwrap();
+    let mut xml = String::from("<bib>");
+    for i in 0..200 {
+        xml.push_str(&format!("<book><title>t{i}</title><year>{}</year></book>", 1990 + i % 30));
+    }
+    xml.push_str("</bib>");
+    setup.load("bib", xml.as_bytes()).unwrap();
+
+    let queries = [
+        ("//book/title", ""),
+        ("//book[year]/title", "strategy=ts"),
+        ("//book//title", "strategy=pl"),
+        ("for $b in //book where $b/year < 2000 return <t>{$b/title}</t>", ""),
+    ];
+    let addr = handle.addr();
+    let workers: Vec<_> = (0..8)
+        .map(|w| {
+            let xml = xml.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for round in 0..5 {
+                    let (q, extra) = queries[(w + round) % queries.len()];
+                    let extras: Vec<&str> = if extra.is_empty() { vec![] } else { vec![extra] };
+                    let response = client.query("bib", q, &extras).unwrap();
+                    assert_eq!(response.status, 200, "{q}: {}", response.body_str());
+                    assert_eq!(response.body_str(), direct_eval(&xml, q), "{q}");
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.get("/stats").unwrap();
+    assert_eq!(stats.status, 200);
+    let body = stats.body_str();
+    assert!(body.contains("\"requests\""), "{body}");
+    assert!(body.contains("\"plan_cache\""), "{body}");
+    assert!(body.contains("\"p99\""), "{body}");
+    // 8 workers × 5 rounds over 4 distinct queries: the shared plan
+    // cache must have served most of them from memory.
+    assert!(body.contains("\"hits\""), "{body}");
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_endpoint_drains_and_exits() {
+    let handle = spawn_default();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.load("bib", BIB.as_bytes()).unwrap();
+    let response = client.request("POST", "/shutdown", &[]).unwrap();
+    assert_eq!(response.status, 200);
+    assert!(response.closed, "shutdown responses close the connection");
+    // The run loop must observe the flag and return; join via shutdown().
+    handle.shutdown();
+}
+
+#[test]
+fn healthz_and_keep_alive() {
+    let handle = spawn_default();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    // Several requests over one connection: keep-alive works.
+    for _ in 0..3 {
+        let response = client.get("/healthz").unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body_str(), "ok\n");
+        assert!(!response.closed);
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_body_is_413() {
+    let handle = Server::bind(ServerConfig { max_body: 64, ..ServerConfig::default() })
+        .unwrap()
+        .spawn();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let big = vec![b'x'; 1000];
+    let response = client.load("big", &big).unwrap();
+    assert_eq!(response.status, 413);
+    handle.shutdown();
+}

@@ -156,6 +156,29 @@ impl Document {
         &self.symbols
     }
 
+    /// Approximate heap footprint in bytes: the column vectors plus text
+    /// and attribute payloads. Used by the server's document catalog to
+    /// keep its LRU under a memory cap; an estimate (hash-map overhead
+    /// and allocator slack are not counted), not an accounting.
+    pub fn approx_heap_bytes(&self) -> usize {
+        let columns = self.parent.len() * 4 * 5 // parent/first_child/next_sibling/last_desc/kind_sym
+            + self.level.len() * 2;
+        let texts: usize =
+            self.texts.iter().map(|t| t.len() + std::mem::size_of::<Box<str>>()).sum();
+        let attrs: usize = self
+            .attrs
+            .values()
+            .flat_map(|v| v.iter())
+            .map(|(_, val)| val.len() + std::mem::size_of::<(Sym, Box<str>)>())
+            .sum();
+        let symbols: usize = self
+            .symbols
+            .iter()
+            .map(|(_, name)| name.len() + 2 * std::mem::size_of::<Box<str>>())
+            .sum();
+        columns + texts + attrs + symbols
+    }
+
     /// Look up the symbol for `tag`, if any element/attribute uses it.
     pub fn sym(&self, tag: &str) -> Option<Sym> {
         self.symbols.lookup(tag)

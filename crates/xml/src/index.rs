@@ -236,6 +236,21 @@ impl TagIndex {
         self.postings.get(sym.index()).unwrap_or(&EMPTY)
     }
 
+    /// Approximate heap footprint in bytes of every posting list, for the
+    /// server catalog's memory cap (same caveats as
+    /// [`Document::approx_heap_bytes`]).
+    pub fn approx_heap_bytes(&self) -> usize {
+        self.postings
+            .iter()
+            .map(|p| {
+                p.starts.len() * std::mem::size_of::<NodeId>()
+                    + p.ends.len() * 4
+                    + p.levels.len() * 2
+                    + p.block_max_end.len() * 4
+            })
+            .sum()
+    }
+
     /// Posting list by tag name.
     pub fn postings_by_name<'a>(&'a self, doc: &Document, name: &str) -> &'a PostingList {
         match doc.sym(name) {

@@ -33,6 +33,7 @@ pub mod document;
 pub mod fxhash;
 pub mod index;
 pub mod label;
+pub mod load;
 pub mod navigate;
 pub mod parser;
 pub mod stats;

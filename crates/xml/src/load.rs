@@ -1,0 +1,61 @@
+//! Format-sniffing document loading: one entry point that accepts both
+//! XML text and the `.blsm` succinct snapshot format (see
+//! [`crate::succinct`]), dispatching on the `BLM1` magic.
+//!
+//! The CLI (`blossom query FILE …`) and the query server's document
+//! catalog (`POST /load`) share this path, so a file that works in one
+//! works in the other. Snapshots matter for the catalog: decoding a
+//! `.blsm` skips tokenization entirely, so a server can (re)populate its
+//! catalog from snapshots far faster than from the source XML.
+
+use crate::document::Document;
+use crate::succinct;
+
+/// Build a document from raw file bytes: `.blsm` snapshots are decoded,
+/// anything else is parsed as UTF-8 XML text. Errors are rendered as a
+/// single human-readable line prefixed with `origin` (a file name or a
+/// catalog entry name) for CLI/server diagnostics.
+pub fn document_from_bytes(bytes: &[u8], origin: &str) -> Result<Document, String> {
+    if bytes.starts_with(b"BLM1") {
+        return succinct::decode(bytes).map_err(|e| format!("{origin}: {e}"));
+    }
+    let text = std::str::from_utf8(bytes).map_err(|_| format!("{origin}: not UTF-8"))?;
+    Document::parse_str(text).map_err(|e| format!("{origin}: {e}"))
+}
+
+/// [`document_from_bytes`] over a file path.
+pub fn document_from_path(path: &str) -> Result<Document, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    document_from_bytes(&bytes, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xml_bytes_parse() {
+        let doc = document_from_bytes(b"<r><a/></r>", "inline").unwrap();
+        assert_eq!(doc.len(), 3);
+    }
+
+    #[test]
+    fn snapshot_bytes_decode() {
+        let doc = Document::parse_str("<r><a>x</a></r>").unwrap();
+        let snap = succinct::encode(&doc);
+        let back = document_from_bytes(&snap, "snap").unwrap();
+        assert_eq!(crate::writer::to_string(&back), crate::writer::to_string(&doc));
+    }
+
+    #[test]
+    fn errors_are_one_line_and_name_the_origin() {
+        let err = document_from_bytes(b"<r><unclosed>", "bad.xml").unwrap_err();
+        assert!(err.starts_with("bad.xml: "), "{err}");
+        assert!(!err.contains('\n'), "{err}");
+        let err = document_from_path("/nonexistent/never.xml").unwrap_err();
+        assert!(err.contains("/nonexistent/never.xml"), "{err}");
+        // A corrupt snapshot fails with a decode error, not a parse error.
+        let err = document_from_bytes(b"BLM1garbage", "x.blsm").unwrap_err();
+        assert!(err.starts_with("x.blsm: "), "{err}");
+    }
+}

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verification: offline release build, the full test suite, bench
 # smoke runs that exercise the parallel scan end to end (leaving a
-# BENCH_parallel.json report at the workspace root), and a profile smoke
-# that checks the --profile-json schema and that tracing never changes
-# query output bytes (leaving BENCH_profile_smoke.json).
+# BENCH_parallel.json report at the workspace root), a server smoke that
+# load-tests blossomd in-process and as a real child process (leaving
+# BENCH_server.json), and a profile smoke that checks the --profile-json
+# schema and that tracing never changes query output bytes (leaving
+# BENCH_profile_smoke.json).
 #
 # Usage: scripts/verify.sh [--full]
 #   --full   run the benchmark at paper scale (>= 50 MB document)
@@ -38,7 +40,71 @@ fi
 cargo run --release -q -p blossom-bench --bin diff -- \
     --rounds "${DIFF_ROUNDS}" --nodes 160 --out target/diff-fixtures
 cargo run --release -q -p blossom-bench --bin diff -- \
-    --replay tests/fixtures/diff
+    --replay tests/fixtures/diff --server
+
+echo "== server smoke (blossomd: load, concurrent queries, drain) =="
+# In-process run of the closed-loop load harness: the five paper
+# datasets are loaded over POST /load, four connections sweep the
+# Table-3 query matrix, and every response is byte-compared against
+# direct in-process evaluation. Writes BENCH_server.json.
+cargo run --release -q -p blossom-bench --bin serve_load -- \
+    --connections 4 --rounds 2 --nodes 4000 --out BENCH_server.json
+for key in throughput_rps p50 p95 p99 response_mismatches; do
+    grep -q "\"${key}\"" BENCH_server.json \
+        || { echo "BENCH_server.json missing key: ${key}"; exit 1; }
+done
+
+# The same harness against a real `blossom serve` process: ephemeral
+# port, a preloaded document, concurrent queries (the harness also sends
+# one malformed request and one profile=1 request), one raw-HTTP query
+# byte-compared with the CLI, then a graceful POST /shutdown drain.
+SERVE_DOC=target/serve-smoke.xml
+SERVE_LOG=target/serve-smoke.log
+cargo run --release -q --bin blossom -- gen d3 "${SERVE_DOC}" --nodes 20000
+# Preloaded under a name the load harness will not overwrite (it loads
+# its own generated documents as d1..d5).
+./target/release/blossom serve --addr 127.0.0.1:0 --workers 2 \
+    --load smoke="${SERVE_DOC}" > "${SERVE_LOG}" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 100); do
+    ADDR=$(sed -n 's/^blossomd listening on //p' "${SERVE_LOG}")
+    [[ -n "${ADDR}" ]] && break
+    sleep 0.1
+done
+[[ -n "${ADDR}" ]] \
+    || { echo "blossom serve never reported its address"; cat "${SERVE_LOG}"; exit 1; }
+HOST=${ADDR%:*}
+PORT=${ADDR##*:}
+cargo run --release -q -p blossom-bench --bin serve_load -- \
+    --addr "${ADDR}" --connections 4 --rounds 1 --nodes 2000 \
+    --out target/BENCH_server_external.json
+
+exec 3<>"/dev/tcp/${HOST}/${PORT}"
+printf 'GET /query?doc=smoke&q=//item/title HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n' >&3
+HTTP_RESPONSE=$(cat <&3)
+exec 3<&- 3>&-
+printf '%s\n' "${HTTP_RESPONSE}" | tr -d '\r' | sed '1,/^$/d' > target/serve-smoke-http.out
+./target/release/blossom query "${SERVE_DOC}" '//item/title' > target/serve-smoke-cli.out
+cmp target/serve-smoke-cli.out target/serve-smoke-http.out \
+    || { echo "server response differs from CLI output"; exit 1; }
+
+exec 3<>"/dev/tcp/${HOST}/${PORT}"
+printf 'POST /shutdown HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\nConnection: close\r\n\r\n' >&3
+cat <&3 > /dev/null
+exec 3<&- 3>&-
+for _ in $(seq 100); do
+    kill -0 "${SERVE_PID}" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "${SERVE_PID}" 2>/dev/null; then
+    kill -9 "${SERVE_PID}"
+    echo "blossom serve did not drain after POST /shutdown"
+    exit 1
+fi
+wait "${SERVE_PID}" || { echo "blossom serve exited nonzero"; cat "${SERVE_LOG}"; exit 1; }
+grep -q "drained and stopped" "${SERVE_LOG}" \
+    || { echo "blossom serve missing drain message"; cat "${SERVE_LOG}"; exit 1; }
 
 echo "== bench smoke (parallel scan, ${NODES} nodes) =="
 cargo run --release -q -p blossom-bench --bin parallel -- \

@@ -7,15 +7,27 @@
 //! blossom stats   <doc.xml|doc.blsm>
 //! blossom encode  <doc.xml> <out.blsm>     # succinct storage format
 //! blossom gen     <d1|d2|d3|d4|d5> <out.xml> [--nodes N] [--seed S]
+//! blossom serve   [--addr HOST:PORT] [--workers N] [--threads N] [--deadline-ms N]
+//!                 [--catalog-mb N] [--load NAME=PATH]...
 //! ```
 //!
 //! `--profile` prints an `EXPLAIN ANALYZE`-style execution trace to
 //! stderr (stdout stays byte-identical to an unprofiled run);
 //! `--profile-json FILE` writes the same trace as JSON; `--repeat N`
 //! evaluates the query N times and reports plan-cache statistics.
+//!
+//! `serve` starts `blossomd`, the concurrent query server (see
+//! `DESIGN.md` §10): `--addr` binds the listener (port 0 picks an
+//! ephemeral port, printed on startup), `--workers` sizes the
+//! connection pool, `--threads` sets per-query evaluation threads,
+//! `--deadline-ms` bounds each request's evaluation wall-clock (0
+//! disables), `--catalog-mb` caps the document catalog's memory, and
+//! each `--load NAME=PATH` preloads an XML or `.blsm` file into the
+//! catalog under NAME.
 
 use blossomtree::core::{exec, Engine, EngineOptions, Strategy};
-use blossomtree::xml::{succinct, writer, Document};
+use blossomtree::server::{Server, ServerConfig};
+use blossomtree::xml::{load, succinct, writer, Document};
 use blossomtree::xmlgen::{generate, Dataset};
 use std::process::ExitCode;
 
@@ -40,14 +52,22 @@ const USAGE: &str = "usage:
   blossom stats   <doc.xml|doc.blsm>
   blossom encode  <doc.xml> <out.blsm>
   blossom gen     <d1|d2|d3|d4|d5> <out.xml> [--nodes N] [--seed S]
+  blossom serve   [--addr HOST:PORT] [--workers N] [--threads N] [--deadline-ms N]
+                  [--catalog-mb N] [--load NAME=PATH]...
 
 strategies: auto (default), navigational, twigstack, pathstack, pipelined, bnlj, nlj
 --threads:      worker threads for NoK scans and FLWOR iteration
-                (default: available parallelism; 1 = sequential)
+                (default: available parallelism; 1 = sequential;
+                serve default: 1 per query)
 --profile:      print an EXPLAIN ANALYZE-style trace (strategy decisions,
                 operator counters, phase timings) to stderr
 --profile-json: write the trace as JSON to FILE
---repeat:       evaluate the query N times and report plan-cache stats";
+--repeat:       evaluate the query N times and report plan-cache stats
+--addr:         serve: bind address (default 127.0.0.1:7730; port 0 = ephemeral)
+--workers:      serve: connection worker threads (default 4)
+--deadline-ms:  serve: per-request evaluation budget (default 10000; 0 = none)
+--catalog-mb:   serve: document catalog memory cap (default 512)
+--load:         serve: preload NAME=PATH into the catalog (repeatable)";
 
 /// Execute a CLI invocation; returns the text to print.
 fn run(args: &[String]) -> Result<String, String> {
@@ -171,9 +191,76 @@ fn run(args: &[String]) -> Result<String, String> {
                 .map_err(|e| format!("writing {output}: {e}"))?;
             Ok(format!("generated {} with {} nodes into {output}", which, doc.stats().node_count))
         }
+        "serve" => {
+            let config = parse_serve_config(args)?;
+            let server = Server::bind(config).map_err(|e| format!("binding listener: {e}"))?;
+            for (name, path) in flag_pairs(args, "--load")? {
+                let nodes = server.preload(name, path)?;
+                eprintln!("loaded {name} from {path} ({nodes} nodes)");
+            }
+            // The scripts that drive the server parse this line for the
+            // (possibly ephemeral) port, so flush past stdout's pipe
+            // buffering before blocking in the accept loop.
+            println!("blossomd listening on {}", server.local_addr());
+            use std::io::Write;
+            std::io::stdout().flush().map_err(|e| e.to_string())?;
+            server.run();
+            Ok("blossomd: drained and stopped".to_string())
+        }
         "--help" | "-h" | "help" | "" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     }
+}
+
+/// Build a [`ServerConfig`] from `serve` flags.
+fn parse_serve_config(args: &[String]) -> Result<ServerConfig, String> {
+    let defaults = ServerConfig::default();
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:7730").to_string();
+    let workers = match flag_value(args, "--workers") {
+        None => defaults.workers,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => return Err(format!("bad --workers {v:?} (want an integer >= 1)")),
+        },
+    };
+    let query_threads = match flag_value(args, "--threads") {
+        None => 1,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => return Err(format!("bad --threads {v:?} (want an integer >= 1)")),
+        },
+    };
+    let deadline = match flag_value(args, "--deadline-ms") {
+        None => defaults.deadline,
+        Some(v) => match v.parse::<u64>() {
+            Ok(0) => None,
+            Ok(ms) => Some(std::time::Duration::from_millis(ms)),
+            Err(_) => return Err(format!("bad --deadline-ms {v:?} (want milliseconds; 0 = none)")),
+        },
+    };
+    let catalog_bytes = match flag_value(args, "--catalog-mb") {
+        None => defaults.catalog_bytes,
+        Some(v) => match v.parse::<usize>() {
+            Ok(mb) if mb >= 1 => mb * 1024 * 1024,
+            _ => return Err(format!("bad --catalog-mb {v:?} (want an integer >= 1)")),
+        },
+    };
+    Ok(ServerConfig { addr, workers, query_threads, deadline, catalog_bytes, ..defaults })
+}
+
+/// Every `NAME=PATH` value of a repeatable flag.
+fn flag_pairs<'a>(args: &'a [String], flag: &str) -> Result<Vec<(&'a str, &'a str)>, String> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == flag)
+        .map(|(i, _)| {
+            let value = args
+                .get(i + 1)
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a NAME=PATH value"))?;
+            value.split_once('=').ok_or_else(|| format!("bad {flag} {value:?} (want NAME=PATH)"))
+        })
+        .collect()
 }
 
 fn arg(args: &[String], idx: usize) -> Result<&str, String> {
@@ -211,26 +298,15 @@ fn parse_repeat(args: &[String]) -> Result<usize, String> {
 }
 
 fn parse_strategy(name: &str) -> Result<Strategy, String> {
-    Ok(match name {
-        "auto" => Strategy::Auto,
-        "navigational" | "xh" => Strategy::Navigational,
-        "twigstack" | "ts" => Strategy::TwigStack,
-        "pathstack" | "ps" => Strategy::PathStack,
-        "pipelined" | "pl" => Strategy::Pipelined,
-        "bnlj" | "nl" => Strategy::BoundedNestedLoop,
-        "nlj" => Strategy::NaiveNestedLoop,
-        other => return Err(format!("unknown strategy {other:?}")),
-    })
+    // The CLI names and aliases live on `Strategy` itself so the query
+    // server's `?strategy=` accepts the same spellings.
+    name.parse()
 }
 
-/// Load either XML text or the succinct binary format (by sniffing).
+/// Load either XML text or the succinct binary format (by sniffing);
+/// shared with the server catalog via `xml::load`.
 fn load_document(path: &str) -> Result<Document, String> {
-    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
-    if bytes.starts_with(b"BLM1") {
-        return succinct::decode(&bytes).map_err(|e| e.to_string());
-    }
-    let text = String::from_utf8(bytes).map_err(|_| format!("{path}: not UTF-8"))?;
-    Document::parse_str(&text).map_err(|e| format!("{path}: {e}"))
+    load::document_from_path(path)
 }
 
 #[cfg(test)]
@@ -395,6 +471,75 @@ mod tests {
         assert!(parse_strategy("auto").is_ok());
         assert!(parse_strategy("ts").is_ok());
         assert!(parse_strategy("warp-drive").is_err());
+        // The canonical Display names round-trip too (server spellings).
+        for s in ["navigational", "bounded-nested-loop", "naive-nested-loop"] {
+            assert!(parse_strategy(s).is_ok(), "{s}");
+        }
+    }
+
+    /// `query` over a missing or unparsable file must come back as a
+    /// one-line `Err` (which `main` turns into `error: ...` on stderr
+    /// and a nonzero exit), never a panic or a multi-line backtrace.
+    #[test]
+    fn query_error_paths_are_one_line_diagnostics() {
+        let missing = run(&s(&["query", "/nonexistent/no-such.xml", "//a"]));
+        let err = missing.unwrap_err();
+        assert!(err.contains("/nonexistent/no-such.xml"), "{err}");
+        assert!(!err.contains('\n'), "multi-line: {err}");
+
+        let bad = tmp("unparsable.xml");
+        std::fs::write(&bad, "<r><open>never closed").unwrap();
+        let err = run(&s(&["query", &bad, "//a"])).unwrap_err();
+        assert!(err.contains("unparsable.xml"), "{err}");
+        assert!(!err.contains('\n'), "multi-line: {err}");
+
+        // A corrupt .blsm snapshot: decode error, still one line.
+        let corrupt = tmp("corrupt.blsm");
+        std::fs::write(&corrupt, b"BLM1this is not a snapshot").unwrap();
+        let err = run(&s(&["query", &corrupt, "//a"])).unwrap_err();
+        assert!(!err.contains('\n'), "multi-line: {err}");
+
+        // A syntactically invalid query over a good document.
+        let good = tmp("good.xml");
+        std::fs::write(&good, "<r><a/></r>").unwrap();
+        let err = run(&s(&["query", &good, "//a["])).unwrap_err();
+        assert!(!err.contains('\n'), "multi-line: {err}");
+    }
+
+    #[test]
+    fn serve_flag_parsing() {
+        let config = parse_serve_config(&s(&[
+            "serve", "--addr", "127.0.0.1:0", "--workers", "2", "--threads", "3",
+            "--deadline-ms", "250", "--catalog-mb", "64",
+        ]))
+        .unwrap();
+        assert_eq!(config.addr, "127.0.0.1:0");
+        assert_eq!(config.workers, 2);
+        assert_eq!(config.query_threads, 3);
+        assert_eq!(config.deadline, Some(std::time::Duration::from_millis(250)));
+        assert_eq!(config.catalog_bytes, 64 * 1024 * 1024);
+
+        assert_eq!(parse_serve_config(&s(&["serve", "--deadline-ms", "0"])).unwrap().deadline, None);
+        assert!(parse_serve_config(&s(&["serve", "--workers", "0"])).is_err());
+        assert!(parse_serve_config(&s(&["serve", "--catalog-mb", "lots"])).is_err());
+
+        let loads = s(&["serve", "--load", "a=/tmp/a.xml", "--load", "b=/tmp/b.blsm"]);
+        let pairs = flag_pairs(&loads, "--load").unwrap();
+        assert_eq!(pairs, vec![("a", "/tmp/a.xml"), ("b", "/tmp/b.blsm")]);
+        assert!(flag_pairs(&s(&["serve", "--load", "nopath"]), "--load").is_err());
+        assert!(flag_pairs(&s(&["serve", "--load"]), "--load").is_err());
+    }
+
+    /// `serve --load` with a bad path must fail up front with the usual
+    /// one-line diagnostic instead of starting a half-initialized server.
+    #[test]
+    fn serve_preload_errors_are_one_line() {
+        let err = run(&s(&[
+            "serve", "--addr", "127.0.0.1:0", "--load", "bib=/nonexistent/bib.xml",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("/nonexistent/bib.xml"), "{err}");
+        assert!(!err.contains('\n'), "multi-line: {err}");
     }
 
     #[test]
