@@ -1,0 +1,342 @@
+//! Planner scoring harness: cost-based planner vs. best-of-matrix oracle.
+//! Writes `BENCH_planner.json`.
+//!
+//! Two sections:
+//!
+//! 1. **Table-3 matrix** — every dataset × query cell is timed under each
+//!    explicit strategy that evaluates it correctly (the *oracle* keeps
+//!    the fastest cell, the same best-of-matrix idea the diff harness
+//!    tallies executed strategies against), then under `Strategy::Auto`
+//!    with the cost-based planner. The report carries the per-cell ratio
+//!    planner/oracle and an aggregate; the target is staying within 10%
+//!    of oracle-best overall.
+//! 2. **Adversarial skewed documents** — hand-shaped documents where the
+//!    static shape rules pick badly: a rare-anchor document (static
+//!    pipelining scans a huge posting list the cost planner knows to
+//!    probe instead) and an estimator-hostile document whose decoy tags
+//!    evict the anchor from the frequent-pair statistics, forcing a
+//!    mid-query budget trip and re-plan. Each is timed cost-based vs.
+//!    static (`cost_based_planner: false`) in interleaved rounds.
+//!
+//! Every timed comparison is verified first: all strategies and both
+//! planner modes must return byte-identical results.
+//!
+//! ```text
+//! cargo run --release -p blossom-bench --bin planner -- \
+//!     [--scale 0.05] [--seed 42] [--rounds 3] [--out BENCH_planner.json]
+//! ```
+
+use blossom_bench::timing::{self, Json};
+use blossom_bench::{queries, Args};
+use blossom_core::{Engine, EngineOptions, Strategy};
+use blossom_xml::Document;
+use blossom_xmlgen::{generate_scaled, Dataset};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The explicit strategies the oracle races (NaiveNestedLoop is excluded:
+/// it is dominated by BNLJ by construction and can be quadratic).
+const CANDIDATES: [(&str, Strategy); 5] = [
+    ("nav", Strategy::Navigational),
+    ("twigstack", Strategy::TwigStack),
+    ("pathstack", Strategy::PathStack),
+    ("pipelined", Strategy::Pipelined),
+    ("bnlj", Strategy::BoundedNestedLoop),
+];
+
+/// Geometric mean of the ratios.
+fn geomean(ratios: &[f64]) -> f64 {
+    if ratios.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = ratios.iter().map(|r| r.ln()).sum();
+    (log_sum / ratios.len() as f64).exp()
+}
+
+/// The rare-anchor document: one `x` subtree next to `n` identical `q`
+/// subtrees. `//x//c` has one answer; static planning pipelines over the
+/// full `c` posting list while the tracked (x, c) containment histogram
+/// tells the cost planner a single bounded probe suffices.
+fn skewed_anchor_doc(n: usize) -> String {
+    let mut s = String::with_capacity(n * 12 + 32);
+    s.push_str("<r><x><c/></x>");
+    for _ in 0..n {
+        s.push_str("<q><c/></q>");
+    }
+    s.push_str("</r>");
+    s
+}
+
+/// The estimator-hostile document: 33 decoy tags crowd `x` out of the
+/// top-32 frequent-tag set, so the (x, c) pair prices by independence —
+/// a severe underestimate. The cost planner picks a bounded nested-loop
+/// with a tiny budget, trips it mid-query, and re-plans into the
+/// runner-up strategy (one re-plan fallback event per evaluation).
+fn underestimated_doc(per_anchor: usize) -> String {
+    let mut s = String::new();
+    s.push_str("<r>");
+    for d in 0..33 {
+        for _ in 0..6 {
+            let _ = write!(s, "<d{d}/>");
+        }
+    }
+    for _ in 0..5 {
+        s.push_str("<x>");
+        for _ in 0..per_anchor {
+            s.push_str("<c/>");
+        }
+        s.push_str("</x>");
+    }
+    s.push_str("</r>");
+    s
+}
+
+/// One adversarial comparison: cost-based vs. static planning on the same
+/// document text, interleaved timing, traced twins for executed
+/// strategies and re-plan counts.
+fn adversarial_entry(
+    name: &str,
+    xml: &str,
+    query: &str,
+    rounds: u32,
+    tallies: &mut BTreeMap<String, u64>,
+) -> (Json, f64, u64) {
+    let static_opts =
+        EngineOptions { cost_based_planner: false, ..EngineOptions::default() };
+    let cost = Engine::new(Document::parse_str(xml).expect("adversarial doc"));
+    let stat = Engine::with_options(
+        Document::parse_str(xml).expect("adversarial doc"),
+        static_opts,
+    );
+    let cost_traced = Engine::with_options(
+        Document::parse_str(xml).expect("adversarial doc"),
+        EngineOptions { trace: true, ..EngineOptions::default() },
+    );
+    let stat_traced = Engine::with_options(
+        Document::parse_str(xml).expect("adversarial doc"),
+        EngineOptions { trace: true, ..static_opts },
+    );
+
+    let want = cost.eval_path_str(query, Strategy::Auto).expect("cost eval");
+    assert_eq!(
+        want,
+        stat.eval_path_str(query, Strategy::Auto).expect("static eval"),
+        "{name}: planner modes disagree"
+    );
+
+    let (_, cost_trace) = cost_traced.eval_path_traced(query, Strategy::Auto).unwrap();
+    let (_, stat_trace) = stat_traced.eval_path_traced(query, Strategy::Auto).unwrap();
+    let replans = cost_trace
+        .fallbacks
+        .iter()
+        .filter(|f| f.reason.starts_with("re-plan"))
+        .count() as u64;
+    *tallies.entry(cost_trace.executed.to_string()).or_insert(0) += 1;
+
+    let (s_cost, s_stat) = timing::time_pair(
+        &format!("{name}-cost"),
+        &format!("{name}-static"),
+        1,
+        rounds,
+        || cost.eval_path_str(query, Strategy::Auto).unwrap().len(),
+        || stat.eval_path_str(query, Strategy::Auto).unwrap().len(),
+    );
+    let speedup = s_stat.min.as_secs_f64() / s_cost.min.as_secs_f64().max(1e-12);
+    eprintln!(
+        "  {name}: cost {} ({:.3}ms) vs static {} ({:.3}ms) — {speedup:.2}x, {replans} re-plan(s)",
+        cost_trace.executed,
+        s_cost.min.as_secs_f64() * 1e3,
+        stat_trace.executed,
+        s_stat.min.as_secs_f64() * 1e3,
+    );
+    let entry = Json::obj([
+        ("name", Json::str(name)),
+        ("query", Json::str(query)),
+        ("result_count", Json::Num(want.len() as f64)),
+        ("cost_executed", Json::str(cost_trace.executed.to_string())),
+        ("static_executed", Json::str(stat_trace.executed.to_string())),
+        ("cost_s", Json::Num(s_cost.min.as_secs_f64())),
+        ("static_s", Json::Num(s_stat.min.as_secs_f64())),
+        ("speedup", Json::Num(speedup)),
+        ("replan_events", Json::Num(replans as f64)),
+    ]);
+    (entry, speedup, replans)
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale: f64 = args.get("scale").unwrap_or(0.05);
+    let seed: u64 = args.get("seed").unwrap_or(42);
+    let rounds: u32 = args.get("rounds").unwrap_or(3);
+    let out: String =
+        args.get("out").unwrap_or_else(|| "BENCH_planner.json".to_string());
+
+    let mut matrix = Vec::new();
+    let mut ratios = Vec::new();
+    let mut total_planner = 0.0f64;
+    let mut total_oracle = 0.0f64;
+    let mut tallies: BTreeMap<String, u64> = BTreeMap::new();
+
+    for ds in Dataset::all() {
+        eprintln!("generating {} (scale {scale}) ...", ds.name());
+        // Timing engine (counters off) plus a traced twin of the same
+        // generated document for executed-strategy capture.
+        let engine = Engine::new(generate_scaled(ds, scale, seed));
+        let traced = Engine::with_options(
+            generate_scaled(ds, scale, seed),
+            EngineOptions { trace: true, ..EngineOptions::default() },
+        );
+        for q in queries(ds) {
+            // Reference result: the navigational engine is always
+            // applicable and spec-direct.
+            let want = engine
+                .eval_path_str(q.path, Strategy::Navigational)
+                .expect("navigational reference");
+            // Oracle: fastest explicit strategy that reproduces the
+            // reference result.
+            let mut cells = Vec::new();
+            let mut oracle_s = f64::INFINITY;
+            let mut oracle_strategy = "nav".to_string();
+            for (label, strategy) in CANDIDATES {
+                match engine.eval_path_str(q.path, strategy) {
+                    Ok(got) if got == want => {}
+                    _ => continue, // not applicable to this query
+                }
+                let s = timing::time(
+                    &format!("{}-{}-{label}", ds.name(), q.id),
+                    1,
+                    rounds,
+                    || engine.eval_path_str(q.path, strategy).unwrap().len(),
+                );
+                let min_s = s.min.as_secs_f64();
+                if min_s < oracle_s {
+                    oracle_s = min_s;
+                    oracle_strategy = label.to_string();
+                }
+                cells.push(Json::obj([
+                    ("strategy", Json::str(label)),
+                    ("min_s", Json::Num(min_s)),
+                ]));
+            }
+            // Planner-picked: Auto under the cost-based planner.
+            let got = engine.eval_path_str(q.path, Strategy::Auto).expect("auto");
+            assert_eq!(got, want, "{} {}: auto disagrees with reference", ds.name(), q.id);
+            let s = timing::time(
+                &format!("{}-{}-planner", ds.name(), q.id),
+                1,
+                rounds,
+                || engine.eval_path_str(q.path, Strategy::Auto).unwrap().len(),
+            );
+            let planner_s = s.min.as_secs_f64();
+            let (_, trace) = traced.eval_path_traced(q.path, Strategy::Auto).unwrap();
+            *tallies.entry(trace.executed.to_string()).or_insert(0) += 1;
+
+            let ratio = planner_s / oracle_s.max(1e-12);
+            ratios.push(ratio);
+            total_planner += planner_s;
+            total_oracle += oracle_s;
+            eprintln!(
+                "  {} {} ({}): planner {} {:.3}ms vs oracle {} {:.3}ms — ratio {:.3}",
+                ds.name(),
+                q.id,
+                q.category,
+                trace.executed,
+                planner_s * 1e3,
+                oracle_strategy,
+                oracle_s * 1e3,
+                ratio,
+            );
+            matrix.push(Json::obj([
+                ("dataset", Json::str(ds.name())),
+                ("query", Json::str(q.id)),
+                ("category", Json::str(q.category)),
+                ("result_count", Json::Num(want.len() as f64)),
+                ("planner_s", Json::Num(planner_s)),
+                ("planner_executed", Json::str(trace.executed.to_string())),
+                ("oracle_s", Json::Num(oracle_s)),
+                ("oracle_strategy", Json::str(oracle_strategy)),
+                ("ratio", Json::Num(ratio)),
+                ("cells", Json::Arr(cells)),
+            ]));
+        }
+    }
+
+    let total_ratio = total_planner / total_oracle.max(1e-12);
+    let gm = geomean(&ratios);
+    eprintln!(
+        "matrix: planner/oracle total {total_ratio:.3}, geomean {gm:.3} \
+         over {} cells",
+        ratios.len()
+    );
+
+    eprintln!("adversarial workloads ...");
+    let mut adversarial = Vec::new();
+    let mut best_speedup = 0.0f64;
+    let mut replan_fired = 0u64;
+    // Sized so the static pipelined scan is decisively measurable but the
+    // whole harness still runs at CI scale.
+    let (e, s, r) = adversarial_entry(
+        "skewed-anchor",
+        &skewed_anchor_doc(100_000),
+        "//x//c",
+        rounds,
+        &mut tallies,
+    );
+    adversarial.push(e);
+    best_speedup = best_speedup.max(s);
+    replan_fired += r;
+    let (e, s, r) = adversarial_entry(
+        "underestimate-replan",
+        &underestimated_doc(3_000),
+        "//x//c",
+        rounds,
+        &mut tallies,
+    );
+    adversarial.push(e);
+    best_speedup = best_speedup.max(s);
+    replan_fired += r;
+
+    let report = Json::obj([
+        ("bench", Json::str("planner")),
+        ("scale", Json::Num(scale)),
+        ("seed", Json::Num(seed as f64)),
+        ("rounds", Json::Num(f64::from(rounds))),
+        ("matrix", Json::Arr(matrix)),
+        (
+            "matrix_summary",
+            Json::obj([
+                ("cells", Json::Num(ratios.len() as f64)),
+                ("planner_total_s", Json::Num(total_planner)),
+                ("oracle_total_s", Json::Num(total_oracle)),
+                ("total_ratio", Json::Num(total_ratio)),
+                ("geomean_ratio", Json::Num(gm)),
+                ("within_10pct_of_oracle", Json::Bool(total_ratio <= 1.10)),
+            ]),
+        ),
+        (
+            "executed_tally",
+            Json::Obj(
+                tallies
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                    .collect(),
+            ),
+        ),
+        ("adversarial", Json::Arr(adversarial)),
+        (
+            "adversarial_summary",
+            Json::obj([
+                ("best_speedup", Json::Num(best_speedup)),
+                ("meets_1_5x", Json::Bool(best_speedup >= 1.5)),
+                ("replan_events", Json::Num(replan_fired as f64)),
+            ]),
+        ),
+    ]);
+    timing::write_report(&out, &report).expect("write report");
+    println!("wrote {out}");
+    if total_ratio > 1.10 {
+        eprintln!(
+            "warning: planner total latency exceeds oracle-best by more than 10%"
+        );
+    }
+}

@@ -21,6 +21,17 @@
 //!                      (default 4000)
 //! * `--threads N`      per-query evaluation threads for the in-process
 //!                      server (default 1)
+//! * `--rate R`         open-loop mode stub: pace requests at R req/s
+//!                      total (spread across connections) instead of
+//!                      issuing them back-to-back, and record the
+//!                      arrival rate plus per-request queueing delay
+//!                      (time a request spent waiting behind its
+//!                      scheduled arrival) in the report. A full
+//!                      open-loop generator (Poisson arrivals,
+//!                      connection-independent scheduling) is future
+//!                      work — this lands the knob and the report
+//!                      schema. Without `--rate` the sweep stays
+//!                      closed-loop and the fields are null.
 //! * `--out FILE`       report path (default `BENCH_server.json`)
 //!
 //! Besides the matrix sweep, the run sends one deliberately malformed
@@ -54,6 +65,7 @@ fn main() {
     let threads: usize = args.get("threads").unwrap_or(1);
     let out: String = args.get("out").unwrap_or_else(|| "BENCH_server.json".into());
     let external: Option<String> = args.get("addr");
+    let rate: Option<f64> = args.get("rate");
 
     // Spawn in-process unless pointed at a live server.
     let (addr, handle) = match &external {
@@ -121,9 +133,12 @@ fn main() {
         "profile envelope changed the result bytes"
     );
 
-    // The measured closed loop.
+    // The measured sweep: closed-loop by default; with `--rate` each
+    // worker paces its share of the target arrival rate and records how
+    // far behind schedule every request went out (queueing delay).
+    let interval = rate.map(|r| connections as f64 / r.max(1e-9));
     let started = Instant::now();
-    let worker_results: Vec<(Vec<u64>, usize)> = std::thread::scope(|scope| {
+    let worker_results: Vec<(Vec<u64>, Vec<u64>, usize)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..connections)
             .map(|c| {
                 let cases = cases.clone();
@@ -131,12 +146,27 @@ fn main() {
                 scope.spawn(move || {
                     let mut client = Client::connect(&*addr).expect("connect worker");
                     let mut latencies_us: Vec<u64> = Vec::new();
+                    let mut queue_delays_us: Vec<u64> = Vec::new();
                     let mut mismatches = 0usize;
+                    let mut sent = 0u32;
                     for round in 0..rounds {
                         // Offset per connection so the server sees a mix
                         // of documents at any instant.
                         for i in 0..cases.len() {
                             let case = &cases[(i + c * 7 + round) % cases.len()];
+                            if let Some(step) = interval {
+                                let scheduled =
+                                    std::time::Duration::from_secs_f64(f64::from(sent) * step);
+                                let elapsed = started.elapsed();
+                                if elapsed < scheduled {
+                                    std::thread::sleep(scheduled - elapsed);
+                                    queue_delays_us.push(0);
+                                } else {
+                                    queue_delays_us
+                                        .push((elapsed - scheduled).as_micros() as u64);
+                                }
+                                sent += 1;
+                            }
                             let t = Instant::now();
                             let response = client
                                 .query(&case.doc_name, case.query, &[])
@@ -156,7 +186,7 @@ fn main() {
                             }
                         }
                     }
-                    (latencies_us, mismatches)
+                    (latencies_us, queue_delays_us, mismatches)
                 })
             })
             .collect();
@@ -165,8 +195,11 @@ fn main() {
     let wall = started.elapsed();
 
     let mut latencies: Vec<u64> =
-        worker_results.iter().flat_map(|(l, _)| l.iter().copied()).collect();
-    let mismatches: usize = worker_results.iter().map(|(_, m)| m).sum();
+        worker_results.iter().flat_map(|(l, _, _)| l.iter().copied()).collect();
+    let mut queue_delays: Vec<u64> =
+        worker_results.iter().flat_map(|(_, q, _)| q.iter().copied()).collect();
+    let mismatches: usize = worker_results.iter().map(|(_, _, m)| m).sum();
+    queue_delays.sort_unstable();
     latencies.sort_unstable();
     let total = latencies.len();
     let pct = |q: f64| -> u64 {
@@ -207,6 +240,26 @@ fn main() {
                 ("min", Json::Num(latencies[0] as f64)),
                 ("max", Json::Num(latencies[total - 1] as f64)),
             ]),
+        ),
+        ("mode", Json::str(if rate.is_some() { "open-loop-stub" } else { "closed-loop" })),
+        ("arrival_rate_rps", rate.map_or(Json::Null, Json::Num)),
+        (
+            "queueing_delay_us",
+            if queue_delays.is_empty() {
+                Json::Null
+            } else {
+                let qn = queue_delays.len();
+                let qpct = |q: f64| -> u64 {
+                    let rank = ((q / 100.0) * qn as f64).ceil().max(1.0) as usize;
+                    queue_delays[rank.min(qn) - 1]
+                };
+                Json::obj([
+                    ("p50", Json::Num(qpct(50.0) as f64)),
+                    ("p95", Json::Num(qpct(95.0) as f64)),
+                    ("p99", Json::Num(qpct(99.0) as f64)),
+                    ("max", Json::Num(queue_delays[qn - 1] as f64)),
+                ])
+            },
         ),
         ("response_mismatches", Json::Num(mismatches as f64)),
         ("server_stats_raw", Json::str(stats_body.trim_end())),

@@ -26,7 +26,12 @@
 //!   concurrent connections sweep the Table-3 matrix over the five
 //!   generated datasets, byte-compare every response against direct
 //!   evaluation, and write throughput + p50/p95/p99 to
-//!   `BENCH_server.json`.
+//!   `BENCH_server.json`; `--rate R` paces an open-loop stub that also
+//!   records queueing delay.
+//! * `planner` — scores the cost-based planner: per Table-3 cell, the
+//!   planner's pick is timed against a best-of-all-strategies oracle,
+//!   plus adversarial skewed documents where the static rule mis-prices
+//!   and the adaptive re-plan must fire; writes `BENCH_planner.json`.
 //!
 //! Everything is dependency-free: timing uses the repeat-and-min harness
 //! in [`timing`], and reports serialize through its minimal JSON writer.

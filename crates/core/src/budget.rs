@@ -1,0 +1,120 @@
+//! Work budgets for adaptive mid-query re-planning.
+//!
+//! The cost-based planner (see [`crate::plan`] and [`crate::cost`])
+//! attaches a [`WorkBudget`] to the operators of each cut component it
+//! planned: a shared counter sized at `estimated cost × replan factor`.
+//! Operators charge the budget as they touch elements; when the charge
+//! exceeds the limit the budget *trips*, the operators stop producing,
+//! and the engine discards the partial result and re-enters the
+//! component with the runner-up strategy — the adaptive half of the
+//! optimizer the paper defers to future work (Section 5).
+//!
+//! Trip-or-not is deterministic: the total work a strategy performs on a
+//! document is fixed, so the budget trips exactly when that total
+//! exceeds the limit, independent of thread interleaving. (Parallel
+//! workers may *observe* the trip at different points, but only the
+//! latched outcome matters — partial results are discarded either way.)
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Budgets are never sized below this floor, so tiny estimates on small
+/// documents cannot trip a component that finishes in microseconds
+/// anyway.
+pub const MIN_REPLAN_BUDGET: u64 = 10_000;
+
+/// A shared, trip-latching work counter.
+#[derive(Debug)]
+pub struct WorkBudget {
+    limit: u64,
+    spent: AtomicU64,
+    /// Once false, [`WorkBudget::spend`] always succeeds (the runner-up
+    /// run after a trip must not itself be interrupted).
+    armed: AtomicBool,
+    tripped: AtomicBool,
+}
+
+impl WorkBudget {
+    /// A budget that trips once more than `limit` units are spent.
+    pub fn new(limit: u64) -> WorkBudget {
+        WorkBudget {
+            limit: limit.max(MIN_REPLAN_BUDGET),
+            spent: AtomicU64::new(0),
+            armed: AtomicBool::new(true),
+            tripped: AtomicBool::new(false),
+        }
+    }
+
+    /// Charge `units` of work. Returns `false` once the budget has
+    /// tripped (the caller should stop producing); always `true` after
+    /// [`WorkBudget::disarm`].
+    pub fn spend(&self, units: u64) -> bool {
+        if !self.armed.load(Ordering::Relaxed) {
+            return true;
+        }
+        if self.tripped.load(Ordering::Relaxed) {
+            return false;
+        }
+        let total = self.spent.fetch_add(units, Ordering::Relaxed) + units;
+        if total > self.limit {
+            self.tripped.store(true, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+
+    /// Did the budget ever trip? Latched: stays `true` across
+    /// [`WorkBudget::disarm`], so the engine can tell a re-planned
+    /// component from a clean one after the fact.
+    pub fn tripped(&self) -> bool {
+        self.tripped.load(Ordering::Relaxed)
+    }
+
+    /// Units charged so far.
+    pub fn spent(&self) -> u64 {
+        self.spent.load(Ordering::Relaxed)
+    }
+
+    /// The configured limit.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Stop metering: every subsequent [`WorkBudget::spend`] succeeds.
+    /// Called before the runner-up re-run.
+    pub fn disarm(&self) {
+        self.armed.store(false, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spends_until_the_limit_then_trips() {
+        let b = WorkBudget::new(MIN_REPLAN_BUDGET);
+        assert!(b.spend(MIN_REPLAN_BUDGET));
+        assert!(!b.tripped());
+        assert!(!b.spend(1));
+        assert!(b.tripped());
+        // Latched: further spends keep failing while armed.
+        assert!(!b.spend(1));
+    }
+
+    #[test]
+    fn limit_has_a_floor() {
+        let b = WorkBudget::new(3);
+        assert_eq!(b.limit(), MIN_REPLAN_BUDGET);
+        assert!(b.spend(100));
+    }
+
+    #[test]
+    fn disarm_unblocks_but_keeps_the_trip_latched() {
+        let b = WorkBudget::new(10);
+        b.spend(MIN_REPLAN_BUDGET + 1);
+        assert!(!b.spend(1));
+        b.disarm();
+        assert!(b.spend(1_000_000));
+        assert!(b.tripped(), "the trip record survives disarming");
+    }
+}

@@ -216,6 +216,21 @@ impl Decomposition {
             .iter()
             .all(|e| e.axis == Axis::Descendant && e.mode == EdgeMode::Mandatory)
     }
+
+    /// Component id per NoK: NoK `roots[i].0` and everything reachable
+    /// from it through cut edges belongs to component `i`. Cut edges are
+    /// in discovery order, so every parent's component is resolved
+    /// before its children's.
+    pub fn components(&self) -> Vec<usize> {
+        let mut comp_of = vec![usize::MAX; self.noks.len()];
+        for (ci, &(nok, _)) in self.roots.iter().enumerate() {
+            comp_of[nok] = ci;
+        }
+        for cut in &self.cut_edges {
+            comp_of[cut.child_nok] = comp_of[cut.parent_nok];
+        }
+        comp_of
+    }
 }
 
 #[cfg(test)]
@@ -363,6 +378,23 @@ mod tests {
             .filter(|s| s.is_some())
             .count();
         assert_eq!(total_shape_positions, 3);
+    }
+
+    #[test]
+    fn components_partition_noks_by_root() {
+        let d = decompose_flwor(
+            "for $a in //x//y, $b in //z return <p>{$a}{$b}</p>",
+        );
+        let comp = d.components();
+        assert_eq!(d.roots.len(), 2);
+        assert_eq!(comp.len(), d.noks.len());
+        assert_eq!(comp[d.roots[0].0], 0);
+        assert_eq!(comp[d.roots[1].0], 1);
+        // Cut children inherit their parent's component.
+        for cut in &d.cut_edges {
+            assert_eq!(comp[cut.parent_nok], comp[cut.child_nok]);
+        }
+        assert!(comp.iter().all(|&c| c != usize::MAX));
     }
 
     #[test]

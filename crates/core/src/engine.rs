@@ -12,6 +12,7 @@
 //!   into NoKs, match NoKs, reassemble with structural joins, apply
 //!   crossing-edge joins, extract tuples, construct results.
 
+use crate::budget::WorkBudget;
 use crate::decompose::{CutEdge, Decomposition};
 use crate::env::{self, EnvError, Tuple};
 use crate::exec::Executor;
@@ -21,9 +22,11 @@ use crate::join::twigstack::{TwigError, TwigMatcher};
 use crate::navigational;
 use crate::nestedlist::NestedList;
 use crate::nok::NokMatcher;
-use crate::obs::{Meter, OpCounters, PhaseTimings, PlanDecision, QueryTrace, TraceSink};
+use crate::obs::{
+    EstimateRecord, Meter, OpCounters, PhaseTimings, PlanDecision, QueryTrace, TraceSink,
+};
 use crate::ops::{self, CrossPred};
-use crate::plan::{self, Plan, Strategy};
+use crate::plan::{self, ComponentPlan, Plan, Strategy};
 use crate::shape::ShapeId;
 use blossom_flwor::{BlossomError, BlossomTree, BoolExpr, Comparison, Expr, Flwor, ValueOperand};
 use blossom_xml::fxhash::FxHashSet;
@@ -94,17 +97,24 @@ impl From<EnvError> for EngineError {
 /// A naive-evaluator variable environment: bindings in scope order.
 type NaiveEnv = Vec<(String, Vec<NodeId>)>;
 
-/// A compiled path query: its BlossomTree and decomposition, cached per
-/// query text so repeated evaluations skip parsing and planning.
+/// A compiled path query: its BlossomTree, decomposition and cost-based
+/// plan, cached per `(document identity, query text)` so repeated
+/// evaluations skip parsing, planning *and* costing.
 ///
-/// A plan depends only on the query text — never on the document — so one
-/// cache can safely serve engines over different documents (the strategy
-/// choice, which *does* read document statistics, happens at evaluation
-/// time against the evaluating engine's own stats).
+/// The parse and decomposition depend only on the query text, but the
+/// cost-based plan prices the decomposition against one document's
+/// statistics — so entries are keyed by [`Document::uid`] as well (see
+/// [`Engine::plan_key`]), and one shared cache still safely serves
+/// engines over different documents.
 struct CachedPlan {
     path: PathExpr,
     bt: BlossomTree,
     decomposition: Decomposition,
+    /// The resolved `Auto` plan under the cost-based planner, priced
+    /// against the statistics of the document this entry is keyed by.
+    /// Engines running with [`EngineOptions::cost_based_planner`] off
+    /// ignore it and re-derive the structural choice instead.
+    cost_plan: Plan,
 }
 
 /// Tuning knobs for an [`Engine`].
@@ -138,6 +148,19 @@ pub struct EngineOptions {
     /// *not* capability errors: `Auto` does not fall back to another
     /// strategy on one — the request is over.
     pub deadline: Option<Instant>,
+    /// Resolve `Auto` with the selectivity-driven cost model
+    /// ([`crate::cost`]): per-component strategy choices, overriding the
+    /// structural rules only on a decisive estimated gap. `false` falls
+    /// back to the v1 structural rules alone. Results are byte-identical
+    /// either way — only the physical plan changes.
+    pub cost_based_planner: bool,
+    /// Adaptive re-planning head-room: a component may spend up to
+    /// `estimated cost × replan_factor` work units before the engine
+    /// aborts it and re-enters with the runner-up strategy (recorded as a
+    /// fallback event). `0` disables mid-query re-planning. Only
+    /// meaningful with [`EngineOptions::cost_based_planner`]; results are
+    /// byte-identical at any value.
+    pub replan_factor: u32,
 }
 
 impl Default for EngineOptions {
@@ -148,6 +171,8 @@ impl Default for EngineOptions {
             skip_joins: true,
             trace: false,
             deadline: None,
+            cost_based_planner: true,
+            replan_factor: 4,
         }
     }
 }
@@ -287,6 +312,10 @@ pub struct Engine {
     /// [`EngineOptions::deadline`], checked cooperatively by
     /// [`Engine::check_deadline`].
     deadline: Option<Instant>,
+    /// [`EngineOptions::cost_based_planner`].
+    cost_based: bool,
+    /// [`EngineOptions::replan_factor`].
+    replan_factor: u32,
 }
 
 impl Engine {
@@ -333,6 +362,8 @@ impl Engine {
             obs: TraceSink::new(),
             trace: options.trace,
             deadline: options.deadline,
+            cost_based: options.cost_based_planner,
+            replan_factor: options.replan_factor,
         }
     }
 
@@ -386,6 +417,36 @@ impl Engine {
         }
     }
 
+    /// Plan-cache key: document identity plus query text. Cached entries
+    /// carry a cost-based plan priced against one document's statistics,
+    /// so entries from engines over *other* documents must never alias.
+    fn plan_key(&self, query: &str) -> String {
+        format!("{}#{query}", self.doc.uid())
+    }
+
+    /// Resolve `Auto` for a path decomposition under this engine's
+    /// planner mode: the cost model when [`EngineOptions::cost_based_planner`]
+    /// is on, the v1 structural rules otherwise.
+    fn choose_plan(&self, path: &PathExpr, d: &Decomposition) -> Plan {
+        if self.cost_based {
+            plan::choose(path, d, &self.stats)
+        } else {
+            plan::choose_static(path, d, &self.stats)
+        }
+    }
+
+    /// A fresh work budget for a run whose cost the planner estimated at
+    /// `est_cost`, or `None` when adaptive re-planning is off.
+    fn make_budget(&self, est_cost: u64) -> Option<Arc<WorkBudget>> {
+        if self.cost_based && self.replan_factor > 0 && est_cost > 0 {
+            Some(Arc::new(WorkBudget::new(
+                est_cost.saturating_mul(self.replan_factor as u64),
+            )))
+        } else {
+            None
+        }
+    }
+
     /// Navigational evaluation with counters recorded when tracing.
     fn eval_nav(&self, path: &PathExpr) -> Vec<NodeId> {
         match self.sink() {
@@ -421,19 +482,19 @@ impl Engine {
         &self.stats
     }
 
-    /// The plan `Auto` resolves to for a path query.
+    /// The plan `Auto` resolves to for a path query (under this engine's
+    /// planner mode — cost-based or structural).
     pub fn explain_path(&self, query: &str) -> Result<Plan, EngineError> {
         let path = blossom_xpath::parse_path(query)?;
         if path.has_positional() || path.has_disjunction() {
-            return Ok(plan::choose(
+            return Ok(self.choose_plan(
                 &path,
                 &Decomposition::decompose(&BlossomTree::from_path(&strip(&path))?),
-                &self.stats,
             ));
         }
         let bt = BlossomTree::from_path(&path)?;
         let d = Decomposition::decompose(&bt);
-        Ok(plan::choose(&path, &d, &self.stats))
+        Ok(self.choose_plan(&path, &d))
     }
 
     /// Evaluate a path query whose result is a *value* sequence: the
@@ -557,12 +618,21 @@ reason: {}
                 cut.parent_nok, cut.axis, cut.child_nok, cut.mode
             );
         }
-        let strategy = if !plan::query_tags_recursive(&d, &self.stats) && d.pipelinable() {
-            Strategy::Pipelined
+        let (strategy, comps, reason) = if self.cost_based {
+            plan::choose_flwor(&d, &self.stats)
         } else {
-            Strategy::BoundedNestedLoop
+            let (s, r) = plan::choose_flwor_static(&d, &self.stats);
+            (s, Vec::new(), r)
         };
+        for c in &comps {
+            let _ = writeln!(
+                out,
+                "  component {}: {} (est anchors {}, est output {}, est cost {})",
+                c.component, c.strategy, c.est_anchors, c.est_output, c.est_cost
+            );
+        }
         let _ = writeln!(out, "strategy: {strategy}");
+        let _ = writeln!(out, "reason: {reason}");
         Ok(out)
     }
 
@@ -587,10 +657,10 @@ reason: {}
         phases: &mut PhaseTimings,
     ) -> Result<Vec<NodeId>, EngineError> {
         let t = Instant::now();
-        let cached = self.plans.get(query);
+        let cached = self.plans.get(&self.plan_key(query));
         phases.cache_lookup = t.elapsed();
         if let Some(plan) = cached {
-            return self.eval_path_planned(&plan.path, &plan.bt, &plan.decomposition, strategy, phases);
+            return self.eval_path_planned(&plan, strategy, phases);
         }
         let t = Instant::now();
         let path = blossom_xpath::parse_path(query)?;
@@ -598,14 +668,15 @@ reason: {}
         self.eval_path_parsed_cached(&path, query, strategy, phases)
     }
 
-    /// Plan `path`, cache the plan under `key`, and evaluate it. Shared
-    /// miss path of [`Engine::eval_path_str_timed`] (keyed by the raw
-    /// query text) and [`Engine::eval_path_expr_cached`] (keyed by the
-    /// path's canonical rendering).
+    /// Plan `path`, cache the plan under `query` (prefixed with the
+    /// document identity, see [`Engine::plan_key`]), and evaluate it.
+    /// Shared miss path of [`Engine::eval_path_str_timed`] (keyed by the
+    /// raw query text) and [`Engine::eval_path_expr_cached`] (keyed by
+    /// the path's canonical rendering).
     fn eval_path_parsed_cached(
         &self,
         path: &PathExpr,
-        key: &str,
+        query: &str,
         strategy: Strategy,
         phases: &mut PhaseTimings,
     ) -> Result<Vec<NodeId>, EngineError> {
@@ -619,10 +690,11 @@ reason: {}
         let t = Instant::now();
         let bt = BlossomTree::from_path(path)?;
         let decomposition = Decomposition::decompose(&bt);
-        let plan = Arc::new(CachedPlan { path: path.clone(), bt, decomposition });
-        self.plans.insert(key.to_string(), plan.clone());
+        let cost_plan = plan::choose(path, &decomposition, &self.stats);
+        let plan = Arc::new(CachedPlan { path: path.clone(), bt, decomposition, cost_plan });
+        self.plans.insert(self.plan_key(query), plan.clone());
         phases.plan = t.elapsed();
-        self.eval_path_planned(&plan.path, &plan.bt, &plan.decomposition, strategy, phases)
+        self.eval_path_planned(&plan, strategy, phases)
     }
 
     /// Evaluate an already-parsed top-level path through the plan cache,
@@ -636,15 +708,9 @@ reason: {}
     ) -> Result<Vec<NodeId>, EngineError> {
         let key = path.to_string();
         let mut phases = PhaseTimings::default();
-        let cached = self.plans.get(&key);
+        let cached = self.plans.get(&self.plan_key(&key));
         if let Some(plan) = cached {
-            return self.eval_path_planned(
-                &plan.path,
-                &plan.bt,
-                &plan.decomposition,
-                strategy,
-                &mut phases,
-            );
+            return self.eval_path_planned(&plan, strategy, &mut phases);
         }
         self.eval_path_parsed_cached(path, &key, strategy, &mut phases)
     }
@@ -687,7 +753,7 @@ reason: {}
 
     /// Assemble the [`QueryTrace`] from whatever the sink collected.
     fn finish_trace(&self, query: &str, requested: Strategy, phases: PhaseTimings) -> QueryTrace {
-        let (plan, executed, fallbacks, ops) = self.obs.take();
+        let (plan, executed, fallbacks, estimates, ops) = self.obs.take();
         let plan = plan.unwrap_or_else(|| PlanDecision {
             requested,
             resolved: requested,
@@ -702,6 +768,7 @@ reason: {}
             plan_reason: plan.reason,
             twigstack_compatible: plan.twigstack_compatible,
             fallbacks,
+            estimates,
             ops,
             phases,
             cache: self.cache_stats(),
@@ -724,17 +791,26 @@ reason: {}
     /// Evaluate with a prebuilt plan.
     fn eval_path_planned(
         &self,
-        path: &PathExpr,
-        bt: &BlossomTree,
-        d: &Decomposition,
+        cached: &CachedPlan,
         strategy: Strategy,
         phases: &mut PhaseTimings,
     ) -> Result<Vec<NodeId>, EngineError> {
         self.check_deadline()?;
+        let (path, bt, d) = (&cached.path, &cached.bt, &cached.decomposition);
         let requested = strategy;
         let auto = requested == Strategy::Auto;
+        // Structural re-derivation storage for `--no-cost-planner` mode
+        // (the cached cost plan must not leak into static engines).
+        let static_plan;
+        let mut components: Option<&[ComponentPlan]> = None;
+        let mut est_cost = 0u64;
         let strategy = if auto {
-            let chosen = plan::choose(path, d, &self.stats);
+            let chosen: &Plan = if self.cost_based {
+                &cached.cost_plan
+            } else {
+                static_plan = plan::choose_static(path, d, &self.stats);
+                &static_plan
+            };
             if let Some(sink) = self.sink() {
                 sink.record_plan(PlanDecision {
                     requested,
@@ -742,6 +818,36 @@ reason: {}
                     reason: chosen.reason.clone(),
                     twigstack_compatible: Some(chosen.twigstack_compatible),
                 });
+            }
+            if self.cost_based {
+                components = Some(&chosen.components);
+                est_cost = chosen.est_cost;
+                // Whole-query strategies never reach `eval_decomposition`,
+                // which otherwise records the estimate rows (with actuals).
+                if !matches!(
+                    chosen.strategy,
+                    Strategy::Pipelined
+                        | Strategy::BoundedNestedLoop
+                        | Strategy::NaiveNestedLoop
+                ) {
+                    if let Some(sink) = self.sink() {
+                        sink.record_estimates(
+                            chosen
+                                .components
+                                .iter()
+                                .map(|c| EstimateRecord {
+                                    component: c.component,
+                                    strategy: c.strategy,
+                                    est_anchors: c.est_anchors,
+                                    est_output: c.est_output,
+                                    est_cost: c.est_cost,
+                                    actual_output: None,
+                                    replanned: false,
+                                })
+                                .collect(),
+                        );
+                    }
+                }
             }
             chosen.strategy
         } else {
@@ -758,11 +864,11 @@ reason: {}
         let t = Instant::now();
         let result = match strategy {
             Strategy::Navigational => Ok(self.eval_nav(path)),
-            Strategy::TwigStack => self.eval_path_twigstack(path),
-            Strategy::PathStack => self.eval_path_pathstack(path),
+            Strategy::TwigStack => self.eval_path_twigstack(path, self.make_budget(est_cost)),
+            Strategy::PathStack => self.eval_path_pathstack(path, self.make_budget(est_cost)),
             Strategy::Pipelined | Strategy::BoundedNestedLoop | Strategy::NaiveNestedLoop => {
                 let output = bt.returning[0];
-                self.eval_decomposition(d, strategy, None).map(|results| {
+                self.eval_decomposition(d, strategy, None, components).map(|results| {
                     let t = Instant::now();
                     let out_shape =
                         d.shape.by_pattern(output).expect("query output is returning");
@@ -809,6 +915,8 @@ reason: {}
     ) -> Result<Vec<NodeId>, EngineError> {
         let requested = strategy;
         let auto = requested == Strategy::Auto;
+        let mut cplans: Option<Vec<ComponentPlan>> = None;
+        let mut est_cost = 0u64;
         let strategy = match strategy {
             Strategy::Auto => {
                 if path.has_positional() || path.has_disjunction() {
@@ -827,7 +935,7 @@ reason: {}
                     match BlossomTree::from_path(path) {
                         Ok(bt) => {
                             let d = Decomposition::decompose(&bt);
-                            let chosen = plan::choose(path, &d, &self.stats);
+                            let chosen = self.choose_plan(path, &d);
                             if let Some(sink) = self.sink() {
                                 sink.record_plan(PlanDecision {
                                     requested,
@@ -835,6 +943,10 @@ reason: {}
                                     reason: chosen.reason.clone(),
                                     twigstack_compatible: Some(chosen.twigstack_compatible),
                                 });
+                            }
+                            if self.cost_based {
+                                est_cost = chosen.est_cost;
+                                cplans = Some(chosen.components);
                             }
                             chosen.strategy
                         }
@@ -870,13 +982,13 @@ reason: {}
         };
         let result = match strategy {
             Strategy::Navigational => Ok(self.eval_nav(path)),
-            Strategy::TwigStack => self.eval_path_twigstack(path),
-            Strategy::PathStack => self.eval_path_pathstack(path),
+            Strategy::TwigStack => self.eval_path_twigstack(path, self.make_budget(est_cost)),
+            Strategy::PathStack => self.eval_path_pathstack(path, self.make_budget(est_cost)),
             Strategy::Pipelined | Strategy::BoundedNestedLoop | Strategy::NaiveNestedLoop => {
                 BlossomTree::from_path(path).map_err(EngineError::from).and_then(|bt| {
                     let output = bt.returning[0];
                     let d = Decomposition::decompose(&bt);
-                    let results = self.eval_decomposition(&d, strategy, None)?;
+                    let results = self.eval_decomposition(&d, strategy, None, cplans.as_deref())?;
                     let out_shape = d
                         .shape
                         .by_pattern(output)
@@ -910,7 +1022,11 @@ reason: {}
         }
     }
 
-    fn eval_path_pathstack(&self, path: &PathExpr) -> Result<Vec<NodeId>, EngineError> {
+    fn eval_path_pathstack(
+        &self,
+        path: &PathExpr,
+        budget: Option<Arc<WorkBudget>>,
+    ) -> Result<Vec<NodeId>, EngineError> {
         use crate::join::pathstack::PathStackMatcher;
         let bt = BlossomTree::from_path(path)?;
         let output = bt.returning[0];
@@ -936,7 +1052,19 @@ reason: {}
             self.skip_joins,
         )?;
         m.enable_meter(self.trace);
+        m.set_budget(budget.clone());
         m.run();
+        if let Some(b) = &budget {
+            if b.tripped() {
+                // Truncated run: reject it so Auto re-enters navigationally
+                // (recorded as a fallback event), never surfacing partials.
+                return Err(EngineError::Unsupported(format!(
+                    "work budget exceeded: observed work {} > {} (estimated cost x replan factor)",
+                    b.spent(),
+                    b.limit()
+                )));
+            }
+        }
         let nodes = m.solution_nodes(output);
         if let Some(sink) = self.sink() {
             let mut c = m.counters();
@@ -946,7 +1074,11 @@ reason: {}
         Ok(nodes)
     }
 
-    fn eval_path_twigstack(&self, path: &PathExpr) -> Result<Vec<NodeId>, EngineError> {
+    fn eval_path_twigstack(
+        &self,
+        path: &PathExpr,
+        budget: Option<Arc<WorkBudget>>,
+    ) -> Result<Vec<NodeId>, EngineError> {
         let bt = BlossomTree::from_path(path)?;
         let output = bt.returning[0];
         let roots = &bt.pattern.node(blossom_xpath::PatternNodeId::ROOT).children;
@@ -971,7 +1103,19 @@ reason: {}
             self.skip_joins,
         )?;
         tm.enable_meter(self.trace);
+        tm.set_budget(budget.clone());
         tm.run();
+        if let Some(b) = &budget {
+            if b.tripped() {
+                // Same contract as PathStack: a tripped run is truncated,
+                // so reject it and let Auto's navigational fallback run.
+                return Err(EngineError::Unsupported(format!(
+                    "work budget exceeded: observed work {} > {} (estimated cost x replan factor)",
+                    b.spent(),
+                    b.limit()
+                )));
+            }
+        }
         let nodes = tm.solution_nodes(output);
         if let Some(sink) = self.sink() {
             let mut c = tm.counters();
@@ -1117,26 +1261,25 @@ reason: {}
             Err(e) => return Err(e.into()),
         };
         let d = Decomposition::decompose(&bt);
+        let mut cplans: Option<Vec<ComponentPlan>> = None;
         let strategy = match strategy {
             Strategy::Auto => {
-                let resolved = if !self.stats.recursive && d.pipelinable() {
-                    Strategy::Pipelined
+                let (resolved, comps, reason) = if self.cost_based {
+                    plan::choose_flwor(&d, &self.stats)
                 } else {
-                    Strategy::BoundedNestedLoop
+                    let (s, r) = plan::choose_flwor_static(&d, &self.stats);
+                    (s, Vec::new(), r)
                 };
                 if let Some(sink) = self.sink() {
-                    let reason = if resolved == Strategy::Pipelined {
-                        "non-recursive tags and a pipelinable decomposition"
-                    } else {
-                        "recursive tags or a non-pipelinable decomposition: \
-                         bounded nested loops"
-                    };
                     sink.record_plan(PlanDecision {
                         requested: Strategy::Auto,
                         resolved,
-                        reason: reason.into(),
+                        reason,
                         twigstack_compatible: Some(plan::twigstack_compatible(&d)),
                     });
+                }
+                if self.cost_based {
+                    cplans = Some(comps);
                 }
                 resolved
             }
@@ -1188,7 +1331,8 @@ reason: {}
         if let Some(sink) = self.sink() {
             sink.record_executed(strategy);
         }
-        let results = self.eval_decomposition(&d, strategy, Some(&for_positions))?;
+        let results =
+            self.eval_decomposition(&d, strategy, Some(&for_positions), cplans.as_deref())?;
         self.check_deadline()?;
         // Parallel for-clause iteration, step 1: the per-anchor
         // NestedLists are chunked across workers, each unnesting its
@@ -1265,16 +1409,38 @@ reason: {}
     /// `let`-only and their matches collapse into a single grouped
     /// NestedList before any join, so they bind a whole sequence per
     /// tuple instead of multiplying the tuple count.
+    ///
+    /// `cplans` (cost-based `Auto` resolutions only) carries one
+    /// [`ComponentPlan`] per component: each component runs its own
+    /// strategy (overriding `strategy`), under an adaptive work budget
+    /// when a runner-up exists, and its estimated-vs-actual cardinalities
+    /// are recorded as the trace's estimate rows.
     fn eval_decomposition(
         &self,
         d: &Decomposition,
         strategy: Strategy,
         for_positions: Option<&FxHashSet<ShapeId>>,
+        cplans: Option<&[ComponentPlan]>,
     ) -> Result<Vec<NestedList>, EngineError> {
+        // Component id per NoK (roots start components; cut edges attach).
+        let comp_of = d.components();
+        // Defensive: per-component dispatch needs exactly one plan per
+        // component; anything else degrades to uniform dispatch.
+        let cplans = cplans.filter(|c| c.len() == d.roots.len());
+        // Adaptive budgets: armed only where a runner-up strategy exists
+        // to re-plan to — a tripped budget always discards its (possibly
+        // truncated) component run.
+        let budgets: Vec<Option<Arc<WorkBudget>>> = (0..d.roots.len())
+            .map(|ci| match cplans.map(|c| &c[ci]) {
+                Some(cp) if cp.runner_up.is_some() => self.make_budget(cp.est_cost),
+                _ => None,
+            })
+            .collect();
         let matchers: Vec<NokMatcher<'_>> = d
             .noks
             .iter()
-            .map(|nok| {
+            .enumerate()
+            .map(|(ni, nok)| {
                 NokMatcher::with_skip(
                     &self.doc,
                     nok,
@@ -1283,19 +1449,9 @@ reason: {}
                     self.skip_joins,
                 )
                 .with_trace_sink(self.sink())
+                .with_budget(budgets[comp_of[ni]].clone())
             })
             .collect();
-
-        // Component id per NoK (roots start components; cut edges attach).
-        let mut comp_of: Vec<usize> = vec![usize::MAX; d.noks.len()];
-        for (ci, &(nok, _)) in d.roots.iter().enumerate() {
-            comp_of[nok] = ci;
-        }
-        // Cut edges are in discovery order: parents resolve first.
-        for cut in &d.cut_edges {
-            comp_of[cut.child_nok] = comp_of[cut.parent_nok];
-        }
-        debug_assert!(comp_of.iter().all(|&c| c != usize::MAX));
 
         // Evaluate each component — in parallel when there are several
         // (Example 1's two //book iterations scan concurrently).
@@ -1313,9 +1469,17 @@ reason: {}
                                 .filter(|c| comp_of[c.child_nok] == ci)
                                 .collect();
                             let matchers = &matchers;
+                            let budgets = &budgets;
                             scope.spawn(move || {
                                 self.eval_component(
-                                    d, matchers, root_nok, root_axis, &cuts, strategy,
+                                    d,
+                                    matchers,
+                                    root_nok,
+                                    root_axis,
+                                    &cuts,
+                                    strategy,
+                                    cplans.map(|c| &c[ci]),
+                                    budgets[ci].as_ref(),
                                 )
                             })
                         })
@@ -1335,15 +1499,47 @@ reason: {}
                             .iter()
                             .filter(|c| comp_of[c.child_nok] == ci)
                             .collect();
-                        self.eval_component(d, &matchers, root_nok, root_axis, &cuts, strategy)
+                        self.eval_component(
+                            d,
+                            &matchers,
+                            root_nok,
+                            root_axis,
+                            &cuts,
+                            strategy,
+                            cplans.map(|c| &c[ci]),
+                            budgets[ci].as_ref(),
+                        )
                     })
                     .collect()
             };
         let mut groups: Vec<(FxHashSet<usize>, Vec<NestedList>)> = Vec::new();
+        let mut actuals: Vec<u64> = Vec::with_capacity(d.roots.len());
         for (ci, results) in component_results.into_iter().enumerate() {
+            let results = results?;
+            actuals.push(results.len() as u64);
             let mut set = FxHashSet::default();
             set.insert(ci);
-            groups.push((set, results?));
+            groups.push((set, results));
+        }
+        // Estimated vs actual, per component (first recording wins, so
+        // inner evaluations never overwrite the top-level query's rows).
+        if let (Some(cps), Some(sink)) = (cplans, self.sink()) {
+            sink.record_estimates(
+                cps.iter()
+                    .zip(&actuals)
+                    .map(|(cp, &actual)| EstimateRecord {
+                        component: cp.component,
+                        strategy: cp.strategy,
+                        est_anchors: cp.est_anchors,
+                        est_output: cp.est_output,
+                        est_cost: cp.est_cost,
+                        actual_output: Some(actual),
+                        replanned: budgets[cp.component]
+                            .as_ref()
+                            .is_some_and(|b| b.tripped()),
+                    })
+                    .collect(),
+            );
         }
 
         // Collapse `let`-only components: a `let` binds its entire match
@@ -1439,6 +1635,15 @@ reason: {}
     /// Evaluate one component: root NoK anchors, then one structural join
     /// per cut edge (in discovery order, so parents are always joined
     /// before their children).
+    ///
+    /// With a [`ComponentPlan`] the component runs the plan's strategy
+    /// rather than the caller's; with a [`WorkBudget`] on top, a run that
+    /// trips the budget is discarded wholesale and re-entered under the
+    /// plan's runner-up strategy (the adaptive mid-query re-plan,
+    /// recorded as a fallback event). All component strategies agree on
+    /// results, so the re-planned run is byte-identical to what the
+    /// primary would have produced.
+    #[allow(clippy::too_many_arguments)]
     fn eval_component(
         &self,
         d: &Decomposition,
@@ -1447,6 +1652,8 @@ reason: {}
         root_axis: Axis,
         cuts: &[&CutEdge],
         strategy: Strategy,
+        cplan: Option<&ComponentPlan>,
+        budget: Option<&Arc<WorkBudget>>,
     ) -> Result<Vec<NestedList>, EngineError> {
         // The component root is matched relative to the document root, so
         // only `/` (depth-1 elements) and `//` (every element) admit
@@ -1455,13 +1662,11 @@ reason: {}
         if !matches!(root_axis, Axis::Child | Axis::Descendant) {
             return Ok(Vec::new());
         }
-        let level_ok = |anchor: NodeId| -> bool {
-            root_axis != Axis::Child || self.doc.level(anchor) == 1
-        };
         // Cost-based join ordering: selective children first, within the
         // topological constraint.
         let cuts = plan::order_cut_edges(d, root_nok, cuts, &self.index, &self.doc);
         let cuts = &cuts[..];
+        let strategy = cplan.map(|c| c.strategy).unwrap_or(strategy);
         // The pipelined join's discard rule assumes descendant containment;
         // `following`-joins are not order-preserving (Section 4.3), so a
         // component containing one is evaluated with nested loops instead.
@@ -1479,6 +1684,53 @@ reason: {}
             Strategy::NaiveNestedLoop
         } else {
             strategy
+        };
+        let result =
+            self.run_component_strategy(d, matchers, root_nok, root_axis, cuts, strategy)?;
+        if let (Some(b), Some(cp)) = (budget, cplan) {
+            if b.tripped() {
+                if let Some(runner_up) = cp.runner_up {
+                    // Observed work blew past the estimate: the primary
+                    // run (possibly truncated by the tripped budget) is
+                    // discarded and the component re-enters under the
+                    // runner-up, with the budget disarmed so the re-run
+                    // cannot be cut short.
+                    if let Some(sink) = self.sink() {
+                        sink.record_fallback(
+                            strategy,
+                            runner_up,
+                            format!(
+                                "re-plan: observed work {} exceeded estimated cost {} x \
+                                 replan factor {}",
+                                b.spent(),
+                                cp.est_cost,
+                                self.replan_factor
+                            ),
+                        );
+                    }
+                    b.disarm();
+                    return self.run_component_strategy(
+                        d, matchers, root_nok, root_axis, cuts, runner_up,
+                    );
+                }
+            }
+        }
+        Ok(result)
+    }
+
+    /// One component under one fixed strategy (the dispatch half of
+    /// [`Engine::eval_component`], re-entered on a mid-query re-plan).
+    fn run_component_strategy(
+        &self,
+        d: &Decomposition,
+        matchers: &[NokMatcher<'_>],
+        root_nok: usize,
+        root_axis: Axis,
+        cuts: &[&CutEdge],
+        strategy: Strategy,
+    ) -> Result<Vec<NestedList>, EngineError> {
+        let level_ok = |anchor: NodeId| -> bool {
+            root_axis != Axis::Child || self.doc.level(anchor) == 1
         };
         self.check_deadline()?;
         match strategy {
@@ -2206,9 +2458,10 @@ mod plan_cache_tests {
 
     #[test]
     fn one_shared_cache_serves_engines_over_different_documents() {
-        // Plans are document-independent: two engines over different
-        // documents share one cache, and the second engine's identical
-        // query text is a hit, not a re-plan.
+        // Cached entries carry a cost-based plan priced against one
+        // document's statistics, so the cache keys on document identity:
+        // the second engine's identical query text over a *different*
+        // document is a miss (its own entry), never an aliased re-use.
         let a = Engine::from_xml("<r><a><b/></a></r>").unwrap();
         a.eval_path_str("//a/b", Strategy::Auto).unwrap();
         let cache = a.plan_cache();
@@ -2227,7 +2480,94 @@ mod plan_cache_tests {
         let nodes = b.eval_path_str("//a/b", Strategy::Auto).unwrap();
         assert_eq!(nodes.len(), 2);
         let s = cache.stats();
-        assert_eq!((s.hits, s.misses, s.len), (1, 1, 1));
+        assert_eq!((s.hits, s.misses, s.len), (0, 2, 2));
+        // Re-evaluating on either engine hits that engine's own entry.
+        a.eval_path_str("//a/b", Strategy::Auto).unwrap();
+        b.eval_path_str("//a/b", Strategy::Auto).unwrap();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.len), (2, 2, 2));
+    }
+
+    #[test]
+    fn per_document_keys_isolate_cost_plans() {
+        // Same query text, shared cache, two documents whose statistics
+        // resolve to *different* strategies: each engine must get the
+        // plan priced for its own document.
+        fn skewed(commons: usize) -> String {
+            let mut xml = String::from("<r><x><c/></x>");
+            for _ in 0..commons {
+                xml.push_str("<q><c/></q>");
+            }
+            xml.push_str("</r>");
+            xml
+        }
+        let small = Engine::with_options(
+            Document::parse_str("<r><x><c/></x></r>").unwrap(),
+            EngineOptions { trace: true, ..EngineOptions::default() },
+        );
+        let cache = small.plan_cache();
+        let (_, t) = small.eval_path_traced("//x//c", Strategy::Auto).unwrap();
+        assert_eq!(t.resolved, Strategy::Pipelined, "{}", t.plan_reason);
+
+        let doc = Document::parse_str(&skewed(999)).unwrap();
+        let index = Arc::new(TagIndex::build(&doc));
+        let stats = Arc::new(doc.stats());
+        let big = Engine::with_shared(
+            Arc::new(doc),
+            index,
+            stats,
+            cache.clone(),
+            EngineOptions { trace: true, ..EngineOptions::default() },
+        );
+        let (nodes, t) = big.eval_path_traced("//x//c", Strategy::Auto).unwrap();
+        assert_eq!(nodes.len(), 1);
+        assert_eq!(t.resolved, Strategy::BoundedNestedLoop, "{}", t.plan_reason);
+        // And the small engine still resolves from its own cached entry.
+        let (_, t) = small.eval_path_traced("//x//c", Strategy::Auto).unwrap();
+        assert_eq!(t.resolved, Strategy::Pipelined, "{}", t.plan_reason);
+        assert!(t.cache.hits >= 1);
+    }
+
+    #[test]
+    fn static_engines_ignore_the_cached_cost_plan() {
+        // A cache entry holds the cost-based resolution; an engine with
+        // the cost planner off re-derives the structural choice instead
+        // of executing the cached override.
+        fn skewed(commons: usize) -> String {
+            let mut xml = String::from("<r><x><c/></x>");
+            for _ in 0..commons {
+                xml.push_str("<q><c/></q>");
+            }
+            xml.push_str("</r>");
+            xml
+        }
+        let doc = Arc::new(Document::parse_str(&skewed(999)).unwrap());
+        let index = Arc::new(TagIndex::build(&doc));
+        let stats = Arc::new(doc.stats());
+        let cost = Engine::with_shared(
+            doc.clone(),
+            index.clone(),
+            stats.clone(),
+            Arc::new(SharedPlanCache::new(8)),
+            EngineOptions { trace: true, ..EngineOptions::default() },
+        );
+        let cache = cost.plan_cache();
+        let (_, t) = cost.eval_path_traced("//x//c", Strategy::Auto).unwrap();
+        assert_eq!(t.resolved, Strategy::BoundedNestedLoop, "{}", t.plan_reason);
+        let fixed = Engine::with_shared(
+            doc,
+            index,
+            stats,
+            cache,
+            EngineOptions {
+                trace: true,
+                cost_based_planner: false,
+                ..EngineOptions::default()
+            },
+        );
+        // Same document, same cache entry — structural rules prevail.
+        let (_, t) = fixed.eval_path_traced("//x//c", Strategy::Auto).unwrap();
+        assert_eq!(t.resolved, Strategy::Pipelined, "{}", t.plan_reason);
     }
 }
 
@@ -2388,6 +2728,110 @@ mod sort_order_tests {
             assert_eq!(
                 writer::to_string(&out),
                 "<result><t>z</t><t>m</t><t>a</t></result>",
+                "strategy {strategy}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod replan_tests {
+    use super::*;
+
+    /// A document engineered to make the estimator underestimate: 33
+    /// decoy tags outrank `x` in the frequent-tag set, so the `(x, c)`
+    /// containment pair is untracked and priced by independence — tiny —
+    /// while in reality every `c` lives under an `x`. The bounded
+    /// nested-loop probe the planner picks then touches ~15k elements
+    /// against an estimate of a few hundred, tripping the work budget
+    /// (whose floor is 10k units).
+    fn underestimated_doc() -> String {
+        let mut xml = String::from("<r>");
+        for d in 0..33 {
+            for _ in 0..6 {
+                xml.push_str(&format!("<d{d}/>"));
+            }
+        }
+        for _ in 0..5 {
+            xml.push_str("<x>");
+            for _ in 0..3000 {
+                xml.push_str("<c/>");
+            }
+            xml.push_str("</x>");
+        }
+        xml.push_str("</r>");
+        xml
+    }
+
+    #[test]
+    fn blown_estimate_triggers_a_mid_query_replan() {
+        let engine = Engine::with_options(
+            Document::parse_str(&underestimated_doc()).unwrap(),
+            EngineOptions { trace: true, ..EngineOptions::default() },
+        );
+        let (nodes, trace) = engine.eval_path_traced("//x//c", Strategy::Auto).unwrap();
+        assert_eq!(nodes.len(), 15000);
+        let replans: Vec<_> = trace
+            .fallbacks
+            .iter()
+            .filter(|f| f.reason.contains("re-plan"))
+            .collect();
+        assert_eq!(replans.len(), 1, "fallbacks: {:?}", trace.fallbacks);
+        assert_eq!(trace.estimates.len(), 1);
+        assert!(trace.estimates[0].replanned, "{:?}", trace.estimates);
+        assert_eq!(trace.estimates[0].actual_output, Some(5));
+        // The re-planned run's results must equal the oracle's.
+        let nav = engine.eval_path_str("//x//c", Strategy::Navigational).unwrap();
+        assert_eq!(nodes, nav);
+    }
+
+    #[test]
+    fn replan_factor_zero_disables_the_budget() {
+        let engine = Engine::with_options(
+            Document::parse_str(&underestimated_doc()).unwrap(),
+            EngineOptions { trace: true, replan_factor: 0, ..EngineOptions::default() },
+        );
+        let (nodes, trace) = engine.eval_path_traced("//x//c", Strategy::Auto).unwrap();
+        assert_eq!(nodes.len(), 15000);
+        assert!(
+            trace.fallbacks.iter().all(|f| !f.reason.contains("re-plan")),
+            "{:?}",
+            trace.fallbacks
+        );
+        assert!(!trace.estimates.is_empty());
+        assert!(!trace.estimates[0].replanned);
+    }
+
+    #[test]
+    fn flwor_traces_carry_per_component_estimates() {
+        let engine = Engine::with_options(
+            Document::parse_str("<r><x><c/></x><q/><q/></r>").unwrap(),
+            EngineOptions { trace: true, ..EngineOptions::default() },
+        );
+        let (_, trace) = engine
+            .eval_query_traced("for $a in //x//c, $b in //q return <p>{$a}</p>", Strategy::Auto)
+            .unwrap();
+        assert_eq!(trace.estimates.len(), 2, "{:?}", trace.estimates);
+        assert!(trace.estimates.iter().all(|e| e.actual_output.is_some()));
+        assert_eq!(trace.estimates[0].actual_output, Some(1));
+        assert_eq!(trace.estimates[1].actual_output, Some(2));
+    }
+
+    #[test]
+    fn all_strategies_agree_on_the_underestimated_document() {
+        let xml = underestimated_doc();
+        let auto = Engine::from_xml(&xml).unwrap();
+        let expected = auto.eval_path_str("//x//c", Strategy::Navigational).unwrap();
+        for strategy in [
+            Strategy::Auto,
+            Strategy::Pipelined,
+            Strategy::BoundedNestedLoop,
+            Strategy::NaiveNestedLoop,
+            Strategy::TwigStack,
+        ] {
+            assert_eq!(
+                auto.eval_path_str("//x//c", strategy).unwrap(),
+                expected,
                 "strategy {strategy}"
             );
         }

@@ -15,7 +15,9 @@
 //! * the physical joins: pipelined //-join, (bounded) nested loops,
 //!   TwigStack, binary structural join — [`join`],
 //! * the navigational baseline / oracle — [`navigational`],
-//! * strategy selection and the end-to-end engine — [`plan`], [`engine`],
+//! * strategy selection, the selectivity/cost estimator, adaptive work
+//!   budgets and the end-to-end engine — [`plan`], [`cost`], [`budget`],
+//!   [`engine`],
 //! * execution traces, operator counters and `EXPLAIN ANALYZE`-style
 //!   profiling — [`obs`].
 //!
@@ -27,6 +29,8 @@
 //! assert_eq!(titles.len(), 1);
 //! ```
 
+pub mod budget;
+pub mod cost;
 pub mod decompose;
 pub mod engine;
 pub mod env;
@@ -50,8 +54,10 @@ pub use exec::Executor;
 pub use nestedlist::{NestedList, NlNode};
 pub use nok::NokMatcher;
 pub use obs::{
-    FallbackEvent, Meter, OpCounters, OpTrace, PhaseTimings, PlanDecision, QueryTrace, TraceSink,
-    PROFILE_SCHEMA_VERSION,
+    EstimateRecord, FallbackEvent, Meter, OpCounters, OpTrace, PhaseTimings, PlanDecision,
+    QueryTrace, TraceSink, PROFILE_SCHEMA_VERSION,
 };
-pub use plan::{Plan, Strategy};
+pub use budget::WorkBudget;
+pub use cost::Estimator;
+pub use plan::{ComponentPlan, Plan, Strategy};
 pub use shape::{Shape, ShapeId, ShapeNode};

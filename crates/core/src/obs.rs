@@ -165,6 +165,32 @@ pub struct FallbackEvent {
     pub reason: String,
 }
 
+/// One component's estimated vs. actual cardinalities — the cost-based
+/// planner's ledger (Section 5's deferred optimizer, closed in v2).
+/// Estimates are recorded at plan time; `actual_output` is filled in by
+/// the engine when the component finishes, so `EXPLAIN ANALYZE` can show
+/// estimated-vs-actual rows and the bench harness can score the
+/// estimator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EstimateRecord {
+    /// Cut-component id (index into the decomposition's roots).
+    pub component: usize,
+    /// Strategy the planner priced this component at.
+    pub strategy: Strategy,
+    /// Estimated anchors of the component root NoK.
+    pub est_anchors: u64,
+    /// Estimated output cardinality.
+    pub est_output: u64,
+    /// Estimated cost in elements touched.
+    pub est_cost: u64,
+    /// Observed output cardinality (`None` when the component was not
+    /// executed individually, e.g. under a holistic whole-query join).
+    pub actual_output: Option<u64>,
+    /// Did the component trip its work budget and re-enter with the
+    /// runner-up strategy?
+    pub replanned: bool,
+}
+
 /// The planner's verdict for one query.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PlanDecision {
@@ -185,6 +211,7 @@ struct SinkInner {
     plan: Option<PlanDecision>,
     executed: Option<Strategy>,
     fallbacks: Vec<FallbackEvent>,
+    estimates: Vec<EstimateRecord>,
     ops: Vec<OpTrace>,
 }
 
@@ -254,17 +281,36 @@ impl TraceSink {
         }
     }
 
-    /// Drain everything recorded: `(plan, executed, fallbacks, ops)`.
-    /// Operators come out sorted by label so traces are deterministic
-    /// under component-parallel recording.
+    /// Record the cost-based planner's per-component ledger. First write
+    /// wins, like [`TraceSink::record_plan`]: estimates from paths
+    /// evaluated inside a FLWOR return clause do not overwrite the
+    /// top-level query's.
+    pub fn record_estimates(&self, estimates: Vec<EstimateRecord>) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.estimates.is_empty() {
+            inner.estimates = estimates;
+        }
+    }
+
+    /// Drain everything recorded:
+    /// `(plan, executed, fallbacks, estimates, ops)`. Operators come out
+    /// sorted by label so traces are deterministic under
+    /// component-parallel recording.
+    #[allow(clippy::type_complexity)]
     pub fn take(
         &self,
-    ) -> (Option<PlanDecision>, Option<Strategy>, Vec<FallbackEvent>, Vec<OpTrace>) {
+    ) -> (
+        Option<PlanDecision>,
+        Option<Strategy>,
+        Vec<FallbackEvent>,
+        Vec<EstimateRecord>,
+        Vec<OpTrace>,
+    ) {
         let mut inner = self.inner.lock().unwrap();
         let inner = std::mem::take(&mut *inner);
         let mut ops = inner.ops;
         ops.sort_by(|a, b| a.op.cmp(&b.op));
-        (inner.plan, inner.executed, inner.fallbacks, ops)
+        (inner.plan, inner.executed, inner.fallbacks, inner.estimates, ops)
     }
 }
 
@@ -308,6 +354,9 @@ pub struct QueryTrace {
     pub twigstack_compatible: Option<bool>,
     /// Every strategy deviation, in occurrence order.
     pub fallbacks: Vec<FallbackEvent>,
+    /// The cost-based planner's per-component estimated-vs-actual
+    /// ledger (empty under the static planner or explicit strategies).
+    pub estimates: Vec<EstimateRecord>,
     /// Per-operator merged counters, sorted by label.
     pub ops: Vec<OpTrace>,
     /// Per-phase wall-clock timings.
@@ -350,6 +399,24 @@ impl QueryTrace {
         }
         for f in &self.fallbacks {
             let _ = writeln!(out, "  fallback: {} -> {} ({})", f.from, f.to, f.reason);
+        }
+        for e in &self.estimates {
+            let actual = match e.actual_output {
+                Some(a) => a.to_string(),
+                None => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  component {}: {} est-anchors={} est-output={} actual-output={} \
+                 est-cost={}{}",
+                e.component,
+                e.strategy,
+                e.est_anchors,
+                e.est_output,
+                actual,
+                e.est_cost,
+                if e.replanned { " (re-planned)" } else { "" },
+            );
         }
         if self.ops.is_empty() {
             let _ = writeln!(out, "operators: (none recorded)");
@@ -435,6 +502,29 @@ impl QueryTrace {
             );
         }
         out.push_str(if self.fallbacks.is_empty() { "],\n" } else { "\n  ],\n" });
+        out.push_str("  \"estimates\": [");
+        for (i, e) in self.estimates.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"component\": {}, \"strategy\": {}, \"est_anchors\": {}, \
+                 \"est_output\": {}, \"est_cost\": {}, \"actual_output\": {}, \
+                 \"replanned\": {}}}",
+                e.component,
+                json_str(&e.strategy.to_string()),
+                e.est_anchors,
+                e.est_output,
+                e.est_cost,
+                match e.actual_output {
+                    Some(a) => a.to_string(),
+                    None => "null".to_string(),
+                },
+                e.replanned,
+            );
+        }
+        out.push_str(if self.estimates.is_empty() { "],\n" } else { "\n  ],\n" });
         out.push_str("  \"operators\": [");
         for (i, op) in self.ops.iter().enumerate() {
             if i > 0 {
@@ -545,7 +635,7 @@ mod tests {
         sink.record_op("b-op", OpCounters { scanned: 1, ..Default::default() });
         sink.record_op("a-op", OpCounters { output: 2, ..Default::default() });
         sink.record_op("b-op", OpCounters { scanned: 4, ..Default::default() });
-        let (_, _, _, ops) = sink.take();
+        let (_, _, _, _, ops) = sink.take();
         assert_eq!(ops.len(), 2);
         assert_eq!(ops[0].op, "a-op");
         assert_eq!(ops[1].op, "b-op");
@@ -569,7 +659,7 @@ mod tests {
         });
         sink.record_executed(Strategy::Pipelined);
         sink.record_executed(Strategy::Navigational);
-        let (plan, executed, _, _) = sink.take();
+        let (plan, executed, _, _, _) = sink.take();
         assert_eq!(plan.unwrap().reason, "outer");
         assert_eq!(executed, Some(Strategy::Pipelined));
     }
@@ -584,7 +674,7 @@ mod tests {
                 });
             }
         });
-        let (_, _, _, ops) = sink.take();
+        let (_, _, _, _, ops) = sink.take();
         assert_eq!(ops[0].counters.scanned, 4);
     }
 
@@ -600,6 +690,15 @@ mod tests {
                 from: Strategy::TwigStack,
                 to: Strategy::Navigational,
                 reason: "wildcard node tests are not supported by TwigStack".into(),
+            }],
+            estimates: vec![EstimateRecord {
+                component: 0,
+                strategy: Strategy::Pipelined,
+                est_anchors: 3,
+                est_output: 2,
+                est_cost: 9,
+                actual_output: Some(2),
+                replanned: false,
             }],
             ops: vec![OpTrace {
                 op: "navigational".into(),
@@ -625,6 +724,7 @@ mod tests {
             "strategy: twigstack (requested: auto; executed: navigational)",
             "twigstack-compatible: true",
             "fallback: twigstack -> navigational",
+            "component 0: pipelined est-anchors=3 est-output=2 actual-output=2 est-cost=9",
             "navigational",
             "scanned=7",
             "totals",
@@ -649,6 +749,12 @@ mod tests {
             "\"reason\"",
             "\"twigstack_compatible\"",
             "\"fallbacks\"",
+            "\"estimates\"",
+            "\"est_anchors\": 3",
+            "\"est_output\": 2",
+            "\"est_cost\": 9",
+            "\"actual_output\": 2",
+            "\"replanned\": false",
             "\"operators\"",
             "\"totals\"",
             "\"scanned\"",

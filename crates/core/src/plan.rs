@@ -3,14 +3,26 @@
 //! The paper leaves the full cost-based optimizer to future work but
 //! names the decision inputs (Section 5): whether the document is
 //! recursive, whether tag-name indexes exist, and whether the plan's
-//! joins are order-preserving. [`choose`] encodes exactly those rules:
+//! joins are order-preserving. [`choose_static`] encodes exactly those
+//! rules:
 //!
 //! * constructs outside the pattern algebra → navigational;
 //! * non-recursive documents with only mandatory `//` cuts → pipelined
 //!   (order-preserving by Theorem 2, no materialization);
 //! * recursive documents → TwigStack when every pattern node has a tag
 //!   stream, otherwise bounded nested loop.
+//!
+//! [`choose`] is the v2 cost-based planner layered on top: it prices
+//! every cut component independently with the [`crate::cost`] estimator
+//! (so different components of one query can run different strategies),
+//! and overrides the structural rule only when an alternative prices at
+//! least [`OVERRIDE_MARGIN`]× cheaper — estimates on small documents are
+//! noisy, and within the margin the structural rules are already right.
+//! Each [`ComponentPlan`] also names a runner-up strategy; the engine
+//! re-enters a component with it when observed work blows past the
+//! estimate mid-query (see [`crate::budget`]).
 
+use crate::cost::Estimator;
 use crate::decompose::{CutEdge, Decomposition};
 use blossom_xml::{Axis, DocStats, Document, TagIndex};
 use blossom_xpath::ast::NodeTest;
@@ -74,6 +86,44 @@ impl std::str::FromStr for Strategy {
     }
 }
 
+/// A cost-based alternative must price at least this factor below the
+/// structural rule's choice to override it: estimates carry model error
+/// (independence assumptions, untracked tag pairs), and inside the
+/// margin the structural rules are already the right call.
+pub const OVERRIDE_MARGIN: u64 = 2;
+
+/// Whole-query overrides compare *weighted* costs (element counts ×
+/// per-operator constants, [`crate::cost::weights`]); the challenger
+/// must price at least 20% below the structural pick
+/// (`challenger × NUM < static × DEN`) …
+pub const OVERRIDE_NUM: u64 = 5;
+/// … see [`OVERRIDE_NUM`].
+pub const OVERRIDE_DEN: u64 = 4;
+/// … and save at least this many weighted units. On tiny documents every
+/// strategy finishes in microseconds, ratios are all noise, and the
+/// structural rules (and the tests pinning them) should stand.
+pub const MIN_OVERRIDE_GAP: u64 = 4096;
+
+/// The cost-based plan for one cut component (one entry of
+/// `Decomposition::roots` plus everything reachable through cut edges).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentPlan {
+    /// Component id (index into `Decomposition::roots`).
+    pub component: usize,
+    /// Strategy this component runs under a decomposed plan (always one
+    /// of Pipelined / BoundedNestedLoop / NaiveNestedLoop).
+    pub strategy: Strategy,
+    /// Second-cheapest legal strategy: the re-plan target when observed
+    /// work blows past the estimate.
+    pub runner_up: Option<Strategy>,
+    /// Estimated anchors of the component root NoK.
+    pub est_anchors: u64,
+    /// Estimated output cardinality of the component.
+    pub est_output: u64,
+    /// Estimated cost (elements touched) of the chosen strategy.
+    pub est_cost: u64,
+}
+
 /// A resolved plan: the chosen strategy and the reason, for `EXPLAIN`
 /// output.
 #[derive(Debug, Clone)]
@@ -87,6 +137,14 @@ pub struct Plan {
     /// `EXPLAIN`/trace output shows what the holistic join *could* have
     /// handled).
     pub twigstack_compatible: bool,
+    /// Per-component cost-based plans (empty for static plans and for
+    /// navigational early-outs). When [`Plan::strategy`] is a decomposed
+    /// strategy the engine dispatches each component by its entry here;
+    /// for whole-query strategies they are retained as the estimate rows
+    /// of the trace.
+    pub components: Vec<ComponentPlan>,
+    /// Estimated total cost of the chosen plan (0 = not costed).
+    pub est_cost: u64,
 }
 
 /// Can every pattern node of the decomposition feed a TwigStack stream
@@ -179,14 +237,38 @@ pub fn query_tags_recursive(d: &Decomposition, stats: &DocStats) -> bool {
     })
 }
 
-/// Resolve `Auto` for a path query.
-pub fn choose(path: &PathExpr, d: &Decomposition, stats: &DocStats) -> Plan {
+/// Is the whole decomposition a single chain (PathStack's shape): one
+/// root, at most one child per pattern node, no attribute tests, and
+/// every cut attached at the tail of its parent NoK?
+pub fn chain_shaped(d: &Decomposition) -> bool {
+    d.roots.len() == 1
+        && d.noks.iter().all(|nok| {
+            nok.pattern.ids().all(|id| nok.pattern.node(id).children.len() <= 1)
+                && nok
+                    .pattern
+                    .ids()
+                    .skip(1)
+                    .all(|id| !matches!(nok.pattern.node(id).test, NodeTest::Attribute(_)))
+        })
+        && d.cut_edges
+            .iter()
+            .all(|c| d.noks[c.parent_nok].pattern.node(c.parent_node).children.is_empty())
+        && (0..d.noks.len())
+            .all(|i| d.cut_edges.iter().filter(|c| c.parent_nok == i).count() <= 1)
+}
+
+/// Resolve `Auto` for a path query by the paper's structural rules
+/// alone (the v1 planner, kept as the baseline the cost model must beat
+/// and as the `--no-cost-planner` escape hatch).
+pub fn choose_static(path: &PathExpr, d: &Decomposition, stats: &DocStats) -> Plan {
     let ts_ok = twigstack_compatible(d);
     if path.has_positional() || path.has_disjunction() {
         return Plan {
             strategy: Strategy::Navigational,
             reason: "positional or or/not predicates are outside the pattern algebra".into(),
             twigstack_compatible: ts_ok,
+            components: Vec::new(),
+            est_cost: 0,
         };
     }
     if d.pipelinable() && !query_tags_recursive(d, stats) {
@@ -198,6 +280,8 @@ pub fn choose(path: &PathExpr, d: &Decomposition, stats: &DocStats) -> Plan {
                 d.cut_edges.len()
             ),
             twigstack_compatible: ts_ok,
+            components: Vec::new(),
+            est_cost: 0,
         };
     }
     if ts_ok {
@@ -209,14 +293,204 @@ pub fn choose(path: &PathExpr, d: &Decomposition, stats: &DocStats) -> Plan {
                 stats.max_recursion
             ),
             twigstack_compatible: true,
+            components: Vec::new(),
+            est_cost: 0,
         }
     } else {
         Plan {
             strategy: Strategy::BoundedNestedLoop,
             reason: "recursive document and pattern not expressible as tag streams".into(),
             twigstack_compatible: false,
+            components: Vec::new(),
+            est_cost: 0,
         }
     }
+}
+
+/// Pick one component's strategy from its cost table: keep `default`
+/// (the structural rule projected onto this component) unless another
+/// candidate prices ≥ [`OVERRIDE_MARGIN`]× cheaper. The runner-up is
+/// the cheapest remaining candidate — the target of a mid-query
+/// re-plan.
+fn pick_component(
+    costs: &crate::cost::ComponentCosts,
+    component: usize,
+    default: Strategy,
+) -> ComponentPlan {
+    let mut cands: Vec<(Strategy, u64)> = Vec::new();
+    if let Some(pl) = costs.pipelined {
+        cands.push((Strategy::Pipelined, pl));
+    }
+    cands.push((Strategy::BoundedNestedLoop, costs.bounded));
+    cands.push((Strategy::NaiveNestedLoop, costs.naive));
+
+    let default_cost =
+        cands.iter().find(|&&(s, _)| s == default).map(|&(_, c)| c).unwrap_or(u64::MAX);
+    let &(best, best_cost) =
+        cands.iter().min_by_key(|&&(_, c)| c).expect("at least two candidates");
+    let (strategy, est_cost) =
+        if default_cost == u64::MAX || best_cost.saturating_mul(OVERRIDE_MARGIN) < default_cost {
+            (best, best_cost)
+        } else {
+            (default, default_cost)
+        };
+    let runner_up = cands
+        .iter()
+        .filter(|&&(s, _)| s != strategy)
+        .min_by_key(|&&(_, c)| c)
+        .map(|&(s, _)| s);
+    ComponentPlan {
+        component,
+        strategy,
+        runner_up,
+        est_anchors: costs.est_anchors,
+        est_output: costs.est_output,
+        est_cost,
+    }
+}
+
+/// Per-component cost-based plans for a decomposition: each component's
+/// default is the structural preference (pipelined where legal, bounded
+/// nested loop otherwise), overridden only by a decisive cost gap.
+pub fn component_plans(d: &Decomposition, stats: &DocStats) -> Vec<ComponentPlan> {
+    let est = Estimator::new(stats);
+    let comp_of = d.components();
+    (0..d.roots.len())
+        .map(|ci| {
+            let costs = est.component_costs(d, &comp_of, ci);
+            let default = if costs.pipelined.is_some() {
+                Strategy::Pipelined
+            } else {
+                Strategy::BoundedNestedLoop
+            };
+            pick_component(&costs, ci, default)
+        })
+        .collect()
+}
+
+/// Resolve `Auto` for a path query with the v2 cost model: price every
+/// component, price the holistic whole-query alternatives, and override
+/// the structural rule only past [`OVERRIDE_MARGIN`].
+pub fn choose(path: &PathExpr, d: &Decomposition, stats: &DocStats) -> Plan {
+    let mut plan = choose_static(path, d, stats);
+    if plan.strategy == Strategy::Navigational {
+        return plan; // outside the pattern algebra: nothing to cost
+    }
+    let est = Estimator::new(stats);
+    let comp_of = d.components();
+    let costs: Vec<crate::cost::ComponentCosts> =
+        (0..d.roots.len()).map(|ci| est.component_costs(d, &comp_of, ci)).collect();
+    let comps: Vec<ComponentPlan> = costs
+        .iter()
+        .enumerate()
+        .map(|(ci, c)| {
+            let default =
+                if c.pipelined.is_some() { Strategy::Pipelined } else { Strategy::BoundedNestedLoop };
+            pick_component(c, ci, default)
+        })
+        .collect();
+    let est_output: u64 = comps.iter().map(|c| c.est_output).fold(0, u64::saturating_add);
+    let decomposed: u64 = comps.iter().map(|c| c.est_cost).fold(0, u64::saturating_add);
+    let decomposed_w: u64 = comps
+        .iter()
+        .map(|c| crate::cost::weighted(c.strategy, c.est_cost))
+        .fold(0, u64::saturating_add);
+    // Holistic stream joins additionally touch every output pair, like
+    // the pipelined estimate does.
+    let streams = plan
+        .twigstack_compatible
+        .then(|| est.streams_cost(d).saturating_add(est_output));
+    // Navigational work scales with pattern size: each step / predicate
+    // re-walks the candidate subtrees, bounded by one full traversal per
+    // pattern node.
+    let pattern_nodes: u64 = d
+        .noks
+        .iter()
+        .map(|n| n.pattern.ids().skip(1).count() as u64)
+        .fold(0, u64::saturating_add)
+        .max(1);
+    let nav = est.navigational_cost().saturating_mul(pattern_nodes);
+
+    let static_elems = match plan.strategy {
+        Strategy::Pipelined => costs
+            .iter()
+            .map(|c| c.pipelined.unwrap_or(u64::MAX))
+            .fold(0u64, u64::saturating_add),
+        Strategy::TwigStack => streams.unwrap_or(u64::MAX),
+        Strategy::BoundedNestedLoop => {
+            costs.iter().map(|c| c.bounded).fold(0, u64::saturating_add)
+        }
+        _ => u64::MAX,
+    };
+    let static_w = crate::cost::weighted(plan.strategy, static_elems);
+
+    // The challengers: per-component planning, the holistic stream
+    // joins, and the navigational walk — compared by weighted cost.
+    let dominant = comps
+        .iter()
+        .max_by_key(|c| c.est_cost)
+        .map(|c| c.strategy)
+        .unwrap_or(Strategy::BoundedNestedLoop);
+    let mut cands: Vec<(Strategy, u64, u64)> = vec![
+        (dominant, decomposed_w, decomposed),
+        (Strategy::Navigational, crate::cost::weighted(Strategy::Navigational, nav), nav),
+    ];
+    if let Some(se) = streams {
+        cands.push((Strategy::TwigStack, crate::cost::weighted(Strategy::TwigStack, se), se));
+        if chain_shaped(d) {
+            cands.push((Strategy::PathStack, crate::cost::weighted(Strategy::PathStack, se), se));
+        }
+    }
+    let challenger = cands
+        .into_iter()
+        .filter(|&(s, _, _)| s != plan.strategy)
+        .min_by_key(|&(_, w, _)| w);
+
+    if let Some((chal, chal_w, chal_elems)) = challenger {
+        if chal_w.saturating_mul(OVERRIDE_NUM) < static_w.saturating_mul(OVERRIDE_DEN)
+            && static_w.saturating_sub(chal_w) >= MIN_OVERRIDE_GAP
+        {
+            plan.reason = format!(
+                "cost-based override: {} estimated at {} weighted units vs {} at {}",
+                chal, chal_w, plan.strategy, static_w
+            );
+            plan.strategy = chal;
+            plan.est_cost = chal_elems;
+            plan.components = comps;
+            return plan;
+        }
+    }
+    plan.est_cost = if static_elems == u64::MAX { decomposed } else { static_elems };
+    plan.reason = format!("{} (estimated {} elements)", plan.reason, plan.est_cost);
+    plan.components = comps;
+    plan
+}
+
+/// Resolve `Auto` for a FLWOR decomposition by the v1 structural rule:
+/// pipelined only when the whole document is recursion-free and every
+/// cut is a mandatory `//`-join.
+pub fn choose_flwor_static(d: &Decomposition, stats: &DocStats) -> (Strategy, String) {
+    if !stats.recursive && d.pipelinable() {
+        (Strategy::Pipelined, "non-recursive document, mandatory //-cuts only".to_string())
+    } else {
+        (Strategy::BoundedNestedLoop, "recursive document or non-// cut edges".to_string())
+    }
+}
+
+/// Resolve `Auto` for a FLWOR decomposition with per-component costing:
+/// the overall strategy reported is the dominant (costliest) component's.
+pub fn choose_flwor(d: &Decomposition, stats: &DocStats) -> (Strategy, Vec<ComponentPlan>, String) {
+    let comps = component_plans(d, stats);
+    let dominant = comps
+        .iter()
+        .max_by_key(|c| c.est_cost)
+        .map(|c| c.strategy)
+        .unwrap_or(Strategy::BoundedNestedLoop);
+    let detail: Vec<String> = comps
+        .iter()
+        .map(|c| format!("#{} {} (est {} elements)", c.component, c.strategy, c.est_cost))
+        .collect();
+    (dominant, comps, format!("per-component cost-based: {}", detail.join(", ")))
 }
 
 #[cfg(test)]
@@ -351,5 +625,86 @@ mod cost_tests {
         );
         assert_eq!(estimated_anchors(&d, 0, &index, &doc), 2);
         assert_eq!(estimated_anchors(&d, 1, &index, &doc), 1);
+    }
+
+    fn plan_for(xml: &str, query: &str) -> Plan {
+        let doc = Document::parse_str(xml).unwrap();
+        let path = parse_path(query).unwrap();
+        let d = Decomposition::decompose(&BlossomTree::from_path(&path).unwrap());
+        choose(&path, &d, &doc.stats())
+    }
+
+    /// One rare anchor over a sea of common descendants, where per-anchor
+    /// probing is decisively cheaper than scanning the descendant posting.
+    fn skewed_doc(commons: usize) -> String {
+        let mut xml = String::from("<r><x><c/></x>");
+        for _ in 0..commons {
+            xml.push_str("<q><c/></q>");
+        }
+        xml.push_str("</r>");
+        xml
+    }
+
+    #[test]
+    fn cost_override_picks_probe_join_for_rare_anchors() {
+        let p = plan_for(&skewed_doc(999), "//x//c");
+        assert_eq!(p.strategy, Strategy::BoundedNestedLoop, "{}", p.reason);
+        assert!(p.reason.contains("cost-based override"), "{}", p.reason);
+        assert_eq!(p.components.len(), 1);
+        assert_eq!(p.components[0].strategy, Strategy::BoundedNestedLoop);
+        assert!(p.components[0].runner_up.is_some());
+        assert!(p.est_cost < 200, "probing must price far below the scan: {}", p.est_cost);
+    }
+
+    #[test]
+    fn small_documents_keep_the_structural_choice() {
+        // Tiny doc: every strategy is cheap, so the margin keeps the
+        // structural rule (and its reason text) intact.
+        let p = plan_for("<r><a><b/></a></r>", "//a//b");
+        assert_eq!(p.strategy, Strategy::Pipelined);
+        assert!(p.reason.contains("Theorem 2"), "{}", p.reason);
+        assert_eq!(p.components.len(), 1);
+        assert!(p.est_cost > 0);
+    }
+
+    #[test]
+    fn components_carry_estimates_even_for_holistic_plans() {
+        let p = plan_for("<a><a><b/></a></a>", "//a//b");
+        assert_eq!(p.strategy, Strategy::TwigStack);
+        assert_eq!(p.components.len(), 1);
+        assert_eq!(p.components[0].est_anchors, 2);
+    }
+
+    #[test]
+    fn flwor_choose_plans_each_component() {
+        let doc = Document::parse_str(&skewed_doc(999)).unwrap();
+        let q = blossom_flwor::parse_query(
+            "for $a in //x//c, $b in //q return <p>{$a}{$b}</p>",
+        )
+        .unwrap();
+        let f = match q {
+            blossom_flwor::Expr::Flwor(f) => *f,
+            other => panic!("unexpected {other:?}"),
+        };
+        let d = Decomposition::decompose(&BlossomTree::from_flwor(&f).unwrap());
+        let (dominant, comps, reason) = choose_flwor(&d, &doc.stats());
+        assert_eq!(comps.len(), 2);
+        // The x//c component probes; the bare q component scans.
+        assert_eq!(comps[0].strategy, Strategy::BoundedNestedLoop, "{reason}");
+        assert_eq!(comps[1].strategy, Strategy::Pipelined, "{reason}");
+        // The q scan dominates the probe.
+        assert_eq!(dominant, Strategy::Pipelined);
+    }
+
+    #[test]
+    fn chain_shape_detection() {
+        let chain = Decomposition::decompose(
+            &BlossomTree::from_path(&parse_path("//a//b/c").unwrap()).unwrap(),
+        );
+        assert!(chain_shaped(&chain));
+        let branchy = Decomposition::decompose(
+            &BlossomTree::from_path(&parse_path("//a[//b]//c").unwrap()).unwrap(),
+        );
+        assert!(!chain_shaped(&branchy));
     }
 }

@@ -66,12 +66,13 @@ impl Catalog {
     /// insert it under `name`, replacing any previous entry of that name
     /// and evicting least-recently-used entries over the byte cap.
     pub fn load_bytes(&self, name: &str, bytes: &[u8]) -> Result<Arc<DocEntry>, String> {
-        let doc = load::document_from_bytes(bytes, name)?;
+        // Snapshots with an embedded stats section skip the analysis
+        // passes; XML text computes stats here, once, for all requests.
+        let (doc, stats) = load::document_and_stats_from_bytes(bytes, name)?;
         let index = TagIndex::build(&doc);
-        let stats = doc.stats();
         let entry = Arc::new(DocEntry {
             name: name.to_string(),
-            bytes: doc.approx_heap_bytes() + index.approx_heap_bytes(),
+            bytes: doc.approx_heap_bytes() + index.approx_heap_bytes() + stats.approx_heap_bytes(),
             doc: Arc::new(doc),
             index: Arc::new(index),
             stats: Arc::new(stats),

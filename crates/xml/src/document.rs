@@ -109,7 +109,12 @@ pub struct Document {
     /// Sparse attribute storage: element id -> attributes in document order.
     attrs: FxHashMap<u32, Vec<(Sym, Box<str>)>>,
     symbols: SymbolTable,
+    /// Process-unique identity (see [`Document::uid`]).
+    uid: u64,
 }
+
+/// Monotone source of [`Document::uid`] values.
+static NEXT_DOC_UID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 impl fmt::Debug for Document {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -144,6 +149,14 @@ impl Document {
     /// Total number of nodes, including the virtual document node.
     pub fn len(&self) -> usize {
         self.kind_sym.len()
+    }
+
+    /// Process-unique document identity. Two `Document` values never share
+    /// a uid, even when parsed from identical bytes — anything derived from
+    /// per-document state (statistics, cost-based plans) can key on it
+    /// without risking cross-document aliasing.
+    pub fn uid(&self) -> u64 {
+        self.uid
     }
 
     /// Always false: a document has at least its virtual document node.
@@ -589,6 +602,7 @@ impl TreeBuilder {
             texts: self.texts,
             attrs: self.attrs,
             symbols: self.symbols,
+            uid: NEXT_DOC_UID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         }
     }
 }

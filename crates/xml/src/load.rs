@@ -9,6 +9,7 @@
 //! catalog from snapshots far faster than from the source XML.
 
 use crate::document::Document;
+use crate::stats::DocStats;
 use crate::succinct;
 
 /// Build a document from raw file bytes: `.blsm` snapshots are decoded,
@@ -23,10 +24,36 @@ pub fn document_from_bytes(bytes: &[u8], origin: &str) -> Result<Document, Strin
     Document::parse_str(text).map_err(|e| format!("{origin}: {e}"))
 }
 
+/// [`document_from_bytes`] plus statistics: snapshots carrying an
+/// embedded stats section (see [`succinct::decode_with_stats`]) skip the
+/// analysis passes entirely; XML text and pre-stats snapshots fall back
+/// to computing them. The server catalog and the cost-based planner both
+/// load through this path.
+pub fn document_and_stats_from_bytes(
+    bytes: &[u8],
+    origin: &str,
+) -> Result<(Document, DocStats), String> {
+    if bytes.starts_with(b"BLM1") {
+        let (doc, stats) =
+            succinct::decode_with_stats(bytes).map_err(|e| format!("{origin}: {e}"))?;
+        let stats = stats.unwrap_or_else(|| doc.stats());
+        return Ok((doc, stats));
+    }
+    let doc = document_from_bytes(bytes, origin)?;
+    let stats = doc.stats();
+    Ok((doc, stats))
+}
+
 /// [`document_from_bytes`] over a file path.
 pub fn document_from_path(path: &str) -> Result<Document, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
     document_from_bytes(&bytes, path)
+}
+
+/// [`document_and_stats_from_bytes`] over a file path.
+pub fn document_and_stats_from_path(path: &str) -> Result<(Document, DocStats), String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    document_and_stats_from_bytes(&bytes, path)
 }
 
 #[cfg(test)]
@@ -45,6 +72,16 @@ mod tests {
         let snap = succinct::encode(&doc);
         let back = document_from_bytes(&snap, "snap").unwrap();
         assert_eq!(crate::writer::to_string(&back), crate::writer::to_string(&doc));
+    }
+
+    #[test]
+    fn stats_come_embedded_or_computed() {
+        let doc = Document::parse_str("<r><a>x</a><a/></r>").unwrap();
+        let snap = succinct::encode(&doc);
+        let (_, from_snap) = document_and_stats_from_bytes(&snap, "snap").unwrap();
+        let (_, from_xml) = document_and_stats_from_bytes(b"<r><a>x</a><a/></r>", "xml").unwrap();
+        assert_eq!(from_snap, doc.stats());
+        assert_eq!(from_xml, doc.stats());
     }
 
     #[test]

@@ -16,8 +16,16 @@
 //!
 //! and [`decode`] reconstructs an equivalent `Document`. Round-tripping
 //! is exact for the element/text/attribute data model.
+//!
+//! Since the cost-based planner, [`encode`] appends an optional fifth
+//! section carrying the document's [`DocStats`] (tag counts, recursion
+//! degrees, containment histograms), so a catalog repopulating from
+//! snapshots skips re-analysis. Old decoders never read past the fourth
+//! section, and [`decode_with_stats`] treats a missing fifth section as
+//! "recompute" — the format stays compatible in both directions.
 
 use crate::document::{Document, NodeId, NodeKind, ParseOptions, TreeBuilder};
+use crate::stats::{Containment, DocStats, FANOUT_BUCKETS};
 use std::fmt;
 
 const MAGIC: &[u8; 4] = b"BLM1";
@@ -52,6 +60,8 @@ pub struct SectionSizes {
     pub tags: usize,
     /// Text + attribute content bytes.
     pub content: usize,
+    /// Embedded statistics bytes (0 for pre-stats snapshots).
+    pub stats: usize,
 }
 
 impl SectionSizes {
@@ -61,10 +71,10 @@ impl SectionSizes {
         self.skeleton + self.tags
     }
 
-    /// Total payload bytes (excluding the four varint section-length
+    /// Total payload bytes (excluding the varint section-length
     /// prefixes, 1–5 bytes each).
     pub fn total(&self) -> usize {
-        MAGIC.len() + self.symbols + self.skeleton + self.tags + self.content
+        MAGIC.len() + self.symbols + self.skeleton + self.tags + self.content + self.stats
     }
 }
 
@@ -163,8 +173,16 @@ impl BitReader<'_> {
     }
 }
 
-/// Serialize a document into the succinct format.
+/// Serialize a document into the succinct format, computing and
+/// embedding its statistics. See [`encode_with_stats`] to reuse stats
+/// the caller already has.
 pub fn encode(doc: &Document) -> Vec<u8> {
+    encode_with_stats(doc, &doc.stats())
+}
+
+/// Serialize a document into the succinct format with caller-provided
+/// statistics embedded as the fifth section.
+pub fn encode_with_stats(doc: &Document, stats: &DocStats) -> Vec<u8> {
     let mut skeleton = BitWriter::default();
     let mut tags: Vec<u8> = Vec::new();
     let mut content: Vec<u8> = Vec::new();
@@ -224,7 +242,117 @@ pub fn encode(doc: &Document) -> Vec<u8> {
     push_bytes(&mut out, &skeleton);
     push_bytes(&mut out, &tags);
     push_bytes(&mut out, &content);
+    push_bytes(&mut out, &encode_stats_section(stats));
     out
+}
+
+/// Version tag of the stats section layout.
+const STATS_SECTION_VERSION: u64 = 1;
+
+/// Serialize [`DocStats`] into the fifth snapshot section. Map entries
+/// are written in sorted key order so identical stats produce identical
+/// bytes.
+fn encode_stats_section(stats: &DocStats) -> Vec<u8> {
+    let mut out = Vec::new();
+    push_varint(&mut out, STATS_SECTION_VERSION);
+    push_varint(&mut out, stats.element_count as u64);
+    push_varint(&mut out, stats.text_count as u64);
+    push_varint(&mut out, stats.max_depth as u64);
+    push_varint(&mut out, stats.max_recursion as u64);
+    push_varint(&mut out, stats.text_bytes as u64);
+    push_varint(&mut out, stats.avg_depth.to_bits());
+
+    let mut recursive: Vec<(&String, &u16)> = stats.recursive_tags.iter().collect();
+    recursive.sort();
+    push_varint(&mut out, recursive.len() as u64);
+    for (name, degree) in recursive {
+        push_bytes(&mut out, name.as_bytes());
+        push_varint(&mut out, *degree as u64);
+    }
+
+    let mut counts: Vec<(&String, &u32)> = stats.tag_counts.iter().collect();
+    counts.sort();
+    push_varint(&mut out, counts.len() as u64);
+    for (name, count) in counts {
+        push_bytes(&mut out, name.as_bytes());
+        push_varint(&mut out, *count as u64);
+    }
+
+    let mut pairs: Vec<(&(String, String), &Containment)> = stats.containment.iter().collect();
+    pairs.sort_by_key(|(key, _)| *key);
+    push_varint(&mut out, pairs.len() as u64);
+    for ((anc, desc), c) in pairs {
+        push_bytes(&mut out, anc.as_bytes());
+        push_bytes(&mut out, desc.as_bytes());
+        push_varint(&mut out, c.pairs);
+        push_varint(&mut out, c.ancestors as u64);
+        for b in c.fanout_log2 {
+            push_varint(&mut out, b as u64);
+        }
+    }
+    out
+}
+
+/// Deserialize the fifth snapshot section back into [`DocStats`].
+fn decode_stats_section(bytes: &[u8]) -> Result<DocStats, DecodeError> {
+    let mut pos = 0usize;
+    let version = read_varint(bytes, &mut pos)?;
+    if version != STATS_SECTION_VERSION {
+        return Err(DecodeError(format!("unknown stats section version {version}")));
+    }
+    let element_count = read_varint(bytes, &mut pos)? as usize;
+    let text_count = read_varint(bytes, &mut pos)? as usize;
+    let max_depth = read_varint(bytes, &mut pos)? as u16;
+    let max_recursion = read_varint(bytes, &mut pos)? as u16;
+    let text_bytes = read_varint(bytes, &mut pos)? as usize;
+    let avg_depth = f64::from_bits(read_varint(bytes, &mut pos)?);
+
+    let n = read_varint(bytes, &mut pos)? as usize;
+    let mut recursive_tags = crate::fxhash::FxHashMap::default();
+    for _ in 0..n {
+        let name = read_str(bytes, &mut pos)?.to_string();
+        let degree = read_varint(bytes, &mut pos)? as u16;
+        recursive_tags.insert(name, degree);
+    }
+
+    let n = read_varint(bytes, &mut pos)? as usize;
+    let mut tag_counts = crate::fxhash::FxHashMap::default();
+    for _ in 0..n {
+        let name = read_str(bytes, &mut pos)?.to_string();
+        let count = read_varint(bytes, &mut pos)? as u32;
+        tag_counts.insert(name, count);
+    }
+
+    let n = read_varint(bytes, &mut pos)? as usize;
+    let mut containment = crate::fxhash::FxHashMap::default();
+    for _ in 0..n {
+        let anc = read_str(bytes, &mut pos)?.to_string();
+        let desc = read_str(bytes, &mut pos)?.to_string();
+        let pairs = read_varint(bytes, &mut pos)?;
+        let ancestors = read_varint(bytes, &mut pos)? as u32;
+        let mut fanout_log2 = [0u32; FANOUT_BUCKETS];
+        for b in fanout_log2.iter_mut() {
+            *b = read_varint(bytes, &mut pos)? as u32;
+        }
+        containment.insert((anc, desc), Containment { pairs, ancestors, fanout_log2 });
+    }
+
+    let tag_count = tag_counts.len();
+    Ok(DocStats {
+        recursive_tags,
+        tag_counts,
+        containment,
+        node_count: element_count + text_count,
+        element_count,
+        text_count,
+        avg_depth,
+        max_depth,
+        tag_count,
+        recursive: max_recursion > 1,
+        max_recursion,
+        text_bytes,
+        structure_bytes: element_count * 4,
+    })
 }
 
 /// Section sizes of an encoded buffer (without decoding it fully).
@@ -237,11 +365,35 @@ pub fn section_sizes(bytes: &[u8]) -> Result<SectionSizes, DecodeError> {
     let skeleton = read_block(bytes, &mut pos)?.len();
     let tags = read_block(bytes, &mut pos)?.len();
     let content = read_block(bytes, &mut pos)?.len();
-    Ok(SectionSizes { symbols, skeleton, tags, content })
+    let stats =
+        if pos < bytes.len() { read_block(bytes, &mut pos)?.len() } else { 0 };
+    Ok(SectionSizes { symbols, skeleton, tags, content, stats })
 }
 
-/// Reconstruct a document from the succinct format.
+/// Reconstruct a document from the succinct format. Ignores the
+/// optional stats section (and any trailing bytes); use
+/// [`decode_with_stats`] to recover embedded statistics.
 pub fn decode(bytes: &[u8]) -> Result<Document, DecodeError> {
+    decode_inner(bytes).map(|(doc, _)| doc)
+}
+
+/// Reconstruct a document plus its embedded [`DocStats`], if the
+/// snapshot carries the optional fifth section. Snapshots written before
+/// the stats section return `None` (callers recompute); a present but
+/// corrupt stats section is an error.
+pub fn decode_with_stats(bytes: &[u8]) -> Result<(Document, Option<DocStats>), DecodeError> {
+    let (doc, mut pos) = decode_inner(bytes)?;
+    if pos >= bytes.len() {
+        return Ok((doc, None));
+    }
+    let stats_sec = read_block(bytes, &mut pos)?;
+    let stats = decode_stats_section(stats_sec)?;
+    Ok((doc, Some(stats)))
+}
+
+/// Decode the four core sections; returns the document and the byte
+/// position just past the content section.
+fn decode_inner(bytes: &[u8]) -> Result<(Document, usize), DecodeError> {
     if bytes.len() < 4 || &bytes[..4] != MAGIC {
         return Err(DecodeError("bad magic".into()));
     }
@@ -299,7 +451,7 @@ pub fn decode(bytes: &[u8]) -> Result<Document, DecodeError> {
                 if depth != 0 {
                     return Err(DecodeError("truncated skeleton".into()));
                 }
-                return Ok(builder.finish());
+                return Ok((builder.finish(), pos));
             }
             _ => unreachable!("2-bit codes"),
         }
@@ -338,8 +490,8 @@ mod tests {
         // structure is tiny compared to the text blob.
         assert!(sizes.structure() < sizes.content, "{sizes:?}");
         assert!(sizes.skeleton <= 3, "{sizes:?}");
-        // total() excludes the four section-length prefixes.
-        assert!(sizes.total() <= bytes.len() && bytes.len() <= sizes.total() + 20);
+        // total() excludes the five section-length prefixes.
+        assert!(sizes.total() <= bytes.len() && bytes.len() <= sizes.total() + 25);
     }
 
     #[test]
@@ -360,9 +512,49 @@ mod tests {
         assert!(decode(b"").is_err());
         assert!(decode(b"WRNG123").is_err());
         let doc = Document::parse_str("<a><b/></a>").unwrap();
-        let mut bytes = encode(&doc);
-        bytes.truncate(bytes.len() - 1);
-        assert!(decode(&bytes).is_err());
+        let bytes = encode(&doc);
+        // Truncating into the core sections breaks decode.
+        let sizes = section_sizes(&bytes).unwrap();
+        let mut core = bytes.clone();
+        core.truncate(bytes.len() - sizes.stats - 2);
+        assert!(decode(&core).is_err());
+        // Truncating only the trailing stats section leaves the document
+        // decodable, but stats recovery reports the corruption.
+        let mut tail = bytes.clone();
+        tail.truncate(bytes.len() - 1);
+        assert!(decode(&tail).is_ok());
+        assert!(decode_with_stats(&tail).is_err());
+    }
+
+    #[test]
+    fn stats_section_roundtrips() {
+        let doc = Document::parse_str(
+            "<bib><book><title>T</title><author>A</author></book><book/><bib><book/></bib></bib>",
+        )
+        .unwrap();
+        let (back, stats) = decode_with_stats(&encode(&doc)).unwrap();
+        let stats = stats.expect("snapshot embeds stats");
+        assert_eq!(stats, doc.stats());
+        assert_eq!(stats, back.stats());
+        let sizes = section_sizes(&encode(&doc)).unwrap();
+        assert!(sizes.stats > 0);
+    }
+
+    #[test]
+    fn pre_stats_snapshots_still_decode() {
+        // A four-section snapshot (what older writers produced) decodes
+        // with `None` stats.
+        let doc = Document::parse_str("<a><b/>x</a>").unwrap();
+        let with = encode(&doc);
+        let sizes = section_sizes(&with).unwrap();
+        let mut old = with.clone();
+        // Drop the stats block and its 1-byte length prefix (section is
+        // small here, so the varint prefix is a single byte).
+        old.truncate(with.len() - sizes.stats - 1);
+        assert_eq!(section_sizes(&old).unwrap().stats, 0);
+        let (back, stats) = decode_with_stats(&old).unwrap();
+        assert!(stats.is_none());
+        assert_eq!(writer::to_string(&back), writer::to_string(&doc));
     }
 
     #[test]

@@ -137,4 +137,57 @@ for key in blossom_profile query strategy fallbacks operators totals \
 done
 cmp target/profile-smoke-plain.out target/profile-smoke-traced.out \
     || { echo "profiling changed the query output bytes"; exit 1; }
+
+echo "== planner smoke (estimates in the profile, re-plan round-trip) =="
+# The cost-based planner's estimate records (DESIGN.md §11) must be in
+# the profile JSON: per-component strategy, estimated cardinalities and
+# the estimated-vs-actual comparison.
+for key in estimates est_anchors est_output est_cost actual_output replanned; do
+    grep -q "\"${key}\"" "${PROFILE_JSON}" \
+        || { echo "profile JSON missing estimate key: ${key}"; exit 1; }
+done
+
+# A document whose decoy tags evict the rare anchor `x` from the
+# tracked frequent-tag set: the cost model underestimates `//x//c`, the
+# adaptive work budget trips mid-query, and the engine re-plans onto
+# the runner-up strategy. The profile must show both the re-planned
+# estimate row and the recorded re-plan fallback event.
+REPLAN_DOC=target/replan-smoke.xml
+REPLAN_JSON=target/replan-profile.json
+{
+    printf '<r>'
+    for i in $(seq 0 32); do
+        for _ in $(seq 6); do printf '<d%d/>' "$i"; done
+    done
+    for _ in $(seq 5); do
+        printf '<x>'
+        for _ in $(seq 3000); do printf '<c/>'; done
+        printf '</x>'
+    done
+    printf '</r>'
+} > "${REPLAN_DOC}"
+cargo run --release -q --bin blossom -- query "${REPLAN_DOC}" '//x//c' \
+    --profile-json "${REPLAN_JSON}" > /dev/null
+grep -q '"replanned": true' "${REPLAN_JSON}" \
+    || { echo "re-plan did not fire on the underestimate document"; exit 1; }
+grep -q 're-plan' "${REPLAN_JSON}" \
+    || { echo "re-plan fallback event missing from the profile"; exit 1; }
+
+# The same case must round-trip the differential harness: its traced
+# third run only passes when the mid-query strategy switch is explained
+# by a recorded fallback event and the result stays byte-identical
+# across every engine configuration.
+REPLAN_FIXTURE_DIR=target/replan-fixture
+mkdir -p "${REPLAN_FIXTURE_DIR}"
+{
+    printf '# cost-model underestimate: decoy tags evict `x` from the tracked\n'
+    printf '# frequent-tag set, the adaptive budget trips and the component\n'
+    printf '# re-plans mid-query; the traced third run must account for it\n'
+    printf 'query: //x//c\n'
+    printf 'xml: '
+    cat "${REPLAN_DOC}"
+    printf '\n'
+} > "${REPLAN_FIXTURE_DIR}/underestimate_replan.txt"
+cargo run --release -q -p blossom-bench --bin diff -- \
+    --replay "${REPLAN_FIXTURE_DIR}"
 echo "verify: OK"
