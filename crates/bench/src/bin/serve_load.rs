@@ -1,38 +1,53 @@
-//! Closed-loop load generator for `blossomd`: N keep-alive connections
-//! each sweep the Table-2/3 query matrix (six queries × five paper
-//! datasets), byte-comparing every response body against a direct
-//! in-process evaluation, and the run's throughput and exact
-//! p50/p95/p99 latencies land in `BENCH_server.json`.
+//! Load generator for `blossomd`, in two phases, both landing in
+//! `BENCH_server.json`:
+//!
+//! 1. **Closed-loop sweep** — N keep-alive connections each sweep the
+//!    Table-2/3 query matrix (six queries × five paper datasets),
+//!    byte-comparing every response body against a direct in-process
+//!    evaluation. Measures peak sustainable throughput and exact
+//!    p50/p95/p99 service latencies.
+//! 2. **Open-loop latency-under-load curves** — requests arrive on a
+//!    *fixed schedule* (arrival i is due at `t0 + i/rate`) regardless
+//!    of how fast the server answers, the textbook open-loop model: a
+//!    slow server cannot slow the arrival process down, so queueing
+//!    delay shows up in the measured latency instead of being hidden
+//!    by coordinated omission. Latency is measured **from the
+//!    scheduled arrival**, not from the send. The sweep runs each
+//!    offered rate against both serving models (`event-loop` and
+//!    `thread-per-request`), tracing each model's latency curve up to
+//!    and past its overload knee; admission rejections (503) count as
+//!    graceful degradation, not errors.
 //!
 //! ```text
 //! cargo run --release -p blossom-bench --bin serve_load
-//! cargo run --release -p blossom-bench --bin serve_load -- --addr 127.0.0.1:7730
+//! cargo run --release -p blossom-bench --bin serve_load -- --rates 500,2000,8000
 //! ```
 //!
 //! Flags:
 //!
-//! * `--addr A`         drive an already-running server instead of
-//!                      spawning one in-process (documents are loaded
-//!                      over `POST /load` either way)
-//! * `--connections N`  concurrent client connections (default 4)
-//! * `--rounds N`       sweeps of the 30-query matrix per connection
-//!                      (default 2)
-//! * `--nodes N`        approximate nodes per dataset document
-//!                      (default 4000)
-//! * `--threads N`      per-query evaluation threads for the in-process
-//!                      server (default 1)
-//! * `--rate R`         open-loop mode stub: pace requests at R req/s
-//!                      total (spread across connections) instead of
-//!                      issuing them back-to-back, and record the
-//!                      arrival rate plus per-request queueing delay
-//!                      (time a request spent waiting behind its
-//!                      scheduled arrival) in the report. A full
-//!                      open-loop generator (Poisson arrivals,
-//!                      connection-independent scheduling) is future
-//!                      work — this lands the knob and the report
-//!                      schema. Without `--rate` the sweep stays
-//!                      closed-loop and the fields are null.
-//! * `--out FILE`       report path (default `BENCH_server.json`)
+//! * `--addr A`             drive an already-running server instead of
+//!                          spawning one per phase in-process (the
+//!                          open-loop phase then measures that one
+//!                          server, labeled `external`, since the io
+//!                          model of a live process can't be swapped)
+//! * `--connections N`      closed-loop connections (default 4)
+//! * `--rounds N`           closed-loop sweeps of the 30-query matrix
+//!                          per connection (default 2)
+//! * `--nodes N`            approximate nodes per dataset document
+//!                          (default 4000)
+//! * `--threads N`          per-query evaluation threads for in-process
+//!                          servers (default 1)
+//! * `--rates A,B,C`        open-loop offered arrival rates in req/s
+//!                          (default `500,2000,8000`)
+//! * `--rate R`             shorthand for a single-rate open-loop run
+//! * `--open-connections N` connection pool for the open-loop phase
+//!                          (default 256 — far more than the execution
+//!                          pool, so parked connections are cheap only
+//!                          if the server's idle-connection cost is)
+//! * `--open-seconds S`     scheduled arrival window per rate (default 2)
+//! * `--no-open`            skip the open-loop phase
+//! * `--no-compare-io-models` open-loop against `event-loop` only
+//! * `--out FILE`           report path (default `BENCH_server.json`)
 //!
 //! Besides the matrix sweep, the run sends one deliberately malformed
 //! request (must get 4xx, and the server must keep serving) and one
@@ -43,11 +58,12 @@ use blossom_bench::queries::queries;
 use blossom_bench::timing::{write_report, Json};
 use blossom_bench::Args;
 use blossom_core::{Engine, Strategy};
-use blossom_server::{Client, Server, ServerConfig};
+use blossom_server::{Client, IoModel, Server, ServerConfig, ServerHandle};
 use blossom_xml::writer;
 use blossom_xmlgen::{generate, Dataset};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct Case {
     doc_name: String,
@@ -55,6 +71,191 @@ struct Case {
     label: String,
     /// What `GET /query` must return, byte for byte.
     expected: String,
+}
+
+/// Sorted-percentile helper (rank method, matching the server's tests).
+fn pct(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((q / 100.0) * sorted_us.len() as f64).ceil().max(1.0) as usize;
+    sorted_us[rank.min(sorted_us.len()) - 1]
+}
+
+fn latency_json(sorted_us: &[u64]) -> Json {
+    Json::obj([
+        ("p50", Json::Num(pct(sorted_us, 50.0) as f64)),
+        ("p95", Json::Num(pct(sorted_us, 95.0) as f64)),
+        ("p99", Json::Num(pct(sorted_us, 99.0) as f64)),
+        ("max", Json::Num(sorted_us.last().copied().unwrap_or(0) as f64)),
+    ])
+}
+
+/// One open-loop run: `rate * seconds` arrivals on a fixed schedule,
+/// drained by a pool of `connections` keep-alive clients.
+struct OpenRun {
+    offered_rps: f64,
+    arrivals: usize,
+    served: usize,
+    rejected_503: usize,
+    errors: usize,
+    mismatches: usize,
+    wall: Duration,
+    /// Completion − scheduled arrival (includes time spent waiting for
+    /// a free connection and in the server's queue).
+    from_arrival_us: Vec<u64>,
+    /// Completion − send (the server's service view).
+    service_us: Vec<u64>,
+}
+
+fn open_loop(
+    addr: &str,
+    doc_name: &str,
+    query: &'static str,
+    expected: &str,
+    rate: f64,
+    connections: usize,
+    seconds: f64,
+) -> OpenRun {
+    let arrivals = (rate * seconds).ceil().max(1.0) as usize;
+    let next = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    let per_conn: Vec<(Vec<u64>, Vec<u64>, usize, usize, usize, usize)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..connections)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut client = Client::connect(addr).ok();
+                        if let Some(c) = &client {
+                            let _ = c.set_read_timeout(Some(Duration::from_secs(10)));
+                        }
+                        let mut from_arrival = Vec::new();
+                        let mut service = Vec::new();
+                        let (mut served, mut rejected, mut errors, mut mismatches) =
+                            (0usize, 0usize, 0usize, 0usize);
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= arrivals {
+                                break;
+                            }
+                            // The schedule never adapts to the server:
+                            // arrival i is due at t0 + i/rate even if
+                            // every connection is still busy.
+                            let due = Duration::from_secs_f64(i as f64 / rate);
+                            let now = t0.elapsed();
+                            if now < due {
+                                std::thread::sleep(due - now);
+                            }
+                            let Some(c) = client.as_mut() else {
+                                client = Client::connect(addr).ok();
+                                errors += 1;
+                                continue;
+                            };
+                            let sent = Instant::now();
+                            match c.query(doc_name, query, &[]) {
+                                Ok(response) => {
+                                    let done = t0.elapsed();
+                                    from_arrival
+                                        .push(done.saturating_sub(due).as_micros() as u64);
+                                    service.push(sent.elapsed().as_micros() as u64);
+                                    match response.status {
+                                        200 => {
+                                            served += 1;
+                                            if response.body_str() != expected {
+                                                mismatches += 1;
+                                            }
+                                        }
+                                        503 => rejected += 1,
+                                        _ => errors += 1,
+                                    }
+                                    if response.closed {
+                                        client = Client::connect(addr).ok();
+                                        if let Some(c) = &client {
+                                            let _ = c.set_read_timeout(Some(
+                                                Duration::from_secs(10),
+                                            ));
+                                        }
+                                    }
+                                }
+                                Err(_) => {
+                                    errors += 1;
+                                    client = Client::connect(addr).ok();
+                                    if let Some(c) = &client {
+                                        let _ = c
+                                            .set_read_timeout(Some(Duration::from_secs(10)));
+                                    }
+                                }
+                            }
+                        }
+                        (from_arrival, service, served, rejected, errors, mismatches)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("open-loop worker")).collect()
+        });
+    let wall = t0.elapsed();
+    let mut from_arrival_us = Vec::new();
+    let mut service_us = Vec::new();
+    let (mut served, mut rejected_503, mut errors, mut mismatches) = (0, 0, 0, 0);
+    for (fa, sv, s, r, e, m) in per_conn {
+        from_arrival_us.extend(fa);
+        service_us.extend(sv);
+        served += s;
+        rejected_503 += r;
+        errors += e;
+        mismatches += m;
+    }
+    from_arrival_us.sort_unstable();
+    service_us.sort_unstable();
+    OpenRun {
+        offered_rps: rate,
+        arrivals,
+        served,
+        rejected_503,
+        errors,
+        mismatches,
+        wall,
+        from_arrival_us,
+        service_us,
+    }
+}
+
+fn open_run_json(run: &OpenRun) -> Json {
+    Json::obj([
+        ("offered_rps", Json::Num(run.offered_rps)),
+        ("arrivals", Json::Num(run.arrivals as f64)),
+        (
+            "achieved_rps",
+            Json::Num((run.served + run.rejected_503) as f64 / run.wall.as_secs_f64()),
+        ),
+        ("served", Json::Num(run.served as f64)),
+        ("rejected_503", Json::Num(run.rejected_503 as f64)),
+        ("errors", Json::Num(run.errors as f64)),
+        ("wall_s", Json::Num(run.wall.as_secs_f64())),
+        ("latency_from_arrival_us", latency_json(&run.from_arrival_us)),
+        ("service_us", latency_json(&run.service_us)),
+    ])
+}
+
+/// Spawn an in-process server configured for one open-loop run.
+/// `thread-per-request` gets one worker per connection — the honest
+/// version of that model at this connection count (fewer workers would
+/// strand keep-alive connections forever); the event loop keeps its
+/// small default execution pool, which is the point of the comparison.
+fn spawn_model(model: IoModel, connections: usize, threads: usize) -> ServerHandle {
+    let workers = match model {
+        IoModel::ThreadPerRequest => connections,
+        IoModel::EventLoop => ServerConfig::default().workers,
+    };
+    Server::bind(ServerConfig {
+        io_model: model,
+        workers,
+        query_threads: threads,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port")
+    .spawn()
 }
 
 fn main() {
@@ -65,7 +266,19 @@ fn main() {
     let threads: usize = args.get("threads").unwrap_or(1);
     let out: String = args.get("out").unwrap_or_else(|| "BENCH_server.json".into());
     let external: Option<String> = args.get("addr");
-    let rate: Option<f64> = args.get("rate");
+    let open_connections: usize = args.get("open-connections").unwrap_or(256);
+    let open_seconds: f64 = args.get("open-seconds").unwrap_or(2.0);
+    let rates: Vec<f64> = match args.get::<f64>("rate") {
+        Some(r) => vec![r],
+        None => args
+            .get::<String>("rates")
+            .unwrap_or_else(|| "500,2000,8000".into())
+            .split(',')
+            .map(|r| r.trim().parse().expect("bad --rates entry"))
+            .collect(),
+    };
+    let run_open = !args.has("no-open");
+    let compare_models = !args.has("no-compare-io-models");
 
     // Spawn in-process unless pointed at a live server.
     let (addr, handle) = match &external {
@@ -85,9 +298,13 @@ fn main() {
     // the ground truth evaluated directly in-process.
     let mut setup = Client::connect(&*addr).expect("connect for setup");
     let mut cases: Vec<Case> = Vec::new();
+    let mut first_doc_xml = String::new();
     for dataset in Dataset::all() {
         let doc = generate(dataset, nodes, 42);
         let xml = writer::to_string(&doc);
+        if first_doc_xml.is_empty() {
+            first_doc_xml = xml.clone();
+        }
         let loaded = setup.load(dataset.name(), xml.as_bytes()).expect("POST /load");
         assert_eq!(loaded.status, 200, "loading {}: {}", dataset.name(), loaded.body_str());
         let engine = Engine::new(doc);
@@ -133,12 +350,10 @@ fn main() {
         "profile envelope changed the result bytes"
     );
 
-    // The measured sweep: closed-loop by default; with `--rate` each
-    // worker paces its share of the target arrival rate and records how
-    // far behind schedule every request went out (queueing delay).
-    let interval = rate.map(|r| connections as f64 / r.max(1e-9));
+    // Phase 1 — closed-loop sweep: every connection issues its next
+    // request the moment the previous answer lands.
     let started = Instant::now();
-    let worker_results: Vec<(Vec<u64>, Vec<u64>, usize)> = std::thread::scope(|scope| {
+    let worker_results: Vec<(Vec<u64>, usize)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..connections)
             .map(|c| {
                 let cases = cases.clone();
@@ -146,27 +361,12 @@ fn main() {
                 scope.spawn(move || {
                     let mut client = Client::connect(&*addr).expect("connect worker");
                     let mut latencies_us: Vec<u64> = Vec::new();
-                    let mut queue_delays_us: Vec<u64> = Vec::new();
                     let mut mismatches = 0usize;
-                    let mut sent = 0u32;
                     for round in 0..rounds {
                         // Offset per connection so the server sees a mix
                         // of documents at any instant.
                         for i in 0..cases.len() {
                             let case = &cases[(i + c * 7 + round) % cases.len()];
-                            if let Some(step) = interval {
-                                let scheduled =
-                                    std::time::Duration::from_secs_f64(f64::from(sent) * step);
-                                let elapsed = started.elapsed();
-                                if elapsed < scheduled {
-                                    std::thread::sleep(scheduled - elapsed);
-                                    queue_delays_us.push(0);
-                                } else {
-                                    queue_delays_us
-                                        .push((elapsed - scheduled).as_micros() as u64);
-                                }
-                                sent += 1;
-                            }
                             let t = Instant::now();
                             let response = client
                                 .query(&case.doc_name, case.query, &[])
@@ -186,7 +386,7 @@ fn main() {
                             }
                         }
                     }
-                    (latencies_us, queue_delays_us, mismatches)
+                    (latencies_us, mismatches)
                 })
             })
             .collect();
@@ -195,77 +395,23 @@ fn main() {
     let wall = started.elapsed();
 
     let mut latencies: Vec<u64> =
-        worker_results.iter().flat_map(|(l, _, _)| l.iter().copied()).collect();
-    let mut queue_delays: Vec<u64> =
-        worker_results.iter().flat_map(|(_, q, _)| q.iter().copied()).collect();
-    let mismatches: usize = worker_results.iter().map(|(_, _, m)| m).sum();
-    queue_delays.sort_unstable();
+        worker_results.iter().flat_map(|(l, _)| l.iter().copied()).collect();
+    let mut mismatches: usize = worker_results.iter().map(|(_, m)| m).sum();
     latencies.sort_unstable();
     let total = latencies.len();
-    let pct = |q: f64| -> u64 {
-        let rank = ((q / 100.0) * total as f64).ceil().max(1.0) as usize;
-        latencies[rank.min(total) - 1]
-    };
     let throughput = total as f64 / wall.as_secs_f64();
 
     // The server's own view of the run.
     let stats_body = setup.get("/stats").map(|r| r.body_str()).unwrap_or_default();
 
     println!(
-        "serve_load: {total} requests in {:.2}s = {throughput:.0} req/s; \
+        "serve_load: closed-loop {total} requests in {:.2}s = {throughput:.0} req/s; \
          p50 {}us p95 {}us p99 {}us; {mismatches} mismatch(es)",
         wall.as_secs_f64(),
-        pct(50.0),
-        pct(95.0),
-        pct(99.0)
+        pct(&latencies, 50.0),
+        pct(&latencies, 95.0),
+        pct(&latencies, 99.0)
     );
-
-    let report = Json::obj([
-        ("bench", Json::str("server_load")),
-        ("addr", Json::str(&addr)),
-        ("in_process", Json::Bool(external.is_none())),
-        ("connections", Json::Num(connections as f64)),
-        ("rounds", Json::Num(rounds as f64)),
-        ("nodes_per_dataset", Json::Num(nodes as f64)),
-        ("query_matrix", Json::Num(cases.len() as f64)),
-        ("requests", Json::Num(total as f64)),
-        ("wall_s", Json::Num(wall.as_secs_f64())),
-        ("throughput_rps", Json::Num(throughput)),
-        (
-            "latency_us",
-            Json::obj([
-                ("p50", Json::Num(pct(50.0) as f64)),
-                ("p95", Json::Num(pct(95.0) as f64)),
-                ("p99", Json::Num(pct(99.0) as f64)),
-                ("min", Json::Num(latencies[0] as f64)),
-                ("max", Json::Num(latencies[total - 1] as f64)),
-            ]),
-        ),
-        ("mode", Json::str(if rate.is_some() { "open-loop-stub" } else { "closed-loop" })),
-        ("arrival_rate_rps", rate.map_or(Json::Null, Json::Num)),
-        (
-            "queueing_delay_us",
-            if queue_delays.is_empty() {
-                Json::Null
-            } else {
-                let qn = queue_delays.len();
-                let qpct = |q: f64| -> u64 {
-                    let rank = ((q / 100.0) * qn as f64).ceil().max(1.0) as usize;
-                    queue_delays[rank.min(qn) - 1]
-                };
-                Json::obj([
-                    ("p50", Json::Num(qpct(50.0) as f64)),
-                    ("p95", Json::Num(qpct(95.0) as f64)),
-                    ("p99", Json::Num(qpct(99.0) as f64)),
-                    ("max", Json::Num(queue_delays[qn - 1] as f64)),
-                ])
-            },
-        ),
-        ("response_mismatches", Json::Num(mismatches as f64)),
-        ("server_stats_raw", Json::str(stats_body.trim_end())),
-    ]);
-    write_report(&out, &report).expect("write report");
-    println!("serve_load: report written to {out}");
 
     if let Some(handle) = handle {
         let mut shut = Client::connect(&*addr).expect("connect for shutdown");
@@ -273,6 +419,127 @@ fn main() {
         assert_eq!(response.status, 200);
         handle.shutdown();
     }
+
+    // Phase 2 — open-loop curves: one cheap query fired on a fixed
+    // arrival schedule through a big connection pool, per (model,
+    // rate). Identical queries are deliberate: under overload they are
+    // exactly what the shared-scan batcher coalesces.
+    let open_case = &cases[0];
+    let mut model_sections: Vec<Json> = Vec::new();
+    if run_open {
+        let models: Vec<(String, Option<IoModel>)> = if external.is_some() {
+            vec![("external".into(), None)]
+        } else if compare_models {
+            vec![
+                ("event-loop".into(), Some(IoModel::EventLoop)),
+                ("thread-per-request".into(), Some(IoModel::ThreadPerRequest)),
+            ]
+        } else {
+            vec![("event-loop".into(), Some(IoModel::EventLoop))]
+        };
+        for (label, model) in models {
+            let mut rate_rows: Vec<Json> = Vec::new();
+            for &rate in &rates {
+                // A fresh server per run so queue state and stats never
+                // leak across measurements.
+                let (run_addr, run_handle) = match model {
+                    Some(m) => {
+                        let h = spawn_model(m, open_connections, threads);
+                        (h.addr().to_string(), Some(h))
+                    }
+                    None => (addr.clone(), None),
+                };
+                let mut loader = Client::connect(&*run_addr).expect("connect loader");
+                let loaded = loader
+                    .load(&open_case.doc_name, first_doc_xml.as_bytes())
+                    .expect("POST /load");
+                assert_eq!(loaded.status, 200, "{}", loaded.body_str());
+                let run = open_loop(
+                    &run_addr,
+                    &open_case.doc_name,
+                    open_case.query,
+                    &open_case.expected,
+                    rate,
+                    open_connections,
+                    open_seconds,
+                );
+                println!(
+                    "serve_load: open-loop [{label}] offered {rate:.0} rps -> achieved \
+                     {:.0} rps, served {} rejected {} errors {}, \
+                     from-arrival p50 {}us p99 {}us",
+                    (run.served + run.rejected_503) as f64 / run.wall.as_secs_f64(),
+                    run.served,
+                    run.rejected_503,
+                    run.errors,
+                    pct(&run.from_arrival_us, 50.0),
+                    pct(&run.from_arrival_us, 99.0),
+                );
+                mismatches += run.mismatches;
+                // Lost requests (neither answered nor rejected) mean the
+                // run under-measured; surface them as mismatches too.
+                if run.errors > run.arrivals / 10 {
+                    eprintln!(
+                        "serve_load: [{label}] {} of {} open-loop requests errored",
+                        run.errors, run.arrivals
+                    );
+                    mismatches += 1;
+                }
+                rate_rows.push(open_run_json(&run));
+                if let Some(h) = run_handle {
+                    h.shutdown();
+                }
+            }
+            model_sections
+                .push(Json::obj([("io_model", Json::str(&label)), ("rates", Json::arr(rate_rows))]));
+        }
+    }
+
+    let report = Json::obj([
+        ("bench", Json::str("server_load")),
+        ("addr", Json::str(&addr)),
+        ("in_process", Json::Bool(external.is_none())),
+        (
+            "closed_loop",
+            Json::obj([
+                ("connections", Json::Num(connections as f64)),
+                ("rounds", Json::Num(rounds as f64)),
+                ("nodes_per_dataset", Json::Num(nodes as f64)),
+                ("query_matrix", Json::Num(cases.len() as f64)),
+                ("requests", Json::Num(total as f64)),
+                ("wall_s", Json::Num(wall.as_secs_f64())),
+                ("throughput_rps", Json::Num(throughput)),
+                (
+                    "latency_us",
+                    Json::obj([
+                        ("p50", Json::Num(pct(&latencies, 50.0) as f64)),
+                        ("p95", Json::Num(pct(&latencies, 95.0) as f64)),
+                        ("p99", Json::Num(pct(&latencies, 99.0) as f64)),
+                        ("min", Json::Num(latencies.first().copied().unwrap_or(0) as f64)),
+                        ("max", Json::Num(latencies.last().copied().unwrap_or(0) as f64)),
+                    ]),
+                ),
+                ("server_stats_raw", Json::str(stats_body.trim_end())),
+            ]),
+        ),
+        (
+            "open_loop",
+            if run_open {
+                Json::obj([
+                    ("connections", Json::Num(open_connections as f64)),
+                    ("seconds_per_rate", Json::Num(open_seconds)),
+                    ("doc", Json::str(&open_case.doc_name)),
+                    ("query", Json::str(open_case.query)),
+                    ("models", Json::arr(model_sections)),
+                ])
+            } else {
+                Json::Null
+            },
+        ),
+        ("response_mismatches", Json::Num(mismatches as f64)),
+    ]);
+    write_report(&out, &report).expect("write report");
+    println!("serve_load: report written to {out}");
+
     if mismatches > 0 {
         eprintln!("serve_load: {mismatches} response mismatch(es)");
         std::process::exit(1);

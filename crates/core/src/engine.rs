@@ -778,6 +778,34 @@ reason: {}
         }
     }
 
+    /// Replace the cooperative deadline on this engine view.
+    ///
+    /// Per-request engines over a shared document are cheap to build,
+    /// but a *batched* evaluation serves several requests whose
+    /// deadlines differ: the server coalesces them, evaluates once
+    /// under the latest member deadline (set here after the member set
+    /// is fixed), and applies each member's own deadline to its
+    /// response. See `blossom-server`'s batching module.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// Evaluate a full query and serialize the result to the exact
+    /// bytes `blossom query` prints plus a trailing newline — the
+    /// server's response-body contract, shared by its solo and batched
+    /// paths so coalesced responses are byte-identical to solo ones by
+    /// construction.
+    pub fn eval_query_bytes(
+        &self,
+        query: &str,
+        strategy: Strategy,
+    ) -> Result<(Vec<u8>, QueryTrace), EngineError> {
+        let (doc, trace) = self.eval_query_traced(query, strategy)?;
+        let mut text = blossom_xml::writer::to_string(&doc);
+        text.push('\n');
+        Ok((text.into_bytes(), trace))
+    }
+
     /// Number of cached plans (diagnostics).
     pub fn cached_plan_count(&self) -> usize {
         self.plans.stats().len
@@ -1337,13 +1365,25 @@ reason: {}
         // Parallel for-clause iteration, step 1: the per-anchor
         // NestedLists are chunked across workers, each unnesting its
         // chunk into tuples independently; ordered collection keeps the
-        // tuple sequence identical to a sequential pass.
-        let per_worker: Vec<Vec<Tuple>> = self.exec.map_chunks(&results, |chunk| {
-            chunk
-                .iter()
-                .flat_map(|nl| env::enumerate_tuples(nl, &for_positions))
-                .collect::<Vec<Tuple>>()
-        });
+        // tuple sequence identical to a sequential pass. Cross products
+        // can explode combinatorially (one NestedList can expand to
+        // |a|×|b|×|c| tuples), so the deadline is polled *inside* the
+        // expansion — without it a runaway enumeration is uncancellable
+        // (it allocates until memory runs out).
+        let per_worker: Vec<Result<Vec<Tuple>, EngineError>> =
+            self.exec.map_chunks(&results, |chunk| {
+                let mut out = Vec::new();
+                for nl in chunk {
+                    match env::try_enumerate_tuples(nl, &for_positions, &|| {
+                        self.check_deadline().is_ok()
+                    }) {
+                        Some(tuples) => out.extend(tuples),
+                        None => return Err(EngineError::Deadline),
+                    }
+                }
+                Ok(out)
+            });
+        let per_worker: Vec<Vec<Tuple>> = per_worker.into_iter().collect::<Result<_, _>>()?;
         if let Some(sink) = self.sink() {
             // Per-worker tuple counts, merged here at concat time.
             let mut c = OpCounters::default();
@@ -1613,18 +1653,27 @@ reason: {}
                 let (hi, lo) = if li > ri { (li, ri) } else { (ri, li) };
                 let (set_b, right) = groups.remove(hi);
                 let (set_a, left) = groups.remove(lo);
-                let joined = ops::theta_join(&self.doc, &left, &right, &preds);
+                let joined =
+                    ops::try_theta_join(&self.doc, &left, &right, &preds, &|| {
+                        self.check_deadline().is_ok()
+                    })
+                    .ok_or(EngineError::Deadline)?;
                 let mut set = set_a;
                 set.extend(set_b);
                 groups.push((set, joined));
             }
         }
 
-        // Remaining disconnected groups: Cartesian product.
+        // Remaining disconnected groups: Cartesian product. This is the
+        // one join that *always* multiplies cardinalities, so it must be
+        // interruptible from inside the pair loop.
         while groups.len() > 1 {
             let (set_b, right) = groups.pop().unwrap();
             let (set_a, left) = groups.pop().unwrap();
-            let joined = ops::theta_join(&self.doc, &left, &right, &[]);
+            let joined = ops::try_theta_join(&self.doc, &left, &right, &[], &|| {
+                self.check_deadline().is_ok()
+            })
+            .ok_or(EngineError::Deadline)?;
             let mut set = set_a;
             set.extend(set_b);
             groups.push((set, joined));
@@ -2644,6 +2693,37 @@ mod deadline_tests {
             },
         );
         assert_eq!(engine.eval_path_str("//a/b", Strategy::Auto).unwrap().len(), 1);
+    }
+
+    /// `set_deadline` re-arms a per-request view both ways: an engine
+    /// built without a deadline aborts after one is installed, and
+    /// clearing an expired deadline lets the same engine finish — the
+    /// server's batch path relies on exactly this (member set fixed,
+    /// then the evaluation deadline swapped to the latest member's).
+    #[test]
+    fn set_deadline_rearms_an_engine_view() {
+        let mut engine = Engine::from_xml("<r><a><b/></a></r>").unwrap();
+        assert!(engine.eval_path_str("//a/b", Strategy::Auto).is_ok());
+        engine.set_deadline(Some(Instant::now() - Duration::from_millis(1)));
+        let err = engine.eval_path_str("//a/b", Strategy::Auto).unwrap_err();
+        assert!(matches!(err, EngineError::Deadline), "got {err}");
+        engine.set_deadline(None);
+        assert!(engine.eval_path_str("//a/b", Strategy::Auto).is_ok());
+    }
+
+    /// The serialized-bytes entry is exactly the CLI contract: the
+    /// writer's rendering plus one newline, identical for path and
+    /// FLWOR queries.
+    #[test]
+    fn eval_query_bytes_matches_the_serializer_contract() {
+        let engine = Engine::from_xml("<bib><book><t>x</t></book></bib>").unwrap();
+        for query in ["//book/t", "for $b in //book return <r>{$b/t}</r>"] {
+            let (bytes, _trace) = engine.eval_query_bytes(query, Strategy::Auto).unwrap();
+            let doc = engine.eval_query_str(query, Strategy::Auto).unwrap();
+            let mut expected = blossom_xml::writer::to_string(&doc).into_bytes();
+            expected.push(b'\n');
+            assert_eq!(bytes, expected, "{query}");
+        }
     }
 }
 

@@ -71,6 +71,21 @@ pub fn enumerate_tuples(
     nl: &NestedList,
     for_positions: &FxHashSet<ShapeId>,
 ) -> Vec<Tuple> {
+    try_enumerate_tuples(nl, for_positions, &|| true).expect("uncancellable enumeration")
+}
+
+/// [`enumerate_tuples`] with a cooperative cancellation hook: the
+/// cross-product expansion of nested `for` clauses can be
+/// combinatorially explosive (|a|×|b|×|c| tuples from one NestedList),
+/// and without a check inside the expansion a deadline could only fire
+/// after the full product materialized — potentially gigabytes later.
+/// `keep_going` is polled once per partial-product row; returning
+/// `false` abandons the enumeration and yields `None`.
+pub fn try_enumerate_tuples(
+    nl: &NestedList,
+    for_positions: &FxHashSet<ShapeId>,
+    keep_going: &dyn Fn() -> bool,
+) -> Option<Vec<Tuple>> {
     fn collect_all(shape: &Shape, shape_id: ShapeId, node: &NlNode, into: &mut Tuple) {
         if let Some(n) = node.node {
             into.assignments.entry(shape_id).or_default().push(n);
@@ -87,7 +102,8 @@ pub fn enumerate_tuples(
         shape_id: ShapeId,
         node: &NlNode,
         for_positions: &FxHashSet<ShapeId>,
-    ) -> Vec<Tuple> {
+        keep_going: &dyn Fn() -> bool,
+    ) -> Option<Vec<Tuple>> {
         let mut base = Tuple::default();
         if let Some(n) = node.node {
             base.assignments.insert(shape_id, vec![n]);
@@ -103,27 +119,37 @@ pub fn enumerate_tuples(
                     if item.node.is_none() {
                         continue;
                     }
-                    per_item.extend(rec(shape, child, item, for_positions));
+                    per_item.extend(rec(shape, child, item, for_positions, keep_going)?);
                 }
                 if per_item.is_empty() {
-                    return Vec::new();
+                    return Some(Vec::new());
                 }
-                alternatives = product(alternatives, per_item);
+                alternatives = product(alternatives, per_item, keep_going)?;
             } else {
                 // Sequence semantics: merge everything below.
                 let mut seq = Tuple::default();
                 for item in group {
                     collect_all(shape, child, item, &mut seq);
                 }
-                alternatives = product(alternatives, vec![seq]);
+                alternatives = product(alternatives, vec![seq], keep_going)?;
             }
         }
-        alternatives
+        Some(alternatives)
     }
 
-    fn product(left: Vec<Tuple>, right: Vec<Tuple>) -> Vec<Tuple> {
+    fn product(
+        left: Vec<Tuple>,
+        right: Vec<Tuple>,
+        keep_going: &dyn Fn() -> bool,
+    ) -> Option<Vec<Tuple>> {
         let mut out = Vec::with_capacity(left.len() * right.len());
         for l in &left {
+            // The poll lives on the outer loop: each pass appends
+            // |right| rows, so cancellation latency is one row-block,
+            // not one full product.
+            if !keep_going() {
+                return None;
+            }
             for r in &right {
                 let mut merged = l.clone();
                 for (k, v) in &r.assignments {
@@ -132,10 +158,10 @@ pub fn enumerate_tuples(
                 out.push(merged);
             }
         }
-        out
+        Some(out)
     }
 
-    rec(&nl.shape, 0, &nl.root, for_positions)
+    rec(&nl.shape, 0, &nl.root, for_positions, keep_going)
 }
 
 /// Sort tuples by the string values of the `order by` keys, in priority

@@ -103,6 +103,22 @@ pub fn theta_join(
     right: &[NestedList],
     preds: &[CrossPred],
 ) -> Vec<NestedList> {
+    try_theta_join(doc, left, right, preds, &|| true).expect("uncancellable join")
+}
+
+/// [`theta_join`] with a cooperative cancellation hook. Disconnected
+/// FLWOR components join with *no* predicates — a pure Cartesian
+/// product that can materialize |left|×|right| NestedLists — so a
+/// deadline must be able to fire inside the pair loop, not after it.
+/// `keep_going` is polled once per outer row; `false` abandons the join
+/// and yields `None`.
+pub fn try_theta_join(
+    doc: &Document,
+    left: &[NestedList],
+    right: &[NestedList],
+    preds: &[CrossPred],
+    keep_going: &dyn Fn() -> bool,
+) -> Option<Vec<NestedList>> {
     struct Side {
         /// Per pred: projected nodes.
         nodes: Vec<Vec<NodeId>>,
@@ -137,6 +153,11 @@ pub fn theta_join(
 
     let mut out = Vec::new();
     for (l, ls) in left.iter().zip(&lsides) {
+        // Poll on the outer loop: each pass emits at most |right| rows,
+        // so cancellation latency is one row-block.
+        if !keep_going() {
+            return None;
+        }
         for (r, rs) in right.iter().zip(&rsides) {
             let ok = preds.iter().enumerate().all(|(i, p)| match p.rel {
                 CrossRel::Value(op) => cached_compare(&ls.values[i], op, &rs.values[i]),
@@ -152,7 +173,7 @@ pub fn theta_join(
             }
         }
     }
-    out
+    Some(out)
 }
 
 /// Existential comparison over pre-trimmed string values.

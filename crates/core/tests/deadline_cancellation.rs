@@ -1,0 +1,36 @@
+//! A deadline must be able to interrupt *combinatorially explosive*
+//! stages, not just operator boundaries: three uncorrelated `for`
+//! bindings form a pure Cartesian product (|a|^3 tuples) that
+//! materializes inside the disconnected-component join and the tuple
+//! enumeration. Before the cancellation hooks, this query allocated
+//! gigabytes irrespective of any deadline — the server's occupier
+//! tests hung on exactly this.
+
+use blossom_core::engine::{Engine, EngineError};
+use blossom_core::plan::Strategy;
+use std::time::{Duration, Instant};
+
+#[test]
+fn runaway_cartesian_product_cancels_at_the_deadline() {
+    let mut xml = String::from("<r>");
+    for i in 0..500 {
+        xml.push_str(&format!("<a>{i}</a>"));
+    }
+    xml.push_str("</r>");
+    let mut engine = Engine::from_xml(&xml).unwrap();
+    engine.set_deadline(Some(Instant::now() + Duration::from_millis(600)));
+    let t0 = Instant::now();
+    let out = engine.eval_query_bytes(
+        "for $x in //a for $y in //a for $z in //a return <t>{$x}</t>",
+        Strategy::Auto,
+    );
+    let elapsed = t0.elapsed();
+    assert!(
+        matches!(out, Err(EngineError::Deadline)),
+        "expected a deadline abort, got {:?}",
+        out.map(|(bytes, _)| bytes.len())
+    );
+    // Budget 600ms + generous cancellation latency; an uncancellable
+    // product runs for minutes (125M NestedLists) before this fires.
+    assert!(elapsed < Duration::from_secs(5), "cancellation took {elapsed:?}");
+}

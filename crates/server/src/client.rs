@@ -13,11 +13,21 @@ pub struct Response {
     pub body: Vec<u8>,
     /// True when the server signalled `Connection: close`.
     pub closed: bool,
+    /// All response headers, in wire order.
+    pub headers: Vec<(String, String)>,
 }
 
 impl Response {
     pub fn body_str(&self) -> String {
         String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// First header with this name (case-insensitive), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -83,6 +93,25 @@ impl Client {
         self.read_response()
     }
 
+    /// Write raw bytes without reading a response (pipelining tests:
+    /// several requests in one segment, or one request in fragments).
+    pub fn write_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.writer.write_all(bytes)?;
+        self.writer.flush()
+    }
+
+    /// Read the next response off the connection (pairs with
+    /// [`Client::write_raw`] for pipelined requests).
+    pub fn recv(&mut self) -> std::io::Result<Response> {
+        self.read_response()
+    }
+
+    /// Bound how long a read may block (harness safety net against a
+    /// wedged server).
+    pub fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
     fn read_response(&mut self) -> std::io::Result<Response> {
         let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
         let mut status_line = String::new();
@@ -96,6 +125,7 @@ impl Client {
             .ok_or_else(|| bad("malformed status line"))?;
         let mut content_length = 0usize;
         let mut closed = false;
+        let mut headers = Vec::new();
         loop {
             let mut line = String::new();
             if self.reader.read_line(&mut line)? == 0 {
@@ -115,10 +145,11 @@ impl Client {
                 {
                     closed = true;
                 }
+                headers.push((name.to_string(), value.to_string()));
             }
         }
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body)?;
-        Ok(Response { status, body, closed })
+        Ok(Response { status, body, closed, headers })
     }
 }

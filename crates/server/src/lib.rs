@@ -15,21 +15,34 @@
 //!   malformed or oversized requests;
 //! * [`catalog`] — named `Arc`-shared immutable documents behind a
 //!   byte-bounded LRU;
-//! * [`metrics`] — lock-free counters and a log-scaled latency
-//!   histogram feeding `GET /stats`;
-//! * [`server`] — the accept loop, fixed worker pool, request routing,
-//!   per-request deadlines, and graceful drain on shutdown;
+//! * [`metrics`] — lock-free counters and log-scaled latency
+//!   histograms (global and per endpoint) feeding `GET /stats`;
+//! * [`sys`] — a zero-dependency readiness shim (epoll on Linux,
+//!   poll(2) elsewhere) plus a cross-thread waker and a thread-CPU
+//!   clock;
+//! * [`sched`] — the bounded per-client fair execution queue and the
+//!   shared-scan batch registry;
+//! * [`eventloop`] — the default serving core: nonblocking I/O threads
+//!   owning connection state machines (incremental framing,
+//!   pipelining, keep-alive without timeout polling), an execution
+//!   pool, request coalescing, and admission control;
+//! * [`server`] — configuration, request routing, per-request
+//!   deadlines, graceful drain, and the thread-per-request baseline
+//!   core;
 //! * [`client`] — a small blocking client used by the load harness,
 //!   the differential tester's server mode, and the tests.
 
 pub mod catalog;
 pub mod client;
+pub(crate) mod eventloop;
 pub mod http;
 pub mod metrics;
+pub mod sched;
 pub mod server;
+pub mod sys;
 
 pub use client::{Client, Response};
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use server::{IoModel, Server, ServerConfig, ServerHandle};
 
 /// Render `s` as a JSON string literal (quotes, backslashes, control
 /// characters escaped) — the one JSON primitive the server needs.

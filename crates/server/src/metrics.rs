@@ -1,6 +1,7 @@
-//! Server-wide counters for `/stats`: request/error tallies, a
-//! log-scaled latency histogram, and per-strategy execution counts fed
-//! from each request's query trace.
+//! Server-wide counters for `/stats`: request/error tallies, log-scaled
+//! latency histograms (global and per endpoint), batching and admission
+//! counters, event-loop activity gauges, and per-strategy execution
+//! counts fed from each request's query trace.
 //!
 //! Everything is lock-free atomics except the strategy tally (a small
 //! mutex-guarded map touched once per query). The histogram buckets are
@@ -17,43 +18,29 @@ use std::time::Duration;
 /// `2^i <= µs < 2^(i+1)` (bucket 0 is `< 2µs`, the last is open-ended).
 pub const BUCKETS: usize = 32;
 
+/// A lock-free log2-microsecond latency histogram.
 #[derive(Default)]
-pub struct Metrics {
-    pub requests: AtomicU64,
-    /// 4xx responses (client errors: bad queries, unknown documents).
-    pub client_errors: AtomicU64,
-    /// 5xx responses other than deadline aborts.
-    pub server_errors: AtomicU64,
-    pub deadline_aborts: AtomicU64,
-    histogram: [AtomicU64; BUCKETS],
-    latency_us_total: AtomicU64,
-    strategies: Mutex<BTreeMap<String, u64>>,
+pub struct Hist {
+    buckets: [AtomicU64; BUCKETS],
+    total_us: AtomicU64,
 }
 
-impl Metrics {
-    pub fn new() -> Metrics {
-        Metrics::default()
-    }
-
-    /// Record one successfully served query's latency.
-    pub fn record_latency(&self, elapsed: Duration) {
+impl Hist {
+    pub fn record(&self, elapsed: Duration) {
         let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
         let bucket = (64 - us.leading_zeros() as usize).saturating_sub(1).min(BUCKETS - 1);
-        self.histogram[bucket].fetch_add(1, Ordering::Relaxed);
-        self.latency_us_total.fetch_add(us, Ordering::Relaxed);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
     }
 
-    /// Record which strategy a query actually executed with.
-    pub fn record_strategy(&self, strategy: &str) {
-        *self.strategies.lock().unwrap().entry(strategy.to_string()).or_default() += 1;
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|c| c.load(Ordering::Relaxed)).sum()
     }
 
-    /// Estimate the `q`-th percentile (0..=100) from the histogram, as
-    /// the upper bound of the bucket holding that rank. `None` until at
-    /// least one latency is recorded.
+    /// Estimate the `q`-th percentile (0..=100) as the upper bound of
+    /// the bucket holding that rank; `None` until something is recorded.
     pub fn percentile_us(&self, q: f64) -> Option<u64> {
-        let counts: Vec<u64> =
-            self.histogram.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        let counts: Vec<u64> = self.buckets.iter().map(|c| c.load(Ordering::Relaxed)).collect();
         let total: u64 = counts.iter().sum();
         if total == 0 {
             return None;
@@ -69,16 +56,103 @@ impl Metrics {
         None
     }
 
+    /// `{"count": …, "mean": …, "p50": …, "p95": …, "p99": …}`.
+    pub fn render_json(&self) -> String {
+        let count = self.count();
+        let total = self.total_us.load(Ordering::Relaxed);
+        format!(
+            "{{\"count\": {count}, \"mean\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+            if count > 0 { total / count } else { 0 },
+            self.percentile_us(50.0).unwrap_or(0),
+            self.percentile_us(95.0).unwrap_or(0),
+            self.percentile_us(99.0).unwrap_or(0),
+        )
+    }
+}
+
+/// The endpoints with dedicated latency histograms; anything else lands
+/// in the trailing `other` bucket.
+pub const ENDPOINTS: [&str; 6] = ["/query", "/load", "/stats", "/healthz", "/shutdown", "other"];
+
+#[derive(Default)]
+pub struct Metrics {
+    pub requests: AtomicU64,
+    /// 4xx responses (client errors: bad queries, unknown documents).
+    pub client_errors: AtomicU64,
+    /// 5xx responses other than deadline aborts and admission 503s.
+    pub server_errors: AtomicU64,
+    pub deadline_aborts: AtomicU64,
+    /// 503s from the bounded execution queue (event-loop admission
+    /// control), distinct from deadline aborts.
+    pub admission_rejections: AtomicU64,
+    /// Requests served by an evaluation shared with at least one other
+    /// request (leaders of multi-member batches count too).
+    pub batched_requests: AtomicU64,
+    /// Evaluations the coalescer avoided: Σ (batch size − 1).
+    pub evaluations_saved: AtomicU64,
+    /// Returns from the I/O threads' readiness waits. Idle keep-alive
+    /// connections contribute nothing — the regression tests pin this.
+    pub io_wakeups: AtomicU64,
+    /// CPU microseconds consumed by the I/O threads (thread-CPU clock,
+    /// self-sampled each loop iteration).
+    pub io_cpu_us: AtomicU64,
+    /// Request latency (arrival to response completion), all endpoints.
+    latency: Hist,
+    /// Per-endpoint request latency, indexed like [`ENDPOINTS`].
+    endpoints: [Hist; ENDPOINTS.len()],
+    strategies: Mutex<BTreeMap<String, u64>>,
+}
+
+impl Metrics {
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Record one served request's latency under its endpoint path.
+    pub fn record_latency(&self, path: &str, elapsed: Duration) {
+        self.latency.record(elapsed);
+        let idx = ENDPOINTS.iter().position(|e| *e == path).unwrap_or(ENDPOINTS.len() - 1);
+        self.endpoints[idx].record(elapsed);
+    }
+
+    /// Record which strategy a query evaluation actually executed with.
+    pub fn record_strategy(&self, strategy: &str) {
+        *self.strategies.lock().unwrap().entry(strategy.to_string()).or_default() += 1;
+    }
+
+    /// Tally an error response by status class.
+    pub fn track_error(&self, status: u16) {
+        if status >= 500 {
+            if status == 503 {
+                self.deadline_aborts.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.server_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        } else if status >= 400 {
+            self.client_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Estimate the `q`-th percentile of the global latency histogram.
+    pub fn percentile_us(&self, q: f64) -> Option<u64> {
+        self.latency.percentile_us(q)
+    }
+
     /// Render the `/stats` fields this struct owns as JSON object
-    /// entries (no surrounding braces).
+    /// entries (no surrounding braces). Queue facts live on the
+    /// scheduler and are rendered by the caller.
     pub fn render_json_fields(&self) -> String {
         let requests = self.requests.load(Ordering::Relaxed);
-        let latency_total = self.latency_us_total.load(Ordering::Relaxed);
-        let served: u64 = self.histogram.iter().map(|c| c.load(Ordering::Relaxed)).sum();
         let strategies = self.strategies.lock().unwrap();
         let strategy_fields = strategies
             .iter()
             .map(|(s, n)| format!("{}: {n}", crate::json_str(s)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let endpoint_fields = ENDPOINTS
+            .iter()
+            .zip(&self.endpoints)
+            .map(|(name, hist)| format!("{}: {}", crate::json_str(name), hist.render_json()))
             .collect::<Vec<_>>()
             .join(", ");
         format!(
@@ -86,15 +160,21 @@ impl Metrics {
              \"client_errors\": {}, \
              \"server_errors\": {}, \
              \"deadline_aborts\": {}, \
-             \"latency_us\": {{\"mean\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}, \
+             \"admission_rejections\": {}, \
+             \"batching\": {{\"batched_requests\": {}, \"evaluations_saved\": {}}}, \
+             \"io\": {{\"wakeups\": {}, \"cpu_us\": {}}}, \
+             \"latency_us\": {}, \
+             \"endpoints\": {{{endpoint_fields}}}, \
              \"strategies\": {{{strategy_fields}}}",
             self.client_errors.load(Ordering::Relaxed),
             self.server_errors.load(Ordering::Relaxed),
             self.deadline_aborts.load(Ordering::Relaxed),
-            if served > 0 { latency_total / served } else { 0 },
-            self.percentile_us(50.0).unwrap_or(0),
-            self.percentile_us(95.0).unwrap_or(0),
-            self.percentile_us(99.0).unwrap_or(0),
+            self.admission_rejections.load(Ordering::Relaxed),
+            self.batched_requests.load(Ordering::Relaxed),
+            self.evaluations_saved.load(Ordering::Relaxed),
+            self.io_wakeups.load(Ordering::Relaxed),
+            self.io_cpu_us.load(Ordering::Relaxed),
+            self.latency.render_json(),
         )
     }
 }
@@ -108,9 +188,9 @@ mod tests {
         let m = Metrics::new();
         assert_eq!(m.percentile_us(50.0), None);
         for _ in 0..99 {
-            m.record_latency(Duration::from_micros(100));
+            m.record_latency("/query", Duration::from_micros(100));
         }
-        m.record_latency(Duration::from_millis(50));
+        m.record_latency("/query", Duration::from_millis(50));
         // 100µs lands in the 64..128 bucket (upper bound 128); 50ms far
         // above it. The p50 must not be dragged up by the one outlier.
         assert_eq!(m.percentile_us(50.0), Some(128));
@@ -128,5 +208,44 @@ mod tests {
         assert!(json.contains("\"pipelined\": 2"), "{json}");
         assert!(json.contains("\"navigational\": 1"), "{json}");
         assert!(json.contains("\"requests\": 3"), "{json}");
+    }
+
+    #[test]
+    fn endpoint_histograms_are_separate() {
+        let m = Metrics::new();
+        m.record_latency("/query", Duration::from_micros(100));
+        m.record_latency("/query", Duration::from_micros(100));
+        m.record_latency("/load", Duration::from_micros(100));
+        m.record_latency("/made/up/route", Duration::from_micros(100));
+        let json = m.render_json_fields();
+        assert!(json.contains("\"endpoints\""), "{json}");
+        assert!(json.contains("\"/query\": {\"count\": 2"), "{json}");
+        assert!(json.contains("\"/load\": {\"count\": 1"), "{json}");
+        assert!(json.contains("\"other\": {\"count\": 1"), "{json}");
+        assert!(json.contains("\"/stats\": {\"count\": 0"), "{json}");
+    }
+
+    #[test]
+    fn batching_and_admission_fields_render() {
+        let m = Metrics::new();
+        m.batched_requests.fetch_add(5, Ordering::Relaxed);
+        m.evaluations_saved.fetch_add(3, Ordering::Relaxed);
+        m.admission_rejections.fetch_add(2, Ordering::Relaxed);
+        let json = m.render_json_fields();
+        assert!(json.contains("\"batching\": {\"batched_requests\": 5, \"evaluations_saved\": 3}"), "{json}");
+        assert!(json.contains("\"admission_rejections\": 2"), "{json}");
+        assert!(json.contains("\"io\": {\"wakeups\": 0, \"cpu_us\": 0}"), "{json}");
+    }
+
+    #[test]
+    fn track_error_classifies_statuses() {
+        let m = Metrics::new();
+        m.track_error(404);
+        m.track_error(400);
+        m.track_error(503);
+        m.track_error(500);
+        assert_eq!(m.client_errors.load(Ordering::Relaxed), 2);
+        assert_eq!(m.deadline_aborts.load(Ordering::Relaxed), 1);
+        assert_eq!(m.server_errors.load(Ordering::Relaxed), 1);
     }
 }

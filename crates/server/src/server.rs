@@ -1,42 +1,93 @@
-//! `blossomd`: the concurrent query server. A `TcpListener` accept loop
-//! feeds a fixed worker pool (the same channel-backed work-queue shape
-//! as `core::exec`'s scan partitioning, but long-lived); workers speak
-//! the minimal HTTP subset in [`crate::http`] and evaluate queries
-//! against the shared [`crate::catalog::Catalog`] through cheap
-//! per-request [`Engine`] views that all share one process-wide plan
-//! cache.
+//! `blossomd`: the concurrent query server. Two serving cores share the
+//! routing/evaluation layer in this module:
+//!
+//! * [`IoModel::EventLoop`] (default) — readiness-driven nonblocking
+//!   I/O ([`crate::eventloop`]): a few I/O threads own all connection
+//!   state, a separate execution pool evaluates queries, identical
+//!   in-flight queries coalesce into one evaluation, and a bounded fair
+//!   queue applies admission control (503 + `Retry-After` past the
+//!   knee). Idle keep-alive connections cost no CPU.
+//! * [`IoModel::ThreadPerRequest`] — the PR 5 baseline: an accept loop
+//!   feeding a fixed pool of blocking workers, one connection per
+//!   worker at a time. Kept for the latency-under-load comparison in
+//!   `BENCH_server.json`.
 //!
 //! Robustness contract (DESIGN.md §10): malformed or oversized requests
 //! get a 4xx and never touch the engine; query parse/eval errors become
 //! 4xx/5xx responses instead of process exits; a per-request wall-clock
 //! deadline aborts runaway queries with 503; `POST /shutdown` flips an
-//! atomic flag, the accept loop stops, and every in-flight request
-//! drains before the process exits.
+//! atomic flag, accepting stops, and every in-flight request drains
+//! before the process exits.
 
 use crate::catalog::Catalog;
 use crate::http::{read_request, write_response, Next, Request};
 use crate::json_str;
 use crate::metrics::Metrics;
+use crate::sched::{Batches, Sched};
 use blossom_core::engine::{EngineError, EngineOptions, SharedPlanCache};
 use blossom_core::plan::Strategy;
-use blossom_xml::writer;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Which serving core runs the socket side.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum IoModel {
+    /// Nonblocking readiness-driven I/O threads + execution pool.
+    #[default]
+    EventLoop,
+    /// Blocking worker pool, one connection per worker (PR 5 baseline).
+    ThreadPerRequest,
+}
+
+impl std::str::FromStr for IoModel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<IoModel, String> {
+        match s {
+            "event-loop" | "eventloop" => Ok(IoModel::EventLoop),
+            "thread-per-request" | "threaded" => Ok(IoModel::ThreadPerRequest),
+            other => Err(format!(
+                "unknown io model {other:?} (want event-loop or thread-per-request)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for IoModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            IoModel::EventLoop => "event-loop",
+            IoModel::ThreadPerRequest => "thread-per-request",
+        })
+    }
+}
 
 /// Everything configurable about a server instance.
 #[derive(Clone)]
 pub struct ServerConfig {
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: String,
-    /// Connection-handling worker threads.
+    /// Execution workers (event loop) or connection workers
+    /// (thread-per-request).
     pub workers: usize,
+    /// Readiness-driven I/O threads (event loop only).
+    pub io_threads: usize,
     /// `EngineOptions::threads` per query evaluation.
     pub query_threads: usize,
-    /// Per-request evaluation budget; `None` never aborts.
+    /// Per-request evaluation budget; `None` never aborts. Requests may
+    /// tighten (never extend) their own with `?deadline_ms=N`.
     pub deadline: Option<Duration>,
+    /// Bound on the execution queue; past it `/query` answers 503 with
+    /// `Retry-After` (event loop only).
+    pub max_queue: usize,
+    /// Coalesce identical concurrent queries into one evaluation
+    /// (event loop only).
+    pub batch: bool,
+    /// Which serving core to run.
+    pub io_model: IoModel,
     /// Catalog byte cap (approximate heap bytes across entries).
     pub catalog_bytes: usize,
     /// Largest accepted request body (`POST /load` documents).
@@ -50,8 +101,12 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
+            io_threads: 2,
             query_threads: 1,
             deadline: Some(Duration::from_secs(10)),
+            max_queue: 1024,
+            batch: true,
+            io_model: IoModel::EventLoop,
             catalog_bytes: 512 * 1024 * 1024,
             max_body: 256 * 1024 * 1024,
             plan_cache_capacity: 1024,
@@ -59,14 +114,23 @@ impl Default for ServerConfig {
     }
 }
 
-/// State shared by the accept loop and every worker.
-struct Shared {
-    catalog: Catalog,
-    plans: Arc<SharedPlanCache>,
-    metrics: Metrics,
-    shutdown: AtomicBool,
-    config: ServerConfig,
-    started: Instant,
+/// State shared by the serving core and every worker.
+pub(crate) struct Shared {
+    pub(crate) catalog: Catalog,
+    pub(crate) plans: Arc<SharedPlanCache>,
+    pub(crate) metrics: Metrics,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) config: ServerConfig,
+    pub(crate) started: Instant,
+    /// Bounded fair execution queue (event loop only).
+    pub(crate) sched: Sched,
+    /// In-flight coalesced batches (event loop only).
+    pub(crate) batches: Batches,
+    /// Fairness ids for accepted connections.
+    pub(crate) next_client: AtomicU64,
+    /// The event loop's I/O-thread mailboxes, once running; lets an
+    /// external `ServerHandle::shutdown` wake blocked pollers.
+    pub(crate) io: OnceLock<Arc<Vec<Arc<crate::eventloop::IoHandle>>>>,
 }
 
 /// A bound, not-yet-running server.
@@ -90,6 +154,11 @@ impl ServerHandle {
     /// Request shutdown and wait for every in-flight request to drain.
     pub fn shutdown(self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handles) = self.shared.io.get() {
+            for h in handles.iter() {
+                h.wake();
+            }
+        }
         let _ = self.thread.join();
     }
 }
@@ -104,6 +173,10 @@ impl Server {
             plans: Arc::new(SharedPlanCache::new(config.plan_cache_capacity)),
             metrics: Metrics::new(),
             shutdown: AtomicBool::new(false),
+            sched: Sched::new(config.max_queue),
+            batches: Batches::new(),
+            next_client: AtomicU64::new(0),
+            io: OnceLock::new(),
             config,
             started: Instant::now(),
         });
@@ -121,53 +194,12 @@ impl Server {
         Ok(self.shared.catalog.load_bytes(name, &bytes)?.doc.len())
     }
 
-    /// Run the accept loop until shutdown, then drain: the listener goes
-    /// non-blocking so the loop can poll the shutdown flag, accepted
-    /// sockets are switched back to blocking before they reach a worker.
+    /// Serve until shutdown + drain, under the configured I/O model.
     pub fn run(self) {
         let Server { listener, shared } = self;
-        listener.set_nonblocking(true).expect("set_nonblocking");
-        let (tx, rx) = mpsc::channel::<TcpStream>();
-        let rx = Arc::new(Mutex::new(rx));
-        let workers: Vec<_> = (0..shared.config.workers.max(1))
-            .map(|_| {
-                let rx = rx.clone();
-                let shared = shared.clone();
-                std::thread::spawn(move || loop {
-                    // Holding the lock only for the dequeue keeps the
-                    // other workers accepting; `Err` means the sender is
-                    // gone and the queue is empty — drain complete.
-                    let next = rx.lock().unwrap().recv();
-                    match next {
-                        Ok(stream) => handle_connection(stream, &shared),
-                        Err(_) => break,
-                    }
-                })
-            })
-            .collect();
-
-        loop {
-            if shared.shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    let _ = stream.set_nodelay(true);
-                    if stream.set_nonblocking(false).is_ok() {
-                        let _ = tx.send(stream);
-                    }
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(5));
-                }
-                Err(_) => std::thread::sleep(Duration::from_millis(5)),
-            }
-        }
-        // Dropping the sender ends the workers' recv loops once the
-        // already-queued connections are served.
-        drop(tx);
-        for w in workers {
-            let _ = w.join();
+        match shared.config.io_model {
+            IoModel::EventLoop => crate::eventloop::run(listener, shared),
+            IoModel::ThreadPerRequest => run_blocking(listener, shared),
         }
     }
 
@@ -180,10 +212,62 @@ impl Server {
     }
 }
 
-/// Serve one connection: a keep-alive loop of request → response. The
-/// read timeout bounds how long a worker sits on an idle connection
-/// before re-checking the shutdown flag — this is what lets the drain
-/// finish while clients hold keep-alive sockets open.
+/// The thread-per-request core: accept loop feeding a fixed pool of
+/// blocking workers. The listener goes non-blocking so the loop can
+/// poll the shutdown flag; accepted sockets are switched back to
+/// blocking before they reach a worker.
+fn run_blocking(listener: TcpListener, shared: Arc<Shared>) {
+    listener.set_nonblocking(true).expect("set_nonblocking");
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    let workers: Vec<_> = (0..shared.config.workers.max(1))
+        .map(|_| {
+            let rx = rx.clone();
+            let shared = shared.clone();
+            std::thread::spawn(move || loop {
+                // Holding the lock only for the dequeue keeps the
+                // other workers accepting; `Err` means the sender is
+                // gone and the queue is empty — drain complete.
+                let next = rx.lock().unwrap().recv();
+                match next {
+                    Ok(stream) => handle_connection(stream, &shared),
+                    Err(_) => break,
+                }
+            })
+        })
+        .collect();
+
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                if stream.set_nonblocking(false).is_ok() {
+                    let _ = tx.send(stream);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    // Dropping the sender ends the workers' recv loops once the
+    // already-queued connections are served.
+    drop(tx);
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+/// Serve one connection (thread-per-request core): a keep-alive loop of
+/// request → response. The read timeout bounds how long a worker sits
+/// on an idle connection before re-checking the shutdown flag — this is
+/// what lets the drain finish while clients hold keep-alive sockets
+/// open (and why this core burns CPU on idle connections; the event
+/// loop does not).
 fn handle_connection(stream: TcpStream, shared: &Shared) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let mut writer = match stream.try_clone() {
@@ -194,14 +278,18 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     loop {
         match read_request(&mut reader, shared.config.max_body) {
             Ok(Next::Request(request)) => {
-                let (status, content_type, body) = respond(&request, shared);
+                let arrived = Instant::now();
+                shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                let deadline = request_deadline(&request, &shared.config, arrived);
+                let (status, content_type, body) = respond(&request, shared, deadline);
                 // During shutdown the drain finishes the current request
                 // but does not linger on an idle keep-alive socket.
                 let close =
                     !request.keep_alive || shared.shutdown.load(Ordering::SeqCst);
                 if status >= 400 {
-                    track_error(shared, status);
+                    shared.metrics.track_error(status);
                 }
+                shared.metrics.record_latency(&request.path, arrived.elapsed());
                 if write_response(&mut writer, status, content_type, &body, close).is_err()
                     || close
                 {
@@ -217,7 +305,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             Err(e) => {
                 // Framing is unreliable after a malformed request, so
                 // answer and close; the *server* keeps running.
-                track_error(shared, e.status);
+                shared.metrics.track_error(e.status);
                 let body = format!("error: {}\n", e.message);
                 let _ =
                     write_response(&mut writer, e.status, "text/plain", body.as_bytes(), true);
@@ -227,24 +315,39 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     }
 }
 
-fn track_error(shared: &Shared, status: u16) {
-    if status >= 500 {
-        if status == 503 {
-            shared.metrics.deadline_aborts.fetch_add(1, Ordering::Relaxed);
-        } else {
-            shared.metrics.server_errors.fetch_add(1, Ordering::Relaxed);
-        }
-    } else {
-        shared.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
+/// The effective deadline for one request: the server's configured
+/// budget, tightened by a `?deadline_ms=N` parameter when present
+/// (testing and per-call SLOs). A request can never *extend* the
+/// server's budget.
+pub(crate) fn request_deadline(
+    request: &Request,
+    config: &ServerConfig,
+    arrived: Instant,
+) -> Option<Instant> {
+    let requested = request
+        .param("deadline_ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|ms| *ms >= 1)
+        .map(Duration::from_millis);
+    match (config.deadline, requested) {
+        (Some(c), Some(r)) => Some(arrived + c.min(r)),
+        (Some(c), None) => Some(arrived + c),
+        (None, Some(r)) => Some(arrived + r),
+        (None, None) => None,
     }
 }
 
-/// Route one request; returns `(status, content type, body)`.
-fn respond(request: &Request, shared: &Shared) -> (u16, &'static str, Vec<u8>) {
-    shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+/// Route one request; returns `(status, content type, body)`. Pure with
+/// respect to request counters/latency — both serving cores tally those
+/// themselves (the event loop counts at dispatch, before queueing).
+pub(crate) fn respond(
+    request: &Request,
+    shared: &Shared,
+    deadline: Option<Instant>,
+) -> (u16, &'static str, Vec<u8>) {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => (200, "text/plain", b"ok\n".to_vec()),
-        ("GET", "/query") => query(request, shared),
+        ("GET", "/query") => query(request, shared, deadline),
         ("POST", "/load") => load(request, shared),
         ("GET", "/stats") => (200, "application/json", stats(shared).into_bytes()),
         ("POST", "/shutdown") => {
@@ -258,8 +361,13 @@ fn respond(request: &Request, shared: &Shared) -> (u16, &'static str, Vec<u8>) {
     }
 }
 
-/// `GET /query?doc=NAME&q=QUERY[&strategy=S][&threads=N][&profile=1]`.
-fn query(request: &Request, shared: &Shared) -> (u16, &'static str, Vec<u8>) {
+/// `GET /query?doc=NAME&q=QUERY[&strategy=S][&threads=N][&profile=1]
+/// [&deadline_ms=N]`.
+fn query(
+    request: &Request,
+    shared: &Shared,
+    deadline: Option<Instant>,
+) -> (u16, &'static str, Vec<u8>) {
     let bad = |msg: String| (400, "text/plain", format!("error: {msg}\n").into_bytes());
     let Some(doc_name) = request.param("doc") else {
         return bad("missing ?doc=NAME".to_string());
@@ -289,24 +397,17 @@ fn query(request: &Request, shared: &Shared) -> (u16, &'static str, Vec<u8>) {
     // trace is observational (PR 4's invariant: identical result bytes).
     let engine = entry.engine(
         shared.plans.clone(),
-        EngineOptions {
-            threads,
-            trace: true,
-            deadline: shared.config.deadline.map(|d| Instant::now() + d),
-            ..EngineOptions::default()
-        },
+        EngineOptions { threads, trace: true, deadline, ..EngineOptions::default() },
     );
-    let start = Instant::now();
-    match engine.eval_query_traced(q, strategy) {
-        Ok((result, trace)) => {
-            shared.metrics.record_latency(start.elapsed());
+    // The plain body is the serialized result plus a newline —
+    // byte-identical to `blossom query` stdout, so harnesses can
+    // `cmp` the two directly (and so batched responses, which use the
+    // same `eval_query_bytes` contract, match solo ones).
+    match engine.eval_query_bytes(q, strategy) {
+        Ok((bytes, trace)) => {
             shared.metrics.record_strategy(&trace.executed.to_string());
-            // The plain body is the serialized result plus a newline —
-            // byte-identical to `blossom query` stdout, so harnesses can
-            // `cmp` the two directly.
-            let mut text = writer::to_string(&result);
-            text.push('\n');
             if profile {
+                let text = String::from_utf8(bytes).expect("serializer emits UTF-8");
                 let body = format!(
                     "{{\"result\": {}, \"profile\": {}}}\n",
                     json_str(&text),
@@ -314,7 +415,7 @@ fn query(request: &Request, shared: &Shared) -> (u16, &'static str, Vec<u8>) {
                 );
                 (200, "application/json", body.into_bytes())
             } else {
-                (200, "text/plain", text.into_bytes())
+                (200, "text/plain", bytes)
             }
         }
         Err(EngineError::Deadline) => (
@@ -346,8 +447,9 @@ fn load(request: &Request, shared: &Shared) -> (u16, &'static str, Vec<u8>) {
     }
 }
 
-/// `GET /stats`: request counters, latency percentiles, strategy and
-/// plan-cache tallies, catalog contents.
+/// `GET /stats`: request counters, latency percentiles (global and per
+/// endpoint), batching/admission tallies, queue gauges, plan-cache and
+/// catalog contents.
 fn stats(shared: &Shared) -> String {
     let cache = shared.plans.stats();
     let (entries, evictions) = shared.catalog.snapshot();
@@ -358,10 +460,16 @@ fn stats(shared: &Shared) -> String {
         .join(", ");
     format!(
         "{{{}, \
+         \"io_model\": {}, \
+         \"queue\": {{\"depth\": {}, \"peak\": {}, \"capacity\": {}}}, \
          \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \"capacity\": {}}}, \
          \"catalog\": {{\"documents\": [{catalog_fields}], \"evictions\": {evictions}}}, \
          \"uptime_us\": {}}}\n",
         shared.metrics.render_json_fields(),
+        json_str(&shared.config.io_model.to_string()),
+        shared.sched.depth(),
+        shared.sched.peak(),
+        shared.sched.capacity(),
         cache.hits,
         cache.misses,
         cache.len,

@@ -218,3 +218,304 @@ fn oversized_body_is_413() {
     assert_eq!(response.status, 413);
     handle.shutdown();
 }
+
+/// Extract an integer stats field by key (first occurrence).
+fn stat_u64(body: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\": ");
+    let at = body.find(&pat).unwrap_or_else(|| panic!("no {key:?} in {body}"));
+    body[at + pat.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+/// A query that keeps one execution worker busy for about `ms`
+/// milliseconds: a three-way Cartesian product far larger than the
+/// budget, cut off by `?deadline_ms=` so occupancy is machine-speed
+/// independent.
+fn occupy(addr: std::net::SocketAddr, ms: u64) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        let response = client
+            .query(
+                "wide",
+                "for $x in //a for $y in //a for $z in //a return <t>{$x}</t>",
+                &[&format!("deadline_ms={ms}")],
+            )
+            .unwrap();
+        assert_eq!(response.status, 503, "occupier should die on its deadline");
+    })
+}
+
+fn wide_xml() -> String {
+    let mut xml = String::from("<r>");
+    for i in 0..500 {
+        xml.push_str(&format!("<a>{i}</a>"));
+    }
+    xml.push_str("</r>");
+    xml
+}
+
+#[test]
+fn stats_reports_queue_batching_io_and_endpoint_fields() {
+    let handle = spawn_default();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.load("bib", BIB.as_bytes()).unwrap();
+    client.query("bib", "//book/title", &[]).unwrap();
+    let stats = client.get("/stats").unwrap();
+    assert_eq!(stats.status, 200);
+    let body = stats.body_str();
+    for key in [
+        "\"io_model\": \"event-loop\"",
+        "\"queue\": {\"depth\": ",
+        "\"peak\": ",
+        "\"capacity\": ",
+        "\"admission_rejections\": ",
+        "\"batching\": {\"batched_requests\": ",
+        "\"evaluations_saved\": ",
+        "\"io\": {\"wakeups\": ",
+        "\"cpu_us\": ",
+        "\"latency_us\": {\"count\": ",
+        "\"endpoints\": {",
+        "\"/query\": {\"count\": 1",
+        "\"/load\": {\"count\": 1",
+    ] {
+        assert!(body.contains(key), "missing {key} in {body}");
+    }
+    assert_eq!(stat_u64(&body, "capacity"), 1024, "default queue bound");
+    handle.shutdown();
+}
+
+/// The PR 5 server woke every worker every 100ms per idle keep-alive
+/// connection. The event loop must not: parked connections sit in the
+/// poller, so I/O-thread CPU and wakeups stay near zero no matter how
+/// many idle sockets are open. (Measured via the self-sampled
+/// `io.cpu_us` / `io.wakeups` counters so parallel test load cannot
+/// pollute the reading.)
+#[test]
+fn idle_connections_cost_no_io_cpu_or_wakeups() {
+    let handle = spawn_default();
+    let idle: Vec<std::net::TcpStream> = (0..64)
+        .map(|_| std::net::TcpStream::connect(handle.addr()).unwrap())
+        .collect();
+    std::thread::sleep(Duration::from_millis(150));
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let before = client.get("/stats").unwrap().body_str();
+    std::thread::sleep(Duration::from_millis(1000));
+    let after = client.get("/stats").unwrap().body_str();
+
+    let cpu = stat_u64(&after, "cpu_us") - stat_u64(&before, "cpu_us");
+    let wakeups = stat_u64(&after, "wakeups") - stat_u64(&before, "wakeups");
+    // Budget: the 500ms safety tick (2 I/O threads → ~4 returns) plus
+    // the /stats request itself. 64 idle connections polled at 100ms
+    // would be ~640 wakeups and tens of ms of CPU.
+    assert!(wakeups < 40, "idle window saw {wakeups} wakeups with 64 idle connections");
+    assert!(cpu < 100_000, "idle window burned {cpu}µs of I/O-thread CPU");
+    drop(idle);
+    handle.shutdown();
+}
+
+#[test]
+fn coalesced_identical_queries_return_solo_bytes_and_save_evaluations() {
+    let handle = Server::bind(ServerConfig { workers: 1, ..ServerConfig::default() })
+        .unwrap()
+        .spawn();
+    let addr = handle.addr();
+    let mut setup = Client::connect(addr).unwrap();
+    setup.load("wide", wide_xml().as_bytes()).unwrap();
+    setup.load("bib", BIB.as_bytes()).unwrap();
+    let solo = setup.query("bib", "//book/title", &[]).unwrap();
+    assert_eq!(solo.status, 200);
+    assert_eq!(solo.body_str(), direct_eval(BIB, "//book/title"));
+
+    // Fill the single worker, then land 4 identical queries while it is
+    // busy: one leads, three join, one evaluation serves all four.
+    let occupier = occupy(addr, 600);
+    std::thread::sleep(Duration::from_millis(100));
+    let followers: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                client.query("bib", "//book/title", &[]).unwrap()
+            })
+        })
+        .collect();
+    for f in followers {
+        let response = f.join().unwrap();
+        assert_eq!(response.status, 200, "{}", response.body_str());
+        assert_eq!(
+            response.body_str(),
+            direct_eval(BIB, "//book/title"),
+            "batched response must be byte-identical to solo evaluation"
+        );
+    }
+    occupier.join().unwrap();
+
+    let stats = setup.get("/stats").unwrap().body_str();
+    assert!(
+        stat_u64(&stats, "batched_requests") >= 4,
+        "expected a 4-member batch in {stats}"
+    );
+    assert!(
+        stat_u64(&stats, "evaluations_saved") >= 3,
+        "expected >= 3 evaluations saved in {stats}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn a_members_deadline_expiring_mid_batch_does_not_poison_the_others() {
+    let handle = Server::bind(ServerConfig { workers: 1, ..ServerConfig::default() })
+        .unwrap()
+        .spawn();
+    let addr = handle.addr();
+    let mut setup = Client::connect(addr).unwrap();
+    setup.load("wide", wide_xml().as_bytes()).unwrap();
+    setup.load("bib", BIB.as_bytes()).unwrap();
+
+    // Worker busy until ~600ms. The first joiner's 50ms budget expires
+    // while its batch is still queued; the second joiner has the full
+    // default budget. Identical (doc, query) — they coalesce.
+    let occupier = occupy(addr, 600);
+    std::thread::sleep(Duration::from_millis(100));
+    let tight = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.query("bib", "//book/title", &["deadline_ms=50"]).unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(50));
+    let lax = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.query("bib", "//book/title", &[]).unwrap()
+    });
+
+    let tight = tight.join().unwrap();
+    let lax = lax.join().unwrap();
+    occupier.join().unwrap();
+    assert_eq!(tight.status, 503, "expired member: {}", tight.body_str());
+    assert!(tight.body_str().contains("deadline"), "{}", tight.body_str());
+    assert_eq!(lax.status, 200, "surviving member: {}", lax.body_str());
+    assert_eq!(
+        lax.body_str(),
+        direct_eval(BIB, "//book/title"),
+        "survivor still gets solo-identical bytes"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn admission_control_rejects_with_503_and_retry_after() {
+    let handle = Server::bind(ServerConfig {
+        workers: 1,
+        max_queue: 1,
+        batch: false, // identical bursts must queue, not coalesce
+        ..ServerConfig::default()
+    })
+    .unwrap()
+    .spawn();
+    let addr = handle.addr();
+    let mut setup = Client::connect(addr).unwrap();
+    setup.load("wide", wide_xml().as_bytes()).unwrap();
+    setup.load("bib", BIB.as_bytes()).unwrap();
+
+    let occupier = occupy(addr, 700);
+    std::thread::sleep(Duration::from_millis(100));
+    let burst: Vec<_> = (0..6)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                client.query("bib", "//book/title", &[]).unwrap()
+            })
+        })
+        .collect();
+    let responses: Vec<_> = burst.into_iter().map(|t| t.join().unwrap()).collect();
+    occupier.join().unwrap();
+
+    let rejected: Vec<_> = responses.iter().filter(|r| r.status == 503).collect();
+    let served = responses.iter().filter(|r| r.status == 200).count();
+    assert!(!rejected.is_empty(), "queue bound 1 must reject part of a 6-burst");
+    assert!(served >= 1, "the admitted request must still be served");
+    for r in &rejected {
+        assert_eq!(r.header("Retry-After"), Some("1"), "{:?}", r.headers);
+        assert!(r.body_str().contains("overloaded"), "{}", r.body_str());
+    }
+    let stats = setup.get("/stats").unwrap().body_str();
+    assert!(stat_u64(&stats, "admission_rejections") >= rejected.len() as u64, "{stats}");
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_requests_get_ordered_responses() {
+    let handle = spawn_default();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.load("bib", BIB.as_bytes()).unwrap();
+
+    // Three requests in one TCP segment; responses must come back in
+    // request order with correct bodies.
+    let query_target = "/query?doc=bib&q=%2F%2Fbook%2Ftitle";
+    let pipelined = format!(
+        "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n\
+         GET {query_target} HTTP/1.1\r\nHost: x\r\n\r\n\
+         GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"
+    );
+    client.write_raw(pipelined.as_bytes()).unwrap();
+    let first = client.recv().unwrap();
+    let second = client.recv().unwrap();
+    let third = client.recv().unwrap();
+    assert_eq!((first.status, first.body_str().as_str()), (200, "ok\n"));
+    assert_eq!(second.status, 200);
+    assert_eq!(second.body_str(), direct_eval(BIB, "//book/title"));
+    assert_eq!((third.status, third.body_str().as_str()), (200, "ok\n"));
+
+    // A request whose header block dribbles in across many segments
+    // still parses (incremental framing, not read-to-timeout).
+    for fragment in ["GET /hea", "lthz HTTP/1.1\r\nHo", "st: x\r\nContent-Le", "ngth: 0\r\n\r\n"] {
+        client.write_raw(fragment.as_bytes()).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let dribbled = client.recv().unwrap();
+    assert_eq!((dribbled.status, dribbled.body_str().as_str()), (200, "ok\n"));
+    handle.shutdown();
+}
+
+#[test]
+fn thread_per_request_model_still_serves_identical_bytes() {
+    let handle = Server::bind(ServerConfig {
+        io_model: blossom_server::IoModel::ThreadPerRequest,
+        ..ServerConfig::default()
+    })
+    .unwrap()
+    .spawn();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.load("bib", BIB.as_bytes()).unwrap();
+    let response = client.query("bib", "//book/title", &[]).unwrap();
+    assert_eq!(response.status, 200);
+    assert_eq!(response.body_str(), direct_eval(BIB, "//book/title"));
+    let stats = client.get("/stats").unwrap().body_str();
+    assert!(stats.contains("\"io_model\": \"thread-per-request\""), "{stats}");
+    handle.shutdown();
+}
+
+#[test]
+fn deadline_ms_param_tightens_but_cannot_extend_the_budget() {
+    let handle = spawn_default(); // default budget: 10s
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.load("wide", wide_xml().as_bytes()).unwrap();
+    let response = client
+        .query(
+            "wide",
+            "for $x in //a for $y in //a for $z in //a return <t>{$x}</t>",
+            &["deadline_ms=1"],
+        )
+        .unwrap();
+    assert_eq!(response.status, 503, "{}", response.body_str());
+    assert!(response.body_str().contains("deadline"), "{}", response.body_str());
+    // A cheap query under the same tightened budget still succeeds.
+    client.load("bib", BIB.as_bytes()).unwrap();
+    let quick = client.query("bib", "//book/title", &["deadline_ms=5000"]).unwrap();
+    assert_eq!(quick.status, 200);
+    assert_eq!(quick.body_str(), direct_eval(BIB, "//book/title"));
+    handle.shutdown();
+}

@@ -42,16 +42,26 @@ cargo run --release -q -p blossom-bench --bin diff -- \
 cargo run --release -q -p blossom-bench --bin diff -- \
     --replay tests/fixtures/diff --server
 
-echo "== server smoke (blossomd: load, concurrent queries, drain) =="
-# In-process run of the closed-loop load harness: the five paper
-# datasets are loaded over POST /load, four connections sweep the
-# Table-3 query matrix, and every response is byte-compared against
-# direct in-process evaluation. Writes BENCH_server.json.
+echo "== server smoke (blossomd: load, concurrent queries, open-loop, drain) =="
+# In-process run of the load harness, both phases: four connections
+# sweep the Table-3 query matrix closed-loop with every response
+# byte-compared against direct in-process evaluation, then the
+# open-loop generator drives 256 keep-alive connections on a fixed
+# arrival schedule at three offered rates against both serving models
+# (event-loop vs thread-per-request). Writes BENCH_server.json.
 cargo run --release -q -p blossom-bench --bin serve_load -- \
-    --connections 4 --rounds 2 --nodes 4000 --out BENCH_server.json
-for key in throughput_rps p50 p95 p99 response_mismatches; do
+    --connections 4 --rounds 2 --nodes 4000 \
+    --open-connections 256 --rates 500,2000,8000 --open-seconds 1 \
+    --out BENCH_server.json
+for key in closed_loop throughput_rps p50 p95 p99 response_mismatches \
+           open_loop offered_rps achieved_rps rejected_503 \
+           latency_from_arrival_us service_us; do
     grep -q "\"${key}\"" BENCH_server.json \
         || { echo "BENCH_server.json missing key: ${key}"; exit 1; }
+done
+for model in event-loop thread-per-request; do
+    grep -q "\"io_model\": \"${model}\"" BENCH_server.json \
+        || { echo "BENCH_server.json missing open-loop model: ${model}"; exit 1; }
 done
 
 # The same harness against a real `blossom serve` process: ephemeral
@@ -77,7 +87,7 @@ done
 HOST=${ADDR%:*}
 PORT=${ADDR##*:}
 cargo run --release -q -p blossom-bench --bin serve_load -- \
-    --addr "${ADDR}" --connections 4 --rounds 1 --nodes 2000 \
+    --addr "${ADDR}" --connections 4 --rounds 1 --nodes 2000 --no-open \
     --out target/BENCH_server_external.json
 
 exec 3<>"/dev/tcp/${HOST}/${PORT}"

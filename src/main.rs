@@ -8,7 +8,8 @@
 //! blossom encode  <doc.xml> <out.blsm>     # succinct storage format
 //! blossom gen     <d1|d2|d3|d4|d5> <out.xml> [--nodes N] [--seed S]
 //! blossom serve   [--addr HOST:PORT] [--workers N] [--threads N] [--deadline-ms N]
-//!                 [--catalog-mb N] [--load NAME=PATH]...
+//!                 [--catalog-mb N] [--io-model M] [--io-threads N] [--max-queue N]
+//!                 [--batch on|off] [--load NAME=PATH]...
 //! ```
 //!
 //! `--profile` prints an `EXPLAIN ANALYZE`-style execution trace to
@@ -17,16 +18,22 @@
 //! evaluates the query N times and reports plan-cache statistics.
 //!
 //! `serve` starts `blossomd`, the concurrent query server (see
-//! `DESIGN.md` §10): `--addr` binds the listener (port 0 picks an
-//! ephemeral port, printed on startup), `--workers` sizes the
-//! connection pool, `--threads` sets per-query evaluation threads,
+//! `DESIGN.md` §10 and §12): `--addr` binds the listener (port 0 picks
+//! an ephemeral port, printed on startup), `--workers` sizes the
+//! execution pool, `--threads` sets per-query evaluation threads,
 //! `--deadline-ms` bounds each request's evaluation wall-clock (0
 //! disables), `--catalog-mb` caps the document catalog's memory, and
 //! each `--load NAME=PATH` preloads an XML or `.blsm` file into the
-//! catalog under NAME.
+//! catalog under NAME. The serving model is `--io-model`: the default
+//! `event-loop` parks idle connections in a poller driven by
+//! `--io-threads` I/O threads, admits at most `--max-queue` queued
+//! requests (the rest get 503 + Retry-After), and coalesces identical
+//! concurrent queries into one evaluation unless `--batch off`;
+//! `thread-per-request` is the PR 5 blocking model, kept for
+//! comparison benchmarks.
 
 use blossomtree::core::{exec, Engine, EngineOptions, Strategy};
-use blossomtree::server::{Server, ServerConfig};
+use blossomtree::server::{IoModel, Server, ServerConfig};
 use blossomtree::xml::{load, succinct, writer, Document};
 use blossomtree::xmlgen::{generate, Dataset};
 use std::process::ExitCode;
@@ -53,7 +60,8 @@ const USAGE: &str = "usage:
   blossom encode  <doc.xml> <out.blsm>
   blossom gen     <d1|d2|d3|d4|d5> <out.xml> [--nodes N] [--seed S]
   blossom serve   [--addr HOST:PORT] [--workers N] [--threads N] [--deadline-ms N]
-                  [--catalog-mb N] [--load NAME=PATH]...
+                  [--catalog-mb N] [--io-model M] [--io-threads N] [--max-queue N]
+                  [--batch on|off] [--load NAME=PATH]...
 
 strategies: auto (default), navigational, twigstack, pathstack, pipelined, bnlj, nlj
 --threads:      worker threads for NoK scans and FLWOR iteration
@@ -64,9 +72,14 @@ strategies: auto (default), navigational, twigstack, pathstack, pipelined, bnlj,
 --profile-json: write the trace as JSON to FILE
 --repeat:       evaluate the query N times and report plan-cache stats
 --addr:         serve: bind address (default 127.0.0.1:7730; port 0 = ephemeral)
---workers:      serve: connection worker threads (default 4)
+--workers:      serve: execution worker threads (default 4)
 --deadline-ms:  serve: per-request evaluation budget (default 10000; 0 = none)
 --catalog-mb:   serve: document catalog memory cap (default 512)
+--io-model:     serve: event-loop (default) or thread-per-request
+--io-threads:   serve: event-loop I/O threads (default 2)
+--max-queue:    serve: admission bound on queued requests (default 1024;
+                beyond it requests get 503 + Retry-After)
+--batch:        serve: coalesce identical concurrent queries (default on)
 --load:         serve: preload NAME=PATH into the catalog (repeatable)";
 
 /// Execute a CLI invocation; returns the text to print.
@@ -245,7 +258,44 @@ fn parse_serve_config(args: &[String]) -> Result<ServerConfig, String> {
             _ => return Err(format!("bad --catalog-mb {v:?} (want an integer >= 1)")),
         },
     };
-    Ok(ServerConfig { addr, workers, query_threads, deadline, catalog_bytes, ..defaults })
+    let io_model = match flag_value(args, "--io-model") {
+        None => defaults.io_model,
+        Some(v) => v
+            .parse::<IoModel>()
+            .map_err(|_| format!("bad --io-model {v:?} (want event-loop or thread-per-request)"))?,
+    };
+    let io_threads = match flag_value(args, "--io-threads") {
+        None => defaults.io_threads,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => return Err(format!("bad --io-threads {v:?} (want an integer >= 1)")),
+        },
+    };
+    let max_queue = match flag_value(args, "--max-queue") {
+        None => defaults.max_queue,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => return Err(format!("bad --max-queue {v:?} (want an integer >= 1)")),
+        },
+    };
+    let batch = match flag_value(args, "--batch") {
+        None => defaults.batch,
+        Some("on") => true,
+        Some("off") => false,
+        Some(v) => return Err(format!("bad --batch {v:?} (want on or off)")),
+    };
+    Ok(ServerConfig {
+        addr,
+        workers,
+        query_threads,
+        deadline,
+        catalog_bytes,
+        io_model,
+        io_threads,
+        max_queue,
+        batch,
+        ..defaults
+    })
 }
 
 /// Every `NAME=PATH` value of a repeatable flag.
@@ -522,6 +572,26 @@ mod tests {
         assert_eq!(parse_serve_config(&s(&["serve", "--deadline-ms", "0"])).unwrap().deadline, None);
         assert!(parse_serve_config(&s(&["serve", "--workers", "0"])).is_err());
         assert!(parse_serve_config(&s(&["serve", "--catalog-mb", "lots"])).is_err());
+
+        // Event-loop serving knobs.
+        let config = parse_serve_config(&s(&[
+            "serve", "--io-model", "thread-per-request", "--io-threads", "4",
+            "--max-queue", "16", "--batch", "off",
+        ]))
+        .unwrap();
+        assert_eq!(config.io_model, IoModel::ThreadPerRequest);
+        assert_eq!(config.io_threads, 4);
+        assert_eq!(config.max_queue, 16);
+        assert!(!config.batch);
+        let defaults = parse_serve_config(&s(&["serve"])).unwrap();
+        assert_eq!(defaults.io_model, IoModel::EventLoop);
+        assert_eq!(defaults.io_threads, 2);
+        assert_eq!(defaults.max_queue, 1024);
+        assert!(defaults.batch);
+        assert!(parse_serve_config(&s(&["serve", "--io-model", "coroutines"])).is_err());
+        assert!(parse_serve_config(&s(&["serve", "--io-threads", "0"])).is_err());
+        assert!(parse_serve_config(&s(&["serve", "--max-queue", "0"])).is_err());
+        assert!(parse_serve_config(&s(&["serve", "--batch", "maybe"])).is_err());
 
         let loads = s(&["serve", "--load", "a=/tmp/a.xml", "--load", "b=/tmp/b.blsm"]);
         let pairs = flag_pairs(&loads, "--load").unwrap();
