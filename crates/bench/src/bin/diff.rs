@@ -18,8 +18,15 @@
 //! * `--server`       also route every case through a live in-process
 //!                    `blossomd` (HTTP load + query, `Auto` strategy)
 //!                    and hold its responses to the same oracle
+//! * `--mutations N`  mutation-fuzz mode: each round also draws an
+//!                    N-step seeded mutation script, applies it
+//!                    incrementally (splice + index splice) and by
+//!                    rebuild-from-scratch, and requires byte-identical
+//!                    documents plus full-matrix query agreement on the
+//!                    incrementally maintained parts
 //! * `--replay P`     replay a fixture file (or every `.txt` fixture in a
-//!                    directory) instead of fuzzing; prints each config's
+//!                    directory) instead of fuzzing; `mut:` lines make a
+//!                    fixture a mutation case; prints each config's
 //!                    disagreement in full
 //!
 //! Every case derives deterministically from `(seed, round)`: the round
@@ -28,10 +35,11 @@
 //! reproducible by rerunning with the same `--seed`/`--nodes`.
 
 use blossom_bench::diff::{
-    fixture_contents, parse_fixture, run_case_with, CaseResult, ServerTarget, shrink,
+    fixture_contents, mutation_fixture_contents, parse_fixture_full, run_case_with,
+    run_mutation_case, shrink, shrink_mutation_case, CaseResult, ServerTarget,
 };
 use blossom_bench::Args;
-use blossom_xmlgen::{generate, random_query_full, Dataset};
+use blossom_xmlgen::{generate, random_mutations, random_query_full, Dataset};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 
@@ -52,6 +60,7 @@ fn main() {
         args.get::<String>("out").unwrap_or_else(|| "tests/fixtures/diff".into()).into();
     let fail_fast = args.has("fail-fast");
     let no_shrink = args.has("no-shrink");
+    let mutations: usize = args.get("mutations").unwrap_or(0);
     let mut server = if args.has("server") {
         Some(ServerTarget::spawn().expect("spawn in-process server"))
     } else {
@@ -72,8 +81,21 @@ fn main() {
         let doc = generate(dataset, nodes, doc_seed);
         let xml = blossom_xml::writer::to_string(&doc);
         let query = random_query_full(&doc, doc_seed ^ 0xD1FF);
+        let script = if mutations > 0 {
+            random_mutations(&doc, mutations, doc_seed ^ 0x5EED)
+                .iter()
+                .map(|m| m.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        } else {
+            String::new()
+        };
 
-        let result = run_case_with(&xml, &query, server.as_mut());
+        let result = if mutations > 0 {
+            run_mutation_case(&xml, &script, &query)
+        } else {
+            run_case_with(&xml, &query, server.as_mut())
+        };
         agreed += result.agreed as u64;
         skipped += result.skipped as u64;
         for (_, strategy) in &result.executed {
@@ -91,16 +113,34 @@ fn main() {
         for m in result.mismatches.iter().take(3) {
             println!("  [{}]\n    engine: {}\n    oracle: {}", m.config, m.engine, m.oracle);
         }
-        let (min_xml, min_query) =
-            if no_shrink { (xml.clone(), query.clone()) } else { shrink(&xml, &query) };
-        println!("  minimized query: {min_query}");
-        println!("  minimized xml:   {min_xml}");
-        let provenance = format!(
-            "bin/diff --seed {seed} --nodes {nodes}, round {round}, dataset {dataset:?}"
-        );
-        let name = format!("case_{seed:x}_{round}.txt");
+        let (name, contents) = if mutations > 0 {
+            let (min_xml, min_script, min_query) = if no_shrink {
+                (xml.clone(), script.clone(), query.clone())
+            } else {
+                shrink_mutation_case(&xml, &script, &query)
+            };
+            println!("  minimized query:  {min_query}");
+            println!("  minimized xml:    {min_xml}");
+            println!("  minimized script: {}", min_script.lines().collect::<Vec<_>>().join(" ; "));
+            let provenance = format!(
+                "bin/diff --seed {seed} --nodes {nodes} --mutations {mutations}, round {round}, dataset {dataset:?}"
+            );
+            (
+                format!("mutcase_{seed:x}_{round}.txt"),
+                mutation_fixture_contents(&min_query, &min_xml, &min_script, &provenance),
+            )
+        } else {
+            let (min_xml, min_query) =
+                if no_shrink { (xml.clone(), query.clone()) } else { shrink(&xml, &query) };
+            println!("  minimized query: {min_query}");
+            println!("  minimized xml:   {min_xml}");
+            let provenance = format!(
+                "bin/diff --seed {seed} --nodes {nodes}, round {round}, dataset {dataset:?}"
+            );
+            (format!("case_{seed:x}_{round}.txt"), fixture_contents(&min_query, &min_xml, &provenance))
+        };
         if let Err(e) = std::fs::create_dir_all(&out_dir)
-            .and_then(|_| std::fs::write(out_dir.join(&name), fixture_contents(&min_query, &min_xml, &provenance)))
+            .and_then(|_| std::fs::write(out_dir.join(&name), contents))
         {
             eprintln!("  could not write fixture {name}: {e}");
         } else {
@@ -153,7 +193,7 @@ fn replay(path: &PathBuf, mut server: Option<&mut ServerTarget>) -> i32 {
     let mut failing = 0;
     for f in files {
         let contents = std::fs::read_to_string(&f).expect("read fixture");
-        let Some((query, xml)) = parse_fixture(&contents) else {
+        let Some((query, xml, script)) = parse_fixture_full(&contents) else {
             // Files with no fixture markers at all (e.g. seeds.txt, the
             // corpus seed list) are metadata, not malformed fixtures.
             let marker = contents
@@ -167,7 +207,11 @@ fn replay(path: &PathBuf, mut server: Option<&mut ServerTarget>) -> i32 {
             }
             continue;
         };
-        let r = run_case_with(&xml, &query, server.as_deref_mut());
+        let r = if script.is_empty() {
+            run_case_with(&xml, &query, server.as_deref_mut())
+        } else {
+            run_mutation_case(&xml, &script, &query)
+        };
         if r.ok() {
             println!(
                 "{}: ok ({} agreed, {} skipped; executed: {})",
@@ -180,6 +224,9 @@ fn replay(path: &PathBuf, mut server: Option<&mut ServerTarget>) -> i32 {
             failing += 1;
             println!("{}: {} mismatching config(s)", f.display(), r.mismatches.len());
             println!("  query: {query}\n  xml:   {xml}");
+            for line in script.lines() {
+                println!("  mut:   {line}");
+            }
             for m in &r.mismatches {
                 println!("  [{}]\n    engine: {}\n    oracle: {}", m.config, m.engine, m.oracle);
             }

@@ -1,0 +1,129 @@
+//! Update-cost benchmark: incremental maintenance vs full rebuild.
+//!
+//! For each of the five paper datasets, generates a document, a seeded
+//! mutation script, and times two ways of reaching the same post-update
+//! snapshot:
+//!
+//! * **incremental** — the engine's update path
+//!   ([`blossom_core::update::apply_mutations`]): arena column splices,
+//!   `TagIndex::splice` posting maintenance, one statistics pass at the
+//!   end.
+//! * **rebuild** — the from-scratch baseline: apply the same splices,
+//!   then serialize, reparse, `TagIndex::build`, and recompute the
+//!   statistics, exactly as a server without an update path would
+//!   reload the document.
+//!
+//! Both sides are byte-compared once before timing; the interleaved
+//! [`timing::time_pair`] harness keeps clock drift from biasing either
+//! side. The report lands in `BENCH_update.json`.
+//!
+//! ```text
+//! cargo run --release -p blossom-bench --bin update -- \
+//!     [--nodes N] [--mutations M] [--runs N] [--seed S] [--out FILE]
+//! ```
+
+use blossom_bench::timing::{self, Json};
+use blossom_bench::Args;
+use blossom_core::update::apply_mutations;
+use blossom_xml::{mutate, writer, DocStats, Document, TagIndex};
+use blossom_xmlgen::{generate, random_mutations, Dataset};
+
+fn main() {
+    let args = Args::parse();
+    let nodes: usize = args.get("nodes").unwrap_or(60_000);
+    let mutations: usize = args.get("mutations").unwrap_or(16);
+    let runs: u32 = args.get("runs").unwrap_or(5);
+    let seed: u64 = args.get("seed").unwrap_or(0xB10550);
+    let out: String = args.get("out").unwrap_or_else(|| "BENCH_update.json".to_string());
+
+    let mut rows = Vec::new();
+    for dataset in Dataset::all() {
+        let doc = generate(dataset, nodes, seed);
+        let index = TagIndex::build(&doc);
+
+        // The generator may end a script on an intentionally invalid
+        // step (the fuzzer wants those; a cost benchmark does not), so
+        // drop trailing invalid steps and keep generating against the
+        // evolved snapshot until the script reaches the target length.
+        let mut muts = Vec::new();
+        for salt in 0u64.. {
+            let cur = mutate::apply_all(&doc, &muts).expect("valid prefix");
+            let mut more = random_mutations(
+                &cur,
+                mutations - muts.len(),
+                (seed ^ 0x5EED).wrapping_add(salt.wrapping_mul(0x9E37_79B9)),
+            );
+            while !more.is_empty() && mutate::apply_all(&cur, &more).is_err() {
+                more.pop();
+            }
+            muts.extend(more);
+            if muts.len() >= mutations || salt > 64 {
+                break;
+            }
+        }
+        assert!(!muts.is_empty(), "{}: no applicable mutations", dataset.name());
+
+        let incremental = || {
+            let updated = apply_mutations(&doc, &index, &muts, None).expect("valid script");
+            updated.doc.len()
+        };
+        let rebuild = || {
+            let spliced = mutate::apply_all(&doc, &muts).expect("valid script");
+            let reparsed = Document::parse_str(&writer::to_string(&spliced)).expect("reparse");
+            let idx = TagIndex::build(&reparsed);
+            let stats = DocStats::compute(&reparsed);
+            std::hint::black_box((idx, stats));
+            reparsed.len()
+        };
+
+        // Equivalence before cost: both roads must end on the same bytes.
+        let inc_doc = apply_mutations(&doc, &index, &muts, None).expect("valid script");
+        let reb_doc = mutate::apply_all(&doc, &muts).expect("valid script");
+        assert_eq!(
+            writer::to_string(&inc_doc.doc),
+            writer::to_string(&reb_doc),
+            "{}: incremental and rebuilt snapshots diverged",
+            dataset.name()
+        );
+
+        let (inc, reb) = timing::time_pair(
+            &format!("{}-incremental", dataset.name()),
+            &format!("{}-rebuild", dataset.name()),
+            1,
+            runs,
+            incremental,
+            rebuild,
+        );
+        let speedup = reb.min.as_secs_f64() / inc.min.as_secs_f64().max(1e-12);
+        eprintln!(
+            "{:<3} {:>8} nodes  {:>2} mutations  incremental {:>10.2?}  rebuild {:>10.2?}  speedup {:.1}x",
+            dataset.name(),
+            doc.len(),
+            muts.len(),
+            inc.min,
+            reb.min,
+            speedup
+        );
+        rows.push(Json::obj([
+            ("dataset", Json::str(dataset.name())),
+            ("nodes", Json::Num(doc.len() as f64)),
+            ("mutations", Json::Num(muts.len() as f64)),
+            ("incremental_min_s", Json::Num(inc.min.as_secs_f64())),
+            ("incremental_mean_s", Json::Num(inc.mean.as_secs_f64())),
+            ("rebuild_min_s", Json::Num(reb.min.as_secs_f64())),
+            ("rebuild_mean_s", Json::Num(reb.mean.as_secs_f64())),
+            ("speedup", Json::Num(speedup)),
+        ]));
+    }
+
+    let report = Json::obj([
+        ("bench", Json::str("update")),
+        ("nodes", Json::Num(nodes as f64)),
+        ("mutations", Json::Num(mutations as f64)),
+        ("runs", Json::Num(f64::from(runs))),
+        ("seed", Json::Num(seed as f64)),
+        ("datasets", Json::Arr(rows)),
+    ]);
+    timing::write_report(&out, &report).expect("write report");
+    println!("wrote {out}");
+}

@@ -25,13 +25,23 @@
 //! written as a fixture under `tests/fixtures/diff/` by
 //! [`write_fixture`] and replayed forever after by
 //! `tests/differential_regressions.rs`.
+//!
+//! A *mutation case* ([`run_mutation_case`]) is a `(document,
+//! mutation-script, query)` triple: the engine applies the script
+//! incrementally (column splices + [`TagIndex::splice`]) while the
+//! oracle rebuilds from scratch (`blossom_oracle::mutate`). The spliced
+//! and rebuilt documents must serialize identically, and the query must
+//! then agree across the full matrix *running on the incrementally
+//! maintained parts*. [`shrink_mutation_case`] adds a greedy
+//! mutation-drop pass in front of the document and query passes.
 
-use blossom_core::{Engine, EngineOptions, Strategy};
+use blossom_core::{Engine, EngineOptions, SharedPlanCache, Strategy};
 use blossom_oracle::output::{serialize, Frag};
 use blossom_oracle::Oracle;
-use blossom_xml::{writer, Document, NodeId};
+use blossom_xml::{writer, Document, NodeId, TagIndex};
 use blossom_xpath::ast::{PathExpr, Predicate};
 use std::fmt;
+use std::sync::Arc;
 
 /// One engine configuration under test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -340,8 +350,280 @@ fn run_case_matrix(xml: &str, query: &str) -> CaseResult {
 }
 
 // ---------------------------------------------------------------------
-// Shrinking
+// Mutation cases
 // ---------------------------------------------------------------------
+
+/// Evaluate one `(document, mutation-script, query)` triple.
+///
+/// The engine side applies the script through
+/// `blossom_core::update::apply_mutations` — column splices with the tag
+/// index maintained incrementally at every step — and the oracle side
+/// through `blossom_oracle::mutate::rebuild_with` — Frag-tree edits,
+/// serialize, reparse. Both sides rejecting the script is agreement;
+/// one side rejecting is a mismatch. When both apply, the two documents
+/// must serialize byte-identically, and `query` is then run under the
+/// whole configuration matrix **on the incrementally maintained parts**
+/// (shared doc / index / stats via `Engine::with_shared`) against the
+/// oracle over the rebuilt document.
+pub fn run_mutation_case(xml: &str, script: &str, query: &str) -> CaseResult {
+    let doc = match Document::parse_str(xml) {
+        Ok(d) => d,
+        Err(_) => return CaseResult::default(), // unparseable fixture: nothing to test
+    };
+    let muts = match blossom_xml::mutate::parse_mutations(script) {
+        Ok(m) => m,
+        Err(_) => return CaseResult::default(), // script syntax is shared, not differential
+    };
+    let index = TagIndex::build(&doc);
+    let incremental = blossom_core::update::apply_mutations(&doc, &index, &muts, None);
+    let reference = blossom_oracle::mutate::rebuild_with(&doc, &muts);
+
+    let mut result = CaseResult::default();
+    let (updated, rebuilt) = match (incremental, reference) {
+        (Ok(u), Ok(r)) => (u, r),
+        (Err(_), Err(_)) => {
+            result.agreed += 1; // both reject the script: agreement
+            return result;
+        }
+        (Ok(u), Err(e)) => {
+            result.mismatches.push(Mismatch {
+                config: "mutation apply".to_string(),
+                engine: writer::to_string(&u.doc),
+                oracle: format!("error: {e}"),
+            });
+            return result;
+        }
+        (Err(e), Ok(r)) => {
+            result.mismatches.push(Mismatch {
+                config: "mutation apply".to_string(),
+                engine: format!("error: {e}"),
+                oracle: writer::to_string(&r),
+            });
+            return result;
+        }
+    };
+
+    // The spliced document must be byte-identical to the rebuilt one.
+    let spliced_xml = writer::to_string(&updated.doc);
+    let rebuilt_xml = writer::to_string(&rebuilt);
+    if spliced_xml != rebuilt_xml {
+        result.mismatches.push(Mismatch {
+            config: "mutation serialization".to_string(),
+            engine: spliced_xml,
+            oracle: rebuilt_xml,
+        });
+        return result;
+    }
+    result.agreed += 1;
+
+    // Query matrix over the incrementally maintained parts. Unlike
+    // `run_case_matrix`, the engines here deliberately share the spliced
+    // document and the incrementally spliced index — a stale posting
+    // list or region label surfaces as a query-result mismatch.
+    let oracle = Oracle::new(&rebuilt);
+    let expected = oracle.eval_query_str(query);
+    for config in config_matrix() {
+        let engine = Engine::with_shared(
+            updated.doc.clone(),
+            updated.index.clone(),
+            updated.stats.clone(),
+            Arc::new(SharedPlanCache::new(8)),
+            EngineOptions {
+                threads: config.threads,
+                skip_joins: config.skip_joins,
+                ..EngineOptions::default()
+            },
+        );
+        let first = engine.eval_query_str(query, config.strategy).map(|d| writer::to_string(&d));
+        let second = engine.eval_query_str(query, config.strategy).map(|d| writer::to_string(&d));
+        let got = match (&first, &second) {
+            (Ok(a), Ok(b)) if a != b => {
+                result.mismatches.push(Mismatch {
+                    config: config.to_string(),
+                    engine: format!("first: {a} / cached: {b}"),
+                    oracle: expected.clone().unwrap_or_else(|e| format!("error: {e}")),
+                });
+                continue;
+            }
+            _ => first,
+        };
+        // Traced re-run on the same shared parts (mirrors `run_case`):
+        // tracing must not change acceptance or bytes, and the trace
+        // must account for the strategy that actually ran.
+        let traced = Engine::with_shared(
+            updated.doc.clone(),
+            updated.index.clone(),
+            updated.stats.clone(),
+            Arc::new(SharedPlanCache::new(8)),
+            EngineOptions {
+                threads: config.threads,
+                skip_joins: config.skip_joins,
+                trace: true,
+                ..EngineOptions::default()
+            },
+        );
+        let expected_str =
+            || expected.clone().unwrap_or_else(|e| format!("error: {e}"));
+        match (&got, traced.eval_query_traced(query, config.strategy)) {
+            (Ok(plain), Ok((doc, trace))) => {
+                let traced_str = writer::to_string(&doc);
+                if *plain != traced_str {
+                    result.mismatches.push(Mismatch {
+                        config: config.to_string(),
+                        engine: format!("untraced: {plain} / traced: {traced_str}"),
+                        oracle: expected_str(),
+                    });
+                    continue;
+                }
+                if trace.executed != trace.resolved && trace.fallbacks.is_empty() {
+                    result.mismatches.push(Mismatch {
+                        config: config.to_string(),
+                        engine: format!(
+                            "trace: resolved {} but executed {} with no fallback event",
+                            trace.resolved, trace.executed
+                        ),
+                        oracle: expected_str(),
+                    });
+                    continue;
+                }
+                result.executed.push((config, trace.executed));
+            }
+            (Ok(plain), Err(e)) => {
+                result.mismatches.push(Mismatch {
+                    config: config.to_string(),
+                    engine: format!("untraced: {plain} / traced error: {e}"),
+                    oracle: expected_str(),
+                });
+                continue;
+            }
+            (Err(_), Ok((doc, _))) => {
+                result.mismatches.push(Mismatch {
+                    config: config.to_string(),
+                    engine: format!("untraced error / traced: {}", writer::to_string(&doc)),
+                    oracle: expected_str(),
+                });
+                continue;
+            }
+            (Err(_), Err(_)) => {}
+        }
+        match (&expected, got) {
+            (Ok(want), Ok(got)) => {
+                if *want == got {
+                    result.agreed += 1;
+                } else {
+                    result.mismatches.push(Mismatch {
+                        config: config.to_string(),
+                        engine: got,
+                        oracle: want.clone(),
+                    });
+                }
+            }
+            (Err(_), Err(_)) => result.agreed += 1,
+            (Ok(want), Err(e)) => {
+                if must_support(config.strategy) {
+                    result.mismatches.push(Mismatch {
+                        config: config.to_string(),
+                        engine: format!("error: {e}"),
+                        oracle: want.clone(),
+                    });
+                } else {
+                    result.skipped += 1;
+                }
+            }
+            (Err(oe), Ok(got)) => {
+                result.mismatches.push(Mismatch {
+                    config: config.to_string(),
+                    engine: got,
+                    oracle: format!("error: {oe}"),
+                });
+            }
+        }
+    }
+    result
+}
+
+/// One greedy mutation-shrink pass: try dropping each script line,
+/// keeping the first drop that preserves the mismatch. Dropping a line
+/// may invalidate later Dewey keys — then both sides reject, the case
+/// agrees, and the candidate is discarded.
+fn shrink_muts_once(xml: &str, script: &str, query: &str) -> Option<String> {
+    let lines: Vec<&str> = script.lines().filter(|l| !l.trim().is_empty()).collect();
+    if lines.len() <= 1 {
+        return None;
+    }
+    for i in 0..lines.len() {
+        let candidate: String = lines
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, l)| *l)
+            .collect::<Vec<_>>()
+            .join("\n");
+        if !run_mutation_case(xml, &candidate, query).ok() {
+            return Some(candidate);
+        }
+    }
+    None
+}
+
+/// Deterministically minimize a mismatching mutation case: greedy
+/// mutation-drop, then document and query passes (re-checked with
+/// [`run_mutation_case`]), until a fixpoint. Returns
+/// `(xml, script, query)`.
+pub fn shrink_mutation_case(xml: &str, script: &str, query: &str) -> (String, String, String) {
+    let mut xml = xml.to_string();
+    let mut script = script.to_string();
+    let mut query = query.to_string();
+    debug_assert!(
+        !run_mutation_case(&xml, &script, &query).ok(),
+        "shrink_mutation_case() requires a mismatching case"
+    );
+    loop {
+        let mut progressed = false;
+        while let Some(smaller) = shrink_muts_once(&xml, &script, &query) {
+            script = smaller;
+            progressed = true;
+        }
+        // Document pass, mirroring shrink_doc_once under the triple.
+        'doc: loop {
+            let Ok(doc) = Document::parse_str(&xml) else { break };
+            let Some(root) = doc.root_element() else { break };
+            for i in 0..doc.len() as u32 {
+                let n = NodeId(i);
+                if n == NodeId::DOCUMENT || n == root {
+                    continue;
+                }
+                let candidate = doc_without(&doc, n, None);
+                if Document::parse_str(&candidate).is_ok()
+                    && !run_mutation_case(&candidate, &script, &query).ok()
+                {
+                    xml = candidate;
+                    progressed = true;
+                    continue 'doc;
+                }
+            }
+            break;
+        }
+        let mut q_progress = true;
+        while q_progress {
+            q_progress = false;
+            for candidate in query_candidates(&query) {
+                if candidate != query
+                    && blossom_flwor::parse_query(&candidate).is_ok()
+                    && !run_mutation_case(&xml, &script, &candidate).ok()
+                {
+                    query = candidate;
+                    progressed = true;
+                    q_progress = true;
+                    break;
+                }
+            }
+        }
+        if !progressed {
+            return (xml, script, query);
+        }
+    }
+}
 
 /// Serialize `doc` minus the subtree under `skip`, or with `skip`'s text
 /// replaced (when `replace` is `Some`).
@@ -581,19 +863,49 @@ pub fn fixture_contents(query: &str, xml: &str, provenance: &str) -> String {
     )
 }
 
+/// Render a mutation-case fixture: like [`fixture_contents`] plus one
+/// `mut:` line per mutation (mutations are single-line by construction).
+pub fn mutation_fixture_contents(query: &str, xml: &str, script: &str, provenance: &str) -> String {
+    let query = query.split_whitespace().collect::<Vec<_>>().join(" ");
+    let mut out = format!(
+        "# minimized mutation differential regression ({provenance})\n\
+         # replay: splice+index-splice vs rebuild must serialize identically,\n\
+         # then every config in diff::config_matrix() must match the oracle\n\
+         query: {query}\n\
+         xml: {xml}\n"
+    );
+    for line in script.lines().filter(|l| !l.trim().is_empty()) {
+        out.push_str("mut: ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
 /// Parse a fixture file produced by [`fixture_contents`]. Returns
 /// `(query, xml)`.
 pub fn parse_fixture(contents: &str) -> Option<(String, String)> {
+    parse_fixture_full(contents).map(|(query, xml, _)| (query, xml))
+}
+
+/// Parse either fixture flavour. Returns `(query, xml, script)`; the
+/// script is empty for plain `(document, query)` fixtures — dispatch on
+/// that to choose [`run_case`] or [`run_mutation_case`].
+pub fn parse_fixture_full(contents: &str) -> Option<(String, String, String)> {
     let mut query = None;
     let mut xml = None;
+    let mut script = String::new();
     for line in contents.lines() {
         if let Some(rest) = line.strip_prefix("query: ") {
             query = Some(rest.to_string());
         } else if let Some(rest) = line.strip_prefix("xml: ") {
             xml = Some(rest.to_string());
+        } else if let Some(rest) = line.strip_prefix("mut: ") {
+            script.push_str(rest);
+            script.push('\n');
         }
     }
-    Some((query?, xml?))
+    Some((query?, xml?, script))
 }
 
 #[cfg(test)]
@@ -652,5 +964,49 @@ mod tests {
         let doc = Document::parse_str("<r><a><b/></a><c/></r>").unwrap();
         let a = doc.root_element().map(|r| doc.children(r).next().unwrap()).unwrap();
         assert_eq!(doc_without(&doc, a, None), "<r><c/></r>");
+    }
+
+    #[test]
+    fn mutation_cases_agree() {
+        let xml = "<bib><book><title>A</title><price>10</price></book>\
+                   <book><title>B</title><price>90</price></book></bib>";
+        let script = "insert 1 0 <book><title>C</title><price>50</price></book>\n\
+                      delete 1.3\n\
+                      replace 1.2.1 <title>Z</title>";
+        for q in ["//book/title", "//book[price < 60]", "for $b in //book return $b/title"] {
+            let r = run_mutation_case(xml, script, q);
+            assert!(r.ok(), "{q}: {:?}", r.mismatches.first());
+            assert!(r.agreed > 1, "{q}: apply agreement plus matrix agreements");
+        }
+    }
+
+    #[test]
+    fn mutation_case_rejected_scripts_agree() {
+        // Both sides must reject: root delete, out-of-range key, broken
+        // fragment. Each counts as one agreement, no mismatches.
+        let xml = "<r><a/></r>";
+        for script in ["delete 1", "delete 1.9", "insert 1 0 <broken"] {
+            let r = run_mutation_case(xml, script, "//a");
+            assert!(r.ok(), "{script}: {:?}", r.mismatches.first());
+            assert_eq!(r.agreed, 1, "{script}");
+        }
+    }
+
+    #[test]
+    fn mutation_fixture_round_trip() {
+        let c = mutation_fixture_contents(
+            "//a[b]",
+            "<r><a><b/></a></r>",
+            "insert 1 0 <a/>\ndelete 1.2",
+            "seed 9",
+        );
+        let (q, x, s) = parse_fixture_full(&c).unwrap();
+        assert_eq!(q, "//a[b]");
+        assert_eq!(x, "<r><a><b/></a></r>");
+        assert_eq!(s, "insert 1 0 <a/>\ndelete 1.2\n");
+        // Plain fixtures come back with an empty script.
+        let plain = fixture_contents("//a", "<r/>", "seed 1");
+        let (_, _, s) = parse_fixture_full(&plain).unwrap();
+        assert!(s.is_empty());
     }
 }

@@ -28,6 +28,10 @@
 //!   evaluation, and write throughput + p50/p95/p99 to
 //!   `BENCH_server.json`; `--rate R` paces an open-loop stub that also
 //!   records queueing delay.
+//! * `update` — times the incremental update path (arena splice +
+//!   `TagIndex::splice` + one stats pass) against a full
+//!   serialize/reparse/rebuild on seeded mutation scripts over the five
+//!   paper datasets; writes `BENCH_update.json`.
 //! * `planner` — scores the cost-based planner: per Table-3 cell, the
 //!   planner's pick is timed against a best-of-all-strategies oracle,
 //!   plus adversarial skewed documents where the static rule mis-prices

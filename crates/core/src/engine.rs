@@ -278,6 +278,23 @@ impl SharedPlanCache {
         self.inner.lock().unwrap().stats()
     }
 
+    /// Drop every cached plan for the document with identity `uid`,
+    /// returning how many entries were removed. Plans are keyed
+    /// `"{uid}#{query}"` (see [`Engine::plan_key`]), so invalidation
+    /// after a document mutation is scoped to the one mutated document —
+    /// entries for every other document survive untouched, keeping their
+    /// hit counters warm. (The mutated document gets a *fresh* uid, so
+    /// this is belt-and-braces against stale-plan reuse: even without
+    /// it, no new engine could ever look the dropped keys up again; the
+    /// sweep reclaims their cache slots.)
+    pub fn invalidate_doc(&self, uid: u64) -> usize {
+        let prefix = format!("{uid}#");
+        let mut cache = self.inner.lock().unwrap();
+        let before = cache.map.len();
+        cache.map.retain(|key, _| !key.starts_with(&prefix));
+        before - cache.map.len()
+    }
+
     fn get(&self, query: &str) -> Option<Arc<CachedPlan>> {
         self.inner.lock().unwrap().get(query)
     }

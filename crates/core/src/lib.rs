@@ -46,11 +46,13 @@ pub mod ops;
 pub mod plan;
 pub mod shape;
 pub mod stream;
+pub mod update;
 pub mod value;
 
 pub use decompose::{CutEdge, Decomposition, NokTree};
 pub use engine::{CacheStats, Engine, EngineError, EngineOptions, SharedPlanCache};
 pub use exec::Executor;
+pub use update::{apply_mutations, UpdateError, UpdatedDoc};
 pub use nestedlist::{NestedList, NlNode};
 pub use nok::NokMatcher;
 pub use obs::{

@@ -1,0 +1,184 @@
+//! The engine-side update path: apply a mutation script to a loaded
+//! document, maintaining its access paths incrementally.
+//!
+//! Loaded documents stay immutable — in-flight readers keep evaluating
+//! against the `Arc<Document>` snapshot they hold. [`apply_mutations`]
+//! produces a *new* snapshot: the spliced document (fresh uid), a tag
+//! index patched per mutation via [`TagIndex::splice`] (never rebuilt
+//! from a scan), and statistics recomputed once for the final document.
+//! Whoever owns the catalog swaps the new parts in and invalidates the
+//! old uid's plans ([`SharedPlanCache::invalidate_doc`]); readers on the
+//! old snapshot are unaffected.
+//!
+//! [`SharedPlanCache::invalidate_doc`]: crate::SharedPlanCache::invalidate_doc
+
+use blossom_xml::mutate::{self, Mutation};
+use blossom_xml::{DocStats, Document, TagIndex};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Why an update did not produce a new snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateError {
+    /// A mutation failed to resolve or apply; the message names the
+    /// 1-based mutation index. Nothing was changed.
+    Invalid(String),
+    /// The deadline passed before the script finished. Nothing was
+    /// changed — updates are all-or-nothing.
+    Deadline,
+}
+
+impl fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateError::Invalid(e) => write!(f, "invalid update: {e}"),
+            UpdateError::Deadline => write!(f, "deadline exceeded: update aborted"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+/// A freshly mutated snapshot, ready to swap into a catalog or wrap in
+/// engines via `Engine::with_shared`.
+#[derive(Debug)]
+pub struct UpdatedDoc {
+    /// The spliced document (fresh [`Document::uid`]).
+    pub doc: Arc<Document>,
+    /// Tag index maintained incrementally across every splice.
+    pub index: Arc<TagIndex>,
+    /// Statistics recomputed for the new document only.
+    pub stats: Arc<DocStats>,
+    /// Number of mutations applied.
+    pub applied: usize,
+}
+
+/// Apply `muts` in order against `(doc, index)`, splicing the index
+/// along with the columns at each step. All-or-nothing: the first
+/// invalid mutation (or a passed `deadline`, polled between mutations)
+/// aborts the whole script with the base snapshot untouched.
+pub fn apply_mutations(
+    doc: &Document,
+    index: &TagIndex,
+    muts: &[Mutation],
+    deadline: Option<Instant>,
+) -> Result<UpdatedDoc, UpdateError> {
+    let mut cur: Option<(Document, TagIndex)> = None;
+    for (i, m) in muts.iter().enumerate() {
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                return Err(UpdateError::Deadline);
+            }
+        }
+        let (base_doc, base_index) = match &cur {
+            Some((d, x)) => (d, x),
+            None => (doc, index),
+        };
+        let (next, splice) = mutate::apply(base_doc, m)
+            .map_err(|e| UpdateError::Invalid(format!("mutation {}: {e}", i + 1)))?;
+        let next_index = base_index.splice(splice.start, splice.removed, splice.inserted, &next);
+        cur = Some((next, next_index));
+    }
+    let (new_doc, new_index) = match cur {
+        Some(parts) => parts,
+        // An empty script still swaps in a fresh, independent snapshot.
+        None => {
+            let copy = mutate::apply_all(doc, &[])
+                .map_err(|e| UpdateError::Invalid(e))?;
+            let index = TagIndex::build(&copy);
+            (copy, index)
+        }
+    };
+    let stats = Arc::new(DocStats::compute(&new_doc));
+    Ok(UpdatedDoc {
+        doc: Arc::new(new_doc),
+        index: Arc::new(new_index),
+        stats,
+        applied: muts.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, EngineOptions, SharedPlanCache};
+    use crate::plan::Strategy;
+    use blossom_xml::mutate::parse_mutations;
+    use blossom_xml::writer;
+    use std::time::Duration;
+
+    fn base() -> (Document, TagIndex) {
+        let doc =
+            Document::parse_str("<bib><book><title>a</title></book><book><title>b</title></book></bib>")
+                .unwrap();
+        let index = TagIndex::build(&doc);
+        (doc, index)
+    }
+
+    #[test]
+    fn incremental_parts_match_rebuilds() {
+        let (doc, index) = base();
+        let muts = parse_mutations(
+            "insert 1 0 <book><title>z</title></book>\ndelete 1.2\nreplace 1.2.1 <title>B</title>",
+        )
+        .unwrap();
+        let updated = apply_mutations(&doc, &index, &muts, None).unwrap();
+        assert_eq!(updated.applied, 3);
+        assert_ne!(updated.doc.uid(), doc.uid());
+        let rebuilt = Document::parse_str(&writer::to_string(&updated.doc)).unwrap();
+        assert_eq!(writer::to_string(&rebuilt), writer::to_string(&updated.doc));
+        // The incrementally maintained index equals a from-scratch build.
+        let fresh = TagIndex::build(&updated.doc);
+        for (sym, name) in updated.doc.symbols().iter() {
+            assert_eq!(updated.index.stream(sym), fresh.stream(sym), "postings of {name}");
+        }
+        // Stats are the new document's, computed once.
+        assert_eq!(*updated.stats, DocStats::compute(&updated.doc));
+    }
+
+    #[test]
+    fn invalid_mutation_aborts_whole_script() {
+        let (doc, index) = base();
+        let muts = parse_mutations("delete 1.1\ndelete 1.7.3").unwrap();
+        let err = apply_mutations(&doc, &index, &muts, None).unwrap_err();
+        assert!(matches!(&err, UpdateError::Invalid(e) if e.contains("mutation 2")), "{err}");
+    }
+
+    #[test]
+    fn deadline_aborts() {
+        let (doc, index) = base();
+        let muts = parse_mutations("delete 1.1").unwrap();
+        let past = Instant::now() - Duration::from_millis(1);
+        assert_eq!(
+            apply_mutations(&doc, &index, &muts, Some(past)).unwrap_err(),
+            UpdateError::Deadline
+        );
+    }
+
+    #[test]
+    fn scoped_plan_invalidation() {
+        let (doc_a, _) = base();
+        let doc_b = Document::parse_str("<x><y/></x>").unwrap();
+        let (uid_a, uid_b) = (doc_a.uid(), doc_b.uid());
+        let plans = Arc::new(SharedPlanCache::new(16));
+        let mk = |doc: Document| {
+            let index = Arc::new(TagIndex::build(&doc));
+            let stats = Arc::new(doc.stats());
+            Engine::with_shared(Arc::new(doc), index, stats, plans.clone(), EngineOptions::default())
+        };
+        let a = mk(doc_a);
+        let b = mk(doc_b);
+        a.eval_query_str("//book/title", Strategy::Auto).unwrap();
+        b.eval_query_str("//y", Strategy::Auto).unwrap();
+        assert_eq!(plans.stats().len, 2);
+        // Invalidate A only: B's entry survives and still hits.
+        assert_eq!(plans.invalidate_doc(uid_a), 1);
+        assert_eq!(plans.stats().len, 1);
+        let hits_before = plans.stats().hits;
+        b.eval_query_str("//y", Strategy::Auto).unwrap();
+        assert_eq!(plans.stats().hits, hits_before + 1, "untouched doc's plan stayed warm");
+        assert_eq!(plans.invalidate_doc(uid_b), 1);
+        assert_eq!(plans.invalidate_doc(uid_b), 0);
+    }
+}

@@ -29,6 +29,7 @@
 #![deny(missing_docs)]
 
 pub mod flwor;
+pub mod mutate;
 pub mod order;
 pub mod output;
 pub mod path;

@@ -1,0 +1,210 @@
+//! The rebuild-from-scratch reference for document mutations.
+//!
+//! The engine applies mutations by splicing arena columns and patching
+//! posting lists in place (`blossom_xml::mutate`). This module
+//! re-derives the *semantics* of the same mutation script with none of
+//! that machinery: the document is copied into the oracle's [`Frag`]
+//! tree, each mutation edits the tree by walking Dewey components over
+//! ordinary child vectors, and the result is serialized and reparsed
+//! into a brand-new [`Document`]. Region labels, sibling links, text
+//! tables, symbol interning — everything is rebuilt from scratch by the
+//! parser, so a splice bug cannot cancel itself out.
+//!
+//! Only the mutation *syntax* ([`Mutation`], shared with the engine so
+//! fixtures mean the same thing to both sides) is reused; validation
+//! and application logic are independent.
+
+use crate::output::Frag;
+use blossom_xml::mutate::Mutation;
+use blossom_xml::{Document, NodeId, ParseError};
+
+/// Apply `muts` the reference way: Frag-tree edits, then serialize and
+/// reparse. Errors are strings so differential drivers can compare
+/// "both sides rejected" without matching kinds.
+pub fn rebuild_with(doc: &Document, muts: &[Mutation]) -> Result<Document, String> {
+    let mut roots = Vec::new();
+    crate::output::copy_subtree(doc, NodeId::DOCUMENT, &mut roots);
+    if roots.len() != 1 {
+        return Err("document does not have a single root element".to_string());
+    }
+    let mut root = roots.pop().unwrap();
+    for (i, m) in muts.iter().enumerate() {
+        apply_frag(&mut root, m).map_err(|e| format!("mutation {}: {e}", i + 1))?;
+    }
+    let xml = crate::output::serialize(std::slice::from_ref(&root));
+    Document::parse_str(&xml).map_err(|e: ParseError| format!("reparse after mutations: {e}"))
+}
+
+/// Walk `d`'s components below the root and return the parent element's
+/// child vector plus the 0-based index of the addressed child.
+fn locate<'a>(root: &'a mut Frag, d: &blossom_xml::Dewey) -> Result<(&'a mut Vec<Frag>, usize), String> {
+    let comps = d.components();
+    if comps[0] != 1 {
+        return Err(format!("Dewey key {d} must start at 1 (the root element)"));
+    }
+    if comps.len() < 2 {
+        return Err(format!("Dewey key {d} addresses the root element itself"));
+    }
+    // Descend to the parent element of the addressed node, then index
+    // its child vector with the final component.
+    let mut cur = root;
+    for &k in &comps[1..comps.len() - 1] {
+        if k == 0 {
+            return Err(format!("Dewey key {d}: components are 1-based, got 0"));
+        }
+        let children = match cur {
+            Frag::Elem { children, .. } => children,
+            Frag::Text(_) => {
+                return Err(format!("Dewey key {d} descends into a text node"))
+            }
+        };
+        let idx = k as usize - 1;
+        if idx >= children.len() {
+            return Err(format!("Dewey key {d}: child {k} out of range"));
+        }
+        cur = &mut children[idx];
+    }
+    let last = *comps.last().unwrap();
+    if last == 0 {
+        return Err(format!("Dewey key {d}: components are 1-based, got 0"));
+    }
+    let children = match cur {
+        Frag::Elem { children, .. } => children,
+        Frag::Text(_) => return Err(format!("Dewey key {d} descends into a text node")),
+    };
+    let idx = last as usize - 1;
+    if idx >= children.len() {
+        return Err(format!("Dewey key {d}: child {last} out of range"));
+    }
+    Ok((children, idx))
+}
+
+/// Parse a mutation fragment the reference way: reuse the document
+/// parser (the substrate both sides share), demand a single element.
+fn parse_fragment(fragment: &str) -> Result<Frag, String> {
+    let doc = Document::parse_str(fragment).map_err(|e| format!("fragment {fragment:?}: {e}"))?;
+    let mut frags = Vec::new();
+    crate::output::copy_subtree(&doc, NodeId::DOCUMENT, &mut frags);
+    match (frags.pop(), frags.len()) {
+        (Some(f @ Frag::Elem { .. }), 0) => Ok(f),
+        _ => Err(format!("fragment {fragment:?} must be a single element")),
+    }
+}
+
+/// Merge the text nodes around position `at` in `children` if removing
+/// a node left two text siblings adjacent — the reference statement of
+/// the engine's no-adjacent-text invariant.
+fn coalesce_at(children: &mut Vec<Frag>, at: usize) {
+    if at == 0 || at >= children.len() {
+        return;
+    }
+    if let (Frag::Text(_), Frag::Text(b)) = (&children[at - 1], &children[at]) {
+        let b = b.clone();
+        if let Frag::Text(a) = &mut children[at - 1] {
+            a.push_str(&b);
+        }
+        children.remove(at);
+    }
+}
+
+fn apply_frag(root: &mut Frag, m: &Mutation) -> Result<(), String> {
+    match m {
+        Mutation::Insert { parent, pos, fragment } => {
+            let frag = parse_fragment(fragment)?;
+            let children = if parent.components() == [1] {
+                match root {
+                    Frag::Elem { children, .. } => children,
+                    Frag::Text(_) => unreachable!("root is an element"),
+                }
+            } else {
+                let (siblings, idx) = locate(root, parent)?;
+                match &mut siblings[idx] {
+                    Frag::Elem { children, .. } => children,
+                    Frag::Text(_) => return Err(format!("insert parent {parent} is a text node")),
+                }
+            };
+            if *pos as usize > children.len() {
+                return Err(format!(
+                    "insert position {pos} out of range: {parent} has {} children",
+                    children.len()
+                ));
+            }
+            children.insert(*pos as usize, frag);
+            Ok(())
+        }
+        Mutation::Delete { target } => {
+            if target.components() == [1] {
+                return Err("cannot delete the root element".to_string());
+            }
+            let (children, idx) = locate(root, target)?;
+            children.remove(idx);
+            coalesce_at(children, idx);
+            Ok(())
+        }
+        Mutation::Replace { target, fragment } => {
+            let frag = parse_fragment(fragment)?;
+            if target.components() == [1] {
+                *root = frag;
+                return Ok(());
+            }
+            let (children, idx) = locate(root, target)?;
+            children[idx] = frag;
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blossom_xml::mutate::{self, parse_mutations};
+    use blossom_xml::writer;
+
+    /// Engine splice and oracle rebuild must serialize identically.
+    fn agree(src: &str, script: &str) {
+        let doc = Document::parse_str(src).unwrap();
+        let muts = parse_mutations(script).unwrap();
+        let engine = mutate::apply_all(&doc, &muts);
+        let reference = rebuild_with(&doc, &muts);
+        match (engine, reference) {
+            (Ok(e), Ok(r)) => assert_eq!(
+                writer::to_string(&e),
+                writer::to_string(&r),
+                "splice vs rebuild on {src:?} with {script:?}"
+            ),
+            (Err(_), Err(_)) => {}
+            (e, r) => panic!("one side rejected {script:?} on {src:?}: engine={e:?} ref={r:?}"),
+        }
+    }
+
+    #[test]
+    fn reference_matches_splice() {
+        agree("<a><b/><c/></a>", "insert 1 1 <x>t</x>");
+        agree("<a><b><c/></b><d/></a>", "delete 1.1");
+        agree("<a>x<b/>y</a>", "delete 1.2");
+        agree("<a><b/></a>", "replace 1 <r><s/></r>");
+        agree(
+            "<bib><book><title>a</title></book></bib>",
+            "insert 1 1 <book><title>b</title></book>\nreplace 1.1.1 <title>z</title>\ndelete 1.2",
+        );
+    }
+
+    #[test]
+    fn both_sides_reject_invalid_scripts() {
+        agree("<a><b/></a>", "delete 1");
+        agree("<a><b/></a>", "delete 1.5");
+        agree("<a>t</a>", "insert 1.1 0 <x/>");
+        agree("<a><b/></a>", "insert 1 9 <x/>");
+        agree("<a><b/></a>", "replace 1.1 <x>");
+    }
+
+    #[test]
+    fn text_merge_matches() {
+        let doc = Document::parse_str("<a>x<b/>y</a>").unwrap();
+        let muts = parse_mutations("delete 1.2").unwrap();
+        let r = rebuild_with(&doc, &muts).unwrap();
+        let root = r.root_element().unwrap();
+        assert_eq!(r.children(root).count(), 1, "texts merged into one node");
+        assert_eq!(r.string_value(root), "xy");
+    }
+}

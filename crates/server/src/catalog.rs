@@ -10,9 +10,12 @@
 //! last of them drops.
 
 use blossom_core::engine::{Engine, EngineOptions, SharedPlanCache};
+use blossom_core::update::{apply_mutations, UpdateError};
+use blossom_xml::mutate::Mutation;
 use blossom_xml::stats::DocStats;
 use blossom_xml::{load, Document, TagIndex};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// One loaded document with its access paths, shared across requests.
 pub struct DocEntry {
@@ -44,6 +47,36 @@ struct Inner {
     entries: Vec<(Arc<DocEntry>, u64)>,
     tick: u64,
     evictions: u64,
+}
+
+/// Why [`Catalog::update`] did not swap a new snapshot in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogUpdateError {
+    /// No document of that name is loaded.
+    NotFound,
+    /// The mutation script was rejected (message names the mutation).
+    Invalid(String),
+    /// The deadline passed mid-script; the old snapshot stands.
+    Deadline,
+}
+
+impl From<UpdateError> for CatalogUpdateError {
+    fn from(e: UpdateError) -> CatalogUpdateError {
+        match e {
+            UpdateError::Invalid(m) => CatalogUpdateError::Invalid(m),
+            UpdateError::Deadline => CatalogUpdateError::Deadline,
+        }
+    }
+}
+
+impl std::fmt::Display for CatalogUpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogUpdateError::NotFound => write!(f, "document not loaded"),
+            CatalogUpdateError::Invalid(m) => write!(f, "invalid update: {m}"),
+            CatalogUpdateError::Deadline => write!(f, "deadline exceeded: update aborted"),
+        }
+    }
 }
 
 /// A name → [`DocEntry`] map bounded by total approximate bytes.
@@ -104,6 +137,42 @@ impl Catalog {
             }
         }
         Ok(entry)
+    }
+
+    /// Apply a mutation script to the entry under `name` and swap the
+    /// mutated snapshot in. The splice and index maintenance run
+    /// *outside* the catalog lock: readers keep resolving `name` to the
+    /// old immutable snapshot (and requests already holding its
+    /// `Arc<DocEntry>` are never disturbed) until the one atomic swap at
+    /// the end. Concurrent updates to the same name are last-writer-wins,
+    /// like `load_bytes`. Returns the replaced snapshot's document uid —
+    /// the key prefix the caller must invalidate in the shared plan
+    /// cache — and the new entry.
+    pub fn update(
+        &self,
+        name: &str,
+        muts: &[Mutation],
+        deadline: Option<Instant>,
+    ) -> Result<(u64, Arc<DocEntry>), CatalogUpdateError> {
+        let Some(old) = self.get(name) else {
+            return Err(CatalogUpdateError::NotFound);
+        };
+        let updated = apply_mutations(&old.doc, &old.index, muts, deadline)?;
+        let entry = Arc::new(DocEntry {
+            name: name.to_string(),
+            bytes: updated.doc.approx_heap_bytes()
+                + updated.index.approx_heap_bytes()
+                + updated.stats.approx_heap_bytes(),
+            doc: updated.doc,
+            index: updated.index,
+            stats: updated.stats,
+        });
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.entries.retain(|(e, _)| e.name != name);
+        inner.entries.push((entry.clone(), tick));
+        Ok((old.doc.uid(), entry))
     }
 
     /// Look up `name`, marking it most-recently-used.
@@ -171,6 +240,41 @@ mod tests {
         let catalog = Catalog::new(1);
         catalog.load_bytes("big", b"<r><a/><b/><c/></r>").unwrap();
         assert!(catalog.get("big").is_some());
+    }
+
+    #[test]
+    fn update_swaps_the_snapshot_and_keeps_old_readers_stable() {
+        use blossom_xml::mutate::parse_mutations;
+        let catalog = Catalog::new(usize::MAX);
+        catalog.load_bytes("d", b"<bib><book><title>a</title></book></bib>").unwrap();
+        let reader = catalog.get("d").unwrap();
+        let muts = parse_mutations("insert 1 1 <book><title>b</title></book>").unwrap();
+        let (old_uid, new_entry) = catalog.update("d", &muts, None).unwrap();
+        assert_eq!(old_uid, reader.doc.uid());
+        assert_ne!(new_entry.doc.uid(), old_uid, "mutated snapshot has a fresh uid");
+        // The reader's snapshot is untouched; lookups see the new one.
+        assert_eq!(reader.doc.len(), 5);
+        assert_eq!(catalog.get("d").unwrap().doc.len(), 8);
+        let (entries, _) = catalog.snapshot();
+        assert_eq!(entries.len(), 1, "swap replaces, never duplicates");
+    }
+
+    #[test]
+    fn update_errors_leave_the_entry_alone() {
+        use blossom_xml::mutate::parse_mutations;
+        let catalog = Catalog::new(usize::MAX);
+        assert!(matches!(
+            catalog.update("ghost", &[], None),
+            Err(CatalogUpdateError::NotFound)
+        ));
+        catalog.load_bytes("d", b"<r><a/></r>").unwrap();
+        let before = catalog.get("d").unwrap();
+        let muts = parse_mutations("delete 1.9").unwrap();
+        assert!(matches!(
+            catalog.update("d", &muts, None),
+            Err(CatalogUpdateError::Invalid(_))
+        ));
+        assert!(Arc::ptr_eq(&before, &catalog.get("d").unwrap()), "failed update is a no-op");
     }
 
     #[test]

@@ -67,6 +67,11 @@ impl Client {
         self.request("POST", &format!("/load?name={}", percent_encode(name)), body)
     }
 
+    /// `POST /update?doc=...` with a mutation script as the body.
+    pub fn update(&mut self, doc: &str, script: &str) -> std::io::Result<Response> {
+        self.request("POST", &format!("/update?doc={}", percent_encode(doc)), script.as_bytes())
+    }
+
     pub fn request(
         &mut self,
         method: &str,

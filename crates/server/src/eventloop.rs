@@ -354,14 +354,14 @@ impl IoThread {
             self.flush(slot);
         }
         if ev.error {
-            // Readable data (drained above) is gone with the peer; if
-            // nothing is pending the connection is finished.
-            let done = self.conns[slot]
-                .as_ref()
-                .is_some_and(|c| c.pending.is_empty() || c.out_pos < c.out.len());
-            if done {
-                self.close_conn(slot);
-            }
+            // The peer is gone: readable data was drained above and any
+            // response still pending is undeliverable (its completion
+            // later dies on the generation check). Close unconditionally
+            // — epoll reports ERR/HUP regardless of interest, so a
+            // connection left registered here is re-reported on every
+            // `wait`, and that hot loop starves the inbox mutex the
+            // pending completion itself needs to arrive: a livelock.
+            self.close_conn(slot);
         }
     }
 
@@ -393,6 +393,11 @@ impl IoThread {
             self.close_conn(slot);
             return false;
         }
+        // EOF with a response still pending keeps the connection alive
+        // until the worker finishes — but the closed read side stays
+        // level-triggered-readable forever, so stop watching for reads
+        // now or the poller spins until the completion lands.
+        self.update_interest(slot);
         // Dispatch may have closed the connection on a failed flush.
         self.conns[slot].is_some()
     }

@@ -72,7 +72,8 @@ impl Hist {
 
 /// The endpoints with dedicated latency histograms; anything else lands
 /// in the trailing `other` bucket.
-pub const ENDPOINTS: [&str; 6] = ["/query", "/load", "/stats", "/healthz", "/shutdown", "other"];
+pub const ENDPOINTS: [&str; 7] =
+    ["/query", "/load", "/update", "/stats", "/healthz", "/shutdown", "other"];
 
 #[derive(Default)]
 pub struct Metrics {
@@ -96,6 +97,12 @@ pub struct Metrics {
     /// CPU microseconds consumed by the I/O threads (thread-CPU clock,
     /// self-sampled each loop iteration).
     pub io_cpu_us: AtomicU64,
+    /// Successful `POST /update` requests (snapshot swaps).
+    pub updates: AtomicU64,
+    /// Total mutations applied across successful updates.
+    pub mutations_applied: AtomicU64,
+    /// Plan-cache entries dropped by update-scoped invalidation.
+    pub plans_invalidated: AtomicU64,
     /// Request latency (arrival to response completion), all endpoints.
     latency: Hist,
     /// Per-endpoint request latency, indexed like [`ENDPOINTS`].
@@ -163,6 +170,7 @@ impl Metrics {
              \"admission_rejections\": {}, \
              \"batching\": {{\"batched_requests\": {}, \"evaluations_saved\": {}}}, \
              \"io\": {{\"wakeups\": {}, \"cpu_us\": {}}}, \
+             \"updates\": {{\"count\": {}, \"mutations_applied\": {}, \"plans_invalidated\": {}}}, \
              \"latency_us\": {}, \
              \"endpoints\": {{{endpoint_fields}}}, \
              \"strategies\": {{{strategy_fields}}}",
@@ -174,6 +182,9 @@ impl Metrics {
             self.evaluations_saved.load(Ordering::Relaxed),
             self.io_wakeups.load(Ordering::Relaxed),
             self.io_cpu_us.load(Ordering::Relaxed),
+            self.updates.load(Ordering::Relaxed),
+            self.mutations_applied.load(Ordering::Relaxed),
+            self.plans_invalidated.load(Ordering::Relaxed),
             self.latency.render_json(),
         )
     }
@@ -235,6 +246,21 @@ mod tests {
         assert!(json.contains("\"batching\": {\"batched_requests\": 5, \"evaluations_saved\": 3}"), "{json}");
         assert!(json.contains("\"admission_rejections\": 2"), "{json}");
         assert!(json.contains("\"io\": {\"wakeups\": 0, \"cpu_us\": 0}"), "{json}");
+    }
+
+    #[test]
+    fn update_counters_render() {
+        let m = Metrics::new();
+        m.updates.fetch_add(2, Ordering::Relaxed);
+        m.mutations_applied.fetch_add(7, Ordering::Relaxed);
+        m.plans_invalidated.fetch_add(3, Ordering::Relaxed);
+        m.record_latency("/update", Duration::from_micros(100));
+        let json = m.render_json_fields();
+        assert!(
+            json.contains("\"updates\": {\"count\": 2, \"mutations_applied\": 7, \"plans_invalidated\": 3}"),
+            "{json}"
+        );
+        assert!(json.contains("\"/update\": {\"count\": 1"), "{json}");
     }
 
     #[test]

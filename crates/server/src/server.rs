@@ -349,12 +349,13 @@ pub(crate) fn respond(
         ("GET", "/healthz") => (200, "text/plain", b"ok\n".to_vec()),
         ("GET", "/query") => query(request, shared, deadline),
         ("POST", "/load") => load(request, shared),
+        ("POST", "/update") => update(request, shared, deadline),
         ("GET", "/stats") => (200, "application/json", stats(shared).into_bytes()),
         ("POST", "/shutdown") => {
             shared.shutdown.store(true, Ordering::SeqCst);
             (200, "text/plain", b"draining\n".to_vec())
         }
-        (_, "/healthz" | "/query" | "/load" | "/stats" | "/shutdown") => {
+        (_, "/healthz" | "/query" | "/load" | "/update" | "/stats" | "/shutdown") => {
             (405, "text/plain", format!("error: {} not allowed here\n", request.method).into_bytes())
         }
         (_, path) => (404, "text/plain", format!("error: no route {path}\n").into_bytes()),
@@ -444,6 +445,61 @@ fn load(request: &Request, shared: &Shared) -> (u16, &'static str, Vec<u8>) {
             (200, "application/json", body.into_bytes())
         }
         Err(e) => (400, "text/plain", format!("error: {e}\n").into_bytes()),
+    }
+}
+
+/// `POST /update?doc=NAME` with a mutation script (one `insert` /
+/// `delete` / `replace` line per mutation) as the body. On success the
+/// catalog swaps in the mutated snapshot — in-flight readers keep their
+/// old `Arc<Document>` — and the old uid's plan-cache entries are
+/// invalidated; plans for every other document survive untouched.
+fn update(
+    request: &Request,
+    shared: &Shared,
+    deadline: Option<Instant>,
+) -> (u16, &'static str, Vec<u8>) {
+    use crate::catalog::CatalogUpdateError;
+    let bad = |msg: String| (400, "text/plain", format!("error: {msg}\n").into_bytes());
+    let Some(doc_name) = request.param("doc") else {
+        return bad("missing ?doc=NAME".to_string());
+    };
+    let Ok(script) = std::str::from_utf8(&request.body) else {
+        return bad("mutation script is not UTF-8".to_string());
+    };
+    if script.trim().is_empty() {
+        return bad("empty mutation script".to_string());
+    }
+    let muts = match blossom_xml::mutate::parse_mutations(script) {
+        Ok(m) => m,
+        Err(e) => return bad(format!("bad mutation script: {e}")),
+    };
+    match shared.catalog.update(doc_name, &muts, deadline) {
+        Ok((old_uid, entry)) => {
+            let dropped = shared.plans.invalidate_doc(old_uid);
+            shared.metrics.updates.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.mutations_applied.fetch_add(muts.len() as u64, Ordering::Relaxed);
+            shared.metrics.plans_invalidated.fetch_add(dropped as u64, Ordering::Relaxed);
+            let body = format!(
+                "{{\"updated\": {}, \"mutations\": {}, \"nodes\": {}, \"approx_bytes\": {}, \"plans_invalidated\": {}}}\n",
+                json_str(doc_name),
+                muts.len(),
+                entry.doc.len(),
+                entry.bytes,
+                dropped
+            );
+            (200, "application/json", body.into_bytes())
+        }
+        Err(CatalogUpdateError::NotFound) => (
+            404,
+            "text/plain",
+            format!("error: no document {doc_name:?} in the catalog\n").into_bytes(),
+        ),
+        Err(CatalogUpdateError::Deadline) => (
+            503,
+            "text/plain",
+            format!("error: {}\n", CatalogUpdateError::Deadline).into_bytes(),
+        ),
+        Err(e @ CatalogUpdateError::Invalid(_)) => bad(e.to_string()),
     }
 }
 

@@ -92,9 +92,13 @@ mod imp {
         }
 
         fn ctl(&self, op: i32, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
-            let mut events = EPOLLRDHUP;
+            // RDHUP rides with read interest: it exists to notice the
+            // peer's half-close early, and a closed read side reports
+            // it level-triggered forever — a connection that has
+            // stopped reading must stop hearing about it too.
+            let mut events = 0;
             if interest.readable {
-                events |= EPOLLIN;
+                events |= EPOLLIN | EPOLLRDHUP;
             }
             if interest.writable {
                 events |= EPOLLOUT;

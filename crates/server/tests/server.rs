@@ -318,6 +318,58 @@ fn idle_connections_cost_no_io_cpu_or_wakeups() {
     handle.shutdown();
 }
 
+/// The slow occupier query from [`occupy`], hand-encoded for a raw
+/// socket, with the given evaluation deadline.
+fn slow_query_request(deadline_ms: u64) -> String {
+    let q = "for%20%24x%20in%20//a%20for%20%24y%20in%20//a%20for%20%24z%20in%20//a%20return%20%24x";
+    format!("GET /query?doc=wide&q={q}&deadline_ms={deadline_ms} HTTP/1.1\r\nHost: x\r\n\r\n")
+}
+
+/// Wakeup delta across a window in which a client hangs up while its
+/// response is still being computed. The abandoned connection must cost
+/// nothing: level-triggered readiness re-reports a closed read side (or
+/// an error) on every wait, and that hot loop can starve the very
+/// completion that would end it.
+fn wakeups_around_hangup(prelude: &[u8], linger_ms: u64) -> u64 {
+    let handle =
+        Server::bind(ServerConfig { workers: 2, ..ServerConfig::default() }).unwrap().spawn();
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).unwrap();
+    client.load("wide", wide_xml().as_bytes()).unwrap();
+    let before = client.get("/stats").unwrap().body_str();
+
+    let mut gone = std::net::TcpStream::connect(addr).unwrap();
+    std::io::Write::write_all(&mut gone, prelude).unwrap();
+    std::io::Write::write_all(&mut gone, slow_query_request(400).as_bytes()).unwrap();
+    std::thread::sleep(Duration::from_millis(linger_ms));
+    drop(gone);
+
+    // Wait out the abandoned query's deadline; its completion lands on
+    // a dead connection and must be dropped, then drain must work.
+    std::thread::sleep(Duration::from_millis(600));
+    let after = client.get("/stats").unwrap().body_str();
+    handle.shutdown();
+    stat_u64(&after, "wakeups") - stat_u64(&before, "wakeups")
+}
+
+/// Clean hangup (FIN): the read side stays readable forever at EOF, so
+/// the loop must drop READ interest while the response is pending.
+#[test]
+fn eof_with_pending_response_does_not_spin_the_poller() {
+    let wakeups = wakeups_around_hangup(b"", 150);
+    assert!(wakeups < 150, "EOF'd connection spun the poller: {wakeups} wakeups in ~750ms");
+}
+
+/// Hard hangup (RST): a /healthz response left unread client-side makes
+/// close() send a reset, so the poller reports an error event while the
+/// slow query's response is still pending — the connection must close
+/// immediately rather than stay registered and re-report forever.
+#[test]
+fn reset_with_pending_response_does_not_spin_the_poller() {
+    let wakeups = wakeups_around_hangup(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n", 200);
+    assert!(wakeups < 150, "reset connection spun the poller: {wakeups} wakeups in ~800ms");
+}
+
 #[test]
 fn coalesced_identical_queries_return_solo_bytes_and_save_evaluations() {
     let handle = Server::bind(ServerConfig { workers: 1, ..ServerConfig::default() })
@@ -517,5 +569,170 @@ fn deadline_ms_param_tightens_but_cannot_extend_the_budget() {
     let quick = client.query("bib", "//book/title", &["deadline_ms=5000"]).unwrap();
     assert_eq!(quick.status, 200);
     assert_eq!(quick.body_str(), direct_eval(BIB, "//book/title"));
+    handle.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// POST /update
+// ---------------------------------------------------------------------
+
+/// Serialize what `xml` becomes after applying `script` (engine-side
+/// splice), for byte-comparing server responses.
+fn mutated_xml(xml: &str, script: &str) -> String {
+    let doc = blossom_xml::Document::parse_str(xml).unwrap();
+    let muts = blossom_xml::mutate::parse_mutations(script).unwrap();
+    writer::to_string(&blossom_xml::mutate::apply_all(&doc, &muts).unwrap())
+}
+
+#[test]
+fn update_then_query_matches_the_mutated_document() {
+    let handle = spawn_default();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.load("bib", BIB.as_bytes()).unwrap();
+    let script = "insert 1 0 <book><title>C</title><author>y</author></book>\n\
+                  replace 1.2.1 <title>BB</title>\n\
+                  delete 1.3";
+    let response = client.update("bib", script).unwrap();
+    assert_eq!(response.status, 200, "{}", response.body_str());
+    let body = response.body_str();
+    assert!(body.contains("\"updated\": \"bib\""), "{body}");
+    assert!(body.contains("\"mutations\": 3"), "{body}");
+
+    let after = mutated_xml(BIB, script);
+    for query in ["//book/title", "//book[author]/title", "for $b in //book return $b/title"] {
+        let got = client.query("bib", query, &[]).unwrap();
+        assert_eq!(got.status, 200, "{query}: {}", got.body_str());
+        assert_eq!(got.body_str(), direct_eval(&after, query), "{query}");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn update_4xx_matrix() {
+    let handle = spawn_default();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.load("bib", BIB.as_bytes()).unwrap();
+
+    // Missing ?doc=, unknown doc, empty body, non-UTF-8 body, bad
+    // script syntax, invalid mutation, wrong method: all 4xx, and none
+    // of them change the document.
+    assert_eq!(client.request("POST", "/update", b"delete 1.1").unwrap().status, 400);
+    assert_eq!(client.update("ghost", "delete 1.1").unwrap().status, 404);
+    assert_eq!(client.update("bib", "").unwrap().status, 400);
+    assert_eq!(
+        client.request("POST", "/update?doc=bib", &[0xff, 0xfe, 0x00]).unwrap().status,
+        400
+    );
+    assert_eq!(client.update("bib", "munge 1.1").unwrap().status, 400);
+    assert_eq!(client.update("bib", "delete 1.9").unwrap().status, 400);
+    assert_eq!(client.update("bib", "delete 1").unwrap().status, 400);
+    assert_eq!(client.request("GET", "/update?doc=bib", &[]).unwrap().status, 405);
+
+    let unchanged = client.query("bib", "//book/title", &[]).unwrap();
+    assert_eq!(unchanged.body_str(), direct_eval(BIB, "//book/title"));
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_update_body_is_413() {
+    let handle = Server::bind(ServerConfig { max_body: 64, ..ServerConfig::default() })
+        .unwrap()
+        .spawn();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let script = "insert 1 0 <x/>\n".repeat(100);
+    let response = client.update("bib", &script).unwrap();
+    assert_eq!(response.status, 413);
+    handle.shutdown();
+}
+
+#[test]
+fn update_past_its_deadline_is_503_and_a_no_op() {
+    let handle = spawn_default();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.load("wide", wide_xml().as_bytes()).unwrap();
+    // Thousands of splices against a tightened 1ms budget: the
+    // per-mutation deadline poll must abort, all-or-nothing.
+    let script = "insert 1 0 <a>zz</a>\n".repeat(4000);
+    let response = client
+        .request("POST", "/update?doc=wide&deadline_ms=1", script.as_bytes())
+        .unwrap();
+    assert_eq!(response.status, 503, "{}", response.body_str());
+    assert!(response.body_str().contains("deadline"), "{}", response.body_str());
+    let unchanged = client.query("wide", "//a[1]", &[]).unwrap();
+    assert_eq!(unchanged.body_str(), direct_eval(&wide_xml(), "//a[1]"));
+    handle.shutdown();
+}
+
+/// Queries racing an update must each see one coherent snapshot: every
+/// response is byte-identical to the document either before or after
+/// the mutation — never a mix, never an error.
+#[test]
+fn queries_concurrent_with_update_see_exactly_one_snapshot() {
+    let handle = spawn_default();
+    let addr = handle.addr();
+    let mut setup = Client::connect(addr).unwrap();
+    setup.load("bib", BIB.as_bytes()).unwrap();
+    let script = "insert 1 0 <book><title>Z</title></book>";
+    let before = direct_eval(BIB, "//book/title");
+    let after = direct_eval(&mutated_xml(BIB, script), "//book/title");
+
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let (before, after) = (before.clone(), after.clone());
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for _ in 0..50 {
+                    let r = client.query("bib", "//book/title", &[]).unwrap();
+                    assert_eq!(r.status, 200, "{}", r.body_str());
+                    let body = r.body_str();
+                    assert!(
+                        body == before || body == after,
+                        "tore a snapshot: {body:?} is neither {before:?} nor {after:?}"
+                    );
+                }
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(5));
+    let response = setup.update("bib", script).unwrap();
+    assert_eq!(response.status, 200, "{}", response.body_str());
+    for r in readers {
+        r.join().unwrap();
+    }
+    // After the swap every reader sees the new snapshot.
+    let settled = setup.query("bib", "//book/title", &[]).unwrap();
+    assert_eq!(settled.body_str(), after);
+    handle.shutdown();
+}
+
+#[test]
+fn stats_reports_update_counters_and_scoped_invalidation() {
+    let handle = spawn_default();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.load("a", BIB.as_bytes()).unwrap();
+    client.load("b", "<r><x>1</x></r>".as_bytes()).unwrap();
+    // Warm one plan per document.
+    client.query("a", "//book/title", &[]).unwrap();
+    client.query("b", "//x", &[]).unwrap();
+    let warm = client.get("/stats").unwrap().body_str();
+
+    let response = client.update("a", "delete 1.2\ninsert 1 0 <book><title>N</title></book>").unwrap();
+    assert_eq!(response.status, 200, "{}", response.body_str());
+    assert!(response.body_str().contains("\"plans_invalidated\": 1"), "{}", response.body_str());
+
+    // b's plan survived the update: re-running its query is a cache hit.
+    let hits_before = stat_u64(&client.get("/stats").unwrap().body_str(), "hits");
+    client.query("b", "//x", &[]).unwrap();
+    let body = client.get("/stats").unwrap().body_str();
+    assert_eq!(stat_u64(&body, "hits"), hits_before + 1, "untouched doc's plan stayed warm");
+    assert!(
+        body.contains("\"updates\": {\"count\": 1, \"mutations_applied\": 2, \"plans_invalidated\": 1}"),
+        "{body}"
+    );
+    assert!(body.contains("\"/update\": {\"count\": 1"), "{body}");
+    // Only a's entry was dropped: entry count went 2 -> 1 (plus the
+    // re-planned queries since).
+    let entries_warm = stat_u64(&warm, "entries");
+    assert_eq!(entries_warm, 2, "{warm}");
     handle.shutdown();
 }

@@ -65,20 +65,20 @@ pub enum NodeKind {
     Text,
 }
 
-const NIL: u32 = u32::MAX;
+pub(crate) const NIL: u32 = u32::MAX;
 
 /// Kind tags stored in the low bits of the packed kind/payload column.
-const KIND_DOCUMENT: u32 = 0;
-const KIND_ELEMENT: u32 = 1;
-const KIND_TEXT: u32 = 2;
-const KIND_BITS: u32 = 2;
-const KIND_MASK: u32 = (1 << KIND_BITS) - 1;
+pub(crate) const KIND_DOCUMENT: u32 = 0;
+pub(crate) const KIND_ELEMENT: u32 = 1;
+pub(crate) const KIND_TEXT: u32 = 2;
+pub(crate) const KIND_BITS: u32 = 2;
+pub(crate) const KIND_MASK: u32 = (1 << KIND_BITS) - 1;
 
 /// Pack a node kind and its payload (tag symbol or text index) into one
 /// `u32`. Payloads are capped at 30 bits — ample, since both symbols and
 /// text indexes are bounded by the `u32` node count.
 #[inline]
-fn pack(kind: u32, payload: u32) -> u32 {
+pub(crate) fn pack(kind: u32, payload: u32) -> u32 {
     debug_assert!(payload <= (u32::MAX >> KIND_BITS), "payload overflows packed column");
     (payload << KIND_BITS) | kind
 }
@@ -94,27 +94,34 @@ pub struct ParseOptions {
 /// An immutable, arena-backed XML document in struct-of-arrays layout.
 pub struct Document {
     /// Parent id per node (`NIL` for the document node).
-    parent: Vec<u32>,
+    pub(crate) parent: Vec<u32>,
     /// First-child id per node (`NIL` for leaves).
-    first_child: Vec<u32>,
+    pub(crate) first_child: Vec<u32>,
     /// Next-sibling id per node (`NIL` for last children).
-    next_sibling: Vec<u32>,
+    pub(crate) next_sibling: Vec<u32>,
     /// Region `end` column: id of the last node in each subtree.
-    last_desc: Vec<u32>,
+    pub(crate) last_desc: Vec<u32>,
     /// Region `level` column: depth, 0 for the document node.
-    level: Vec<u16>,
+    pub(crate) level: Vec<u16>,
     /// Packed kind (low 2 bits) + payload (tag symbol or text index).
-    kind_sym: Vec<u32>,
-    texts: Vec<Box<str>>,
+    pub(crate) kind_sym: Vec<u32>,
+    pub(crate) texts: Vec<Box<str>>,
     /// Sparse attribute storage: element id -> attributes in document order.
-    attrs: FxHashMap<u32, Vec<(Sym, Box<str>)>>,
-    symbols: SymbolTable,
+    pub(crate) attrs: FxHashMap<u32, Vec<(Sym, Box<str>)>>,
+    pub(crate) symbols: SymbolTable,
     /// Process-unique identity (see [`Document::uid`]).
-    uid: u64,
+    pub(crate) uid: u64,
 }
 
 /// Monotone source of [`Document::uid`] values.
 static NEXT_DOC_UID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+/// Mint a process-unique [`Document::uid`]. Every constructed document —
+/// parsed, built, decoded, or spliced by [`crate::mutate`] — draws from
+/// the same monotone counter, so uids never alias across code paths.
+pub(crate) fn fresh_uid() -> u64 {
+    NEXT_DOC_UID.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
 
 impl fmt::Debug for Document {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -602,7 +609,7 @@ impl TreeBuilder {
             texts: self.texts,
             attrs: self.attrs,
             symbols: self.symbols,
-            uid: NEXT_DOC_UID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            uid: fresh_uid(),
         }
     }
 }

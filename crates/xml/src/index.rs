@@ -231,6 +231,70 @@ impl TagIndex {
         TagIndex { postings }
     }
 
+    /// Incrementally maintain the index across a column splice (see
+    /// `crate::mutate`): elements with ids in `[start, start + removed)`
+    /// left the document, `inserted` nodes took their place at `start`,
+    /// and every suffix id shifted by `inserted − removed`.
+    ///
+    /// Per posting list this drops the removed run, splices in the new
+    /// elements (their ids are contiguous between the stable prefix and
+    /// the shifted suffix, so list order is preserved by construction),
+    /// and re-reads `end`/`level` labels from the new document's region
+    /// columns — which also refreshes the splice-point ancestors whose
+    /// subtree end moved. Lists that end before the splice point are
+    /// reused wholesale. The result is identical to `TagIndex::build`
+    /// on the new document, without the O(n) element scan or the
+    /// serialize → reparse a full rebuild would sit behind.
+    pub fn splice(&self, start: u32, removed: u32, inserted: u32, new_doc: &Document) -> TagIndex {
+        let (s, r, m) = (start, removed, inserted);
+        let end_col = new_doc.last_desc_column();
+        let level_col = new_doc.level_column();
+        let nsyms = new_doc.symbols().len();
+        // Bucket the inserted elements by tag, ascending by id.
+        let mut fresh: Vec<Vec<NodeId>> = vec![Vec::new(); nsyms];
+        for id in s..s + m {
+            if let Some(sym) = new_doc.tag(NodeId(id)) {
+                fresh[sym.index()].push(NodeId(id));
+            }
+        }
+        let mut postings = Vec::with_capacity(nsyms);
+        for i in 0..nsyms {
+            let old = self.postings.get(i).unwrap_or(&EMPTY);
+            let extra = &fresh[i];
+            let lo = old.starts.partition_point(|&n| n.0 < s);
+            // Only ancestors of the splice point change their region end,
+            // and their old end is ≥ s − 1; a list confined to ids < s
+            // with every end < s − 1 is untouched.
+            if extra.is_empty()
+                && lo == old.len()
+                && old.block_max_end.iter().all(|&e| e + 1 < s)
+            {
+                postings.push(old.clone());
+                continue;
+            }
+            let hi = old.starts.partition_point(|&n| n.0 < s + r);
+            let mut list = PostingList {
+                starts: Vec::with_capacity(old.len() - (hi - lo) + extra.len()),
+                ends: Vec::new(),
+                levels: Vec::new(),
+                block_max_end: Vec::new(),
+            };
+            let ids = old.starts[..lo]
+                .iter()
+                .copied()
+                .chain(extra.iter().copied())
+                .chain(old.starts[hi..].iter().map(|n| NodeId(n.0 - r + m)));
+            for n in ids {
+                list.starts.push(n);
+                list.ends.push(end_col[n.index()]);
+                list.levels.push(level_col[n.index()]);
+            }
+            list.rebuild_blocks();
+            postings.push(list);
+        }
+        TagIndex { postings }
+    }
+
     /// The posting list for `sym` (empty list if the tag never occurs).
     pub fn postings(&self, sym: Sym) -> &PostingList {
         self.postings.get(sym.index()).unwrap_or(&EMPTY)

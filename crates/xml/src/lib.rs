@@ -34,6 +34,7 @@ pub mod fxhash;
 pub mod index;
 pub mod label;
 pub mod load;
+pub mod mutate;
 pub mod navigate;
 pub mod parser;
 pub mod stats;
@@ -45,6 +46,7 @@ pub use dewey::Dewey;
 pub use document::{Document, NodeId, NodeKind, ParseOptions, TreeBuilder};
 pub use index::TagIndex;
 pub use label::Region;
+pub use mutate::{Mutation, Splice};
 pub use navigate::Axis;
 pub use parser::{Event, ParseError, Reader};
 pub use stats::DocStats;

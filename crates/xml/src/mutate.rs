@@ -1,0 +1,710 @@
+//! Document mutations: subtree insert / delete / replace.
+//!
+//! Documents stay immutable — a mutation produces a **new** [`Document`]
+//! (with a fresh [`Document::uid`]) by splicing the struct-of-arrays
+//! columns. Because node ids are preorder positions, removing or
+//! inserting a subtree is a contiguous column splice: ids before the
+//! splice point are unchanged, ids after it shift by one constant
+//! `delta = inserted − removed`, and only the ancestors of the splice
+//! point need their region `end` recomputed. That locality is what makes
+//! incremental [`crate::TagIndex`] maintenance (see [`TagIndex::splice`])
+//! cheap relative to a serialize → reparse → reindex rebuild.
+//!
+//! Nodes are addressed with [`Dewey`] order-keys resolved against the
+//! *current* snapshot: component `k` selects the `k`-th child (1-based,
+//! counting elements and text nodes alike), and `1` is the root element.
+//! Dewey keys are stable across the splice for every node outside the
+//! mutated sibling run, so a mutation sequence addresses each step
+//! against the document produced by the previous one.
+//!
+//! The splice preserves the two builder invariants the rest of the
+//! system relies on: no whitespace-only text nodes (fragments are parsed
+//! with the same default [`crate::ParseOptions`] as documents) and no
+//! adjacent text siblings (a delete that would leave two text nodes
+//! touching merges them). Consequently serializing a mutated document
+//! and reparsing it reproduces the same arena node for node — the
+//! property the mutation differential oracle checks.
+//!
+//! [`TagIndex::splice`]: crate::TagIndex::splice
+
+use crate::dewey::Dewey;
+use crate::document::{
+    fresh_uid, pack, Document, NodeId, KIND_ELEMENT, KIND_MASK, KIND_TEXT, NIL,
+};
+use crate::fxhash::FxHashMap;
+use crate::symbol::Sym;
+use std::fmt;
+
+/// One subtree-granularity edit, addressed by Dewey order-keys.
+///
+/// The line format (used by the CLI, `POST /update` bodies and diff
+/// fixtures) is one mutation per line:
+///
+/// ```text
+/// insert <parent-dewey> <pos> <xml-fragment>
+/// delete <dewey>
+/// replace <dewey> <xml-fragment>
+/// ```
+///
+/// where `<pos>` is the 0-based child position to insert at and
+/// `<xml-fragment>` is a single element serialized on one line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mutation {
+    /// Insert `fragment` as the `pos`-th child (0-based) of `parent`.
+    Insert {
+        /// Dewey key of the parent element.
+        parent: Dewey,
+        /// 0-based insertion position among the parent's children.
+        pos: u32,
+        /// Single-element XML fragment to insert.
+        fragment: String,
+    },
+    /// Delete the subtree rooted at `target`.
+    Delete {
+        /// Dewey key of the node to remove (must not be the root element).
+        target: Dewey,
+    },
+    /// Replace the subtree rooted at `target` with `fragment`.
+    Replace {
+        /// Dewey key of the node to replace.
+        target: Dewey,
+        /// Single-element XML fragment taking its place.
+        fragment: String,
+    },
+}
+
+impl fmt::Display for Mutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mutation::Insert { parent, pos, fragment } => {
+                write!(f, "insert {parent} {pos} {fragment}")
+            }
+            Mutation::Delete { target } => write!(f, "delete {target}"),
+            Mutation::Replace { target, fragment } => write!(f, "replace {target} {fragment}"),
+        }
+    }
+}
+
+/// Parse one mutation line (see [`Mutation`] for the grammar).
+pub fn parse_mutation(line: &str) -> Result<Mutation, String> {
+    let line = line.trim();
+    let (op, rest) = line
+        .split_once(char::is_whitespace)
+        .ok_or_else(|| format!("mutation {line:?}: expected `insert`, `delete` or `replace` followed by arguments"))?;
+    let rest = rest.trim_start();
+    match op {
+        "insert" => {
+            let (dewey, rest) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| "insert needs `<parent-dewey> <pos> <fragment>`".to_string())?;
+            let (pos, fragment) = rest
+                .trim_start()
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| "insert needs `<parent-dewey> <pos> <fragment>`".to_string())?;
+            let parent: Dewey = dewey.parse().map_err(|e| format!("{e}"))?;
+            let pos: u32 =
+                pos.parse().map_err(|_| format!("insert position {pos:?} is not a number"))?;
+            let fragment = fragment.trim_start().to_string();
+            if fragment.is_empty() {
+                return Err("insert needs a non-empty fragment".to_string());
+            }
+            Ok(Mutation::Insert { parent, pos, fragment })
+        }
+        "delete" => {
+            let target: Dewey = rest.trim().parse().map_err(|e| format!("{e}"))?;
+            Ok(Mutation::Delete { target })
+        }
+        "replace" => {
+            let (dewey, fragment) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| "replace needs `<dewey> <fragment>`".to_string())?;
+            let target: Dewey = dewey.parse().map_err(|e| format!("{e}"))?;
+            let fragment = fragment.trim_start().to_string();
+            if fragment.is_empty() {
+                return Err("replace needs a non-empty fragment".to_string());
+            }
+            Ok(Mutation::Replace { target, fragment })
+        }
+        other => Err(format!("unknown mutation op {other:?} (want insert/delete/replace)")),
+    }
+}
+
+/// Parse a newline-separated mutation script. Blank lines and lines
+/// starting with `#` are skipped; errors carry the 1-based line number.
+pub fn parse_mutations(text: &str) -> Result<Vec<Mutation>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        out.push(parse_mutation(trimmed).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(out)
+}
+
+/// Resolve a Dewey key against `doc`: `1` is the root element, each
+/// further component `k` the `k`-th child (1-based, elements and text).
+pub fn resolve(doc: &Document, d: &Dewey) -> Result<NodeId, String> {
+    let comps = d.components();
+    if comps[0] != 1 {
+        return Err(format!("Dewey key {d} must start at 1 (the root element)"));
+    }
+    let mut cur = doc.root_element().ok_or_else(|| "document has no root element".to_string())?;
+    for (depth, &k) in comps[1..].iter().enumerate() {
+        if k == 0 {
+            return Err(format!("Dewey key {d}: components are 1-based, got 0"));
+        }
+        if !doc.is_element(cur) {
+            return Err(format!("Dewey key {d}: component {} descends into a text node", depth + 2));
+        }
+        cur = doc.children(cur).nth(k as usize - 1).ok_or_else(|| {
+            format!(
+                "Dewey key {d}: {} has only {} children, component {} wants child {k}",
+                Dewey::new(comps[..depth + 1].to_vec()),
+                doc.children(cur).count(),
+                depth + 2,
+            )
+        })?;
+    }
+    Ok(cur)
+}
+
+/// The Dewey key of `n` under the numbering [`resolve`] uses. `n` must
+/// not be the virtual document node.
+pub fn dewey_of(doc: &Document, n: NodeId) -> Dewey {
+    assert_ne!(n, NodeId::DOCUMENT, "the document node has no Dewey key");
+    let mut comps = Vec::new();
+    let mut cur = n;
+    while let Some(p) = doc.parent(cur) {
+        let pos = doc
+            .children(p)
+            .position(|c| c == cur)
+            .expect("child lists are consistent") as u32
+            + 1;
+        comps.push(pos);
+        cur = p;
+    }
+    comps.reverse();
+    Dewey::new(comps)
+}
+
+/// The column-splice coordinates of one applied mutation: nodes
+/// `[start, start + removed)` left the arena, `inserted` new nodes took
+/// their place at `start`, every later id shifted by
+/// `inserted − removed`. This is exactly what [`crate::TagIndex::splice`]
+/// needs to patch posting lists without a rebuild.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Splice {
+    /// First arena id of the spliced range.
+    pub start: u32,
+    /// Number of removed nodes (0 for a pure insert).
+    pub removed: u32,
+    /// Number of inserted nodes (0 for a pure delete).
+    pub inserted: u32,
+}
+
+/// Apply one mutation, returning the new document and its [`Splice`].
+pub fn apply(doc: &Document, m: &Mutation) -> Result<(Document, Splice), String> {
+    match m {
+        Mutation::Insert { parent, pos, fragment } => {
+            let p = resolve(doc, parent)?;
+            if !doc.is_element(p) {
+                return Err(format!("insert parent {parent} is a text node"));
+            }
+            let frag = parse_fragment(fragment)?;
+            let children: Vec<NodeId> = doc.children(p).collect();
+            if *pos as usize > children.len() {
+                return Err(format!(
+                    "insert position {pos} out of range: {parent} has {} children",
+                    children.len()
+                ));
+            }
+            let pos = *pos as usize;
+            let s = children.get(pos).map_or(doc.last_descendant(p).0 + 1, |c| c.0);
+            let prev_child = pos.checked_sub(1).map(|i| children[i].0);
+            let following = children.get(pos).map(|c| c.0);
+            let new = splice(doc, p.0, s, 0, Some(&frag), prev_child, following, None)?;
+            Ok((new, Splice { start: s, removed: 0, inserted: frag.len() as u32 - 1 }))
+        }
+        Mutation::Delete { target } => {
+            let t = resolve(doc, target)?;
+            let p = doc.parent(t).expect("resolve never returns the document node");
+            if p == NodeId::DOCUMENT {
+                return Err("cannot delete the root element".to_string());
+            }
+            let s = t.0;
+            let mut r = doc.last_descendant(t).0 + 1 - s;
+            let prev_child = prev_sibling(doc, p, t);
+            let mut following = doc.next_sibling(t);
+            let mut merge = None;
+            // Removing an element between two text siblings would leave
+            // them adjacent; swallow the following text node into the
+            // preceding one to preserve the no-adjacent-text invariant.
+            if let (Some(pc), Some(f)) = (prev_child, following) {
+                if doc.text(NodeId(pc)).is_some() {
+                    if let Some(ftext) = doc.text(f) {
+                        merge = Some((pc, ftext));
+                        r += 1;
+                        following = doc.next_sibling(f);
+                    }
+                }
+            }
+            let new = splice(doc, p.0, s, r, None, prev_child, following.map(|n| n.0), merge)?;
+            Ok((new, Splice { start: s, removed: r, inserted: 0 }))
+        }
+        Mutation::Replace { target, fragment } => {
+            let t = resolve(doc, target)?;
+            let p = doc.parent(t).expect("resolve never returns the document node");
+            let frag = parse_fragment(fragment)?;
+            let s = t.0;
+            let r = doc.last_descendant(t).0 + 1 - s;
+            let prev_child = prev_sibling(doc, p, t);
+            let following = doc.next_sibling(t).map(|n| n.0);
+            let new = splice(doc, p.0, s, r, Some(&frag), prev_child, following, None)?;
+            Ok((new, Splice { start: s, removed: r, inserted: frag.len() as u32 - 1 }))
+        }
+    }
+}
+
+/// Apply a whole mutation script in order.
+pub fn apply_all(doc: &Document, muts: &[Mutation]) -> Result<Document, String> {
+    let mut cur: Option<Document> = None;
+    for (i, m) in muts.iter().enumerate() {
+        let base = cur.as_ref().unwrap_or(doc);
+        let (next, _) = apply(base, m).map_err(|e| format!("mutation {}: {e}", i + 1))?;
+        cur = Some(next);
+    }
+    Ok(cur.unwrap_or_else(|| {
+        // An empty script still yields a fresh, independent snapshot.
+        splice(doc, 0, doc.len() as u32, 0, None, None, None, None)
+            .expect("identity splice cannot fail")
+    }))
+}
+
+/// Parse a mutation fragment: exactly one element, default parse options.
+fn parse_fragment(fragment: &str) -> Result<Document, String> {
+    let frag =
+        Document::parse_str(fragment).map_err(|e| format!("fragment {fragment:?}: {e}"))?;
+    let root = frag.first_child(NodeId::DOCUMENT);
+    if frag.len() < 2
+        || root != Some(NodeId(1))
+        || frag.next_sibling(NodeId(1)).is_some()
+        || !frag.is_element(NodeId(1))
+    {
+        return Err(format!("fragment {fragment:?} must be a single element"));
+    }
+    Ok(frag)
+}
+
+/// The sibling of `t` immediately before it under `p`, if any.
+fn prev_sibling(doc: &Document, p: NodeId, t: NodeId) -> Option<u32> {
+    let mut prev = None;
+    for c in doc.children(p) {
+        if c == t {
+            return prev;
+        }
+        prev = Some(c.0);
+    }
+    None
+}
+
+/// Splice the arena columns: remove nodes `[s, s+r)` (a whole-subtree
+/// run under parent `p`, possibly extended by a merged text sibling),
+/// insert the fragment's nodes at `s`, shift the suffix by
+/// `delta = m − r`, and recompute the region `end` of the splice-point
+/// ancestors. `prev_child` / `following` are the old ids of the siblings
+/// bracketing the spliced run; `merge` appends text to a prefix text
+/// node (the delete text-merge).
+///
+/// The identity splice (`p = 0, s = len, r = 0`, no fragment) copies the
+/// document under a fresh uid.
+#[allow(clippy::too_many_arguments)]
+fn splice(
+    doc: &Document,
+    p: u32,
+    s: u32,
+    r: u32,
+    frag: Option<&Document>,
+    prev_child: Option<u32>,
+    following: Option<u32>,
+    merge: Option<(u32, &str)>,
+) -> Result<Document, String> {
+    let n = doc.len() as u32;
+    // `s == n` with nothing removed or inserted is the identity splice:
+    // a plain copy under a fresh uid (used for empty mutation scripts).
+    let identity = s >= n && r == 0 && frag.is_none();
+    let m = frag.map_or(0, |f| f.len() as u32 - 1);
+    debug_assert!(identity || s >= 1);
+    debug_assert!(s + r <= n);
+
+    if let Some(f) = frag {
+        let deepest = f.level.iter().copied().max().unwrap_or(0) as u32;
+        if doc.level[p as usize] as u32 + deepest > u16::MAX as u32 {
+            return Err("mutation would nest elements deeper than 65535 levels".to_string());
+        }
+    }
+
+    // Ancestor chain of the splice parent: the only prefix nodes whose
+    // region `end` can change. Identified by walking parents — never by
+    // matching `last_desc` values, which non-ancestors can share.
+    let mut on_chain = vec![false; s as usize];
+    if !identity {
+        let mut a = p;
+        loop {
+            on_chain[a as usize] = true;
+            let up = doc.parent[a as usize];
+            if up == NIL {
+                break;
+            }
+            a = up;
+        }
+    }
+
+    let n_new = (n - r + m) as usize;
+    let mut parent = Vec::with_capacity(n_new);
+    let mut first_child = Vec::with_capacity(n_new);
+    let mut next_sibling = Vec::with_capacity(n_new);
+    let mut last_desc = Vec::with_capacity(n_new);
+    let mut level = Vec::with_capacity(n_new);
+    let mut kind_sym = Vec::with_capacity(n_new);
+    let mut texts: Vec<Box<str>> = Vec::new();
+    let mut symbols = doc.symbols.clone();
+
+    // Pointer remap: prefix ids are stable, suffix ids shift by m − r.
+    // A remaining pointer *into* the removed range can only be the value
+    // `s` (from `prev_child` / `first_child[p]`) and is overwritten by
+    // the fix-ups below.
+    let map = |v: u32| -> u32 {
+        if v == NIL || v < s {
+            v
+        } else if v >= s + r {
+            v - r + m
+        } else {
+            NIL
+        }
+    };
+
+    // Prefix [0, s): ids unchanged; ancestors of the splice point get a
+    // recomputed region end, everything else keeps its label.
+    for v in 0..s as usize {
+        parent.push(map(doc.parent[v]));
+        first_child.push(map(doc.first_child[v]));
+        next_sibling.push(map(doc.next_sibling[v]));
+        let old_ld = doc.last_desc[v];
+        last_desc.push(if old_ld >= s + r {
+            old_ld - r + m
+        } else if on_chain[v] {
+            // The subtree ended inside the spliced run: it now ends at
+            // the last fragment node (or just before the splice point
+            // when the run was purely deleted).
+            s + m - 1
+        } else {
+            old_ld
+        });
+        level.push(doc.level[v]);
+        let packed = doc.kind_sym[v];
+        kind_sym.push(if packed & KIND_MASK == KIND_TEXT {
+            let old_idx = (packed >> crate::document::KIND_BITS) as usize;
+            let idx = texts.len() as u32;
+            match merge {
+                Some((mid, extra)) if mid == v as u32 => {
+                    let mut merged = String::from(&*doc.texts[old_idx]);
+                    merged.push_str(extra);
+                    texts.push(merged.into_boxed_str());
+                }
+                _ => texts.push(doc.texts[old_idx].clone()),
+            }
+            pack(KIND_TEXT, idx)
+        } else {
+            packed
+        });
+    }
+
+    // Fragment nodes take ids [s, s+m).
+    if let Some(f) = frag {
+        let fmap = |v: u32| if v == NIL { NIL } else { s + v - 1 };
+        for fid in 1..f.len() {
+            parent.push(if fid == 1 { p } else { fmap(f.parent[fid]) });
+            first_child.push(fmap(f.first_child[fid]));
+            next_sibling.push(fmap(f.next_sibling[fid]));
+            last_desc.push(s + f.last_desc[fid] - 1);
+            level.push(doc.level[p as usize] + f.level[fid]);
+            let packed = f.kind_sym[fid];
+            kind_sym.push(if packed & KIND_MASK == KIND_ELEMENT {
+                let name = f.symbols.name(Sym(packed >> crate::document::KIND_BITS));
+                pack(KIND_ELEMENT, symbols.intern(name).0)
+            } else {
+                let old_idx = (packed >> crate::document::KIND_BITS) as usize;
+                let idx = texts.len() as u32;
+                texts.push(f.texts[old_idx].clone());
+                pack(KIND_TEXT, idx)
+            });
+        }
+    }
+
+    // Suffix [s+r, n): ids shift by m − r; levels are depth-stable.
+    for v in (s + r) as usize..n as usize {
+        parent.push(map(doc.parent[v]));
+        first_child.push(map(doc.first_child[v]));
+        next_sibling.push(map(doc.next_sibling[v]));
+        last_desc.push(doc.last_desc[v] - r + m);
+        level.push(doc.level[v]);
+        let packed = doc.kind_sym[v];
+        kind_sym.push(if packed & KIND_MASK == KIND_TEXT {
+            let old_idx = (packed >> crate::document::KIND_BITS) as usize;
+            let idx = texts.len() as u32;
+            texts.push(doc.texts[old_idx].clone());
+            pack(KIND_TEXT, idx)
+        } else {
+            packed
+        });
+    }
+
+    // Stitch the sibling run around the splice point.
+    if !identity {
+        let following_new = following.map(|v| {
+            debug_assert!(v >= s + r, "the following sibling is outside the spliced run");
+            v - r + m
+        });
+        let link = if m > 0 {
+            next_sibling[s as usize] = following_new.unwrap_or(NIL);
+            s
+        } else {
+            following_new.unwrap_or(NIL)
+        };
+        match prev_child {
+            Some(pc) => next_sibling[pc as usize] = link,
+            None => first_child[p as usize] = link,
+        }
+    }
+
+    // Attributes: rekey the survivors, intern the fragment's.
+    let mut attrs: FxHashMap<u32, Vec<(Sym, Box<str>)>> = FxHashMap::default();
+    for (&k, v) in &doc.attrs {
+        if k < s {
+            attrs.insert(k, v.clone());
+        } else if k >= s + r {
+            attrs.insert(k - r + m, v.clone());
+        }
+    }
+    if let Some(f) = frag {
+        for (&k, v) in &f.attrs {
+            let rekeyed: Vec<(Sym, Box<str>)> = v
+                .iter()
+                .map(|(sym, val)| (symbols.intern(f.symbols.name(*sym)), val.clone()))
+                .collect();
+            attrs.insert(s + k - 1, rekeyed);
+        }
+    }
+
+    Ok(Document {
+        parent,
+        first_child,
+        next_sibling,
+        last_desc,
+        level,
+        kind_sym,
+        texts,
+        attrs,
+        symbols,
+        uid: fresh_uid(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer;
+    use crate::TagIndex;
+
+    fn parse(m: &str) -> Mutation {
+        parse_mutation(m).unwrap()
+    }
+
+    /// Column-for-column structural equality, independent of uid.
+    fn assert_same_arena(a: &Document, b: &Document, context: &str) {
+        assert_eq!(a.len(), b.len(), "{context}: node count");
+        for id in 0..a.len() as u32 {
+            let n = NodeId(id);
+            assert_eq!(a.kind(n), b.kind(n).clone_tag(a, b), "{context}: kind of n{id}");
+            assert_eq!(a.parent(n), b.parent(n), "{context}: parent of n{id}");
+            assert_eq!(a.first_child(n), b.first_child(n), "{context}: first_child of n{id}");
+            assert_eq!(a.next_sibling(n), b.next_sibling(n), "{context}: next_sibling of n{id}");
+            assert_eq!(
+                a.last_descendant(n),
+                b.last_descendant(n),
+                "{context}: last_desc of n{id}"
+            );
+            assert_eq!(a.level(n), b.level(n), "{context}: level of n{id}");
+            assert_eq!(a.tag_name(n), b.tag_name(n), "{context}: tag of n{id}");
+            assert_eq!(a.text(n), b.text(n), "{context}: text of n{id}");
+            let attrs_a: Vec<(&str, &str)> = a
+                .attributes(n)
+                .iter()
+                .map(|(s, v)| (a.symbols().name(*s), v.as_ref()))
+                .collect();
+            let attrs_b: Vec<(&str, &str)> = b
+                .attributes(n)
+                .iter()
+                .map(|(s, v)| (b.symbols().name(*s), v.as_ref()))
+                .collect();
+            assert_eq!(attrs_a, attrs_b, "{context}: attrs of n{id}");
+        }
+    }
+
+    /// Tags live in per-document symbol tables; compare by name.
+    trait CloneTag {
+        fn clone_tag(self, a: &Document, b: &Document) -> crate::NodeKind;
+    }
+    impl CloneTag for crate::NodeKind {
+        fn clone_tag(self, a: &Document, b: &Document) -> crate::NodeKind {
+            match self {
+                crate::NodeKind::Element(sym) => {
+                    let name = b.symbols().name(sym);
+                    crate::NodeKind::Element(a.sym(name).unwrap_or(Sym(u32::MAX >> 2)))
+                }
+                other => other,
+            }
+        }
+    }
+
+    /// Apply `m` and check the spliced arena against a serialize → edit
+    /// is impossible, so: against a full reparse of its own serialization
+    /// (the rebuild-from-scratch reference), plus the expected XML.
+    fn check(src: &str, m: &str, expected: &str) -> Document {
+        let doc = Document::parse_str(src).unwrap();
+        let (new, sp) = apply(&doc, &parse(m)).unwrap();
+        let serialized = writer::to_string(&new);
+        assert_eq!(serialized, expected, "mutated serialization for {m:?} on {src:?}");
+        let reparsed = Document::parse_str(&serialized).unwrap();
+        assert_same_arena(&new, &reparsed, &format!("{m:?} on {src:?}"));
+        assert_ne!(new.uid(), doc.uid(), "mutation must mint a fresh uid");
+        // The incremental index patch must equal a from-scratch build.
+        let patched = TagIndex::build(&doc).splice(sp.start, sp.removed, sp.inserted, &new);
+        let rebuilt = TagIndex::build(&new);
+        for (idx, _) in new.symbols().iter() {
+            let (a, b) = (patched.postings(idx), rebuilt.postings(idx));
+            assert_eq!(a.starts(), b.starts(), "{m:?}: starts of {:?}", new.symbols().name(idx));
+            for i in 0..a.len() {
+                assert_eq!(a.end(i), b.end(i), "{m:?}: end[{i}]");
+                assert_eq!(a.level(i), b.level(i), "{m:?}: level[{i}]");
+            }
+        }
+        new
+    }
+
+    #[test]
+    fn insert_positions() {
+        check("<a><b/><c/></a>", "insert 1 0 <x/>", "<a><x/><b/><c/></a>");
+        check("<a><b/><c/></a>", "insert 1 1 <x/>", "<a><b/><x/><c/></a>");
+        check("<a><b/><c/></a>", "insert 1 2 <x/>", "<a><b/><c/><x/></a>");
+        check("<a/>", "insert 1 0 <x>t</x>", "<a><x>t</x></a>");
+        check("<a><b><c/></b></a>", "insert 1.1 1 <x><y/>deep</x>", "<a><b><c/><x><y/>deep</x></b></a>");
+    }
+
+    #[test]
+    fn insert_subtree_with_attributes_and_new_tags() {
+        let new = check(
+            r#"<a><b k="1"/></a>"#,
+            r#"insert 1 1 <z q="2"><w/>txt</z>"#,
+            r#"<a><b k="1"/><z q="2"><w/>txt</z></a>"#,
+        );
+        assert!(new.sym("z").is_some() && new.sym("w").is_some() && new.sym("q").is_some());
+    }
+
+    #[test]
+    fn delete_leaf_and_subtree() {
+        check("<a><b/><c/></a>", "delete 1.1", "<a><c/></a>");
+        check("<a><b/><c/></a>", "delete 1.2", "<a><b/></a>");
+        check("<a><b><c/><d/></b><e/></a>", "delete 1.1", "<a><e/></a>");
+        check("<a><b><c/><d/></b><e/></a>", "delete 1.1.2", "<a><b><c/></b><e/></a>");
+    }
+
+    #[test]
+    fn delete_merges_adjacent_text() {
+        let new = check("<a>x<b/>y</a>", "delete 1.2", "<a>xy</a>");
+        let a = new.root_element().unwrap();
+        assert_eq!(new.children(a).count(), 1, "merged into a single text node");
+        check("<a>x<b/>y<c/>z</a>", "delete 1.4", "<a>x<b/>yz</a>");
+        // No merge when only one neighbor is text.
+        check("<a><b/>y<c/></a>", "delete 1.3", "<a><b/>y</a>");
+        check("<a>x<b/><c/></a>", "delete 1.2", "<a>x<c/></a>");
+    }
+
+    #[test]
+    fn delete_text_node() {
+        check("<a>x<b/>y</a>", "delete 1.1", "<a><b/>y</a>");
+        check("<a>x<b/>y</a>", "delete 1.3", "<a>x<b/></a>");
+    }
+
+    #[test]
+    fn replace_subtrees() {
+        check("<a><b><c/></b><d/></a>", "replace 1.1 <x>t</x>", "<a><x>t</x><d/></a>");
+        check("<a><b/><d/></a>", "replace 1.2 <x><y/><z/></x>", "<a><b/><x><y/><z/></x></a>");
+        check("<a><b/></a>", "replace 1 <r><s/></r>", "<r><s/></r>");
+        check("<a>x<b/>y</a>", "replace 1.2 <c/>", "<a>x<c/>y</a>");
+    }
+
+    #[test]
+    fn sequences_compose() {
+        let doc = Document::parse_str("<a><b/><c/></a>").unwrap();
+        let muts = parse_mutations(
+            "insert 1 2 <d>t</d>\n# a comment\n\ndelete 1.1\nreplace 1.2 <e/>\n",
+        )
+        .unwrap();
+        let out = apply_all(&doc, &muts).unwrap();
+        assert_eq!(writer::to_string(&out), "<a><c/><e/></a>");
+        let identity = apply_all(&doc, &[]).unwrap();
+        assert_eq!(writer::to_string(&identity), "<a><b/><c/></a>");
+        assert_ne!(identity.uid(), doc.uid());
+        assert_same_arena(&identity, &doc, "identity splice");
+    }
+
+    #[test]
+    fn validation_errors() {
+        let doc = Document::parse_str("<a><b/>t</a>").unwrap();
+        let err = |m: &str| apply(&doc, &parse(m)).unwrap_err();
+        assert!(err("delete 1").contains("root element"));
+        assert!(err("delete 1.9").contains("children"));
+        assert!(err("insert 1.2 0 <x/>").contains("text node"));
+        assert!(err("insert 1 7 <x/>").contains("out of range"));
+        assert!(err("insert 1 0 <x/><y/>").contains("fragment"));
+        assert!(err("insert 1 0 <x/>junk").contains("fragment"));
+        assert!(err("insert 1 0 <x>").contains("fragment"));
+        assert!(resolve(&doc, &"2".parse().unwrap()).is_err());
+        assert!(resolve(&doc, &"1.0".parse().unwrap()).is_err());
+        assert!(parse_mutation("frobnicate 1").is_err());
+        assert!(parse_mutation("insert 1").is_err());
+        assert!(parse_mutations("delete 1.1\nbogus\n").unwrap_err().contains("line 2"));
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for m in ["insert 1.2 0 <x>t</x>", "delete 1.3.1", "replace 1 <r><s/></r>"] {
+            assert_eq!(parse(m).to_string(), m);
+        }
+    }
+
+    #[test]
+    fn dewey_roundtrip() {
+        let doc = Document::parse_str("<a><b>t<c/></b><d><e/><f/></d></a>").unwrap();
+        for id in 1..doc.len() as u32 {
+            let n = NodeId(id);
+            let d = dewey_of(&doc, n);
+            assert_eq!(resolve(&doc, &d).unwrap(), n, "roundtrip of {d}");
+        }
+        assert_eq!(dewey_of(&doc, doc.root_element().unwrap()).to_string(), "1");
+    }
+
+    #[test]
+    fn splice_coordinates_expose_the_shift() {
+        let doc = Document::parse_str("<a><b><c/></b><d/></a>").unwrap();
+        let (_, sp) = apply(&doc, &parse("delete 1.1")).unwrap();
+        assert_eq!(sp, Splice { start: 2, removed: 2, inserted: 0 });
+        let (_, sp) = apply(&doc, &parse("insert 1 0 <x><y/></x>")).unwrap();
+        assert_eq!(sp, Splice { start: 2, removed: 0, inserted: 2 });
+        let (_, sp) = apply(&doc, &parse("replace 1.1 <x/>")).unwrap();
+        assert_eq!(sp, Splice { start: 2, removed: 2, inserted: 1 });
+    }
+}

@@ -18,12 +18,14 @@
 pub mod datasets;
 pub mod gen;
 pub mod grammar;
+pub mod mutgen;
 pub mod querygen;
 pub mod rng;
 
 pub use datasets::{generate, generate_scaled, Dataset};
 pub use gen::Gen;
 pub use grammar::Grammar;
+pub use mutgen::random_mutations;
 pub use querygen::{
     random_flwor_query, random_path_query_full, random_query, random_query_full, QueryGenConfig,
 };

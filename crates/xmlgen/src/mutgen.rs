@@ -1,0 +1,168 @@
+//! Seeded mutation-sequence generator for the mutation differential
+//! fuzzer.
+//!
+//! Sequences are generated *apply-aware*: each step is drawn against the
+//! document produced by the previous steps (Dewey keys address the
+//! current snapshot, not the original), so every generated script is
+//! valid by construction — the differential harness then checks that the
+//! engine's incremental splice and the oracle's rebuild-from-scratch
+//! agree on what it means. Occasionally (~4% of steps) a deliberately
+//! *invalid* mutation is emitted instead, so the fuzzer also covers the
+//! "both sides must reject" path.
+
+use crate::rng::SplitMix;
+use blossom_xml::mutate::{self, Mutation};
+use blossom_xml::{Document, NodeId};
+
+/// Tag pool for generated fragments: a mix of tags likely present in the
+/// datasets (exercising posting-list splices of hot lists) and fresh
+/// ones (exercising symbol interning and new lists).
+const FRAG_TAGS: [&str; 8] = ["item", "name", "title", "entry", "muta", "mutb", "mutc", "mutd"];
+const FRAG_TEXTS: [&str; 6] = ["x", "42", "alpha", "b b", "zz top", "7"];
+
+/// Generate `count` mutations valid against `doc` applied in order.
+/// Deterministic in `(doc, count, seed)`.
+pub fn random_mutations(doc: &Document, count: usize, seed: u64) -> Vec<Mutation> {
+    let mut rng = SplitMix::new(seed ^ 0x3141_5926_5358_9793);
+    let mut out = Vec::with_capacity(count);
+    let mut cur: Option<Document> = None;
+    for _ in 0..count {
+        let base = cur.as_ref().unwrap_or(doc);
+        let m = random_step(base, &mut rng);
+        if let Ok((next, _)) = mutate::apply(base, &m) {
+            cur = Some(next);
+            out.push(m);
+        } else {
+            // An intentionally invalid step: emit it (the harness checks
+            // both sides reject) but keep generating from the same doc.
+            out.push(m);
+            break;
+        }
+    }
+    out
+}
+
+/// One mutation against the current snapshot.
+fn random_step(doc: &Document, rng: &mut SplitMix) -> Mutation {
+    // A small slice of deliberately invalid scripts.
+    if rng.gen_bool(0.04) {
+        return invalid_step(doc, rng);
+    }
+    let elements: Vec<NodeId> = doc.elements().collect();
+    let non_root: Vec<NodeId> =
+        elements.iter().copied().filter(|&n| doc.parent(n) != Some(NodeId::DOCUMENT)).collect();
+    let roll = rng.next_f64();
+    if roll < 0.45 || non_root.is_empty() {
+        // Insert under a random element at a random position.
+        let p = elements[rng.gen_index(elements.len())];
+        let arity = doc.children(p).count();
+        let pos = rng.gen_usize(0, arity) as u32;
+        Mutation::Insert {
+            parent: mutate::dewey_of(doc, p),
+            pos,
+            fragment: random_fragment(rng),
+        }
+    } else if roll < 0.75 {
+        let t = non_root[rng.gen_index(non_root.len())];
+        Mutation::Delete { target: mutate::dewey_of(doc, t) }
+    } else {
+        // Replace; occasionally the root element itself.
+        let t = if rng.gen_bool(0.05) {
+            doc.root_element().expect("generated docs have a root")
+        } else {
+            non_root[rng.gen_index(non_root.len())]
+        };
+        Mutation::Replace { target: mutate::dewey_of(doc, t), fragment: random_fragment(rng) }
+    }
+}
+
+/// A mutation that must be rejected: out-of-range Dewey, root delete,
+/// or a malformed fragment.
+fn invalid_step(doc: &Document, rng: &mut SplitMix) -> Mutation {
+    match rng.gen_index(3) {
+        0 => Mutation::Delete {
+            target: blossom_xml::Dewey::root().child(rng.gen_u32(50, 200)),
+        },
+        1 => Mutation::Delete { target: blossom_xml::Dewey::root() },
+        _ => {
+            let elements: Vec<NodeId> = doc.elements().collect();
+            let p = elements[rng.gen_index(elements.len())];
+            Mutation::Insert {
+                parent: mutate::dewey_of(doc, p),
+                pos: 0,
+                fragment: "<broken".to_string(),
+            }
+        }
+    }
+}
+
+/// A small single-line element fragment: 1–6 nodes, depth ≤ 3, with a
+/// sprinkle of attributes and text.
+fn random_fragment(rng: &mut SplitMix) -> String {
+    let mut out = String::new();
+    write_random_elem(rng, 0, &mut out);
+    out
+}
+
+fn write_random_elem(rng: &mut SplitMix, depth: usize, out: &mut String) {
+    let tag = FRAG_TAGS[rng.gen_index(FRAG_TAGS.len())];
+    out.push('<');
+    out.push_str(tag);
+    if rng.gen_bool(0.3) {
+        out.push_str(" k=\"");
+        out.push_str(FRAG_TEXTS[rng.gen_index(FRAG_TEXTS.len())]);
+        out.push('"');
+    }
+    let kids = if depth >= 2 { 0 } else { rng.gen_index(3) };
+    if kids == 0 && !rng.gen_bool(0.5) {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    if kids == 0 || rng.gen_bool(0.4) {
+        out.push_str(FRAG_TEXTS[rng.gen_index(FRAG_TEXTS.len())]);
+    }
+    for _ in 0..kids {
+        write_random_elem(rng, depth + 1, out);
+    }
+    out.push_str("</");
+    out.push_str(tag);
+    out.push('>');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, Dataset};
+
+    #[test]
+    fn deterministic_and_mostly_applicable() {
+        let doc = generate(Dataset::D3Catalog, 120, 7);
+        let a = random_mutations(&doc, 8, 99);
+        let b = random_mutations(&doc, 8, 99);
+        assert_eq!(a, b, "same seed, same script");
+        assert!(!a.is_empty());
+        let c = random_mutations(&doc, 8, 100);
+        assert_ne!(a, c, "different seed, different script");
+    }
+
+    #[test]
+    fn valid_prefix_applies_cleanly() {
+        for seed in 0..20 {
+            let doc = generate(Dataset::D1Recursive, 80, seed);
+            let muts = random_mutations(&doc, 6, seed * 31 + 1);
+            // Every mutation but possibly the last (an intentional
+            // invalid) must apply in sequence.
+            let mut cur = None;
+            for (i, m) in muts.iter().enumerate() {
+                let base: &Document = cur.as_ref().unwrap_or(&doc);
+                match blossom_xml::mutate::apply(base, m) {
+                    Ok((next, _)) => cur = Some(next),
+                    Err(_) => {
+                        assert_eq!(i, muts.len() - 1, "only the final step may be invalid");
+                    }
+                }
+            }
+        }
+    }
+}

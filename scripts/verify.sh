@@ -42,6 +42,16 @@ cargo run --release -q -p blossom-bench --bin diff -- \
 cargo run --release -q -p blossom-bench --bin diff -- \
     --replay tests/fixtures/diff --server
 
+echo "== mutation differential smoke (incremental update path vs rebuild) =="
+# Every round also applies a seeded mutation script through the
+# incremental update path (arena splice + TagIndex::splice), checks the
+# snapshot byte-for-byte against a rebuild-from-scratch reference, then
+# runs the full configuration matrix on the maintained parts. The long
+# sweep is the CI `mutation-fuzz` job (1000 rounds).
+cargo run --release -q -p blossom-bench --bin diff -- \
+    --rounds "${DIFF_ROUNDS}" --nodes 120 --mutations 5 \
+    --out target/mutation-fixtures
+
 echo "== server smoke (blossomd: load, concurrent queries, open-loop, drain) =="
 # In-process run of the load harness, both phases: four connections
 # sweep the Table-3 query matrix closed-loop with every response
@@ -98,6 +108,39 @@ printf '%s\n' "${HTTP_RESPONSE}" | tr -d '\r' | sed '1,/^$/d' > target/serve-smo
 ./target/release/blossom query "${SERVE_DOC}" '//item/title' > target/serve-smoke-cli.out
 cmp target/serve-smoke-cli.out target/serve-smoke-http.out \
     || { echo "server response differs from CLI output"; exit 1; }
+
+echo "== update smoke (CLI update vs server incremental maintenance) =="
+# The same mutation script travels two roads: `blossom update` writes
+# the spliced document to disk (queried after a from-scratch reparse =
+# the rebuild reference), while POST /update mutates the live server
+# snapshot through the incremental index-maintenance path. Both answers
+# must be byte-identical.
+UPDATE_SCRIPT=$'insert 1 0 <item><title>zz-update-smoke</title></item>\ndelete 1.2'
+UPDATED_DOC=target/update-smoke-updated.xml
+cargo run --release -q --bin blossom -- update "${SERVE_DOC}" \
+    --apply 'insert 1 0 <item><title>zz-update-smoke</title></item>' \
+    --apply 'delete 1.2' \
+    --output "${UPDATED_DOC}"
+cargo run --release -q --bin blossom -- query "${UPDATED_DOC}" '//item/title' \
+    > target/update-smoke-rebuild.out
+grep -q 'zz-update-smoke' target/update-smoke-rebuild.out \
+    || { echo "CLI update lost the inserted subtree"; exit 1; }
+
+exec 3<>"/dev/tcp/${HOST}/${PORT}"
+printf 'POST /update?doc=smoke HTTP/1.1\r\nHost: x\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s' \
+    "${#UPDATE_SCRIPT}" "${UPDATE_SCRIPT}" >&3
+UPDATE_RESPONSE=$(cat <&3)
+exec 3<&- 3>&-
+printf '%s\n' "${UPDATE_RESPONSE}" | grep -q '"mutations": 2' \
+    || { echo "POST /update did not apply the script: ${UPDATE_RESPONSE}"; exit 1; }
+
+exec 3<>"/dev/tcp/${HOST}/${PORT}"
+printf 'GET /query?doc=smoke&q=//item/title HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n' >&3
+HTTP_RESPONSE=$(cat <&3)
+exec 3<&- 3>&-
+printf '%s\n' "${HTTP_RESPONSE}" | tr -d '\r' | sed '1,/^$/d' > target/update-smoke-server.out
+cmp target/update-smoke-rebuild.out target/update-smoke-server.out \
+    || { echo "incrementally maintained snapshot differs from rebuild"; exit 1; }
 
 exec 3<>"/dev/tcp/${HOST}/${PORT}"
 printf 'POST /shutdown HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\nConnection: close\r\n\r\n' >&3

@@ -6,6 +6,7 @@
 //! blossom explain <doc.xml|doc.blsm> '<query>'
 //! blossom stats   <doc.xml|doc.blsm>
 //! blossom encode  <doc.xml> <out.blsm>     # succinct storage format
+//! blossom update  <doc.xml|doc.blsm> [--apply 'MUTATION']... [--ops FILE] [--output OUT]
 //! blossom gen     <d1|d2|d3|d4|d5> <out.xml> [--nodes N] [--seed S]
 //! blossom serve   [--addr HOST:PORT] [--workers N] [--threads N] [--deadline-ms N]
 //!                 [--catalog-mb N] [--io-model M] [--io-threads N] [--max-queue N]
@@ -16,6 +17,14 @@
 //! stderr (stdout stays byte-identical to an unprofiled run);
 //! `--profile-json FILE` writes the same trace as JSON; `--repeat N`
 //! evaluates the query N times and reports plan-cache statistics.
+//!
+//! `update` applies a mutation script — `insert <parent-dewey> <pos>
+//! <fragment>`, `delete <dewey>`, `replace <dewey> <fragment>` lines —
+//! to a document: each `--apply` flag adds one mutation, `--ops FILE`
+//! reads a script file (applied before any `--apply` lines), and
+//! `--output OUT` writes the mutated document to a file (`.blsm` writes
+//! the succinct format) instead of printing XML to stdout. The same
+//! script syntax drives the server's `POST /update`.
 //!
 //! `serve` starts `blossomd`, the concurrent query server (see
 //! `DESIGN.md` §10 and §12): `--addr` binds the listener (port 0 picks
@@ -34,7 +43,7 @@
 
 use blossomtree::core::{exec, Engine, EngineOptions, Strategy};
 use blossomtree::server::{IoModel, Server, ServerConfig};
-use blossomtree::xml::{load, succinct, writer, Document};
+use blossomtree::xml::{load, mutate, succinct, writer, Document};
 use blossomtree::xmlgen::{generate, Dataset};
 use std::process::ExitCode;
 
@@ -58,6 +67,7 @@ const USAGE: &str = "usage:
   blossom explain <doc.xml|doc.blsm> '<query>'
   blossom stats   <doc.xml|doc.blsm>
   blossom encode  <doc.xml> <out.blsm>
+  blossom update  <doc.xml|doc.blsm> [--apply 'MUTATION']... [--ops FILE] [--output OUT]
   blossom gen     <d1|d2|d3|d4|d5> <out.xml> [--nodes N] [--seed S]
   blossom serve   [--addr HOST:PORT] [--workers N] [--threads N] [--deadline-ms N]
                   [--catalog-mb N] [--io-model M] [--io-threads N] [--max-queue N]
@@ -71,6 +81,10 @@ strategies: auto (default), navigational, twigstack, pathstack, pipelined, bnlj,
                 operator counters, phase timings) to stderr
 --profile-json: write the trace as JSON to FILE
 --repeat:       evaluate the query N times and report plan-cache stats
+--apply:        update: one mutation line (insert/delete/replace; repeatable)
+--ops:          update: read a mutation script from FILE
+--output:       update: write the mutated document to OUT (.blsm = succinct)
+                instead of printing XML to stdout
 --addr:         serve: bind address (default 127.0.0.1:7730; port 0 = ephemeral)
 --workers:      serve: execution worker threads (default 4)
 --deadline-ms:  serve: per-request evaluation budget (default 10000; 0 = none)
@@ -183,6 +197,46 @@ fn run(args: &[String]) -> Result<String, String> {
                 sizes.symbols,
                 sizes.content
             ))
+        }
+        "update" => {
+            let file = arg(args, 1)?;
+            let mut script = String::new();
+            if let Some(path) = flag_value(args, "--ops") {
+                script.push_str(
+                    &std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?,
+                );
+                if !script.ends_with('\n') {
+                    script.push('\n');
+                }
+            }
+            for m in flag_values(args, "--apply") {
+                script.push_str(m);
+                script.push('\n');
+            }
+            if script.trim().is_empty() {
+                return Err("update needs at least one --apply MUTATION or --ops FILE".to_string());
+            }
+            let muts = mutate::parse_mutations(&script)?;
+            let doc = load_document(file)?;
+            let updated = mutate::apply_all(&doc, &muts)?;
+            match flag_value(args, "--output") {
+                None => Ok(writer::to_string(&updated)),
+                Some(output) => {
+                    let bytes = if output.ends_with(".blsm") {
+                        succinct::encode(&updated)
+                    } else {
+                        writer::to_string(&updated).into_bytes()
+                    };
+                    std::fs::write(output, &bytes)
+                        .map_err(|e| format!("writing {output}: {e}"))?;
+                    Ok(format!(
+                        "applied {} mutation(s): {} -> {} nodes, wrote {output}",
+                        muts.len(),
+                        doc.len(),
+                        updated.len()
+                    ))
+                }
+            }
         }
         "gen" => {
             let which = arg(args, 1)?;
@@ -327,6 +381,15 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+/// Every value of a repeatable flag, in order.
+fn flag_values<'a>(args: &'a [String], flag: &str) -> Vec<&'a str> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == flag)
+        .filter_map(|(i, _)| args.get(i + 1).map(String::as_str))
+        .collect()
+}
+
 fn parse_threads(args: &[String]) -> Result<usize, String> {
     match flag_value(args, "--threads") {
         None => Ok(exec::available_parallelism()),
@@ -406,6 +469,58 @@ mod tests {
         let from_xml = run(&s(&["query", &xml, "//address[//zip_code]"])).unwrap();
         let from_bin = run(&s(&["query", &blsm, "//address[//zip_code]"])).unwrap();
         assert_eq!(from_xml, from_bin);
+    }
+
+    #[test]
+    fn update_through_cli() {
+        let xml = tmp("upd.xml");
+        std::fs::write(&xml, "<bib><book><title>a</title></book></bib>").unwrap();
+
+        // Inline mutations print the mutated document to stdout.
+        let out = run(&s(&[
+            "update", &xml,
+            "--apply", "insert 1 1 <book><title>b</title></book>",
+            "--apply", "replace 1.1.1 <title>z</title>",
+        ]))
+        .unwrap();
+        assert_eq!(
+            out,
+            "<bib><book><title>z</title></book><book><title>b</title></book></bib>"
+        );
+
+        // --ops FILE runs before --apply; --output writes a file whose
+        // query results match querying the printed XML.
+        let ops = tmp("upd.ops");
+        std::fs::write(&ops, "insert 1 0 <book><title>first</title></book>\n").unwrap();
+        let mutated = tmp("upd-out.xml");
+        let summary = run(&s(&[
+            "update", &xml, "--ops", &ops, "--apply", "delete 1.2", "--output", &mutated,
+        ]))
+        .unwrap();
+        assert!(summary.contains("applied 2 mutation(s)"), "{summary}");
+        let titles = run(&s(&["query", &mutated, "//title"])).unwrap();
+        assert_eq!(titles, "<result><title>first</title></result>");
+
+        // A .blsm output round-trips through the succinct decoder.
+        let blsm = tmp("upd-out.blsm");
+        run(&s(&["update", &xml, "--apply", "delete 1.1", "--output", &blsm])).unwrap();
+        let empty = run(&s(&["query", &blsm, "//title"])).unwrap();
+        assert_eq!(empty, "<result/>");
+    }
+
+    #[test]
+    fn update_error_paths_are_one_line() {
+        let xml = tmp("upd-err.xml");
+        std::fs::write(&xml, "<r><a/></r>").unwrap();
+        // No mutations at all.
+        assert!(run(&s(&["update", &xml])).is_err());
+        // Script syntax, invalid target, root delete: one-line errors,
+        // and the input file is untouched.
+        for script in ["munge 1.1", "delete 1.9", "delete 1"] {
+            let err = run(&s(&["update", &xml, "--apply", script])).unwrap_err();
+            assert!(!err.contains('\n'), "multi-line: {err}");
+        }
+        assert_eq!(std::fs::read_to_string(&xml).unwrap(), "<r><a/></r>");
     }
 
     #[test]

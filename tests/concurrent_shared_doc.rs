@@ -95,3 +95,75 @@ fn eight_threads_share_one_document_and_agree_byte_for_byte() {
     let cache = plans.stats();
     assert!(cache.hits > cache.misses, "shared cache served repeats: {cache:?}");
 }
+
+/// Snapshot semantics under mutation: readers holding the pre-update
+/// `Arc<Document>` keep getting byte-identical pre-update answers while
+/// a writer chains updates and invalidates the old snapshots' plans out
+/// from under them. Losing a cached plan mid-stream must only cost a
+/// re-plan, never change a byte.
+#[test]
+fn readers_on_the_old_snapshot_are_unaffected_by_updates() {
+    use blossomtree::core::apply_mutations;
+    use blossomtree::xml::mutate::parse_mutations;
+
+    let xml = bib(150);
+    let doc = Arc::new(Document::parse_str(&xml).unwrap());
+    let index = Arc::new(TagIndex::build(&doc));
+    let stats = Arc::new(blossomtree::xml::DocStats::compute(&doc));
+    let plans = Arc::new(SharedPlanCache::new(64));
+
+    let queries = ["//book/title", "//book[author]/year", "//book[year < 1990]/title"];
+    let expected: Vec<String> = queries
+        .iter()
+        .map(|q| {
+            let engine = Engine::from_xml(&xml).unwrap();
+            writer::to_string(&engine.eval_query_str(q, Strategy::Auto).unwrap())
+        })
+        .collect();
+
+    let readers: Vec<_> = (0..4)
+        .map(|w| {
+            let (doc, index, stats, plans) = (doc.clone(), index.clone(), stats.clone(), plans.clone());
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                for round in 0..40 {
+                    let i = (w + round) % queries.len();
+                    let engine = Engine::with_shared(
+                        doc.clone(),
+                        index.clone(),
+                        stats.clone(),
+                        plans.clone(),
+                        EngineOptions::default(),
+                    );
+                    let got = writer::to_string(
+                        &engine.eval_query_str(queries[i], Strategy::Auto).unwrap(),
+                    );
+                    assert_eq!(got, expected[i], "pre-update snapshot changed under a reader");
+                }
+            })
+        })
+        .collect();
+
+    // Writer: a chain of updates off the same base snapshot, each with
+    // the scoped invalidation the server performs after a swap.
+    let mut cur_doc = doc.clone();
+    let mut cur_index = index.clone();
+    for i in 0..10 {
+        let script = format!("insert 1 0 <book><title>new{i}</title><year>2001</year></book>");
+        let muts = parse_mutations(&script).unwrap();
+        let updated = apply_mutations(&cur_doc, &cur_index, &muts, None).unwrap();
+        plans.invalidate_doc(cur_doc.uid());
+        cur_doc = updated.doc;
+        cur_index = updated.index;
+    }
+    for r in readers {
+        r.join().unwrap();
+    }
+
+    // The writer's final snapshot really diverged, and the readers'
+    // snapshot still answers exactly as before the first update.
+    assert_ne!(cur_doc.len(), doc.len());
+    let engine = Engine::with_shared(doc.clone(), index, stats, plans, EngineOptions::default());
+    let got = writer::to_string(&engine.eval_query_str(queries[0], Strategy::Auto).unwrap());
+    assert_eq!(got, expected[0]);
+}

@@ -3,14 +3,17 @@
 //!
 //! Each fixture was produced by the differential harness
 //! (`cargo run --release -p blossom-bench --bin diff`) from a real engine
-//! bug, then shrunk to a minimal `(query, document)` pair. A fixture
-//! failing here means a fixed bug has regressed; see the `#` comment
-//! lines inside the file for the original symptom and provenance.
+//! bug, then shrunk to a minimal `(query, document)` pair — or, for
+//! fixtures carrying `mut:` lines, a minimal `(query, document,
+//! mutation-script)` triple replayed through the incremental-update path
+//! against the rebuild-from-scratch reference. A fixture failing here
+//! means a fixed bug has regressed; see the `#` comment lines inside the
+//! file for the original symptom and provenance.
 
 use std::fs;
 use std::path::PathBuf;
 
-use blossom_bench::diff::{parse_fixture, run_case};
+use blossom_bench::diff::{parse_fixture_full, run_case, run_mutation_case};
 
 fn fixture_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -45,11 +48,15 @@ fn all_fixtures_agree_with_oracle() {
     let mut failures = Vec::new();
     for path in fixture_files() {
         let contents = fs::read_to_string(&path).expect("readable fixture");
-        let Some((query, xml)) = parse_fixture(&contents) else {
+        let Some((query, xml, script)) = parse_fixture_full(&contents) else {
             failures.push(format!("{}: malformed fixture", path.display()));
             continue;
         };
-        let result = run_case(&xml, &query);
+        let result = if script.is_empty() {
+            run_case(&xml, &query)
+        } else {
+            run_mutation_case(&xml, &script, &query)
+        };
         assert!(
             result.agreed > 0,
             "{}: no configuration evaluated the case (query no longer parses?)",

@@ -1,0 +1,67 @@
+//! Bounded mutation-differential smoke test: a fixed-seed slice of the
+//! mutation fuzzer (`cargo run -p blossom-bench --bin diff -- --mutations N`),
+//! small enough for every CI push.
+//!
+//! The round loop is byte-for-byte the binary's seed schedule, so any
+//! failure here reproduces (and auto-shrinks to a fixture) with
+//! `cargo run --release -p blossom-bench --bin diff -- --seed <base> --nodes <n> --mutations 6`.
+
+use blossom_bench::diff::run_mutation_case;
+use blossom_xmlgen::{generate, random_mutations, random_query_full, Dataset};
+
+const DATASETS: [Dataset; 5] = [
+    Dataset::D1Recursive,
+    Dataset::D2Address,
+    Dataset::D3Catalog,
+    Dataset::D4Treebank,
+    Dataset::D5Dblp,
+];
+
+/// Run `rounds` rounds of the mutation-fuzz schedule from `base_seed`.
+fn sweep(base_seed: u64, nodes: usize, rounds: u64) {
+    let mut agreed = 0usize;
+    let mut failures = Vec::new();
+    for round in 0..rounds {
+        let dataset = DATASETS[(round % DATASETS.len() as u64) as usize];
+        let doc_seed = base_seed
+            .wrapping_add(round)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let doc = generate(dataset, nodes, doc_seed);
+        let xml = blossom_xml::writer::to_string(&doc);
+        let query = random_query_full(&doc, doc_seed ^ 0xD1FF);
+        let script = random_mutations(&doc, 6, doc_seed ^ 0x5EED)
+            .iter()
+            .map(|m| m.to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
+        let result = run_mutation_case(&xml, &script, &query);
+        agreed += result.agreed;
+        for m in &result.mismatches {
+            failures.push(format!(
+                "seed {base_seed:#x} round {round} ({dataset:?}): {:?} disagreed\n  query: {query}\n  script: {}\n  engine: {}\n  oracle: {}",
+                m.config,
+                script.lines().collect::<Vec<_>>().join(" ; "),
+                m.engine,
+                m.oracle
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+    // Each passing round contributes at least the apply agreement, and
+    // most also evaluate the full matrix; a collapse to bare apply
+    // agreements would mean the matrix stopped evaluating.
+    assert!(
+        agreed >= 2 * rounds as usize,
+        "only {agreed} agreements across {rounds} rounds — harness degenerated"
+    );
+}
+
+#[test]
+fn smoke_default_seed() {
+    sweep(0xB10550, 64, 100);
+}
+
+#[test]
+fn smoke_alternate_seed() {
+    sweep(0xDEC0DE, 64, 100);
+}
