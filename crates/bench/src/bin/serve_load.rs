@@ -58,7 +58,8 @@ use blossom_bench::queries::queries;
 use blossom_bench::timing::{write_report, Json};
 use blossom_bench::Args;
 use blossom_core::{Engine, Strategy};
-use blossom_server::{Client, IoModel, Server, ServerConfig, ServerHandle};
+use blossom_server::span::STAGE_NAMES;
+use blossom_server::{promtext, Client, IoModel, Server, ServerConfig, ServerHandle};
 use blossom_xml::writer;
 use blossom_xmlgen::{generate, Dataset};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -350,6 +351,12 @@ fn main() {
         "profile envelope changed the result bytes"
     );
 
+    // Baseline /metrics scrape: the sweep's request count is asserted
+    // as a delta so setup traffic (loads, probes) doesn't blur it.
+    let metrics_before = setup.get("/metrics").map(|r| r.body_str()).unwrap_or_default();
+    let requests_before =
+        promtext::value(&metrics_before, "blossomd_requests_total", &[]).unwrap_or(0.0);
+
     // Phase 1 — closed-loop sweep: every connection issues its next
     // request the moment the previous answer lands.
     let started = Instant::now();
@@ -411,6 +418,59 @@ fn main() {
         pct(&latencies, 50.0),
         pct(&latencies, 95.0),
         pct(&latencies, 99.0)
+    );
+
+    // Post-sweep /metrics scrape: the exposition must parse cleanly,
+    // and the per-stage histograms must conserve wall time — every
+    // span attributes each elapsed microsecond to exactly one stage,
+    // so summing `_sum` across the seven stages should reproduce the
+    // request-duration `_sum` for the same endpoint (ratio within
+    // [0.95, 1.05]; in practice it is exact up to float rounding).
+    let metrics_after = setup.get("/metrics").map(|r| r.body_str()).unwrap_or_default();
+    let expo = match promtext::check(&metrics_after) {
+        Ok(stats) => stats,
+        Err(e) => {
+            eprintln!("serve_load: /metrics exposition failed validation: {e}");
+            mismatches += 1;
+            promtext::ExpoStats { families: 0, samples: 0 }
+        }
+    };
+    let requests_after =
+        promtext::value(&metrics_after, "blossomd_requests_total", &[]).unwrap_or(0.0);
+    let requests_delta = requests_after - requests_before;
+    if (requests_delta as usize) < total {
+        eprintln!(
+            "serve_load: /metrics counted {requests_delta} requests across the sweep, \
+             expected at least {total}"
+        );
+        mismatches += 1;
+    }
+    let query_wall_s =
+        promtext::value(&metrics_after, "blossomd_request_duration_seconds_sum", &[(
+            "endpoint", "/query",
+        )])
+        .unwrap_or(0.0);
+    let query_stage_s: f64 = STAGE_NAMES
+        .iter()
+        .filter_map(|stage| {
+            promtext::value(&metrics_after, "blossomd_request_stage_duration_seconds_sum", &[
+                ("endpoint", "/query"),
+                ("stage", stage),
+            ])
+        })
+        .sum();
+    let conservation = if query_wall_s > 0.0 { query_stage_s / query_wall_s } else { 0.0 };
+    if !(0.95..=1.05).contains(&conservation) {
+        eprintln!(
+            "serve_load: stage-time conservation violated: stages sum {query_stage_s:.6}s \
+             vs wall {query_wall_s:.6}s (ratio {conservation:.4})"
+        );
+        mismatches += 1;
+    }
+    println!(
+        "serve_load: /metrics {} families / {} samples; {requests_delta:.0} requests counted; \
+         stage/wall conservation {conservation:.4}",
+        expo.families, expo.samples
     );
 
     if let Some(handle) = handle {
@@ -519,6 +579,17 @@ fn main() {
                     ]),
                 ),
                 ("server_stats_raw", Json::str(stats_body.trim_end())),
+                (
+                    "metrics",
+                    Json::obj([
+                        ("families", Json::Num(expo.families as f64)),
+                        ("samples", Json::Num(expo.samples as f64)),
+                        ("requests_total_delta", Json::Num(requests_delta)),
+                        ("query_wall_seconds_sum", Json::Num(query_wall_s)),
+                        ("query_stage_seconds_sum", Json::Num(query_stage_s)),
+                        ("stage_wall_conservation", Json::Num(conservation)),
+                    ]),
+                ),
             ]),
         ),
         (

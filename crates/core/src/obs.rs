@@ -466,6 +466,15 @@ impl QueryTrace {
         out
     }
 
+    /// [`QueryTrace::to_json`] on a single line, for embedding in
+    /// structured log records (the server's slow-query log attaches it
+    /// to `/query` entries). Same fields, formatting whitespace removed
+    /// — sound because `json_str` escapes newlines inside string values,
+    /// so every raw newline in `to_json` output is formatting.
+    pub fn to_json_compact(&self) -> String {
+        self.to_json().lines().map(str::trim_start).collect()
+    }
+
     /// The stable machine-readable profile (schema version
     /// [`PROFILE_SCHEMA_VERSION`]; keys only ever get added, never
     /// renamed, within a version).

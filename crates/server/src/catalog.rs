@@ -186,6 +186,15 @@ impl Catalog {
         })
     }
 
+    /// Occupancy gauges for `/metrics`: resident documents, their total
+    /// approximate heap bytes, and the lifetime eviction count — one
+    /// lock acquisition, no per-entry clones.
+    pub fn occupancy(&self) -> (u64, u64, u64) {
+        let inner = self.inner.lock().unwrap();
+        let bytes: usize = inner.entries.iter().map(|(e, _)| e.bytes).sum();
+        (inner.entries.len() as u64, bytes as u64, inner.evictions)
+    }
+
     /// `(name, approx bytes)` per entry, most recently used last, plus
     /// the lifetime eviction count.
     pub fn snapshot(&self) -> (Vec<(String, usize)>, u64) {

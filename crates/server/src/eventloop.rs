@@ -30,8 +30,10 @@
 //! of being written to whoever reused the slot.
 
 use crate::http::{parse_request_bytes, render_response, Parsed, Request};
-use crate::sched::{BatchKey, Destination, Job, JobKind, Member};
+use crate::metrics::endpoint_index;
+use crate::sched::{BatchKey, Destination, Job, Member};
 use crate::server::{request_deadline, respond, Shared};
+use crate::span::{LogCtx, Outcome, RequestSpan, Stage};
 use crate::sys::{self, thread_cpu_us, Event, Interest, Poller, WakeReceiver, Waker};
 use blossom_core::engine::{EngineError, EngineOptions};
 use blossom_core::plan::Strategy;
@@ -55,6 +57,11 @@ pub(crate) struct Completion {
     pub dest: Destination,
     pub bytes: Vec<u8>,
     pub close: bool,
+    /// The request's lifecycle span (marked through Serialize); the I/O
+    /// thread adds the Write lap when the last byte is accepted by the
+    /// socket, then feeds it to metrics and the access log. `None` for
+    /// framing-error responses, which have no request to trace.
+    pub span: Option<RequestSpan>,
 }
 
 enum Inbound {
@@ -155,6 +162,9 @@ pub(crate) fn run(listener: TcpListener, shared: Arc<Shared>) {
 struct Slot {
     seq: u64,
     response: Option<(Vec<u8>, bool)>,
+    /// The span riding with the completion, parked here until the
+    /// response can be moved into the write buffer in pipeline order.
+    span: Option<RequestSpan>,
 }
 
 /// Per-connection state machine.
@@ -166,9 +176,20 @@ struct Conn {
     /// Read accumulation; `buf[buf_pos..]` is unparsed.
     buf: Vec<u8>,
     buf_pos: usize,
+    /// When the first unattributed bytes of the *next* request arrived;
+    /// taken by the span of the next request framed off the buffer (its
+    /// Read-stage start). Pipelined successors parsed from already-read
+    /// bytes start their span at parse time instead.
+    read_started: Option<Instant>,
     /// Pending outbound bytes; `out[out_pos..]` still to write.
     out: Vec<u8>,
     out_pos: usize,
+    /// Lifetime count of bytes accepted by the socket, pairing with the
+    /// absolute end offsets in `write_track`.
+    flushed: u64,
+    /// Spans of responses sitting in `out`, keyed by the absolute
+    /// offset at which each response's last byte leaves the socket.
+    write_track: VecDeque<(u64, RequestSpan)>,
     /// Dispatched requests awaiting responses, in request order.
     pending: VecDeque<Slot>,
     next_seq: u64,
@@ -322,8 +343,11 @@ impl IoThread {
             client,
             buf: Vec::new(),
             buf_pos: 0,
+            read_started: None,
             out: Vec::new(),
             out_pos: 0,
+            flushed: 0,
+            write_track: VecDeque::new(),
             pending: VecDeque::new(),
             next_seq: 0,
             interest: Interest::READ,
@@ -376,7 +400,12 @@ impl IoThread {
                     conn.read_closed = true;
                     break;
                 }
-                Ok(n) => conn.buf.extend_from_slice(&chunk[..n]),
+                Ok(n) => {
+                    if conn.read_started.is_none() {
+                        conn.read_started = Some(Instant::now());
+                    }
+                    conn.buf.extend_from_slice(&chunk[..n]);
+                }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(_) => {
@@ -420,10 +449,20 @@ impl IoThread {
             if unparsed.is_empty() {
                 conn.buf.clear();
                 conn.buf_pos = 0;
+                conn.read_started = None;
                 return;
             }
+            let parse_started = Instant::now();
             match parse_request_bytes(unparsed, self.shared.config.max_body) {
                 Ok(Parsed::Complete { request, consumed }) => {
+                    // The span starts when this request's first byte was
+                    // noticed (pipelined successors: at parse time), ends
+                    // Read at framing-complete, and Parse now.
+                    let started = conn.read_started.take().unwrap_or(parse_started);
+                    let mut span = RequestSpan::begin(started);
+                    span.mark_at(Stage::Read, parse_started);
+                    span.mark(Stage::Parse);
+                    span.bytes_in = consumed as u64;
                     conn.buf_pos += consumed;
                     // Compact once the parsed prefix dominates, so a
                     // long-lived pipelining connection cannot grow the
@@ -435,7 +474,7 @@ impl IoThread {
                         conn.buf.drain(..conn.buf_pos);
                         conn.buf_pos = 0;
                     }
-                    self.dispatch(slot, request);
+                    self.dispatch(slot, request, span);
                 }
                 Ok(Parsed::Partial) => return,
                 Err(e) => {
@@ -450,7 +489,7 @@ impl IoThread {
                     conn.broken = true;
                     let seq = conn.next_seq;
                     conn.next_seq += 1;
-                    conn.pending.push_back(Slot { seq, response: Some((bytes, true)) });
+                    conn.pending.push_back(Slot { seq, response: Some((bytes, true)), span: None });
                     self.pump(slot);
                     return;
                 }
@@ -460,38 +499,59 @@ impl IoThread {
 
     /// Route one parsed request: admission control, batch coalescing,
     /// then the execution queue.
-    fn dispatch(&mut self, slot: usize, request: Request) {
+    fn dispatch(&mut self, slot: usize, request: Request, mut span: RequestSpan) {
         let shared = self.shared.clone();
         let arrived = Instant::now();
         shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.inflight.fetch_add(1, Ordering::Relaxed);
+
+        let deadline = request_deadline(&request, &shared.config, arrived);
+        span.endpoint = endpoint_index(&request.path);
+        span.queue_depth = shared.sched.depth() as u64;
+        span.deadline = deadline;
+        span.budget = deadline.map(|d| d.saturating_duration_since(arrived));
+        span.force_log = request.param("trace") == Some("1");
+        if shared.log.armed() {
+            span.log = Some(Box::new(LogCtx {
+                method: request.method.clone(),
+                path: request.path.clone(),
+                doc: request
+                    .param("doc")
+                    .or_else(|| request.param("name"))
+                    .map(str::to_string),
+                query: request.param("q").map(str::to_string),
+                strategy: None,
+                trace_json: None,
+            }));
+        }
 
         let conn = self.conns[slot].as_mut().expect("live slot");
         let seq = conn.next_seq;
         conn.next_seq += 1;
-        conn.pending.push_back(Slot { seq, response: None });
+        conn.pending.push_back(Slot { seq, response: None, span: None });
         let member = Member {
             dest: Destination {
                 io_thread: self.idx,
                 conn_token: token_of(slot, conn.gen),
                 seq,
             },
-            deadline: request_deadline(&request, &shared.config, arrived),
+            deadline,
             keep_alive: request.keep_alive,
             arrived,
+            span,
         };
         let client = conn.client;
 
         if let Some((key, entry)) = batchable(&request, &shared) {
-            if shared.batches.join(&key, member) {
-                // Coalesced: the in-flight leader's evaluation will
-                // answer this member too. No queue slot consumed.
-                return;
-            }
-            shared.batches.lead(key.clone(), member);
-            let job = Job {
-                kind: JobKind::BatchLeader { request, key: key.clone(), entry },
-                member,
+            // Coalesced members are answered by the in-flight leader's
+            // evaluation; no queue slot consumed. A bounced member leads
+            // a fresh batch instead.
+            let member = match shared.batches.join(&key, member) {
+                Ok(()) => return,
+                Err(member) => member,
             };
+            shared.batches.lead(key.clone(), member);
+            let job = Job::BatchLeader { request, key: key.clone(), entry };
             if shared.sched.push(client, job).is_err() {
                 // Roll the batch back; anyone who joined between
                 // lead() and now is rejected with us.
@@ -500,27 +560,36 @@ impl IoThread {
                 }
             }
         } else {
-            let job = Job { kind: JobKind::Plain { request }, member };
-            if let Err(job) = shared.sched.push(client, job) {
-                self.reject(job.member);
+            let job = Job::Plain { request, member };
+            if let Err(Job::Plain { member, .. }) = shared.sched.push(client, job) {
+                self.reject(member);
             }
         }
     }
 
     /// Admission rejection: immediate 503 with `Retry-After`, no
     /// evaluation work spent.
-    fn reject(&mut self, member: Member) {
-        let metrics = &self.shared.metrics;
-        metrics.admission_rejections.fetch_add(1, Ordering::Relaxed);
-        metrics.record_latency("/query", member.arrived.elapsed());
+    fn reject(&mut self, mut member: Member) {
+        self.shared.metrics.admission_rejections.fetch_add(1, Ordering::Relaxed);
+        member.span.mark(Stage::Queue);
+        let id = member.span.id.to_string();
         let bytes = render_response(
             503,
             "text/plain",
             b"error: server overloaded, retry later\n",
             !member.keep_alive,
-            &[("Retry-After", "1")],
+            &[("Retry-After", "1"), ("X-Request-Id", &id)],
         );
-        self.deliver(Completion { dest: member.dest, bytes, close: !member.keep_alive });
+        member.span.finish_status(503);
+        member.span.outcome = Outcome::Rejected;
+        member.span.bytes_out = bytes.len() as u64;
+        member.span.mark(Stage::Serialize);
+        self.deliver(Completion {
+            dest: member.dest,
+            bytes,
+            close: !member.keep_alive,
+            span: Some(member.span),
+        });
     }
 
     /// Route a completion to its owning I/O thread (possibly this one).
@@ -535,14 +604,34 @@ impl IoThread {
     /// Fill the pipeline slot a completion belongs to, then flush the
     /// in-order prefix.
     fn complete(&mut self, completion: Completion) {
-        let Some(slot) = self.live(completion.dest.conn_token) else { return };
+        let Some(slot) = self.live(completion.dest.conn_token) else {
+            // The connection died before its response came back: the
+            // span still owes its metrics/log record, as a disconnect.
+            if let Some(span) = completion.span {
+                self.finish_disconnected(span);
+            }
+            return;
+        };
         let conn = self.conns[slot].as_mut().expect("live slot");
-        if let Some(entry) =
-            conn.pending.iter_mut().find(|s| s.seq == completion.dest.seq)
-        {
-            entry.response = Some((completion.bytes, completion.close));
+        match conn.pending.iter_mut().find(|s| s.seq == completion.dest.seq) {
+            Some(entry) => {
+                entry.response = Some((completion.bytes, completion.close));
+                entry.span = completion.span;
+            }
+            None => {
+                if let Some(span) = completion.span {
+                    self.finish_disconnected(span);
+                }
+            }
         }
         self.pump(slot);
+    }
+
+    /// Finalize a span whose response could not be delivered.
+    fn finish_disconnected(&self, mut span: RequestSpan) {
+        span.outcome = Outcome::Disconnect;
+        span.mark(Stage::Write);
+        self.shared.finish(span);
     }
 
     /// Move contiguous ready responses into the write buffer (request
@@ -554,9 +643,15 @@ impl IoThread {
                 if front.response.is_none() {
                     break;
                 }
-                let (bytes, close) =
-                    conn.pending.pop_front().expect("front exists").response.expect("checked");
+                let entry = conn.pending.pop_front().expect("front exists");
+                let (bytes, close) = entry.response.expect("checked");
                 conn.out.extend_from_slice(&bytes);
+                if let Some(span) = entry.span {
+                    // The response's last byte leaves the socket at this
+                    // absolute offset; flush() closes the Write lap then.
+                    let end_abs = conn.flushed + (conn.out.len() - conn.out_pos) as u64;
+                    conn.write_track.push_back((end_abs, span));
+                }
                 if close {
                     conn.close_after_flush = true;
                     conn.broken = true; // no further requests will be parsed
@@ -573,7 +668,10 @@ impl IoThread {
         while conn.out_pos < conn.out.len() {
             match conn.stream.write(&conn.out[conn.out_pos..]) {
                 Ok(0) => break,
-                Ok(n) => conn.out_pos += n,
+                Ok(n) => {
+                    conn.out_pos += n;
+                    conn.flushed += n as u64;
+                }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(_) => {
@@ -581,6 +679,17 @@ impl IoThread {
                     return;
                 }
             }
+        }
+        // Responses fully accepted by the socket close their Write lap
+        // and feed the span to metrics + the access log.
+        let mut written: Vec<RequestSpan> = Vec::new();
+        let conn = self.conns[slot].as_mut().expect("live slot");
+        while conn.write_track.front().is_some_and(|(end, _)| *end <= conn.flushed) {
+            written.push(conn.write_track.pop_front().expect("checked").1);
+        }
+        for mut span in written {
+            span.mark(Stage::Write);
+            self.shared.finish(span);
         }
         let conn = self.conns[slot].as_mut().expect("live slot");
         if conn.out_pos >= conn.out.len() {
@@ -617,6 +726,19 @@ impl IoThread {
         if let Some(conn) = self.conns[slot].take() {
             let _ = self.poller.deregister(conn.stream.as_raw_fd());
             self.free.push(slot);
+            // Spans whose responses never fully left the socket are
+            // disconnects. Requests still executing finalize the same
+            // way when their completion dies on the generation check;
+            // pending slots without a span either never dispatched
+            // (framing errors) or still own it in the worker.
+            for (_, span) in conn.write_track {
+                self.finish_disconnected(span);
+            }
+            for entry in conn.pending {
+                if let Some(span) = entry.span {
+                    self.finish_disconnected(span);
+                }
+            }
             // `conn.stream` drops here, closing the fd. Completions
             // still in flight for it die on the generation check.
         }
@@ -668,36 +790,46 @@ fn execute(job: Job, shared: &Arc<Shared>, handles: &Arc<Vec<Arc<IoHandle>>>) {
     };
     let closing = |keep_alive: bool| !keep_alive || shared.shutdown.load(Ordering::SeqCst);
 
-    match job.kind {
-        JobKind::Plain { request } => {
-            let (status, content_type, body) = respond(&request, shared, job.member.deadline);
+    match job {
+        Job::Plain { request, mut member } => {
+            member.span.mark(Stage::Queue);
+            let (status, content_type, body) =
+                respond(&request, shared, member.deadline, &mut member.span);
             if status >= 400 {
                 shared.metrics.track_error(status);
             }
-            shared.metrics.record_latency(&request.path, job.member.arrived.elapsed());
             let close = closing(request.keep_alive);
-            let bytes = render_response(status, content_type, &body, close, &[]);
-            deliver(Completion { dest: job.member.dest, bytes, close });
+            member.span.finish_status(status);
+            member.span.mark(Stage::Execute);
+            let id = member.span.id.to_string();
+            let bytes =
+                render_response(status, content_type, &body, close, &[("X-Request-Id", &id)]);
+            member.span.bytes_out = bytes.len() as u64;
+            member.span.mark(Stage::Serialize);
+            deliver(Completion { dest: member.dest, bytes, close, span: Some(member.span) });
         }
-        JobKind::BatchLeader { request, key, entry } => {
+        Job::BatchLeader { request, key, entry } => {
             // Claim the member set *before* evaluating: joins from here
             // on start a fresh batch, so nobody is bound to an
             // evaluation whose deadline budget predates them.
-            let members = shared.batches.take(&key);
+            let mut members = shared.batches.take(&key);
             let deadline = if members.iter().any(|m| m.deadline.is_none()) {
                 None
             } else {
                 members.iter().filter_map(|m| m.deadline).max()
             };
+            let size = members.len() as u64;
             if members.len() > 1 {
-                shared
-                    .metrics
-                    .batched_requests
-                    .fetch_add(members.len() as u64, Ordering::Relaxed);
-                shared
-                    .metrics
-                    .evaluations_saved
-                    .fetch_add(members.len() as u64 - 1, Ordering::Relaxed);
+                shared.metrics.batched_requests.fetch_add(size, Ordering::Relaxed);
+                shared.metrics.evaluations_saved.fetch_add(size - 1, Ordering::Relaxed);
+            }
+            // The leader (first member) waited in the execution queue;
+            // joiners waited on the leader's evaluation to start.
+            let exec_started = Instant::now();
+            for (i, m) in members.iter_mut().enumerate() {
+                let stage = if i == 0 { Stage::Queue } else { Stage::Batch };
+                m.span.mark_at(stage, exec_started);
+                m.span.batch_size = size;
             }
 
             let q = request.param("q").unwrap_or_default();
@@ -714,7 +846,7 @@ fn execute(job: Job, shared: &Arc<Shared>, handles: &Arc<Vec<Arc<IoHandle>>>) {
                 shared.metrics.record_strategy(&trace.executed.to_string());
             }
             let finished = Instant::now();
-            for member in members {
+            for mut member in members {
                 let (status, body): (u16, Vec<u8>) = match &outcome {
                     // A member whose own budget ran out mid-batch gets
                     // its deadline abort; the shared result still
@@ -731,11 +863,30 @@ fn execute(job: Job, shared: &Arc<Shared>, handles: &Arc<Vec<Arc<IoHandle>>>) {
                 if status >= 400 {
                     shared.metrics.track_error(status);
                 }
-                shared.metrics.record_latency("/query", member.arrived.elapsed());
+                member.span.finish_status(status);
+                member.span.mark_at(Stage::Execute, finished);
+                let slow =
+                    shared.log.slow_us().is_some_and(|t| member.span.elapsed_us() >= t);
+                let force = member.span.force_log;
+                if let (Some(log), Ok((_, trace))) = (member.span.log.as_deref_mut(), &outcome)
+                {
+                    log.strategy = Some(trace.executed.to_string());
+                    if force || slow {
+                        log.trace_json = Some(trace.to_json_compact());
+                    }
+                }
                 let close = closing(member.keep_alive);
-                let content_type = "text/plain";
-                let bytes = render_response(status, content_type, &body, close, &[]);
-                deliver(Completion { dest: member.dest, bytes, close });
+                let id = member.span.id.to_string();
+                let bytes = render_response(
+                    status,
+                    "text/plain",
+                    &body,
+                    close,
+                    &[("X-Request-Id", &id)],
+                );
+                member.span.bytes_out = bytes.len() as u64;
+                member.span.mark(Stage::Serialize);
+                deliver(Completion { dest: member.dest, bytes, close, span: Some(member.span) });
             }
         }
     }

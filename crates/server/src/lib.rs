@@ -20,6 +20,15 @@
 //! * [`sys`] — a zero-dependency readiness shim (epoll on Linux,
 //!   poll(2) elsewhere) plus a cross-thread waker and a thread-CPU
 //!   clock;
+//! * [`span`] — per-request lifecycle spans: process-unique ids and
+//!   stage laps (read/parse/queue/batch/execute/serialize/write) that
+//!   sum to the request's wall time by construction;
+//! * [`promtext`] — Prometheus text-exposition rendering for
+//!   `GET /metrics`, plus the in-tree format checker the tests and the
+//!   load harness run against scrapes;
+//! * [`accesslog`] — the structured slow-query/access log: single-line
+//!   JSON records gated by `--slow-ms`, deterministic sampling, or
+//!   `?trace=1`;
 //! * [`sched`] — the bounded per-client fair execution queue and the
 //!   shared-scan batch registry;
 //! * [`eventloop`] — the default serving core: nonblocking I/O threads
@@ -32,13 +41,16 @@
 //! * [`client`] — a small blocking client used by the load harness,
 //!   the differential tester's server mode, and the tests.
 
+pub mod accesslog;
 pub mod catalog;
 pub mod client;
 pub(crate) mod eventloop;
 pub mod http;
 pub mod metrics;
+pub mod promtext;
 pub mod sched;
 pub mod server;
+pub mod span;
 pub mod sys;
 
 pub use client::{Client, Response};

@@ -1,0 +1,364 @@
+//! Prometheus text exposition (format 0.0.4): a tiny renderer used by
+//! `GET /metrics` and an equally tiny in-tree checker used by the tests
+//! and the load harness to assert that what we expose actually parses.
+//!
+//! The renderer covers exactly what the server needs — counters,
+//! gauges, and cumulative histograms derived from the log2-µs buckets
+//! in [`crate::metrics`] — and guarantees (checked by the checker):
+//!
+//! * every sample family is preceded by its `# TYPE` line;
+//! * histogram `_bucket` series are cumulative and non-decreasing in
+//!   `le` order, end in `le="+Inf"`, and the `+Inf` count equals the
+//!   family's `_count`;
+//! * label values are escaped (`\\`, `\"`, `\n`) and sample values are
+//!   valid floats.
+
+use crate::metrics::BUCKETS;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+
+/// Escape a label value per the exposition format.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn label_block(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("{{{inner}}}")
+}
+
+/// Emit the `# HELP` / `# TYPE` header for a metric family.
+pub fn header(out: &mut String, name: &str, help: &str, typ: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {typ}");
+}
+
+/// Emit one sample line.
+pub fn sample(out: &mut String, name: &str, labels: &[(&str, &str)], value: f64) {
+    let _ = writeln!(out, "{name}{} {value}", label_block(labels));
+}
+
+/// Render one cumulative histogram series from log2-µs bucket counts:
+/// `name_bucket{...,le="..."}` lines (le in seconds, `2^(i+1)` µs upper
+/// bounds; the open-ended top bucket folds into `+Inf`), then `_sum`
+/// (seconds) and `_count`. The header is emitted separately so several
+/// label sets can share one family.
+pub fn histogram(
+    out: &mut String,
+    name: &str,
+    labels: &[(&str, &str)],
+    buckets: &[u64; BUCKETS],
+    total_us: u64,
+) {
+    let base = label_block(labels);
+    let base_inner = base.trim_start_matches('{').trim_end_matches('}');
+    let mut cumulative = 0u64;
+    for (i, &c) in buckets.iter().enumerate().take(BUCKETS - 1) {
+        cumulative += c;
+        let le = (1u64 << (i + 1)) as f64 / 1e6;
+        if base_inner.is_empty() {
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        } else {
+            let _ = writeln!(out, "{name}_bucket{{{base_inner},le=\"{le}\"}} {cumulative}");
+        }
+    }
+    cumulative += buckets[BUCKETS - 1];
+    if base_inner.is_empty() {
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+    } else {
+        let _ = writeln!(out, "{name}_bucket{{{base_inner},le=\"+Inf\"}} {cumulative}");
+    }
+    let _ = writeln!(out, "{name}_sum{base} {}", total_us as f64 / 1e6);
+    let _ = writeln!(out, "{name}_count{base} {cumulative}");
+}
+
+/// Summary of a checked exposition.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ExpoStats {
+    pub families: usize,
+    pub samples: usize,
+}
+
+fn parse_labels(block: &str) -> Result<BTreeMap<String, String>, String> {
+    // `block` is the text between `{` and `}`.
+    let mut labels = BTreeMap::new();
+    let mut rest = block;
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or_else(|| format!("label without '=' in {block:?}"))?;
+        let key = rest[..eq].trim().to_string();
+        if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(format!("bad label name {key:?}"));
+        }
+        let after = &rest[eq + 1..];
+        if !after.starts_with('"') {
+            return Err(format!("unquoted label value in {block:?}"));
+        }
+        // Scan the quoted value, honoring backslash escapes.
+        let mut value = String::new();
+        let mut chars = after[1..].char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => {
+                    let Some((_, esc)) = chars.next() else {
+                        return Err(format!("dangling escape in {block:?}"));
+                    };
+                    value.push(match esc {
+                        'n' => '\n',
+                        c => c,
+                    });
+                }
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let end = end.ok_or_else(|| format!("unterminated label value in {block:?}"))?;
+        labels.insert(key, value);
+        rest = after[1 + end + 1..].trim_start_matches(',');
+    }
+    Ok(labels)
+}
+
+/// Validate a text exposition; returns family/sample counts or the
+/// first problem found. This is deliberately a subset parser: enough to
+/// catch malformed names, missing TYPE lines, unparsable values, and
+/// non-cumulative histograms — the failure modes a hand-rolled renderer
+/// can actually have.
+pub fn check(text: &str) -> Result<ExpoStats, String> {
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut samples = 0usize;
+    // (family, labels-minus-le) → [(le, count)] in exposition order.
+    let mut hist_buckets: HashMap<(String, String), Vec<(f64, f64)>> = HashMap::new();
+    let mut hist_counts: HashMap<(String, String), f64> = HashMap::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |msg: String| format!("line {}: {msg}", lineno + 1);
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().ok_or_else(|| at("TYPE without a name".into()))?;
+            let typ = parts.next().ok_or_else(|| at("TYPE without a type".into()))?;
+            if !matches!(typ, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                return Err(at(format!("unknown type {typ:?}")));
+            }
+            if types.insert(name.to_string(), typ.to_string()).is_some() {
+                return Err(at(format!("duplicate TYPE for {name}")));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+
+        // Sample: name[{labels}] value
+        let (name_labels, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| at("sample without a value".into()))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|_| at(format!("unparsable value {value:?}")))?;
+        let (name, labels) = match name_labels.find('{') {
+            Some(b) => {
+                if !name_labels.ends_with('}') {
+                    return Err(at(format!("unterminated label block in {name_labels:?}")));
+                }
+                (
+                    &name_labels[..b],
+                    parse_labels(&name_labels[b + 1..name_labels.len() - 1]).map_err(at)?,
+                )
+            }
+            None => (name_labels, BTreeMap::new()),
+        };
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+            || name.starts_with(|c: char| c.is_ascii_digit())
+        {
+            return Err(at(format!("bad metric name {name:?}")));
+        }
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|s| {
+                name.strip_suffix(s)
+                    .filter(|f| types.get(*f).map(String::as_str) == Some("histogram"))
+            })
+            .unwrap_or(name);
+        if !types.contains_key(family) {
+            return Err(at(format!("sample {name} precedes its TYPE line")));
+        }
+        samples += 1;
+
+        if types.get(family).map(String::as_str) == Some("histogram") {
+            let series_labels = labels
+                .iter()
+                .filter(|(k, _)| k.as_str() != "le")
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            let key = (family.to_string(), series_labels);
+            if name.ends_with("_bucket") {
+                let le = labels
+                    .get("le")
+                    .ok_or_else(|| at(format!("{name} without le label")))?;
+                let le = if le == "+Inf" { f64::INFINITY } else {
+                    le.parse()
+                        .map_err(|_| at(format!("unparsable le {le:?}")))?
+                };
+                hist_buckets.entry(key).or_default().push((le, value));
+            } else if name.ends_with("_count") {
+                hist_counts.insert(key, value);
+            }
+        }
+    }
+
+    for ((family, series), buckets) in &hist_buckets {
+        let mut prev_le = f64::NEG_INFINITY;
+        let mut prev_count = -1.0f64;
+        for &(le, count) in buckets {
+            if le <= prev_le {
+                return Err(format!("{family}{{{series}}}: le not increasing at {le}"));
+            }
+            if count < prev_count {
+                return Err(format!(
+                    "{family}{{{series}}}: bucket counts decrease at le={le}"
+                ));
+            }
+            prev_le = le;
+            prev_count = count;
+        }
+        let Some(&(last_le, last_count)) = buckets.last() else { continue };
+        if last_le != f64::INFINITY {
+            return Err(format!("{family}{{{series}}}: missing le=\"+Inf\" bucket"));
+        }
+        match hist_counts.get(&(family.clone(), series.clone())) {
+            Some(&c) if c == last_count => {}
+            Some(&c) => {
+                return Err(format!(
+                    "{family}{{{series}}}: +Inf bucket {last_count} != _count {c}"
+                ))
+            }
+            None => return Err(format!("{family}{{{series}}}: missing _count")),
+        }
+    }
+
+    Ok(ExpoStats { families: types.len(), samples })
+}
+
+/// Fetch one sample's value from an exposition: the first sample line
+/// whose name matches and whose label block contains every `labels`
+/// pair. For harness assertions, not a general query language.
+pub fn value(text: &str, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+    for line in text.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let (name_labels, value) = line.rsplit_once(' ')?;
+        let (n, block) = match name_labels.find('{') {
+            Some(b) => (&name_labels[..b], &name_labels[b..]),
+            None => (name_labels, ""),
+        };
+        if n != name {
+            continue;
+        }
+        if labels
+            .iter()
+            .all(|(k, v)| block.contains(&format!("{k}=\"{}\"", escape_label(v))))
+        {
+            return value.parse().ok();
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_histogram() -> String {
+        let mut out = String::new();
+        header(&mut out, "x_seconds", "test", "histogram");
+        let mut buckets = [0u64; BUCKETS];
+        buckets[0] = 2;
+        buckets[6] = 3; // 64..128µs
+        buckets[BUCKETS - 1] = 1; // open-ended top
+        histogram(&mut out, "x_seconds", &[("endpoint", "/query")], &buckets, 421);
+        out
+    }
+
+    #[test]
+    fn renderer_output_passes_the_checker() {
+        let mut out = String::new();
+        header(&mut out, "a_total", "test counter", "counter");
+        sample(&mut out, "a_total", &[], 3.0);
+        header(&mut out, "b", "test gauge", "gauge");
+        sample(&mut out, "b", &[("k", "v\"w\\x")], 1.5);
+        out.push_str(&tiny_histogram());
+        let stats = check(&out).expect("well-formed");
+        assert_eq!(stats.families, 3);
+        assert!(stats.samples > 30, "{stats:?}");
+    }
+
+    #[test]
+    fn histogram_is_cumulative_and_inf_matches_count() {
+        let out = tiny_histogram();
+        assert!(out.contains("x_seconds_bucket{endpoint=\"/query\",le=\"+Inf\"} 6"), "{out}");
+        assert!(out.contains("x_seconds_count{endpoint=\"/query\"} 6"), "{out}");
+        // 64..128µs upper bound in seconds.
+        assert!(out.contains("le=\"0.000128\"} 5"), "{out}");
+        assert!(out.contains("x_seconds_sum{endpoint=\"/query\"} 0.000421"), "{out}");
+    }
+
+    #[test]
+    fn checker_rejects_malformed_expositions() {
+        assert!(check("no_type_line 1\n").is_err());
+        assert!(check("# TYPE x counter\nx notanumber\n").is_err());
+        assert!(check("# TYPE x counter\n9bad 1\n").is_err());
+        assert!(check("# TYPE x wibble\nx 1\n").is_err());
+        // Non-cumulative buckets.
+        let bad = "# TYPE h histogram\n\
+                   h_bucket{le=\"0.1\"} 5\n\
+                   h_bucket{le=\"0.2\"} 3\n\
+                   h_bucket{le=\"+Inf\"} 5\n\
+                   h_sum 1\nh_count 5\n";
+        assert!(check(bad).unwrap_err().contains("decrease"), "{:?}", check(bad));
+        // +Inf disagrees with _count.
+        let bad = "# TYPE h histogram\n\
+                   h_bucket{le=\"+Inf\"} 5\n\
+                   h_sum 1\nh_count 7\n";
+        assert!(check(bad).unwrap_err().contains("_count"), "{:?}", check(bad));
+        // Missing +Inf.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"0.1\"} 5\nh_count 5\n";
+        assert!(check(bad).unwrap_err().contains("+Inf"), "{:?}", check(bad));
+    }
+
+    #[test]
+    fn value_extracts_by_name_and_labels() {
+        let out = tiny_histogram();
+        assert_eq!(value(&out, "x_seconds_count", &[("endpoint", "/query")]), Some(6.0));
+        assert_eq!(value(&out, "x_seconds_count", &[("endpoint", "/load")]), None);
+        assert_eq!(value(&out, "missing", &[]), None);
+    }
+}

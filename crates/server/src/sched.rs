@@ -16,6 +16,7 @@
 
 use crate::catalog::DocEntry;
 use crate::http::Request;
+use crate::span::RequestSpan;
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
@@ -31,8 +32,10 @@ pub struct Destination {
 }
 
 /// One request awaiting a response — its destination plus the
-/// per-request facts a (possibly batched) completion needs.
-#[derive(Debug, Clone, Copy)]
+/// per-request facts a (possibly batched) completion needs, and the
+/// request's lifecycle span (which is why `Member` is move-only: the
+/// span's stage laps and id travel with exactly one owner).
+#[derive(Debug)]
 pub struct Member {
     pub dest: Destination,
     /// This member's own cooperative deadline (arrival + budget).
@@ -41,6 +44,8 @@ pub struct Member {
     /// When the request was parsed off the wire; latency histograms
     /// measure from here, so queueing delay is included.
     pub arrived: Instant,
+    /// Lifecycle span: read/parse laps already recorded at dispatch.
+    pub span: RequestSpan,
 }
 
 /// The coalescing key: two `/query` requests share one evaluation iff
@@ -56,28 +61,27 @@ pub struct BatchKey {
     pub threads: usize,
 }
 
-/// What an execution worker does for a job.
-pub enum JobKind {
-    /// Serve exactly one request (everything except batchable queries).
-    Plain { request: Request },
-    /// Leader of a coalesced batch: evaluate once, then answer every
-    /// member registered under `key` when execution starts.
-    BatchLeader { request: Request, key: BatchKey, entry: Arc<DocEntry> },
-}
-
 /// One unit of execution-pool work.
-pub struct Job {
-    pub kind: JobKind,
-    pub member: Member,
+pub enum Job {
+    /// Serve exactly one request (everything except batchable queries);
+    /// the member (and its span) rides in the job.
+    Plain { request: Request, member: Member },
+    /// Leader of a coalesced batch: evaluate once, then answer every
+    /// member registered under `key` when execution starts. The leader's
+    /// own member is the first entry in the batch registry, not here.
+    BatchLeader { request: Request, key: BatchKey, entry: Arc<DocEntry> },
 }
 
 impl std::fmt::Debug for Job {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let kind = match &self.kind {
-            JobKind::Plain { .. } => "plain",
-            JobKind::BatchLeader { .. } => "batch-leader",
-        };
-        f.debug_struct("Job").field("kind", &kind).field("member", &self.member).finish()
+        match self {
+            Job::Plain { member, .. } => {
+                f.debug_struct("Job").field("kind", &"plain").field("member", member).finish()
+            }
+            Job::BatchLeader { key, .. } => {
+                f.debug_struct("Job").field("kind", &"batch-leader").field("key", key).finish()
+            }
+        }
     }
 }
 
@@ -200,14 +204,16 @@ impl Batches {
         Batches::default()
     }
 
-    /// Join an in-flight batch; `true` iff one existed.
-    pub fn join(&self, key: &BatchKey, member: Member) -> bool {
+    /// Join an in-flight batch; `Ok(())` iff one existed, otherwise the
+    /// member is handed back so the caller can lead a fresh batch
+    /// (members are move-only — they own their spans).
+    pub fn join(&self, key: &BatchKey, member: Member) -> Result<(), Member> {
         match self.inner.lock().unwrap().get_mut(key) {
             Some(members) => {
                 members.push(member);
-                true
+                Ok(())
             }
-            None => false,
+            None => Err(member),
         }
     }
 
@@ -231,16 +237,14 @@ mod tests {
     use std::time::Duration;
 
     fn job(path: &str) -> Job {
-        Job {
-            kind: JobKind::Plain {
-                request: Request {
-                    method: "GET".into(),
-                    path: path.into(),
-                    params: Vec::new(),
-                    headers: Vec::new(),
-                    body: Vec::new(),
-                    keep_alive: true,
-                },
+        Job::Plain {
+            request: Request {
+                method: "GET".into(),
+                path: path.into(),
+                params: Vec::new(),
+                headers: Vec::new(),
+                body: Vec::new(),
+                keep_alive: true,
             },
             member: member(0),
         }
@@ -252,13 +256,14 @@ mod tests {
             deadline: None,
             keep_alive: true,
             arrived: Instant::now(),
+            span: RequestSpan::begin(Instant::now()),
         }
     }
 
     fn path_of(job: &Job) -> String {
-        match &job.kind {
-            JobKind::Plain { request } => request.path.clone(),
-            JobKind::BatchLeader { .. } => unreachable!(),
+        match job {
+            Job::Plain { request, .. } => request.path.clone(),
+            Job::BatchLeader { .. } => unreachable!(),
         }
     }
 
@@ -320,15 +325,16 @@ mod tests {
             strategy: "auto".into(),
             threads: 1,
         };
-        assert!(!batches.join(&key, member(1)), "nothing to join before lead()");
-        batches.lead(key.clone(), member(0));
-        assert!(batches.join(&key, member(1)));
-        assert!(batches.join(&key, member(2)));
+        let bounced = batches.join(&key, member(1));
+        assert!(bounced.is_err(), "nothing to join before lead()");
+        batches.lead(key.clone(), bounced.unwrap_err());
+        assert!(batches.join(&key, member(2)).is_ok());
+        assert!(batches.join(&key, member(3)).is_ok());
         let members = batches.take(&key);
         assert_eq!(members.len(), 3);
-        assert_eq!(members[0].dest.seq, 0, "leader first");
+        assert_eq!(members[0].dest.seq, 1, "leader first");
         // The window closed: later identical requests start fresh.
-        assert!(!batches.join(&key, member(3)));
+        assert!(batches.join(&key, member(4)).is_err());
         assert!(batches.take(&key).is_empty());
     }
 }

@@ -19,14 +19,16 @@
 //! atomic flag, accepting stops, and every in-flight request drains
 //! before the process exits.
 
+use crate::accesslog::{AccessLog, LogTarget};
 use crate::catalog::Catalog;
-use crate::http::{read_request, write_response, Next, Request};
+use crate::http::{read_request, render_response, write_response, Next, Request};
 use crate::json_str;
-use crate::metrics::Metrics;
+use crate::metrics::{endpoint_index, Metrics, PromGauges};
 use crate::sched::{Batches, Sched};
+use crate::span::{LogCtx, Outcome, RequestSpan, Stage};
 use blossom_core::engine::{EngineError, EngineOptions, SharedPlanCache};
 use blossom_core::plan::Strategy;
-use std::io::BufReader;
+use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, OnceLock};
@@ -94,6 +96,14 @@ pub struct ServerConfig {
     pub max_body: usize,
     /// Capacity of the process-wide shared plan cache.
     pub plan_cache_capacity: usize,
+    /// Requests at or above this wall time get a structured slow-query
+    /// log record; `None` disables the threshold.
+    pub slow_ms: Option<u64>,
+    /// Deterministic access-log sampling: log every request whose id is
+    /// divisible by N (0 disables sampling).
+    pub log_sample: u64,
+    /// Where slow-query/access records go.
+    pub access_log: LogTarget,
 }
 
 impl Default for ServerConfig {
@@ -110,6 +120,9 @@ impl Default for ServerConfig {
             catalog_bytes: 512 * 1024 * 1024,
             max_body: 256 * 1024 * 1024,
             plan_cache_capacity: 1024,
+            slow_ms: None,
+            log_sample: 0,
+            access_log: LogTarget::Stderr,
         }
     }
 }
@@ -131,6 +144,19 @@ pub(crate) struct Shared {
     /// The event loop's I/O-thread mailboxes, once running; lets an
     /// external `ServerHandle::shutdown` wake blocked pollers.
     pub(crate) io: OnceLock<Arc<Vec<Arc<crate::eventloop::IoHandle>>>>,
+    /// The structured slow-query/access log (both serving cores).
+    pub(crate) log: AccessLog,
+}
+
+impl Shared {
+    /// Retire one finished request span: fold it into every metrics
+    /// surface and hand it to the access-log policy. Every span created
+    /// by either serving core ends here exactly once.
+    pub(crate) fn finish(&self, span: RequestSpan) {
+        let wall_us = span.total_us();
+        self.metrics.observe_span(&span);
+        self.log.log(&span, wall_us);
+    }
 }
 
 /// A bound, not-yet-running server.
@@ -168,7 +194,9 @@ impl Server {
     /// the ephemeral port before the first request.
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
+        let log = AccessLog::new(&config.access_log, config.slow_ms, config.log_sample)?;
         let shared = Arc::new(Shared {
+            log,
             catalog: Catalog::new(config.catalog_bytes),
             plans: Arc::new(SharedPlanCache::new(config.plan_cache_capacity)),
             metrics: Metrics::new(),
@@ -280,8 +308,33 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             Ok(Next::Request(request)) => {
                 let arrived = Instant::now();
                 shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.inflight.fetch_add(1, Ordering::Relaxed);
+                // The blocking reader cannot separate read from parse
+                // (it interleaves them line by line), so this core's
+                // spans start at framing-complete: Read and Parse laps
+                // are 0 and Execute absorbs routing from here.
+                let mut span = RequestSpan::begin(arrived);
                 let deadline = request_deadline(&request, &shared.config, arrived);
-                let (status, content_type, body) = respond(&request, shared, deadline);
+                span.endpoint = endpoint_index(&request.path);
+                span.bytes_in = request.body.len() as u64;
+                span.deadline = deadline;
+                span.budget = deadline.map(|d| d.saturating_duration_since(arrived));
+                span.force_log = request.param("trace") == Some("1");
+                if shared.log.armed() {
+                    span.log = Some(Box::new(LogCtx {
+                        method: request.method.clone(),
+                        path: request.path.clone(),
+                        doc: request
+                            .param("doc")
+                            .or_else(|| request.param("name"))
+                            .map(str::to_string),
+                        query: request.param("q").map(str::to_string),
+                        strategy: None,
+                        trace_json: None,
+                    }));
+                }
+                let (status, content_type, body) =
+                    respond(&request, shared, deadline, &mut span);
                 // During shutdown the drain finishes the current request
                 // but does not linger on an idle keep-alive socket.
                 let close =
@@ -289,10 +342,25 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 if status >= 400 {
                     shared.metrics.track_error(status);
                 }
-                shared.metrics.record_latency(&request.path, arrived.elapsed());
-                if write_response(&mut writer, status, content_type, &body, close).is_err()
-                    || close
-                {
+                span.finish_status(status);
+                span.mark(Stage::Execute);
+                let id = span.id.to_string();
+                let bytes = render_response(
+                    status,
+                    content_type,
+                    &body,
+                    close,
+                    &[("X-Request-Id", &id)],
+                );
+                span.bytes_out = bytes.len() as u64;
+                span.mark(Stage::Serialize);
+                let written = writer.write_all(&bytes).is_ok();
+                span.mark(Stage::Write);
+                if !written {
+                    span.outcome = Outcome::Disconnect;
+                }
+                shared.finish(span);
+                if !written || close {
                     return;
                 }
             }
@@ -344,18 +412,24 @@ pub(crate) fn respond(
     request: &Request,
     shared: &Shared,
     deadline: Option<Instant>,
+    span: &mut RequestSpan,
 ) -> (u16, &'static str, Vec<u8>) {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => (200, "text/plain", b"ok\n".to_vec()),
-        ("GET", "/query") => query(request, shared, deadline),
+        ("GET", "/query") => query(request, shared, deadline, span),
         ("POST", "/load") => load(request, shared),
         ("POST", "/update") => update(request, shared, deadline),
         ("GET", "/stats") => (200, "application/json", stats(shared).into_bytes()),
+        ("GET", "/metrics") => (
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            metrics_text(shared).into_bytes(),
+        ),
         ("POST", "/shutdown") => {
             shared.shutdown.store(true, Ordering::SeqCst);
             (200, "text/plain", b"draining\n".to_vec())
         }
-        (_, "/healthz" | "/query" | "/load" | "/update" | "/stats" | "/shutdown") => {
+        (_, "/healthz" | "/query" | "/load" | "/update" | "/stats" | "/metrics" | "/shutdown") => {
             (405, "text/plain", format!("error: {} not allowed here\n", request.method).into_bytes())
         }
         (_, path) => (404, "text/plain", format!("error: no route {path}\n").into_bytes()),
@@ -368,6 +442,7 @@ fn query(
     request: &Request,
     shared: &Shared,
     deadline: Option<Instant>,
+    span: &mut RequestSpan,
 ) -> (u16, &'static str, Vec<u8>) {
     let bad = |msg: String| (400, "text/plain", format!("error: {msg}\n").into_bytes());
     let Some(doc_name) = request.param("doc") else {
@@ -407,6 +482,17 @@ fn query(
     match engine.eval_query_bytes(q, strategy) {
         Ok((bytes, trace)) => {
             shared.metrics.record_strategy(&trace.executed.to_string());
+            // Attach the full trace only to records that will be slow
+            // (or were forced): the compact rendering is the expensive
+            // part, so fast sampled records skip it.
+            let slow = shared.log.slow_us().is_some_and(|t| span.elapsed_us() >= t);
+            let force = span.force_log;
+            if let Some(log) = span.log.as_deref_mut() {
+                log.strategy = Some(trace.executed.to_string());
+                if force || slow {
+                    log.trace_json = Some(trace.to_json_compact());
+                }
+            }
             if profile {
                 let text = String::from_utf8(bytes).expect("serializer emits UTF-8");
                 let body = format!(
@@ -501,6 +587,29 @@ fn update(
         ),
         Err(e @ CatalogUpdateError::Invalid(_)) => bad(e.to_string()),
     }
+}
+
+/// `GET /metrics`: the whole metrics surface in Prometheus text
+/// exposition format 0.0.4 — counters, point-in-time gauges assembled
+/// here, and cumulative per-endpoint/per-stage latency histograms.
+fn metrics_text(shared: &Shared) -> String {
+    let cache = shared.plans.stats();
+    let (docs, doc_bytes, evictions) = shared.catalog.occupancy();
+    let gauges = PromGauges {
+        io_model: shared.config.io_model.to_string(),
+        uptime_seconds: shared.started.elapsed().as_secs_f64(),
+        queue_depth: shared.sched.depth() as u64,
+        queue_peak: shared.sched.peak() as u64,
+        queue_capacity: shared.sched.capacity() as u64,
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+        cache_entries: cache.len as u64,
+        cache_capacity: cache.capacity as u64,
+        catalog_documents: docs,
+        catalog_bytes: doc_bytes,
+        catalog_evictions: evictions,
+    };
+    shared.metrics.render_prometheus(&gauges)
 }
 
 /// `GET /stats`: request counters, latency percentiles (global and per

@@ -736,3 +736,159 @@ fn stats_reports_update_counters_and_scoped_invalidation() {
     assert_eq!(entries_warm, 2, "{warm}");
     handle.shutdown();
 }
+
+/// A unique temp path for file-sink access-log tests.
+fn tmp_log(name: &str) -> String {
+    let path = std::env::temp_dir().join(format!("blossomd-test-{}-{name}.log", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path.to_string_lossy().into_owned()
+}
+
+/// The integer value of `"key": N` inside a JSON log record.
+fn field_u64(record: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\": ");
+    let at = record.find(&needle).unwrap_or_else(|| panic!("no {key} in {record}"));
+    record[at + needle.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn metrics_exposition_parses_and_tracks_stage_histograms() {
+    use blossom_server::promtext;
+    let handle = spawn_default();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.load("bib", BIB.as_bytes()).unwrap();
+    for _ in 0..3 {
+        client.query("bib", "//book/title", &[]).unwrap();
+    }
+    let response = client.get("/metrics").unwrap();
+    assert_eq!(response.status, 200);
+    let content_type = response.header("Content-Type").expect("content type").to_string();
+    assert!(content_type.starts_with("text/plain; version=0.0.4"), "{content_type}");
+    let text = response.body_str();
+    let stats = promtext::check(&text).expect("exposition must parse");
+    assert!(stats.families >= 20, "only {} families", stats.families);
+    let v = |name: &str, labels: &[(&str, &str)]| promtext::value(&text, name, labels);
+    assert!(v("blossomd_requests_total", &[]).unwrap() >= 4.0);
+    assert_eq!(v("blossomd_catalog_documents", &[]), Some(1.0));
+    let wall = v("blossomd_request_duration_seconds_count", &[("endpoint", "/query")]);
+    assert_eq!(wall, Some(3.0));
+    // Every span records all seven stage laps, so each stage family's
+    // count equals the endpoint's request count.
+    for stage in ["read", "parse", "queue", "batch", "execute", "serialize", "write"] {
+        assert_eq!(
+            v(
+                "blossomd_request_stage_duration_seconds_count",
+                &[("endpoint", "/query"), ("stage", stage)],
+            ),
+            wall,
+            "{stage}"
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn slow_log_records_reconstruct_wall_time_and_correlate_ids() {
+    let path = tmp_log("slow");
+    let handle = Server::bind(ServerConfig {
+        // Threshold 0ms: every request is "slow", making the test
+        // deterministic without an actually slow query.
+        slow_ms: Some(0),
+        access_log: blossom_server::accesslog::LogTarget::File(path.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap()
+    .spawn();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.load("bib", BIB.as_bytes()).unwrap();
+    let response = client.query("bib", "//book/title", &[]).unwrap();
+    assert_eq!(response.status, 200);
+    let id = response.header("X-Request-Id").expect("responses carry X-Request-Id").to_string();
+    assert!(id.parse::<u64>().unwrap() >= 1, "{id}");
+    // Joining the server guarantees every record reached the file.
+    handle.shutdown();
+
+    let log = std::fs::read_to_string(&path).unwrap();
+    let record = log
+        .lines()
+        .find(|l| l.contains(&format!("\"id\": {id},")))
+        .unwrap_or_else(|| panic!("no record for id {id} in: {log}"));
+    assert!(record.contains("\"endpoint\": \"/query\""), "{record}");
+    assert!(record.contains("\"outcome\": \"ok\""), "{record}");
+    assert!(record.contains("\"slow\": true"), "{record}");
+    assert!(record.contains("\"query\": \"//book/title\""), "{record}");
+    assert!(record.contains("\"strategy\": \""), "{record}");
+    // Slow /query records carry the engine trace inline.
+    assert!(record.contains("\"trace\": {"), "{record}");
+    assert!(record.contains("\"blossom_profile\""), "{record}");
+    // Stage laps reconstruct the logged wall time (>= 95% is the
+    // acceptance bar; the lap design makes it exact).
+    let wall = field_u64(record, "wall_us");
+    let stages_at = record.find("\"stages_us\"").unwrap();
+    let stages: u64 = ["read", "parse", "queue", "batch", "execute", "serialize", "write"]
+        .iter()
+        .map(|stage| field_u64(&record[stages_at..], stage))
+        .sum();
+    assert!(stages <= wall, "stage laps exceed wall: {record}");
+    assert!(stages * 100 >= wall * 95, "stages {stages}us < 95% of wall {wall}us: {record}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn trace_param_forces_a_log_record_when_nothing_else_would() {
+    let path = tmp_log("trace");
+    let handle = Server::bind(ServerConfig {
+        access_log: blossom_server::accesslog::LogTarget::File(path.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap()
+    .spawn();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.load("bib", BIB.as_bytes()).unwrap();
+    let quiet = client.query("bib", "//book/title", &[]).unwrap();
+    let forced = client.query("bib", "//book/title", &["trace=1"]).unwrap();
+    assert_eq!(forced.body_str(), quiet.body_str(), "?trace=1 never changes the response body");
+    let quiet_id = quiet.header("X-Request-Id").unwrap().to_string();
+    let forced_id = forced.header("X-Request-Id").unwrap().to_string();
+    assert_ne!(quiet_id, forced_id);
+    handle.shutdown();
+
+    let log = std::fs::read_to_string(&path).unwrap();
+    assert!(log.contains(&format!("\"id\": {forced_id},")), "no forced record in: {log}");
+    assert!(
+        !log.contains(&format!("\"id\": {quiet_id},")),
+        "un-traced fast request should not be logged: {log}"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn endpoint_metrics_normalize_trailing_slashes_and_query_strings() {
+    use blossom_server::promtext;
+    let handle = spawn_default();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    // Routing is strict (the trailing-slash spelling is a 404), but the
+    // metrics endpoint label normalizes to the canonical path.
+    assert_eq!(client.get("/healthz/").unwrap().status, 404);
+    assert_eq!(client.get("/healthz?verbose=1").unwrap().status, 200);
+    let text = client.get("/metrics").unwrap().body_str();
+    assert_eq!(
+        promtext::value(
+            &text,
+            "blossomd_request_duration_seconds_count",
+            &[("endpoint", "/healthz")],
+        ),
+        Some(2.0)
+    );
+    assert_eq!(
+        promtext::value(&text, "blossomd_request_duration_seconds_count", &[("endpoint", "other")]),
+        None,
+        "nothing should fall into the catch-all bucket"
+    );
+    handle.shutdown();
+}

@@ -3,9 +3,11 @@
 # smoke runs that exercise the parallel scan end to end (leaving a
 # BENCH_parallel.json report at the workspace root), a server smoke that
 # load-tests blossomd in-process and as a real child process (leaving
-# BENCH_server.json), and a profile smoke that checks the --profile-json
-# schema and that tracing never changes query output bytes (leaving
-# BENCH_profile_smoke.json).
+# BENCH_server.json), an observability smoke that checks the structured
+# slow-query log and the Prometheus exposition (leaving the scrape in
+# METRICS_scrape.txt), and a profile smoke that checks the
+# --profile-json schema and that tracing never changes query output
+# bytes (leaving BENCH_profile_smoke.json).
 #
 # Usage: scripts/verify.sh [--full]
 #   --full   run the benchmark at paper scale (>= 50 MB document)
@@ -80,11 +82,16 @@ done
 # byte-compared with the CLI, then a graceful POST /shutdown drain.
 SERVE_DOC=target/serve-smoke.xml
 SERVE_LOG=target/serve-smoke.log
+ACCESS_LOG=target/serve-access.log
+rm -f "${ACCESS_LOG}"
 cargo run --release -q --bin blossom -- gen d3 "${SERVE_DOC}" --nodes 20000
 # Preloaded under a name the load harness will not overwrite (it loads
-# its own generated documents as d1..d5).
+# its own generated documents as d1..d5). The slow-query log is armed so
+# the observability smoke below can check its records; logging must not
+# change a single response byte (the cmp below would catch it).
 ./target/release/blossom serve --addr 127.0.0.1:0 --workers 2 \
-    --load smoke="${SERVE_DOC}" > "${SERVE_LOG}" 2>&1 &
+    --load smoke="${SERVE_DOC}" \
+    --slow-ms 50 --access-log "${ACCESS_LOG}" > "${SERVE_LOG}" 2>&1 &
 SERVE_PID=$!
 ADDR=""
 for _ in $(seq 100); do
@@ -141,6 +148,59 @@ exec 3<&- 3>&-
 printf '%s\n' "${HTTP_RESPONSE}" | tr -d '\r' | sed '1,/^$/d' > target/update-smoke-server.out
 cmp target/update-smoke-rebuild.out target/update-smoke-server.out \
     || { echo "incrementally maintained snapshot differs from rebuild"; exit 1; }
+
+echo "== observability smoke (slow-query log, request ids, /metrics scrape) =="
+# A three-way FLWOR Cartesian product cannot finish inside 120ms on the
+# 20k-node smoke document, so the request burns its whole deadline
+# budget and aborts: wall ~120ms >= --slow-ms 50, which must produce a
+# structured slow-query record with outcome "deadline" and per-stage
+# durations (DESIGN.md §14).
+SLOW_Q='for%20%24x%20in%20//item%20for%20%24y%20in%20//item%20for%20%24z%20in%20//item%20return%20%24x'
+exec 3<>"/dev/tcp/${HOST}/${PORT}"
+printf 'GET /query?doc=smoke&q=%s&deadline_ms=120 HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n' \
+    "${SLOW_Q}" >&3
+SLOW_RESPONSE=$(cat <&3)
+exec 3<&- 3>&-
+# (status-line checks use parameter expansion, not `| head -1`: with
+# pipefail a large response makes printf die of SIGPIPE when head
+# exits early, failing the pipeline even though the grep matched.)
+[[ "${SLOW_RESPONSE%%[$'\r\n']*}" == *' 503 '* ]] \
+    || { echo "Cartesian query under deadline_ms=120 did not 503"; exit 1; }
+printf '%s\n' "${SLOW_RESPONSE}" | tr -d '\r' | grep -qi '^x-request-id: [0-9]' \
+    || { echo "503 response missing X-Request-Id header"; exit 1; }
+# The record is written when the response bytes drain; allow a beat.
+for _ in $(seq 50); do
+    grep -q '"outcome": "deadline"' "${ACCESS_LOG}" 2>/dev/null && break
+    sleep 0.1
+done
+SLOW_RECORD=$(grep -m1 '"outcome": "deadline"' "${ACCESS_LOG}")
+[[ -n "${SLOW_RECORD}" ]] \
+    || { echo "no deadline record in ${ACCESS_LOG}"; cat "${ACCESS_LOG}" 2>/dev/null; exit 1; }
+for field in '"ts_ms": ' '"id": ' '"endpoint": "/query"' '"status": 503' \
+             '"slow": true' '"wall_us": ' '"stages_us": {"read": ' \
+             '"execute": ' '"deadline_budget_ms": 120' '"doc": "smoke"' \
+             '"query": '; do
+    grep -qF -- "${field}" <<< "${SLOW_RECORD}" \
+        || { echo "slow-log record missing ${field}: ${SLOW_RECORD}"; exit 1; }
+done
+
+# Scrape the Prometheus exposition and keep it as a CI artifact next to
+# BENCH_server.json.
+exec 3<>"/dev/tcp/${HOST}/${PORT}"
+printf 'GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n' >&3
+METRICS_RESPONSE=$(cat <&3)
+exec 3<&- 3>&-
+[[ "${METRICS_RESPONSE%%[$'\r\n']*}" == *' 200 '* ]] \
+    || { echo "GET /metrics did not 200"; exit 1; }
+printf '%s\n' "${METRICS_RESPONSE}" | tr -d '\r' | sed '1,/^$/d' > METRICS_scrape.txt
+for series in '# TYPE blossomd_requests_total counter' \
+              '# TYPE blossomd_request_duration_seconds histogram' \
+              'blossomd_request_stage_duration_seconds_bucket' \
+              'blossomd_deadline_aborts_total' \
+              'blossomd_catalog_documents'; do
+    grep -qF -- "${series}" METRICS_scrape.txt \
+        || { echo "METRICS_scrape.txt missing ${series}"; exit 1; }
+done
 
 exec 3<>"/dev/tcp/${HOST}/${PORT}"
 printf 'POST /shutdown HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\nConnection: close\r\n\r\n' >&3

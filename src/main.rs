@@ -10,7 +10,8 @@
 //! blossom gen     <d1|d2|d3|d4|d5> <out.xml> [--nodes N] [--seed S]
 //! blossom serve   [--addr HOST:PORT] [--workers N] [--threads N] [--deadline-ms N]
 //!                 [--catalog-mb N] [--io-model M] [--io-threads N] [--max-queue N]
-//!                 [--batch on|off] [--load NAME=PATH]...
+//!                 [--batch on|off] [--slow-ms N] [--access-log TARGET] [--log-sample N]
+//!                 [--load NAME=PATH]...
 //! ```
 //!
 //! `--profile` prints an `EXPLAIN ANALYZE`-style execution trace to
@@ -40,6 +41,14 @@
 //! concurrent queries into one evaluation unless `--batch off`;
 //! `thread-per-request` is the PR 5 blocking model, kept for
 //! comparison benchmarks.
+//!
+//! Server observability (DESIGN.md §14): every request gets a traced
+//! lifecycle span, echoed to clients as `X-Request-Id` and exposed as
+//! stage-resolved histograms in `GET /stats` and `GET /metrics`
+//! (Prometheus text format). `--slow-ms` sets the structured slow-query
+//! log threshold, `--access-log` picks its sink (`stderr`, `off`, or a
+//! file path), and `--log-sample N` additionally logs every Nth request
+//! id; clients can force a record for one request with `?trace=1`.
 
 use blossomtree::core::{exec, Engine, EngineOptions, Strategy};
 use blossomtree::server::{IoModel, Server, ServerConfig};
@@ -71,7 +80,8 @@ const USAGE: &str = "usage:
   blossom gen     <d1|d2|d3|d4|d5> <out.xml> [--nodes N] [--seed S]
   blossom serve   [--addr HOST:PORT] [--workers N] [--threads N] [--deadline-ms N]
                   [--catalog-mb N] [--io-model M] [--io-threads N] [--max-queue N]
-                  [--batch on|off] [--load NAME=PATH]...
+                  [--batch on|off] [--slow-ms N] [--access-log TARGET] [--log-sample N]
+                  [--load NAME=PATH]...
 
 strategies: auto (default), navigational, twigstack, pathstack, pipelined, bnlj, nlj
 --threads:      worker threads for NoK scans and FLWOR iteration
@@ -94,6 +104,12 @@ strategies: auto (default), navigational, twigstack, pathstack, pipelined, bnlj,
 --max-queue:    serve: admission bound on queued requests (default 1024;
                 beyond it requests get 503 + Retry-After)
 --batch:        serve: coalesce identical concurrent queries (default on)
+--slow-ms:      serve: slow-query log threshold in milliseconds
+                (default: off; requests at or above it get a JSON record)
+--access-log:   serve: slow/access log sink — stderr (default), off, or
+                a file path (appended)
+--log-sample:   serve: also log every Nth request id (default 0 = off;
+                deterministic, no RNG)
 --load:         serve: preload NAME=PATH into the catalog (repeatable)";
 
 /// Execute a CLI invocation; returns the text to print.
@@ -338,6 +354,26 @@ fn parse_serve_config(args: &[String]) -> Result<ServerConfig, String> {
         Some("off") => false,
         Some(v) => return Err(format!("bad --batch {v:?} (want on or off)")),
     };
+    let slow_ms = match flag_value(args, "--slow-ms") {
+        None => defaults.slow_ms,
+        Some(v) => match v.parse::<u64>() {
+            Ok(0) => None,
+            Ok(ms) => Some(ms),
+            Err(_) => return Err(format!("bad --slow-ms {v:?} (want milliseconds; 0 = off)")),
+        },
+    };
+    let access_log = match flag_value(args, "--access-log") {
+        None => defaults.access_log.clone(),
+        Some(v) => v
+            .parse()
+            .map_err(|e| format!("bad --access-log {v:?}: {e}"))?,
+    };
+    let log_sample = match flag_value(args, "--log-sample") {
+        None => defaults.log_sample,
+        Some(v) => v
+            .parse::<u64>()
+            .map_err(|_| format!("bad --log-sample {v:?} (want an integer; 0 = off)"))?,
+    };
     Ok(ServerConfig {
         addr,
         workers,
@@ -348,6 +384,9 @@ fn parse_serve_config(args: &[String]) -> Result<ServerConfig, String> {
         io_threads,
         max_queue,
         batch,
+        slow_ms,
+        access_log,
+        log_sample,
         ..defaults
     })
 }
@@ -707,6 +746,32 @@ mod tests {
         assert!(parse_serve_config(&s(&["serve", "--io-threads", "0"])).is_err());
         assert!(parse_serve_config(&s(&["serve", "--max-queue", "0"])).is_err());
         assert!(parse_serve_config(&s(&["serve", "--batch", "maybe"])).is_err());
+
+        // Observability knobs.
+        let config = parse_serve_config(&s(&[
+            "serve", "--slow-ms", "50", "--access-log", "/tmp/blossomd.log",
+            "--log-sample", "100",
+        ]))
+        .unwrap();
+        assert_eq!(config.slow_ms, Some(50));
+        assert_eq!(
+            config.access_log,
+            blossomtree::server::accesslog::LogTarget::File("/tmp/blossomd.log".into())
+        );
+        assert_eq!(config.log_sample, 100);
+        assert_eq!(defaults.slow_ms, None);
+        assert_eq!(defaults.access_log, blossomtree::server::accesslog::LogTarget::Stderr);
+        assert_eq!(defaults.log_sample, 0);
+        assert_eq!(
+            parse_serve_config(&s(&["serve", "--slow-ms", "0"])).unwrap().slow_ms,
+            None
+        );
+        assert_eq!(
+            parse_serve_config(&s(&["serve", "--access-log", "off"])).unwrap().access_log,
+            blossomtree::server::accesslog::LogTarget::Off
+        );
+        assert!(parse_serve_config(&s(&["serve", "--slow-ms", "fast"])).is_err());
+        assert!(parse_serve_config(&s(&["serve", "--log-sample", "-1"])).is_err());
 
         let loads = s(&["serve", "--load", "a=/tmp/a.xml", "--load", "b=/tmp/b.blsm"]);
         let pairs = flag_pairs(&loads, "--load").unwrap();
