@@ -24,6 +24,9 @@
 //!                    rebuild-from-scratch, and requires byte-identical
 //!                    documents plus full-matrix query agreement on the
 //!                    incrementally maintained parts
+//! * `--storage`      also round-trip every case through a BLM2 snapshot
+//!                    and require byte-identical results over owned and
+//!                    mapped columns across the whole matrix
 //! * `--replay P`     replay a fixture file (or every `.txt` fixture in a
 //!                    directory) instead of fuzzing; `mut:` lines make a
 //!                    fixture a mutation case; prints each config's
@@ -36,7 +39,7 @@
 
 use blossom_bench::diff::{
     fixture_contents, mutation_fixture_contents, parse_fixture_full, run_case_with,
-    run_mutation_case, shrink, shrink_mutation_case, CaseResult, ServerTarget,
+    run_mutation_case, run_storage_case, shrink, shrink_mutation_case, CaseResult, ServerTarget,
 };
 use blossom_bench::Args;
 use blossom_xmlgen::{generate, random_mutations, random_query_full, Dataset};
@@ -91,11 +94,17 @@ fn main() {
             String::new()
         };
 
-        let result = if mutations > 0 {
+        let mut result = if mutations > 0 {
             run_mutation_case(&xml, &script, &query)
         } else {
             run_case_with(&xml, &query, server.as_mut())
         };
+        if args.has("storage") {
+            let storage = run_storage_case(&xml, &query);
+            result.agreed += storage.agreed;
+            result.skipped += storage.skipped;
+            result.mismatches.extend(storage.mismatches);
+        }
         agreed += result.agreed as u64;
         skipped += result.skipped as u64;
         for (_, strategy) in &result.executed {

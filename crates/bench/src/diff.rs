@@ -350,6 +350,117 @@ fn run_case_matrix(xml: &str, query: &str) -> CaseResult {
 }
 
 // ---------------------------------------------------------------------
+// Storage cases: owned vs mapped columns
+// ---------------------------------------------------------------------
+
+/// Evaluate one `(document, query)` case twice per configuration — once
+/// over the parsed, heap-owned arena and once over a BLM2 snapshot
+/// reopened with mapped columns — and require byte-identical behaviour.
+///
+/// The mapped side round-trips through the full storage pipeline
+/// (`encode` → `verify` → reassembly over `Col::Mapped` windows, with
+/// the decoded tag index and statistics shared via
+/// [`Engine::with_shared`]), so any divergence between the owned and
+/// mapped column representations — alignment, endianness, a
+/// mis-sliced posting list — surfaces as a mismatch here. Acceptance
+/// must agree too: a strategy that rejects the query on one side must
+/// reject it on the other.
+pub fn run_storage_case(xml: &str, query: &str) -> CaseResult {
+    let doc = match Document::parse_str(xml) {
+        Ok(d) => d,
+        Err(_) => return CaseResult::default(), // unparseable fixture: nothing to test
+    };
+    let index = TagIndex::build(&doc);
+    let stats = doc.stats();
+    let mut result = CaseResult::default();
+    let bytes = match blossom_storage::snapshot::encode(
+        &doc,
+        &index,
+        &stats,
+        blossom_storage::EncodeOptions { succinct: true },
+    ) {
+        Ok(b) => b,
+        Err(e) => {
+            result.mismatches.push(Mismatch {
+                config: "storage encode".to_string(),
+                engine: format!("error: {e}"),
+                oracle: "a valid BLM2 image".to_string(),
+            });
+            return result;
+        }
+    };
+    let snap = match blossom_storage::snapshot::open_bytes(&bytes) {
+        Ok(s) => s,
+        Err(e) => {
+            result.mismatches.push(Mismatch {
+                config: "storage decode".to_string(),
+                engine: format!("error: {e}"),
+                oracle: "a reopenable snapshot".to_string(),
+            });
+            return result;
+        }
+    };
+
+    // The reopened document must serialize byte-identically before any
+    // query runs; a column-level divergence fails loudly here.
+    let owned_xml = writer::to_string(&doc);
+    let mapped_xml = writer::to_string(&snap.doc);
+    if owned_xml != mapped_xml {
+        result.mismatches.push(Mismatch {
+            config: "storage serialization".to_string(),
+            engine: mapped_xml,
+            oracle: owned_xml,
+        });
+        return result;
+    }
+    result.agreed += 1;
+
+    let mapped_doc = Arc::new(snap.doc);
+    let mapped_index = Arc::new(snap.index);
+    let mapped_stats = Arc::new(snap.stats);
+    for config in config_matrix() {
+        let options = EngineOptions {
+            threads: config.threads,
+            skip_joins: config.skip_joins,
+            ..EngineOptions::default()
+        };
+        let owned_engine =
+            Engine::with_options(Document::parse_str(xml).expect("reparse"), options.clone());
+        let mapped_engine = Engine::with_shared(
+            mapped_doc.clone(),
+            mapped_index.clone(),
+            mapped_stats.clone(),
+            Arc::new(SharedPlanCache::new(8)),
+            options,
+        );
+        let owned =
+            owned_engine.eval_query_str(query, config.strategy).map(|d| writer::to_string(&d));
+        let mapped =
+            mapped_engine.eval_query_str(query, config.strategy).map(|d| writer::to_string(&d));
+        match (owned, mapped) {
+            (Ok(a), Ok(b)) if a == b => result.agreed += 1,
+            (Err(_), Err(_)) => result.skipped += 1, // both reject: agreement
+            (Ok(a), Ok(b)) => result.mismatches.push(Mismatch {
+                config: config.to_string(),
+                engine: b,
+                oracle: a,
+            }),
+            (Ok(a), Err(e)) => result.mismatches.push(Mismatch {
+                config: config.to_string(),
+                engine: format!("mapped error: {e}"),
+                oracle: a,
+            }),
+            (Err(e), Ok(b)) => result.mismatches.push(Mismatch {
+                config: config.to_string(),
+                engine: b,
+                oracle: format!("owned error: {e}"),
+            }),
+        }
+    }
+    result
+}
+
+// ---------------------------------------------------------------------
 // Mutation cases
 // ---------------------------------------------------------------------
 

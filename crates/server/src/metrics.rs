@@ -259,6 +259,17 @@ pub struct PromGauges {
     pub catalog_documents: u64,
     pub catalog_bytes: u64,
     pub catalog_evictions: u64,
+    /// Entries spilled to the store directory (disk only, no mapping).
+    pub catalog_spilled_documents: u64,
+    /// Generation-file bytes behind resident mapped entries (page
+    /// cache, reclaimable — distinct from heap `catalog_bytes`).
+    pub catalog_mapped_bytes: u64,
+    /// Generation-file bytes of spilled entries.
+    pub catalog_spilled_bytes: u64,
+    /// Lifetime resident→disk spills.
+    pub catalog_spills: u64,
+    /// Lifetime disk→resident remaps.
+    pub catalog_remaps: u64,
 }
 
 pub struct Metrics {
@@ -583,6 +594,31 @@ impl Metrics {
         sample(&mut out, "blossomd_catalog_bytes", &[], g.catalog_bytes as f64);
         header(&mut out, "blossomd_catalog_evictions_total", "Catalog LRU evictions.", "counter");
         sample(&mut out, "blossomd_catalog_evictions_total", &[], g.catalog_evictions as f64);
+        header(
+            &mut out,
+            "blossomd_catalog_spilled_documents",
+            "Catalog entries spilled to the store directory (disk only).",
+            "gauge",
+        );
+        sample(&mut out, "blossomd_catalog_spilled_documents", &[], g.catalog_spilled_documents as f64);
+        header(
+            &mut out,
+            "blossomd_catalog_mapped_bytes",
+            "Generation-file bytes behind resident mapped entries (page cache, not heap).",
+            "gauge",
+        );
+        sample(&mut out, "blossomd_catalog_mapped_bytes", &[], g.catalog_mapped_bytes as f64);
+        header(
+            &mut out,
+            "blossomd_catalog_spilled_bytes",
+            "Generation-file bytes of spilled catalog entries.",
+            "gauge",
+        );
+        sample(&mut out, "blossomd_catalog_spilled_bytes", &[], g.catalog_spilled_bytes as f64);
+        header(&mut out, "blossomd_catalog_spills_total", "Resident-to-disk catalog spills.", "counter");
+        sample(&mut out, "blossomd_catalog_spills_total", &[], g.catalog_spills as f64);
+        header(&mut out, "blossomd_catalog_remaps_total", "Disk-to-resident catalog remaps.", "counter");
+        sample(&mut out, "blossomd_catalog_remaps_total", &[], g.catalog_remaps as f64);
 
         header(
             &mut out,
@@ -660,6 +696,11 @@ mod tests {
             catalog_documents: 1,
             catalog_bytes: 12345,
             catalog_evictions: 0,
+            catalog_spilled_documents: 2,
+            catalog_mapped_bytes: 4096,
+            catalog_spilled_bytes: 8192,
+            catalog_spills: 3,
+            catalog_remaps: 1,
         }
     }
 

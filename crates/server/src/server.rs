@@ -92,6 +92,10 @@ pub struct ServerConfig {
     pub io_model: IoModel,
     /// Catalog byte cap (approximate heap bytes across entries).
     pub catalog_bytes: usize,
+    /// Persistent store directory: documents are published as BLM2
+    /// generation files, served mapped, spilled on eviction, and
+    /// recovered across restarts. `None` keeps the catalog heap-only.
+    pub store_dir: Option<String>,
     /// Largest accepted request body (`POST /load` documents).
     pub max_body: usize,
     /// Capacity of the process-wide shared plan cache.
@@ -118,6 +122,7 @@ impl Default for ServerConfig {
             batch: true,
             io_model: IoModel::EventLoop,
             catalog_bytes: 512 * 1024 * 1024,
+            store_dir: None,
             max_body: 256 * 1024 * 1024,
             plan_cache_capacity: 1024,
             slow_ms: None,
@@ -195,9 +200,22 @@ impl Server {
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let log = AccessLog::new(&config.access_log, config.slow_ms, config.log_sample)?;
+        // With a store directory, the catalog persists every entry as a
+        // BLM2 generation file and recovers complete generations now,
+        // before the first request.
+        let catalog = match &config.store_dir {
+            None => Catalog::new(config.catalog_bytes),
+            Some(dir) => {
+                let store = blossom_storage::StoreDir::open(std::path::Path::new(dir))
+                    .map_err(|e| std::io::Error::other(e.0))?;
+                let catalog = Catalog::with_store(config.catalog_bytes, store);
+                catalog.recover().map_err(std::io::Error::other)?;
+                catalog
+            }
+        };
         let shared = Arc::new(Shared {
             log,
-            catalog: Catalog::new(config.catalog_bytes),
+            catalog,
             plans: Arc::new(SharedPlanCache::new(config.plan_cache_capacity)),
             metrics: Metrics::new(),
             shutdown: AtomicBool::new(false),
@@ -594,7 +612,7 @@ fn update(
 /// here, and cumulative per-endpoint/per-stage latency histograms.
 fn metrics_text(shared: &Shared) -> String {
     let cache = shared.plans.stats();
-    let (docs, doc_bytes, evictions) = shared.catalog.occupancy();
+    let occ = shared.catalog.occupancy();
     let gauges = PromGauges {
         io_model: shared.config.io_model.to_string(),
         uptime_seconds: shared.started.elapsed().as_secs_f64(),
@@ -605,9 +623,14 @@ fn metrics_text(shared: &Shared) -> String {
         cache_misses: cache.misses,
         cache_entries: cache.len as u64,
         cache_capacity: cache.capacity as u64,
-        catalog_documents: docs,
-        catalog_bytes: doc_bytes,
-        catalog_evictions: evictions,
+        catalog_documents: occ.resident_docs,
+        catalog_bytes: occ.resident_bytes,
+        catalog_evictions: occ.evictions,
+        catalog_spilled_documents: occ.spilled_docs,
+        catalog_mapped_bytes: occ.mapped_bytes,
+        catalog_spilled_bytes: occ.spilled_bytes,
+        catalog_spills: occ.spills,
+        catalog_remaps: occ.remaps,
     };
     shared.metrics.render_prometheus(&gauges)
 }
@@ -618,9 +641,18 @@ fn metrics_text(shared: &Shared) -> String {
 fn stats(shared: &Shared) -> String {
     let cache = shared.plans.stats();
     let (entries, evictions) = shared.catalog.snapshot();
+    let occ = shared.catalog.occupancy();
     let catalog_fields = entries
         .iter()
-        .map(|(name, bytes)| format!("{{\"name\": {}, \"approx_bytes\": {bytes}}}", json_str(name)))
+        .map(|row| {
+            format!(
+                "{{\"name\": {}, \"approx_bytes\": {}, \"state\": \"{}\", \"generation\": {}}}",
+                json_str(&row.name),
+                row.bytes,
+                row.state,
+                row.generation
+            )
+        })
         .collect::<Vec<_>>()
         .join(", ");
     format!(
@@ -628,7 +660,9 @@ fn stats(shared: &Shared) -> String {
          \"io_model\": {}, \
          \"queue\": {{\"depth\": {}, \"peak\": {}, \"capacity\": {}}}, \
          \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \"capacity\": {}}}, \
-         \"catalog\": {{\"documents\": [{catalog_fields}], \"evictions\": {evictions}}}, \
+         \"catalog\": {{\"documents\": [{catalog_fields}], \"evictions\": {evictions}, \
+         \"resident_bytes\": {}, \"mapped_bytes\": {}, \"spilled_bytes\": {}, \
+         \"spills\": {}, \"remaps\": {}}}, \
          \"uptime_us\": {}}}\n",
         shared.metrics.render_json_fields(),
         json_str(&shared.config.io_model.to_string()),
@@ -639,6 +673,11 @@ fn stats(shared: &Shared) -> String {
         cache.misses,
         cache.len,
         cache.capacity,
+        occ.resident_bytes,
+        occ.mapped_bytes,
+        occ.spilled_bytes,
+        occ.spills,
+        occ.remaps,
         shared.started.elapsed().as_micros(),
     )
 }

@@ -1,0 +1,441 @@
+//! The optional succinct section: a balanced-parentheses skeleton of the
+//! element tree.
+//!
+//! The skeleton writes one `(`/`)` pair per element — plus one for the
+//! virtual document root — in document order, 2 bits per node instead of
+//! the arena's 18 bytes. Two word-level directories ride along: a rank
+//! directory (open parens before each 64-bit word) and an excess
+//! directory (total and minimum prefix excess per word), which make
+//! `find_close` skip whole words whose excess cannot reach the target.
+//! Navigation (`first_child`, `next_sibling`, `enclose`) then works
+//! without touching any arena column, so a structure-only consumer pages
+//! in ~2 bits per node.
+//!
+//! The directories are serialized with the bit vector, but [`decode_section`]
+//! *recomputes* them from the bits and compares — a corrupted directory
+//! can therefore never steer navigation out of bounds.
+
+use crate::format::{push_varint, read_varint};
+use blossom_xml::{Document, NodeId, NodeKind};
+
+/// Balanced-parentheses skeleton with rank/excess directories.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuccinctTree {
+    /// Parenthesis bits, LSB-first within each word; 1 = open.
+    words: Vec<u64>,
+    /// Number of parenthesised nodes (elements + the document root).
+    n_nodes: usize,
+    /// Open parens strictly before each word.
+    cum_rank: Vec<u32>,
+    /// Total excess (opens − closes) contributed by each word.
+    word_excess: Vec<i32>,
+    /// Minimum prefix excess within each word, relative to its start.
+    word_min: Vec<i32>,
+}
+
+fn bit(words: &[u64], p: usize) -> bool {
+    words[p >> 6] >> (p & 63) & 1 == 1
+}
+
+fn set_bit(words: &mut [u64], p: usize) {
+    words[p >> 6] |= 1u64 << (p & 63);
+}
+
+/// Compute the rank/excess directories for a parenthesis bit vector.
+fn directories(words: &[u64], n_bits: usize) -> (Vec<u32>, Vec<i32>, Vec<i32>) {
+    let n_words = words.len();
+    let mut cum_rank = Vec::with_capacity(n_words);
+    let mut word_excess = Vec::with_capacity(n_words);
+    let mut word_min = Vec::with_capacity(n_words);
+    let mut ones = 0u32;
+    for (w, &word) in words.iter().enumerate() {
+        cum_rank.push(ones);
+        let bits_here = (n_bits - w * 64).min(64);
+        let mut ex = 0i32;
+        let mut min = i32::MAX;
+        for b in 0..bits_here {
+            ex += if word >> b & 1 == 1 { 1 } else { -1 };
+            min = min.min(ex);
+        }
+        ones += (word & mask_below(bits_here)).count_ones();
+        word_excess.push(ex);
+        word_min.push(if bits_here == 0 { 0 } else { min });
+    }
+    (cum_rank, word_excess, word_min)
+}
+
+fn mask_below(n: usize) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+impl SuccinctTree {
+    /// Build the skeleton from a document: one paren pair per element,
+    /// plus the virtual root, in document order.
+    pub fn from_document(doc: &Document) -> SuccinctTree {
+        let n = doc.len();
+        let last_desc = doc.last_desc_column();
+        let mut n_nodes = 0usize;
+        for v in 0..n {
+            if !matches!(doc.kind(NodeId(v as u32)), NodeKind::Text) {
+                n_nodes += 1;
+            }
+        }
+        let n_bits = 2 * n_nodes;
+        let mut words = vec![0u64; n_bits.div_ceil(64)];
+        let mut pos = 0usize;
+        // Stack of last-descendant ids for currently open parens.
+        let mut open: Vec<u32> = Vec::new();
+        for v in 0..n as u32 {
+            while open.last().is_some_and(|&ld| ld < v) {
+                open.pop();
+                pos += 1; // close paren: bit stays 0
+            }
+            if !matches!(doc.kind(NodeId(v)), NodeKind::Text) {
+                set_bit(&mut words, pos);
+                pos += 1;
+                open.push(last_desc[v as usize]);
+            }
+        }
+        pos += open.len();
+        debug_assert_eq!(pos, n_bits);
+        let (cum_rank, word_excess, word_min) = directories(&words, n_bits);
+        SuccinctTree { words, n_nodes, cum_rank, word_excess, word_min }
+    }
+
+    /// Number of parenthesised nodes (elements + the document root).
+    pub fn num_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    fn n_bits(&self) -> usize {
+        2 * self.n_nodes
+    }
+
+    /// Is the paren at `p` an open?
+    pub fn is_open(&self, p: usize) -> bool {
+        bit(&self.words, p)
+    }
+
+    /// Open parens in positions `[0, pos)`.
+    pub fn rank1(&self, pos: usize) -> usize {
+        if pos >= self.n_bits() {
+            return self.n_nodes;
+        }
+        let w = pos >> 6;
+        let partial = (self.words[w] & mask_below(pos & 63)).count_ones();
+        self.cum_rank[w] as usize + partial as usize
+    }
+
+    /// Excess (opens − closes) of the first `pos` bits.
+    pub fn excess(&self, pos: usize) -> isize {
+        2 * self.rank1(pos) as isize - pos as isize
+    }
+
+    /// Position of the `k`-th (0-based) open paren — the node with
+    /// preorder rank `k`.
+    pub fn select_open(&self, k: usize) -> usize {
+        debug_assert!(k < self.n_nodes);
+        // Find the word holding the (k+1)-th one.
+        let mut lo = 0usize;
+        let mut hi = self.words.len();
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            if self.cum_rank[mid] as usize <= k {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let mut remaining = k - self.cum_rank[lo] as usize;
+        let mut word = self.words[lo];
+        let mut p = lo * 64;
+        loop {
+            let tz = word.trailing_zeros() as usize;
+            p += tz;
+            word >>= tz;
+            if remaining == 0 {
+                return p;
+            }
+            remaining -= 1;
+            word >>= 1;
+            p += 1;
+        }
+    }
+
+    /// 0-based preorder rank of the open paren at `p` (the document root
+    /// has rank 0).
+    pub fn preorder_rank(&self, p: usize) -> usize {
+        debug_assert!(self.is_open(p));
+        self.rank1(p)
+    }
+
+    /// Matching close paren of the open at `p` — word-skipping via the
+    /// excess directory.
+    pub fn find_close(&self, p: usize) -> usize {
+        debug_assert!(self.is_open(p));
+        let mut depth = 1i32;
+        let mut q = p + 1;
+        // Finish the current word bit by bit.
+        while q < self.n_bits() && q & 63 != 0 {
+            depth += if bit(&self.words, q) { 1 } else { -1 };
+            if depth == 0 {
+                return q;
+            }
+            q += 1;
+        }
+        // Skip whole words that cannot bring the depth to zero.
+        let mut w = q >> 6;
+        while w < self.words.len() {
+            if depth + self.word_min[w] <= 0 {
+                break;
+            }
+            depth += self.word_excess[w];
+            w += 1;
+        }
+        let mut q = w * 64;
+        loop {
+            debug_assert!(q < self.n_bits(), "balanced sequence must close");
+            depth += if bit(&self.words, q) { 1 } else { -1 };
+            if depth == 0 {
+                return q;
+            }
+            q += 1;
+        }
+    }
+
+    /// Open paren of the nearest enclosing node, if any.
+    pub fn enclose(&self, p: usize) -> Option<usize> {
+        debug_assert!(self.is_open(p));
+        let mut count = 1i64;
+        let mut q = p;
+        while q > 0 {
+            q -= 1;
+            if bit(&self.words, q) {
+                count -= 1;
+                if count == 0 {
+                    return Some(q);
+                }
+            } else {
+                count += 1;
+            }
+        }
+        None
+    }
+
+    /// Open paren of the first parenthesised child, if any.
+    pub fn first_child(&self, p: usize) -> Option<usize> {
+        debug_assert!(self.is_open(p));
+        (self.is_open(p + 1)).then_some(p + 1)
+    }
+
+    /// Open paren of the next parenthesised sibling, if any.
+    pub fn next_sibling(&self, p: usize) -> Option<usize> {
+        let q = self.find_close(p) + 1;
+        (q < self.n_bits() && self.is_open(q)).then_some(q)
+    }
+
+    /// Heap bytes held by the skeleton and its directories.
+    pub fn heap_bytes(&self) -> usize {
+        self.words.len() * 8
+            + self.cum_rank.len() * 4
+            + self.word_excess.len() * 4
+            + self.word_min.len() * 4
+    }
+}
+
+/// Serialize the succinct section for `doc`.
+pub fn encode_section(doc: &Document) -> Vec<u8> {
+    let t = SuccinctTree::from_document(doc);
+    let mut out = Vec::with_capacity(16 + t.words.len() * 20);
+    push_varint(&mut out, t.n_nodes as u64);
+    for &w in &t.words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    for &r in &t.cum_rank {
+        out.extend_from_slice(&r.to_le_bytes());
+    }
+    for &e in &t.word_excess {
+        out.extend_from_slice(&e.to_le_bytes());
+    }
+    for &m in &t.word_min {
+        out.extend_from_slice(&m.to_le_bytes());
+    }
+    out
+}
+
+/// Decode and fully validate a succinct section: the parenthesis string
+/// must be balanced, trailing bits zero, and the serialized directories
+/// must match the ones recomputed from the bits.
+pub fn decode_section(bytes: &[u8]) -> Result<SuccinctTree, String> {
+    let mut pos = 0usize;
+    let n_nodes = read_varint(bytes, &mut pos)? as usize;
+    if n_nodes == 0 || n_nodes >= u32::MAX as usize / 2 {
+        return Err(format!("succinct: implausible node count {n_nodes}"));
+    }
+    let n_bits = 2 * n_nodes;
+    let n_words = n_bits.div_ceil(64);
+    let need = n_words * 8 + n_words * 12;
+    if bytes.len() - pos != need {
+        return Err(format!(
+            "succinct: payload is {} bytes, expected {need}",
+            bytes.len() - pos
+        ));
+    }
+    let mut words = Vec::with_capacity(n_words);
+    for _ in 0..n_words {
+        words.push(u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap()));
+        pos += 8;
+    }
+    // Trailing bits beyond 2·n must be zero.
+    if n_bits & 63 != 0 && words[n_words - 1] & !mask_below(n_bits & 63) != 0 {
+        return Err("succinct: nonzero trailing bits".into());
+    }
+    // Balance scan: excess stays positive strictly inside and ends at 0.
+    let mut ex = 0i64;
+    for p in 0..n_bits {
+        ex += if bit(&words, p) { 1 } else { -1 };
+        if ex <= 0 && p + 1 < n_bits {
+            return Err("succinct: unbalanced parentheses".into());
+        }
+    }
+    if ex != 0 {
+        return Err("succinct: parentheses do not balance".into());
+    }
+    let (cum_rank, word_excess, word_min) = directories(&words, n_bits);
+    let mut read_i32s = |n: usize| -> Vec<i32> {
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(i32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()));
+            pos += 4;
+        }
+        v
+    };
+    let stored_rank: Vec<u32> = read_i32s(n_words).into_iter().map(|v| v as u32).collect();
+    let stored_excess = read_i32s(n_words);
+    let stored_min = read_i32s(n_words);
+    if stored_rank != cum_rank || stored_excess != word_excess || stored_min != word_min {
+        return Err("succinct: directory mismatch (recomputed from bits)".into());
+    }
+    Ok(SuccinctTree { words, n_nodes, cum_rank, word_excess, word_min })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blossom_xml::Document;
+
+    fn tree(xml: &str) -> (Document, SuccinctTree) {
+        let doc = Document::parse_str(xml).unwrap();
+        let t = SuccinctTree::from_document(&doc);
+        (doc, t)
+    }
+
+    /// Element-or-document node ids in document order — the nodes the
+    /// skeleton parenthesises, in open-paren order.
+    fn skeleton_nodes(doc: &Document) -> Vec<NodeId> {
+        (0..doc.len() as u32)
+            .map(NodeId)
+            .filter(|&v| !matches!(doc.kind(v), NodeKind::Text))
+            .collect()
+    }
+
+    #[test]
+    fn navigation_matches_the_arena() {
+        let xml = r#"<a><b>t1<c/>t2<c><d/></c></b><b/><e>only text</e></a>"#;
+        let (doc, t) = tree(xml);
+        let nodes = skeleton_nodes(&doc);
+        assert_eq!(t.num_nodes(), nodes.len());
+        for (k, &v) in nodes.iter().enumerate() {
+            let p = t.select_open(k);
+            assert_eq!(t.preorder_rank(p), k);
+            // first element child
+            let fc = doc
+                .children(v)
+                .find(|&c| doc.is_element(c))
+                .map(|c| nodes.iter().position(|&x| x == c).unwrap());
+            assert_eq!(t.first_child(p).map(|q| t.preorder_rank(q)), fc, "first_child of {v:?}");
+            // next element sibling
+            let mut sib = doc.next_sibling(v);
+            while let Some(s) = sib {
+                if doc.is_element(s) {
+                    break;
+                }
+                sib = doc.next_sibling(s);
+            }
+            let ns = sib.map(|s| nodes.iter().position(|&x| x == s).unwrap());
+            assert_eq!(t.next_sibling(p).map(|q| t.preorder_rank(q)), ns, "next_sibling of {v:?}");
+            // enclosing element
+            let parent = doc.parent(v).map(|pv| nodes.iter().position(|&x| x == pv).unwrap());
+            assert_eq!(t.enclose(p).map(|q| t.preorder_rank(q)), parent, "enclose of {v:?}");
+            // find_close brackets exactly the descendant opens
+            let close = t.find_close(p);
+            assert!(!t.is_open(close));
+            assert_eq!(t.excess(close + 1), t.excess(p));
+        }
+    }
+
+    #[test]
+    fn deep_tree_crosses_word_boundaries() {
+        // 100 nested elements → 200 bits → 4 words.
+        let mut xml = String::new();
+        for i in 0..100 {
+            xml.push_str(&format!("<n{i}>"));
+        }
+        for i in (0..100).rev() {
+            xml.push_str(&format!("</n{i}>"));
+        }
+        let (_, t) = tree(&xml);
+        assert_eq!(t.num_nodes(), 101);
+        // Root open at 0 closes at the very end.
+        assert_eq!(t.find_close(0), 2 * 101 - 1);
+        // The deepest node's close is adjacent to its open.
+        let deepest = t.select_open(100);
+        assert_eq!(t.find_close(deepest), deepest + 1);
+        // Walking enclose from the deepest reaches the root in 100 steps.
+        let mut p = deepest;
+        let mut hops = 0;
+        while let Some(q) = t.enclose(p) {
+            p = q;
+            hops += 1;
+        }
+        assert_eq!(hops, 100);
+        assert_eq!(p, 0);
+    }
+
+    #[test]
+    fn wide_tree_select_and_rank_agree() {
+        let mut xml = String::from("<r>");
+        for _ in 0..200 {
+            xml.push_str("<x/>");
+        }
+        xml.push_str("</r>");
+        let (_, t) = tree(&xml);
+        assert_eq!(t.num_nodes(), 202);
+        for k in 0..t.num_nodes() {
+            assert_eq!(t.preorder_rank(t.select_open(k)), k);
+        }
+    }
+
+    #[test]
+    fn section_roundtrips_and_rejects_corruption() {
+        let (doc, t) = tree("<a><b><c/></b><d/></a>");
+        let bytes = encode_section(&doc);
+        let back = decode_section(&bytes).unwrap();
+        assert_eq!(back, t);
+        // Truncations fail.
+        for cut in 0..bytes.len() {
+            assert!(decode_section(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // A flipped bit anywhere fails (bits break balance or the
+        // directory comparison; directory bytes break the comparison).
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 1;
+            assert!(decode_section(&bad).is_err(), "flip at byte {i}");
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! A crash-safe spill directory of BLM2 generation files.
+//!
+//! Each catalog document maps to a family of files
+//! `{escaped-name}.g{generation:020}.blm2` inside one directory. A
+//! generation is **published** by writing to a `.tmp` sibling, fsyncing
+//! it, and renaming it into place — so a file with the final name is
+//! always complete (rename is atomic on POSIX). Recovery consequently
+//! trusts file names only as an index: it offers generations newest
+//! first and the caller validates each by fully opening it; broken files
+//! are deleted, stray `.tmp` files are swept at open.
+//!
+//! Published files are never modified in place — the `mmap` readers in
+//! [`crate::snapshot`] depend on that immutability.
+
+use crate::snapshot::StorageError;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Width of the zero-padded generation field — lexicographic order of
+/// file names equals numeric order of generations.
+const GEN_WIDTH: usize = 20;
+
+/// A spill directory handle.
+#[derive(Debug, Clone)]
+pub struct StoreDir {
+    root: PathBuf,
+}
+
+/// Percent-escape a document name into a safe file-name stem. Everything
+/// outside `[A-Za-z0-9._-]` (plus `%` itself) becomes `%XX`.
+fn escape(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for &b in name.as_bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'.' | b'_' | b'-' => out.push(b as char),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Invert [`escape`]. Returns `None` for malformed escapes.
+fn unescape(stem: &str) -> Option<String> {
+    let bytes = stem.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = stem.get(i + 1..i + 3)?;
+            out.push(u8::from_str_radix(hex, 16).ok()?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// One discovered generation file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenFile {
+    /// The document name (unescaped).
+    pub name: String,
+    /// The generation number.
+    pub generation: u64,
+    /// Absolute path of the published file.
+    pub path: PathBuf,
+    /// File size in bytes.
+    pub bytes: u64,
+}
+
+impl StoreDir {
+    /// Open (creating if needed) a spill directory and sweep stray
+    /// `.tmp` files left by a crash mid-publish.
+    pub fn open(root: &Path) -> Result<StoreDir, StorageError> {
+        fs::create_dir_all(root)
+            .map_err(|e| StorageError(format!("cannot create {}: {e}", root.display())))?;
+        let dir = StoreDir { root: root.to_path_buf() };
+        for entry in fs::read_dir(&dir.root)
+            .map_err(|e| StorageError(format!("cannot read {}: {e}", root.display())))?
+        {
+            let entry = entry.map_err(|e| StorageError(format!("readdir: {e}")))?;
+            if entry.path().extension().is_some_and(|e| e == "tmp") {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+        Ok(dir)
+    }
+
+    /// The directory path.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The published path for `(name, generation)`.
+    pub fn path_for(&self, name: &str, generation: u64) -> PathBuf {
+        self.root.join(format!("{}.g{generation:020}.blm2", escape(name)))
+    }
+
+    /// Atomically publish `bytes` as `(name, generation)`: temp file,
+    /// fsync, rename, best-effort directory fsync.
+    pub fn publish(&self, name: &str, generation: u64, bytes: &[u8]) -> Result<PathBuf, StorageError> {
+        let dest = self.path_for(name, generation);
+        let tmp = dest.with_extension("blm2.tmp");
+        let fail = |what: &str, e: std::io::Error| {
+            StorageError(format!("{what} {}: {e}", tmp.display()))
+        };
+        {
+            use std::io::Write;
+            let mut f = fs::File::create(&tmp).map_err(|e| fail("cannot create", e))?;
+            f.write_all(bytes).map_err(|e| fail("cannot write", e))?;
+            f.sync_all().map_err(|e| fail("cannot sync", e))?;
+        }
+        fs::rename(&tmp, &dest).map_err(|e| {
+            let _ = fs::remove_file(&tmp);
+            StorageError(format!("cannot publish {}: {e}", dest.display()))
+        })?;
+        // Make the rename itself durable (best effort: not all platforms
+        // allow fsync on a directory handle).
+        if let Ok(d) = fs::File::open(&self.root) {
+            let _ = d.sync_all();
+        }
+        Ok(dest)
+    }
+
+    /// All published generation files, grouped per document name, newest
+    /// generation first within each name. Files whose names do not parse
+    /// are ignored.
+    pub fn scan(&self) -> Result<Vec<GenFile>, StorageError> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.root)
+            .map_err(|e| StorageError(format!("cannot read {}: {e}", self.root.display())))?
+        {
+            let entry = entry.map_err(|e| StorageError(format!("readdir: {e}")))?;
+            let path = entry.path();
+            let Some(file) = path.file_name().and_then(|f| f.to_str()) else { continue };
+            let Some(stem) = file.strip_suffix(".blm2") else { continue };
+            // `{escaped}.g{generation}` — split at the last `.g`.
+            let Some(dot_g) = stem.rfind(".g") else { continue };
+            let (escaped, gen_str) = (&stem[..dot_g], &stem[dot_g + 2..]);
+            if gen_str.len() != GEN_WIDTH || !gen_str.bytes().all(|b| b.is_ascii_digit()) {
+                continue;
+            }
+            let Ok(generation) = gen_str.parse::<u64>() else { continue };
+            let Some(name) = unescape(escaped) else { continue };
+            let bytes = entry.metadata().map(|m| m.len()).unwrap_or(0);
+            out.push(GenFile { name, generation, path, bytes });
+        }
+        out.sort_by(|a, b| a.name.cmp(&b.name).then(b.generation.cmp(&a.generation)));
+        Ok(out)
+    }
+
+    /// Delete every generation of `name` strictly older than `keep`.
+    pub fn remove_older(&self, name: &str, keep: u64) {
+        if let Ok(files) = self.scan() {
+            for f in files {
+                if f.name == name && f.generation < keep {
+                    let _ = fs::remove_file(&f.path);
+                }
+            }
+        }
+    }
+
+    /// Delete every generation of `name`.
+    pub fn remove(&self, name: &str) {
+        if let Ok(files) = self.scan() {
+            for f in files {
+                if f.name == name {
+                    let _ = fs::remove_file(&f.path);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("blossom-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn escape_roundtrips_hostile_names() {
+        for name in ["plain", "a/b\\c", "ü 100%", "..", "x.g999.blm2", ""] {
+            let esc = escape(name);
+            assert!(
+                esc.bytes().all(|b| matches!(b, b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9'
+                    | b'.' | b'_' | b'-' | b'%')),
+                "{esc}"
+            );
+            assert!(!esc.contains('/'));
+            assert_eq!(unescape(&esc).as_deref(), Some(name));
+        }
+    }
+
+    #[test]
+    fn publish_scan_and_prune() {
+        let root = tmpdir("pub");
+        let store = StoreDir::open(&root).unwrap();
+        store.publish("d1", 1, b"one").unwrap();
+        store.publish("d1", 2, b"two!").unwrap();
+        store.publish("d/2", 7, b"other").unwrap();
+        let files = store.scan().unwrap();
+        assert_eq!(files.len(), 3);
+        // Newest first within each name.
+        let d1: Vec<_> = files.iter().filter(|f| f.name == "d1").collect();
+        assert_eq!((d1[0].generation, d1[1].generation), (2, 1));
+        assert_eq!(d1[0].bytes, 4);
+        assert_eq!(files.iter().filter(|f| f.name == "d/2").count(), 1);
+        store.remove_older("d1", 2);
+        let files = store.scan().unwrap();
+        assert!(files.iter().all(|f| f.name != "d1" || f.generation == 2));
+        store.remove("d1");
+        assert!(store.scan().unwrap().iter().all(|f| f.name != "d1"));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn crash_artifacts_are_ignored_and_swept() {
+        let root = tmpdir("crash");
+        let store = StoreDir::open(&root).unwrap();
+        store.publish("doc", 3, b"good").unwrap();
+        // A crash mid-publish leaves a temp file; a malformed name and a
+        // non-blm2 file should both be invisible to scan.
+        fs::write(store.path_for("doc", 4).with_extension("blm2.tmp"), b"partial").unwrap();
+        fs::write(root.join("doc.gXYZ.blm2"), b"bad gen").unwrap();
+        fs::write(root.join("README"), b"not a snapshot").unwrap();
+        let files = store.scan().unwrap();
+        assert_eq!(files.len(), 1);
+        assert_eq!((files[0].name.as_str(), files[0].generation), ("doc", 3));
+        // Reopening sweeps the orphaned temp file.
+        let store = StoreDir::open(&root).unwrap();
+        assert!(!store.path_for("doc", 4).with_extension("blm2.tmp").exists());
+        assert_eq!(store.scan().unwrap().len(), 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn generation_order_is_lexicographic() {
+        let root = tmpdir("lex");
+        let store = StoreDir::open(&root).unwrap();
+        // Generations that would sort wrong without zero padding.
+        store.publish("d", 2, b"a").unwrap();
+        store.publish("d", 10, b"b").unwrap();
+        let files = store.scan().unwrap();
+        assert_eq!(files[0].generation, 10);
+        assert_eq!(files[1].generation, 2);
+        let mut names: Vec<_> = fs::read_dir(&root)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        names.sort();
+        assert!(names[0].contains("00000000000000000002"));
+        assert!(names[1].contains("00000000000000000010"));
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,532 @@
+//! Column sources: owned heap vectors vs. borrowed byte mappings.
+//!
+//! The struct-of-arrays arena of a [`crate::Document`] (and the posting
+//! arrays of a [`crate::TagIndex`]) can be backed two ways:
+//!
+//! * **Owned** — a plain `Vec<T>`, produced by parsing, building, or
+//!   splicing. This is the only mode mutation paths ever construct.
+//! * **Mapped** — a typed window into a reference-counted [`Mapping`]
+//!   (an `mmap`'d snapshot file, or an 8-byte-aligned heap buffer on
+//!   platforms without `mmap`). Opening a BLM2 snapshot this way costs
+//!   O(columns) pointer fixups instead of O(nodes) decoding, and the
+//!   kernel pages column bytes in on demand — documents bigger than RAM
+//!   stay queryable under a bounded resident set.
+//!
+//! [`Col`] hides the distinction behind `Deref<Target = [T]>`, so every
+//! operator, the planner, and the oracle run unchanged over mapped
+//! documents. Safety rests on two pillars: mapped windows are
+//! bounds- and alignment-checked against the mapping at construction,
+//! and the snapshot decoder validates structural invariants (id ranges,
+//! payload bounds, UTF-8) once at open — after which indexing a column
+//! is exactly as safe as indexing a `Vec`.
+//!
+//! Byte order: snapshot sections are little-endian on disk. On
+//! little-endian targets (the only tier-1 platform) the mapped view is
+//! zero-copy; big-endian targets transparently fall back to an owned,
+//! byte-swapped copy of each column.
+
+use std::fmt;
+use std::ops::Deref;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Raw read-only `mmap` shim in the style of `blossom-server`'s `sys`
+/// module: the two symbols declared directly, no external crate (std
+/// already links the platform C library).
+#[cfg(unix)]
+mod mm {
+    use core::ffi::c_void;
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+}
+
+enum MappingKind {
+    /// 8-byte-aligned heap buffer (`u64`-backed so every column element
+    /// type is aligned); also the non-unix and empty-file fallback.
+    Heap(#[allow(dead_code)] Box<[u64]>),
+    /// A `PROT_READ`/`MAP_PRIVATE` file mapping, unmapped on drop.
+    #[cfg(unix)]
+    Mmap,
+}
+
+/// A contiguous read-only byte region that columns can borrow from,
+/// shared via `Arc` by every column cut from it.
+pub struct Mapping {
+    ptr: *const u8,
+    len: usize,
+    kind: MappingKind,
+}
+
+// Read-only bytes with shared ownership: safe to send and share.
+unsafe impl Send for Mapping {}
+unsafe impl Sync for Mapping {}
+
+impl Mapping {
+    /// Copy `bytes` into an 8-byte-aligned heap buffer. (`Vec<u8>` has
+    /// alignment 1, so zero-copy typed views require a `u64` backing.)
+    pub fn from_bytes(bytes: &[u8]) -> Mapping {
+        let words = bytes.len().div_ceil(8);
+        let mut buf = vec![0u64; words].into_boxed_slice();
+        let ptr = buf.as_mut_ptr() as *mut u8;
+        if !bytes.is_empty() {
+            unsafe { std::ptr::copy_nonoverlapping(bytes.as_ptr(), ptr, bytes.len()) };
+        }
+        Mapping { ptr, len: bytes.len(), kind: MappingKind::Heap(buf) }
+    }
+
+    /// Map the file at `path` read-only. On unix this is a real
+    /// `mmap(PROT_READ, MAP_PRIVATE)` — pages fault in on first touch
+    /// and count against the page cache, not the process heap. Elsewhere
+    /// (and for empty files) the file is read into an aligned heap
+    /// buffer instead, preserving the API.
+    ///
+    /// The mapping assumes the file is not truncated while mapped (the
+    /// store's temp-file + rename protocol guarantees snapshot files are
+    /// immutable once published).
+    pub fn map_path(path: &Path) -> std::io::Result<Mapping> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            let file = std::fs::File::open(path)?;
+            let len = file.metadata()?.len();
+            if len == 0 {
+                return Ok(Mapping::from_bytes(&[]));
+            }
+            if len > usize::MAX as u64 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "file too large to map",
+                ));
+            }
+            let len = len as usize;
+            let ptr = unsafe {
+                mm::mmap(std::ptr::null_mut(), len, mm::PROT_READ, mm::MAP_PRIVATE, file.as_raw_fd(), 0)
+            };
+            if ptr as usize == usize::MAX {
+                return Err(std::io::Error::last_os_error());
+            }
+            // The fd can close now; the mapping keeps the pages alive.
+            drop(file);
+            Ok(Mapping { ptr: ptr as *const u8, len, kind: MappingKind::Mmap })
+        }
+        #[cfg(not(unix))]
+        {
+            Ok(Mapping::from_bytes(&std::fs::read(path)?))
+        }
+    }
+
+    /// The mapped bytes.
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// Length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the region empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Base address, for alignment checks.
+    #[inline]
+    fn base(&self) -> usize {
+        self.ptr as usize
+    }
+
+    /// Does this mapping occupy process heap (vs. file-backed pages the
+    /// kernel can reclaim)? Drives resident-byte accounting: columns
+    /// over a heap mapping are real memory and must be charged; columns
+    /// over an `mmap` are page cache charged to the snapshot file.
+    pub fn is_resident(&self) -> bool {
+        match self.kind {
+            MappingKind::Heap(_) => true,
+            #[cfg(unix)]
+            MappingKind::Mmap => false,
+        }
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if matches!(self.kind, MappingKind::Mmap) {
+            unsafe { mm::munmap(self.ptr as *mut core::ffi::c_void, self.len) };
+        }
+    }
+}
+
+impl fmt::Debug for Mapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            MappingKind::Heap(_) => "heap",
+            #[cfg(unix)]
+            MappingKind::Mmap => "mmap",
+        };
+        f.debug_struct("Mapping").field("len", &self.len).field("kind", &kind).finish()
+    }
+}
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for u8 {}
+    impl Sealed for u16 {}
+    impl Sealed for u32 {}
+    impl Sealed for crate::document::NodeId {}
+}
+
+/// Element types a [`Col`] may hold: plain little-endian-storable
+/// primitives (and `NodeId`, which is `#[repr(transparent)]` over
+/// `u32`). Sealed — the snapshot format enumerates exactly these.
+pub trait ColElem: sealed::Sealed + Copy + Send + Sync + 'static {
+    /// Reinterpret a value read from little-endian storage as native.
+    /// Identity on little-endian targets.
+    fn from_le_elem(self) -> Self;
+}
+
+impl ColElem for u8 {
+    #[inline]
+    fn from_le_elem(self) -> Self {
+        self
+    }
+}
+impl ColElem for u16 {
+    #[inline]
+    fn from_le_elem(self) -> Self {
+        u16::from_le(self)
+    }
+}
+impl ColElem for u32 {
+    #[inline]
+    fn from_le_elem(self) -> Self {
+        u32::from_le(self)
+    }
+}
+impl ColElem for crate::document::NodeId {
+    #[inline]
+    fn from_le_elem(self) -> Self {
+        crate::document::NodeId(u32::from_le(self.0))
+    }
+}
+
+/// A column of `T`: an owned `Vec<T>` or a typed window into a shared
+/// [`Mapping`]. Dereferences to `&[T]` either way.
+pub enum Col<T: ColElem> {
+    /// Heap-owned storage (the only variant mutation paths construct).
+    Owned(Vec<T>),
+    /// Borrowed window into a mapping; the `Arc` keeps the bytes alive.
+    Mapped {
+        /// First element (bounds/alignment checked at construction).
+        ptr: *const T,
+        /// Element count.
+        len: usize,
+        /// Owning mapping.
+        map: Arc<Mapping>,
+    },
+}
+
+// A Mapped column is an immutable view of Send+Sync-shared bytes.
+unsafe impl<T: ColElem> Send for Col<T> {}
+unsafe impl<T: ColElem> Sync for Col<T> {}
+
+impl<T: ColElem> Col<T> {
+    /// A typed window of `count` elements starting `offset` bytes into
+    /// `map`. Fails if the window leaves the mapping or is misaligned.
+    /// On big-endian targets the window is decoded into an owned,
+    /// byte-swapped copy instead (the on-disk layout is little-endian).
+    pub fn from_mapping(map: &Arc<Mapping>, offset: usize, count: usize) -> Result<Col<T>, String> {
+        let elem = std::mem::size_of::<T>();
+        let bytes = count.checked_mul(elem).ok_or("column size overflow")?;
+        let end = offset.checked_add(bytes).ok_or("column offset overflow")?;
+        if end > map.len() {
+            return Err(format!(
+                "column [{offset}, {end}) exceeds mapping of {} bytes",
+                map.len()
+            ));
+        }
+        if (map.base() + offset) % std::mem::align_of::<T>() != 0 {
+            return Err(format!("column at byte offset {offset} is misaligned"));
+        }
+        let ptr = unsafe { map.bytes().as_ptr().add(offset) } as *const T;
+        if cfg!(target_endian = "little") {
+            Ok(Col::Mapped { ptr, len: count, map: map.clone() })
+        } else {
+            let mut v = Vec::with_capacity(count);
+            for i in 0..count {
+                v.push(unsafe { ptr.add(i).read() }.from_le_elem());
+            }
+            Ok(Col::Owned(v))
+        }
+    }
+
+    /// Heap bytes attributable to this column: the vector's payload when
+    /// owned; for mapped windows, zero if the mapping is file-backed
+    /// (those pages belong to the page cache and are charged to the
+    /// snapshot file) but the full window size if it is a heap buffer.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            Col::Owned(v) => v.len() * std::mem::size_of::<T>(),
+            Col::Mapped { len, map, .. } => {
+                if map.is_resident() {
+                    *len * std::mem::size_of::<T>()
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    /// Is this column a mapped window (vs. heap-owned)?
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, Col::Mapped { .. })
+    }
+}
+
+impl<T: ColElem> Deref for Col<T> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        match self {
+            Col::Owned(v) => v,
+            Col::Mapped { ptr, len, .. } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+        }
+    }
+}
+
+impl<T: ColElem> Clone for Col<T> {
+    fn clone(&self) -> Col<T> {
+        match self {
+            Col::Owned(v) => Col::Owned(v.clone()),
+            Col::Mapped { ptr, len, map } => {
+                Col::Mapped { ptr: *ptr, len: *len, map: map.clone() }
+            }
+        }
+    }
+}
+
+impl<T: ColElem + fmt::Debug> fmt::Debug for Col<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = if self.is_mapped() { "mapped" } else { "owned" };
+        write!(f, "Col<{tag}>{:?}", &self[..])
+    }
+}
+
+impl<T: ColElem> From<Vec<T>> for Col<T> {
+    fn from(v: Vec<T>) -> Col<T> {
+        Col::Owned(v)
+    }
+}
+
+/// Text-node content: owned boxed strings, or `(offsets, blob)` windows
+/// into a mapping. Mapped stores validate lazily: construction checks
+/// only the end-to-end offset frame (O(1), so a mapped open faults no
+/// text pages), and every access bounds- and UTF-8-checks its own piece.
+/// A piece an undetected corruption mangled reads as the empty string —
+/// never a panic, never out-of-bounds (full-content integrity is the
+/// checksummed heap open's job).
+pub enum TextStore {
+    /// One heap allocation per text node (parse/build/splice output).
+    Owned(Vec<Box<str>>),
+    /// `offsets[i]..offsets[i+1]` delimits text `i` inside `blob`.
+    Mapped {
+        /// `len + 1` monotone byte offsets; first 0, last `blob.len()`.
+        offsets: Col<u32>,
+        /// Concatenated UTF-8 text bytes.
+        blob: Col<u8>,
+    },
+}
+
+impl TextStore {
+    /// Wrap pre-cut columns as a text store. Validation here is O(1) —
+    /// just the offset frame — so opening a mapped snapshot touches the
+    /// first and last offset page and nothing else; each piece is
+    /// bounds- and UTF-8-checked on access instead.
+    pub fn from_mapped(offsets: Col<u32>, blob: Col<u8>) -> Result<TextStore, String> {
+        if offsets.is_empty() {
+            return Err("text offsets must contain at least the terminator".into());
+        }
+        if offsets[0] != 0 {
+            return Err("text offsets must start at 0".into());
+        }
+        if offsets[offsets.len() - 1] as usize != blob.len() {
+            return Err("text offsets must end at the blob length".into());
+        }
+        Ok(TextStore::Mapped { offsets, blob })
+    }
+
+    /// Number of texts.
+    pub fn len(&self) -> usize {
+        match self {
+            TextStore::Owned(v) => v.len(),
+            TextStore::Mapped { offsets, .. } => offsets.len() - 1,
+        }
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Text `i`. Panics if `i` is out of range, like slice indexing.
+    #[inline]
+    pub fn get(&self, i: usize) -> &str {
+        match self {
+            TextStore::Owned(v) => &v[i],
+            TextStore::Mapped { offsets, blob } => {
+                let lo = offsets[i] as usize;
+                let hi = offsets[i + 1] as usize;
+                // Checked per piece: offsets a corruption inverted or
+                // pushed past the blob, and bytes that aren't UTF-8,
+                // degrade to "" rather than panic or read out of
+                // bounds. Heap opens catch such corruption up front via
+                // section checksums; mapped opens defer to here.
+                if lo > hi || hi > blob.len() {
+                    return "";
+                }
+                std::str::from_utf8(&blob[lo..hi]).unwrap_or("")
+            }
+        }
+    }
+
+    /// Iterate all texts in index order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Heap bytes attributable to this store (zero when mapped).
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            TextStore::Owned(v) => {
+                v.iter().map(|t| t.len() + std::mem::size_of::<Box<str>>()).sum()
+            }
+            TextStore::Mapped { offsets, blob } => offsets.heap_bytes() + blob.heap_bytes(),
+        }
+    }
+}
+
+impl fmt::Debug for TextStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self {
+            TextStore::Owned(_) => "owned",
+            TextStore::Mapped { .. } => "mapped",
+        };
+        f.debug_struct("TextStore").field("len", &self.len()).field("kind", &tag).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_mapping_is_aligned_and_roundtrips() {
+        let bytes: Vec<u8> = (0u8..23).collect();
+        let map = Mapping::from_bytes(&bytes);
+        assert_eq!(map.bytes(), &bytes[..]);
+        assert_eq!(map.base() % 8, 0);
+    }
+
+    #[test]
+    fn mapped_column_views_typed_elements() {
+        let words: Vec<u32> = vec![7, 11, u32::MAX];
+        let mut bytes = Vec::new();
+        for w in &words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        let map = Arc::new(Mapping::from_bytes(&bytes));
+        let col = Col::<u32>::from_mapping(&map, 0, 3).unwrap();
+        assert_eq!(&col[..], &words[..]);
+        // A heap-backed mapping is resident memory and is charged as such.
+        assert_eq!(col.heap_bytes(), 12);
+    }
+
+    #[test]
+    fn file_backed_columns_charge_no_heap() {
+        let dir = std::env::temp_dir().join(format!("blossom-colres-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("col.bin");
+        std::fs::write(&path, 42u32.to_le_bytes()).unwrap();
+        let map = Arc::new(Mapping::map_path(&path).unwrap());
+        let col = Col::<u32>::from_mapping(&map, 0, 1).unwrap();
+        assert_eq!(col[0], 42);
+        if cfg!(all(unix, target_endian = "little")) {
+            assert!(!map.is_resident());
+            assert_eq!(col.heap_bytes(), 0, "mmap pages are not process heap");
+        }
+        drop(col);
+        drop(map);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn out_of_bounds_and_misaligned_windows_are_rejected() {
+        let map = Arc::new(Mapping::from_bytes(&[0u8; 16]));
+        assert!(Col::<u32>::from_mapping(&map, 0, 5).is_err(), "past the end");
+        assert!(Col::<u32>::from_mapping(&map, 2, 1).is_err(), "misaligned");
+        assert!(Col::<u32>::from_mapping(&map, usize::MAX, 1).is_err(), "overflow");
+        assert!(Col::<u16>::from_mapping(&map, 14, 1).is_ok());
+    }
+
+    #[test]
+    fn file_mapping_reads_back() {
+        let dir = std::env::temp_dir().join(format!("blossom-colsrc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("map.bin");
+        std::fs::write(&path, b"hello mapping").unwrap();
+        let map = Mapping::map_path(&path).unwrap();
+        assert_eq!(map.bytes(), b"hello mapping");
+        drop(map);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn text_store_mapped_validates() {
+        let blob = b"abcdef".to_vec();
+        let offs = vec![0u32, 3, 3, 6];
+        let mk = |offs: &[u32], blob: &[u8]| {
+            let mut bytes = Vec::new();
+            for o in offs {
+                bytes.extend_from_slice(&o.to_le_bytes());
+            }
+            let pad = bytes.len();
+            bytes.extend_from_slice(blob);
+            let map = Arc::new(Mapping::from_bytes(&bytes));
+            let oc = Col::<u32>::from_mapping(&map, 0, offs.len()).unwrap();
+            let bc = Col::<u8>::from_mapping(&map, pad, blob.len()).unwrap();
+            TextStore::from_mapped(oc, bc)
+        };
+        let store = mk(&offs, &blob).unwrap();
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.get(0), "abc");
+        assert_eq!(store.get(1), "");
+        assert_eq!(store.get(2), "def");
+        // The offset frame is checked eagerly (O(1))...
+        assert!(mk(&[0, 7], &blob).is_err(), "offsets past blob");
+        assert!(mk(&[1, 6], &blob).is_err(), "first offset nonzero");
+        assert!(mk(&[], &blob).is_err(), "empty offsets");
+        // ...while per-piece problems are caught lazily at access: an
+        // inverted window or invalid UTF-8 reads as "", never a panic.
+        let inverted = mk(&[0, 4, 2, 6], &blob).unwrap();
+        assert_eq!(inverted.get(0), "abcd");
+        assert_eq!(inverted.get(1), "", "inverted window degrades to empty");
+        assert_eq!(inverted.get(2), "cdef");
+        let bad_utf8 = mk(&[0, 2], &[0xffu8, 0xfe]).unwrap();
+        assert_eq!(bad_utf8.get(0), "", "invalid UTF-8 degrades to empty");
+    }
+}

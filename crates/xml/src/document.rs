@@ -25,6 +25,7 @@
 //! never reads. The region label of node `n` is `(n, last_desc[n],
 //! level[n])`: the `start` coordinate is the id itself and never stored.
 
+use crate::colsrc::{Col, TextStore};
 use crate::fxhash::FxHashMap;
 use crate::label::Region;
 use crate::parser::{Event, ParseError, Reader};
@@ -33,8 +34,10 @@ use crate::symbol::{Sym, SymbolTable};
 use std::fmt;
 
 /// Index of a node in a [`Document`] arena. Node 0 is always the virtual
-/// document node.
+/// document node. `repr(transparent)` over `u32` so posting columns of
+/// `NodeId` can be mapped directly from little-endian snapshot bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -92,25 +95,52 @@ pub struct ParseOptions {
 }
 
 /// An immutable, arena-backed XML document in struct-of-arrays layout.
+///
+/// Each column is a [`Col`]: either an owned `Vec` (parse/build/splice
+/// output) or a zero-copy window into a mapped BLM2 snapshot — the
+/// distinction is invisible to every consumer (see [`crate::colsrc`]).
 pub struct Document {
     /// Parent id per node (`NIL` for the document node).
-    pub(crate) parent: Vec<u32>,
+    pub(crate) parent: Col<u32>,
     /// First-child id per node (`NIL` for leaves).
-    pub(crate) first_child: Vec<u32>,
+    pub(crate) first_child: Col<u32>,
     /// Next-sibling id per node (`NIL` for last children).
-    pub(crate) next_sibling: Vec<u32>,
+    pub(crate) next_sibling: Col<u32>,
     /// Region `end` column: id of the last node in each subtree.
-    pub(crate) last_desc: Vec<u32>,
+    pub(crate) last_desc: Col<u32>,
     /// Region `level` column: depth, 0 for the document node.
-    pub(crate) level: Vec<u16>,
+    pub(crate) level: Col<u16>,
     /// Packed kind (low 2 bits) + payload (tag symbol or text index).
-    pub(crate) kind_sym: Vec<u32>,
-    pub(crate) texts: Vec<Box<str>>,
+    pub(crate) kind_sym: Col<u32>,
+    pub(crate) texts: TextStore,
     /// Sparse attribute storage: element id -> attributes in document order.
     pub(crate) attrs: FxHashMap<u32, Vec<(Sym, Box<str>)>>,
     pub(crate) symbols: SymbolTable,
     /// Process-unique identity (see [`Document::uid`]).
     pub(crate) uid: u64,
+}
+
+/// The raw columns of a [`Document`], used to reconstruct one from a
+/// storage snapshot. See [`Document::from_column_parts`].
+pub struct ColumnParts {
+    /// Parent id per node (`NIL` for the document node).
+    pub parent: Col<u32>,
+    /// First-child id per node (`NIL` for leaves).
+    pub first_child: Col<u32>,
+    /// Next-sibling id per node (`NIL` for last children).
+    pub next_sibling: Col<u32>,
+    /// Region `end` column.
+    pub last_desc: Col<u32>,
+    /// Region `level` column.
+    pub level: Col<u16>,
+    /// Packed kind/payload column.
+    pub kind_sym: Col<u32>,
+    /// Text-node contents.
+    pub texts: TextStore,
+    /// Attributes per element id, in document order.
+    pub attrs: FxHashMap<u32, Vec<(Sym, Box<str>)>>,
+    /// The interned name table.
+    pub symbols: SymbolTable,
 }
 
 /// Monotone source of [`Document::uid`] values.
@@ -153,6 +183,108 @@ impl Document {
         TreeBuilder::new(ParseOptions::default())
     }
 
+    /// Reassemble a document from raw columns (a decoded or mapped
+    /// snapshot), validating every structural invariant the navigation
+    /// and operator code relies on — after this check, indexing a
+    /// (possibly attacker-supplied) mapped column is as safe as
+    /// indexing a parsed one:
+    ///
+    /// * all columns have one entry per node, and node ids fit `u32`;
+    /// * node 0 is the document node (`parent == NIL`, kind document);
+    /// * `parent[v] < v` for every other node (ancestor walks strictly
+    ///   descend and terminate), and only node 0 may have a `NIL` parent;
+    /// * `first_child`/`next_sibling` are `NIL` or strictly greater than
+    ///   the node and in bounds (child/sibling walks strictly advance);
+    /// * `v <= last_desc[v] < n` (descendant ranges are in bounds);
+    /// * element payloads index the symbol table, text payloads the text
+    ///   store, and the 2-bit kind is never the invalid value 3;
+    /// * attribute keys are element ids in bounds.
+    ///
+    /// The checks are cheap flat column scans — O(n) with a handful of
+    /// compares per node, far from the O(nodes) *allocation* work this
+    /// path exists to avoid.
+    pub fn from_column_parts(parts: ColumnParts) -> Result<Document, String> {
+        let n = parts.kind_sym.len();
+        if n == 0 {
+            return Err("document must contain the document node".into());
+        }
+        if n >= NIL as usize {
+            return Err("node count overflows u32 ids".into());
+        }
+        for (name, len) in [
+            ("parent", parts.parent.len()),
+            ("first_child", parts.first_child.len()),
+            ("next_sibling", parts.next_sibling.len()),
+            ("last_desc", parts.last_desc.len()),
+            ("level", parts.level.len()),
+        ] {
+            if len != n {
+                return Err(format!("column {name} has {len} entries, expected {n}"));
+            }
+        }
+        if parts.parent[0] != NIL || parts.kind_sym[0] & KIND_MASK != KIND_DOCUMENT {
+            return Err("node 0 is not a document node".into());
+        }
+        let nsyms = parts.symbols.len() as u32;
+        let ntexts = parts.texts.len() as u32;
+        for v in 0..n {
+            let id = v as u32;
+            let p = parts.parent[v];
+            if v > 0 && p >= id {
+                return Err(format!("node {id}: parent {p} does not precede it"));
+            }
+            let fc = parts.first_child[v];
+            if fc != NIL && (fc <= id || fc as usize >= n) {
+                return Err(format!("node {id}: first child {fc} out of range"));
+            }
+            let ns = parts.next_sibling[v];
+            if ns != NIL && (ns <= id || ns as usize >= n) {
+                return Err(format!("node {id}: next sibling {ns} out of range"));
+            }
+            let ld = parts.last_desc[v];
+            if ld < id || ld as usize >= n {
+                return Err(format!("node {id}: last descendant {ld} out of range"));
+            }
+            let packed = parts.kind_sym[v];
+            let payload = packed >> KIND_BITS;
+            match packed & KIND_MASK {
+                KIND_DOCUMENT => {
+                    if v != 0 {
+                        return Err(format!("node {id}: document kind outside node 0"));
+                    }
+                }
+                KIND_ELEMENT => {
+                    if payload >= nsyms {
+                        return Err(format!("node {id}: tag symbol {payload} out of range"));
+                    }
+                }
+                KIND_TEXT => {
+                    if payload >= ntexts {
+                        return Err(format!("node {id}: text index {payload} out of range"));
+                    }
+                }
+                _ => return Err(format!("node {id}: invalid node kind")),
+            }
+        }
+        for (&eid, _) in parts.attrs.iter() {
+            if eid as usize >= n {
+                return Err(format!("attribute entry for node {eid} out of range"));
+            }
+        }
+        Ok(Document {
+            parent: parts.parent,
+            first_child: parts.first_child,
+            next_sibling: parts.next_sibling,
+            last_desc: parts.last_desc,
+            level: parts.level,
+            kind_sym: parts.kind_sym,
+            texts: parts.texts,
+            attrs: parts.attrs,
+            symbols: parts.symbols,
+            uid: fresh_uid(),
+        })
+    }
+
     /// Total number of nodes, including the virtual document node.
     pub fn len(&self) -> usize {
         self.kind_sym.len()
@@ -179,12 +311,19 @@ impl Document {
     /// Approximate heap footprint in bytes: the column vectors plus text
     /// and attribute payloads. Used by the server's document catalog to
     /// keep its LRU under a memory cap; an estimate (hash-map overhead
-    /// and allocator slack are not counted), not an accounting.
+    /// and allocator slack are not counted), not an accounting. Mapped
+    /// columns contribute **zero** — their pages live in the page cache
+    /// against the snapshot file, not the process heap, so a mapped
+    /// document's resident charge is just its symbol table, attributes,
+    /// and fixed overhead.
     pub fn approx_heap_bytes(&self) -> usize {
-        let columns = self.parent.len() * 4 * 5 // parent/first_child/next_sibling/last_desc/kind_sym
-            + self.level.len() * 2;
-        let texts: usize =
-            self.texts.iter().map(|t| t.len() + std::mem::size_of::<Box<str>>()).sum();
+        let columns = self.parent.heap_bytes()
+            + self.first_child.heap_bytes()
+            + self.next_sibling.heap_bytes()
+            + self.last_desc.heap_bytes()
+            + self.kind_sym.heap_bytes()
+            + self.level.heap_bytes();
+        let texts = self.texts.heap_bytes();
         let attrs: usize = self
             .attrs
             .values()
@@ -197,6 +336,16 @@ impl Document {
             .map(|(_, name)| name.len() + 2 * std::mem::size_of::<Box<str>>())
             .sum();
         columns + texts + attrs + symbols
+    }
+
+    /// Is any column of this document backed by a mapped snapshot?
+    pub fn is_mapped(&self) -> bool {
+        self.parent.is_mapped()
+            || self.first_child.is_mapped()
+            || self.next_sibling.is_mapped()
+            || self.last_desc.is_mapped()
+            || self.level.is_mapped()
+            || self.kind_sym.is_mapped()
     }
 
     /// Look up the symbol for `tag`, if any element/attribute uses it.
@@ -304,6 +453,31 @@ impl Document {
         &self.kind_sym
     }
 
+    /// The raw parent column (`NIL` = `u32::MAX` for the document node).
+    /// Flat view for snapshot serialization.
+    #[inline]
+    pub fn parent_column(&self) -> &[u32] {
+        &self.parent
+    }
+
+    /// The raw first-child column (`NIL` = `u32::MAX` for leaves).
+    #[inline]
+    pub fn first_child_column(&self) -> &[u32] {
+        &self.first_child
+    }
+
+    /// The raw next-sibling column (`NIL` = `u32::MAX` for last children).
+    #[inline]
+    pub fn next_sibling_column(&self) -> &[u32] {
+        &self.next_sibling
+    }
+
+    /// The text-node content store, for snapshot serialization.
+    #[inline]
+    pub fn text_store(&self) -> &TextStore {
+        &self.texts
+    }
+
     /// Is `a` a proper ancestor of `d`?
     #[inline]
     pub fn is_ancestor(&self, a: NodeId, d: NodeId) -> bool {
@@ -326,7 +500,7 @@ impl Document {
     pub fn text(&self, n: NodeId) -> Option<&str> {
         let packed = self.kind_sym[n.index()];
         (packed & KIND_MASK == KIND_TEXT)
-            .then(|| self.texts[(packed >> KIND_BITS) as usize].as_ref())
+            .then(|| self.texts.get((packed >> KIND_BITS) as usize))
     }
 
     /// The string value of `n`: concatenation of all text in its subtree.
@@ -342,7 +516,7 @@ impl Document {
         let last = self.last_desc[n.index()] as usize;
         for &packed in &self.kind_sym[n.index()..=last] {
             if packed & KIND_MASK == KIND_TEXT {
-                out.push_str(&self.texts[(packed >> KIND_BITS) as usize]);
+                out.push_str(self.texts.get((packed >> KIND_BITS) as usize));
             }
         }
     }
@@ -600,13 +774,13 @@ impl TreeBuilder {
         let last = (self.kind_sym.len() - 1) as u32;
         self.last_desc[0] = last;
         Document {
-            parent: self.parent,
-            first_child: self.first_child,
-            next_sibling: self.next_sibling,
-            last_desc: self.last_desc,
-            level: self.level,
-            kind_sym: self.kind_sym,
-            texts: self.texts,
+            parent: Col::Owned(self.parent),
+            first_child: Col::Owned(self.first_child),
+            next_sibling: Col::Owned(self.next_sibling),
+            last_desc: Col::Owned(self.last_desc),
+            level: Col::Owned(self.level),
+            kind_sym: Col::Owned(self.kind_sym),
+            texts: TextStore::Owned(self.texts),
             attrs: self.attrs,
             symbols: self.symbols,
             uid: fresh_uid(),

@@ -16,6 +16,7 @@
 //! monotone under nesting, so end-bound skips ([`PostingList::skip_to_end`])
 //! ride a per-block max-end summary instead of a plain binary search.
 
+use crate::colsrc::Col;
 use crate::document::{Document, NodeId};
 use crate::label::Region;
 use crate::symbol::Sym;
@@ -27,24 +28,51 @@ const BLOCK_SIZE: usize = 1 << BLOCK_SHIFT;
 
 /// The empty posting list returned for symbols with no elements.
 static EMPTY: PostingList = PostingList {
-    starts: Vec::new(),
-    ends: Vec::new(),
-    levels: Vec::new(),
-    block_max_end: Vec::new(),
+    starts: Col::Owned(Vec::new()),
+    ends: Col::Owned(Vec::new()),
+    levels: Col::Owned(Vec::new()),
+    block_max_end: Col::Owned(Vec::new()),
 };
 
 /// A document-ordered stream of elements with inline region labels and
-/// sub-linear skip primitives.
+/// sub-linear skip primitives. Like [`Document`] columns, the parallel
+/// arrays are [`Col`]s: heap-owned when built from a document, zero-copy
+/// windows into the posting sections of a mapped snapshot otherwise.
 #[derive(Debug, Clone)]
 pub struct PostingList {
     /// Element ids (= region `start` coordinates), strictly increasing.
-    starts: Vec<NodeId>,
+    starts: Col<NodeId>,
     /// Region `end` (last descendant id) per element.
-    ends: Vec<u32>,
+    ends: Col<u32>,
     /// Region `level` per element.
-    levels: Vec<u16>,
+    levels: Col<u16>,
     /// Max of `ends` per [`BLOCK_SIZE`] chunk, for end-bound skips.
-    block_max_end: Vec<u32>,
+    block_max_end: Col<u32>,
+}
+
+/// Growable triple of posting columns; wrapped into a [`PostingList`]
+/// (computing the block summaries) once fully populated.
+#[derive(Default, Clone)]
+struct ListBuilder {
+    starts: Vec<NodeId>,
+    ends: Vec<u32>,
+    levels: Vec<u16>,
+}
+
+impl ListBuilder {
+    fn push(&mut self, n: NodeId, end: u32, level: u16) {
+        debug_assert!(
+            self.starts.last().is_none_or(|&p| p < n),
+            "posting ids must be strictly increasing"
+        );
+        self.starts.push(n);
+        self.ends.push(end);
+        self.levels.push(level);
+    }
+
+    fn finish(self) -> PostingList {
+        PostingList::from_vecs(self.starts, self.ends, self.levels)
+    }
 }
 
 impl PostingList {
@@ -53,31 +81,59 @@ impl PostingList {
     pub fn from_nodes(doc: &Document, nodes: impl IntoIterator<Item = NodeId>) -> PostingList {
         let end_col = doc.last_desc_column();
         let level_col = doc.level_column();
-        let mut list = PostingList {
-            starts: Vec::new(),
-            ends: Vec::new(),
-            levels: Vec::new(),
-            block_max_end: Vec::new(),
-        };
+        let mut b = ListBuilder::default();
         for n in nodes {
-            debug_assert!(
-                list.starts.last().is_none_or(|&p| p < n),
-                "posting ids must be strictly increasing"
-            );
-            list.starts.push(n);
-            list.ends.push(end_col[n.index()]);
-            list.levels.push(level_col[n.index()]);
+            b.push(n, end_col[n.index()], level_col[n.index()]);
         }
-        list.rebuild_blocks();
-        list
+        b.finish()
     }
 
-    fn rebuild_blocks(&mut self) {
-        self.block_max_end = self
-            .ends
+    /// Wrap owned parallel columns, computing the block summaries.
+    fn from_vecs(starts: Vec<NodeId>, ends: Vec<u32>, levels: Vec<u16>) -> PostingList {
+        let block_max_end: Vec<u32> = ends
             .chunks(BLOCK_SIZE)
             .map(|chunk| chunk.iter().copied().max().unwrap_or(0))
             .collect();
+        PostingList {
+            starts: Col::Owned(starts),
+            ends: Col::Owned(ends),
+            levels: Col::Owned(levels),
+            block_max_end: Col::Owned(block_max_end),
+        }
+    }
+
+    /// Reassemble a posting list from raw columns cut out of a snapshot,
+    /// validating what navigation safety requires: parallel columns of
+    /// equal length, ids strictly increasing and below `n_nodes` (so a
+    /// posting can always index the document's columns), and a block
+    /// summary entry per [`BLOCK_SIZE`] chunk (so end-skips stay in
+    /// bounds). Summary *values* only steer skips and cannot cause
+    /// out-of-bounds access; section checksums vouch for them.
+    pub fn from_raw_parts(
+        starts: Col<NodeId>,
+        ends: Col<u32>,
+        levels: Col<u16>,
+        block_max_end: Col<u32>,
+        n_nodes: u32,
+    ) -> Result<PostingList, String> {
+        let len = starts.len();
+        if ends.len() != len || levels.len() != len {
+            return Err("posting columns have mismatched lengths".into());
+        }
+        if block_max_end.len() != len.div_ceil(BLOCK_SIZE) {
+            return Err("posting block summary has the wrong length".into());
+        }
+        for w in starts.windows(2) {
+            if w[0] >= w[1] {
+                return Err("posting ids must be strictly increasing".into());
+            }
+        }
+        if let Some(&last) = starts.last() {
+            if last.0 >= n_nodes {
+                return Err("posting id out of document range".into());
+            }
+        }
+        Ok(PostingList { starts, ends, levels, block_max_end })
     }
 
     /// Number of postings.
@@ -96,6 +152,24 @@ impl PostingList {
     #[inline]
     pub fn starts(&self) -> &[NodeId] {
         &self.starts
+    }
+
+    /// The region `end` column, for snapshot serialization.
+    #[inline]
+    pub fn ends_column(&self) -> &[u32] {
+        &self.ends
+    }
+
+    /// The region `level` column, for snapshot serialization.
+    #[inline]
+    pub fn levels_column(&self) -> &[u16] {
+        &self.levels
+    }
+
+    /// The per-block max-`end` summary, for snapshot serialization.
+    #[inline]
+    pub fn block_max_end_column(&self) -> &[u32] {
+        &self.block_max_end
     }
 
     /// Element id at position `i`.
@@ -214,20 +288,19 @@ impl TagIndex {
     /// Build the index with one pass over the document's packed kind/tag
     /// and region columns.
     pub fn build(doc: &Document) -> TagIndex {
-        let mut postings: Vec<PostingList> = vec![EMPTY.clone(); doc.symbols().len()];
+        let mut builders: Vec<ListBuilder> = vec![ListBuilder::default(); doc.symbols().len()];
         let end_col = doc.last_desc_column();
         let level_col = doc.level_column();
-        for (i, node) in doc.elements().enumerate() {
-            let _ = i;
+        for node in doc.elements() {
             let sym = doc.tag(node).expect("elements() yields elements");
-            let list = &mut postings[sym.index()];
-            list.starts.push(node);
-            list.ends.push(end_col[node.index()]);
-            list.levels.push(level_col[node.index()]);
+            builders[sym.index()].push(node, end_col[node.index()], level_col[node.index()]);
         }
-        for list in &mut postings {
-            list.rebuild_blocks();
-        }
+        TagIndex { postings: builders.into_iter().map(ListBuilder::finish).collect() }
+    }
+
+    /// Reassemble an index from per-symbol posting lists decoded or
+    /// mapped out of a snapshot (symbol `i`'s list at position `i`).
+    pub fn from_lists(postings: Vec<PostingList>) -> TagIndex {
         TagIndex { postings }
     }
 
@@ -273,11 +346,9 @@ impl TagIndex {
                 continue;
             }
             let hi = old.starts.partition_point(|&n| n.0 < s + r);
-            let mut list = PostingList {
+            let mut list = ListBuilder {
                 starts: Vec::with_capacity(old.len() - (hi - lo) + extra.len()),
-                ends: Vec::new(),
-                levels: Vec::new(),
-                block_max_end: Vec::new(),
+                ..ListBuilder::default()
             };
             let ids = old.starts[..lo]
                 .iter()
@@ -285,12 +356,9 @@ impl TagIndex {
                 .chain(extra.iter().copied())
                 .chain(old.starts[hi..].iter().map(|n| NodeId(n.0 - r + m)));
             for n in ids {
-                list.starts.push(n);
-                list.ends.push(end_col[n.index()]);
-                list.levels.push(level_col[n.index()]);
+                list.push(n, end_col[n.index()], level_col[n.index()]);
             }
-            list.rebuild_blocks();
-            postings.push(list);
+            postings.push(list.finish());
         }
         TagIndex { postings }
     }
@@ -307,12 +375,17 @@ impl TagIndex {
         self.postings
             .iter()
             .map(|p| {
-                p.starts.len() * std::mem::size_of::<NodeId>()
-                    + p.ends.len() * 4
-                    + p.levels.len() * 2
-                    + p.block_max_end.len() * 4
+                p.starts.heap_bytes()
+                    + p.ends.heap_bytes()
+                    + p.levels.heap_bytes()
+                    + p.block_max_end.heap_bytes()
             })
             .sum()
+    }
+
+    /// Number of symbol slots (including the document symbol's).
+    pub fn num_symbols(&self) -> usize {
+        self.postings.len()
     }
 
     /// Posting list by tag name.

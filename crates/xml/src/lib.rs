@@ -28,6 +28,7 @@
 //! assert_eq!(doc.stats().element_count, 3);
 //! ```
 
+pub mod colsrc;
 pub mod dewey;
 pub mod document;
 pub mod fxhash;
@@ -42,9 +43,10 @@ pub mod succinct;
 pub mod symbol;
 pub mod writer;
 
+pub use colsrc::{Col, ColElem, Mapping, TextStore};
 pub use dewey::Dewey;
-pub use document::{Document, NodeId, NodeKind, ParseOptions, TreeBuilder};
-pub use index::TagIndex;
+pub use document::{ColumnParts, Document, NodeId, NodeKind, ParseOptions, TreeBuilder};
+pub use index::{PostingList, TagIndex};
 pub use label::Region;
 pub use mutate::{Mutation, Splice};
 pub use navigate::Axis;

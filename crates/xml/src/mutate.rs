@@ -27,6 +27,7 @@
 //!
 //! [`TagIndex::splice`]: crate::TagIndex::splice
 
+use crate::colsrc::{Col, TextStore};
 use crate::dewey::Dewey;
 use crate::document::{
     fresh_uid, pack, Document, NodeId, KIND_ELEMENT, KIND_MASK, KIND_TEXT, NIL,
@@ -409,11 +410,11 @@ fn splice(
             let idx = texts.len() as u32;
             match merge {
                 Some((mid, extra)) if mid == v as u32 => {
-                    let mut merged = String::from(&*doc.texts[old_idx]);
+                    let mut merged = String::from(doc.texts.get(old_idx));
                     merged.push_str(extra);
                     texts.push(merged.into_boxed_str());
                 }
-                _ => texts.push(doc.texts[old_idx].clone()),
+                _ => texts.push(doc.texts.get(old_idx).into()),
             }
             pack(KIND_TEXT, idx)
         } else {
@@ -437,7 +438,7 @@ fn splice(
             } else {
                 let old_idx = (packed >> crate::document::KIND_BITS) as usize;
                 let idx = texts.len() as u32;
-                texts.push(f.texts[old_idx].clone());
+                texts.push(f.texts.get(old_idx).into());
                 pack(KIND_TEXT, idx)
             });
         }
@@ -454,7 +455,7 @@ fn splice(
         kind_sym.push(if packed & KIND_MASK == KIND_TEXT {
             let old_idx = (packed >> crate::document::KIND_BITS) as usize;
             let idx = texts.len() as u32;
-            texts.push(doc.texts[old_idx].clone());
+            texts.push(doc.texts.get(old_idx).into());
             pack(KIND_TEXT, idx)
         } else {
             packed
@@ -499,13 +500,13 @@ fn splice(
     }
 
     Ok(Document {
-        parent,
-        first_child,
-        next_sibling,
-        last_desc,
-        level,
-        kind_sym,
-        texts,
+        parent: Col::Owned(parent),
+        first_child: Col::Owned(first_child),
+        next_sibling: Col::Owned(next_sibling),
+        last_desc: Col::Owned(last_desc),
+        level: Col::Owned(level),
+        kind_sym: Col::Owned(kind_sym),
+        texts: TextStore::Owned(texts),
         attrs,
         symbols,
         uid: fresh_uid(),

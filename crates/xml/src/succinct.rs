@@ -251,8 +251,9 @@ const STATS_SECTION_VERSION: u64 = 1;
 
 /// Serialize [`DocStats`] into the fifth snapshot section. Map entries
 /// are written in sorted key order so identical stats produce identical
-/// bytes.
-fn encode_stats_section(stats: &DocStats) -> Vec<u8> {
+/// bytes. Public because the BLM2 storage format embeds the same
+/// serialization as its stats section.
+pub fn encode_stats_section(stats: &DocStats) -> Vec<u8> {
     let mut out = Vec::new();
     push_varint(&mut out, STATS_SECTION_VERSION);
     push_varint(&mut out, stats.element_count as u64);
@@ -294,7 +295,8 @@ fn encode_stats_section(stats: &DocStats) -> Vec<u8> {
 }
 
 /// Deserialize the fifth snapshot section back into [`DocStats`].
-fn decode_stats_section(bytes: &[u8]) -> Result<DocStats, DecodeError> {
+/// Public for the same reason as [`encode_stats_section`].
+pub fn decode_stats_section(bytes: &[u8]) -> Result<DocStats, DecodeError> {
     let mut pos = 0usize;
     let version = read_varint(bytes, &mut pos)?;
     if version != STATS_SECTION_VERSION {

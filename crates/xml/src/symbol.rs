@@ -56,6 +56,22 @@ impl SymbolTable {
         table
     }
 
+    /// Rebuild a table from a decoded snapshot's name list, preserving
+    /// symbol numbering. Entry 0 must be the reserved document symbol's
+    /// name and names must be distinct (otherwise lookups would alias).
+    pub fn from_names(names: Vec<Box<str>>) -> Result<SymbolTable, String> {
+        if names.first().map(|n| n.as_ref()) != Some("#document") {
+            return Err("symbol 0 must be the document symbol".into());
+        }
+        let mut by_name = FxHashMap::default();
+        for (i, n) in names.iter().enumerate() {
+            if by_name.insert(n.clone(), Sym(i as u32)).is_some() {
+                return Err(format!("duplicate symbol name {n:?}"));
+            }
+        }
+        Ok(SymbolTable { names, by_name })
+    }
+
     /// Intern `name`, returning its symbol (existing or fresh).
     pub fn intern(&mut self, name: &str) -> Sym {
         if let Some(&sym) = self.by_name.get(name) {

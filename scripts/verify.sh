@@ -5,7 +5,9 @@
 # load-tests blossomd in-process and as a real child process (leaving
 # BENCH_server.json), an observability smoke that checks the structured
 # slow-query log and the Prometheus exposition (leaving the scrape in
-# METRICS_scrape.txt), and a profile smoke that checks the
+# METRICS_scrape.txt), a storage smoke that checks BLM2 snapshots,
+# zero-copy opens and the over-capacity catalog sweep (leaving
+# BENCH_storage_smoke.json), and a profile smoke that checks the
 # --profile-json schema and that tracing never changes query output
 # bytes (leaving BENCH_profile_smoke.json).
 #
@@ -53,6 +55,49 @@ echo "== mutation differential smoke (incremental update path vs rebuild) =="
 cargo run --release -q -p blossom-bench --bin diff -- \
     --rounds "${DIFF_ROUNDS}" --nodes 120 --mutations 5 \
     --out target/mutation-fixtures
+
+echo "== storage smoke (BLM2 snapshots, owned-vs-mapped differential) =="
+# Every differential round additionally encodes the document to a BLM2
+# snapshot, reopens it zero-copy, and runs the whole configuration
+# matrix once over the owned arena and once over the mapped columns —
+# the answers must be byte-identical.
+cargo run --release -q -p blossom-bench --bin diff -- \
+    --rounds 40 --nodes 160 --storage --out target/storage-fixtures
+
+# Snapshot CLI round-trip: XML → BLM2 (with the succinct section and
+# the per-section stats report) → XML again; queries over all three
+# forms must produce the same bytes, and the BLM2 must open mapped.
+SNAP_DOC=target/snapshot-smoke.xml
+SNAP_BLM2=target/snapshot-smoke.blm2
+SNAP_BACK=target/snapshot-smoke-back.xml
+cargo run --release -q --bin blossom -- gen d1 "${SNAP_DOC}" --nodes 6000
+cargo run --release -q --bin blossom -- snapshot "${SNAP_DOC}" \
+    --output "${SNAP_BLM2}" --succinct --stats > target/snapshot-stats.out
+grep -q 'format blm2' target/snapshot-stats.out \
+    || { echo "snapshot CLI did not report the blm2 format"; exit 1; }
+cargo run --release -q --bin blossom -- snapshot "${SNAP_BLM2}" \
+    --output "${SNAP_BACK}" --format xml
+cargo run --release -q --bin blossom -- query "${SNAP_DOC}" '//item[//bold]' \
+    > target/snapshot-xml.out
+cargo run --release -q --bin blossom -- query "${SNAP_BLM2}" '//item[//bold]' \
+    > target/snapshot-blm2.out
+cargo run --release -q --bin blossom -- query "${SNAP_BACK}" '//item[//bold]' \
+    > target/snapshot-back.out
+cmp target/snapshot-xml.out target/snapshot-blm2.out \
+    || { echo "mapped BLM2 query differs from the XML source"; exit 1; }
+cmp target/snapshot-xml.out target/snapshot-back.out \
+    || { echo "BLM2 → XML conversion changed query results"; exit 1; }
+
+# A quick pass of the storage bench (cold-load, owned-vs-mapped
+# latency, and the over-capacity catalog sweep with spill + remap
+# counters); the full-size run is the CI storage job.
+cargo run --release -q -p blossom-bench --bin storage -- \
+    --nodes 8000 --runs 1 --docs 4 --out BENCH_storage_smoke.json
+for key in cold_load map_blm2_min_s map_speedup_vs_parse query_latency \
+           catalog_sweep resident_bytes spilled_docs remaps; do
+    grep -q "\"${key}\"" BENCH_storage_smoke.json \
+        || { echo "BENCH_storage_smoke.json missing key: ${key}"; exit 1; }
+done
 
 echo "== server smoke (blossomd: load, concurrent queries, open-loop, drain) =="
 # In-process run of the load harness, both phases: four connections

@@ -3,6 +3,7 @@ pub use blossom_core as core;
 pub use blossom_flwor as flwor;
 pub use blossom_oracle as oracle;
 pub use blossom_server as server;
+pub use blossom_storage as storage;
 pub use blossom_xml as xml;
 pub use blossom_xmlgen as xmlgen;
 pub use blossom_xpath as xpath;

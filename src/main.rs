@@ -6,18 +6,31 @@
 //! blossom explain <doc.xml|doc.blsm> '<query>'
 //! blossom stats   <doc.xml|doc.blsm>
 //! blossom encode  <doc.xml> <out.blsm>     # succinct storage format
+//! blossom snapshot <doc.xml|doc.blsm|doc.blm2> --output <file> [--format blm2|blm1|xml]
+//!                 [--succinct] [--stats]    # columnar storage format
 //! blossom update  <doc.xml|doc.blsm> [--apply 'MUTATION']... [--ops FILE] [--output OUT]
 //! blossom gen     <d1|d2|d3|d4|d5> <out.xml> [--nodes N] [--seed S]
 //! blossom serve   [--addr HOST:PORT] [--workers N] [--threads N] [--deadline-ms N]
-//!                 [--catalog-mb N] [--io-model M] [--io-threads N] [--max-queue N]
-//!                 [--batch on|off] [--slow-ms N] [--access-log TARGET] [--log-sample N]
-//!                 [--load NAME=PATH]...
+//!                 [--catalog-mb N] [--store-dir DIR] [--io-model M] [--io-threads N]
+//!                 [--max-queue N] [--batch on|off] [--slow-ms N] [--access-log TARGET]
+//!                 [--log-sample N] [--load NAME=PATH]...
 //! ```
 //!
 //! `--profile` prints an `EXPLAIN ANALYZE`-style execution trace to
 //! stderr (stdout stays byte-identical to an unprofiled run);
 //! `--profile-json FILE` writes the same trace as JSON; `--repeat N`
 //! evaluates the query N times and reports plan-cache statistics.
+//!
+//! `snapshot` converts between the storage formats: the default
+//! `--format blm2` writes the BLM2 columnar snapshot — an aligned,
+//! checksummed image of the arena columns and tag index that the engine
+//! can `mmap` and query with no per-node decoding (see `DESIGN.md` §15);
+//! `--format blm1` writes the compact varint format, `--format xml`
+//! writes the document back out as XML. `--succinct` embeds the optional
+//! balanced-parentheses skeleton in a BLM2 snapshot, and `--stats`
+//! prints per-section byte sizes after writing. Every command that reads
+//! a document (`query`, `explain`, `stats`, `update`, …) accepts all
+//! three formats by sniffing; BLM2 inputs are mapped, not decoded.
 //!
 //! `update` applies a mutation script — `insert <parent-dewey> <pos>
 //! <fragment>`, `delete <dewey>`, `replace <dewey> <fragment>` lines —
@@ -33,8 +46,13 @@
 //! execution pool, `--threads` sets per-query evaluation threads,
 //! `--deadline-ms` bounds each request's evaluation wall-clock (0
 //! disables), `--catalog-mb` caps the document catalog's memory, and
-//! each `--load NAME=PATH` preloads an XML or `.blsm` file into the
-//! catalog under NAME. The serving model is `--io-model`: the default
+//! each `--load NAME=PATH` preloads an XML, `.blsm`, or `.blm2` file
+//! into the catalog under NAME. `--store-dir DIR` makes the catalog
+//! persistent: every document is published to DIR as a crash-safe BLM2
+//! generation file and served `mmap`'d from it (so its resident charge
+//! is a small constant), evicted entries spill to disk and remap on the
+//! next request, and a restarted server recovers every complete
+//! generation from DIR before accepting connections. The serving model is `--io-model`: the default
 //! `event-loop` parks idle connections in a poller driven by
 //! `--io-threads` I/O threads, admits at most `--max-queue` queued
 //! requests (the rest get 503 + Retry-After), and coalesces identical
@@ -50,11 +68,15 @@
 //! file path), and `--log-sample N` additionally logs every Nth request
 //! id; clients can force a record for one request with `?trace=1`.
 
+use blossomtree::core::engine::SharedPlanCache;
 use blossomtree::core::{exec, Engine, EngineOptions, Strategy};
 use blossomtree::server::{IoModel, Server, ServerConfig};
-use blossomtree::xml::{load, mutate, succinct, writer, Document};
+use blossomtree::storage::{self, EncodeOptions, OpenMode};
+use blossomtree::xml::{mutate, succinct, writer, Document};
 use blossomtree::xmlgen::{generate, Dataset};
+use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -76,12 +98,14 @@ const USAGE: &str = "usage:
   blossom explain <doc.xml|doc.blsm> '<query>'
   blossom stats   <doc.xml|doc.blsm>
   blossom encode  <doc.xml> <out.blsm>
+  blossom snapshot <doc.xml|doc.blsm|doc.blm2> --output FILE [--format blm2|blm1|xml]
+                  [--succinct] [--stats]
   blossom update  <doc.xml|doc.blsm> [--apply 'MUTATION']... [--ops FILE] [--output OUT]
   blossom gen     <d1|d2|d3|d4|d5> <out.xml> [--nodes N] [--seed S]
   blossom serve   [--addr HOST:PORT] [--workers N] [--threads N] [--deadline-ms N]
-                  [--catalog-mb N] [--io-model M] [--io-threads N] [--max-queue N]
-                  [--batch on|off] [--slow-ms N] [--access-log TARGET] [--log-sample N]
-                  [--load NAME=PATH]...
+                  [--catalog-mb N] [--store-dir DIR] [--io-model M] [--io-threads N]
+                  [--max-queue N] [--batch on|off] [--slow-ms N] [--access-log TARGET]
+                  [--log-sample N] [--load NAME=PATH]...
 
 strategies: auto (default), navigational, twigstack, pathstack, pipelined, bnlj, nlj
 --threads:      worker threads for NoK scans and FLWOR iteration
@@ -91,6 +115,10 @@ strategies: auto (default), navigational, twigstack, pathstack, pipelined, bnlj,
                 operator counters, phase timings) to stderr
 --profile-json: write the trace as JSON to FILE
 --repeat:       evaluate the query N times and report plan-cache stats
+--format:       snapshot: output format — blm2 (default, columnar/mappable),
+                blm1 (compact varint), or xml
+--succinct:     snapshot: embed the balanced-parentheses skeleton (blm2 only)
+--stats:        snapshot: print per-section byte sizes after writing
 --apply:        update: one mutation line (insert/delete/replace; repeatable)
 --ops:          update: read a mutation script from FILE
 --output:       update: write the mutated document to OUT (.blsm = succinct)
@@ -99,6 +127,8 @@ strategies: auto (default), navigational, twigstack, pathstack, pipelined, bnlj,
 --workers:      serve: execution worker threads (default 4)
 --deadline-ms:  serve: per-request evaluation budget (default 10000; 0 = none)
 --catalog-mb:   serve: document catalog memory cap (default 512)
+--store-dir:    serve: persistent BLM2 store directory — documents are
+                served mmap'd, spill on eviction, survive restarts
 --io-model:     serve: event-loop (default) or thread-per-request
 --io-threads:   serve: event-loop I/O threads (default 2)
 --max-queue:    serve: admission bound on queued requests (default 1024;
@@ -126,10 +156,10 @@ fn run(args: &[String]) -> Result<String, String> {
             let profile_json = flag_value(args, "--profile-json");
             let repeat = parse_repeat(args)?;
             let tracing = profile || profile_json.is_some();
-            let engine = Engine::with_options(
-                load_document(file)?,
+            let engine = load_engine(
+                file,
                 EngineOptions { threads, trace: tracing, ..EngineOptions::default() },
-            );
+            )?;
             // The query result always goes to stdout, byte-identical with
             // and without profiling; the trace goes to stderr / a file.
             let mut result = None;
@@ -171,7 +201,7 @@ fn run(args: &[String]) -> Result<String, String> {
         "explain" => {
             let file = arg(args, 1)?;
             let query = arg(args, 2)?;
-            let engine = Engine::new(load_document(file)?);
+            let engine = load_engine(file, EngineOptions::default())?;
             // Path queries get the planner's one-liner; FLWOR queries get
             // the full BlossomTree + decomposition report.
             if let Ok(plan) = engine.explain_path(query) {
@@ -181,8 +211,9 @@ fn run(args: &[String]) -> Result<String, String> {
         }
         "stats" => {
             let file = arg(args, 1)?;
-            let doc = load_document(file)?;
-            let s = doc.stats();
+            // Both snapshot formats carry embedded statistics; XML
+            // computes them here.
+            let s = storage::load::loaded_from_path(Path::new(file), OpenMode::Map)?.stats;
             Ok(format!(
                 "nodes:         {}\nelements:      {}\ntext nodes:    {}\n\
                  distinct tags: {}\navg depth:     {:.2}\nmax depth:     {}\n\
@@ -213,6 +244,49 @@ fn run(args: &[String]) -> Result<String, String> {
                 sizes.symbols,
                 sizes.content
             ))
+        }
+        "snapshot" => {
+            let input = arg(args, 1)?;
+            let output = flag_value(args, "--output")
+                .ok_or_else(|| "snapshot needs --output FILE".to_string())?;
+            let format = flag_value(args, "--format").unwrap_or("blm2");
+            let succinct_nav = args.iter().any(|a| a == "--succinct");
+            let show_stats = args.iter().any(|a| a == "--stats");
+            if succinct_nav && format != "blm2" {
+                return Err(format!("--succinct only applies to --format blm2, not {format:?}"));
+            }
+            // Decode into owned columns: the conversion rewrites every
+            // section anyway, so there is nothing to gain from mapping.
+            let loaded = storage::load::loaded_from_path(Path::new(input), OpenMode::Heap)?;
+            let bytes = match format {
+                "blm2" => storage::snapshot::encode(
+                    &loaded.doc,
+                    &loaded.index,
+                    &loaded.stats,
+                    EncodeOptions { succinct: succinct_nav },
+                )
+                .map_err(|e| e.to_string())?,
+                "blm1" => succinct::encode_with_stats(&loaded.doc, &loaded.stats),
+                "xml" => writer::to_string(&loaded.doc).into_bytes(),
+                other => {
+                    return Err(format!("bad --format {other:?} (want blm2, blm1, or xml)"))
+                }
+            };
+            std::fs::write(output, &bytes).map_err(|e| format!("writing {output}: {e}"))?;
+            let mut report = format!(
+                "wrote {} ({} bytes, {} nodes, format {format})",
+                output,
+                bytes.len(),
+                loaded.doc.len()
+            );
+            if show_stats && format == "blm2" {
+                for (name, size) in storage::snapshot::section_sizes(&bytes)
+                    .map_err(|e| e.to_string())?
+                {
+                    report.push_str(&format!("\n  {name:<14} {size:>10} bytes"));
+                }
+            }
+            Ok(report)
         }
         "update" => {
             let file = arg(args, 1)?;
@@ -374,6 +448,7 @@ fn parse_serve_config(args: &[String]) -> Result<ServerConfig, String> {
             .parse::<u64>()
             .map_err(|_| format!("bad --log-sample {v:?} (want an integer; 0 = off)"))?,
     };
+    let store_dir = flag_value(args, "--store-dir").map(String::from);
     Ok(ServerConfig {
         addr,
         workers,
@@ -387,6 +462,7 @@ fn parse_serve_config(args: &[String]) -> Result<ServerConfig, String> {
         slow_ms,
         access_log,
         log_sample,
+        store_dir,
         ..defaults
     })
 }
@@ -455,10 +531,25 @@ fn parse_strategy(name: &str) -> Result<Strategy, String> {
     name.parse()
 }
 
-/// Load either XML text or the succinct binary format (by sniffing);
-/// shared with the server catalog via `xml::load`.
+/// Load any supported on-disk format (XML, BLM1, BLM2 — by sniffing)
+/// and build an engine around it. BLM2 snapshots are memory-mapped and
+/// come with a decoded tag index and statistics, so cold start skips
+/// both parsing and index construction.
+fn load_engine(path: &str, options: EngineOptions) -> Result<Engine, String> {
+    let loaded = storage::load::loaded_from_path(Path::new(path), OpenMode::Map)?;
+    let plans = Arc::new(SharedPlanCache::new(options.plan_cache_capacity));
+    Ok(Engine::with_shared(
+        Arc::new(loaded.doc),
+        Arc::new(loaded.index),
+        Arc::new(loaded.stats),
+        plans,
+        options,
+    ))
+}
+
+/// Load any supported on-disk format when only the document is needed.
 fn load_document(path: &str) -> Result<Document, String> {
-    load::document_from_path(path)
+    Ok(storage::load::loaded_from_path(Path::new(path), OpenMode::Map)?.doc)
 }
 
 #[cfg(test)]
@@ -508,6 +599,48 @@ mod tests {
         let from_xml = run(&s(&["query", &xml, "//address[//zip_code]"])).unwrap();
         let from_bin = run(&s(&["query", &blsm, "//address[//zip_code]"])).unwrap();
         assert_eq!(from_xml, from_bin);
+    }
+
+    #[test]
+    fn snapshot_conversions_preserve_query_results() {
+        let xml = tmp("snap.xml");
+        run(&s(&["gen", "d1", &xml, "--nodes", "1500", "--seed", "11"])).unwrap();
+        let want = run(&s(&["query", &xml, "//item[//bold]"])).unwrap();
+
+        // XML -> BLM2 (with the succinct skeleton and a section report).
+        let blm2 = tmp("snap.blm2");
+        let out = run(&s(&[
+            "snapshot", &xml, "--output", &blm2, "--succinct", "--stats",
+        ]))
+        .unwrap();
+        assert!(out.contains("format blm2"), "{out}");
+        assert!(out.contains("succinct"), "section report missing: {out}");
+        assert_eq!(run(&s(&["query", &blm2, "//item[//bold]"])).unwrap(), want);
+        assert!(run(&s(&["stats", &blm2])).unwrap().contains("nodes:"));
+
+        // BLM2 -> BLM1 and BLM2 -> XML keep the answers identical too.
+        let blm1 = tmp("snap.blsm");
+        run(&s(&["snapshot", &blm2, "--output", &blm1, "--format", "blm1"])).unwrap();
+        assert_eq!(run(&s(&["query", &blm1, "//item[//bold]"])).unwrap(), want);
+        let back = tmp("snap-back.xml");
+        run(&s(&["snapshot", &blm1, "--output", &back, "--format", "xml"])).unwrap();
+        assert_eq!(run(&s(&["query", &back, "//item[//bold]"])).unwrap(), want);
+    }
+
+    #[test]
+    fn snapshot_error_paths_are_one_line() {
+        let xml = tmp("snap-err.xml");
+        std::fs::write(&xml, "<r><a/></r>").unwrap();
+        let cases: &[&[&str]] = &[
+            &["snapshot", &xml],                                        // no --output
+            &["snapshot", &xml, "--output", "/x", "--format", "tar"],   // bad format
+            &["snapshot", &xml, "--output", "/x", "--format", "xml", "--succinct"],
+            &["snapshot", "/nonexistent.xml", "--output", "/x"],        // bad input
+        ];
+        for case in cases {
+            let err = run(&s(case)).unwrap_err();
+            assert!(!err.contains('\n'), "multi-line error for {case:?}: {err}");
+        }
     }
 
     #[test]
@@ -724,6 +857,14 @@ mod tests {
         assert_eq!(config.catalog_bytes, 64 * 1024 * 1024);
 
         assert_eq!(parse_serve_config(&s(&["serve", "--deadline-ms", "0"])).unwrap().deadline, None);
+        assert_eq!(parse_serve_config(&s(&["serve"])).unwrap().store_dir, None);
+        assert_eq!(
+            parse_serve_config(&s(&["serve", "--store-dir", "/var/lib/blossom"]))
+                .unwrap()
+                .store_dir
+                .as_deref(),
+            Some("/var/lib/blossom")
+        );
         assert!(parse_serve_config(&s(&["serve", "--workers", "0"])).is_err());
         assert!(parse_serve_config(&s(&["serve", "--catalog-mb", "lots"])).is_err());
 
